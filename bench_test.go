@@ -1,0 +1,355 @@
+package photon
+
+// Benchmark harness: one benchmark per table and figure in the paper's
+// evaluation (§6), plus the ablations DESIGN.md calls out. The
+// photon-bench binary runs the same experiments and prints paper-style
+// tables; these testing.B entry points integrate with `go test -bench`.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"photon/internal/exec"
+	"photon/internal/experiments"
+	"photon/internal/expr"
+	"photon/internal/ht"
+	"photon/internal/kernels"
+	"photon/internal/mem"
+	"photon/internal/sql"
+	"photon/internal/sql/catalyst"
+	"photon/internal/tpch"
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// metricName sanitizes a configuration label for b.ReportMetric units
+// (whitespace is not allowed).
+func metricName(config, suffix string) string {
+	r := strings.NewReplacer(" ", "_", "(", "", ")", "", ",", "", "+", "", "§", "s")
+	return r.Replace(config) + suffix
+}
+
+// ----- Fig. 4: hash join -----
+
+const fig4Rows = 200_000
+
+func BenchmarkFig4HashJoinPhoton(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := experiments.Fig4(fig4Rows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = m
+	}
+}
+
+func BenchmarkFig4HashJoinBaselines(b *testing.B) {
+	// One experiments.Fig4 call measures all three configs; report each.
+	m, err := experiments.Fig4(fig4Rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range m {
+		b.ReportMetric(float64(r.Elapsed.Milliseconds()), metricName(r.Config, "_ms"))
+	}
+}
+
+// ----- Fig. 5: collect_list -----
+
+func BenchmarkFig5CollectList(b *testing.B) {
+	for _, groups := range []int{100, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("groups=%d", groups), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig5(300_000, groups); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ----- Fig. 6: upper() -----
+
+func BenchmarkFig6Upper(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(300_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ----- Fig. 7: Parquet writes -----
+
+func BenchmarkFig7ParquetWrite(b *testing.B) {
+	dir := b.TempDir()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(200_000, dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range res {
+				b.ReportMetric(float64(r.Total.Milliseconds()), metricName(r.Config, "_ms"))
+			}
+		}
+	}
+}
+
+// ----- Fig. 8: TPC-H, one sub-benchmark per query per engine -----
+
+func benchTPCH(b *testing.B, engine catalyst.Engine) {
+	cat := tpch.NewGen(0.01).Generate()
+	for _, q := range tpch.QueryNumbers() {
+		b.Run(fmt.Sprintf("Q%02d", q), func(b *testing.B) {
+			stmt, err := sql.Parse(tpch.Queries[q])
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan, err := sql.Analyze(cat, stmt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan, err = catalyst.Optimize(plan)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tc := exec.NewTaskCtx(nil, 0)
+				ex, err := catalyst.Build(plan, catalyst.Config{Engine: engine}, tc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ex.Run(tc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig8TPCHPhoton(b *testing.B) { benchTPCH(b, catalyst.EnginePhoton) }
+func BenchmarkFig8TPCHDBR(b *testing.B)    { benchTPCH(b, catalyst.EngineDBRCompiled) }
+
+// ----- §6.3: engine boundary overhead -----
+
+func BenchmarkSec63Transitions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := experiments.Sec63(1_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(m.Extra["rows_per_boundary"], "rows/boundary-call")
+		}
+	}
+}
+
+// ----- Fig. 9: adaptive join compaction -----
+
+func BenchmarkFig9Compaction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := experiments.Fig9(100_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range m {
+				b.ReportMetric(float64(r.Elapsed.Milliseconds()), metricName(r.Config, "_ms"))
+			}
+		}
+	}
+}
+
+// ----- Table 1: adaptive UUID shuffle encoding -----
+
+func BenchmarkTable1UUIDShuffle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := experiments.Table1(200_000, b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range m {
+				b.ReportMetric(float64(r.Elapsed.Milliseconds()), metricName(r.Config, "_ms"))
+				b.ReportMetric(r.Extra["bytes"]/1e6, metricName(r.Config, "_MB"))
+			}
+		}
+	}
+}
+
+// ----- Ablations (§3/§4 design choices) -----
+
+// Fused BETWEEN kernel vs two comparisons + AND (§3.3).
+func BenchmarkAblationBetween(b *testing.B) {
+	schema := types.NewSchema(types.Field{Name: "d", Type: types.Int32Type})
+	n := 1_000_000
+	var data []*vector.Batch
+	for start := 0; start < n; start += vector.DefaultBatchSize {
+		batch := vector.NewBatch(schema, vector.DefaultBatchSize)
+		for i := start; i < min(start+vector.DefaultBatchSize, n); i++ {
+			batch.AppendRow(int32(i % 1000))
+		}
+		data = append(data, batch)
+	}
+	run := func(b *testing.B, unfused bool) {
+		col := expr.Col(0, "d", types.Int32Type)
+		between := expr.NewBetween(col, expr.Int32Lit(200), expr.Int32Lit(700))
+		between.Unfused = unfused
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tc := exec.NewTaskCtx(nil, 0)
+			filt := exec.NewFilter(exec.NewMemScan(schema, data), between)
+			agg, _ := exec.NewHashAgg(filt, exec.AggComplete, nil, nil,
+				[]expr.AggSpec{{Kind: expr.AggCount, Name: "c"}})
+			if _, err := exec.CollectRows(agg, tc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("fused", func(b *testing.B) { run(b, false) })
+	b.Run("unfused", func(b *testing.B) { run(b, true) })
+}
+
+// Kernel specialization: NULL-free fast path vs forced NULL-checking.
+func BenchmarkAblationNullSpecialization(b *testing.B) {
+	n := vector.DefaultBatchSize
+	a := make([]int64, n)
+	c := make([]int64, n)
+	out := make([]int64, n)
+	nulls := make([]byte, n)
+	for i := range a {
+		a[i] = int64(i)
+		c[i] = int64(i * 2)
+	}
+	b.Run("no-nulls-fast-path", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kernels.AddVV(a, c, out, nil, n)
+		}
+	})
+	b.Run("null-checked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kernels.AddVVNulls(a, c, out, nulls, nil, n)
+		}
+	})
+	sel := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		sel = append(sel, int32(i))
+	}
+	b.Run("position-list-indirection", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kernels.AddVV(a, c, out, sel, n)
+		}
+	})
+}
+
+// Position list vs byte-vector filter representation (§4.1, [42]).
+func BenchmarkAblationFilterRepresentation(b *testing.B) {
+	n := vector.DefaultBatchSize
+	vals := make([]int64, n)
+	out := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i % 100)
+	}
+	for _, selectivity := range []int{2, 20, 90} { // percent passing
+		threshold := int64(selectivity)
+		b.Run(fmt.Sprintf("poslist/sel=%d%%", selectivity), func(b *testing.B) {
+			selBuf := make([]int32, 0, n)
+			for i := 0; i < b.N; i++ {
+				selBuf = kernels.SelCmpVS(kernels.CmpLt, vals, threshold, nil, false, nil, n, selBuf[:0])
+				// Downstream op iterates only survivors.
+				for _, idx := range selBuf {
+					out[idx] = vals[idx] + 1
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("bytevector/sel=%d%%", selectivity), func(b *testing.B) {
+			mask := make([]byte, n)
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < n; j++ {
+					if vals[j] < threshold {
+						mask[j] = 1
+					} else {
+						mask[j] = 0
+					}
+				}
+				// Downstream op must visit every row.
+				for j := 0; j < n; j++ {
+					if mask[j] != 0 {
+						out[j] = vals[j] + 1
+					}
+				}
+			}
+		})
+	}
+}
+
+// Buffer pool on/off: allocation churn per batch (§4.5).
+func BenchmarkAblationBufferPool(b *testing.B) {
+	schema := types.NewSchema(types.Field{Name: "x", Type: types.Int64Type})
+	run := func(b *testing.B, disabled bool) {
+		pool := mem.NewBatchPool(0)
+		pool.Disabled = disabled
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			batch := pool.Get(schema)
+			batch.NumRows = batch.Capacity()
+			pool.Put(batch)
+		}
+	}
+	b.Run("pooled", func(b *testing.B) { run(b, false) })
+	b.Run("unpooled", func(b *testing.B) { run(b, true) })
+}
+
+// Vectorized vs scalar hash table probe (§4.4 memory-level parallelism).
+func BenchmarkAblationProbe(b *testing.B) {
+	// A table large enough to miss cache.
+	const tableSize = 1 << 20
+	keys := vector.New(types.Int64Type, vector.DefaultBatchSize)
+	tbl := buildProbeTable(tableSize)
+	hashes := make([]uint64, vector.DefaultBatchSize)
+	rowIDs := make([]int32, vector.DefaultBatchSize)
+	r := uint64(1)
+	fill := func() {
+		u := make([]uint64, vector.DefaultBatchSize)
+		for i := 0; i < vector.DefaultBatchSize; i++ {
+			r = r*6364136223846793005 + 1442695040888963407
+			keys.I64[i] = int64(r % (2 * tableSize))
+			u[i] = uint64(keys.I64[i])
+		}
+		kernels.HashU64(u, nil, false, nil, vector.DefaultBatchSize, hashes)
+	}
+	b.Run("vectorized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fill()
+			tbl.Find([]*vector.Vector{keys}, hashes, nil, vector.DefaultBatchSize, rowIDs)
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fill()
+			tbl.FindScalar([]*vector.Vector{keys}, hashes, nil, vector.DefaultBatchSize, rowIDs)
+		}
+	})
+}
+
+// buildProbeTable builds a populated hash table for the probe ablation.
+func buildProbeTable(size int) *ht.Table {
+	tbl := ht.New([]types.DataType{types.Int64Type}, 0)
+	batch := vector.New(types.Int64Type, vector.DefaultBatchSize)
+	hashes := make([]uint64, vector.DefaultBatchSize)
+	rowIDs := make([]int32, vector.DefaultBatchSize)
+	inserted := make([]bool, vector.DefaultBatchSize)
+	u := make([]uint64, vector.DefaultBatchSize)
+	for start := 0; start < size; start += vector.DefaultBatchSize {
+		n := min(vector.DefaultBatchSize, size-start)
+		for i := 0; i < n; i++ {
+			batch.I64[i] = int64(start + i)
+			u[i] = uint64(start + i)
+		}
+		kernels.HashU64(u[:n], nil, false, nil, n, hashes)
+		tbl.FindOrInsert([]*vector.Vector{batch}, hashes, nil, n, rowIDs, inserted)
+	}
+	return tbl
+}

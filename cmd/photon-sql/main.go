@@ -1,0 +1,131 @@
+// Command photon-sql is an interactive SQL shell (and one-shot runner) over
+// the Photon engine. It loads the TPC-H sample catalog by default, or opens
+// Delta tables from disk.
+//
+// Usage:
+//
+//	photon-sql                                # REPL over TPC-H SF 0.01
+//	photon-sql -sf 0.1                        # bigger sample data
+//	photon-sql -delta name=path [...]         # register Delta tables
+//	photon-sql -engine dbr -q 'SELECT ...'    # one-shot on the baseline
+//	photon-sql -q 'EXPLAIN SELECT ...'
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"photon"
+	"photon/internal/catalog"
+	"photon/internal/tpch"
+)
+
+var (
+	sfFlag     = flag.Float64("sf", 0.01, "TPC-H scale factor for the sample catalog")
+	engineFlag = flag.String("engine", "photon", "engine: photon | dbr | dbr-interpreted")
+	queryFlag  = flag.String("q", "", "run one query and exit")
+	parFlag    = flag.Int("par", 1, "parallelism (distributed aggregation when > 1)")
+	noTPCH     = flag.Bool("no-sample", false, "skip loading the TPC-H sample catalog")
+)
+
+type deltaList []string
+
+func (d *deltaList) String() string     { return strings.Join(*d, ",") }
+func (d *deltaList) Set(v string) error { *d = append(*d, v); return nil }
+
+func main() {
+	var deltas deltaList
+	flag.Var(&deltas, "delta", "register a Delta table as name=path (repeatable)")
+	flag.Parse()
+
+	cfg := photon.Config{Parallelism: *parFlag}
+	switch *engineFlag {
+	case "photon":
+		cfg.Engine = photon.EnginePhoton
+	case "dbr":
+		cfg.Engine = photon.EngineDBR
+	case "dbr-interpreted":
+		cfg.Engine = photon.EngineDBRInterpreted
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engineFlag)
+		os.Exit(2)
+	}
+	sess := photon.NewSession(cfg)
+
+	if !*noTPCH {
+		fmt.Fprintf(os.Stderr, "loading TPC-H sample catalog (SF=%g)...\n", *sfFlag)
+		cat := tpch.NewGen(*sfFlag).Generate()
+		for _, name := range cat.Names() {
+			t, _ := cat.Lookup(name)
+			mt := t.(*catalog.MemTable)
+			sess.RegisterBatches(name, mt.Sch, mt.Batches)
+		}
+	}
+	for _, spec := range deltas {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bad -delta %q (want name=path)\n", spec)
+			os.Exit(2)
+		}
+		if _, err := sess.OpenDeltaTable(name, path); err != nil {
+			fmt.Fprintf(os.Stderr, "open delta %s: %v\n", spec, err)
+			os.Exit(1)
+		}
+	}
+
+	if *queryFlag != "" {
+		if err := runOne(sess, *queryFlag); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Fprintf(os.Stderr, "photon-sql (engine=%s). Tables: %s\n", *engineFlag, strings.Join(sess.Tables(), ", "))
+	fmt.Fprintln(os.Stderr, `End statements with ';'. Commands: \q quit, EXPLAIN <query>.`)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Fprint(os.Stderr, "photon> ")
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == `\q` {
+			return
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			q := strings.TrimSuffix(strings.TrimSpace(buf.String()), ";")
+			buf.Reset()
+			if q != "" {
+				if err := runOne(sess, q); err != nil {
+					fmt.Fprintln(os.Stderr, "error:", err)
+				}
+			}
+		}
+		fmt.Fprint(os.Stderr, "photon> ")
+	}
+}
+
+func runOne(sess *photon.Session, q string) error {
+	if rest, ok := strings.CutPrefix(strings.TrimSpace(q), "EXPLAIN "); ok {
+		out, err := sess.Explain(rest)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
+	start := time.Now()
+	res, err := sess.SQL(q)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res)
+	fmt.Fprintf(os.Stderr, "(%d rows in %s)\n", len(res.Rows), time.Since(start).Round(time.Millisecond))
+	return nil
+}

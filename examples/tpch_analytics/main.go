@@ -1,0 +1,69 @@
+// TPC-H analytics: run representative benchmark queries on both engines
+// and print the per-query speedups — a miniature of the paper's Fig. 8.
+// Query 1 (decimal-arithmetic-bound) and join/aggregation-heavy queries
+// show the vectorized engine's largest wins (§6.2).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"photon"
+	"photon/internal/catalog"
+	"photon/internal/tpch"
+)
+
+func main() {
+	const sf = 0.01
+	fmt.Printf("generating TPC-H SF=%g...\n", sf)
+	cat := tpch.NewGen(sf).Generate()
+
+	load := func(engine photon.Engine) *photon.Session {
+		sess := photon.NewSession(photon.Config{Engine: engine})
+		for _, name := range cat.Names() {
+			t, _ := cat.Lookup(name)
+			mt := t.(*catalog.MemTable)
+			sess.RegisterBatches(name, mt.Sch, mt.Batches)
+		}
+		return sess
+	}
+	photonSess := load(photon.EnginePhoton)
+	dbrSess := load(photon.EngineDBR)
+
+	run := func(sess *photon.Session, q string) (time.Duration, int, error) {
+		start := time.Now()
+		res, err := sess.SQL(q)
+		if err != nil {
+			return 0, 0, err
+		}
+		return time.Since(start), len(res.Rows), nil
+	}
+
+	fmt.Printf("%-6s %12s %12s %9s %7s\n", "query", "photon", "dbr", "speedup", "rows")
+	for _, q := range []int{1, 3, 5, 6, 9, 12, 18} {
+		text := tpch.Queries[q]
+		pt, rows, err := run(photonSess, text)
+		if err != nil {
+			log.Fatalf("Q%d photon: %v", q, err)
+		}
+		dt, drows, err := run(dbrSess, text)
+		if err != nil {
+			log.Fatalf("Q%d dbr: %v", q, err)
+		}
+		if rows != drows {
+			log.Fatalf("Q%d: engines disagree (%d vs %d rows)", q, rows, drows)
+		}
+		fmt.Printf("Q%-5d %12s %12s %8.2fx %7d\n",
+			q, pt.Round(time.Millisecond), dt.Round(time.Millisecond),
+			float64(dt)/float64(pt), rows)
+	}
+
+	// Show a result for flavor: Q1's pricing summary.
+	res, err := photonSess.SQL(tpch.Queries[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nQ1 pricing summary:")
+	fmt.Print(res)
+}

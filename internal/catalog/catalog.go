@@ -1,0 +1,95 @@
+// Package catalog maps table names to data sources: in-memory tables (for
+// micro-benchmarks, which read from memory to isolate execution costs,
+// §6.1) and Delta tables on disk.
+package catalog
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"photon/internal/storage/delta"
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// Table is a named data source.
+type Table interface {
+	Name() string
+	Schema() *types.Schema
+}
+
+// MemTable is an in-memory table of column batches.
+type MemTable struct {
+	TableName string
+	Sch       *types.Schema
+	Batches   []*vector.Batch
+}
+
+// Name implements Table.
+func (t *MemTable) Name() string { return t.TableName }
+
+// Schema implements Table.
+func (t *MemTable) Schema() *types.Schema { return t.Sch }
+
+// NumRows counts the table's rows.
+func (t *MemTable) NumRows() int64 {
+	var n int64
+	for _, b := range t.Batches {
+		n += int64(b.NumRows)
+	}
+	return n
+}
+
+// DeltaTable is a Delta-backed table pinned to a snapshot.
+type DeltaTable struct {
+	TableName string
+	Tbl       *delta.Table
+	Snap      *delta.Snapshot
+}
+
+// Name implements Table.
+func (t *DeltaTable) Name() string { return t.TableName }
+
+// Schema implements Table.
+func (t *DeltaTable) Schema() *types.Schema { return t.Snap.Schema }
+
+// Catalog is a concurrent name → table map.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]Table
+}
+
+// New creates an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]Table)}
+}
+
+// Register adds or replaces a table.
+func (c *Catalog) Register(t Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[strings.ToLower(t.Name())] = t
+}
+
+// Lookup finds a table by (case-insensitive) name.
+func (c *Catalog) Lookup(name string) (Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: table %q not found", name)
+	}
+	return t, nil
+}
+
+// Names lists registered tables.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+package catalog
+
+import (
+	"testing"
+
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+func TestCatalogRegisterLookup(t *testing.T) {
+	c := New()
+	schema := types.NewSchema(types.Field{Name: "x", Type: types.Int64Type})
+	b := vector.NewBatch(schema, 4)
+	b.AppendRow(int64(1))
+	b.AppendRow(int64(2))
+	c.Register(&MemTable{TableName: "Events", Sch: schema, Batches: []*vector.Batch{b}})
+
+	// Case-insensitive lookup.
+	tbl, err := c.Lookup("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := tbl.(*MemTable)
+	if mt.NumRows() != 2 {
+		t.Errorf("rows = %d", mt.NumRows())
+	}
+	if !mt.Schema().Equal(schema) {
+		t.Error("schema mismatch")
+	}
+	if _, err := c.Lookup("missing"); err == nil {
+		t.Error("missing table accepted")
+	}
+	if names := c.Names(); len(names) != 1 || names[0] != "events" {
+		t.Errorf("names = %v", names)
+	}
+	// Re-registering replaces.
+	c.Register(&MemTable{TableName: "events", Sch: schema})
+	tbl2, _ := c.Lookup("EVENTS")
+	if tbl2.(*MemTable).NumRows() != 0 {
+		t.Error("replacement not effective")
+	}
+}

@@ -1,0 +1,332 @@
+// Package driver runs optimized logical plans on the cluster substrate:
+// the driver node plans stages (§2.2/§2.3), launches parallel map tasks
+// that evaluate scan→filter→join pipelines and partial aggregation per
+// data partition, exchanges partial states through the shuffle layer with
+// adaptive encodings, and finalizes with reduce tasks plus a driver-side
+// tail (HAVING/projection/sort/limit). Stage boundaries are blocking, so
+// per-stage statistics are available for adaptive decisions.
+package driver
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"photon/internal/catalog"
+	"photon/internal/exec"
+	"photon/internal/expr"
+	"photon/internal/mem"
+	"photon/internal/sched"
+	"photon/internal/shuffle"
+	"photon/internal/sql"
+	"photon/internal/sql/catalyst"
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// Options configure a distributed run.
+type Options struct {
+	Parallelism int
+	ShuffleDir  string
+	Mem         *mem.Manager
+	BatchSize   int
+	Config      catalyst.Config
+	// Adaptivity switches (ablation/experiments).
+	DisableCompaction bool
+	DisableAdaptivity bool
+}
+
+// newTaskCtx builds a task context honoring the options.
+func (o *Options) newTaskCtx() *exec.TaskCtx {
+	tc := exec.NewTaskCtx(o.Mem, o.BatchSize)
+	tc.SpillDir = o.ShuffleDir
+	tc.EnableCompaction = !o.DisableCompaction
+	tc.Expr.Adaptive = !o.DisableAdaptivity
+	return tc
+}
+
+// Run executes the plan. Parallelism <= 1 (or plans without a top-level
+// aggregation) run as a single task; otherwise the aggregation splits into
+// the partial/shuffle/final stage pipeline.
+func Run(plan sql.LogicalPlan, opts Options) ([][]any, *types.Schema, error) {
+	if opts.Parallelism <= 1 {
+		return runSingle(plan, opts)
+	}
+	agg, suffix := peelToAggregate(plan)
+	if agg == nil {
+		// No distributable aggregation at the top: single task.
+		return runSingle(plan, opts)
+	}
+	return runAggJob(agg, suffix, opts)
+}
+
+// runSingle executes the whole plan in one task.
+func runSingle(plan sql.LogicalPlan, opts Options) ([][]any, *types.Schema, error) {
+	tc := opts.newTaskCtx()
+	ex, err := catalyst.Build(plan, opts.Config, tc)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := ex.Run(tc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, ex.Schema(), nil
+}
+
+// peelToAggregate walks the suffix chain (Limit/Sort/Project/Filter) to
+// the first Aggregate; returns (aggregate, suffix nodes outermost-first).
+func peelToAggregate(plan sql.LogicalPlan) (*sql.LAggregate, []sql.LogicalPlan) {
+	var suffix []sql.LogicalPlan
+	cur := plan
+	for {
+		switch n := cur.(type) {
+		case *sql.LAggregate:
+			return n, suffix
+		case *sql.LLimit:
+			suffix = append(suffix, n)
+			cur = n.Child
+		case *sql.LSort:
+			suffix = append(suffix, n)
+			cur = n.Child
+		case *sql.LProject:
+			suffix = append(suffix, n)
+			cur = n.Child
+		case *sql.LFilter:
+			suffix = append(suffix, n)
+			cur = n.Child
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// runAggJob is the two-stage aggregation pipeline.
+func runAggJob(agg *sql.LAggregate, suffix []sql.LogicalPlan, opts Options) ([][]any, *types.Schema, error) {
+	par := opts.Parallelism
+	dir := opts.ShuffleDir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "photon-shuffle-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+	if opts.Mem == nil {
+		opts.Mem = mem.NewManager(0)
+	}
+	shuffleID := fmt.Sprintf("agg-%p", agg)
+	nKeys := len(agg.Keys)
+
+	// Stage 1 (map): per-partition pipeline + partial aggregation, shuffle
+	// write hash-partitioned by grouping key.
+	var partialSchema *types.Schema
+	var schemaOnce sync.Once
+	partBytes := make([]int64, par) // per-reduce-partition shuffle volume
+	var partMu sync.Mutex
+
+	mapStage := &sched.Stage{
+		Name:     "map-partial-agg",
+		NumTasks: par,
+		Run: func(taskID int) error {
+			cfg := opts.Config
+			cfg.ScanPartitions = par
+			cfg.ScanPartition = taskID
+			tc := opts.newTaskCtx()
+			tc.SpillDir = dir
+			tc.Expr.SharedVectors = true
+
+			child, err := catalyst.BuildOperator(agg.Child, cfg, tc)
+			if err != nil {
+				return err
+			}
+			partial, err := exec.NewHashAgg(child, exec.AggPartial, agg.Keys, agg.KeyNames, agg.Aggs)
+			if err != nil {
+				return err
+			}
+			schemaOnce.Do(func() { partialSchema = partial.Schema() })
+
+			w, err := shuffle.NewWriter(dir, shuffleID, taskID, par, shuffle.EncoderOptions{Adaptive: true})
+			if err != nil {
+				return err
+			}
+			defer w.Close()
+			keyCols := make([]int, nKeys)
+			for i := range keyCols {
+				keyCols[i] = i
+			}
+			partitioner := shuffle.NewPartitioner(par, keyCols)
+
+			if err := partial.Open(tc); err != nil {
+				return err
+			}
+			defer partial.Close()
+			for {
+				batch, err := partial.Next()
+				if err != nil {
+					return err
+				}
+				if batch == nil {
+					break
+				}
+				if nKeys == 0 {
+					// Keyless: everything reduces in partition 0.
+					if err := w.WritePartition(0, batch); err != nil {
+						return err
+					}
+					continue
+				}
+				saved := batch.Sel
+				for part, sel := range partitioner.Split(batch) {
+					if len(sel) == 0 {
+						continue
+					}
+					batch.Sel = sel
+					if err := w.WritePartition(part, batch); err != nil {
+						batch.Sel = saved
+						return err
+					}
+				}
+				batch.Sel = saved
+			}
+			partMu.Lock()
+			for i, b := range w.PartBytes {
+				partBytes[i] += b
+			}
+			partMu.Unlock()
+			return nil
+		},
+	}
+
+	// Blocking stage boundary: run the map stage first so its runtime
+	// statistics can drive AQE-style partition coalescing (§5.5) — small
+	// shuffle partitions merge into fewer reduce tasks.
+	drv := sched.NewDriver(par)
+	if err := drv.RunJob(mapStage); err != nil {
+		return nil, nil, err
+	}
+	assignments := coalescePartitions(partBytes)
+
+	// Stage 2 (reduce): one task per (possibly coalesced) partition group.
+	results := make([][]*vector.Batch, len(assignments))
+	reduceStage := &sched.Stage{
+		Name:     "reduce-final-agg",
+		NumTasks: len(assignments),
+		Deps:     []*sched.Stage{mapStage},
+		Run: func(taskID int) error {
+			tc := opts.newTaskCtx()
+			tc.SpillDir = dir
+			parts := assignments[taskID]
+			pi := 0
+			var rd *shuffle.Reader
+			src := exec.NewSource("ShuffleRead", partialSchema, func() (exec.SourceFunc, error) {
+				buf := vector.NewBatch(partialSchema, max(opts.BatchSize, vector.DefaultBatchSize))
+				return func() (*vector.Batch, error) {
+					for {
+						if rd == nil {
+							if pi >= len(parts) {
+								return nil, nil
+							}
+							rd = shuffle.NewReader(dir, shuffleID, par, parts[pi], partialSchema)
+							pi++
+						}
+						ok, err := rd.Next(buf)
+						if err != nil {
+							return nil, err
+						}
+						if ok {
+							return buf, nil
+						}
+						rd = nil
+					}
+				}, nil
+			})
+			finalKeys := make([]expr.Expr, nKeys)
+			for i := range finalKeys {
+				f := partialSchema.Field(i)
+				finalKeys[i] = expr.Col(i, f.Name, f.Type)
+			}
+			final, err := exec.NewHashAgg(src, exec.AggFinal, finalKeys, agg.KeyNames, agg.Aggs)
+			if err != nil {
+				return err
+			}
+			batches, err := exec.CollectAll(final, tc)
+			if err != nil {
+				return err
+			}
+			results[taskID] = batches
+			return nil
+		},
+	}
+
+	if err := drv.RunJob(reduceStage); err != nil {
+		return nil, nil, err
+	}
+
+	// Driver tail: rebuild the suffix chain over the merged reduce output.
+	aggSchema := agg.Schema()
+	var all []*vector.Batch
+	for _, bs := range results {
+		all = append(all, bs...)
+	}
+	tail := rebuildSuffix(suffix, &sql.LScan{
+		Table: &catalog.MemTable{TableName: "__agg_result", Sch: aggSchema, Batches: all},
+	})
+	tailOpts := opts
+	tailOpts.Parallelism = 1
+	tailOpts.ShuffleDir = dir
+	return runSingle(tail, tailOpts)
+}
+
+// rebuildSuffix re-parents the peeled suffix chain (outermost-first) onto
+// a new child.
+func rebuildSuffix(suffix []sql.LogicalPlan, child sql.LogicalPlan) sql.LogicalPlan {
+	cur := child
+	for i := len(suffix) - 1; i >= 0; i-- {
+		switch n := suffix[i].(type) {
+		case *sql.LLimit:
+			cur = &sql.LLimit{Child: cur, N: n.N}
+		case *sql.LSort:
+			cur = &sql.LSort{Child: cur, Keys: n.Keys}
+		case *sql.LProject:
+			cur = &sql.LProject{Child: cur, Exprs: n.Exprs, Names: n.Names}
+		case *sql.LFilter:
+			cur = &sql.LFilter{Child: cur, Pred: n.Pred}
+		}
+	}
+	return cur
+}
+
+// coalescePartitions groups shuffle partitions into reduce tasks so each
+// task handles at least targetBytes of input (the AQE partition-coalescing
+// heuristic, §5.5). Partitions stay in order; every partition is assigned
+// exactly once.
+func coalescePartitions(partBytes []int64) [][]int {
+	var total int64
+	for _, b := range partBytes {
+		total += b
+	}
+	// Target: keep all tasks busy, but merge partitions much smaller than
+	// an even share.
+	target := total / int64(len(partBytes))
+	if target < 1 {
+		target = 1
+	}
+	var out [][]int
+	var cur []int
+	var curBytes int64
+	for p, b := range partBytes {
+		cur = append(cur, p)
+		curBytes += b
+		if curBytes >= target {
+			out = append(out, cur)
+			cur = nil
+			curBytes = 0
+		}
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package exec
+
+import (
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// RowIterator is the row-at-a-time interface of the legacy engine side
+// (internal/rowengine). A nil row signals end of input.
+type RowIterator interface {
+	Schema() *types.Schema
+	Open() error
+	NextRow() ([]any, error)
+	Close() error
+}
+
+// AdapterOp is the leaf "adapter" node of a Photon plan (§5.2): it takes
+// data produced by the legacy engine's scan and exposes it to Photon as
+// column batches. In the paper the scan already produces off-heap columnar
+// data, so the adapter passes pointers without copying and the JNI call per
+// batch costs ~a virtual call; here the zero-copy case is a columnar source
+// (ColumnSource), while a true row source pays an explicit pivot, which the
+// §6.3 benchmark quantifies.
+type AdapterOp struct {
+	base
+	rows RowIterator
+	// Calls counts boundary crossings (one per batch, amortized — §6.3).
+	Calls int64
+	out   *vector.Batch
+}
+
+// NewAdapter wraps a legacy row iterator as a Photon operator.
+func NewAdapter(rows RowIterator) *AdapterOp {
+	a := &AdapterOp{rows: rows}
+	a.schema = rows.Schema()
+	a.stats.Name = "Adapter"
+	return a
+}
+
+// Open implements Operator.
+func (a *AdapterOp) Open(tc *TaskCtx) error {
+	a.tc = tc
+	return a.rows.Open()
+}
+
+// Next implements Operator.
+func (a *AdapterOp) Next() (*vector.Batch, error) {
+	var out *vector.Batch
+	err := a.timed(func() error {
+		if a.out == nil {
+			a.out = vector.NewBatch(a.schema, a.tc.Pool.BatchSize())
+		}
+		a.out.Reset()
+		a.Calls++ // one boundary crossing per batch
+		for a.out.NumRows < a.out.Capacity() {
+			row, err := a.rows.NextRow()
+			if err != nil {
+				return err
+			}
+			if row == nil {
+				break
+			}
+			a.out.AppendRow(row...)
+		}
+		if a.out.NumRows == 0 {
+			return nil
+		}
+		out = a.out
+		a.stats.RowsOut.Add(int64(out.NumRows))
+		a.stats.BatchesOut.Add(1)
+		return nil
+	})
+	return out, err
+}
+
+// Close implements Operator.
+func (a *AdapterOp) Close() error { return a.rows.Close() }
+
+// ColumnSource is the zero-copy adapter input: a source that already
+// produces column batches (like Spark's OffHeapColumnVector scan). Wrapping
+// it in a Photon plan costs one pointer-passing call per batch.
+type ColumnSource interface {
+	Schema() *types.Schema
+	NextBatch() (*vector.Batch, error)
+}
+
+// TransitionOp is the top "transition" node of a Photon plan (§5.2): it
+// pivots Photon's columnar output to rows for the legacy row-oriented
+// engine. One such pivot exists even in pure legacy plans (scans produce
+// columnar data), which is why a single transition on top of a Photon plan
+// causes no regression.
+type TransitionOp struct {
+	child Operator
+	tc    *TaskCtx
+	stats OpStats
+
+	cur   *vector.Batch
+	pos   int
+	row   []any
+	Calls int64
+}
+
+// NewTransition wraps a Photon operator as a legacy row iterator.
+func NewTransition(child Operator, tc *TaskCtx) *TransitionOp {
+	return &TransitionOp{child: child, tc: tc}
+}
+
+// Schema implements RowIterator.
+func (t *TransitionOp) Schema() *types.Schema { return t.child.Schema() }
+
+// Open implements RowIterator.
+func (t *TransitionOp) Open() error {
+	t.stats.Name = "Transition"
+	return t.child.Open(t.tc)
+}
+
+// NextRow implements RowIterator: the column-to-row pivot.
+func (t *TransitionOp) NextRow() ([]any, error) {
+	for {
+		if t.cur != nil && t.pos < t.cur.NumActive() {
+			i := t.cur.RowIndex(t.pos)
+			t.pos++
+			if t.row == nil {
+				t.row = make([]any, len(t.cur.Vecs))
+			}
+			for c, v := range t.cur.Vecs {
+				t.row[c] = v.Get(i)
+			}
+			t.stats.RowsOut.Add(1)
+			return t.row, nil
+		}
+		b, err := t.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		t.Calls++ // one boundary crossing per batch
+		t.cur = b
+		t.pos = 0
+	}
+}
+
+// Close implements RowIterator.
+func (t *TransitionOp) Close() error { return t.child.Close() }
+
+// Stats exposes transition metrics.
+func (t *TransitionOp) Stats() *OpStats { return &t.stats }

@@ -1,0 +1,351 @@
+package exec
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"photon/internal/expr"
+	"photon/internal/kernels"
+	"photon/internal/mem"
+	"photon/internal/types"
+)
+
+func intSchema(names ...string) *types.Schema {
+	fields := make([]types.Field, len(names))
+	for i, n := range names {
+		fields[i] = types.Field{Name: n, Type: types.Int64Type, Nullable: true}
+	}
+	return &types.Schema{Fields: fields}
+}
+
+func newTC(t *testing.T) *TaskCtx {
+	t.Helper()
+	tc := NewTaskCtx(nil, 64)
+	tc.SpillDir = t.TempDir()
+	return tc
+}
+
+func sortRows(rows [][]any) {
+	sort.Slice(rows, func(i, j int) bool {
+		return fmt.Sprint(rows[i]) < fmt.Sprint(rows[j])
+	})
+}
+
+func TestScanFilterProject(t *testing.T) {
+	schema := intSchema("a", "b")
+	var rows [][]any
+	for i := 0; i < 200; i++ {
+		rows = append(rows, []any{int64(i), int64(i * 2)})
+	}
+	scan := NewMemScan(schema, BuildBatches(schema, rows, 64))
+	filt := NewFilter(scan, expr.MustCmp(kernels.CmpGe, expr.Col(0, "a", types.Int64Type), expr.Int64Lit(195)))
+	proj := NewProject(filt, []expr.Expr{
+		expr.Col(1, "b", types.Int64Type),
+		expr.MustArith(expr.OpAdd, expr.Col(0, "a", types.Int64Type), expr.Int64Lit(1000)),
+	}, []string{"b", "a1k"})
+
+	got, err := CollectRows(proj, newTC(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	if got[0][0].(int64) != 390 || got[0][1].(int64) != 1195 {
+		t.Errorf("first row = %v", got[0])
+	}
+}
+
+func TestFilterAllOrNothing(t *testing.T) {
+	schema := intSchema("a")
+	rows := [][]any{{int64(1)}, {int64(2)}, {int64(3)}}
+	scan := NewMemScan(schema, BuildBatches(schema, rows, 64))
+	none := NewFilter(scan, expr.MustCmp(kernels.CmpGt, expr.Col(0, "a", types.Int64Type), expr.Int64Lit(99)))
+	got, err := CollectRows(none, newTC(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("expected no rows, got %v", got)
+	}
+	scan2 := NewMemScan(schema, BuildBatches(schema, rows, 64))
+	all := NewFilter(scan2, expr.MustCmp(kernels.CmpGt, expr.Col(0, "a", types.Int64Type), expr.Int64Lit(0)))
+	got, err = CollectRows(all, newTC(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Errorf("expected all rows, got %d", len(got))
+	}
+}
+
+func TestHashAggGrouped(t *testing.T) {
+	schema := intSchema("g", "v")
+	var rows [][]any
+	for i := 0; i < 100; i++ {
+		rows = append(rows, []any{int64(i % 4), int64(i)})
+	}
+	rows = append(rows, []any{nil, int64(1000)}) // NULL group
+	scan := NewMemScan(schema, BuildBatches(schema, rows, 32))
+	agg, err := NewHashAgg(scan, AggComplete,
+		[]expr.Expr{expr.Col(0, "g", types.Int64Type)}, []string{"g"},
+		[]expr.AggSpec{
+			{Kind: expr.AggCount, Name: "cnt"},
+			{Kind: expr.AggSum, Arg: expr.Col(1, "v", types.Int64Type), Name: "s"},
+			{Kind: expr.AggMin, Arg: expr.Col(1, "v", types.Int64Type), Name: "mn"},
+			{Kind: expr.AggMax, Arg: expr.Col(1, "v", types.Int64Type), Name: "mx"},
+			{Kind: expr.AggAvg, Arg: expr.Col(1, "v", types.Int64Type), Name: "av"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CollectRows(agg, newTC(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("groups = %d, want 5", len(got))
+	}
+	byGroup := map[any][]any{}
+	for _, r := range got {
+		byGroup[r[0]] = r
+	}
+	// Group 0: values 0,4,...,96 → count 25, sum 1200, min 0, max 96, avg 48.
+	g0 := byGroup[int64(0)]
+	if g0[1].(int64) != 25 || g0[2].(int64) != 1200 || g0[3].(int64) != 0 || g0[4].(int64) != 96 || g0[5].(float64) != 48 {
+		t.Errorf("group 0 = %v", g0)
+	}
+	gn := byGroup[nil]
+	if gn == nil || gn[1].(int64) != 1 || gn[2].(int64) != 1000 {
+		t.Errorf("NULL group = %v", gn)
+	}
+}
+
+func TestHashAggGlobalAndNullHandling(t *testing.T) {
+	schema := intSchema("v")
+	rows := [][]any{{int64(10)}, {nil}, {int64(20)}, {nil}}
+	scan := NewMemScan(schema, BuildBatches(schema, rows, 64))
+	agg, err := NewHashAgg(scan, AggComplete, nil, nil, []expr.AggSpec{
+		{Kind: expr.AggCount, Name: "cnt_star"},                                      // count(*) counts all rows
+		{Kind: expr.AggCount, Arg: expr.Col(0, "v", types.Int64Type), Name: "cnt_v"}, // skips NULLs
+		{Kind: expr.AggSum, Arg: expr.Col(0, "v", types.Int64Type), Name: "s"},
+		{Kind: expr.AggAvg, Arg: expr.Col(0, "v", types.Int64Type), Name: "a"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CollectRows(agg, newTC(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	r := got[0]
+	if r[0].(int64) != 4 || r[1].(int64) != 2 || r[2].(int64) != 30 || r[3].(float64) != 15 {
+		t.Errorf("global agg = %v", r)
+	}
+}
+
+func TestHashAggSumAllNullIsNull(t *testing.T) {
+	schema := intSchema("v")
+	rows := [][]any{{nil}, {nil}}
+	scan := NewMemScan(schema, BuildBatches(schema, rows, 64))
+	agg, _ := NewHashAgg(scan, AggComplete, nil, nil, []expr.AggSpec{
+		{Kind: expr.AggSum, Arg: expr.Col(0, "v", types.Int64Type), Name: "s"},
+	})
+	got, err := CollectRows(agg, newTC(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0][0] != nil {
+		t.Errorf("sum of all NULLs = %v, want NULL", got[0][0])
+	}
+}
+
+func TestHashAggDecimalSumAvg(t *testing.T) {
+	dt := types.DecimalType(12, 2)
+	schema := types.NewSchema(
+		types.Field{Name: "g", Type: types.Int64Type},
+		types.Field{Name: "d", Type: dt, Nullable: true},
+	)
+	dec := func(s string) types.Decimal128 {
+		d, _ := types.ParseDecimal(s, 2)
+		return d
+	}
+	rows := [][]any{
+		{int64(1), dec("10.50")},
+		{int64(1), dec("0.25")},
+		{int64(2), dec("99.99")},
+	}
+	scan := NewMemScan(schema, BuildBatches(schema, rows, 64))
+	agg, err := NewHashAgg(scan, AggComplete, []expr.Expr{expr.Col(0, "g", types.Int64Type)}, []string{"g"},
+		[]expr.AggSpec{
+			{Kind: expr.AggSum, Arg: expr.Col(1, "d", dt), Name: "s"},
+			{Kind: expr.AggAvg, Arg: expr.Col(1, "d", dt), Name: "a"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CollectRows(agg, newTC(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byG := map[any][]any{}
+	for _, r := range got {
+		byG[r[0]] = r
+	}
+	if s := byG[int64(1)][1].(types.Decimal128); types.FormatDecimal(s, 2) != "10.75" {
+		t.Errorf("sum = %s", types.FormatDecimal(s, 2))
+	}
+	// avg scale = 2+4 = 6: 10.75/2 = 5.375000
+	if a := byG[int64(1)][2].(types.Decimal128); types.FormatDecimal(a, 6) != "5.375000" {
+		t.Errorf("avg = %s", types.FormatDecimal(a, 6))
+	}
+}
+
+func TestHashAggCollectList(t *testing.T) {
+	schema := types.NewSchema(
+		types.Field{Name: "g", Type: types.Int64Type},
+		types.Field{Name: "s", Type: types.StringType, Nullable: true},
+	)
+	rows := [][]any{
+		{int64(1), "a"}, {int64(2), "x"}, {int64(1), "b"}, {int64(1), "c"}, {int64(2), nil},
+	}
+	scan := NewMemScan(schema, BuildBatches(schema, rows, 2))
+	agg, err := NewHashAgg(scan, AggComplete, []expr.Expr{expr.Col(0, "g", types.Int64Type)}, []string{"g"},
+		[]expr.AggSpec{{Kind: expr.AggCollectList, Arg: expr.Col(1, "s", types.StringType), Name: "l"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CollectRows(agg, newTC(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byG := map[any]any{}
+	for _, r := range got {
+		byG[r[0]] = r[1]
+	}
+	if byG[int64(1)] != "[a, b, c]" {
+		t.Errorf("collect_list g1 = %v", byG[int64(1)])
+	}
+	if byG[int64(2)] != "[x]" {
+		t.Errorf("collect_list g2 = %v (NULLs are skipped)", byG[int64(2)])
+	}
+}
+
+func TestHashAggCountDistinct(t *testing.T) {
+	schema := intSchema("g", "v")
+	rows := [][]any{
+		{int64(1), int64(5)}, {int64(1), int64(5)}, {int64(1), int64(6)},
+		{int64(2), int64(7)}, {int64(2), nil},
+	}
+	scan := NewMemScan(schema, BuildBatches(schema, rows, 64))
+	agg, err := NewHashAgg(scan, AggComplete, []expr.Expr{expr.Col(0, "g", types.Int64Type)}, []string{"g"},
+		[]expr.AggSpec{{Kind: expr.AggCount, Arg: expr.Col(1, "v", types.Int64Type), Distinct: true, Name: "cd"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CollectRows(agg, newTC(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byG := map[any]any{}
+	for _, r := range got {
+		byG[r[0]] = r[1]
+	}
+	if byG[int64(1)].(int64) != 2 || byG[int64(2)].(int64) != 1 {
+		t.Errorf("count distinct: %v", byG)
+	}
+}
+
+func TestHashAggPartialFinalEquivalence(t *testing.T) {
+	schema := intSchema("g", "v")
+	var rows [][]any
+	for i := 0; i < 500; i++ {
+		v := any(int64(i))
+		if i%7 == 0 {
+			v = nil
+		}
+		rows = append(rows, []any{int64(i % 13), v})
+	}
+	specs := []expr.AggSpec{
+		{Kind: expr.AggCount, Name: "c"},
+		{Kind: expr.AggSum, Arg: expr.Col(1, "v", types.Int64Type), Name: "s"},
+		{Kind: expr.AggMin, Arg: expr.Col(1, "v", types.Int64Type), Name: "mn"},
+		{Kind: expr.AggMax, Arg: expr.Col(1, "v", types.Int64Type), Name: "mx"},
+		{Kind: expr.AggAvg, Arg: expr.Col(1, "v", types.Int64Type), Name: "av"},
+	}
+	keys := []expr.Expr{expr.Col(0, "g", types.Int64Type)}
+
+	// Complete in one shot.
+	scan1 := NewMemScan(schema, BuildBatches(schema, rows, 64))
+	complete, _ := NewHashAgg(scan1, AggComplete, keys, []string{"g"}, specs)
+	want, err := CollectRows(complete, newTC(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Partial → Final, with partial keys re-referenced by ordinal.
+	scan2 := NewMemScan(schema, BuildBatches(schema, rows, 64))
+	partial, _ := NewHashAgg(scan2, AggPartial, keys, []string{"g"}, specs)
+	finalKeys := []expr.Expr{expr.Col(0, "g", types.Int64Type)}
+	final, err := NewHashAgg(partial, AggFinal, finalKeys, []string{"g"}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CollectRows(final, newTC(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sortRows(want)
+	sortRows(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("partial+final != complete\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestHashAggSpilling(t *testing.T) {
+	schema := intSchema("g", "v")
+	var rows [][]any
+	for i := 0; i < 5000; i++ {
+		rows = append(rows, []any{int64(i % 997), int64(i)})
+	}
+	scan := NewMemScan(schema, BuildBatches(schema, rows, 64))
+	agg, _ := NewHashAgg(scan, AggComplete, []expr.Expr{expr.Col(0, "g", types.Int64Type)}, []string{"g"},
+		[]expr.AggSpec{
+			{Kind: expr.AggCount, Name: "c"},
+			{Kind: expr.AggSum, Arg: expr.Col(1, "v", types.Int64Type), Name: "s"},
+		})
+	tc := NewTaskCtx(mem.NewManager(32<<10), 64) // tiny limit forces spills
+	tc.SpillDir = t.TempDir()
+	got, err := CollectRows(agg, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 997 {
+		t.Fatalf("groups = %d, want 997", len(got))
+	}
+	if agg.Stats().SpillCount.Load() == 0 {
+		t.Error("expected at least one spill under a 32KB limit")
+	}
+	// Verify against unconstrained run.
+	scan2 := NewMemScan(schema, BuildBatches(schema, rows, 64))
+	agg2, _ := NewHashAgg(scan2, AggComplete, []expr.Expr{expr.Col(0, "g", types.Int64Type)}, []string{"g"},
+		[]expr.AggSpec{
+			{Kind: expr.AggCount, Name: "c"},
+			{Kind: expr.AggSum, Arg: expr.Col(1, "v", types.Int64Type), Name: "s"},
+		})
+	want, err := CollectRows(agg2, newTC(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortRows(got)
+	sortRows(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Error("spilled aggregation differs from in-memory aggregation")
+	}
+}

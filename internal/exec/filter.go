@@ -1,0 +1,157 @@
+package exec
+
+import (
+	"photon/internal/expr"
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// FilterOp applies a filtering expression by shrinking each batch's position
+// list (§4.3). Data vectors are untouched; only the selection changes.
+type FilterOp struct {
+	base
+	child Operator
+	pred  expr.Filter
+	sel   []int32
+}
+
+// NewFilter builds a filter over child.
+func NewFilter(child Operator, pred expr.Filter) *FilterOp {
+	f := &FilterOp{child: child, pred: pred}
+	f.schema = child.Schema()
+	f.stats.Name = "Filter(" + pred.String() + ")"
+	return f
+}
+
+// Open implements Operator.
+func (f *FilterOp) Open(tc *TaskCtx) error {
+	f.tc = tc
+	return f.child.Open(tc)
+}
+
+// Next implements Operator.
+func (f *FilterOp) Next() (*vector.Batch, error) {
+	for {
+		b, err := f.child.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		var out *vector.Batch
+		err = f.timed(func() error {
+			f.stats.RowsIn.Add(int64(b.NumActive()))
+			f.sel = f.sel[:0]
+			sel, err := f.pred.EvalSel(f.tc.Expr, b, f.sel)
+			if err != nil {
+				return err
+			}
+			f.sel = sel
+			if len(sel) == 0 {
+				return nil // batch fully filtered; pull the next one
+			}
+			if len(sel) == b.NumRows && b.Sel == nil {
+				// All rows passed: keep the dense fast path.
+				out = b
+			} else {
+				b.SetSel(sel)
+				out = b
+			}
+			f.stats.RowsOut.Add(int64(out.NumActive()))
+			f.stats.BatchesOut.Add(1)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if out != nil {
+			return out, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *FilterOp) Close() error { return f.child.Close() }
+
+// ProjectOp evaluates expressions into a fresh output batch, forwarding the
+// input's position list.
+type ProjectOp struct {
+	base
+	child    Operator
+	exprs    []expr.Expr
+	out      *vector.Batch
+	ownedVec []bool
+}
+
+// NewProject builds a projection. names provides output column names
+// (empty entries fall back to the expression's rendering).
+func NewProject(child Operator, exprs []expr.Expr, names []string) *ProjectOp {
+	p := &ProjectOp{child: child, exprs: exprs}
+	fields := make([]types.Field, len(exprs))
+	for i, e := range exprs {
+		name := ""
+		if i < len(names) {
+			name = names[i]
+		}
+		if name == "" {
+			name = e.String()
+		}
+		fields[i] = types.Field{Name: name, Type: e.Type(), Nullable: true}
+	}
+	p.schema = &types.Schema{Fields: fields}
+	p.stats.Name = "Project"
+	return p
+}
+
+// Open implements Operator.
+func (p *ProjectOp) Open(tc *TaskCtx) error {
+	p.tc = tc
+	return p.child.Open(tc)
+}
+
+// Next implements Operator.
+func (p *ProjectOp) Next() (*vector.Batch, error) {
+	b, err := p.child.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	var out *vector.Batch
+	err = p.timed(func() error {
+		p.stats.RowsIn.Add(int64(b.NumActive()))
+		p.tc.Expr.ResetPerBatch()
+		if p.out == nil {
+			p.out = vector.WrapBatch(p.schema, make([]*vector.Vector, len(p.exprs)), nil, 0)
+			p.out.SetCapacity(p.tc.Pool.BatchSize())
+		} else {
+			// Recycle previous output vectors we own.
+			for i, v := range p.out.Vecs {
+				if v != nil && p.ownedVec[i] {
+					p.tc.Expr.Put(v)
+				}
+			}
+		}
+		if p.ownedVec == nil {
+			p.ownedVec = make([]bool, len(p.exprs))
+		}
+		for i, e := range p.exprs {
+			v, err := e.Eval(p.tc.Expr, b)
+			if err != nil {
+				return err
+			}
+			_, isCol := e.(*expr.ColRef)
+			p.out.Vecs[i] = v
+			p.ownedVec[i] = !isCol
+		}
+		p.out.Sel = b.Sel
+		p.out.NumRows = b.NumRows
+		out = p.out
+		p.stats.RowsOut.Add(int64(out.NumActive()))
+		p.stats.BatchesOut.Add(1)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Close implements Operator.
+func (p *ProjectOp) Close() error { return p.child.Close() }

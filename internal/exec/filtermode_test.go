@@ -1,0 +1,73 @@
+package exec
+
+import (
+	"testing"
+
+	"photon/internal/expr"
+	"photon/internal/kernels"
+	"photon/internal/types"
+)
+
+func TestFilterModeFilteredBuildSide(t *testing.T) {
+	ps := intSchema("k")
+	var prows [][]any
+	for i := 0; i < 100; i++ {
+		prows = append(prows, []any{int64(i % 10)})
+	}
+	bs := intSchema("k", "tag")
+	var brows [][]any
+	for i := 0; i < 10; i++ {
+		brows = append(brows, []any{int64(i), int64(i % 2)})
+	}
+	// Build side filtered to tag=1 (keys 1,3,5,7,9).
+	buildScan := NewMemScan(bs, BuildBatches(bs, brows, 4))
+	filt := NewFilter(buildScan, expr.MustCmp(kernels.CmpEq, expr.Col(1, "tag", types.Int64Type), expr.Int64Lit(1)))
+	probe := NewMemScan(ps, BuildBatches(ps, prows, 16))
+	j, err := NewHashJoin(probe,
+		filt,
+		[]expr.Expr{expr.Col(0, "k", types.Int64Type)},
+		[]expr.Expr{expr.Col(0, "k", types.Int64Type)}, InnerJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := CollectRows(j, newTC(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 50 {
+		t.Fatalf("rows = %d, want 50", len(rows))
+	}
+	for _, r := range rows {
+		if r[0].(int64)%2 != 1 {
+			t.Fatalf("even key passed: %v", r)
+		}
+	}
+}
+
+func TestFilterModeEmptyBuildSide(t *testing.T) {
+	ps := intSchema("k")
+	var prows [][]any
+	for i := 0; i < 100; i++ {
+		prows = append(prows, []any{int64(i % 10)})
+	}
+	bs := intSchema("k", "tag")
+	var brows [][]any
+	for i := 0; i < 10; i++ {
+		brows = append(brows, []any{int64(i), int64(0)})
+	}
+	buildScan := NewMemScan(bs, BuildBatches(bs, brows, 4))
+	// Filter passes nothing.
+	filt := NewFilter(buildScan, expr.MustCmp(kernels.CmpEq, expr.Col(1, "tag", types.Int64Type), expr.Int64Lit(99)))
+	probe := NewMemScan(ps, BuildBatches(ps, prows, 16))
+	j, _ := NewHashJoin(probe, filt,
+		[]expr.Expr{expr.Col(0, "k", types.Int64Type)},
+		[]expr.Expr{expr.Col(0, "k", types.Int64Type)}, InnerJoin)
+	agg, _ := NewHashAgg(j, AggComplete, nil, nil, []expr.AggSpec{{Kind: expr.AggCount, Name: "c"}})
+	rows, err := CollectRows(agg, newTC(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].(int64) != 0 {
+		t.Fatalf("count = %v, want 0", rows[0][0])
+	}
+}

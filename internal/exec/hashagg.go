@@ -1,0 +1,431 @@
+package exec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+
+	"photon/internal/expr"
+	"photon/internal/ht"
+	"photon/internal/kernels"
+	"photon/internal/mem"
+	"photon/internal/serde"
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// AggMode selects which phase of a (possibly distributed) aggregation this
+// operator performs.
+type AggMode uint8
+
+const (
+	// AggComplete consumes raw input and emits final values.
+	AggComplete AggMode = iota
+	// AggPartial consumes raw input and emits partial states (pre-shuffle).
+	AggPartial
+	// AggFinal consumes partial states and emits final values (post-shuffle).
+	AggFinal
+)
+
+// HashAggOp is Photon's vectorized grouping aggregation (§4.4, Fig. 5).
+// Groups are resolved through the vectorized hash table; aggregation states
+// live in fixed-width payload slots updated by per-aggregate batch loops.
+// Variable-size states (collect_list, count distinct) live in operator-side
+// storage with payload indices, their element bytes coalesced into a shared
+// arena across groups rather than allocated per group (the Fig. 5
+// optimization). Memory is acquired reservation-first (§5.3); on pressure
+// the operator spills partial states partitioned by hash and merges
+// partition-at-a-time during finalization.
+type HashAggOp struct {
+	base
+	child    Operator
+	mode     AggMode
+	keyExprs []expr.Expr
+	keyNames []string
+	aggs     []expr.AggSpec
+
+	keyTypes []types.DataType
+	infos    []aggInfo
+	payloadW int
+
+	tbl      *ht.Table
+	lists    []listState
+	listPool mem.Arena
+
+	// Scratch.
+	lanes    laneScratch
+	hashes   []uint64
+	rowIDs   []int32
+	inserted []bool
+	keyVecs  []*vector.Vector
+	keyOwned []bool
+
+	// Spilling.
+	consumer     *mem.FuncConsumer
+	reserved     int64
+	spillFiles   []*os.File
+	spillWriters []*serde.Writer
+	spilled      bool
+	merging      bool
+
+	// Output iteration state.
+	inputDone  bool
+	globalInit bool
+	emitPos    int
+	emitPart   int
+	partTbl    *ht.Table
+	partLists  []listState
+	out        *vector.Batch
+}
+
+// listState holds a variable-size aggregation state: the concatenated
+// elements (each u32-length-prefixed) for collect_list, or the distinct set
+// for count(distinct).
+type listState struct {
+	blob     []byte
+	count    int64
+	distinct map[string]struct{}
+}
+
+// aggInfo is the compiled layout of one aggregate's state.
+type aggInfo struct {
+	spec    expr.AggSpec
+	off     int
+	width   int
+	resType types.DataType
+	argType types.DataType
+	// partialCols is how many output columns the partial form occupies.
+	partialCols int
+}
+
+// NewHashAgg builds a grouping aggregation. keyExprs may be empty (global
+// aggregation). In AggFinal mode the child's schema must be the partial
+// schema produced by an AggPartial operator with the same specs.
+func NewHashAgg(child Operator, mode AggMode, keyExprs []expr.Expr, keyNames []string, aggs []expr.AggSpec) (*HashAggOp, error) {
+	op := &HashAggOp{child: child, mode: mode, keyExprs: keyExprs, keyNames: keyNames, aggs: aggs}
+	op.stats.Name = fmt.Sprintf("HashAgg(%v)", mode)
+	for _, k := range keyExprs {
+		op.keyTypes = append(op.keyTypes, k.Type())
+	}
+	off := 0
+	for _, a := range aggs {
+		info := aggInfo{spec: a, off: off}
+		if a.Arg != nil {
+			info.argType = a.Arg.Type()
+		}
+		rt, err := a.ResultType()
+		if err != nil {
+			return nil, err
+		}
+		info.resType = rt
+		switch {
+		case a.Distinct:
+			if a.Kind != expr.AggCount {
+				return nil, fmt.Errorf("exec: DISTINCT only supported for count")
+			}
+			info.width = 4 // list-state id
+			info.partialCols = 1
+		default:
+			switch a.Kind {
+			case expr.AggCount:
+				info.width = 8
+				info.partialCols = 1
+			case expr.AggSum, expr.AggAvg:
+				switch info.argOrResType().ID {
+				case types.Decimal:
+					info.width = 24
+				default:
+					info.width = 16
+				}
+				info.partialCols = 2
+			case expr.AggMin, expr.AggMax:
+				w := a.Arg.Type().FixedWidth()
+				if w == 0 {
+					w = 8 // heap ref for strings
+				}
+				info.width = 1 + w
+				info.partialCols = 1
+			case expr.AggCollectList:
+				info.width = 4
+				info.partialCols = 1
+			default:
+				return nil, fmt.Errorf("exec: unsupported aggregate %v", a.Kind)
+			}
+		}
+		off += info.width
+		op.infos = append(op.infos, info)
+	}
+	op.payloadW = off
+
+	// Output schema.
+	fields := make([]types.Field, 0, len(keyExprs)+len(aggs))
+	for i, k := range keyExprs {
+		name := ""
+		if i < len(keyNames) {
+			name = keyNames[i]
+		}
+		if name == "" {
+			name = k.String()
+		}
+		fields = append(fields, types.Field{Name: name, Type: k.Type(), Nullable: true})
+	}
+	if mode == AggPartial {
+		for i, info := range op.infos {
+			base := info.spec.Name
+			if base == "" {
+				base = fmt.Sprintf("agg%d", i)
+			}
+			fields = append(fields, op.partialFields(info, base)...)
+		}
+	} else {
+		for i, info := range op.infos {
+			name := info.spec.Name
+			if name == "" {
+				name = fmt.Sprintf("agg%d", i)
+			}
+			fields = append(fields, types.Field{Name: name, Type: info.resType, Nullable: true})
+		}
+	}
+	op.schema = &types.Schema{Fields: fields}
+	return op, nil
+}
+
+// argOrResType returns the type driving the state representation.
+func (in *aggInfo) argOrResType() types.DataType {
+	if in.spec.Arg != nil {
+		return in.spec.Arg.Type()
+	}
+	return in.resType
+}
+
+// sumStateType is the widened type a sum/avg accumulates in.
+func (in *aggInfo) sumStateType() types.DataType {
+	t := in.argOrResType()
+	switch t.ID {
+	case types.Decimal:
+		return types.DecimalType(38, t.Scale)
+	case types.Float64:
+		return types.Float64Type
+	default:
+		return types.Int64Type
+	}
+}
+
+// partialFields lists the partial-state output columns for one aggregate.
+func (op *HashAggOp) partialFields(info aggInfo, base string) []types.Field {
+	switch {
+	case info.spec.Distinct, info.spec.Kind == expr.AggCollectList:
+		return []types.Field{{Name: base + "_blob", Type: types.StringType, Nullable: true}}
+	case info.spec.Kind == expr.AggCount:
+		return []types.Field{{Name: base + "_cnt", Type: types.Int64Type}}
+	case info.spec.Kind == expr.AggSum || info.spec.Kind == expr.AggAvg:
+		return []types.Field{
+			{Name: base + "_sum", Type: op.infoSumType(info), Nullable: true},
+			{Name: base + "_cnt", Type: types.Int64Type},
+		}
+	default: // min/max
+		return []types.Field{{Name: base + "_val", Type: info.spec.Arg.Type(), Nullable: true}}
+	}
+}
+
+// partialSchema is the schema AggPartial emits and AggFinal consumes.
+func (op *HashAggOp) partialSchema() *types.Schema {
+	fields := make([]types.Field, 0)
+	for i, k := range op.keyExprs {
+		name := fmt.Sprintf("k%d", i)
+		fields = append(fields, types.Field{Name: name, Type: k.Type(), Nullable: true})
+	}
+	for i, info := range op.infos {
+		fields = append(fields, op.partialFields(info, fmt.Sprintf("agg%d", i))...)
+	}
+	return &types.Schema{Fields: fields}
+}
+
+// Open implements Operator.
+func (op *HashAggOp) Open(tc *TaskCtx) error {
+	op.tc = tc
+	op.tbl = ht.New(op.keyTypes, op.payloadW)
+	op.consumer = &mem.FuncConsumer{ConsumerName: op.stats.Name, SpillFunc: op.spill}
+	op.listPool = *mem.NewArena(0)
+	op.ensureScratch(tc.Pool.BatchSize())
+	op.keyVecs = make([]*vector.Vector, len(op.keyExprs))
+	op.keyOwned = make([]bool, len(op.keyExprs))
+	op.inputDone = false
+	op.globalInit = false
+	op.spilled = false
+	op.emitPos = 0
+	op.emitPart = 0
+	return op.child.Open(tc)
+}
+
+// ensureScratch sizes the per-batch scratch arrays.
+func (op *HashAggOp) ensureScratch(n int) {
+	if len(op.hashes) < n {
+		op.hashes = make([]uint64, n)
+		op.rowIDs = make([]int32, n)
+		op.inserted = make([]bool, n)
+	}
+}
+
+// spill implements the memory consumer callback: serialize all current
+// groups as partial-state batches, hash-partitioned across P files, and
+// reset the table (§5.3). Disabled while merging a spilled partition.
+func (op *HashAggOp) spill(need int64) (int64, error) {
+	if op.merging || op.tbl.Len() == 0 || op.tc.SpillDir == "" {
+		return 0, nil
+	}
+	const parts = 16
+	if op.spillFiles == nil {
+		op.spillFiles = make([]*os.File, parts)
+		op.spillWriters = make([]*serde.Writer, parts)
+		for i := range op.spillFiles {
+			f, err := op.tc.NewSpillFile(fmt.Sprintf("agg-p%d", i))
+			if err != nil {
+				return 0, err
+			}
+			op.spillFiles[i] = f
+			op.spillWriters[i] = serde.NewWriter(f)
+		}
+	}
+	ps := op.partialSchema()
+	batch := vector.NewBatch(ps, op.tc.Pool.BatchSize())
+	written := int64(0)
+	emit := func(part int) error {
+		if batch.NumRows == 0 {
+			return nil
+		}
+		if err := op.spillWriters[part].WriteBatch(batch); err != nil {
+			return err
+		}
+		written += int64(batch.NumRows)
+		batch.Reset()
+		return nil
+	}
+	// Group rows by partition, flushing per-partition batches.
+	heads := op.tbl.HeadRows()
+	byPart := make([][]int32, parts)
+	for _, row := range heads {
+		p := int(kernels.Mix64(op.rowHashOf(row)) % parts)
+		byPart[p] = append(byPart[p], row)
+	}
+	for p, rows := range byPart {
+		for _, row := range rows {
+			op.writePartialRow(batch, row, op.tbl, op.lists)
+			if batch.NumRows == batch.Capacity() {
+				if err := emit(p); err != nil {
+					return 0, err
+				}
+			}
+		}
+		if err := emit(p); err != nil {
+			return 0, err
+		}
+	}
+	freedBytes := op.reserved
+	op.tc.Mem.Release(op.consumer, op.reserved)
+	op.reserved = 0
+	op.tbl = ht.New(op.keyTypes, op.payloadW)
+	op.lists = op.lists[:0]
+	op.listPool.Reset()
+	op.spilled = true
+	op.stats.SpillCount.Add(1)
+	op.stats.SpillBytes.Add(freedBytes)
+	return freedBytes, nil
+}
+
+// rowHashOf recovers a stable hash for partitioning spilled rows: rehash the
+// first key column from the stored row (all partitions of the same key must
+// agree across spill epochs).
+func (op *HashAggOp) rowHashOf(row int32) uint64 {
+	// Reuse the table-retained hash: it is exactly the original key hash.
+	return op.tbl.RowHashes()[row]
+}
+
+// writePartialRow appends group `row`'s key and partial states to batch.
+func (op *HashAggOp) writePartialRow(batch *vector.Batch, row int32, tbl *ht.Table, lists []listState) {
+	i := batch.NumRows
+	col := 0
+	for c := range op.keyTypes {
+		tbl.ReadKey(row, c, batch.Vecs[col], i)
+		col++
+	}
+	p := tbl.PayloadBytes(row)
+	for _, info := range op.infos {
+		st := p[info.off:]
+		switch {
+		case info.spec.Distinct:
+			id := binary.LittleEndian.Uint32(st)
+			ls := &lists[id]
+			var buf bytes.Buffer
+			for v := range ls.distinct {
+				var l [4]byte
+				binary.LittleEndian.PutUint32(l[:], uint32(len(v)))
+				buf.Write(l[:])
+				buf.WriteString(v)
+			}
+			batch.Vecs[col].Set(i, buf.Bytes())
+			col++
+		case info.spec.Kind == expr.AggCollectList:
+			id := binary.LittleEndian.Uint32(st)
+			batch.Vecs[col].Set(i, append([]byte(nil), lists[id].blob...))
+			col++
+		case info.spec.Kind == expr.AggCount:
+			batch.Vecs[col].Set(i, int64(binary.LittleEndian.Uint64(st)))
+			col++
+		case info.spec.Kind == expr.AggSum || info.spec.Kind == expr.AggAvg:
+			sumT := op.infoSumType(info)
+			cnt := int64(binary.LittleEndian.Uint64(st[info.width-8:]))
+			if cnt == 0 {
+				batch.Vecs[col].Set(i, nil)
+			} else {
+				switch sumT.ID {
+				case types.Decimal:
+					batch.Vecs[col].Set(i, types.Decimal128{
+						Lo: binary.LittleEndian.Uint64(st),
+						Hi: int64(binary.LittleEndian.Uint64(st[8:])),
+					})
+				case types.Float64:
+					batch.Vecs[col].Set(i, math.Float64frombits(binary.LittleEndian.Uint64(st)))
+				default:
+					batch.Vecs[col].Set(i, int64(binary.LittleEndian.Uint64(st)))
+				}
+			}
+			col++
+			batch.Vecs[col].Set(i, cnt)
+			col++
+		default: // min/max
+			if st[0] == 0 {
+				batch.Vecs[col].Set(i, nil)
+			} else {
+				op.decodeMinMax(batch.Vecs[col], i, st[1:], info, tbl)
+			}
+			col++
+		}
+	}
+	batch.NumRows++
+}
+
+// decodeMinMax reads a min/max value slot into v[i].
+func (op *HashAggOp) decodeMinMax(v *vector.Vector, i int, st []byte, info aggInfo, tbl *ht.Table) {
+	switch info.spec.Arg.Type().ID {
+	case types.Bool:
+		v.Set(i, st[0] != 0)
+	case types.Int32, types.Date:
+		v.Set(i, int32(binary.LittleEndian.Uint32(st)))
+	case types.Int64, types.Timestamp:
+		v.Set(i, int64(binary.LittleEndian.Uint64(st)))
+	case types.Float64:
+		v.Set(i, math.Float64frombits(binary.LittleEndian.Uint64(st)))
+	case types.Decimal:
+		v.Set(i, types.Decimal128{
+			Lo: binary.LittleEndian.Uint64(st),
+			Hi: int64(binary.LittleEndian.Uint64(st[8:])),
+		})
+	case types.String:
+		off := binary.LittleEndian.Uint32(st)
+		ln := binary.LittleEndian.Uint32(st[4:])
+		v.Set(i, append([]byte(nil), tbl.HeapBytes(off, ln)...))
+	}
+}

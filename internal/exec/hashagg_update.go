@@ -1,0 +1,909 @@
+package exec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"photon/internal/expr"
+	"photon/internal/ht"
+	"photon/internal/kernels"
+	"photon/internal/serde"
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// consumeInput drains the child, updating aggregation states batch by batch.
+func (op *HashAggOp) consumeInput() error {
+	for {
+		b, err := op.child.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		op.stats.RowsIn.Add(int64(b.NumActive()))
+		op.tc.Expr.ResetPerBatch()
+		if op.mode == AggFinal {
+			err = op.mergeBatch(b, op.tbl, &op.lists, true)
+		} else {
+			err = op.updateBatch(b)
+		}
+		if err != nil {
+			return err
+		}
+		// Reservation phase for the next batch: reserve the table + list
+		// growth since the last reservation; this is where spilling can
+		// trigger (ours or another operator's).
+		if err := op.reserveDelta(); err != nil {
+			return err
+		}
+	}
+}
+
+// reserveDelta tops up the operator's reservation to its current footprint.
+func (op *HashAggOp) reserveDelta() error {
+	want := op.tbl.MemoryUsage() + op.listPool.Footprint() + int64(len(op.lists))*64
+	if want > op.reserved {
+		delta := want - op.reserved
+		if err := op.tc.Mem.Reserve(op.consumer, delta); err != nil {
+			return err
+		}
+		// A recursive self-spill may have zeroed op.reserved and replaced
+		// the table; only count the delta against the *current* epoch.
+		op.reserved += delta
+		op.stats.observePeak(op.reserved)
+	}
+	return nil
+}
+
+// resolveGroups evaluates key expressions, hashes them, and resolves group
+// rows through the vectorized hash table. When there are no keys, the single
+// global group row 0 is used (created on demand).
+func (op *HashAggOp) resolveGroups(b *vector.Batch, tbl *ht.Table) error {
+	n := b.NumRows
+	op.ensureScratch(n)
+	if len(op.keyExprs) == 0 {
+		if tbl.NumRows() == 0 {
+			op.ensureGlobalGroup(tbl)
+		}
+		apply(b.Sel, n, func(i int32) { op.rowIDs[i] = 0 })
+		return nil
+	}
+	for c, k := range op.keyExprs {
+		v, err := k.Eval(op.tc.Expr, b)
+		if err != nil {
+			return err
+		}
+		_, isCol := k.(*expr.ColRef)
+		op.keyVecs[c] = v
+		op.keyOwned[c] = !isCol
+	}
+	hashKeyVectorsScratch(op.keyVecs, b.Sel, n, op.hashes, &op.lanes)
+	tbl.FindOrInsert(op.keyVecs, op.hashes, b.Sel, n, op.rowIDs, op.inserted)
+	return nil
+}
+
+// releaseKeys returns pooled key vectors after an update pass.
+func (op *HashAggOp) releaseKeys() {
+	for c, v := range op.keyVecs {
+		if op.keyOwned[c] {
+			op.tc.Expr.Put(v)
+			op.keyVecs[c] = nil
+		}
+	}
+}
+
+// ensureGlobalGroup creates the single group row for keyless aggregation.
+func (op *HashAggOp) ensureGlobalGroup(tbl *ht.Table) {
+	ids := []int32{0}
+	ins := []bool{false}
+	tbl.FindOrInsert(nil, []uint64{0}, nil, 1, ids, ins)
+}
+
+// laneScratch provides per-operator hash-lane scratch without per-batch
+// allocation.
+type laneScratch struct{ buf []uint64 }
+
+func (ls *laneScratch) get(n int) []uint64 {
+	if cap(ls.buf) < n {
+		ls.buf = make([]uint64, n)
+	}
+	return ls.buf[:n]
+}
+
+// hashKeyVectorsScratch runs the hashing kernels over the key columns with
+// caller-owned lane scratch (one dispatch per batch, §4.4 step 1).
+func hashKeyVectorsScratch(keys []*vector.Vector, sel []int32, n int, hashes []uint64, ls *laneScratch) {
+	for c, v := range keys {
+		first := c == 0
+		switch v.Type.ID {
+		case types.String:
+			if first {
+				kernels.HashBytes(v.Str, v.Nulls, v.HasNulls(), sel, n, hashes)
+			} else {
+				kernels.RehashBytes(v.Str, v.Nulls, v.HasNulls(), sel, n, hashes)
+			}
+		default:
+			lanes := u64Lanes(v, sel, n, ls)
+			if first {
+				kernels.HashU64(lanes, v.Nulls, v.HasNulls(), sel, n, hashes)
+			} else {
+				kernels.RehashU64(lanes, v.Nulls, v.HasNulls(), sel, n, hashes)
+			}
+		}
+	}
+}
+
+// u64Lanes widens a fixed-width vector into raw 64-bit lanes for hashing.
+func u64Lanes(v *vector.Vector, sel []int32, n int, ls *laneScratch) []uint64 {
+	out := ls.get(n)
+	switch v.Type.ID {
+	case types.Bool:
+		apply(sel, n, func(i int32) { out[i] = uint64(v.Bool[i]) })
+	case types.Int32, types.Date:
+		apply(sel, n, func(i int32) { out[i] = uint64(uint32(v.I32[i])) })
+	case types.Int64, types.Timestamp:
+		apply(sel, n, func(i int32) { out[i] = uint64(v.I64[i]) })
+	case types.Float64:
+		apply(sel, n, func(i int32) { out[i] = math.Float64bits(v.F64[i]) })
+	case types.Decimal:
+		apply(sel, n, func(i int32) { out[i] = v.Dec[i].Lo ^ uint64(v.Dec[i].Hi)*0x9e3779b97f4a7c15 })
+	}
+	return out
+}
+
+// apply runs body over active rows (local copy of the expr helper).
+func apply(sel []int32, n int, body func(i int32)) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			body(int32(i))
+		}
+		return
+	}
+	for _, i := range sel {
+		body(i)
+	}
+}
+
+// updateBatch processes one raw input batch (Complete/Partial modes).
+func (op *HashAggOp) updateBatch(b *vector.Batch) error {
+	if err := op.resolveGroups(b, op.tbl); err != nil {
+		return err
+	}
+	defer op.releaseKeys()
+	// Initialize states for newly created groups.
+	if len(op.keyExprs) > 0 {
+		apply(b.Sel, b.NumRows, func(i int32) {
+			if op.inserted[i] {
+				op.initState(op.tbl, op.rowIDs[i])
+			}
+		})
+	} else if !op.globalInit {
+		op.initState(op.tbl, 0)
+		op.globalInit = true
+	}
+	// Per-aggregate vectorized update loops.
+	for _, info := range op.infos {
+		if err := op.updateAgg(b, info, op.tbl, &op.lists); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// initState zeroes a new group's payload and allocates list states.
+func (op *HashAggOp) initState(tbl *ht.Table, row int32) {
+	p := tbl.PayloadBytes(row)
+	clear(p)
+	for _, info := range op.infos {
+		if info.spec.Distinct || info.spec.Kind == expr.AggCollectList {
+			id := uint32(len(op.listsFor(tbl)))
+			binary.LittleEndian.PutUint32(p[info.off:], id)
+			if tbl == op.tbl {
+				op.lists = append(op.lists, op.newListState(info))
+			} else {
+				op.partLists = append(op.partLists, op.newListState(info))
+			}
+		}
+	}
+}
+
+func (op *HashAggOp) newListState(info aggInfo) listState {
+	ls := listState{}
+	if info.spec.Distinct {
+		ls.distinct = make(map[string]struct{})
+	}
+	return ls
+}
+
+func (op *HashAggOp) listsFor(tbl *ht.Table) []listState {
+	if tbl == op.tbl {
+		return op.lists
+	}
+	return op.partLists
+}
+
+// updateAgg runs one aggregate's update loop over the batch.
+func (op *HashAggOp) updateAgg(b *vector.Batch, info aggInfo, tbl *ht.Table, lists *[]listState) error {
+	var av *vector.Vector
+	var owned bool
+	if info.spec.Arg != nil {
+		var err error
+		av, owned, err = evalChildExpr(op.tc.Expr, info.spec.Arg, b)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if owned {
+				op.tc.Expr.Put(av)
+			}
+		}()
+	}
+	hn := av != nil && av.HasNulls()
+
+	switch {
+	case info.spec.Distinct:
+		apply(b.Sel, b.NumRows, func(i int32) {
+			if hn && av.Nulls[i] != 0 {
+				return
+			}
+			id := binary.LittleEndian.Uint32(tbl.PayloadBytes(op.rowIDs[i])[info.off:])
+			key := encodeValueKey(av, int(i))
+			(*lists)[id].distinct[key] = struct{}{}
+		})
+	case info.spec.Kind == expr.AggCount:
+		apply(b.Sel, b.NumRows, func(i int32) {
+			if hn && av.Nulls[i] != 0 {
+				return
+			}
+			st := tbl.PayloadBytes(op.rowIDs[i])[info.off:]
+			binary.LittleEndian.PutUint64(st, binary.LittleEndian.Uint64(st)+1)
+		})
+	case info.spec.Kind == expr.AggSum || info.spec.Kind == expr.AggAvg:
+		op.updateSum(b, info, av, hn, tbl, 1)
+	case info.spec.Kind == expr.AggMin:
+		op.updateMinMax(b, info, av, hn, tbl, true)
+	case info.spec.Kind == expr.AggMax:
+		op.updateMinMax(b, info, av, hn, tbl, false)
+	case info.spec.Kind == expr.AggCollectList:
+		arena := &op.listPool
+		apply(b.Sel, b.NumRows, func(i int32) {
+			if hn && av.Nulls[i] != 0 {
+				return
+			}
+			id := binary.LittleEndian.Uint32(tbl.PayloadBytes(op.rowIDs[i])[info.off:])
+			ls := &(*lists)[id]
+			elem := encodeListElem(av, int(i), arena)
+			ls.blob = appendLenPrefixed(ls.blob, elem)
+			ls.count++
+		})
+	}
+	return nil
+}
+
+// updateSum accumulates sums (weight = per-row count contribution, which is
+// 1 for raw input and the partial count when merging).
+func (op *HashAggOp) updateSum(b *vector.Batch, info aggInfo, av *vector.Vector, hn bool, tbl *ht.Table, weight int64) {
+	sumT := op.infoSumType(info)
+	cntOff := info.off + info.width - 8
+	switch sumT.ID {
+	case types.Decimal:
+		apply(b.Sel, b.NumRows, func(i int32) {
+			if hn && av.Nulls[i] != 0 {
+				return
+			}
+			p := tbl.PayloadBytes(op.rowIDs[i])
+			st := p[info.off:]
+			cur := types.Decimal128{
+				Lo: binary.LittleEndian.Uint64(st),
+				Hi: int64(binary.LittleEndian.Uint64(st[8:])),
+			}
+			cur = cur.Add(av.Dec[i])
+			binary.LittleEndian.PutUint64(st, cur.Lo)
+			binary.LittleEndian.PutUint64(st[8:], uint64(cur.Hi))
+			binary.LittleEndian.PutUint64(p[cntOff:], binary.LittleEndian.Uint64(p[cntOff:])+uint64(weight))
+		})
+	case types.Float64:
+		apply(b.Sel, b.NumRows, func(i int32) {
+			if hn && av.Nulls[i] != 0 {
+				return
+			}
+			p := tbl.PayloadBytes(op.rowIDs[i])
+			st := p[info.off:]
+			cur := math.Float64frombits(binary.LittleEndian.Uint64(st))
+			var x float64
+			if av.Type.ID == types.Float64 {
+				x = av.F64[i]
+			} else if av.Type.ID == types.Int32 {
+				x = float64(av.I32[i])
+			} else {
+				x = float64(av.I64[i])
+			}
+			binary.LittleEndian.PutUint64(st, math.Float64bits(cur+x))
+			binary.LittleEndian.PutUint64(p[cntOff:], binary.LittleEndian.Uint64(p[cntOff:])+uint64(weight))
+		})
+	default: // int64 accumulator
+		apply(b.Sel, b.NumRows, func(i int32) {
+			if hn && av.Nulls[i] != 0 {
+				return
+			}
+			p := tbl.PayloadBytes(op.rowIDs[i])
+			st := p[info.off:]
+			var x int64
+			if av.Type.ID == types.Int32 || av.Type.ID == types.Date {
+				x = int64(av.I32[i])
+			} else {
+				x = av.I64[i]
+			}
+			binary.LittleEndian.PutUint64(st, binary.LittleEndian.Uint64(st)+uint64(x))
+			binary.LittleEndian.PutUint64(p[cntOff:], binary.LittleEndian.Uint64(p[cntOff:])+uint64(weight))
+		})
+	}
+}
+
+// infoSumType resolves the accumulator type, honoring AggAvg over ints
+// accumulating in float (Spark semantics: avg(int) is double).
+func (op *HashAggOp) infoSumType(info aggInfo) types.DataType {
+	t := info.argOrResType()
+	if info.spec.Kind == expr.AggAvg && t.ID != types.Decimal {
+		return types.Float64Type
+	}
+	return info.sumStateType()
+}
+
+// updateMinMax folds min/max over the batch.
+func (op *HashAggOp) updateMinMax(b *vector.Batch, info aggInfo, av *vector.Vector, hn bool, tbl *ht.Table, isMin bool) {
+	apply(b.Sel, b.NumRows, func(i int32) {
+		if hn && av.Nulls[i] != 0 {
+			return
+		}
+		st := tbl.PayloadBytes(op.rowIDs[i])[info.off:]
+		if st[0] == 0 {
+			st[0] = 1
+			op.storeMinMax(st[1:], av, int(i), tbl)
+			return
+		}
+		if cmpStateVsValue(st[1:], av, int(i), tbl) > 0 == isMin {
+			op.storeMinMax(st[1:], av, int(i), tbl)
+		}
+	})
+}
+
+// storeMinMax writes av[i] into a min/max slot.
+func (op *HashAggOp) storeMinMax(st []byte, av *vector.Vector, i int, tbl *ht.Table) {
+	switch av.Type.ID {
+	case types.Bool:
+		st[0] = av.Bool[i]
+	case types.Int32, types.Date:
+		binary.LittleEndian.PutUint32(st, uint32(av.I32[i]))
+	case types.Int64, types.Timestamp:
+		binary.LittleEndian.PutUint64(st, uint64(av.I64[i]))
+	case types.Float64:
+		binary.LittleEndian.PutUint64(st, math.Float64bits(av.F64[i]))
+	case types.Decimal:
+		binary.LittleEndian.PutUint64(st, av.Dec[i].Lo)
+		binary.LittleEndian.PutUint64(st[8:], uint64(av.Dec[i].Hi))
+	case types.String:
+		off, ln := tbl.AppendHeap(av.Str[i])
+		binary.LittleEndian.PutUint32(st, off)
+		binary.LittleEndian.PutUint32(st[4:], ln)
+	}
+}
+
+// cmpStateVsValue compares the stored slot against av[i]: -1/0/1.
+func cmpStateVsValue(st []byte, av *vector.Vector, i int, tbl *ht.Table) int {
+	switch av.Type.ID {
+	case types.Bool:
+		return int(st[0]) - int(av.Bool[i])
+	case types.Int32, types.Date:
+		s := int32(binary.LittleEndian.Uint32(st))
+		if s < av.I32[i] {
+			return -1
+		} else if s > av.I32[i] {
+			return 1
+		}
+		return 0
+	case types.Int64, types.Timestamp:
+		s := int64(binary.LittleEndian.Uint64(st))
+		if s < av.I64[i] {
+			return -1
+		} else if s > av.I64[i] {
+			return 1
+		}
+		return 0
+	case types.Float64:
+		s := math.Float64frombits(binary.LittleEndian.Uint64(st))
+		if s < av.F64[i] {
+			return -1
+		} else if s > av.F64[i] {
+			return 1
+		}
+		return 0
+	case types.Decimal:
+		s := types.Decimal128{
+			Lo: binary.LittleEndian.Uint64(st),
+			Hi: int64(binary.LittleEndian.Uint64(st[8:])),
+		}
+		return s.Cmp(av.Dec[i])
+	case types.String:
+		off := binary.LittleEndian.Uint32(st)
+		ln := binary.LittleEndian.Uint32(st[4:])
+		return bytes.Compare(tbl.HeapBytes(off, ln), av.Str[i])
+	}
+	return 0
+}
+
+// encodeValueKey renders av[i] as a map key for DISTINCT sets.
+func encodeValueKey(av *vector.Vector, i int) string {
+	switch av.Type.ID {
+	case types.String:
+		return string(av.Str[i])
+	case types.Int32, types.Date:
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(av.I32[i]))
+		return string(b[:])
+	case types.Float64:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(av.F64[i]))
+		return string(b[:])
+	case types.Decimal:
+		var b [16]byte
+		binary.LittleEndian.PutUint64(b[:], av.Dec[i].Lo)
+		binary.LittleEndian.PutUint64(b[8:], uint64(av.Dec[i].Hi))
+		return string(b[:])
+	default:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(av.I64[i]))
+		return string(b[:])
+	}
+}
+
+// encodeListElem renders av[i] as display bytes for collect_list, copied
+// into the shared arena (allocation coalescing across groups, Fig. 5).
+func encodeListElem(av *vector.Vector, i int, arena interface{ Copy([]byte) []byte }) []byte {
+	switch av.Type.ID {
+	case types.String:
+		return arena.Copy(av.Str[i])
+	default:
+		return arena.Copy([]byte(fmt.Sprintf("%v", av.Get(i))))
+	}
+}
+
+// appendLenPrefixed appends a u32-length-prefixed element to a blob.
+func appendLenPrefixed(blob, elem []byte) []byte {
+	var l [4]byte
+	binary.LittleEndian.PutUint32(l[:], uint32(len(elem)))
+	blob = append(blob, l[:]...)
+	return append(blob, elem...)
+}
+
+// mergeBatch folds a batch of partial states (AggFinal input, or spilled
+// partition rows) into tbl.
+func (op *HashAggOp) mergeBatch(b *vector.Batch, tbl *ht.Table, lists *[]listState, topLevel bool) error {
+	// Key columns are the first len(keyTypes) columns of the partial schema.
+	n := b.NumRows
+	if len(op.keyTypes) > 0 {
+		keys := b.Vecs[:len(op.keyTypes)]
+		hashKeyVectorsScratch(keys, b.Sel, n, op.hashes, &op.lanes)
+		tbl.FindOrInsert(keys, op.hashes, b.Sel, n, op.rowIDs, op.inserted)
+		apply(b.Sel, n, func(i int32) {
+			if op.inserted[i] {
+				op.initStateIn(tbl, op.rowIDs[i], lists)
+			}
+		})
+	} else {
+		if tbl.NumRows() == 0 {
+			op.ensureGlobalGroup(tbl)
+			op.initStateIn(tbl, 0, lists)
+		}
+		apply(b.Sel, n, func(i int32) { op.rowIDs[i] = 0 })
+	}
+
+	col := len(op.keyTypes)
+	for _, info := range op.infos {
+		switch {
+		case info.spec.Distinct:
+			blob := b.Vecs[col]
+			apply(b.Sel, n, func(i int32) {
+				if blob.Nulls[i] != 0 {
+					return
+				}
+				id := binary.LittleEndian.Uint32(tbl.PayloadBytes(op.rowIDs[i])[info.off:])
+				set := (*lists)[id].distinct
+				iterLenPrefixed(blob.Str[i], func(elem []byte) {
+					set[string(elem)] = struct{}{}
+				})
+			})
+			col++
+		case info.spec.Kind == expr.AggCollectList:
+			blob := b.Vecs[col]
+			apply(b.Sel, n, func(i int32) {
+				if blob.Nulls[i] != 0 {
+					return
+				}
+				id := binary.LittleEndian.Uint32(tbl.PayloadBytes(op.rowIDs[i])[info.off:])
+				ls := &(*lists)[id]
+				ls.blob = append(ls.blob, blob.Str[i]...)
+				iterLenPrefixed(blob.Str[i], func([]byte) { ls.count++ })
+			})
+			col++
+		case info.spec.Kind == expr.AggCount:
+			cnt := b.Vecs[col]
+			apply(b.Sel, n, func(i int32) {
+				st := tbl.PayloadBytes(op.rowIDs[i])[info.off:]
+				binary.LittleEndian.PutUint64(st, binary.LittleEndian.Uint64(st)+uint64(cnt.I64[i]))
+			})
+			col++
+		case info.spec.Kind == expr.AggSum || info.spec.Kind == expr.AggAvg:
+			sumV, cntV := b.Vecs[col], b.Vecs[col+1]
+			cntOff := info.off + info.width - 8
+			sumT := op.infoSumType(info)
+			apply(b.Sel, n, func(i int32) {
+				if sumV.Nulls[i] != 0 {
+					return
+				}
+				p := tbl.PayloadBytes(op.rowIDs[i])
+				st := p[info.off:]
+				switch sumT.ID {
+				case types.Decimal:
+					cur := types.Decimal128{
+						Lo: binary.LittleEndian.Uint64(st),
+						Hi: int64(binary.LittleEndian.Uint64(st[8:])),
+					}
+					cur = cur.Add(sumV.Dec[i])
+					binary.LittleEndian.PutUint64(st, cur.Lo)
+					binary.LittleEndian.PutUint64(st[8:], uint64(cur.Hi))
+				case types.Float64:
+					cur := math.Float64frombits(binary.LittleEndian.Uint64(st))
+					binary.LittleEndian.PutUint64(st, math.Float64bits(cur+sumV.F64[i]))
+				default:
+					binary.LittleEndian.PutUint64(st, binary.LittleEndian.Uint64(st)+uint64(sumV.I64[i]))
+				}
+				binary.LittleEndian.PutUint64(p[cntOff:], binary.LittleEndian.Uint64(p[cntOff:])+uint64(cntV.I64[i]))
+			})
+			col += 2
+		default: // min/max merge
+			val := b.Vecs[col]
+			isMin := info.spec.Kind == expr.AggMin
+			apply(b.Sel, n, func(i int32) {
+				if val.Nulls[i] != 0 {
+					return
+				}
+				st := tbl.PayloadBytes(op.rowIDs[i])[info.off:]
+				if st[0] == 0 {
+					st[0] = 1
+					op.storeMinMax(st[1:], val, int(i), tbl)
+					return
+				}
+				if cmpStateVsValue(st[1:], val, int(i), tbl) > 0 == isMin {
+					op.storeMinMax(st[1:], val, int(i), tbl)
+				}
+			})
+			col++
+		}
+	}
+	if topLevel {
+		return op.reserveDelta()
+	}
+	return nil
+}
+
+// initStateIn initializes a group's payload in the given table/lists pair.
+func (op *HashAggOp) initStateIn(tbl *ht.Table, row int32, lists *[]listState) {
+	p := tbl.PayloadBytes(row)
+	clear(p)
+	for _, info := range op.infos {
+		if info.spec.Distinct || info.spec.Kind == expr.AggCollectList {
+			id := uint32(len(*lists))
+			binary.LittleEndian.PutUint32(p[info.off:], id)
+			*lists = append(*lists, op.newListState(info))
+		}
+	}
+}
+
+// iterLenPrefixed walks a u32-length-prefixed element blob.
+func iterLenPrefixed(blob []byte, f func(elem []byte)) {
+	for len(blob) >= 4 {
+		l := binary.LittleEndian.Uint32(blob)
+		blob = blob[4:]
+		f(blob[:l])
+		blob = blob[l:]
+	}
+}
+
+// ----- output -----
+
+// Next implements Operator.
+func (op *HashAggOp) Next() (*vector.Batch, error) {
+	var out *vector.Batch
+	err := op.timed(func() error {
+		if !op.inputDone {
+			if err := op.consumeInput(); err != nil {
+				return err
+			}
+			op.inputDone = true
+			// SQL semantics: a keyless aggregation over empty input still
+			// produces one row (count 0, sums NULL).
+			if len(op.keyExprs) == 0 && op.mode != AggFinal && !op.globalInit && !op.spilled {
+				op.ensureGlobalGroup(op.tbl)
+				op.initState(op.tbl, 0)
+				op.globalInit = true
+			}
+			// Once any state has spilled, the live table may share groups
+			// with the partitions; flush it too so every group is emitted
+			// exactly once via the partition merge.
+			if op.spilled && op.tbl.Len() > 0 {
+				if _, err := op.spill(0); err != nil {
+					return err
+				}
+			}
+			// Flush and reopen spill partitions for reading.
+			for _, w := range op.spillWriters {
+				if err := w.Close(); err != nil {
+					return err
+				}
+			}
+		}
+		var err error
+		out, err = op.emitNext()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if out != nil {
+		op.stats.RowsOut.Add(int64(out.NumRows))
+		op.stats.BatchesOut.Add(1)
+	}
+	return out, nil
+}
+
+// emitNext produces the next output batch: first the in-memory table, then
+// each spilled partition merged one at a time.
+func (op *HashAggOp) emitNext() (*vector.Batch, error) {
+	for {
+		// Phase 1: drain the live table.
+		if op.tbl != nil {
+			heads := op.tbl.HeadRows()
+			if op.emitPos < len(heads) {
+				return op.emitFrom(op.tbl, op.lists, heads)
+			}
+			op.tbl = nil // live table drained
+		}
+		// Phase 2: drain the current merged partition table.
+		if op.partTbl != nil {
+			heads := op.partTbl.HeadRows()
+			if op.emitPos < len(heads) {
+				return op.emitFrom(op.partTbl, op.partLists, heads)
+			}
+			op.partTbl = nil
+		}
+		// Phase 3: merge the next spilled partition.
+		if op.emitPart >= len(op.spillFiles) {
+			return nil, nil
+		}
+		f := op.spillFiles[op.emitPart]
+		op.emitPart++
+		if f == nil {
+			continue
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, err
+		}
+		if err := op.mergePartition(f); err != nil {
+			return nil, err
+		}
+		f.Close()
+		os.Remove(f.Name())
+	}
+}
+
+// mergePartition rebuilds a fresh table from one spill partition.
+func (op *HashAggOp) mergePartition(f *os.File) error {
+	op.merging = true
+	defer func() { op.merging = false }()
+	ps := op.partialSchema()
+	rd := serde.NewReader(f, ps)
+	op.partTbl = ht.New(op.keyTypes, op.payloadW)
+	op.partLists = op.partLists[:0]
+	op.emitPos = 0
+	buf := vector.NewBatch(ps, op.tc.Pool.BatchSize())
+	for {
+		err := rd.ReadBatch(buf)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := op.mergeBatch(buf, op.partTbl, &op.partLists, false); err != nil {
+			return err
+		}
+	}
+}
+
+// emitFrom materializes up to one batch of groups from tbl.
+func (op *HashAggOp) emitFrom(tbl *ht.Table, lists []listState, heads []int32) (*vector.Batch, error) {
+	if op.out == nil {
+		op.out = vector.NewBatch(op.schema, op.tc.Pool.BatchSize())
+	}
+	op.out.Reset()
+	limit := min(op.emitPos+op.out.Capacity(), len(heads))
+	for ; op.emitPos < limit; op.emitPos++ {
+		row := heads[op.emitPos]
+		i := op.out.NumRows
+		col := 0
+		for c := range op.keyTypes {
+			tbl.ReadKey(row, c, op.out.Vecs[col], i)
+			col++
+		}
+		if op.mode == AggPartial {
+			// Reuse partial row writer (it appends keys too), so instead
+			// write states column-wise here to the partial columns.
+			op.writePartialStates(tbl, lists, row, i, col)
+		} else {
+			op.writeFinalStates(tbl, lists, row, i, col)
+		}
+		op.out.NumRows++
+	}
+	return op.out, nil
+}
+
+// writePartialStates fills partial-state columns for one group row.
+func (op *HashAggOp) writePartialStates(tbl *ht.Table, lists []listState, row int32, i, col int) {
+	p := tbl.PayloadBytes(row)
+	for _, info := range op.infos {
+		st := p[info.off:]
+		switch {
+		case info.spec.Distinct:
+			id := binary.LittleEndian.Uint32(st)
+			var buf bytes.Buffer
+			for v := range lists[id].distinct {
+				var l [4]byte
+				binary.LittleEndian.PutUint32(l[:], uint32(len(v)))
+				buf.Write(l[:])
+				buf.WriteString(v)
+			}
+			op.out.Vecs[col].Set(i, buf.Bytes())
+			col++
+		case info.spec.Kind == expr.AggCollectList:
+			id := binary.LittleEndian.Uint32(st)
+			op.out.Vecs[col].Set(i, append([]byte(nil), lists[id].blob...))
+			col++
+		case info.spec.Kind == expr.AggCount:
+			op.out.Vecs[col].Set(i, int64(binary.LittleEndian.Uint64(st)))
+			col++
+		case info.spec.Kind == expr.AggSum || info.spec.Kind == expr.AggAvg:
+			cnt := int64(binary.LittleEndian.Uint64(st[info.width-8:]))
+			if cnt == 0 {
+				op.out.Vecs[col].Set(i, nil)
+			} else {
+				op.readSumInto(op.out.Vecs[col], i, st, info)
+			}
+			col++
+			op.out.Vecs[col].Set(i, cnt)
+			col++
+		default:
+			if st[0] == 0 {
+				op.out.Vecs[col].Set(i, nil)
+			} else {
+				op.decodeMinMax(op.out.Vecs[col], i, st[1:], info, tbl)
+			}
+			col++
+		}
+	}
+}
+
+// readSumInto decodes the accumulated sum into v[i].
+func (op *HashAggOp) readSumInto(v *vector.Vector, i int, st []byte, info aggInfo) {
+	switch op.infoSumType(info).ID {
+	case types.Decimal:
+		v.Set(i, types.Decimal128{
+			Lo: binary.LittleEndian.Uint64(st),
+			Hi: int64(binary.LittleEndian.Uint64(st[8:])),
+		})
+	case types.Float64:
+		v.Set(i, math.Float64frombits(binary.LittleEndian.Uint64(st)))
+	default:
+		v.Set(i, int64(binary.LittleEndian.Uint64(st)))
+	}
+}
+
+// writeFinalStates fills final aggregate values for one group row.
+func (op *HashAggOp) writeFinalStates(tbl *ht.Table, lists []listState, row int32, i, col int) {
+	p := tbl.PayloadBytes(row)
+	for _, info := range op.infos {
+		st := p[info.off:]
+		v := op.out.Vecs[col]
+		switch {
+		case info.spec.Distinct:
+			id := binary.LittleEndian.Uint32(st)
+			v.Set(i, int64(len(lists[id].distinct)))
+		case info.spec.Kind == expr.AggCollectList:
+			id := binary.LittleEndian.Uint32(st)
+			v.Set(i, renderList(lists[id].blob))
+		case info.spec.Kind == expr.AggCount:
+			v.Set(i, int64(binary.LittleEndian.Uint64(st)))
+		case info.spec.Kind == expr.AggSum:
+			cnt := int64(binary.LittleEndian.Uint64(st[info.width-8:]))
+			if cnt == 0 {
+				v.Set(i, nil)
+			} else {
+				op.readSumInto(v, i, st, info)
+			}
+		case info.spec.Kind == expr.AggAvg:
+			cnt := int64(binary.LittleEndian.Uint64(st[info.width-8:]))
+			if cnt == 0 {
+				v.Set(i, nil)
+			} else if op.infoSumType(info).ID == types.Decimal {
+				sum := types.Decimal128{
+					Lo: binary.LittleEndian.Uint64(st),
+					Hi: int64(binary.LittleEndian.Uint64(st[8:])),
+				}
+				// avg scale = result scale; sum has arg scale.
+				argScale := info.spec.Arg.Type().Scale
+				resScale := info.resType.Scale
+				scaled := sum.Rescale(argScale, resScale+1) // extra digit for rounding
+				q, _ := scaled.DivInt64(cnt)
+				v.Set(i, q.Rescale(resScale+1, resScale))
+			} else {
+				sum := math.Float64frombits(binary.LittleEndian.Uint64(st))
+				v.Set(i, sum/float64(cnt))
+			}
+		default: // min/max
+			if st[0] == 0 {
+				v.Set(i, nil)
+			} else {
+				op.decodeMinMax(v, i, st[1:], info, tbl)
+			}
+		}
+		col++
+	}
+}
+
+// renderList formats a collect_list blob as "[a, b, c]".
+func renderList(blob []byte) string {
+	var b bytes.Buffer
+	b.WriteByte('[')
+	first := true
+	iterLenPrefixed(blob, func(elem []byte) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		b.Write(elem)
+	})
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Close implements Operator.
+func (op *HashAggOp) Close() error {
+	op.tc.Mem.ReleaseAll(op.consumer)
+	for _, f := range op.spillFiles {
+		if f != nil {
+			f.Close()
+			os.Remove(f.Name())
+		}
+	}
+	op.spillFiles = nil
+	return op.child.Close()
+}
+
+// globalInit tracks one-time state creation for keyless aggregation.
+// (Declared here to keep the main struct definition readable.)
+//
+// evalChildExpr mirrors expr's internal child-eval helper for operators.
+func evalChildExpr(ctx *expr.Ctx, e expr.Expr, b *vector.Batch) (*vector.Vector, bool, error) {
+	v, err := e.Eval(ctx, b)
+	if err != nil {
+		return nil, false, err
+	}
+	_, isCol := e.(*expr.ColRef)
+	return v, !isCol, nil
+}

@@ -1,0 +1,634 @@
+package exec
+
+import (
+	"io"
+	"os"
+
+	"photon/internal/ht"
+	"photon/internal/serde"
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// Probe phase of the hash join.
+
+// Next implements Operator.
+func (op *HashJoinOp) Next() (*vector.Batch, error) {
+	var out *vector.Batch
+	err := op.timed(func() error {
+		if !op.built {
+			if err := op.build(); err != nil {
+				return err
+			}
+			op.built = true
+			op.uniqueKeys = op.tbl.NumRows() == op.tbl.Len()
+		}
+		var err error
+		out, err = op.probeNext()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if out != nil {
+		op.stats.RowsOut.Add(int64(out.NumRows))
+		op.stats.BatchesOut.Add(1)
+	}
+	return out, nil
+}
+
+// filterMode reports whether this join emits filter-style output: the
+// probe batch's vectors pass through and only the position list shrinks.
+func (op *HashJoinOp) filterMode() bool {
+	switch op.joinType {
+	case LeftSemiJoin, LeftAntiJoin:
+		return true
+	case InnerJoin, LeftOuterJoin:
+		// Grace mode rebuilds per-partition tables whose key uniqueness is
+		// unknown up front; stay on the general chain-walking path there.
+		return op.uniqueKeys && !op.graced
+	}
+	return false
+}
+
+// probeNext produces the next output batch.
+func (op *HashJoinOp) probeNext() (*vector.Batch, error) {
+	if op.filterMode() {
+		return op.probeNextFilterMode()
+	}
+	if op.out == nil {
+		op.out = vector.NewBatch(op.schema, op.tc.Pool.BatchSize())
+	}
+	op.out.Reset()
+	for {
+		// Emit pending matches from the current probe batch.
+		if op.probeBatch != nil {
+			if op.emitMatches() {
+				return op.out, nil // output full; resume here next call
+			}
+			op.probeBatch = nil
+		}
+		// Pull the next probe batch.
+		b, err := op.nextProbeBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			if op.out.NumRows > 0 {
+				return op.out, nil
+			}
+			return nil, nil
+		}
+		if b.NumActive() == 0 {
+			continue
+		}
+		if err := op.startProbe(b); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// probeNextFilterMode drives the filter-style probe with adaptive
+// coalescing compaction (§4.6): sparse probe batches gather-append into an
+// accumulator until it is reasonably full, then probe as one dense batch —
+// downstream operators see few full batches instead of many sparse ones.
+func (op *HashJoinOp) probeNextFilterMode() (*vector.Batch, error) {
+	flushThreshold := 0
+	if op.fmAcc != nil {
+		flushThreshold = op.fmAcc.Capacity() * 3 / 4
+	}
+	for {
+		// A dense batch deferred while the accumulator flushed goes first.
+		b := op.fmStash
+		op.fmStash = nil
+		if b == nil {
+			if op.fmEOF {
+				return nil, nil
+			}
+			var err error
+			b, err = op.nextProbeBatch()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if b == nil {
+			op.fmEOF = true
+			// Flush whatever accumulated.
+			if op.fmAcc != nil && op.fmAcc.NumRows > 0 {
+				out, err := op.flushAcc()
+				if err != nil {
+					return nil, err
+				}
+				if out != nil && out.NumActive() > 0 {
+					return out, nil
+				}
+			}
+			return nil, nil
+		}
+		if b.NumActive() == 0 {
+			continue
+		}
+		if op.tc.EnableCompaction && b.Sparsity() > op.tc.CompactionThreshold {
+			if op.fmAcc == nil {
+				op.fmAcc = vector.NewBatch(op.left.Schema(), b.Capacity())
+				flushThreshold = op.fmAcc.Capacity() * 3 / 4
+			}
+			if op.fmAcc.NumRows+b.NumActive() > op.fmAcc.Capacity() {
+				// No room: flush first, keep b for the next iteration.
+				op.fmStash = b
+				out, err := op.flushAcc()
+				if err != nil {
+					return nil, err
+				}
+				if out != nil && out.NumActive() > 0 {
+					return out, nil
+				}
+				continue
+			}
+			b.GatherAppend(op.fmAcc)
+			op.stats.Compactions.Add(1)
+			if op.fmAcc.NumRows < flushThreshold {
+				continue // keep accumulating sparse batches
+			}
+			out, err := op.flushAcc()
+			if err != nil {
+				return nil, err
+			}
+			if out != nil && out.NumActive() > 0 {
+				return out, nil
+			}
+			continue
+		}
+		// Dense (or compaction off): flush any accumulation first so row
+		// order stays deterministic per input, then probe b directly.
+		if op.fmAcc != nil && op.fmAcc.NumRows > 0 {
+			op.fmStash = b
+			out, err := op.flushAcc()
+			if err != nil {
+				return nil, err
+			}
+			if out != nil && out.NumActive() > 0 {
+				return out, nil
+			}
+			continue
+		}
+		out, err := op.probeFilterMode(b)
+		if err != nil {
+			return nil, err
+		}
+		if out != nil && out.NumActive() > 0 {
+			return out, nil
+		}
+	}
+}
+
+// flushAcc probes the accumulated dense batch and resets it.
+func (op *HashJoinOp) flushAcc() (*vector.Batch, error) {
+	acc := op.fmAcc
+	out, err := op.probeFilterMode(acc)
+	if err != nil {
+		return nil, err
+	}
+	// The output aliases acc's vectors, but the consumer finishes with it
+	// before the next Next() call — by which time refilling is safe.
+	acc.NumRows = 0
+	acc.Sel = nil
+	return out, nil
+}
+
+// probeFilterMode runs one batch through the filter-style probe.
+func (op *HashJoinOp) probeFilterMode(b *vector.Batch) (*vector.Batch, error) {
+	n := b.NumRows
+	op.ensureCap(n)
+	op.tc.Expr.ResetPerBatch()
+	if err := op.evalKeys(op.leftKeys, b); err != nil {
+		return nil, err
+	}
+	op.nullSel = op.nullSel[:0]
+	sel := op.nonNullKeySel(b, &op.nullSel)
+	hashKeyVectorsScratch(op.keyVecs, sel, n, op.hashes, &op.lanes)
+	op.tbl.Find(op.keyVecs, op.hashes, sel, n, op.rowIDs)
+	op.releaseKeys()
+
+	// Partition into matched / unmatched.
+	op.fmSel = op.fmSel[:0]
+	matched := op.fmSel
+	appendMatched := func(i int32) {
+		if op.rowIDs[i] != -1 {
+			matched = append(matched, i)
+		}
+	}
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			appendMatched(int32(i))
+		}
+	} else {
+		for _, i := range sel {
+			appendMatched(i)
+		}
+	}
+	op.fmSel = matched
+
+	switch op.joinType {
+	case LeftSemiJoin:
+		return op.fmWrap(b, matched, false), nil
+	case LeftAntiJoin:
+		// Unmatched probe rows plus NULL-key rows, in sorted order.
+		unmatched := op.scratchSel(n)
+		take := func(i int32) {
+			if op.rowIDs[i] == -1 {
+				unmatched = append(unmatched, i)
+			}
+		}
+		if sel == nil {
+			for i := 0; i < n; i++ {
+				take(int32(i))
+			}
+		} else {
+			for _, i := range sel {
+				take(i)
+			}
+		}
+		merged := mergeSorted(unmatched, op.nullSel)
+		return op.fmWrap(b, merged, false), nil
+	case InnerJoin:
+		op.fillBuildCols(b, matched)
+		return op.fmWrap(b, matched, true), nil
+	case LeftOuterJoin:
+		// All active rows stay; unmatched (and NULL-key) rows take NULL
+		// build columns.
+		op.fillBuildCols(b, matched)
+		for c := range op.buildTypes {
+			v := op.fmBuild[c]
+			markNull := func(i int32) {
+				if op.rowIDs[i] == -1 {
+					v.SetNull(int(i))
+				}
+			}
+			if sel == nil {
+				for i := 0; i < n; i++ {
+					markNull(int32(i))
+				}
+			} else {
+				for _, i := range sel {
+					markNull(i)
+				}
+			}
+			for _, i := range op.nullSel {
+				v.SetNull(int(i))
+			}
+		}
+		outSel := b.Sel
+		return op.fmWrap(b, outSel, true), nil
+	}
+	return nil, nil
+}
+
+// scratchSel returns a reusable, non-nil position-list buffer.
+func (op *HashJoinOp) scratchSel(n int) []int32 {
+	if op.probeSel == nil || cap(op.probeSel) < n {
+		op.probeSel = make([]int32, 0, max(n, 1))
+	}
+	return op.probeSel[:0]
+}
+
+// mergeSorted merges two sorted position lists.
+func mergeSorted(a, b []int32) []int32 {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// fillBuildCols decodes build columns into op.fmBuild at the matched probe
+// row positions.
+func (op *HashJoinOp) fillBuildCols(b *vector.Batch, matched []int32) {
+	if op.fmBuild == nil {
+		op.fmBuild = make([]*vector.Vector, len(op.buildTypes))
+		for c, t := range op.buildTypes {
+			op.fmBuild[c] = vector.New(t, b.Capacity())
+		}
+	}
+	for c, t := range op.buildTypes {
+		v := op.fmBuild[c]
+		// Clear NULL flags on the rows we are about to write.
+		for _, i := range matched {
+			v.Nulls[i] = 0
+		}
+		v.SetHasNulls(false)
+		for _, i := range matched {
+			pay := op.tbl.PayloadBytes(op.rowIDs[i])
+			decodeSlot(pay[op.buildOffs[c]:], t, v, int(i), op.tbl)
+		}
+	}
+}
+
+// fmWrap builds the shared-vector output batch.
+func (op *HashJoinOp) fmWrap(b *vector.Batch, sel []int32, withBuild bool) *vector.Batch {
+	if op.fmOut == nil {
+		op.fmOut = vector.WrapBatch(op.schema, nil, nil, 0)
+		op.fmOut.SetCapacity(b.Capacity())
+	}
+	op.fmOut.Vecs = op.fmOut.Vecs[:0]
+	op.fmOut.Vecs = append(op.fmOut.Vecs, b.Vecs...)
+	if withBuild {
+		op.fmOut.Vecs = append(op.fmOut.Vecs, op.fmBuild...)
+	}
+	op.fmOut.Sel = sel
+	op.fmOut.NumRows = b.NumRows
+	return op.fmOut
+}
+
+// nextProbeBatch pulls from the live left child, or — in grace mode — first
+// partitions the entire left input, then streams partition probe files
+// (joined against per-partition tables).
+func (op *HashJoinOp) nextProbeBatch() (*vector.Batch, error) {
+	if !op.graced {
+		b, err := op.left.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		op.stats.RowsIn.Add(int64(b.NumActive()))
+		return b, nil
+	}
+	// Grace mode: ensure the probe side is fully partitioned.
+	if op.probeFiles == nil {
+		if err := op.partitionProbeSide(); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		if op.partProbeRd != nil {
+			if op.partProbeB == nil {
+				op.partProbeB = vector.NewBatch(op.left.Schema(), op.tc.Pool.BatchSize())
+			}
+			err := op.partProbeRd.ReadBatch(op.partProbeB)
+			if err == nil {
+				return op.partProbeB, nil
+			}
+			if err != io.EOF {
+				return nil, err
+			}
+			op.partProbeRd = nil
+		}
+		// Advance to the next partition: load its build table.
+		if op.curPart >= gracePartitions {
+			return nil, nil
+		}
+		p := op.curPart
+		op.curPart++
+		if err := op.loadPartition(p); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// partitionProbeSide routes every left batch to a probe partition file.
+func (op *HashJoinOp) partitionProbeSide() error {
+	if err := op.openPartFiles(&op.probeFiles, &op.probeWs, "join-probe"); err != nil {
+		return err
+	}
+	for {
+		b, err := op.left.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		op.stats.RowsIn.Add(int64(b.NumActive()))
+		op.tc.Expr.ResetPerBatch()
+		if err := op.evalKeys(op.leftKeys, b); err != nil {
+			return err
+		}
+		// All active rows are written (NULL keys hash via the null seed to
+		// a stable partition and are handled by the per-partition probe).
+		err = op.partitionOut(b, b.Sel, op.probeWs)
+		op.releaseKeys()
+		if err != nil {
+			return err
+		}
+	}
+	for _, w := range op.probeWs {
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadPartition builds the in-memory table for grace partition p and opens
+// its probe stream.
+func (op *HashJoinOp) loadPartition(p int) error {
+	op.merging = true
+	defer func() { op.merging = false }()
+	op.tbl = ht.New(op.keyTypes, op.payloadW)
+	bf := op.buildFiles[p]
+	if _, err := bf.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	rd := newSerdeReader(bf, op.right.Schema())
+	buf := vector.NewBatch(op.right.Schema(), op.tc.Pool.BatchSize())
+	for {
+		err := rd.ReadBatch(buf)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := op.insertBuildBatch(buf, op.tbl); err != nil {
+			return err
+		}
+	}
+	pf := op.probeFiles[p]
+	if _, err := pf.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	op.partProbeRd = newSerdeReader(pf, op.left.Schema())
+	return nil
+}
+
+// startProbe prepares per-batch probe state: adaptive compaction, key
+// evaluation, hashing, and the vectorized Find.
+func (op *HashJoinOp) startProbe(b *vector.Batch) error {
+	// Adaptive batch compaction (§4.6, Fig. 9): sparse batches gather into
+	// a private dense batch before probing so the candidate loads saturate
+	// memory bandwidth and downstream gathers run dense.
+	if op.tc.EnableCompaction && b.Sparsity() > op.tc.CompactionThreshold {
+		if op.compacted == nil {
+			op.compacted = vector.NewBatch(op.left.Schema(), b.Capacity())
+		}
+		b.GatherInto(op.compacted)
+		b = op.compacted
+		op.stats.Compactions.Add(1)
+	}
+	op.probeBatch = b
+	n := b.NumRows
+	op.ensureCap(n)
+	op.tc.Expr.ResetPerBatch()
+	if err := op.evalKeys(op.leftKeys, b); err != nil {
+		return err
+	}
+	op.nullSel = op.nullSel[:0]
+	sel := op.nonNullKeySel(b, &op.nullSel)
+	hashKeyVectorsScratch(op.keyVecs, sel, n, op.hashes, &op.lanes)
+	op.tbl.Find(op.keyVecs, op.hashes, sel, n, op.rowIDs)
+	op.releaseKeys()
+
+	// Initialize chain walk state.
+	op.probeSel = op.probeSel[:0]
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			op.probeSel = append(op.probeSel, int32(i))
+		}
+	} else {
+		op.probeSel = append(op.probeSel, sel...)
+	}
+	for _, i := range op.probeSel {
+		op.chain[i] = op.rowIDs[i]
+		op.matchedAny[i] = false
+	}
+	op.probePos = 0
+	op.nullPos = 0
+	return nil
+}
+
+// emitMatches continues emitting join results for the current probe batch.
+// Returns true when the output batch filled up (call again to continue).
+func (op *HashJoinOp) emitMatches() bool {
+	b := op.probeBatch
+	out := op.out
+	leftW := len(b.Vecs)
+	for op.probePos < len(op.probeSel) {
+		i := op.probeSel[op.probePos]
+		switch op.joinType {
+		case InnerJoin, LeftOuterJoin:
+			for op.chain[i] != -1 {
+				if out.NumRows == out.Capacity() {
+					return true
+				}
+				row := op.chain[i]
+				op.chain[i] = op.tbl.Next(row)
+				op.matchedAny[i] = true
+				o := out.NumRows
+				for c, v := range b.Vecs {
+					out.Vecs[c].CopyRow(o, v, int(i))
+				}
+				pay := op.tbl.PayloadBytes(row)
+				for c, t := range op.buildTypes {
+					decodeSlot(pay[op.buildOffs[c]:], t, out.Vecs[leftW+c], o, op.tbl)
+				}
+				out.NumRows++
+			}
+			if op.joinType == LeftOuterJoin && !op.matchedAny[i] {
+				if out.NumRows == out.Capacity() {
+					return true
+				}
+				o := out.NumRows
+				for c, v := range b.Vecs {
+					out.Vecs[c].CopyRow(o, v, int(i))
+				}
+				for c := range op.buildTypes {
+					out.Vecs[leftW+c].SetNull(o)
+				}
+				out.NumRows++
+				op.matchedAny[i] = true
+			}
+		case LeftSemiJoin:
+			if op.chain[i] != -1 {
+				if out.NumRows == out.Capacity() {
+					return true
+				}
+				o := out.NumRows
+				for c, v := range b.Vecs {
+					out.Vecs[c].CopyRow(o, v, int(i))
+				}
+				out.NumRows++
+			}
+		case LeftAntiJoin:
+			if op.chain[i] == -1 {
+				if out.NumRows == out.Capacity() {
+					return true
+				}
+				o := out.NumRows
+				for c, v := range b.Vecs {
+					out.Vecs[c].CopyRow(o, v, int(i))
+				}
+				out.NumRows++
+			}
+		}
+		op.probePos++
+	}
+	// NULL-key probe rows: never match; anti emits them, outer pads NULLs.
+	for op.nullPos < len(op.nullSel) {
+		i := op.nullSel[op.nullPos]
+		switch op.joinType {
+		case LeftAntiJoin:
+			if out.NumRows == out.Capacity() {
+				return true
+			}
+			o := out.NumRows
+			for c, v := range b.Vecs {
+				out.Vecs[c].CopyRow(o, v, int(i))
+			}
+			out.NumRows++
+		case LeftOuterJoin:
+			if out.NumRows == out.Capacity() {
+				return true
+			}
+			o := out.NumRows
+			for c, v := range b.Vecs {
+				out.Vecs[c].CopyRow(o, v, int(i))
+			}
+			for c := range op.buildTypes {
+				out.Vecs[leftW+c].SetNull(o)
+			}
+			out.NumRows++
+		}
+		op.nullPos++
+	}
+	return false
+}
+
+// Close implements Operator.
+func (op *HashJoinOp) Close() error {
+	op.tc.Mem.ReleaseAll(op.consumer)
+	for _, f := range op.buildFiles {
+		if f != nil {
+			f.Close()
+			os.Remove(f.Name())
+		}
+	}
+	for _, f := range op.probeFiles {
+		if f != nil {
+			f.Close()
+			os.Remove(f.Name())
+		}
+	}
+	op.buildFiles, op.probeFiles = nil, nil
+	if err := op.left.Close(); err != nil {
+		op.right.Close()
+		return err
+	}
+	return op.right.Close()
+}
+
+// newSerdeReader is a narrow indirection so join files avoid importing serde
+// twice under different names.
+func newSerdeReader(f *os.File, schema *types.Schema) *serde.Reader {
+	return serde.NewReader(f, schema)
+}

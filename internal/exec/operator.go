@@ -1,0 +1,163 @@
+// Package exec implements Photon's vectorized query operators (§4, §5.2):
+// pull-based HasNext/GetNext-style nodes exchanging column batches, with
+// per-operator metrics (an explicit design goal of the vectorized model,
+// §3.3), unified-memory-manager integration with reservation/allocation
+// phases and spilling (§5.3), and the adapter/transition nodes that bridge
+// to the row-oriented baseline engine (§5.2).
+package exec
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"photon/internal/expr"
+	"photon/internal/mem"
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// Operator is a vectorized query operator. Next returns the next column
+// batch or (nil, nil) at end of input. A returned batch remains valid only
+// until the next call to Next or Close; consumers that retain data must
+// copy it out.
+type Operator interface {
+	Schema() *types.Schema
+	Open(tc *TaskCtx) error
+	Next() (*vector.Batch, error)
+	Close() error
+	// Stats exposes the operator's live metrics (§5.5: Photon operators
+	// export statistics for adaptive decisions and UI display).
+	Stats() *OpStats
+}
+
+// OpStats carries per-operator metrics. The vectorized model preserves
+// operator boundaries, so each operator maintains its own counters —
+// the paper's primary debugging interface for customer workloads.
+type OpStats struct {
+	Name        string
+	RowsIn      atomic.Int64
+	RowsOut     atomic.Int64
+	BatchesOut  atomic.Int64
+	TimeNanos   atomic.Int64
+	SpillCount  atomic.Int64
+	SpillBytes  atomic.Int64
+	PeakMemory  atomic.Int64
+	Compactions atomic.Int64
+}
+
+// observePeak records a memory high-water mark.
+func (s *OpStats) observePeak(n int64) {
+	for {
+		cur := s.PeakMemory.Load()
+		if n <= cur || s.PeakMemory.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// String renders a one-line metrics summary.
+func (s *OpStats) String() string {
+	return fmt.Sprintf("%s: in=%d out=%d batches=%d time=%s spills=%d peakMem=%d",
+		s.Name, s.RowsIn.Load(), s.RowsOut.Load(), s.BatchesOut.Load(),
+		time.Duration(s.TimeNanos.Load()), s.SpillCount.Load(), s.PeakMemory.Load())
+}
+
+// TaskCtx is the per-task execution context: Photon runs as part of a
+// single-threaded task (§2.2), so nothing here is shared across tasks except
+// the memory Manager.
+type TaskCtx struct {
+	Expr *expr.Ctx
+	Mem  *mem.Manager
+	Pool *mem.BatchPool
+
+	// SpillDir receives spill files; empty disables spilling (reservations
+	// that would spill then fail).
+	SpillDir string
+
+	// EnableCompaction turns on adaptive batch compaction before hash-table
+	// probes (§4.6, Fig. 9); CompactionThreshold is the sparsity above
+	// which a batch is compacted.
+	EnableCompaction    bool
+	CompactionThreshold float64
+
+	spillSeq atomic.Int64
+}
+
+// NewTaskCtx builds a context with the given memory manager (nil = new
+// unlimited manager) and batch size (0 = default).
+func NewTaskCtx(m *mem.Manager, batchSize int) *TaskCtx {
+	if m == nil {
+		m = mem.NewManager(0)
+	}
+	return &TaskCtx{
+		Expr:                expr.NewCtx(batchSize),
+		Mem:                 m,
+		Pool:                mem.NewBatchPool(batchSize),
+		EnableCompaction:    true,
+		CompactionThreshold: 0.5,
+	}
+}
+
+// NewSpillFile creates a uniquely named spill file.
+func (tc *TaskCtx) NewSpillFile(prefix string) (*os.File, error) {
+	if tc.SpillDir == "" {
+		return nil, fmt.Errorf("exec: spilling disabled (no spill directory configured)")
+	}
+	name := fmt.Sprintf("%s-%d.spill", prefix, tc.spillSeq.Add(1))
+	return os.Create(filepath.Join(tc.SpillDir, name))
+}
+
+// base provides common Operator plumbing.
+type base struct {
+	schema *types.Schema
+	stats  OpStats
+	tc     *TaskCtx
+}
+
+func (b *base) Schema() *types.Schema { return b.schema }
+func (b *base) Stats() *OpStats       { return &b.stats }
+
+// timed runs f and accrues wall time into the operator's stats.
+func (b *base) timed(f func() error) error {
+	start := time.Now()
+	err := f()
+	b.stats.TimeNanos.Add(int64(time.Since(start)))
+	return err
+}
+
+// CollectAll drains op into a slice of cloned batches (test/result helper).
+func CollectAll(op Operator, tc *TaskCtx) ([]*vector.Batch, error) {
+	if err := op.Open(tc); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []*vector.Batch
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		if b.NumActive() > 0 {
+			out = append(out, b.Clone())
+		}
+	}
+}
+
+// CollectRows drains op into materialized rows (test/result helper).
+func CollectRows(op Operator, tc *TaskCtx) ([][]any, error) {
+	batches, err := CollectAll(op, tc)
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]any
+	for _, b := range batches {
+		rows = append(rows, b.Rows()...)
+	}
+	return rows, nil
+}

@@ -1,0 +1,99 @@
+package exec
+
+import (
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// MemScan streams an in-memory table (a slice of batches). The
+// micro-benchmarks read from in-memory tables "to isolate the effects of
+// Photon's execution improvements" (§6.1); the storage layer provides
+// file-backed scans.
+type MemScan struct {
+	base
+	batches []*vector.Batch
+	pos     int
+	// Projection maps output columns to source columns; nil = all.
+	Projection []int
+	out        *vector.Batch
+}
+
+// Stored batches are immutable: every emit wraps the stored vectors in a
+// fresh batch header, so downstream selection changes never touch shared
+// state and concurrent tasks may scan the same table (the multi-threaded
+// executor model, §2.2).
+
+// NewMemScan builds a scan over pre-built batches sharing schema.
+func NewMemScan(schema *types.Schema, batches []*vector.Batch) *MemScan {
+	s := &MemScan{batches: batches}
+	s.schema = schema
+	s.stats.Name = "MemScan"
+	return s
+}
+
+// WithProjection restricts the scan to the given source column ordinals.
+func (s *MemScan) WithProjection(cols []int) *MemScan {
+	s.Projection = cols
+	s.schema = s.schema.Project(cols)
+	return s
+}
+
+// Open implements Operator.
+func (s *MemScan) Open(tc *TaskCtx) error {
+	s.tc = tc
+	s.pos = 0
+	return nil
+}
+
+// Next implements Operator. Batches are passed through zero-copy (projected
+// scans share the underlying vectors).
+func (s *MemScan) Next() (*vector.Batch, error) {
+	var out *vector.Batch
+	err := s.timed(func() error {
+		if s.pos >= len(s.batches) {
+			return nil
+		}
+		src := s.batches[s.pos]
+		s.pos++
+		if s.out == nil {
+			s.out = vector.WrapBatch(s.schema, nil, nil, 0)
+			s.out.SetCapacity(src.Capacity())
+		}
+		s.out.Vecs = s.out.Vecs[:0]
+		if s.Projection == nil {
+			s.out.Vecs = append(s.out.Vecs, src.Vecs...)
+		} else {
+			for _, c := range s.Projection {
+				s.out.Vecs = append(s.out.Vecs, src.Vecs[c])
+			}
+		}
+		s.out.Sel = nil
+		s.out.NumRows = src.NumRows
+		out = s.out
+		s.stats.RowsOut.Add(int64(out.NumActive()))
+		s.stats.BatchesOut.Add(1)
+		return nil
+	})
+	return out, err
+}
+
+// Close implements Operator.
+func (s *MemScan) Close() error { return nil }
+
+// BuildBatches materializes rows into batches of the given size (test and
+// data-generator helper).
+func BuildBatches(schema *types.Schema, rows [][]any, batchSize int) []*vector.Batch {
+	if batchSize <= 0 {
+		batchSize = vector.DefaultBatchSize
+	}
+	var out []*vector.Batch
+	for start := 0; start < len(rows); start += batchSize {
+		end := min(start+batchSize, len(rows))
+		b := vector.NewBatch(schema, batchSize)
+		for _, r := range rows[start:end] {
+			b.AppendRow(r...)
+		}
+		out = append(out, b)
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package exec
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"photon/internal/mem"
+	"photon/internal/types"
+)
+
+func TestSortBasic(t *testing.T) {
+	schema := intSchema("a", "b")
+	rows := [][]any{
+		{int64(3), int64(30)},
+		{int64(1), int64(10)},
+		{nil, int64(99)},
+		{int64(2), int64(20)},
+	}
+	scan := NewMemScan(schema, BuildBatches(schema, rows, 64))
+	s := NewSort(scan, []SortKey{{Col: 0}})
+	got, err := CollectRows(s, newTC(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NULLs first ascending.
+	want := [][]any{
+		{nil, int64(99)},
+		{int64(1), int64(10)},
+		{int64(2), int64(20)},
+		{int64(3), int64(30)},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("sort asc: %v", got)
+	}
+	scan2 := NewMemScan(schema, BuildBatches(schema, rows, 64))
+	s2 := NewSort(scan2, []SortKey{{Col: 0, Desc: true}})
+	got, err = CollectRows(s2, newTC(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0][0].(int64) != 3 || got[3][0] != nil {
+		t.Errorf("sort desc: %v", got)
+	}
+}
+
+func TestSortMultiKeyStrings(t *testing.T) {
+	schema := types.NewSchema(
+		types.Field{Name: "s", Type: types.StringType},
+		types.Field{Name: "n", Type: types.Int64Type},
+	)
+	rows := [][]any{
+		{"b", int64(2)}, {"a", int64(9)}, {"b", int64(1)}, {"a", int64(3)},
+	}
+	scan := NewMemScan(schema, BuildBatches(schema, rows, 64))
+	s := NewSort(scan, []SortKey{{Col: 0}, {Col: 1, Desc: true}})
+	got, err := CollectRows(s, newTC(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]any{
+		{"a", int64(9)}, {"a", int64(3)}, {"b", int64(2)}, {"b", int64(1)},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("multi-key sort: %v", got)
+	}
+}
+
+func TestExternalSortMatchesInMemory(t *testing.T) {
+	schema := intSchema("v")
+	rng := rand.New(rand.NewSource(3))
+	var rows [][]any
+	for i := 0; i < 8000; i++ {
+		rows = append(rows, []any{rng.Int63n(10_000)})
+	}
+	run := func(limit int64) ([][]any, *SortOp) {
+		scan := NewMemScan(schema, BuildBatches(schema, rows, 64))
+		s := NewSort(scan, []SortKey{{Col: 0}})
+		tc := NewTaskCtx(mem.NewManager(limit), 64)
+		tc.SpillDir = t.TempDir()
+		out, err := CollectRows(s, tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, s
+	}
+	want, _ := run(0)
+	got, s := run(16 << 10)
+	if s.Stats().SpillCount.Load() == 0 {
+		t.Fatal("expected external sort to spill under 16KB")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("external sort differs from in-memory sort")
+	}
+	// And both are actually sorted permutations of the input.
+	if !sort.SliceIsSorted(got, func(i, j int) bool {
+		return got[i][0].(int64) < got[j][0].(int64)
+	}) {
+		t.Error("output not sorted")
+	}
+	if len(got) != len(rows) {
+		t.Errorf("row count %d != %d", len(got), len(rows))
+	}
+}
+
+func TestTopK(t *testing.T) {
+	schema := intSchema("v")
+	var rows [][]any
+	for i := 0; i < 1000; i++ {
+		rows = append(rows, []any{int64((i * 7919) % 1000)})
+	}
+	scan := NewMemScan(schema, BuildBatches(schema, rows, 64))
+	tk, err := NewTopK(scan, []SortKey{{Col: 0}}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CollectRows(tk, newTC(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]any{{int64(0)}, {int64(1)}, {int64(2)}, {int64(3)}, {int64(4)}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("topk: %v", got)
+	}
+	// Desc order takes the largest.
+	scan2 := NewMemScan(schema, BuildBatches(schema, rows, 64))
+	tk2, _ := NewTopK(scan2, []SortKey{{Col: 0, Desc: true}}, 3)
+	got, err = CollectRows(tk2, newTC(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0][0].(int64) != 999 || got[2][0].(int64) != 997 {
+		t.Errorf("topk desc: %v", got)
+	}
+}
+
+func TestTopKMatchesSortLimit(t *testing.T) {
+	schema := types.NewSchema(
+		types.Field{Name: "s", Type: types.StringType, Nullable: true},
+	)
+	rng := rand.New(rand.NewSource(11))
+	var rows [][]any
+	for i := 0; i < 500; i++ {
+		if rng.Intn(20) == 0 {
+			rows = append(rows, []any{nil})
+		} else {
+			b := make([]byte, 1+rng.Intn(8))
+			for j := range b {
+				b[j] = byte('a' + rng.Intn(26))
+			}
+			rows = append(rows, []any{string(b)})
+		}
+	}
+	keys := []SortKey{{Col: 0}}
+	scan1 := NewMemScan(schema, BuildBatches(schema, rows, 64))
+	tk, _ := NewTopK(scan1, keys, 20)
+	gotTK, err := CollectRows(tk, newTC(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan2 := NewMemScan(schema, BuildBatches(schema, rows, 64))
+	sl := NewLimit(NewSort(scan2, keys), 20)
+	gotSL, err := CollectRows(sl, newTC(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotTK, gotSL) {
+		t.Errorf("TopK != Sort+Limit:\n%v\n%v", gotTK, gotSL)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	schema := intSchema("v")
+	var rows [][]any
+	for i := 0; i < 100; i++ {
+		rows = append(rows, []any{int64(i)})
+	}
+	scan := NewMemScan(schema, BuildBatches(schema, rows, 16))
+	got, err := CollectRows(NewLimit(scan, 37), newTC(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 37 {
+		t.Errorf("limit rows = %d", len(got))
+	}
+	if got[36][0].(int64) != 36 {
+		t.Errorf("last row = %v", got[36])
+	}
+	// Limit larger than input passes everything.
+	scan2 := NewMemScan(schema, BuildBatches(schema, rows, 16))
+	got, err = CollectRows(NewLimit(scan2, 1000), newTC(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Errorf("limit > input: %d", len(got))
+	}
+}
+
+type sliceRows struct {
+	schema *types.Schema
+	rows   [][]any
+	pos    int
+}
+
+func (s *sliceRows) Schema() *types.Schema { return s.schema }
+func (s *sliceRows) Open() error           { s.pos = 0; return nil }
+func (s *sliceRows) Close() error          { return nil }
+func (s *sliceRows) NextRow() ([]any, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+func TestAdapterAndTransitionRoundTrip(t *testing.T) {
+	schema := intSchema("a", "b")
+	var rows [][]any
+	for i := 0; i < 300; i++ {
+		rows = append(rows, []any{int64(i), int64(i * i)})
+	}
+	// rows -> Adapter -> Photon filter -> Transition -> rows
+	tc := newTC(t)
+	ad := NewAdapter(&sliceRows{schema: schema, rows: rows})
+	tr := NewTransition(ad, tc)
+	if err := tr.Open(); err != nil {
+		t.Fatal(err)
+	}
+	var got [][]any
+	for {
+		r, err := tr.NextRow()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r == nil {
+			break
+		}
+		got = append(got, append([]any(nil), r...))
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rows) {
+		t.Errorf("adapter/transition round trip mismatch: %d rows", len(got))
+	}
+	// Boundary crossings are amortized per batch, not per row (§6.3).
+	if ad.Calls > 10 {
+		t.Errorf("adapter boundary calls = %d for %d rows (expected per-batch)", ad.Calls, len(rows))
+	}
+}

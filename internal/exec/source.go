@@ -1,0 +1,62 @@
+package exec
+
+import (
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// SourceFunc produces column batches; nil signals end of input. Used to
+// adapt storage readers (Delta/Parquet files, shuffle partitions) into the
+// operator tree without exec depending on the storage packages.
+type SourceFunc func() (*vector.Batch, error)
+
+// SourceOp wraps a SourceFunc as a leaf operator.
+type SourceOp struct {
+	base
+	open func() (SourceFunc, error)
+	next SourceFunc
+}
+
+// NewSource builds a leaf operator; open is called on Open (and again on
+// re-Open), producing a fresh stream.
+func NewSource(name string, schema *types.Schema, open func() (SourceFunc, error)) *SourceOp {
+	s := &SourceOp{open: open}
+	s.schema = schema
+	s.stats.Name = name
+	return s
+}
+
+// Open implements Operator.
+func (s *SourceOp) Open(tc *TaskCtx) error {
+	s.tc = tc
+	next, err := s.open()
+	if err != nil {
+		return err
+	}
+	s.next = next
+	return nil
+}
+
+// Next implements Operator.
+func (s *SourceOp) Next() (*vector.Batch, error) {
+	var out *vector.Batch
+	err := s.timed(func() error {
+		b, err := s.next()
+		if err != nil {
+			return err
+		}
+		if b != nil {
+			s.stats.RowsOut.Add(int64(b.NumActive()))
+			s.stats.BatchesOut.Add(1)
+		}
+		out = b
+		return nil
+	})
+	return out, err
+}
+
+// Close implements Operator.
+func (s *SourceOp) Close() error {
+	s.next = nil
+	return nil
+}

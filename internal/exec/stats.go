@@ -1,0 +1,50 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Per-operator metrics are the vectorized model's observability story
+// (§3.3): operator boundaries survive execution, so every operator reports
+// rows, batches, time, spills, and peak memory — "the primary interface to
+// debugging performance issues in customer workloads". WalkStats collects
+// the live tree; RenderStats formats it like a query profile.
+
+// statsChild exposes operator children for stats walking without widening
+// the Operator interface.
+type statsChild interface{ children() []Operator }
+
+func (f *FilterOp) children() []Operator   { return []Operator{f.child} }
+func (p *ProjectOp) children() []Operator  { return []Operator{p.child} }
+func (op *HashAggOp) children() []Operator { return []Operator{op.child} }
+func (op *HashJoinOp) children() []Operator {
+	return []Operator{op.left, op.right}
+}
+func (s *SortOp) children() []Operator  { return []Operator{s.child} }
+func (t *TopKOp) children() []Operator  { return []Operator{t.child} }
+func (l *LimitOp) children() []Operator { return []Operator{l.child} }
+
+// WalkStats visits every operator in the tree with its depth.
+func WalkStats(op Operator, visit func(op Operator, depth int)) {
+	var walk func(o Operator, d int)
+	walk = func(o Operator, d int) {
+		visit(o, d)
+		if sc, ok := o.(statsChild); ok {
+			for _, c := range sc.children() {
+				walk(c, d+1)
+			}
+		}
+	}
+	walk(op, 0)
+}
+
+// RenderStats formats the operator tree's live metrics.
+func RenderStats(op Operator) string {
+	var sb strings.Builder
+	WalkStats(op, func(o Operator, depth int) {
+		s := o.Stats()
+		fmt.Fprintf(&sb, "%s%s\n", strings.Repeat("  ", depth), s.String())
+	})
+	return sb.String()
+}

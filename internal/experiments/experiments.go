@@ -1,0 +1,284 @@
+// Package experiments implements the paper's evaluation (§6): one runner
+// per table and figure, each reconstructing the experiment's workload and
+// measuring the same configurations the paper compares. The benchmark
+// harness (bench_test.go) and the photon-bench binary both call these.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"photon/internal/exec"
+	"photon/internal/expr"
+	"photon/internal/rowengine"
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// Measurement is one configuration's result within an experiment.
+type Measurement struct {
+	Config  string
+	Elapsed time.Duration
+	// Extra carries experiment-specific metrics (bytes, rows, fractions).
+	Extra map[string]float64
+}
+
+func timeIt(f func() error) (time.Duration, error) {
+	start := time.Now()
+	err := f()
+	return time.Since(start), err
+}
+
+// ----- Fig. 4: hash join micro-benchmark -----
+//
+// "SELECT count(*) FROM t1, t2 WHERE t1.id = t2.id" over two integer
+// tables; Photon's vectorized hash join vs the baseline's sort-merge join
+// and shuffled hash join (§6.1).
+
+// joinData builds the two integer tables. Keys overlap ~50%.
+func joinData(rows int) (*types.Schema, []*vector.Batch, []*vector.Batch) {
+	schema := types.NewSchema(types.Field{Name: "id", Type: types.Int64Type})
+	mk := func(seed, n int) []*vector.Batch {
+		var out []*vector.Batch
+		r := uint64(seed)
+		for start := 0; start < n; start += vector.DefaultBatchSize {
+			b := vector.NewBatch(schema, vector.DefaultBatchSize)
+			for i := start; i < min(start+vector.DefaultBatchSize, n); i++ {
+				r = r*6364136223846793005 + 1442695040888963407
+				b.AppendRow(int64(r % uint64(2*n)))
+			}
+			out = append(out, b)
+		}
+		return out
+	}
+	return schema, mk(1, rows), mk(2, rows)
+}
+
+// countJoinPhoton runs the Photon hash join + count.
+func countJoinPhoton(schema *types.Schema, left, right []*vector.Batch) (int64, error) {
+	tc := exec.NewTaskCtx(nil, 0)
+	key := []expr.Expr{expr.Col(0, "id", types.Int64Type)}
+	j, err := exec.NewHashJoin(exec.NewMemScan(schema, left), exec.NewMemScan(schema, right), key, key, exec.InnerJoin)
+	if err != nil {
+		return 0, err
+	}
+	agg, err := exec.NewHashAgg(j, exec.AggComplete, nil, nil, []expr.AggSpec{{Kind: expr.AggCount, Name: "c"}})
+	if err != nil {
+		return 0, err
+	}
+	rows, err := exec.CollectRows(agg, tc)
+	if err != nil {
+		return 0, err
+	}
+	return rows[0][0].(int64), nil
+}
+
+// countJoinRow runs the baseline joins + count.
+func countJoinRow(schema *types.Schema, left, right []*vector.Batch, smj bool) (int64, error) {
+	key := []expr.Expr{expr.Col(0, "id", types.Int64Type)}
+	var j rowengine.Operator
+	var err error
+	l := rowengine.NewScan(schema, left)
+	r := rowengine.NewScan(schema, right)
+	if smj {
+		j, err = rowengine.NewSortMergeJoin(l, r, key, key, rowengine.Compiled)
+	} else {
+		j, err = rowengine.NewShuffledHashJoin(l, r, key, key, rowengine.InnerJoin, rowengine.Compiled)
+	}
+	if err != nil {
+		return 0, err
+	}
+	agg, err := rowengine.NewHashAgg(j, nil, nil, []expr.AggSpec{{Kind: expr.AggCount, Name: "c"}}, rowengine.Compiled)
+	if err != nil {
+		return 0, err
+	}
+	rows, err := rowengine.CollectRows(agg)
+	if err != nil {
+		return 0, err
+	}
+	return rows[0][0].(int64), nil
+}
+
+// Fig4 measures the join micro-benchmark at the given per-side row count.
+func Fig4(rows int) ([]Measurement, error) {
+	schema, left, right := joinData(rows)
+	var counts [3]int64
+	photon, err := timeIt(func() error {
+		c, err := countJoinPhoton(schema, left, right)
+		counts[0] = c
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	shj, err := timeIt(func() error {
+		c, err := countJoinRow(schema, left, right, false)
+		counts[1] = c
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	smj, err := timeIt(func() error {
+		c, err := countJoinRow(schema, left, right, true)
+		counts[2] = c
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if counts[0] != counts[1] || counts[0] != counts[2] {
+		return nil, fmt.Errorf("fig4: engines disagree: %v", counts)
+	}
+	return []Measurement{
+		{Config: "Photon (vectorized hash join)", Elapsed: photon},
+		{Config: "DBR shuffled hash join", Elapsed: shj},
+		{Config: "DBR sort-merge join", Elapsed: smj},
+	}, nil
+}
+
+// ----- Fig. 5: collect_list aggregation -----
+//
+// "SELECT collect_list(strcol) GROUP BY intcol" with a varying number of
+// groups. Photon's list states coalesce allocations in a shared arena; the
+// baseline appends to boxed slices (Scala collections analogue).
+
+func collectListData(rows, groups int) (*types.Schema, []*vector.Batch) {
+	schema := types.NewSchema(
+		types.Field{Name: "intcol", Type: types.Int64Type},
+		types.Field{Name: "strcol", Type: types.StringType},
+	)
+	var out []*vector.Batch
+	r := uint64(7)
+	for start := 0; start < rows; start += vector.DefaultBatchSize {
+		b := vector.NewBatch(schema, vector.DefaultBatchSize)
+		for i := start; i < min(start+vector.DefaultBatchSize, rows); i++ {
+			r = r*6364136223846793005 + 1442695040888963407
+			g := int64(r % uint64(groups))
+			b.AppendRow(g, fmt.Sprintf("value-%06d", i%100000))
+		}
+		out = append(out, b)
+	}
+	return schema, out
+}
+
+// Fig5 measures collect_list for one group count.
+func Fig5(rows, groups int) ([]Measurement, error) {
+	schema, data := collectListData(rows, groups)
+	keys := []expr.Expr{expr.Col(0, "intcol", types.Int64Type)}
+	specs := []expr.AggSpec{{Kind: expr.AggCollectList, Arg: expr.Col(1, "strcol", types.StringType), Name: "l"}}
+
+	var nPhoton, nDBR int
+	photon, err := timeIt(func() error {
+		agg, err := exec.NewHashAgg(exec.NewMemScan(schema, data), exec.AggComplete, keys, nil, specs)
+		if err != nil {
+			return err
+		}
+		rows, err := exec.CollectRows(agg, exec.NewTaskCtx(nil, 0))
+		nPhoton = len(rows)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	dbr, err := timeIt(func() error {
+		agg, err := rowengine.NewHashAgg(rowengine.NewScan(schema, data), keys, nil, specs, rowengine.Compiled)
+		if err != nil {
+			return err
+		}
+		rows, err := rowengine.CollectRows(agg)
+		nDBR = len(rows)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if nPhoton != nDBR {
+		return nil, fmt.Errorf("fig5: group counts differ: %d vs %d", nPhoton, nDBR)
+	}
+	return []Measurement{
+		{Config: fmt.Sprintf("Photon groups=%d", groups), Elapsed: photon},
+		{Config: fmt.Sprintf("DBR groups=%d", groups), Elapsed: dbr},
+	}, nil
+}
+
+// ----- Fig. 6: upper() expression with ASCII specialization -----
+
+func upperData(rows int) (*types.Schema, []*vector.Batch) {
+	schema := types.NewSchema(types.Field{Name: "s", Type: types.StringType})
+	var out []*vector.Batch
+	for start := 0; start < rows; start += vector.DefaultBatchSize {
+		b := vector.NewBatch(schema, vector.DefaultBatchSize)
+		for i := start; i < min(start+vector.DefaultBatchSize, rows); i++ {
+			b.AppendRow(fmt.Sprintf("the quick brown fox jumps over lazy dog %06d", i))
+		}
+		out = append(out, b)
+	}
+	return schema, out
+}
+
+// Fig6 measures SELECT upper(s): Photon with the SWAR ASCII fast path,
+// Photon without ASCII specialization (the "ICU" general path), and the
+// row baseline.
+func Fig6(rows int) ([]Measurement, error) {
+	schema, data := upperData(rows)
+	up := expr.Upper(expr.Col(0, "s", types.StringType))
+
+	runPhoton := func(adaptive bool) (time.Duration, error) {
+		return timeIt(func() error {
+			tc := exec.NewTaskCtx(nil, 0)
+			tc.Expr.Adaptive = adaptive
+			proj := exec.NewProject(exec.NewMemScan(schema, data), []expr.Expr{up}, []string{"u"})
+			if err := proj.Open(tc); err != nil {
+				return err
+			}
+			defer proj.Close()
+			for {
+				b, err := proj.Next()
+				if err != nil {
+					return err
+				}
+				if b == nil {
+					return nil
+				}
+			}
+		})
+	}
+	photon, err := runPhoton(true)
+	if err != nil {
+		return nil, err
+	}
+	noAscii, err := runPhoton(false)
+	if err != nil {
+		return nil, err
+	}
+	dbr, err := timeIt(func() error {
+		fn, err := rowengine.CompileExpr(up, rowengine.Compiled)
+		if err != nil {
+			return err
+		}
+		outSchema := types.NewSchema(types.Field{Name: "u", Type: types.StringType})
+		proj := rowengine.NewProject(rowengine.NewScan(schema, data), []rowengine.RowExpr{fn}, outSchema)
+		if err := proj.Open(); err != nil {
+			return err
+		}
+		defer proj.Close()
+		for {
+			r, err := proj.NextRow()
+			if err != nil {
+				return err
+			}
+			if r == nil {
+				return nil
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []Measurement{
+		{Config: "Photon (SIMD/SWAR ASCII check + upper)", Elapsed: photon},
+		{Config: "Photon without ASCII specialization (ICU path)", Elapsed: noAscii},
+		{Config: "DBR (per-row upper)", Elapsed: dbr},
+	}, nil
+}

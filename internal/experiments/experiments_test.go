@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"testing"
+
+	"photon/internal/sql/catalyst"
+)
+
+// Tiny-scale smoke tests: every experiment runner must execute end to end
+// and produce internally consistent results (the benchmarks then run the
+// same code at measurement scale).
+
+func TestFig4Smoke(t *testing.T) {
+	ms, err := Fig4(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("configs = %d", len(ms))
+	}
+	for _, m := range ms {
+		if m.Elapsed <= 0 {
+			t.Errorf("%s: no time measured", m.Config)
+		}
+	}
+}
+
+func TestFig5Smoke(t *testing.T) {
+	ms, err := Fig5(5000, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("configs = %d", len(ms))
+	}
+}
+
+func TestFig6Smoke(t *testing.T) {
+	ms, err := Fig6(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("configs = %d", len(ms))
+	}
+}
+
+func TestFig7Smoke(t *testing.T) {
+	res, err := Fig7(5000, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("configs = %d", len(res))
+	}
+	for _, r := range res {
+		if r.Metrics.BytesWritten == 0 {
+			t.Errorf("%s wrote nothing", r.Config)
+		}
+	}
+}
+
+func TestFig8Smoke(t *testing.T) {
+	times, err := Fig8(0.001, catalyst.EnginePhoton, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 22 {
+		t.Fatalf("queries = %d", len(times))
+	}
+}
+
+func TestSec63Smoke(t *testing.T) {
+	m, err := Sec63(50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Boundary crossings must amortize per batch, not per row.
+	if m.Extra["rows_per_boundary"] < 100 {
+		t.Errorf("rows per boundary call = %v", m.Extra["rows_per_boundary"])
+	}
+}
+
+func TestFig9Smoke(t *testing.T) {
+	ms, err := Fig9(20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("configs = %d", len(ms))
+	}
+}
+
+func TestTable1Smoke(t *testing.T) {
+	ms, err := Table1(20_000, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("configs = %d", len(ms))
+	}
+	// Adaptivity must shrink raw bytes vs the plain columnar scheme.
+	var plain, adapt float64
+	for _, m := range ms {
+		switch m.Config {
+		case "Photon + No Adaptivity":
+			plain = m.Extra["raw_bytes"]
+		case "Photon + Adaptivity":
+			adapt = m.Extra["raw_bytes"]
+		}
+	}
+	if adapt >= plain {
+		t.Errorf("adaptive raw bytes %v >= plain %v", adapt, plain)
+	}
+}

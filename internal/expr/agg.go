@@ -1,0 +1,84 @@
+package expr
+
+import (
+	"fmt"
+
+	"photon/internal/types"
+)
+
+// AggKind identifies an aggregation function. Aggregation evaluation lives
+// in the execution operators (vectorized state update kernels in
+// internal/exec, row-at-a-time updates in internal/rowengine); this package
+// only describes the function.
+type AggKind uint8
+
+// Aggregation functions.
+const (
+	AggCount AggKind = iota // count(expr) or count(*) when Arg == nil
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+	AggCollectList // collect_list(expr): gathers values into an array (Fig. 5)
+)
+
+func (k AggKind) String() string {
+	return [...]string{"count", "sum", "min", "max", "avg", "collect_list"}[k]
+}
+
+// AggSpec describes one aggregate in a grouping aggregation.
+type AggSpec struct {
+	Kind     AggKind
+	Arg      Expr // nil for count(*)
+	Distinct bool
+	Name     string // output column name
+}
+
+// String renders the aggregate call.
+func (a AggSpec) String() string {
+	arg := "*"
+	if a.Arg != nil {
+		arg = a.Arg.String()
+	}
+	if a.Distinct {
+		return fmt.Sprintf("%s(DISTINCT %s)", a.Kind, arg)
+	}
+	return fmt.Sprintf("%s(%s)", a.Kind, arg)
+}
+
+// ResultType derives the aggregate's output type.
+func (a AggSpec) ResultType() (types.DataType, error) {
+	switch a.Kind {
+	case AggCount:
+		return types.Int64Type, nil
+	case AggSum:
+		t := a.Arg.Type()
+		switch t.ID {
+		case types.Int32, types.Int64:
+			return types.Int64Type, nil
+		case types.Float64:
+			return types.Float64Type, nil
+		case types.Decimal:
+			// Sum widens precision but keeps scale (Spark: precision+10).
+			return types.DecimalType(min(t.Precision+10, 38), t.Scale), nil
+		}
+		return types.DataType{}, errType("sum", t)
+	case AggMin, AggMax:
+		return a.Arg.Type(), nil
+	case AggAvg:
+		t := a.Arg.Type()
+		switch t.ID {
+		case types.Int32, types.Int64, types.Float64:
+			return types.Float64Type, nil
+		case types.Decimal:
+			// Avg adds 4 digits of scale (Spark semantics, capped).
+			return types.DecimalType(38, min(t.Scale+4, 12)), nil
+		}
+		return types.DataType{}, errType("avg", t)
+	case AggCollectList:
+		// Arrays are surfaced as a rendered STRING ("[a, b, ...]"); the
+		// engine keeps native list state internally.
+		return types.StringType, nil
+	}
+	return types.DataType{}, fmt.Errorf("expr: unknown aggregate %d", a.Kind)
+}

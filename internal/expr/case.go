@@ -1,0 +1,211 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"photon/internal/kernels"
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// Case implements CASE WHEN ... THEN ... [ELSE ...] END via position-list
+// masking (§4.3): each branch condition is evaluated under the list of rows
+// not yet claimed by earlier branches, and the branch's THEN expression is
+// evaluated with only those rows "turned on", writing into the shared output
+// vector. Rows outside the branch's list are never written — inactive row
+// positions may hold valid data from other branches.
+type Case struct {
+	Branches []CaseBranch
+	Else     Expr // nil = NULL
+	T        types.DataType
+}
+
+// CaseBranch is one WHEN/THEN pair.
+type CaseBranch struct {
+	When Filter
+	Then Expr
+}
+
+// NewCase builds a CASE expression; all THEN/ELSE types must match.
+func NewCase(branches []CaseBranch, els Expr) (*Case, error) {
+	if len(branches) == 0 {
+		return nil, fmt.Errorf("expr: CASE requires at least one WHEN branch")
+	}
+	t := branches[0].Then.Type()
+	for _, br := range branches[1:] {
+		if !br.Then.Type().Equal(t) {
+			return nil, errType("case", t, br.Then.Type())
+		}
+	}
+	if els != nil && !els.Type().Equal(t) {
+		return nil, errType("case", t, els.Type())
+	}
+	return &Case{Branches: branches, Else: els, T: t}, nil
+}
+
+// Type implements Expr.
+func (c *Case) Type() types.DataType { return c.T }
+
+// String implements Expr.
+func (c *Case) String() string {
+	var b strings.Builder
+	b.WriteString("CASE")
+	for _, br := range c.Branches {
+		fmt.Fprintf(&b, " WHEN %s THEN %s", br.When, br.Then)
+	}
+	if c.Else != nil {
+		fmt.Fprintf(&b, " ELSE %s", c.Else)
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+// Eval implements Expr.
+func (c *Case) Eval(ctx *Ctx, b *vector.Batch) (*vector.Vector, error) {
+	out := ctx.Get(c.T)
+	// remaining = rows not yet matched by any branch.
+	remaining := ctx.GetSel()
+	if b.Sel == nil {
+		remaining = kernels.DenseSel(b.NumRows, remaining)
+	} else {
+		remaining = append(remaining, b.Sel...)
+	}
+	savedSel := b.Sel
+	defer func() { b.Sel = savedSel }()
+
+	for _, br := range c.Branches {
+		if len(remaining) == 0 {
+			break
+		}
+		b.Sel = remaining
+		matched, err := br.When.EvalSel(ctx, b, ctx.GetSel())
+		if err != nil {
+			ctx.PutSel(remaining)
+			ctx.Put(out)
+			return nil, err
+		}
+		if len(matched) > 0 {
+			// Evaluate THEN with only the matched rows turned on, then
+			// scatter into the shared output at exactly those positions.
+			b.Sel = matched
+			tv, owned, err := evalChild(ctx, br.Then, b)
+			if err != nil {
+				ctx.PutSel(matched)
+				ctx.PutSel(remaining)
+				ctx.Put(out)
+				return nil, err
+			}
+			for _, i := range matched {
+				out.CopyRow(int(i), tv, int(i))
+			}
+			putOwned(ctx, tv, owned)
+		}
+		next := kernels.DiffSel(remaining, matched, ctx.GetSel())
+		ctx.PutSel(matched)
+		ctx.PutSel(remaining)
+		remaining = next
+	}
+
+	// ELSE (or NULL) for rows no branch claimed.
+	if len(remaining) > 0 {
+		if c.Else == nil {
+			for _, i := range remaining {
+				out.SetNull(int(i))
+			}
+		} else {
+			b.Sel = remaining
+			ev, owned, err := evalChild(ctx, c.Else, b)
+			if err != nil {
+				ctx.PutSel(remaining)
+				ctx.Put(out)
+				return nil, err
+			}
+			for _, i := range remaining {
+				out.CopyRow(int(i), ev, int(i))
+			}
+			putOwned(ctx, ev, owned)
+		}
+	}
+	ctx.PutSel(remaining)
+	return out, nil
+}
+
+// If is CASE WHEN cond THEN a ELSE b END.
+func If(cond Filter, then, els Expr) (*Case, error) {
+	return NewCase([]CaseBranch{{When: cond, Then: then}}, els)
+}
+
+// Coalesce returns the first non-NULL argument.
+type Coalesce struct {
+	Args []Expr
+}
+
+// NewCoalesce builds a COALESCE; argument types must match.
+func NewCoalesce(args ...Expr) (*Coalesce, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("expr: COALESCE requires arguments")
+	}
+	t := args[0].Type()
+	for _, a := range args[1:] {
+		if !a.Type().Equal(t) {
+			return nil, errType("coalesce", t, a.Type())
+		}
+	}
+	return &Coalesce{Args: args}, nil
+}
+
+// Type implements Expr.
+func (c *Coalesce) Type() types.DataType { return c.Args[0].Type() }
+
+// String implements Expr.
+func (c *Coalesce) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return "COALESCE(" + strings.Join(parts, ", ") + ")"
+}
+
+// Eval implements Expr using the same masking strategy as CASE: each
+// argument is evaluated only over rows still NULL so far.
+func (c *Coalesce) Eval(ctx *Ctx, b *vector.Batch) (*vector.Vector, error) {
+	out := ctx.Get(c.Type())
+	remaining := ctx.GetSel()
+	if b.Sel == nil {
+		remaining = kernels.DenseSel(b.NumRows, remaining)
+	} else {
+		remaining = append(remaining, b.Sel...)
+	}
+	savedSel := b.Sel
+	defer func() { b.Sel = savedSel }()
+
+	for _, arg := range c.Args {
+		if len(remaining) == 0 {
+			break
+		}
+		b.Sel = remaining
+		av, owned, err := evalChild(ctx, arg, b)
+		if err != nil {
+			ctx.PutSel(remaining)
+			ctx.Put(out)
+			return nil, err
+		}
+		still := ctx.GetSel()
+		for _, i := range remaining {
+			if av.Nulls[i] != 0 {
+				still = append(still, i)
+			} else {
+				out.CopyRow(int(i), av, int(i))
+			}
+		}
+		putOwned(ctx, av, owned)
+		ctx.PutSel(remaining)
+		remaining = still
+	}
+	for _, i := range remaining {
+		out.SetNull(int(i))
+	}
+	ctx.PutSel(remaining)
+	return out, nil
+}

@@ -1,0 +1,55 @@
+package expr
+
+import (
+	"fmt"
+
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// ColRef references an input column by ordinal. Eval returns the batch's
+// vector directly (zero copy); consumers must not mutate it.
+type ColRef struct {
+	Idx  int
+	Name string
+	T    types.DataType
+}
+
+// Col constructs a column reference.
+func Col(idx int, name string, t types.DataType) *ColRef {
+	return &ColRef{Idx: idx, Name: name, T: t}
+}
+
+// Type implements Expr.
+func (c *ColRef) Type() types.DataType { return c.T }
+
+// String implements Expr.
+func (c *ColRef) String() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("$%d", c.Idx)
+}
+
+// Eval implements Expr.
+func (c *ColRef) Eval(_ *Ctx, b *vector.Batch) (*vector.Vector, error) {
+	return b.Vecs[c.Idx], nil
+}
+
+// evalChild evaluates a child expression and reports whether the resulting
+// vector is pool-owned (must be recycled) or borrowed from the batch.
+func evalChild(ctx *Ctx, e Expr, b *vector.Batch) (v *vector.Vector, owned bool, err error) {
+	v, err = e.Eval(ctx, b)
+	if err != nil {
+		return nil, false, err
+	}
+	_, isCol := e.(*ColRef)
+	return v, !isCol, nil
+}
+
+// putOwned recycles v if owned.
+func putOwned(ctx *Ctx, v *vector.Vector, owned bool) {
+	if owned {
+		ctx.Put(v)
+	}
+}

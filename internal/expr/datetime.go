@@ -1,0 +1,108 @@
+package expr
+
+import (
+	"fmt"
+
+	"photon/internal/kernels"
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// DateField selects a calendar component for extraction.
+type DateField uint8
+
+// Extractable date fields.
+const (
+	FieldYear DateField = iota
+	FieldMonth
+	FieldDay
+)
+
+// Extract evaluates EXTRACT(field FROM date_expr) / year(e) / month(e).
+type Extract struct {
+	Field DateField
+	Inner Expr
+}
+
+// Year builds year(e).
+func Year(e Expr) *Extract { return &Extract{Field: FieldYear, Inner: e} }
+
+// Month builds month(e).
+func Month(e Expr) *Extract { return &Extract{Field: FieldMonth, Inner: e} }
+
+// Day builds day(e).
+func Day(e Expr) *Extract { return &Extract{Field: FieldDay, Inner: e} }
+
+// Type implements Expr.
+func (e *Extract) Type() types.DataType { return types.Int32Type }
+
+// String implements Expr.
+func (e *Extract) String() string {
+	return fmt.Sprintf("%s(%s)", [...]string{"year", "month", "day"}[e.Field], e.Inner)
+}
+
+// Eval implements Expr.
+func (e *Extract) Eval(ctx *Ctx, b *vector.Batch) (*vector.Vector, error) {
+	iv, owned, err := evalChild(ctx, e.Inner, b)
+	if err != nil {
+		return nil, err
+	}
+	defer putOwned(ctx, iv, owned)
+	days := iv.I32
+	if iv.Type.ID == types.Timestamp {
+		tmp := ctx.Get(types.DateType)
+		apply(b.Sel, b.NumRows, func(i int32) {
+			tmp.I32[i] = int32(iv.I64[i] / types.MicrosPerSecond / types.SecondsPerDay)
+		})
+		defer ctx.Put(tmp)
+		days = tmp.I32
+	} else if iv.Type.ID != types.Date {
+		return nil, errType("extract", iv.Type)
+	}
+	out := ctx.Get(types.Int32Type)
+	if iv.HasNulls() {
+		out.SetHasNulls(kernels.CopyNulls(iv.Nulls, out.Nulls, b.Sel, b.NumRows))
+	}
+	var f func(int32) int32
+	switch e.Field {
+	case FieldYear:
+		f = types.DateYear
+	case FieldMonth:
+		f = types.DateMonth
+	case FieldDay:
+		f = types.DateDay
+	}
+	apply(b.Sel, b.NumRows, func(i int32) {
+		if out.Nulls[i] == 0 {
+			out.I32[i] = f(days[i])
+		}
+	})
+	return out, nil
+}
+
+// DateAdd shifts a DATE by a constant number of days (positive or negative).
+type DateAdd struct {
+	Inner Expr
+	Days  int32
+}
+
+// Type implements Expr.
+func (d *DateAdd) Type() types.DataType { return types.DateType }
+
+// String implements Expr.
+func (d *DateAdd) String() string { return fmt.Sprintf("date_add(%s, %d)", d.Inner, d.Days) }
+
+// Eval implements Expr.
+func (d *DateAdd) Eval(ctx *Ctx, b *vector.Batch) (*vector.Vector, error) {
+	iv, owned, err := evalChild(ctx, d.Inner, b)
+	if err != nil {
+		return nil, err
+	}
+	defer putOwned(ctx, iv, owned)
+	out := ctx.Get(types.DateType)
+	if iv.HasNulls() {
+		out.SetHasNulls(kernels.CopyNulls(iv.Nulls, out.Nulls, b.Sel, b.NumRows))
+	}
+	kernels.AddVS(iv.I32, d.Days, out.I32, b.Sel, b.NumRows)
+	return out, nil
+}

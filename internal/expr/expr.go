@@ -1,0 +1,186 @@
+// Package expr implements Photon's vectorized expression evaluation.
+//
+// Expressions evaluate over column batches at vector granularity: each node
+// invokes one or more execution kernels (package kernels) over the batch's
+// active rows and produces a result vector. Filtering expressions instead
+// produce a shrunken position list (§4.3). Every node adapts per batch to
+// the two standard variables of §4.6 — NULL presence and row activity — by
+// selecting a specialized kernel, and string expressions additionally adapt
+// to per-vector ASCII metadata.
+package expr
+
+import (
+	"fmt"
+
+	"photon/internal/mem"
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// Expr is a vectorized expression producing a value vector.
+type Expr interface {
+	Type() types.DataType
+	String() string
+	// Eval computes the expression over b's active rows. The result vector
+	// comes from ctx's vector pool; the caller returns it via ctx.Put (or
+	// hands it off in an output batch). Values at inactive rows are
+	// unspecified but NULL bytes at inactive rows are zeroed.
+	Eval(ctx *Ctx, b *vector.Batch) (*vector.Vector, error)
+}
+
+// Filter is a filtering expression: it takes the batch and returns the
+// subset of active rows for which it evaluates to TRUE, as a position list
+// appended to out. Comparison and boolean nodes implement both Expr and
+// Filter; operators prefer the Filter form, which avoids materializing
+// boolean vectors.
+type Filter interface {
+	String() string
+	EvalSel(ctx *Ctx, b *vector.Batch, out []int32) ([]int32, error)
+}
+
+// Ctx carries per-task evaluation state: the variable-length arena (reset
+// by the enclosing operator before each input batch, §4.5), a transient
+// vector pool, and adaptivity switches for the ablation benches.
+type Ctx struct {
+	Arena     *mem.Arena
+	BatchSize int
+
+	// Adaptive enables batch-level adaptivity (ASCII fast paths, NULL-free
+	// metadata propagation). Disabled only by ablation benchmarks.
+	Adaptive bool
+
+	// SharedVectors marks input vectors as shared across concurrent tasks:
+	// per-vector metadata caches (ASCII-ness) are then computed per call
+	// instead of written back.
+	SharedVectors bool
+
+	free    map[types.DataType][]*vector.Vector
+	selPool [][]int32
+}
+
+// NewCtx returns an evaluation context with the given batch row capacity.
+func NewCtx(batchSize int) *Ctx {
+	if batchSize <= 0 {
+		batchSize = vector.DefaultBatchSize
+	}
+	return &Ctx{
+		Arena:     mem.NewArena(0),
+		BatchSize: batchSize,
+		Adaptive:  true,
+		free:      make(map[types.DataType][]*vector.Vector),
+	}
+}
+
+// Get returns a reset vector of type t with the context's batch capacity.
+func (c *Ctx) Get(t types.DataType) *vector.Vector {
+	if s := c.free[t]; len(s) > 0 {
+		v := s[len(s)-1]
+		c.free[t] = s[:len(s)-1]
+		v.Reset()
+		return v
+	}
+	return vector.New(t, c.BatchSize)
+}
+
+// Put recycles a vector obtained from Get.
+func (c *Ctx) Put(v *vector.Vector) {
+	if v == nil {
+		return
+	}
+	c.free[v.Type] = append(c.free[v.Type], v)
+}
+
+// GetSel returns an empty position-list buffer.
+func (c *Ctx) GetSel() []int32 {
+	if n := len(c.selPool); n > 0 {
+		s := c.selPool[n-1]
+		c.selPool = c.selPool[:n-1]
+		return s[:0]
+	}
+	return make([]int32, 0, c.BatchSize)
+}
+
+// PutSel recycles a position-list buffer.
+func (c *Ctx) PutSel(s []int32) {
+	if s != nil {
+		c.selPool = append(c.selPool, s)
+	}
+}
+
+// ResetPerBatch releases per-batch transient state (the var-len arena).
+// Operators call this before pulling each new input batch.
+func (c *Ctx) ResetPerBatch() { c.Arena.Reset() }
+
+// errType builds a consistent type-mismatch error.
+func errType(op string, ts ...types.DataType) error {
+	return fmt.Errorf("expr: %s unsupported for types %v", op, ts)
+}
+
+// Walk visits e and all its children in pre-order. Filters embedded in
+// expressions (CASE conditions) are visited through their expression parts.
+func Walk(e Expr, visit func(Expr)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	switch n := e.(type) {
+	case *Arith:
+		Walk(n.Left, visit)
+		Walk(n.Right, visit)
+	case *Cmp:
+		Walk(n.Left, visit)
+		Walk(n.Right, visit)
+	case *Case:
+		for _, br := range n.Branches {
+			WalkFilter(br.When, visit)
+			Walk(br.Then, visit)
+		}
+		Walk(n.Else, visit)
+	case *Coalesce:
+		for _, a := range n.Args {
+			Walk(a, visit)
+		}
+	case *Cast:
+		Walk(n.Inner, visit)
+	case *Unary:
+		Walk(n.Inner, visit)
+	case *StrFunc:
+		Walk(n.Inner, visit)
+		for _, a := range n.Args {
+			Walk(a, visit)
+		}
+	case *IsNull:
+		Walk(n.Inner, visit)
+	case *Extract:
+		Walk(n.Inner, visit)
+	case *DateAdd:
+		Walk(n.Inner, visit)
+	}
+}
+
+// WalkFilter visits the expression parts inside a filter tree.
+func WalkFilter(f Filter, visit func(Expr)) {
+	switch n := f.(type) {
+	case *And:
+		for _, sub := range n.Filters {
+			WalkFilter(sub, visit)
+		}
+	case *Or:
+		WalkFilter(n.Left, visit)
+		WalkFilter(n.Right, visit)
+	case *Not:
+		WalkFilter(n.Inner, visit)
+	case *Cmp:
+		Walk(n, visit)
+	case *Between:
+		Walk(n.Inner, visit)
+	case *In:
+		Walk(n.Inner, visit)
+	case *Like:
+		Walk(n.Inner, visit)
+	case *IsNull:
+		Walk(n, visit)
+	case *BoolColFilter:
+		Walk(n.Inner, visit)
+	}
+}

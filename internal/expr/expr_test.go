@@ -1,0 +1,451 @@
+package expr
+
+import (
+	"testing"
+
+	"photon/internal/kernels"
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+func s1(name string, t types.DataType) *types.Schema {
+	return types.NewSchema(types.Field{Name: name, Type: t, Nullable: true})
+}
+
+func s2(n1 string, t1 types.DataType, n2 string, t2 types.DataType) *types.Schema {
+	return types.NewSchema(
+		types.Field{Name: n1, Type: t1, Nullable: true},
+		types.Field{Name: n2, Type: t2, Nullable: true},
+	)
+}
+
+func TestArithInt64(t *testing.T) {
+	runExprCase(t, exprCase{
+		name:   "add_vv",
+		schema: s2("a", types.Int64Type, "b", types.Int64Type),
+		build:  func(s *types.Schema) Expr { return MustArith(OpAdd, colRef(s, 0), colRef(s, 1)) },
+		rows:   [][]any{{int64(1), int64(10)}, {int64(2), nil}, {nil, int64(30)}, {int64(4), int64(40)}},
+		want:   []any{int64(11), nil, nil, int64(44)},
+	})
+	runExprCase(t, exprCase{
+		name:   "mul_vs",
+		schema: s1("a", types.Int64Type),
+		build:  func(s *types.Schema) Expr { return MustArith(OpMul, colRef(s, 0), Int64Lit(3)) },
+		rows:   [][]any{{int64(5)}, {nil}, {int64(-2)}},
+		want:   []any{int64(15), nil, int64(-6)},
+	})
+	runExprCase(t, exprCase{
+		name:   "sub_sv",
+		schema: s1("a", types.Int64Type),
+		build:  func(s *types.Schema) Expr { return MustArith(OpSub, Int64Lit(100), colRef(s, 0)) },
+		rows:   [][]any{{int64(30)}, {nil}},
+		want:   []any{int64(70), nil},
+	})
+	runExprCase(t, exprCase{
+		name:   "div_by_zero_null",
+		schema: s2("a", types.Float64Type, "b", types.Float64Type),
+		build:  func(s *types.Schema) Expr { return MustArith(OpDiv, colRef(s, 0), colRef(s, 1)) },
+		rows:   [][]any{{10.0, 2.0}, {10.0, 0.0}, {nil, 2.0}},
+		want:   []any{5.0, nil, nil},
+	})
+	runExprCase(t, exprCase{
+		name:   "mod",
+		schema: s2("a", types.Int64Type, "b", types.Int64Type),
+		build:  func(s *types.Schema) Expr { return MustArith(OpMod, colRef(s, 0), colRef(s, 1)) },
+		rows:   [][]any{{int64(10), int64(3)}, {int64(10), int64(0)}},
+		want:   []any{int64(1), nil},
+	})
+}
+
+func mustDec(t *testing.T, s string, scale int) types.Decimal128 {
+	t.Helper()
+	d, err := types.ParseDecimal(s, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestArithDecimal(t *testing.T) {
+	dt := types.DecimalType(12, 2)
+	// l_extendedprice * (1 - l_discount): the TPC-H Q1 shape.
+	runExprCase(t, exprCase{
+		name:   "q1_shape",
+		schema: s2("price", dt, "disc", dt),
+		build: func(s *types.Schema) Expr {
+			oneMinus := MustArith(OpSub, DecimalLit("1.00", 12, 2), colRef(s, 1))
+			return MustArith(OpMul, colRef(s, 0), oneMinus)
+		},
+		rows: [][]any{
+			{mustDec(t, "100.00", 2), mustDec(t, "0.05", 2)},
+			{mustDec(t, "50.00", 2), mustDec(t, "0.00", 2)},
+			{nil, mustDec(t, "0.10", 2)},
+		},
+		// result scale = 2 + 2 = 4
+		want: []any{mustDec(t, "95.0000", 4), mustDec(t, "50.0000", 4), nil},
+	})
+	runExprCase(t, exprCase{
+		name:   "decimal_add_mixed_scales",
+		schema: s2("a", types.DecimalType(10, 2), "b", types.DecimalType(10, 3)),
+		build:  func(s *types.Schema) Expr { return MustArith(OpAdd, colRef(s, 0), colRef(s, 1)) },
+		rows:   [][]any{{mustDec(t, "1.50", 2), mustDec(t, "0.125", 3)}},
+		want:   []any{mustDec(t, "1.625", 3)},
+	})
+}
+
+func TestFilters(t *testing.T) {
+	runFilterCase(t, filterCase{
+		name:   "gt_literal",
+		schema: s1("age", types.Int32Type),
+		build: func(s *types.Schema) Filter {
+			return MustCmp(kernels.CmpGt, colRef(s, 0), Int32Lit(25))
+		},
+		rows: [][]any{{int32(30)}, {int32(20)}, {nil}, {int32(26)}, {int32(25)}},
+		want: []int32{0, 3},
+	})
+	runFilterCase(t, filterCase{
+		name:   "literal_on_left_swaps",
+		schema: s1("age", types.Int32Type),
+		build: func(s *types.Schema) Filter {
+			return MustCmp(kernels.CmpLt, Int32Lit(25), colRef(s, 0)) // 25 < age ≡ age > 25
+		},
+		rows: [][]any{{int32(30)}, {int32(20)}, {int32(26)}},
+		want: []int32{0, 2},
+	})
+	runFilterCase(t, filterCase{
+		name:   "and_chain",
+		schema: s2("a", types.Int64Type, "b", types.Int64Type),
+		build: func(s *types.Schema) Filter {
+			return NewAnd(
+				MustCmp(kernels.CmpGe, colRef(s, 0), Int64Lit(10)),
+				MustCmp(kernels.CmpLt, colRef(s, 1), Int64Lit(5)),
+			)
+		},
+		rows: [][]any{
+			{int64(10), int64(1)}, {int64(5), int64(1)},
+			{int64(20), int64(9)}, {int64(30), int64(4)},
+		},
+		want: []int32{0, 3},
+	})
+	runFilterCase(t, filterCase{
+		name:   "or_union",
+		schema: s1("x", types.Int64Type),
+		build: func(s *types.Schema) Filter {
+			return NewOr(
+				MustCmp(kernels.CmpLt, colRef(s, 0), Int64Lit(2)),
+				MustCmp(kernels.CmpGt, colRef(s, 0), Int64Lit(8)),
+			)
+		},
+		rows: [][]any{{int64(1)}, {int64(5)}, {int64(9)}, {nil}},
+		want: []int32{0, 2},
+	})
+	runFilterCase(t, filterCase{
+		name:   "not_excludes_nulls",
+		schema: s1("x", types.Int64Type),
+		build: func(s *types.Schema) Filter {
+			return NewNot(MustCmp(kernels.CmpGt, colRef(s, 0), Int64Lit(5)))
+		},
+		// NOT(x > 5): x=3 passes, x=9 fails, NULL must NOT pass.
+		rows: [][]any{{int64(3)}, {int64(9)}, {nil}, {int64(5)}},
+		want: []int32{0, 3},
+	})
+	runFilterCase(t, filterCase{
+		name:   "between_fused",
+		schema: s1("d", types.DateType),
+		build: func(s *types.Schema) Filter {
+			return NewBetween(colRef(s, 0), DateLit(100), DateLit(200))
+		},
+		rows: [][]any{{int32(50)}, {int32(100)}, {int32(150)}, {int32(200)}, {int32(201)}, {nil}},
+		want: []int32{1, 2, 3},
+	})
+	runFilterCase(t, filterCase{
+		name:   "in_list_strings",
+		schema: s1("s", types.StringType),
+		build: func(s *types.Schema) Filter {
+			return NewIn(colRef(s, 0), []*Literal{StringLit("a"), StringLit("c")})
+		},
+		rows: [][]any{{"a"}, {"b"}, {"c"}, {nil}},
+		want: []int32{0, 2},
+	})
+	runFilterCase(t, filterCase{
+		name:   "like",
+		schema: s1("s", types.StringType),
+		build: func(s *types.Schema) Filter {
+			return NewLike(colRef(s, 0), "%ell%", false)
+		},
+		rows: [][]any{{"hello"}, {"world"}, {"bell"}, {nil}},
+		want: []int32{0, 2},
+	})
+	runFilterCase(t, filterCase{
+		name:   "not_like",
+		schema: s1("s", types.StringType),
+		build: func(s *types.Schema) Filter {
+			return NewLike(colRef(s, 0), "%ell%", true)
+		},
+		rows: [][]any{{"hello"}, {"world"}, {nil}},
+		want: []int32{1},
+	})
+	runFilterCase(t, filterCase{
+		name:   "is_null",
+		schema: s1("s", types.StringType),
+		build:  func(s *types.Schema) Filter { return &IsNull{Inner: colRef(s, 0)} },
+		rows:   [][]any{{"a"}, {nil}, {"b"}, {nil}},
+		want:   []int32{1, 3},
+	})
+	runFilterCase(t, filterCase{
+		name:   "is_not_null",
+		schema: s1("s", types.StringType),
+		build:  func(s *types.Schema) Filter { return &IsNull{Inner: colRef(s, 0), Negate: true} },
+		rows:   [][]any{{"a"}, {nil}, {"b"}},
+		want:   []int32{0, 2},
+	})
+	runFilterCase(t, filterCase{
+		name:   "string_compare",
+		schema: s2("a", types.StringType, "b", types.StringType),
+		build: func(s *types.Schema) Filter {
+			return MustCmp(kernels.CmpEq, colRef(s, 0), colRef(s, 1))
+		},
+		rows: [][]any{{"x", "x"}, {"x", "y"}, {nil, "x"}, {"z", "z"}},
+		want: []int32{0, 3},
+	})
+	runFilterCase(t, filterCase{
+		name:   "decimal_compare_vs",
+		schema: s1("d", types.DecimalType(10, 2)),
+		build: func(s *types.Schema) Filter {
+			return MustCmp(kernels.CmpGt, colRef(s, 0), DecimalLit("5.00", 10, 2))
+		},
+		rows: [][]any{{mustDec(t, "4.99", 2)}, {mustDec(t, "5.01", 2)}, {nil}},
+		want: []int32{1},
+	})
+}
+
+func TestCaseWhen(t *testing.T) {
+	runExprCase(t, exprCase{
+		name:   "case_two_branches",
+		schema: s1("x", types.Int64Type),
+		build: func(s *types.Schema) Expr {
+			c, err := NewCase([]CaseBranch{
+				{When: MustCmp(kernels.CmpLt, colRef(s, 0), Int64Lit(0)), Then: StringLit("neg")},
+				{When: MustCmp(kernels.CmpEq, colRef(s, 0), Int64Lit(0)), Then: StringLit("zero")},
+			}, StringLit("pos"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		},
+		rows: [][]any{{int64(-5)}, {int64(0)}, {int64(7)}, {nil}},
+		// NULL matches no branch; ELSE covers it (NULL < 0 is not TRUE).
+		want: []any{"neg", "zero", "pos", "pos"},
+	})
+	runExprCase(t, exprCase{
+		name:   "case_no_else_null",
+		schema: s1("x", types.Int64Type),
+		build: func(s *types.Schema) Expr {
+			c, err := NewCase([]CaseBranch{
+				{When: MustCmp(kernels.CmpGt, colRef(s, 0), Int64Lit(0)), Then: Int64Lit(1)},
+			}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		},
+		rows: [][]any{{int64(5)}, {int64(-5)}},
+		want: []any{int64(1), nil},
+	})
+}
+
+func TestCoalesce(t *testing.T) {
+	runExprCase(t, exprCase{
+		name:   "coalesce",
+		schema: s2("a", types.StringType, "b", types.StringType),
+		build: func(s *types.Schema) Expr {
+			c, err := NewCoalesce(colRef(s, 0), colRef(s, 1), StringLit("dflt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		},
+		rows: [][]any{{"x", "y"}, {nil, "y"}, {nil, nil}},
+		want: []any{"x", "y", "dflt"},
+	})
+}
+
+func TestStringFuncs(t *testing.T) {
+	runExprCase(t, exprCase{
+		name:   "upper",
+		schema: s1("s", types.StringType),
+		build:  func(s *types.Schema) Expr { return Upper(colRef(s, 0)) },
+		rows:   [][]any{{"hello"}, {"World"}, {nil}, {"héllo"}, {"ABC123"}},
+		want:   []any{"HELLO", "WORLD", nil, "HÉLLO", "ABC123"},
+	})
+	runExprCase(t, exprCase{
+		name:   "lower",
+		schema: s1("s", types.StringType),
+		build:  func(s *types.Schema) Expr { return Lower(colRef(s, 0)) },
+		rows:   [][]any{{"HeLLo"}, {"ÉCOLE"}, {nil}},
+		want:   []any{"hello", "école", nil},
+	})
+	runExprCase(t, exprCase{
+		name:   "length_chars_not_bytes",
+		schema: s1("s", types.StringType),
+		build:  func(s *types.Schema) Expr { return Length(colRef(s, 0)) },
+		rows:   [][]any{{"hello"}, {"héllo"}, {""}, {nil}},
+		want:   []any{int32(5), int32(5), int32(0), nil},
+	})
+	runExprCase(t, exprCase{
+		name:   "substr",
+		schema: s1("s", types.StringType),
+		build:  func(s *types.Schema) Expr { return Substr(colRef(s, 0), 2, 3) },
+		rows:   [][]any{{"hello"}, {"ab"}, {nil}},
+		want:   []any{"ell", "b", nil},
+	})
+	runExprCase(t, exprCase{
+		name:   "concat",
+		schema: s2("a", types.StringType, "b", types.StringType),
+		build:  func(s *types.Schema) Expr { return Concat(colRef(s, 0), colRef(s, 1)) },
+		rows:   [][]any{{"foo", "bar"}, {nil, "bar"}, {"foo", nil}},
+		want:   []any{"foobar", nil, nil},
+	})
+	runExprCase(t, exprCase{
+		name:   "trim",
+		schema: s1("s", types.StringType),
+		build:  func(s *types.Schema) Expr { return Trim(colRef(s, 0)) },
+		rows:   [][]any{{"  pad  "}, {"none"}, {"   "}, {nil}},
+		want:   []any{"pad", "none", "", nil},
+	})
+}
+
+func TestCasts(t *testing.T) {
+	runExprCase(t, exprCase{
+		name:   "string_to_int_malformed_null",
+		schema: s1("s", types.StringType),
+		build:  func(s *types.Schema) Expr { return NewCast(colRef(s, 0), types.Int64Type) },
+		rows:   [][]any{{"42"}, {"abc"}, {"-7"}, {nil}, {"999999999999999999999"}},
+		want:   []any{int64(42), nil, int64(-7), nil, nil},
+	})
+	runExprCase(t, exprCase{
+		name:   "int_to_string",
+		schema: s1("x", types.Int64Type),
+		build:  func(s *types.Schema) Expr { return NewCast(colRef(s, 0), types.StringType) },
+		rows:   [][]any{{int64(42)}, {int64(-1)}, {nil}},
+		want:   []any{"42", "-1", nil},
+	})
+	runExprCase(t, exprCase{
+		name:   "int_to_decimal",
+		schema: s1("x", types.Int64Type),
+		build:  func(s *types.Schema) Expr { return NewCast(colRef(s, 0), types.DecimalType(10, 2)) },
+		rows:   [][]any{{int64(5)}},
+		want:   []any{mustDec(t, "5.00", 2)},
+	})
+	runExprCase(t, exprCase{
+		name:   "decimal_to_float",
+		schema: s1("d", types.DecimalType(10, 2)),
+		build:  func(s *types.Schema) Expr { return NewCast(colRef(s, 0), types.Float64Type) },
+		rows:   [][]any{{mustDec(t, "12.50", 2)}},
+		want:   []any{12.5},
+	})
+	runExprCase(t, exprCase{
+		name:   "string_to_date",
+		schema: s1("s", types.StringType),
+		build:  func(s *types.Schema) Expr { return NewCast(colRef(s, 0), types.DateType) },
+		rows:   [][]any{{"1970-01-11"}, {"bogus"}},
+		want:   []any{int32(10), nil},
+	})
+}
+
+func TestExtract(t *testing.T) {
+	d, _ := types.ParseDate("1995-03-15")
+	runExprCase(t, exprCase{
+		name:   "year_month_day",
+		schema: s1("d", types.DateType),
+		build:  func(s *types.Schema) Expr { return Year(colRef(s, 0)) },
+		rows:   [][]any{{d}, {nil}},
+		want:   []any{int32(1995), nil},
+	})
+	runExprCase(t, exprCase{
+		name:   "month",
+		schema: s1("d", types.DateType),
+		build:  func(s *types.Schema) Expr { return Month(colRef(s, 0)) },
+		rows:   [][]any{{d}},
+		want:   []any{int32(3)},
+	})
+}
+
+func TestUnaryOps(t *testing.T) {
+	runExprCase(t, exprCase{
+		name:   "sqrt",
+		schema: s1("x", types.Float64Type),
+		build:  func(s *types.Schema) Expr { return &Unary{Op: OpSqrt, Inner: colRef(s, 0)} },
+		rows:   [][]any{{4.0}, {9.0}, {nil}},
+		want:   []any{2.0, 3.0, nil},
+	})
+	runExprCase(t, exprCase{
+		name:   "neg_abs",
+		schema: s1("x", types.Int64Type),
+		build: func(s *types.Schema) Expr {
+			return &Unary{Op: OpAbs, Inner: &Unary{Op: OpNeg, Inner: colRef(s, 0)}}
+		},
+		rows: [][]any{{int64(5)}, {int64(-5)}},
+		want: []any{int64(5), int64(5)},
+	})
+}
+
+func TestCmpAsProjection(t *testing.T) {
+	runExprCase(t, exprCase{
+		name:   "bool_projection_three_valued",
+		schema: s2("a", types.Int64Type, "b", types.Int64Type),
+		build:  func(s *types.Schema) Expr { return Eq(colRef(s, 0), colRef(s, 1)) },
+		rows:   [][]any{{int64(1), int64(1)}, {int64(1), int64(2)}, {nil, int64(1)}},
+		want:   []any{true, false, nil},
+	})
+}
+
+func TestCaseDoesNotOverwriteInactiveRows(t *testing.T) {
+	// Direct check of the §4.3 rule: a CASE evaluated under a selection must
+	// not write rows outside it.
+	schema := s1("x", types.Int64Type)
+	ctx := NewCtx(8)
+	b := vector.NewBatch(schema, 8)
+	for i := 0; i < 4; i++ {
+		b.AppendRow(int64(i))
+	}
+	b.SetSel([]int32{1, 3})
+	c, _ := NewCase([]CaseBranch{
+		{When: MustCmp(kernels.CmpGe, colRef(schema, 0), Int64Lit(0)), Then: Int64Lit(99)},
+	}, nil)
+	out, err := c.Eval(ctx, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.I64[1] != 99 || out.I64[3] != 99 {
+		t.Error("active rows not written")
+	}
+	if out.I64[0] == 99 || out.I64[2] == 99 {
+		t.Error("inactive rows were overwritten by CASE")
+	}
+}
+
+func TestAggSpecResultTypes(t *testing.T) {
+	col := Col(0, "x", types.Int32Type)
+	cases := []struct {
+		spec AggSpec
+		want types.DataType
+	}{
+		{AggSpec{Kind: AggCount}, types.Int64Type},
+		{AggSpec{Kind: AggSum, Arg: col}, types.Int64Type},
+		{AggSpec{Kind: AggMin, Arg: col}, types.Int32Type},
+		{AggSpec{Kind: AggAvg, Arg: col}, types.Float64Type},
+		{AggSpec{Kind: AggSum, Arg: Col(0, "d", types.DecimalType(12, 2))}, types.DecimalType(22, 2)},
+		{AggSpec{Kind: AggAvg, Arg: Col(0, "d", types.DecimalType(12, 2))}, types.DecimalType(38, 6)},
+		{AggSpec{Kind: AggCollectList, Arg: col}, types.StringType},
+	}
+	for _, c := range cases {
+		got, err := c.spec.ResultType()
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("%s: type %v, want %v", c.spec, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package expr
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// This file implements the paper's native expression unit-test framework
+// (§5.6): test cases specify input and expected output values as a table;
+// the framework loads the inputs into column vectors and evaluates the
+// expression under every specialization — dense and selective batches, with
+// adaptivity on and off — verifying both the results and that inactive rows
+// are never overwritten.
+
+// exprCase is one expression test table.
+type exprCase struct {
+	name   string
+	schema *types.Schema
+	build  func(s *types.Schema) Expr
+	rows   [][]any // input rows (nil values = NULL)
+	want   []any   // expected output per row (nil = NULL)
+}
+
+// colRef builds a ColRef for field i of the schema.
+func colRef(s *types.Schema, i int) *ColRef {
+	return Col(i, s.Field(i).Name, s.Field(i).Type)
+}
+
+// runExprCase evaluates the case under all specializations.
+func runExprCase(t *testing.T, c exprCase) {
+	t.Helper()
+	for _, adaptive := range []bool{true, false} {
+		for _, mode := range []string{"dense", "selective"} {
+			name := fmt.Sprintf("%s/%s/adaptive=%v", c.name, mode, adaptive)
+			t.Run(name, func(t *testing.T) {
+				ctx := NewCtx(64)
+				ctx.Adaptive = adaptive
+				b := vector.NewBatch(c.schema, 64)
+				for _, r := range c.rows {
+					b.AppendRow(r...)
+				}
+				var active []int32
+				if mode == "selective" {
+					// Activate every other row.
+					for i := 0; i < len(c.rows); i += 2 {
+						active = append(active, int32(i))
+					}
+					b.SetSel(active)
+				}
+				e := c.build(c.schema)
+				out, err := e.Eval(ctx, b)
+				if err != nil {
+					t.Fatalf("Eval: %v", err)
+				}
+				// Pre-mark inactive slots (their values are unspecified, but
+				// nulls at inactive rows must stay zero per Eval's contract,
+				// so filters downstream can't misread them).
+				check := func(i int) {
+					got := out.Get(i)
+					want := c.want[i]
+					if !valueEq(got, want) {
+						t.Errorf("row %d: got %v (%T), want %v (%T)", i, got, got, want, want)
+					}
+				}
+				if mode == "dense" {
+					for i := range c.rows {
+						check(i)
+					}
+				} else {
+					for _, i := range active {
+						check(int(i))
+					}
+				}
+			})
+		}
+	}
+}
+
+// valueEq compares values with decimal-aware equality.
+func valueEq(got, want any) bool {
+	if gd, ok := got.(types.Decimal128); ok {
+		wd, ok2 := want.(types.Decimal128)
+		return ok2 && gd.Cmp(wd) == 0
+	}
+	return reflect.DeepEqual(got, want)
+}
+
+// runFilterCase evaluates a filter under dense and selective modes and
+// checks the surviving physical row set.
+type filterCase struct {
+	name   string
+	schema *types.Schema
+	build  func(s *types.Schema) Filter
+	rows   [][]any
+	want   []int32 // expected surviving physical rows (dense mode)
+}
+
+func runFilterCase(t *testing.T, c filterCase) {
+	t.Helper()
+	t.Run(c.name+"/dense", func(t *testing.T) {
+		ctx := NewCtx(64)
+		b := vector.NewBatch(c.schema, 64)
+		for _, r := range c.rows {
+			b.AppendRow(r...)
+		}
+		got, err := c.build(c.schema).EvalSel(ctx, b, nil)
+		if err != nil {
+			t.Fatalf("EvalSel: %v", err)
+		}
+		if !selEq(got, c.want) {
+			t.Errorf("got %v, want %v", got, c.want)
+		}
+	})
+	t.Run(c.name+"/selective", func(t *testing.T) {
+		ctx := NewCtx(64)
+		b := vector.NewBatch(c.schema, 64)
+		for _, r := range c.rows {
+			b.AppendRow(r...)
+		}
+		var active []int32
+		inSel := map[int32]bool{}
+		for i := 0; i < len(c.rows); i += 2 {
+			active = append(active, int32(i))
+			inSel[int32(i)] = true
+		}
+		b.SetSel(active)
+		got, err := c.build(c.schema).EvalSel(ctx, b, nil)
+		if err != nil {
+			t.Fatalf("EvalSel: %v", err)
+		}
+		var want []int32
+		for _, i := range c.want {
+			if inSel[i] {
+				want = append(want, i)
+			}
+		}
+		if !selEq(got, want) {
+			t.Errorf("got %v, want %v (filters must only shrink the parent selection)", got, want)
+		}
+		// Invariant: result is a subset of the parent selection.
+		for _, i := range got {
+			if !inSel[i] {
+				t.Errorf("row %d passed filter but was inactive", i)
+			}
+		}
+	})
+}
+
+func selEq(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,203 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"photon/internal/kernels"
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// And is a conjunction of filters, evaluated by chaining: each child runs
+// over the previous child's surviving position list, so selectivity
+// compounds without touching filtered-out rows — the core reason the
+// position-list representation beats byte vectors on selective predicates
+// (§4.1, [42]).
+type And struct {
+	Filters []Filter
+}
+
+// NewAnd builds a conjunction.
+func NewAnd(fs ...Filter) *And { return &And{Filters: fs} }
+
+// String implements Filter.
+func (a *And) String() string {
+	parts := make([]string, len(a.Filters))
+	for i, f := range a.Filters {
+		parts[i] = f.String()
+	}
+	return "(" + strings.Join(parts, " AND ") + ")"
+}
+
+// EvalSel implements Filter.
+func (a *And) EvalSel(ctx *Ctx, b *vector.Batch, out []int32) ([]int32, error) {
+	if len(a.Filters) == 0 {
+		if b.Sel == nil {
+			return kernels.DenseSel(b.NumRows, out), nil
+		}
+		return append(out, b.Sel...), nil
+	}
+	cur, err := a.Filters[0].EvalSel(ctx, b, ctx.GetSel())
+	if err != nil {
+		return nil, err
+	}
+	savedSel := b.Sel
+	for _, f := range a.Filters[1:] {
+		if len(cur) == 0 {
+			break
+		}
+		b.Sel = cur
+		next, err := f.EvalSel(ctx, b, ctx.GetSel())
+		if err != nil {
+			b.Sel = savedSel
+			ctx.PutSel(cur)
+			return nil, err
+		}
+		ctx.PutSel(cur)
+		cur = next
+	}
+	b.Sel = savedSel
+	out = append(out, cur...)
+	ctx.PutSel(cur)
+	return out, nil
+}
+
+// Or is a disjunction: children evaluate under the same parent selection
+// and their results union (both position lists are sorted).
+type Or struct {
+	Left, Right Filter
+}
+
+// NewOr builds a disjunction.
+func NewOr(l, r Filter) *Or { return &Or{Left: l, Right: r} }
+
+// String implements Filter.
+func (o *Or) String() string { return fmt.Sprintf("(%s OR %s)", o.Left, o.Right) }
+
+// EvalSel implements Filter.
+func (o *Or) EvalSel(ctx *Ctx, b *vector.Batch, out []int32) ([]int32, error) {
+	l, err := o.Left.EvalSel(ctx, b, ctx.GetSel())
+	if err != nil {
+		return nil, err
+	}
+	r, err := o.Right.EvalSel(ctx, b, ctx.GetSel())
+	if err != nil {
+		ctx.PutSel(l)
+		return nil, err
+	}
+	out = kernels.UnionSel(l, r, out)
+	ctx.PutSel(l)
+	ctx.PutSel(r)
+	return out, nil
+}
+
+// Not negates a filter: parent selection minus the child's survivors.
+// SQL caveat: NOT(pred) is TRUE only where pred is FALSE — rows where pred
+// was NULL must not pass. Children therefore also exclude NULL rows via
+// their own NULL handling; Not additionally removes rows where the child's
+// operands were NULL using the child's NullSel when available.
+type Not struct {
+	Inner Filter
+}
+
+// NewNot builds a negation.
+func NewNot(f Filter) *Not { return &Not{Inner: f} }
+
+// String implements Filter.
+func (n *Not) String() string { return fmt.Sprintf("(NOT %s)", n.Inner) }
+
+// EvalSel implements Filter.
+func (n *Not) EvalSel(ctx *Ctx, b *vector.Batch, out []int32) ([]int32, error) {
+	sub, err := n.Inner.EvalSel(ctx, b, ctx.GetSel())
+	if err != nil {
+		return nil, err
+	}
+	parent := b.Sel
+	var parentBuf []int32
+	if parent == nil {
+		parentBuf = kernels.DenseSel(b.NumRows, ctx.GetSel())
+		parent = parentBuf
+	}
+	passed := kernels.DiffSel(parent, sub, ctx.GetSel())
+	ctx.PutSel(sub)
+	if parentBuf != nil {
+		ctx.PutSel(parentBuf)
+	}
+	// Exclude rows where the inner predicate evaluated to NULL.
+	if ns, ok := n.Inner.(nullAware); ok {
+		nullRows, err := ns.NullSel(ctx, b, ctx.GetSel())
+		if err != nil {
+			ctx.PutSel(passed)
+			return nil, err
+		}
+		out = kernels.DiffSel(passed, nullRows, out)
+		ctx.PutSel(nullRows)
+		ctx.PutSel(passed)
+		return out, nil
+	}
+	out = append(out, passed...)
+	ctx.PutSel(passed)
+	return out, nil
+}
+
+// nullAware is implemented by filters that can report the active rows where
+// they evaluate to NULL (needed for correct NOT semantics).
+type nullAware interface {
+	NullSel(ctx *Ctx, b *vector.Batch, out []int32) ([]int32, error)
+}
+
+// NullSel for comparisons: rows where either operand is NULL.
+func (c *Cmp) NullSel(ctx *Ctx, b *vector.Batch, out []int32) ([]int32, error) {
+	lv, lOwned, err := evalChild(ctx, c.Left, b)
+	if err != nil {
+		return nil, err
+	}
+	defer putOwned(ctx, lv, lOwned)
+	rv, rOwned, err := evalChild(ctx, c.Right, b)
+	if err != nil {
+		return nil, err
+	}
+	defer putOwned(ctx, rv, rOwned)
+	if !lv.HasNulls() && !rv.HasNulls() {
+		return out, nil
+	}
+	apply(b.Sel, b.NumRows, func(i int32) {
+		if lv.Nulls[i]|rv.Nulls[i] != 0 {
+			out = append(out, i)
+		}
+	})
+	return out, nil
+}
+
+// BoolColFilter treats a BOOLEAN expression as a filter (e.g. a projected
+// boolean column used in WHERE).
+type BoolColFilter struct {
+	Inner Expr
+}
+
+// String implements Filter.
+func (f *BoolColFilter) String() string { return f.Inner.String() }
+
+// EvalSel implements Filter.
+func (f *BoolColFilter) EvalSel(ctx *Ctx, b *vector.Batch, out []int32) ([]int32, error) {
+	v, owned, err := evalChild(ctx, f.Inner, b)
+	if err != nil {
+		return nil, err
+	}
+	defer putOwned(ctx, v, owned)
+	if v.Type.ID != types.Bool {
+		return nil, errType("boolean filter", v.Type)
+	}
+	return kernels.SelFromBool(v.Bool, v.Nulls, v.HasNulls(), b.Sel, b.NumRows, out), nil
+}
+
+// NullSel implements nullAware.
+func (f *BoolColFilter) NullSel(ctx *Ctx, b *vector.Batch, out []int32) ([]int32, error) {
+	v, owned, err := evalChild(ctx, f.Inner, b)
+	if err != nil {
+		return nil, err
+	}
+	defer putOwned(ctx, v, owned)
+	return kernels.SelIsNull(v.Nulls, v.HasNulls(), b.Sel, b.NumRows, out), nil
+}

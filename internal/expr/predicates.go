@@ -1,0 +1,308 @@
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"photon/internal/kernels"
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// Between is the fused BETWEEN filter (§3.3): a single kernel evaluates
+// col >= lo AND col <= hi, avoiding the interpretation overhead of a
+// two-comparison conjunction. Created by the optimizer when it spots the
+// conjunction pattern, or directly from SQL BETWEEN.
+type Between struct {
+	Inner  Expr
+	Lo, Hi *Literal
+	// Unfused forces the two-kernel path for the ablation bench.
+	Unfused bool
+}
+
+// NewBetween builds a fused BETWEEN filter.
+func NewBetween(inner Expr, lo, hi *Literal) *Between {
+	return &Between{Inner: inner, Lo: lo, Hi: hi}
+}
+
+// String implements Filter.
+func (f *Between) String() string {
+	return fmt.Sprintf("(%s BETWEEN %s AND %s)", f.Inner, f.Lo, f.Hi)
+}
+
+// EvalSel implements Filter.
+func (f *Between) EvalSel(ctx *Ctx, b *vector.Batch, out []int32) ([]int32, error) {
+	if f.Unfused {
+		and := NewAnd(MustCmp(kernels.CmpGe, f.Inner, f.Lo), MustCmp(kernels.CmpLe, f.Inner, f.Hi))
+		return and.EvalSel(ctx, b, out)
+	}
+	v, owned, err := evalChild(ctx, f.Inner, b)
+	if err != nil {
+		return nil, err
+	}
+	defer putOwned(ctx, v, owned)
+	n, sel, hn := b.NumRows, b.Sel, v.HasNulls()
+	switch v.Type.ID {
+	case types.Int32, types.Date:
+		return kernels.SelBetweenVS(v.I32, f.Lo.I32(), f.Hi.I32(), v.Nulls, hn, sel, n, out), nil
+	case types.Int64, types.Timestamp:
+		return kernels.SelBetweenVS(v.I64, f.Lo.I64(), f.Hi.I64(), v.Nulls, hn, sel, n, out), nil
+	case types.Float64:
+		return kernels.SelBetweenVS(v.F64, f.Lo.F64(), f.Hi.F64(), v.Nulls, hn, sel, n, out), nil
+	case types.Decimal:
+		lo, hi := f.Lo.Dec(v.Type.Scale), f.Hi.Dec(v.Type.Scale)
+		tmp := ctx.GetSel()
+		tmp = kernels.SelCmpDecVS(kernels.CmpGe, v.Dec, lo, v.Nulls, hn, sel, n, tmp)
+		out = kernels.SelCmpDecVS(kernels.CmpLe, v.Dec, hi, v.Nulls, false, tmp, len(tmp), out)
+		ctx.PutSel(tmp)
+		return out, nil
+	case types.String:
+		tmp := ctx.GetSel()
+		tmp = kernels.SelCmpBytesVS(kernels.CmpGe, v.Str, f.Lo.Bytes(), v.Nulls, hn, sel, n, tmp)
+		out = kernels.SelCmpBytesVS(kernels.CmpLe, v.Str, f.Hi.Bytes(), v.Nulls, false, tmp, len(tmp), out)
+		ctx.PutSel(tmp)
+		return out, nil
+	}
+	return nil, errType("between", v.Type)
+}
+
+// NullSel implements nullAware.
+func (f *Between) NullSel(ctx *Ctx, b *vector.Batch, out []int32) ([]int32, error) {
+	v, owned, err := evalChild(ctx, f.Inner, b)
+	if err != nil {
+		return nil, err
+	}
+	defer putOwned(ctx, v, owned)
+	return kernels.SelIsNull(v.Nulls, v.HasNulls(), b.Sel, b.NumRows, out), nil
+}
+
+// In filters rows whose value appears in a literal list. Integer lists use
+// a sorted-slice binary search; string lists a map. The lookup structures
+// build once (plans are shared across concurrent tasks).
+type In struct {
+	Inner Expr
+	Vals  []*Literal
+
+	once   sync.Once
+	strSet map[string]struct{}
+	i64s   []int64
+	i32s   []int32
+}
+
+// NewIn builds an IN-list filter with its lookup structures prepared.
+func NewIn(inner Expr, vals []*Literal) *In {
+	f := &In{Inner: inner, Vals: vals}
+	f.prepare()
+	return f
+}
+
+// String implements Filter.
+func (f *In) String() string {
+	parts := make([]string, len(f.Vals))
+	for i, v := range f.Vals {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("(%s IN (%s))", f.Inner, strings.Join(parts, ", "))
+}
+
+func (f *In) prepare() {
+	f.once.Do(f.build)
+}
+
+func (f *In) build() {
+	switch f.Inner.Type().ID {
+	case types.String:
+		f.strSet = make(map[string]struct{}, len(f.Vals))
+		for _, v := range f.Vals {
+			if !v.IsNullLit() {
+				f.strSet[v.Val.(string)] = struct{}{}
+			}
+		}
+	case types.Int64, types.Timestamp:
+		for _, v := range f.Vals {
+			if !v.IsNullLit() {
+				f.i64s = append(f.i64s, v.I64())
+			}
+		}
+		sort.Slice(f.i64s, func(i, j int) bool { return f.i64s[i] < f.i64s[j] })
+	case types.Int32, types.Date:
+		for _, v := range f.Vals {
+			if !v.IsNullLit() {
+				f.i32s = append(f.i32s, v.I32())
+			}
+		}
+		sort.Slice(f.i32s, func(i, j int) bool { return f.i32s[i] < f.i32s[j] })
+	}
+}
+
+// EvalSel implements Filter.
+func (f *In) EvalSel(ctx *Ctx, b *vector.Batch, out []int32) ([]int32, error) {
+	f.prepare()
+	v, owned, err := evalChild(ctx, f.Inner, b)
+	if err != nil {
+		return nil, err
+	}
+	defer putOwned(ctx, v, owned)
+	hn := v.HasNulls()
+	switch v.Type.ID {
+	case types.String:
+		apply(b.Sel, b.NumRows, func(i int32) {
+			if hn && v.Nulls[i] != 0 {
+				return
+			}
+			if _, ok := f.strSet[string(v.Str[i])]; ok {
+				out = append(out, i)
+			}
+		})
+	case types.Int64, types.Timestamp:
+		apply(b.Sel, b.NumRows, func(i int32) {
+			if hn && v.Nulls[i] != 0 {
+				return
+			}
+			x := v.I64[i]
+			j := sort.Search(len(f.i64s), func(k int) bool { return f.i64s[k] >= x })
+			if j < len(f.i64s) && f.i64s[j] == x {
+				out = append(out, i)
+			}
+		})
+	case types.Int32, types.Date:
+		apply(b.Sel, b.NumRows, func(i int32) {
+			if hn && v.Nulls[i] != 0 {
+				return
+			}
+			x := v.I32[i]
+			j := sort.Search(len(f.i32s), func(k int) bool { return f.i32s[k] >= x })
+			if j < len(f.i32s) && f.i32s[j] == x {
+				out = append(out, i)
+			}
+		})
+	default:
+		return nil, errType("in", v.Type)
+	}
+	return out, nil
+}
+
+// NullSel implements nullAware.
+func (f *In) NullSel(ctx *Ctx, b *vector.Batch, out []int32) ([]int32, error) {
+	v, owned, err := evalChild(ctx, f.Inner, b)
+	if err != nil {
+		return nil, err
+	}
+	defer putOwned(ctx, v, owned)
+	return kernels.SelIsNull(v.Nulls, v.HasNulls(), b.Sel, b.NumRows, out), nil
+}
+
+// Like filters strings against a SQL LIKE pattern.
+type Like struct {
+	Inner   Expr
+	Pattern string
+	Negate  bool
+	p       *kernels.LikePattern
+}
+
+// NewLike compiles a LIKE filter.
+func NewLike(inner Expr, pattern string, negate bool) *Like {
+	return &Like{Inner: inner, Pattern: pattern, Negate: negate, p: kernels.CompileLike(pattern)}
+}
+
+// Compiled exposes the pre-compiled pattern (shared with the row engine so
+// neither engine recompiles per row).
+func (f *Like) Compiled() *kernels.LikePattern { return f.p }
+
+// String implements Filter.
+func (f *Like) String() string {
+	if f.Negate {
+		return fmt.Sprintf("(%s NOT LIKE '%s')", f.Inner, f.Pattern)
+	}
+	return fmt.Sprintf("(%s LIKE '%s')", f.Inner, f.Pattern)
+}
+
+// EvalSel implements Filter.
+func (f *Like) EvalSel(ctx *Ctx, b *vector.Batch, out []int32) ([]int32, error) {
+	v, owned, err := evalChild(ctx, f.Inner, b)
+	if err != nil {
+		return nil, err
+	}
+	defer putOwned(ctx, v, owned)
+	if v.Type.ID != types.String {
+		return nil, errType("like", v.Type)
+	}
+	if !f.Negate {
+		return kernels.SelLike(f.p, v.Str, v.Nulls, v.HasNulls(), b.Sel, b.NumRows, out), nil
+	}
+	hn := v.HasNulls()
+	apply(b.Sel, b.NumRows, func(i int32) {
+		if hn && v.Nulls[i] != 0 {
+			return
+		}
+		if !f.p.Match(v.Str[i]) {
+			out = append(out, i)
+		}
+	})
+	return out, nil
+}
+
+// NullSel implements nullAware.
+func (f *Like) NullSel(ctx *Ctx, b *vector.Batch, out []int32) ([]int32, error) {
+	v, owned, err := evalChild(ctx, f.Inner, b)
+	if err != nil {
+		return nil, err
+	}
+	defer putOwned(ctx, v, owned)
+	return kernels.SelIsNull(v.Nulls, v.HasNulls(), b.Sel, b.NumRows, out), nil
+}
+
+// IsNull filters rows whose value is (or is not) NULL. Also usable as a
+// BOOLEAN expression.
+type IsNull struct {
+	Inner  Expr
+	Negate bool // IS NOT NULL
+}
+
+// String implements Filter and Expr.
+func (f *IsNull) String() string {
+	if f.Negate {
+		return fmt.Sprintf("(%s IS NOT NULL)", f.Inner)
+	}
+	return fmt.Sprintf("(%s IS NULL)", f.Inner)
+}
+
+// Type implements Expr.
+func (f *IsNull) Type() types.DataType { return types.BoolType }
+
+// EvalSel implements Filter.
+func (f *IsNull) EvalSel(ctx *Ctx, b *vector.Batch, out []int32) ([]int32, error) {
+	v, owned, err := evalChild(ctx, f.Inner, b)
+	if err != nil {
+		return nil, err
+	}
+	defer putOwned(ctx, v, owned)
+	if f.Negate {
+		return kernels.SelIsNotNull(v.Nulls, v.HasNulls(), b.Sel, b.NumRows, out), nil
+	}
+	return kernels.SelIsNull(v.Nulls, v.HasNulls(), b.Sel, b.NumRows, out), nil
+}
+
+// Eval implements Expr (never NULL itself).
+func (f *IsNull) Eval(ctx *Ctx, b *vector.Batch) (*vector.Vector, error) {
+	v, owned, err := evalChild(ctx, f.Inner, b)
+	if err != nil {
+		return nil, err
+	}
+	defer putOwned(ctx, v, owned)
+	out := ctx.Get(types.BoolType)
+	want := byte(1)
+	if f.Negate {
+		want = 0
+	}
+	apply(b.Sel, b.NumRows, func(i int32) {
+		if v.Nulls[i] == want {
+			out.Bool[i] = 1
+		} else {
+			out.Bool[i] = 0
+		}
+	})
+	return out, nil
+}

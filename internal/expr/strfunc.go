@@ -1,0 +1,164 @@
+package expr
+
+import (
+	"fmt"
+
+	"photon/internal/kernels"
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// StrKind identifies a string function.
+type StrKind uint8
+
+// String functions.
+const (
+	StrUpper StrKind = iota
+	StrLower
+	StrLength
+	StrSubstr
+	StrConcat
+	StrTrim
+)
+
+// StrFunc evaluates a string function with batch-level ASCII adaptivity
+// (§4.6, Fig. 6): the first string expression touching a vector runs the
+// SWAR ASCII-check kernel and caches the result as vector metadata; ASCII
+// batches take the byte-wise fast path, mixed batches the Unicode-table
+// path. ctx.Adaptive=false forces the general path (the "no ASCII
+// specialization" configuration in Fig. 6).
+type StrFunc struct {
+	Kind  StrKind
+	Inner Expr
+	Args  []Expr // Substr: start, length literals; Concat: second operand
+
+	SubstrStart, SubstrLen int
+}
+
+// Upper builds UPPER(e).
+func Upper(e Expr) *StrFunc { return &StrFunc{Kind: StrUpper, Inner: e} }
+
+// Lower builds LOWER(e).
+func Lower(e Expr) *StrFunc { return &StrFunc{Kind: StrLower, Inner: e} }
+
+// Length builds LENGTH(e).
+func Length(e Expr) *StrFunc { return &StrFunc{Kind: StrLength, Inner: e} }
+
+// Trim builds TRIM(e).
+func Trim(e Expr) *StrFunc { return &StrFunc{Kind: StrTrim, Inner: e} }
+
+// Substr builds SUBSTRING(e, start, length) with SQL 1-based start.
+func Substr(e Expr, start, length int) *StrFunc {
+	return &StrFunc{Kind: StrSubstr, Inner: e, SubstrStart: start, SubstrLen: length}
+}
+
+// Concat builds CONCAT(a, b).
+func Concat(a, b Expr) *StrFunc {
+	return &StrFunc{Kind: StrConcat, Inner: a, Args: []Expr{b}}
+}
+
+// Type implements Expr.
+func (s *StrFunc) Type() types.DataType {
+	if s.Kind == StrLength {
+		return types.Int32Type
+	}
+	return types.StringType
+}
+
+// String implements Expr.
+func (s *StrFunc) String() string {
+	switch s.Kind {
+	case StrUpper:
+		return fmt.Sprintf("upper(%s)", s.Inner)
+	case StrLower:
+		return fmt.Sprintf("lower(%s)", s.Inner)
+	case StrLength:
+		return fmt.Sprintf("length(%s)", s.Inner)
+	case StrTrim:
+		return fmt.Sprintf("trim(%s)", s.Inner)
+	case StrSubstr:
+		return fmt.Sprintf("substring(%s, %d, %d)", s.Inner, s.SubstrStart, s.SubstrLen)
+	case StrConcat:
+		return fmt.Sprintf("concat(%s, %s)", s.Inner, s.Args[0])
+	}
+	return "strfunc(?)"
+}
+
+// asciiOf returns (and caches) whether the vector's active strings are all
+// ASCII. With adaptivity disabled it always reports false, forcing the
+// general Unicode path.
+func asciiOf(ctx *Ctx, v *vector.Vector, b *vector.Batch) bool {
+	if !ctx.Adaptive {
+		return false
+	}
+	if v.Ascii != vector.AsciiUnknown {
+		return v.Ascii == vector.AsciiAll
+	}
+	ascii := kernels.CheckASCII(v.Str, v.Nulls, v.HasNulls(), b.Sel, b.NumRows)
+	if !ctx.SharedVectors {
+		if ascii {
+			v.Ascii = vector.AsciiAll
+		} else {
+			v.Ascii = vector.AsciiMixed
+		}
+	}
+	return ascii
+}
+
+// Eval implements Expr.
+func (s *StrFunc) Eval(ctx *Ctx, b *vector.Batch) (*vector.Vector, error) {
+	iv, owned, err := evalChild(ctx, s.Inner, b)
+	if err != nil {
+		return nil, err
+	}
+	defer putOwned(ctx, iv, owned)
+	if iv.Type.ID != types.String {
+		return nil, errType("string function", iv.Type)
+	}
+	n, sel, hn := b.NumRows, b.Sel, iv.HasNulls()
+	out := ctx.Get(s.Type())
+	if hn {
+		out.SetHasNulls(kernels.CopyNulls(iv.Nulls, out.Nulls, sel, n))
+	}
+
+	switch s.Kind {
+	case StrUpper:
+		if asciiOf(ctx, iv, b) {
+			kernels.UpperASCIIV(iv.Str, iv.Nulls, hn, sel, n, ctx.Arena, out.Str)
+			out.Ascii = vector.AsciiAll
+		} else {
+			kernels.UpperUTF8V(iv.Str, iv.Nulls, hn, sel, n, out.Str)
+		}
+	case StrLower:
+		if asciiOf(ctx, iv, b) {
+			kernels.LowerASCIIV(iv.Str, iv.Nulls, hn, sel, n, ctx.Arena, out.Str)
+			out.Ascii = vector.AsciiAll
+		} else {
+			kernels.LowerUTF8V(iv.Str, iv.Nulls, hn, sel, n, out.Str)
+		}
+	case StrLength:
+		kernels.LengthV(iv.Str, iv.Nulls, hn, asciiOf(ctx, iv, b), sel, n, out.I32)
+	case StrTrim:
+		kernels.TrimV(iv.Str, iv.Nulls, hn, sel, n, out.Str)
+		out.Ascii = iv.Ascii
+	case StrSubstr:
+		kernels.SubstrV(iv.Str, iv.Nulls, hn, asciiOf(ctx, iv, b), s.SubstrStart, s.SubstrLen, sel, n, out.Str)
+		out.Ascii = iv.Ascii
+	case StrConcat:
+		rv, rOwned, err := evalChild(ctx, s.Args[0], b)
+		if err != nil {
+			ctx.Put(out)
+			return nil, err
+		}
+		defer putOwned(ctx, rv, rOwned)
+		if rv.Type.ID != types.String {
+			ctx.Put(out)
+			return nil, errType("concat", rv.Type)
+		}
+		if rv.HasNulls() {
+			out.SetHasNulls(kernels.OrNulls(iv.Nulls, rv.Nulls, out.Nulls, sel, n))
+		}
+		kernels.ConcatVV(iv.Str, rv.Str, out.Nulls, sel, n, ctx.Arena, out.Str)
+	}
+	return out, nil
+}

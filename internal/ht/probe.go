@@ -1,0 +1,213 @@
+package ht
+
+import (
+	"photon/internal/vector"
+)
+
+// The batched probe loop. Each phase runs over the whole batch before the
+// next begins, so the bucket-directory loads for all pending rows are issued
+// back-to-back — the hardware overlaps their cache misses. Rows whose
+// candidate entry fails the key comparison advance their bucket index by
+// quadratic probing and stay in the pending list for the next iteration.
+
+// FindOrInsert locates or creates an entry for every active row.
+// rowIDs[i] (physical indexing) receives the entry id; inserted[i] is set
+// when this call created the entry. Used by hash aggregation: newly inserted
+// entries need their aggregation state initialized.
+func (t *Table) FindOrInsert(keys []*vector.Vector, hashes []uint64, sel []int32, n int, rowIDs []int32, inserted []bool) {
+	t.maybeGrowFor(n)
+	t.ensureScratch(len(rowIDs))
+
+	pending := t.pending[:0]
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			pending = append(pending, int32(i))
+		}
+	} else {
+		pending = append(pending, sel...)
+	}
+	for _, i := range pending {
+		t.cand[i] = emptyBucket
+		t.step[i] = 0
+		inserted[i] = false
+	}
+	// slotOf tracks the current bucket slot per pending row.
+	slot := t.cand // reuse cand as the slot array; candidates load into a local
+	for _, i := range pending {
+		slot[i] = int32(hashes[i] & t.mask)
+	}
+
+	for len(pending) > 0 {
+		next := t.scratch[:0]
+		// Phase 1+2: load candidate entries for every pending row; empty
+		// buckets insert immediately (bucket directory writes are safe here
+		// because duplicate keys within the batch hit the just-written
+		// bucket on their own compare below).
+		for _, i := range pending {
+			s := slot[i]
+			cand := t.buckets[s]
+			if cand == emptyBucket {
+				row := t.appendRow(hashes[i])
+				t.storeKey(row, keys, int(i))
+				t.buckets[s] = row
+				t.headRows = append(t.headRows, row)
+				rowIDs[i] = row
+				inserted[i] = true
+				continue
+			}
+			// Phase 3: column-by-column key comparison.
+			if t.rowHash[cand] == hashes[i] && t.keyEqual(cand, keys, int(i)) {
+				rowIDs[i] = cand
+				continue
+			}
+			// Mismatch: advance by quadratic probing, stay pending.
+			t.step[i]++
+			slot[i] = int32((uint64(slot[i]) + uint64(t.step[i])) & t.mask)
+			next = append(next, i)
+		}
+		pending, t.scratch = next, pending
+	}
+	t.pending = pending[:0]
+}
+
+// Find locates entries for every active row without inserting; rowIDs[i]
+// receives the chain-head entry id or -1 when the key is absent. This is the
+// join probe path.
+//
+// The first iteration runs as a fused fast loop — load candidate, compare,
+// resolve — with only mismatches falling into the pending-list machinery.
+// With a healthy load factor, nearly every row resolves in that first pass,
+// whose back-to-back independent loads the hardware overlaps (§4.4).
+func (t *Table) Find(keys []*vector.Vector, hashes []uint64, sel []int32, n int, rowIDs []int32) {
+	t.ensureScratch(len(rowIDs))
+	slot := t.cand
+	pending := t.pending[:0]
+	buckets, rowHash, mask := t.buckets, t.rowHash, t.mask
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			h := hashes[i]
+			s := int32(h & mask)
+			cand := buckets[s]
+			if cand == emptyBucket {
+				rowIDs[i] = emptyBucket
+				continue
+			}
+			if rowHash[cand] == h && t.keyEqual(cand, keys, i) {
+				rowIDs[i] = cand
+				continue
+			}
+			t.step[i] = 1
+			slot[i] = int32((uint64(s) + 1) & mask)
+			pending = append(pending, int32(i))
+		}
+	} else {
+		for _, i := range sel {
+			h := hashes[i]
+			s := int32(h & mask)
+			cand := buckets[s]
+			if cand == emptyBucket {
+				rowIDs[i] = emptyBucket
+				continue
+			}
+			if rowHash[cand] == h && t.keyEqual(cand, keys, int(i)) {
+				rowIDs[i] = cand
+				continue
+			}
+			t.step[i] = 1
+			slot[i] = int32((uint64(s) + 1) & mask)
+			pending = append(pending, i)
+		}
+	}
+	for len(pending) > 0 {
+		next := t.scratch[:0]
+		for _, i := range pending {
+			cand := t.buckets[slot[i]]
+			if cand == emptyBucket {
+				rowIDs[i] = emptyBucket
+				continue
+			}
+			if t.rowHash[cand] == hashes[i] && t.keyEqual(cand, keys, int(i)) {
+				rowIDs[i] = cand
+				continue
+			}
+			t.step[i]++
+			slot[i] = int32((uint64(slot[i]) + uint64(t.step[i])) & t.mask)
+			next = append(next, i)
+		}
+		pending, t.scratch = next, pending
+	}
+	t.pending = pending[:0]
+}
+
+// FindScalar is the scalar-at-a-time probe used by the vectorized-vs-scalar
+// ablation bench: one full probe sequence per row before moving to the next
+// row, so cache misses serialize.
+func (t *Table) FindScalar(keys []*vector.Vector, hashes []uint64, sel []int32, n int, rowIDs []int32) {
+	body := func(i int32) {
+		slot := hashes[i] & t.mask
+		step := uint64(0)
+		for {
+			cand := t.buckets[slot]
+			if cand == emptyBucket {
+				rowIDs[i] = emptyBucket
+				return
+			}
+			if t.rowHash[cand] == hashes[i] && t.keyEqual(cand, keys, int(i)) {
+				rowIDs[i] = cand
+				return
+			}
+			step++
+			slot = (slot + step) & t.mask
+		}
+	}
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			body(int32(i))
+		}
+	} else {
+		for _, i := range sel {
+			body(i)
+		}
+	}
+}
+
+// InsertDup inserts every active row, chaining duplicate keys (join build
+// side). Returns nothing; use Find + Next to iterate matches.
+func (t *Table) InsertDup(keys []*vector.Vector, hashes []uint64, sel []int32, n int, rowIDs []int32, inserted []bool) {
+	// First resolve chain heads (insert when absent)...
+	t.FindOrInsert(keys, hashes, sel, n, rowIDs, inserted)
+	// ...then rows that mapped to an existing head become chain links.
+	link := func(i int32) {
+		if inserted[i] {
+			return
+		}
+		head := rowIDs[i]
+		row := t.appendRow(hashes[i])
+		t.storeKey(row, keys, int(i))
+		// Push-front keeps linking O(1); match order is not defined for
+		// hash joins.
+		t.next[row] = t.next[head]
+		t.next[head] = row
+		rowIDs[i] = row
+	}
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			link(int32(i))
+		}
+	} else {
+		for _, i := range sel {
+			link(i)
+		}
+	}
+}
+
+// Next returns the next entry in row's duplicate chain, or -1.
+func (t *Table) Next(row int32) int32 { return t.next[row] }
+
+// maybeGrowFor grows the bucket directory if inserting up to n new keys
+// could exceed the load factor.
+func (t *Table) maybeGrowFor(n int) {
+	for float64(len(t.headRows)+n) > loadFactor*float64(len(t.buckets)) {
+		t.grow()
+	}
+}

@@ -1,0 +1,282 @@
+// Package ht implements Photon's vectorized hash table (§4.4).
+//
+// Lookups proceed in three vectorized steps: (1) a hashing kernel evaluates
+// hashes for a batch of keys (package kernels); (2) a probe kernel uses the
+// hashes to load candidate entry pointers for the whole batch — the
+// independent loads sit next to each other in the loop body so the hardware
+// overlaps the cache misses (memory-level parallelism, the paper's main
+// source of join speedup); (3) the candidate entries are compared against
+// the lookup keys column by column, producing a position list of
+// non-matching rows which advance their bucket index by quadratic probing
+// and loop.
+//
+// Entries are stored as rows (null byte + fixed-width value per key column,
+// then an opaque payload region), so a single entry index represents a
+// composite key. Variable-length key bytes live in a table-owned heap;
+// the row stores (offset, length). Row hashes are retained so growing the
+// table rebuilds the bucket directory without touching row data ("avoiding
+// copies during hash table resizing", §6.2).
+package ht
+
+import (
+	"encoding/binary"
+	"math"
+
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+const (
+	emptyBucket  = int32(-1)
+	loadFactor   = 0.7
+	initialSlots = 64
+)
+
+// Table is a vectorized open-addressing hash table with quadratic probing.
+type Table struct {
+	keyTypes []types.DataType
+	colOff   []int // byte offset of each key column within a row
+	keyWidth int
+	rowWidth int // keyWidth + payload width
+
+	buckets []int32
+	mask    uint64
+
+	fixed   []byte   // rowWidth bytes per entry
+	rowHash []uint64 // retained hash per entry
+	next    []int32  // duplicate chain per entry (join build), -1 terminated
+	numRows int
+
+	heap []byte // variable-length key/payload bytes
+
+	headRows []int32 // chain-head entries, i.e. one per distinct key
+
+	// Scratch for the batched probe loop, reused across calls.
+	cand    []int32
+	step    []int32
+	pending []int32
+	scratch []int32
+}
+
+// keySlotWidth returns the per-row byte width of one key column
+// (1 null byte + value bytes; strings store 4-byte offset + 4-byte length).
+func keySlotWidth(t types.DataType) int {
+	if t.ID == types.String {
+		return 1 + 8
+	}
+	return 1 + t.FixedWidth()
+}
+
+// New creates a table for the given key column types with payloadWidth
+// opaque bytes per entry.
+func New(keyTypes []types.DataType, payloadWidth int) *Table {
+	t := &Table{keyTypes: keyTypes}
+	off := 0
+	for _, kt := range keyTypes {
+		t.colOff = append(t.colOff, off)
+		off += keySlotWidth(kt)
+	}
+	t.keyWidth = off
+	t.rowWidth = off + payloadWidth
+	t.buckets = make([]int32, initialSlots)
+	for i := range t.buckets {
+		t.buckets[i] = emptyBucket
+	}
+	t.mask = initialSlots - 1
+	return t
+}
+
+// Len returns the number of distinct keys (chain heads).
+func (t *Table) Len() int { return len(t.headRows) }
+
+// HeadRows returns the chain-head entry ids, one per distinct key. The
+// slice is owned by the table; callers must not modify it.
+func (t *Table) HeadRows() []int32 { return t.headRows }
+
+// NumRows returns the total number of stored entries including duplicates.
+func (t *Table) NumRows() int { return t.numRows }
+
+// RowHashes exposes the retained per-entry key hashes (used by operators to
+// partition spilled state consistently across spill epochs).
+func (t *Table) RowHashes() []uint64 { return t.rowHash }
+
+// MemoryUsage approximates the table's footprint in bytes.
+func (t *Table) MemoryUsage() int64 {
+	return int64(len(t.fixed)) + int64(len(t.buckets))*4 +
+		int64(len(t.rowHash))*8 + int64(len(t.next))*4 + int64(len(t.heap))
+}
+
+// PayloadBytes returns the payload region of an entry row for in-place
+// reads/writes by operators (aggregation states, join build columns).
+func (t *Table) PayloadBytes(row int32) []byte {
+	base := int(row)*t.rowWidth + t.keyWidth
+	return t.fixed[base : base+t.rowWidth-t.keyWidth]
+}
+
+// HeapBytes resolves a (offset, length) reference into the var-len heap.
+func (t *Table) HeapBytes(off, ln uint32) []byte {
+	return t.heap[off : off+ln]
+}
+
+// AppendHeap copies b into the table heap, returning its (offset, length).
+func (t *Table) AppendHeap(b []byte) (uint32, uint32) {
+	off := uint32(len(t.heap))
+	t.heap = append(t.heap, b...)
+	return off, uint32(len(b))
+}
+
+func (t *Table) grow() {
+	newSize := uint64(len(t.buckets)) * 2
+	buckets := make([]int32, newSize)
+	for i := range buckets {
+		buckets[i] = emptyBucket
+	}
+	mask := newSize - 1
+	// Re-link every chain head into the new directory using retained hashes.
+	for _, row := range t.headRows {
+		h := t.rowHash[row]
+		slot := h & mask
+		step := uint64(1)
+		for buckets[slot] != emptyBucket {
+			slot = (slot + step) & mask
+			step++
+		}
+		buckets[slot] = row
+	}
+	t.buckets = buckets
+	t.mask = mask
+}
+
+// appendRow reserves a new entry row, storing its hash, and returns its id.
+func (t *Table) appendRow(h uint64) int32 {
+	row := int32(t.numRows)
+	t.numRows++
+	t.fixed = append(t.fixed, make([]byte, t.rowWidth)...)
+	t.rowHash = append(t.rowHash, h)
+	t.next = append(t.next, emptyBucket)
+	return row
+}
+
+// storeKey serializes the key columns of physical row i of the batch into
+// entry row `row`.
+func (t *Table) storeKey(row int32, keys []*vector.Vector, i int) {
+	base := int(row) * t.rowWidth
+	for c, kt := range t.keyTypes {
+		off := base + t.colOff[c]
+		v := keys[c]
+		if v.Nulls[i] != 0 {
+			t.fixed[off] = 1
+			continue
+		}
+		t.fixed[off] = 0
+		dst := t.fixed[off+1:]
+		switch kt.ID {
+		case types.Bool:
+			dst[0] = v.Bool[i]
+		case types.Int32, types.Date:
+			binary.LittleEndian.PutUint32(dst, uint32(v.I32[i]))
+		case types.Int64, types.Timestamp:
+			binary.LittleEndian.PutUint64(dst, uint64(v.I64[i]))
+		case types.Float64:
+			binary.LittleEndian.PutUint64(dst, math.Float64bits(v.F64[i]))
+		case types.Decimal:
+			binary.LittleEndian.PutUint64(dst, v.Dec[i].Lo)
+			binary.LittleEndian.PutUint64(dst[8:], uint64(v.Dec[i].Hi))
+		case types.String:
+			o, l := t.AppendHeap(v.Str[i])
+			binary.LittleEndian.PutUint32(dst, o)
+			binary.LittleEndian.PutUint32(dst[4:], l)
+		}
+	}
+}
+
+// keyEqual compares entry row `row` against physical batch row i, column by
+// column. NULL keys compare equal to NULL (GROUP BY semantics; join
+// operators filter NULL keys before probing).
+func (t *Table) keyEqual(row int32, keys []*vector.Vector, i int) bool {
+	base := int(row) * t.rowWidth
+	for c, kt := range t.keyTypes {
+		off := base + t.colOff[c]
+		v := keys[c]
+		entryNull := t.fixed[off] != 0
+		batchNull := v.Nulls[i] != 0
+		if entryNull != batchNull {
+			return false
+		}
+		if entryNull {
+			continue
+		}
+		src := t.fixed[off+1:]
+		switch kt.ID {
+		case types.Bool:
+			if src[0] != v.Bool[i] {
+				return false
+			}
+		case types.Int32, types.Date:
+			if int32(binary.LittleEndian.Uint32(src)) != v.I32[i] {
+				return false
+			}
+		case types.Int64, types.Timestamp:
+			if int64(binary.LittleEndian.Uint64(src)) != v.I64[i] {
+				return false
+			}
+		case types.Float64:
+			if binary.LittleEndian.Uint64(src) != math.Float64bits(v.F64[i]) {
+				return false
+			}
+		case types.Decimal:
+			if binary.LittleEndian.Uint64(src) != v.Dec[i].Lo ||
+				int64(binary.LittleEndian.Uint64(src[8:])) != v.Dec[i].Hi {
+				return false
+			}
+		case types.String:
+			o := binary.LittleEndian.Uint32(src)
+			l := binary.LittleEndian.Uint32(src[4:])
+			if string(t.heap[o:o+l]) != string(v.Str[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ReadKey decodes key column c of an entry row into vector v at position i
+// (used to emit grouping keys and build-side columns).
+func (t *Table) ReadKey(row int32, c int, v *vector.Vector, i int) {
+	base := int(row)*t.rowWidth + t.colOff[c]
+	if t.fixed[base] != 0 {
+		v.SetNull(i)
+		return
+	}
+	v.Nulls[i] = 0
+	src := t.fixed[base+1:]
+	switch t.keyTypes[c].ID {
+	case types.Bool:
+		v.Bool[i] = src[0]
+	case types.Int32, types.Date:
+		v.I32[i] = int32(binary.LittleEndian.Uint32(src))
+	case types.Int64, types.Timestamp:
+		v.I64[i] = int64(binary.LittleEndian.Uint64(src))
+	case types.Float64:
+		v.F64[i] = math.Float64frombits(binary.LittleEndian.Uint64(src))
+	case types.Decimal:
+		v.Dec[i] = types.Decimal128{
+			Lo: binary.LittleEndian.Uint64(src),
+			Hi: int64(binary.LittleEndian.Uint64(src[8:])),
+		}
+	case types.String:
+		o := binary.LittleEndian.Uint32(src)
+		l := binary.LittleEndian.Uint32(src[4:])
+		v.Str[i] = t.heap[o : o+l]
+	}
+}
+
+// ensureScratch sizes the probe scratch arrays for capacity rows.
+func (t *Table) ensureScratch(capacity int) {
+	if cap(t.cand) < capacity {
+		t.cand = make([]int32, capacity)
+		t.step = make([]int32, capacity)
+		t.pending = make([]int32, 0, capacity)
+		t.scratch = make([]int32, 0, capacity)
+	}
+}

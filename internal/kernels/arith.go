@@ -1,0 +1,310 @@
+package kernels
+
+import "photon/internal/types"
+
+// Arithmetic kernels. Each op has four specializations following Listing 2:
+// {dense, selective} × {NULL-free, nullable}. The NULL-free dense loop is
+// the branch-free fast path the Go compiler keeps tight (bounds-check
+// elimination via re-slicing); the nullable variants skip computing NULL
+// rows so division never faults on garbage inputs.
+
+// AddVV computes out[i] = a[i] + b[i] over the active rows.
+func AddVV[T Numeric](a, b, out []T, sel []int32, n int) {
+	if sel == nil {
+		a, b, o := a[:n], b[:n], out[:n]
+		for i := range o {
+			o[i] = a[i] + b[i]
+		}
+		return
+	}
+	for _, i := range sel {
+		out[i] = a[i] + b[i]
+	}
+}
+
+// AddVVNulls is AddVV skipping NULL rows (nulls already merged into outNulls).
+func AddVVNulls[T Numeric](a, b, out []T, outNulls []byte, sel []int32, n int) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if outNulls[i] == 0 {
+				out[i] = a[i] + b[i]
+			}
+		}
+		return
+	}
+	for _, i := range sel {
+		if outNulls[i] == 0 {
+			out[i] = a[i] + b[i]
+		}
+	}
+}
+
+// SubVV computes out[i] = a[i] - b[i] over the active rows.
+func SubVV[T Numeric](a, b, out []T, sel []int32, n int) {
+	if sel == nil {
+		a, b, o := a[:n], b[:n], out[:n]
+		for i := range o {
+			o[i] = a[i] - b[i]
+		}
+		return
+	}
+	for _, i := range sel {
+		out[i] = a[i] - b[i]
+	}
+}
+
+// SubVVNulls is SubVV skipping NULL rows.
+func SubVVNulls[T Numeric](a, b, out []T, outNulls []byte, sel []int32, n int) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if outNulls[i] == 0 {
+				out[i] = a[i] - b[i]
+			}
+		}
+		return
+	}
+	for _, i := range sel {
+		if outNulls[i] == 0 {
+			out[i] = a[i] - b[i]
+		}
+	}
+}
+
+// MulVV computes out[i] = a[i] * b[i] over the active rows.
+func MulVV[T Numeric](a, b, out []T, sel []int32, n int) {
+	if sel == nil {
+		a, b, o := a[:n], b[:n], out[:n]
+		for i := range o {
+			o[i] = a[i] * b[i]
+		}
+		return
+	}
+	for _, i := range sel {
+		out[i] = a[i] * b[i]
+	}
+}
+
+// MulVVNulls is MulVV skipping NULL rows.
+func MulVVNulls[T Numeric](a, b, out []T, outNulls []byte, sel []int32, n int) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if outNulls[i] == 0 {
+				out[i] = a[i] * b[i]
+			}
+		}
+		return
+	}
+	for _, i := range sel {
+		if outNulls[i] == 0 {
+			out[i] = a[i] * b[i]
+		}
+	}
+}
+
+// DivVV computes out[i] = a[i] / b[i] over the active rows, marking rows
+// with a zero divisor NULL (SQL semantics). Returns whether any NULL was
+// produced.
+func DivVV[T Numeric](a, b, out []T, outNulls []byte, sel []int32, n int) bool {
+	produced := false
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if outNulls[i] != 0 {
+				continue
+			}
+			if b[i] == 0 {
+				outNulls[i] = 1
+				produced = true
+				continue
+			}
+			out[i] = a[i] / b[i]
+		}
+		return produced
+	}
+	for _, i := range sel {
+		if outNulls[i] != 0 {
+			continue
+		}
+		if b[i] == 0 {
+			outNulls[i] = 1
+			produced = true
+			continue
+		}
+		out[i] = a[i] / b[i]
+	}
+	return produced
+}
+
+// AddVS computes out[i] = a[i] + s over the active rows.
+func AddVS[T Numeric](a []T, s T, out []T, sel []int32, n int) {
+	if sel == nil {
+		a, o := a[:n], out[:n]
+		for i := range o {
+			o[i] = a[i] + s
+		}
+		return
+	}
+	for _, i := range sel {
+		out[i] = a[i] + s
+	}
+}
+
+// SubVS computes out[i] = a[i] - s over the active rows.
+func SubVS[T Numeric](a []T, s T, out []T, sel []int32, n int) {
+	AddVS(a, -s, out, sel, n)
+}
+
+// SubSV computes out[i] = s - a[i] over the active rows.
+func SubSV[T Numeric](s T, a []T, out []T, sel []int32, n int) {
+	if sel == nil {
+		a, o := a[:n], out[:n]
+		for i := range o {
+			o[i] = s - a[i]
+		}
+		return
+	}
+	for _, i := range sel {
+		out[i] = s - a[i]
+	}
+}
+
+// MulVS computes out[i] = a[i] * s over the active rows.
+func MulVS[T Numeric](a []T, s T, out []T, sel []int32, n int) {
+	if sel == nil {
+		a, o := a[:n], out[:n]
+		for i := range o {
+			o[i] = a[i] * s
+		}
+		return
+	}
+	for _, i := range sel {
+		out[i] = a[i] * s
+	}
+}
+
+// ModVV computes out[i] = a[i] % b[i] for integer types, NULL on zero.
+func ModVV[T ~int32 | ~int64](a, b, out []T, outNulls []byte, sel []int32, n int) bool {
+	produced := false
+	body := func(i int32) {
+		if outNulls[i] != 0 {
+			return
+		}
+		if b[i] == 0 {
+			outNulls[i] = 1
+			produced = true
+			return
+		}
+		out[i] = a[i] % b[i]
+	}
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			body(int32(i))
+		}
+	} else {
+		for _, i := range sel {
+			body(i)
+		}
+	}
+	return produced
+}
+
+// NegV computes out[i] = -a[i] over the active rows.
+func NegV[T Numeric](a, out []T, sel []int32, n int) {
+	if sel == nil {
+		a, o := a[:n], out[:n]
+		for i := range o {
+			o[i] = -a[i]
+		}
+		return
+	}
+	for _, i := range sel {
+		out[i] = -a[i]
+	}
+}
+
+// Decimal arithmetic kernels — native 128-bit integer loops. This is the
+// machinery behind TPC-H Q1's 23x (§6.2): the baseline pays per-row
+// arbitrary-precision arithmetic, Photon runs these.
+
+// DecAddVV computes out[i] = a[i] + b[i]; operands must share a scale.
+func DecAddVV(a, b, out []types.Decimal128, sel []int32, n int) {
+	if sel == nil {
+		a, b, o := a[:n], b[:n], out[:n]
+		for i := range o {
+			o[i] = a[i].Add(b[i])
+		}
+		return
+	}
+	for _, i := range sel {
+		out[i] = a[i].Add(b[i])
+	}
+}
+
+// DecSubVV computes out[i] = a[i] - b[i].
+func DecSubVV(a, b, out []types.Decimal128, sel []int32, n int) {
+	if sel == nil {
+		a, b, o := a[:n], b[:n], out[:n]
+		for i := range o {
+			o[i] = a[i].Sub(b[i])
+		}
+		return
+	}
+	for _, i := range sel {
+		out[i] = a[i].Sub(b[i])
+	}
+}
+
+// DecMulVV computes out[i] = a[i] * b[i] (scales add at the expr layer).
+func DecMulVV(a, b, out []types.Decimal128, sel []int32, n int) {
+	if sel == nil {
+		a, b, o := a[:n], b[:n], out[:n]
+		for i := range o {
+			o[i] = a[i].Mul(b[i])
+		}
+		return
+	}
+	for _, i := range sel {
+		out[i] = a[i].Mul(b[i])
+	}
+}
+
+// DecAddVS computes out[i] = a[i] + s.
+func DecAddVS(a []types.Decimal128, s types.Decimal128, out []types.Decimal128, sel []int32, n int) {
+	if sel == nil {
+		a, o := a[:n], out[:n]
+		for i := range o {
+			o[i] = a[i].Add(s)
+		}
+		return
+	}
+	for _, i := range sel {
+		out[i] = a[i].Add(s)
+	}
+}
+
+// DecSubSV computes out[i] = s - a[i].
+func DecSubSV(s types.Decimal128, a, out []types.Decimal128, sel []int32, n int) {
+	if sel == nil {
+		a, o := a[:n], out[:n]
+		for i := range o {
+			o[i] = s.Sub(a[i])
+		}
+		return
+	}
+	for _, i := range sel {
+		out[i] = s.Sub(a[i])
+	}
+}
+
+// DecRescaleV rescales each active value from one scale to another.
+func DecRescaleV(a, out []types.Decimal128, from, to int, sel []int32, n int) {
+	if sel == nil {
+		a, o := a[:n], out[:n]
+		for i := range o {
+			o[i] = a[i].Rescale(from, to)
+		}
+		return
+	}
+	for _, i := range sel {
+		out[i] = a[i].Rescale(from, to)
+	}
+}

@@ -1,0 +1,522 @@
+package kernels
+
+import (
+	"encoding/binary"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"photon/internal/mem"
+)
+
+// String kernels. The ASCII check and ASCII upper-casing use SWAR (SIMD
+// within a register, 8 bytes per step) as this build's stand-in for the
+// paper's hand-written SIMD intrinsics (§6.1, Fig. 6): ASCII strings are
+// uppercased with byte-wise arithmetic while general UTF-8 goes through the
+// Unicode-table path, exactly the specialization Photon adapts between at
+// runtime based on per-vector ASCII metadata (§4.6).
+
+const hiBits = 0x8080808080808080
+
+// IsASCII reports whether b contains only bytes < 0x80, scanning 8 bytes at
+// a time.
+func IsASCII(b []byte) bool {
+	for len(b) >= 8 {
+		if binary.LittleEndian.Uint64(b)&hiBits != 0 {
+			return false
+		}
+		b = b[8:]
+	}
+	for _, c := range b {
+		if c >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckASCII scans the active strings and reports whether all are ASCII.
+// Operators cache the result as vector-level metadata.
+func CheckASCII(vals [][]byte, nulls []byte, hasNulls bool, sel []int32, n int) bool {
+	body := func(i int32) bool {
+		if hasNulls && nulls[i] != 0 {
+			return true
+		}
+		return IsASCII(vals[i])
+	}
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			if !body(int32(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, i := range sel {
+		if !body(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// upperASCII8 uppercases 8 ASCII bytes at once: for each byte in 'a'..'z',
+// clear bit 5. Classic SWAR range test: a byte c is in [lo,hi] iff
+// (c + (0x80-lo-? ...)) — implemented as (c >= lo) AND (c <= hi) via
+// borrow/carry tricks on the high bit.
+func upperASCII8(v uint64) uint64 {
+	// ge: high bit set for bytes >= 'a'
+	ge := (v | hiBits) - (0x6161616161616161 &^ hiBits) // v - 'a' with saturating borrow into bit 7
+	ge &= hiBits
+	// le: high bit set for bytes <= 'z'  <=>  NOT (bytes >= '{')
+	gt := (v | hiBits) - (0x7b7b7b7b7b7b7b7b &^ hiBits)
+	le := ^gt & hiBits
+	mask := (ge & le) >> 2 // 0x80 -> 0x20 per lowercase byte
+	return v &^ mask
+}
+
+// lowerASCII8 lowercases 8 ASCII bytes at once ('A'..'Z' gain bit 5).
+func lowerASCII8(v uint64) uint64 {
+	ge := (v | hiBits) - (0x4141414141414141 &^ hiBits)
+	ge &= hiBits
+	gt := (v | hiBits) - (0x5b5b5b5b5b5b5b5b &^ hiBits)
+	le := ^gt & hiBits
+	mask := (ge & le) >> 2
+	return v | mask
+}
+
+// UpperASCIIInto uppercases ASCII src into dst (same length) with SWAR.
+func UpperASCIIInto(dst, src []byte) {
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:], upperASCII8(binary.LittleEndian.Uint64(src[i:])))
+	}
+	for ; i < n; i++ {
+		c := src[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 32
+		}
+		dst[i] = c
+	}
+}
+
+// LowerASCIIInto lowercases ASCII src into dst with SWAR.
+func LowerASCIIInto(dst, src []byte) {
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:], lowerASCII8(binary.LittleEndian.Uint64(src[i:])))
+	}
+	for ; i < n; i++ {
+		c := src[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 32
+		}
+		dst[i] = c
+	}
+}
+
+// UpperASCIIV uppercases active rows via the SWAR fast path, allocating
+// output payloads from the arena.
+func UpperASCIIV(vals [][]byte, nulls []byte, hasNulls bool, sel []int32, n int, arena *mem.Arena, out [][]byte) {
+	body := func(i int32) {
+		if hasNulls && nulls[i] != 0 {
+			return
+		}
+		src := vals[i]
+		dst := arena.Alloc(len(src))
+		UpperASCIIInto(dst, src)
+		out[i] = dst
+	}
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			body(int32(i))
+		}
+	} else {
+		for _, i := range sel {
+			body(i)
+		}
+	}
+}
+
+// LowerASCIIV lowercases active rows via the SWAR fast path.
+func LowerASCIIV(vals [][]byte, nulls []byte, hasNulls bool, sel []int32, n int, arena *mem.Arena, out [][]byte) {
+	body := func(i int32) {
+		if hasNulls && nulls[i] != 0 {
+			return
+		}
+		src := vals[i]
+		dst := arena.Alloc(len(src))
+		LowerASCIIInto(dst, src)
+		out[i] = dst
+	}
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			body(int32(i))
+		}
+	} else {
+		for _, i := range sel {
+			body(i)
+		}
+	}
+}
+
+// UpperUTF8V is the general Unicode-table path ("ICU" in the paper's Fig. 6
+// baseline): decode each rune, map through the Unicode case tables,
+// re-encode. Used when the vector's ASCII metadata says mixed, or when
+// adaptivity is disabled for ablation.
+func UpperUTF8V(vals [][]byte, nulls []byte, hasNulls bool, sel []int32, n int, out [][]byte) {
+	body := func(i int32) {
+		if hasNulls && nulls[i] != 0 {
+			return
+		}
+		out[i] = []byte(strings.ToUpper(string(vals[i])))
+	}
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			body(int32(i))
+		}
+	} else {
+		for _, i := range sel {
+			body(i)
+		}
+	}
+}
+
+// LowerUTF8V is the general Unicode lower-casing path.
+func LowerUTF8V(vals [][]byte, nulls []byte, hasNulls bool, sel []int32, n int, out [][]byte) {
+	body := func(i int32) {
+		if hasNulls && nulls[i] != 0 {
+			return
+		}
+		out[i] = []byte(strings.ToLower(string(vals[i])))
+	}
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			body(int32(i))
+		}
+	} else {
+		for _, i := range sel {
+			body(i)
+		}
+	}
+}
+
+// LengthV computes character length per active row: byte length on the
+// ASCII fast path, rune count on the general path.
+func LengthV(vals [][]byte, nulls []byte, hasNulls bool, ascii bool, sel []int32, n int, out []int32) {
+	body := func(i int32) {
+		if hasNulls && nulls[i] != 0 {
+			return
+		}
+		if ascii {
+			out[i] = int32(len(vals[i]))
+		} else {
+			out[i] = int32(utf8.RuneCount(vals[i]))
+		}
+	}
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			body(int32(i))
+		}
+	} else {
+		for _, i := range sel {
+			body(i)
+		}
+	}
+}
+
+// SubstrV computes SUBSTRING(s, start, length) with 1-based start (SQL
+// semantics) per active row, slicing bytes on the ASCII fast path.
+func SubstrV(vals [][]byte, nulls []byte, hasNulls bool, ascii bool, start, length int, sel []int32, n int, out [][]byte) {
+	body := func(i int32) {
+		if hasNulls && nulls[i] != 0 {
+			return
+		}
+		out[i] = substrOne(vals[i], start, length, ascii)
+	}
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			body(int32(i))
+		}
+	} else {
+		for _, i := range sel {
+			body(i)
+		}
+	}
+}
+
+func substrOne(s []byte, start, length int, ascii bool) []byte {
+	if length <= 0 {
+		return s[:0]
+	}
+	if ascii {
+		from := start - 1
+		if start <= 0 { // SQL: start 0 behaves as 1; negative counts from end
+			if start == 0 {
+				from = 0
+			} else {
+				from = len(s) + start
+				if from < 0 {
+					length += from
+					from = 0
+					if length <= 0 {
+						return s[:0]
+					}
+				}
+			}
+		}
+		if from >= len(s) {
+			return s[:0]
+		}
+		to := from + length
+		if to > len(s) {
+			to = len(s)
+		}
+		return s[from:to]
+	}
+	// Rune-aware general path.
+	runes := []rune(string(s))
+	from := start - 1
+	if start <= 0 {
+		if start == 0 {
+			from = 0
+		} else {
+			from = len(runes) + start
+			if from < 0 {
+				length += from
+				from = 0
+				if length <= 0 {
+					return s[:0]
+				}
+			}
+		}
+	}
+	if from >= len(runes) {
+		return s[:0]
+	}
+	to := from + length
+	if to > len(runes) {
+		to = len(runes)
+	}
+	return []byte(string(runes[from:to]))
+}
+
+// ConcatVV concatenates two string vectors per active row via the arena.
+func ConcatVV(a, b [][]byte, outNulls []byte, sel []int32, n int, arena *mem.Arena, out [][]byte) {
+	body := func(i int32) {
+		if outNulls[i] != 0 {
+			return
+		}
+		dst := arena.Alloc(len(a[i]) + len(b[i]))
+		copy(dst, a[i])
+		copy(dst[len(a[i]):], b[i])
+		out[i] = dst
+	}
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			body(int32(i))
+		}
+	} else {
+		for _, i := range sel {
+			body(i)
+		}
+	}
+}
+
+// TrimV trims leading/trailing ASCII spaces per active row.
+func TrimV(vals [][]byte, nulls []byte, hasNulls bool, sel []int32, n int, out [][]byte) {
+	body := func(i int32) {
+		if hasNulls && nulls[i] != 0 {
+			return
+		}
+		s := vals[i]
+		for len(s) > 0 && s[0] == ' ' {
+			s = s[1:]
+		}
+		for len(s) > 0 && s[len(s)-1] == ' ' {
+			s = s[:len(s)-1]
+		}
+		out[i] = s
+	}
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			body(int32(i))
+		}
+	} else {
+		for _, i := range sel {
+			body(i)
+		}
+	}
+}
+
+// LikePattern is a compiled SQL LIKE pattern: literal segments separated by
+// multi-char wildcards, with single-char wildcards inside segments encoded
+// as 0x00 placeholders (input strings containing NUL are matched via the
+// slow path).
+type LikePattern struct {
+	Raw      string
+	segments [][]byte // literal pieces between % wildcards
+	hasUnder bool
+	// Fast-path classification.
+	kind      likeKind
+	needle    []byte
+	anyBefore bool
+}
+
+type likeKind uint8
+
+const (
+	likeGeneric  likeKind = iota
+	likeExact             // no wildcards
+	likePrefix            // lit%
+	likeSuffix            // %lit
+	likeContains          // %lit%
+)
+
+// CompileLike parses a LIKE pattern (wildcards % and _, no escape).
+func CompileLike(pattern string) *LikePattern {
+	p := &LikePattern{Raw: pattern}
+	var segs [][]byte
+	cur := []byte{}
+	for i := 0; i < len(pattern); i++ {
+		switch pattern[i] {
+		case '%':
+			segs = append(segs, cur)
+			cur = []byte{}
+		case '_':
+			p.hasUnder = true
+			cur = append(cur, 0)
+		default:
+			cur = append(cur, pattern[i])
+		}
+	}
+	segs = append(segs, cur)
+	p.segments = segs
+	if !p.hasUnder {
+		switch {
+		case len(segs) == 1:
+			p.kind = likeExact
+			p.needle = segs[0]
+		case len(segs) == 2 && len(segs[0]) > 0 && len(segs[1]) == 0:
+			p.kind = likePrefix
+			p.needle = segs[0]
+		case len(segs) == 2 && len(segs[0]) == 0 && len(segs[1]) > 0:
+			p.kind = likeSuffix
+			p.needle = segs[1]
+		case len(segs) == 3 && len(segs[0]) == 0 && len(segs[2]) == 0:
+			p.kind = likeContains
+			p.needle = segs[1]
+		default:
+			p.kind = likeGeneric
+		}
+	}
+	return p
+}
+
+// Match reports whether s matches the pattern.
+func (p *LikePattern) Match(s []byte) bool {
+	switch p.kind {
+	case likeExact:
+		return string(s) == string(p.needle)
+	case likePrefix:
+		return len(s) >= len(p.needle) && string(s[:len(p.needle)]) == string(p.needle)
+	case likeSuffix:
+		return len(s) >= len(p.needle) && string(s[len(s)-len(p.needle):]) == string(p.needle)
+	case likeContains:
+		return indexBytes(s, p.needle) >= 0
+	}
+	return p.matchGeneric(s)
+}
+
+func (p *LikePattern) matchGeneric(s []byte) bool {
+	segs := p.segments
+	// First segment must anchor at the start.
+	if !segMatchAt(s, segs[0], 0) {
+		return false
+	}
+	pos := len(segs[0])
+	// Middle segments float; last must anchor at the end.
+	for k := 1; k < len(segs)-1; k++ {
+		found := -1
+		for i := pos; i+len(segs[k]) <= len(s); i++ {
+			if segMatchAt(s, segs[k], i) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return false
+		}
+		pos = found + len(segs[k])
+	}
+	last := segs[len(segs)-1]
+	if len(segs) == 1 {
+		return pos == len(s)
+	}
+	if len(s)-pos < len(last) {
+		return false
+	}
+	return segMatchAt(s, last, len(s)-len(last))
+}
+
+// segMatchAt matches a segment (with 0x00 = any single byte) at position i.
+func segMatchAt(s, seg []byte, i int) bool {
+	if i+len(seg) > len(s) {
+		return false
+	}
+	for j, c := range seg {
+		if c == 0 {
+			continue
+		}
+		if s[i+j] != c {
+			return false
+		}
+	}
+	return true
+}
+
+func indexBytes(s, needle []byte) int {
+	if len(needle) == 0 {
+		return 0
+	}
+	for i := 0; i+len(needle) <= len(s); i++ {
+		if s[i] == needle[0] && string(s[i:i+len(needle)]) == string(needle) {
+			return i
+		}
+	}
+	return -1
+}
+
+// SelLike appends active rows matching the LIKE pattern.
+func SelLike(p *LikePattern, vals [][]byte, nulls []byte, hasNulls bool, sel []int32, n int, out []int32) []int32 {
+	body := func(i int32) {
+		if hasNulls && nulls[i] != 0 {
+			return
+		}
+		if p.Match(vals[i]) {
+			out = append(out, i)
+		}
+	}
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			body(int32(i))
+		}
+	} else {
+		for _, i := range sel {
+			body(i)
+		}
+	}
+	return out
+}
+
+// UpperRuneSlow is a deliberately rune-at-a-time reference implementation
+// used by tests to validate the SWAR kernels.
+func UpperRuneSlow(s []byte) []byte {
+	out := make([]rune, 0, len(s))
+	for _, r := range string(s) {
+		out = append(out, unicode.ToUpper(r))
+	}
+	return []byte(string(out))
+}

@@ -1,0 +1,190 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Consumer is a memory-consuming operator registered with the Manager.
+// Spill asks the consumer to release at least n bytes (by writing state to
+// disk); it returns the bytes actually freed. A consumer may be asked to
+// spill on behalf of another consumer's reservation — the "recursive spill"
+// of §5.3.
+type Consumer interface {
+	Name() string
+	Spill(n int64) (int64, error)
+}
+
+// Manager is the unified memory manager shared by Photon operators, the
+// baseline row engine, and user code, mirroring Spark's unified memory
+// manager. It separates reservations from allocations: an operator first
+// Reserves memory (which may force spilling somewhere in the system) and can
+// then allocate up to its reservation without any further risk of spilling
+// (§5.3's reserve phase / allocate phase split).
+type Manager struct {
+	mu       sync.Mutex
+	limit    int64
+	reserved map[Consumer]int64
+	total    int64
+
+	// Metrics.
+	SpillCount   int64
+	SpilledBytes int64
+}
+
+// OOMError is returned when a reservation cannot be satisfied even after
+// spilling every eligible consumer.
+type OOMError struct {
+	Requested int64
+	Available int64
+}
+
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("mem: out of memory: requested %d bytes, %d available after spilling", e.Requested, e.Available)
+}
+
+// NewManager returns a manager enforcing the given byte limit
+// (limit <= 0 means effectively unlimited).
+func NewManager(limit int64) *Manager {
+	if limit <= 0 {
+		limit = 1 << 62
+	}
+	return &Manager{limit: limit, reserved: make(map[Consumer]int64)}
+}
+
+// Limit returns the configured memory limit in bytes.
+func (m *Manager) Limit() int64 { return m.limit }
+
+// Used returns the total reserved bytes.
+func (m *Manager) Used() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}
+
+// UsedBy returns the bytes reserved by one consumer.
+func (m *Manager) UsedBy(c Consumer) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reserved[c]
+}
+
+// Reserve acquires n bytes for consumer c, spilling other consumers (or c
+// itself) if needed. The spill victim selection follows open-source Spark's
+// policy (§5.3): sort consumers from least to most allocated and spill the
+// first that holds at least the missing bytes; if none does, spill the
+// largest consumers until enough is freed. This minimizes the number of
+// spills while avoiding spilling more data than necessary.
+func (m *Manager) Reserve(c Consumer, n int64) error {
+	if n < 0 {
+		panic("mem: negative reservation")
+	}
+	m.mu.Lock()
+	for m.total+n > m.limit {
+		need := m.total + n - m.limit
+		victim := m.pickVictimLocked(c, need)
+		if victim == nil {
+			avail := m.limit - m.total
+			m.mu.Unlock()
+			return &OOMError{Requested: n, Available: avail}
+		}
+		// Release the lock during the spill: the victim will call Release
+		// as it frees memory.
+		m.mu.Unlock()
+		freed, err := victim.Spill(need)
+		if err != nil {
+			return fmt.Errorf("mem: spill of %s failed: %w", victim.Name(), err)
+		}
+		m.mu.Lock()
+		m.SpillCount++
+		m.SpilledBytes += freed
+		if freed <= 0 {
+			// The victim could not free anything; exclude it by treating
+			// this as terminal if no progress is possible.
+			if m.total+n > m.limit {
+				avail := m.limit - m.total
+				m.mu.Unlock()
+				return &OOMError{Requested: n, Available: avail}
+			}
+		}
+	}
+	m.reserved[c] += n
+	m.total += n
+	m.mu.Unlock()
+	return nil
+}
+
+// pickVictimLocked chooses a spill victim for a reservation that is `need`
+// bytes short. It prefers, among consumers sorted by ascending reservation,
+// the first holding at least `need`; otherwise the largest consumer.
+// Consumers with zero reservation are skipped. The requester itself is
+// eligible ("self-spill" and recursive spill both occur in practice).
+func (m *Manager) pickVictimLocked(requester Consumer, need int64) Consumer {
+	type entry struct {
+		c Consumer
+		n int64
+	}
+	var entries []entry
+	for c, n := range m.reserved {
+		if n > 0 {
+			entries = append(entries, entry{c, n})
+		}
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].n != entries[j].n {
+			return entries[i].n < entries[j].n
+		}
+		return entries[i].c.Name() < entries[j].c.Name()
+	})
+	for _, e := range entries {
+		if e.n >= need {
+			return e.c
+		}
+	}
+	return entries[len(entries)-1].c
+}
+
+// Release returns n bytes of c's reservation to the manager.
+func (m *Manager) Release(c Consumer, n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := m.reserved[c]
+	if n > cur {
+		n = cur
+	}
+	m.reserved[c] = cur - n
+	if m.reserved[c] == 0 {
+		delete(m.reserved, c)
+	}
+	m.total -= n
+}
+
+// ReleaseAll returns c's entire reservation (called on operator close, tying
+// operator state to query lifetime rather than a GC generation, §5.4).
+func (m *Manager) ReleaseAll(c Consumer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.total -= m.reserved[c]
+	delete(m.reserved, c)
+}
+
+// FuncConsumer adapts a name and a spill function into a Consumer.
+type FuncConsumer struct {
+	ConsumerName string
+	SpillFunc    func(n int64) (int64, error)
+}
+
+// Name implements Consumer.
+func (f *FuncConsumer) Name() string { return f.ConsumerName }
+
+// Spill implements Consumer.
+func (f *FuncConsumer) Spill(n int64) (int64, error) {
+	if f.SpillFunc == nil {
+		return 0, nil
+	}
+	return f.SpillFunc(n)
+}

@@ -1,0 +1,61 @@
+package mem
+
+import (
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// BatchPool caches transient column batches with a most-recently-used
+// mechanism (§4.5): Put pushes onto a per-schema stack and Get pops the most
+// recent batch, keeping hot memory in use for the fixed allocation pattern a
+// query repeats per input batch.
+//
+// The pool is not safe for concurrent use; each task owns one pool, matching
+// Photon's single-threaded task model.
+type BatchPool struct {
+	stacks map[*types.Schema][]*vector.Batch
+
+	// Stats for the buffer-pool ablation bench.
+	Hits      int64
+	Misses    int64
+	batchSize int
+
+	// Disabled bypasses caching entirely (allocation-churn ablation).
+	Disabled bool
+}
+
+// NewBatchPool returns a pool producing batches with the given row capacity
+// (0 = vector.DefaultBatchSize).
+func NewBatchPool(batchSize int) *BatchPool {
+	if batchSize <= 0 {
+		batchSize = vector.DefaultBatchSize
+	}
+	return &BatchPool{stacks: make(map[*types.Schema][]*vector.Batch), batchSize: batchSize}
+}
+
+// BatchSize returns the row capacity of batches produced by this pool.
+func (p *BatchPool) BatchSize() int { return p.batchSize }
+
+// Get returns a reset batch for the schema, reusing the most recently
+// returned one when available.
+func (p *BatchPool) Get(schema *types.Schema) *vector.Batch {
+	if !p.Disabled {
+		if s := p.stacks[schema]; len(s) > 0 {
+			b := s[len(s)-1]
+			p.stacks[schema] = s[:len(s)-1]
+			b.Reset()
+			p.Hits++
+			return b
+		}
+	}
+	p.Misses++
+	return vector.NewBatch(schema, p.batchSize)
+}
+
+// Put returns a batch to the pool. The caller must not touch it afterwards.
+func (p *BatchPool) Put(b *vector.Batch) {
+	if p.Disabled || b == nil {
+		return
+	}
+	p.stacks[b.Schema] = append(p.stacks[b.Schema], b)
+}

@@ -1,0 +1,472 @@
+package rowengine
+
+import (
+	"fmt"
+	"sort"
+
+	"photon/internal/expr"
+	"photon/internal/types"
+)
+
+// JoinType mirrors the Photon engine's join semantics.
+type JoinType uint8
+
+// Join types.
+const (
+	InnerJoin JoinType = iota
+	LeftOuterJoin
+	LeftSemiJoin
+	LeftAntiJoin
+)
+
+// ShuffledHashJoin is the baseline scalar hash join: a Go map from encoded
+// key to buffered rows, probed one row at a time — each probe's cache
+// misses serialize, which is what the vectorized table's parallel loads
+// beat in Fig. 4.
+type ShuffledHashJoin struct {
+	left, right Operator
+	leftKeys    []RowExpr
+	rightKeys   []RowExpr
+	joinType    JoinType
+	schema      *types.Schema
+
+	table   map[string][][]any
+	pending [][]any // remaining matches for the current probe row
+	curLeft []any
+	out     []any
+}
+
+// NewShuffledHashJoin builds the baseline hash join.
+func NewShuffledHashJoin(left, right Operator, leftKeys, rightKeys []expr.Expr, jt JoinType, mode Mode) (*ShuffledHashJoin, error) {
+	j := &ShuffledHashJoin{left: left, right: right, joinType: jt}
+	var err error
+	if j.leftKeys, err = compileAll(leftKeys, mode); err != nil {
+		return nil, err
+	}
+	if j.rightKeys, err = compileAll(rightKeys, mode); err != nil {
+		return nil, err
+	}
+	j.schema = joinSchema(left.Schema(), right.Schema(), jt)
+	return j, nil
+}
+
+func compileAll(es []expr.Expr, mode Mode) ([]RowExpr, error) {
+	out := make([]RowExpr, len(es))
+	for i, e := range es {
+		fn, err := CompileExpr(e, mode)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = fn
+	}
+	return out, nil
+}
+
+func joinSchema(l, r *types.Schema, jt JoinType) *types.Schema {
+	switch jt {
+	case LeftSemiJoin, LeftAntiJoin:
+		return l
+	default:
+		fields := append([]types.Field(nil), l.Fields...)
+		for _, f := range r.Fields {
+			nf := f
+			if jt == LeftOuterJoin {
+				nf.Nullable = true
+			}
+			fields = append(fields, nf)
+		}
+		return &types.Schema{Fields: fields}
+	}
+}
+
+// Schema implements Operator.
+func (j *ShuffledHashJoin) Schema() *types.Schema { return j.schema }
+
+// evalKeyString encodes a row's join key; ok=false when any key is NULL.
+func evalKeyString(fns []RowExpr, row []any) (string, bool, error) {
+	vals := make([]any, len(fns))
+	for i, fn := range fns {
+		v, err := fn(row)
+		if err != nil {
+			return "", false, err
+		}
+		if v == nil {
+			return "", false, nil
+		}
+		vals[i] = v
+	}
+	return encodeKey(vals), true, nil
+}
+
+// Open implements Operator: builds the map from the right side.
+func (j *ShuffledHashJoin) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	if err := j.right.Open(); err != nil {
+		return err
+	}
+	j.table = make(map[string][][]any)
+	j.out = make([]any, j.schema.Len())
+	for {
+		row, err := j.right.NextRow()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		k, ok, err := evalKeyString(j.rightKeys, row)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue // NULL keys never match
+		}
+		j.table[k] = append(j.table[k], append([]any(nil), row...))
+	}
+	return nil
+}
+
+// NextRow implements Operator.
+func (j *ShuffledHashJoin) NextRow() ([]any, error) {
+	for {
+		if len(j.pending) > 0 {
+			build := j.pending[0]
+			j.pending = j.pending[1:]
+			copy(j.out, j.curLeft)
+			copy(j.out[len(j.curLeft):], build)
+			return j.out, nil
+		}
+		row, err := j.left.NextRow()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		k, ok, err := evalKeyString(j.leftKeys, row)
+		if err != nil {
+			return nil, err
+		}
+		var matches [][]any
+		if ok {
+			matches = j.table[k]
+		}
+		switch j.joinType {
+		case InnerJoin:
+			if len(matches) > 0 {
+				j.curLeft = append(j.curLeft[:0], row...)
+				j.pending = matches
+			}
+		case LeftOuterJoin:
+			j.curLeft = append(j.curLeft[:0], row...)
+			if len(matches) > 0 {
+				j.pending = matches
+			} else {
+				copy(j.out, row)
+				for c := len(row); c < len(j.out); c++ {
+					j.out[c] = nil
+				}
+				return j.out, nil
+			}
+		case LeftSemiJoin:
+			if len(matches) > 0 {
+				return row, nil
+			}
+		case LeftAntiJoin:
+			if len(matches) == 0 {
+				return row, nil
+			}
+		}
+	}
+}
+
+// Close implements Operator.
+func (j *ShuffledHashJoin) Close() error {
+	j.table = nil
+	if err := j.left.Close(); err != nil {
+		j.right.Close()
+		return err
+	}
+	return j.right.Close()
+}
+
+// SortMergeJoin is Spark's default join (§6.1 footnote: Spark defaults to
+// SMJ because its shuffled hash join cannot spill): both sides sort by key,
+// then merge. Only inner equi-joins are supported (all the paper's SMJ
+// comparisons are inner joins).
+type SortMergeJoin struct {
+	left, right Operator
+	leftKeys    []RowExpr
+	rightKeys   []RowExpr
+	keyTypes    []types.DataType
+	schema      *types.Schema
+
+	lrows, rrows [][]any
+	lkeys, rkeys [][]any
+	li, ri       int
+	group        [][]any // current right group with equal keys
+	gi           int
+	curLeft      []any
+	curKey       []any
+	out          []any
+}
+
+// NewSortMergeJoin builds an inner sort-merge join.
+func NewSortMergeJoin(left, right Operator, leftKeys, rightKeys []expr.Expr, mode Mode) (*SortMergeJoin, error) {
+	j := &SortMergeJoin{left: left, right: right}
+	var err error
+	if j.leftKeys, err = compileAll(leftKeys, mode); err != nil {
+		return nil, err
+	}
+	if j.rightKeys, err = compileAll(rightKeys, mode); err != nil {
+		return nil, err
+	}
+	for _, k := range leftKeys {
+		j.keyTypes = append(j.keyTypes, k.Type())
+	}
+	j.schema = joinSchema(left.Schema(), right.Schema(), InnerJoin)
+	return j, nil
+}
+
+// Schema implements Operator.
+func (j *SortMergeJoin) Schema() *types.Schema { return j.schema }
+
+func (j *SortMergeJoin) loadAndSort(op Operator, fns []RowExpr) ([][]any, [][]any, error) {
+	var rows, keys [][]any
+	for {
+		row, err := op.NextRow()
+		if err != nil {
+			return nil, nil, err
+		}
+		if row == nil {
+			break
+		}
+		kv := make([]any, len(fns))
+		null := false
+		for i, fn := range fns {
+			v, err := fn(row)
+			if err != nil {
+				return nil, nil, err
+			}
+			if v == nil {
+				null = true
+				break
+			}
+			kv[i] = v
+		}
+		if null {
+			continue
+		}
+		rows = append(rows, append([]any(nil), row...))
+		keys = append(keys, kv)
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		c, _ := j.compareKeys(keys[idx[a]], keys[idx[b]])
+		return c < 0
+	})
+	sr := make([][]any, len(rows))
+	sk := make([][]any, len(rows))
+	for i, x := range idx {
+		sr[i] = rows[x]
+		sk[i] = keys[x]
+	}
+	return sr, sk, nil
+}
+
+func (j *SortMergeJoin) compareKeys(a, b []any) (int, error) {
+	for i := range a {
+		c, err := compareAny(a[i], b[i], j.keyTypes[i])
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return c, nil
+		}
+	}
+	return 0, nil
+}
+
+// Open implements Operator: the sort phase (both sides fully sorted — the
+// cost Spark pays for spill-safety).
+func (j *SortMergeJoin) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	if err := j.right.Open(); err != nil {
+		return err
+	}
+	var err error
+	if j.lrows, j.lkeys, err = j.loadAndSort(j.left, j.leftKeys); err != nil {
+		return err
+	}
+	if j.rrows, j.rkeys, err = j.loadAndSort(j.right, j.rightKeys); err != nil {
+		return err
+	}
+	j.li, j.ri = 0, 0
+	j.out = make([]any, j.schema.Len())
+	return nil
+}
+
+// NextRow implements Operator: the merge phase.
+func (j *SortMergeJoin) NextRow() ([]any, error) {
+	for {
+		if j.group != nil && j.gi < len(j.group) {
+			build := j.group[j.gi]
+			j.gi++
+			copy(j.out, j.curLeft)
+			copy(j.out[len(j.curLeft):], build)
+			return j.out, nil
+		}
+		j.group = nil
+		if j.li >= len(j.lrows) {
+			return nil, nil
+		}
+		lk := j.lkeys[j.li]
+		// Advance right to the first key >= lk.
+		for j.ri < len(j.rrows) {
+			c, err := j.compareKeys(j.rkeys[j.ri], lk)
+			if err != nil {
+				return nil, err
+			}
+			if c >= 0 {
+				break
+			}
+			j.ri++
+		}
+		if j.ri >= len(j.rrows) {
+			return nil, nil
+		}
+		c, err := j.compareKeys(j.rkeys[j.ri], lk)
+		if err != nil {
+			return nil, err
+		}
+		if c > 0 {
+			j.li++
+			continue
+		}
+		// Gather the right group with this key.
+		end := j.ri
+		for end < len(j.rrows) {
+			ce, err := j.compareKeys(j.rkeys[end], lk)
+			if err != nil {
+				return nil, err
+			}
+			if ce != 0 {
+				break
+			}
+			end++
+		}
+		j.group = j.rrows[j.ri:end]
+		j.gi = 0
+		j.curLeft = j.lrows[j.li]
+		j.curKey = lk
+		j.li++
+		// Note: j.ri stays at group start; the next left key may equal lk.
+	}
+}
+
+// Close implements Operator.
+func (j *SortMergeJoin) Close() error {
+	j.lrows, j.rrows = nil, nil
+	if err := j.left.Close(); err != nil {
+		j.right.Close()
+		return err
+	}
+	return j.right.Close()
+}
+
+// Sort is the baseline in-memory sort over boxed rows.
+type Sort struct {
+	child Operator
+	keys  []SortKey
+	rows  [][]any
+	pos   int
+}
+
+// SortKey mirrors exec.SortKey for the row engine.
+type SortKey struct {
+	Col  int
+	Desc bool
+}
+
+// NewSort builds the baseline sort.
+func NewSort(child Operator, keys []SortKey) *Sort {
+	return &Sort{child: child, keys: keys}
+}
+
+// Schema implements Operator.
+func (s *Sort) Schema() *types.Schema { return s.child.Schema() }
+
+// Open implements Operator.
+func (s *Sort) Open() error {
+	if err := s.child.Open(); err != nil {
+		return err
+	}
+	s.rows = nil
+	s.pos = 0
+	for {
+		row, err := s.child.NextRow()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		s.rows = append(s.rows, append([]any(nil), row...))
+	}
+	schema := s.child.Schema()
+	var sortErr error
+	sort.SliceStable(s.rows, func(a, b int) bool {
+		for _, k := range s.keys {
+			va, vb := s.rows[a][k.Col], s.rows[b][k.Col]
+			c, err := compareNullable(va, vb, schema.Field(k.Col).Type)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c != 0 {
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	return sortErr
+}
+
+// compareNullable orders NULLs smallest.
+func compareNullable(a, b any, t types.DataType) (int, error) {
+	switch {
+	case a == nil && b == nil:
+		return 0, nil
+	case a == nil:
+		return -1, nil
+	case b == nil:
+		return 1, nil
+	}
+	return compareAny(a, b, t)
+}
+
+// NextRow implements Operator.
+func (s *Sort) NextRow() ([]any, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+// Close implements Operator.
+func (s *Sort) Close() error {
+	s.rows = nil
+	return s.child.Close()
+}
+
+// errUnsupported reports a join/operator gap.
+var errUnsupported = fmt.Errorf("rowengine: unsupported operation")

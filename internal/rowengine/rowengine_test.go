@@ -1,0 +1,371 @@
+package rowengine
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"photon/internal/exec"
+	"photon/internal/expr"
+	"photon/internal/kernels"
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// These tests double as the paper's §5.6 end-to-end consistency suite: the
+// same logical computation runs through the Photon vectorized engine and
+// the baseline row engine (in both Interpreted and Compiled modes) and the
+// results must match exactly.
+
+func sortAnyRows(rows [][]any) {
+	sort.Slice(rows, func(i, j int) bool {
+		return fmt.Sprint(rows[i]) < fmt.Sprint(rows[j])
+	})
+}
+
+func buildData(schema *types.Schema, rows [][]any) []*vector.Batch {
+	return exec.BuildBatches(schema, rows, 64)
+}
+
+func TestScanPivot(t *testing.T) {
+	schema := types.NewSchema(
+		types.Field{Name: "a", Type: types.Int64Type, Nullable: true},
+		types.Field{Name: "s", Type: types.StringType, Nullable: true},
+	)
+	rows := [][]any{{int64(1), "x"}, {nil, nil}, {int64(3), "z"}}
+	got, err := CollectRows(NewScan(schema, buildData(schema, rows)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rows) {
+		t.Errorf("scan pivot: %v", got)
+	}
+}
+
+func TestFilterProjectBothModes(t *testing.T) {
+	schema := types.NewSchema(
+		types.Field{Name: "a", Type: types.Int64Type, Nullable: true},
+		types.Field{Name: "b", Type: types.Int64Type, Nullable: true},
+	)
+	var rows [][]any
+	for i := 0; i < 100; i++ {
+		rows = append(rows, []any{int64(i), int64(i * 3)})
+	}
+	rows = append(rows, []any{nil, int64(5)})
+	colA := expr.Col(0, "a", types.Int64Type)
+	colB := expr.Col(1, "b", types.Int64Type)
+	pred := expr.NewAnd(
+		expr.MustCmp(kernels.CmpGe, colA, expr.Int64Lit(90)),
+		expr.MustCmp(kernels.CmpLt, colB, expr.Int64Lit(290)),
+	)
+	proj := []expr.Expr{expr.MustArith(expr.OpAdd, colA, colB)}
+	outSchema := types.NewSchema(types.Field{Name: "sum", Type: types.Int64Type, Nullable: true})
+
+	var results [][][]any
+	for _, mode := range []Mode{Interpreted, Compiled} {
+		p, err := CompilePred(pred, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exprs, err := compileAll(proj, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := NewProject(NewFilter(NewScan(schema, buildData(schema, rows)), p), exprs, outSchema)
+		got, err := CollectRows(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, got)
+	}
+	if !reflect.DeepEqual(results[0], results[1]) {
+		t.Error("interpreted and compiled modes disagree")
+	}
+	// 90..96 pass (b < 290 ⇒ a < 96.67).
+	if len(results[0]) != 7 {
+		t.Errorf("rows = %d: %v", len(results[0]), results[0])
+	}
+}
+
+// crossEngine runs the same scan→filter→agg in Photon and the row engine.
+func TestCrossEngineAggConsistency(t *testing.T) {
+	schema := types.NewSchema(
+		types.Field{Name: "g", Type: types.Int64Type, Nullable: true},
+		types.Field{Name: "v", Type: types.DecimalType(12, 2), Nullable: true},
+	)
+	dec := func(s string) types.Decimal128 {
+		d, _ := types.ParseDecimal(s, 2)
+		return d
+	}
+	var rows [][]any
+	for i := 0; i < 300; i++ {
+		var g any = int64(i % 7)
+		var v any = dec(fmt.Sprintf("%d.%02d", i, i%100))
+		if i%11 == 0 {
+			v = nil
+		}
+		if i%13 == 0 {
+			g = nil
+		}
+		rows = append(rows, []any{g, v})
+	}
+	keys := []expr.Expr{expr.Col(0, "g", types.Int64Type)}
+	specs := []expr.AggSpec{
+		{Kind: expr.AggCount, Name: "c"},
+		{Kind: expr.AggSum, Arg: expr.Col(1, "v", types.DecimalType(12, 2)), Name: "s"},
+		{Kind: expr.AggAvg, Arg: expr.Col(1, "v", types.DecimalType(12, 2)), Name: "a"},
+		{Kind: expr.AggMin, Arg: expr.Col(1, "v", types.DecimalType(12, 2)), Name: "mn"},
+		{Kind: expr.AggMax, Arg: expr.Col(1, "v", types.DecimalType(12, 2)), Name: "mx"},
+	}
+
+	// Photon.
+	pScan := exec.NewMemScan(schema, buildData(schema, rows))
+	pAgg, err := exec.NewHashAgg(pScan, exec.AggComplete, keys, []string{"g"}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := exec.NewTaskCtx(nil, 64)
+	want, err := exec.CollectRows(pAgg, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Row engine, both modes.
+	for _, mode := range []Mode{Interpreted, Compiled} {
+		rAgg, err := NewHashAgg(NewScan(schema, buildData(schema, rows)), keys, []string{"g"}, specs, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CollectRows(rAgg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortAnyRows(want)
+		sortAnyRows(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("mode %v: engines disagree\nphoton: %v\nrow:    %v", mode, want, got)
+		}
+	}
+}
+
+func TestCrossEngineJoinConsistency(t *testing.T) {
+	ls := types.NewSchema(
+		types.Field{Name: "k", Type: types.Int64Type, Nullable: true},
+		types.Field{Name: "lv", Type: types.Int64Type, Nullable: true},
+	)
+	rs := types.NewSchema(
+		types.Field{Name: "k", Type: types.Int64Type, Nullable: true},
+		types.Field{Name: "rv", Type: types.Int64Type, Nullable: true},
+	)
+	var lrows, rrows [][]any
+	for i := 0; i < 200; i++ {
+		var k any = int64(i % 40)
+		if i%17 == 0 {
+			k = nil
+		}
+		lrows = append(lrows, []any{k, int64(i)})
+	}
+	for i := 0; i < 120; i++ {
+		rrows = append(rrows, []any{int64(i % 60), int64(i * 10)})
+	}
+	lk := []expr.Expr{expr.Col(0, "k", types.Int64Type)}
+	rk := []expr.Expr{expr.Col(0, "k", types.Int64Type)}
+
+	for _, jt := range []exec.JoinType{exec.InnerJoin, exec.LeftOuterJoin, exec.LeftSemiJoin, exec.LeftAntiJoin} {
+		pj, err := exec.NewHashJoin(
+			exec.NewMemScan(ls, buildData(ls, lrows)),
+			exec.NewMemScan(rs, buildData(rs, rrows)),
+			lk, rk, jt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := exec.CollectRows(pj, exec.NewTaskCtx(nil, 64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rj, err := NewShuffledHashJoin(
+			NewScan(ls, buildData(ls, lrows)),
+			NewScan(rs, buildData(rs, rrows)),
+			lk, rk, JoinType(jt), Compiled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CollectRows(rj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortAnyRows(want)
+		sortAnyRows(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("join type %v: engines disagree (photon %d rows, row %d rows)", jt, len(want), len(got))
+		}
+		// Inner joins additionally must match sort-merge join.
+		if jt == exec.InnerJoin {
+			smj, err := NewSortMergeJoin(
+				NewScan(ls, buildData(ls, lrows)),
+				NewScan(rs, buildData(rs, rrows)),
+				lk, rk, Compiled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotSMJ, err := CollectRows(smj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sortAnyRows(gotSMJ)
+			if !reflect.DeepEqual(gotSMJ, want) {
+				t.Errorf("SMJ disagrees with hash joins: %d vs %d rows", len(gotSMJ), len(want))
+			}
+		}
+	}
+}
+
+func TestCollectListMatchesPhoton(t *testing.T) {
+	schema := types.NewSchema(
+		types.Field{Name: "g", Type: types.Int64Type},
+		types.Field{Name: "s", Type: types.StringType, Nullable: true},
+	)
+	var rows [][]any
+	for i := 0; i < 50; i++ {
+		rows = append(rows, []any{int64(i % 5), fmt.Sprintf("s%02d", i)})
+	}
+	keys := []expr.Expr{expr.Col(0, "g", types.Int64Type)}
+	specs := []expr.AggSpec{{Kind: expr.AggCollectList, Arg: expr.Col(1, "s", types.StringType), Name: "l"}}
+
+	pAgg, _ := exec.NewHashAgg(exec.NewMemScan(schema, buildData(schema, rows)), exec.AggComplete, keys, []string{"g"}, specs)
+	want, err := exec.CollectRows(pAgg, exec.NewTaskCtx(nil, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rAgg, _ := NewHashAgg(NewScan(schema, buildData(schema, rows)), keys, []string{"g"}, specs, Compiled)
+	got, err := CollectRows(rAgg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortAnyRows(want)
+	sortAnyRows(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("collect_list disagreement:\nphoton %v\nrow    %v", want, got)
+	}
+}
+
+func TestRowSort(t *testing.T) {
+	schema := types.NewSchema(types.Field{Name: "v", Type: types.Int64Type, Nullable: true})
+	rows := [][]any{{int64(3)}, {nil}, {int64(1)}, {int64(2)}}
+	s := NewSort(NewScan(schema, buildData(schema, rows)), []SortKey{{Col: 0}})
+	got, err := CollectRows(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]any{{nil}, {int64(1)}, {int64(2)}, {int64(3)}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("row sort: %v", got)
+	}
+}
+
+func TestRowLimit(t *testing.T) {
+	schema := types.NewSchema(types.Field{Name: "v", Type: types.Int64Type})
+	var rows [][]any
+	for i := 0; i < 10; i++ {
+		rows = append(rows, []any{int64(i)})
+	}
+	got, err := CollectRows(NewLimit(NewScan(schema, buildData(schema, rows)), 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Errorf("limit: %d rows", len(got))
+	}
+}
+
+// Fuzz-style consistency: random data and random simple expressions through
+// both engines (§5.6's third testing tier).
+func TestFuzzExpressionConsistency(t *testing.T) {
+	schema := types.NewSchema(
+		types.Field{Name: "a", Type: types.Int64Type, Nullable: true},
+		types.Field{Name: "s", Type: types.StringType, Nullable: true},
+	)
+	colA := expr.Col(0, "a", types.Int64Type)
+	colS := expr.Col(1, "s", types.StringType)
+	exprs := []expr.Expr{
+		expr.MustArith(expr.OpAdd, colA, expr.Int64Lit(7)),
+		expr.MustArith(expr.OpMul, colA, colA),
+		expr.Upper(colS),
+		expr.Lower(colS),
+		expr.Length(colS),
+		expr.Substr(colS, 2, 3),
+		expr.NewCast(colA, types.StringType),
+		expr.NewCast(colS, types.Int64Type),
+		mustCase(t, colA),
+	}
+	seeds := []int64{1, 2, 3}
+	for _, seed := range seeds {
+		rows := fuzzRows(seed, 200)
+		for ei, e := range exprs {
+			// Photon.
+			scan := exec.NewMemScan(schema, buildData(schema, rows))
+			proj := exec.NewProject(scan, []expr.Expr{e}, []string{"r"})
+			want, err := exec.CollectRows(proj, exec.NewTaskCtx(nil, 64))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Row engine.
+			for _, mode := range []Mode{Interpreted, Compiled} {
+				fn, err := CompileExpr(e, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				outSchema := types.NewSchema(types.Field{Name: "r", Type: e.Type(), Nullable: true})
+				plan := NewProject(NewScan(schema, buildData(schema, rows)), []RowExpr{fn}, outSchema)
+				got, err := CollectRows(plan)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					for i := range got {
+						if !reflect.DeepEqual(got[i], want[i]) {
+							t.Fatalf("expr %d (%s) mode %v seed %d row %d (input %v): photon=%v row=%v",
+								ei, e, mode, seed, i, rows[i], want[i], got[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func mustCase(t *testing.T, colA expr.Expr) expr.Expr {
+	t.Helper()
+	c, err := expr.NewCase([]expr.CaseBranch{
+		{When: expr.MustCmp(kernels.CmpLt, colA, expr.Int64Lit(0)), Then: expr.StringLit("neg")},
+		{When: expr.MustCmp(kernels.CmpEq, colA, expr.Int64Lit(0)), Then: expr.StringLit("zero")},
+	}, expr.StringLit("pos"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func fuzzRows(seed int64, n int) [][]any {
+	// Simple deterministic generator with NULLs, non-ASCII, numeric strings
+	// and placeholder values — the raw uncurated shapes §1 describes.
+	var rows [][]any
+	state := uint64(seed)
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state >> 16
+	}
+	samples := []string{"hello", "WORLD", "héllo wörld", "123", "-45", "", "N/A", "null", "9999999999999999999999", "café"}
+	for i := 0; i < n; i++ {
+		var a, s any
+		if next()%7 != 0 {
+			a = int64(next()%2000) - 1000
+		}
+		if next()%9 != 0 {
+			s = samples[next()%uint64(len(samples))]
+		}
+		rows = append(rows, []any{a, s})
+	}
+	return rows
+}

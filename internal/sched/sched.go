@@ -1,0 +1,176 @@
+// Package sched implements the execution framework's task model (§2.2): a
+// driver decomposes jobs into stages, stages into tasks running the same
+// code over different data partitions, with blocking stage boundaries (the
+// next stage starts only after the previous ends, enabling fault tolerance
+// by task retry and adaptive decisions at boundaries). Executor slots are a
+// goroutine pool standing in for the executor processes' task threads.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Task is one unit of stage work; taskID indexes the data partition.
+type Task func(taskID int) error
+
+// Stage is a set of identical tasks over different partitions.
+type Stage struct {
+	Name     string
+	NumTasks int
+	Run      Task
+	// Deps must complete before this stage starts (stage boundaries are
+	// blocking, §2.2).
+	Deps []*Stage
+
+	stats StageStats
+	done  bool
+}
+
+// StageStats carries per-stage runtime statistics, the inputs to
+// AQE-style re-planning decisions at stage boundaries (§5.5).
+type StageStats struct {
+	TaskTime []time.Duration
+	Attempts atomic.Int64
+	Failures atomic.Int64
+	RowsOut  atomic.Int64
+	BytesOut atomic.Int64
+	WallTime time.Duration
+}
+
+// Stats returns the stage's statistics (valid after the stage completes).
+func (s *Stage) Stats() *StageStats { return &s.stats }
+
+// Driver schedules stages on an executor pool.
+type Driver struct {
+	// Parallelism is the executor task-slot count (0 = NumCPU).
+	Parallelism int
+	// MaxAttempts per task (task retry is the fault-tolerance unit).
+	MaxAttempts int
+
+	mu   sync.Mutex
+	jobs int64
+}
+
+// NewDriver builds a driver.
+func NewDriver(parallelism int) *Driver {
+	if parallelism <= 0 {
+		parallelism = runtime.NumCPU()
+	}
+	return &Driver{Parallelism: parallelism, MaxAttempts: 2}
+}
+
+// RunJob executes the stage DAG reachable from the final stages, honoring
+// dependencies. It blocks until the job completes or a task exhausts its
+// retries.
+func (d *Driver) RunJob(finals ...*Stage) error {
+	d.mu.Lock()
+	d.jobs++
+	d.mu.Unlock()
+
+	order, err := topoSort(finals)
+	if err != nil {
+		return err
+	}
+	for _, st := range order {
+		if err := d.runStage(st); err != nil {
+			return fmt.Errorf("sched: stage %q: %w", st.Name, err)
+		}
+	}
+	return nil
+}
+
+// topoSort orders stages dependencies-first, detecting cycles.
+func topoSort(finals []*Stage) ([]*Stage, error) {
+	var order []*Stage
+	state := map[*Stage]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(s *Stage) error
+	visit = func(s *Stage) error {
+		switch state[s] {
+		case 1:
+			return fmt.Errorf("sched: dependency cycle at stage %q", s.Name)
+		case 2:
+			return nil
+		}
+		state[s] = 1
+		deps := append([]*Stage(nil), s.Deps...)
+		sort.SliceStable(deps, func(i, j int) bool { return deps[i].Name < deps[j].Name })
+		for _, dep := range deps {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[s] = 2
+		order = append(order, s)
+		return nil
+	}
+	for _, f := range finals {
+		if err := visit(f); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// runStage runs a stage's tasks on the executor pool with retries.
+func (d *Driver) runStage(st *Stage) error {
+	if st.done {
+		return nil
+	}
+	start := time.Now()
+	st.stats.TaskTime = make([]time.Duration, st.NumTasks)
+
+	sem := make(chan struct{}, d.Parallelism)
+	var wg sync.WaitGroup
+	var firstErr error
+	var errMu sync.Mutex
+
+	for id := 0; id < st.NumTasks; id++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(taskID int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			tStart := time.Now()
+			var err error
+			for attempt := 0; attempt < max(d.MaxAttempts, 1); attempt++ {
+				st.stats.Attempts.Add(1)
+				err = st.Run(taskID)
+				if err == nil {
+					break
+				}
+				st.stats.Failures.Add(1)
+			}
+			st.stats.TaskTime[taskID] = time.Since(tStart)
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("task %d: %w", taskID, err)
+				}
+				errMu.Unlock()
+			}
+		}(id)
+	}
+	wg.Wait()
+	st.stats.WallTime = time.Since(start)
+	if firstErr != nil {
+		return firstErr
+	}
+	st.done = true
+	return nil
+}
+
+// SplitRoundRobin assigns n items to k partitions round-robin, returning
+// the item indices for partition p. The scheduler's standard partitioning
+// for file lists and batch lists.
+func SplitRoundRobin(n, k, p int) []int {
+	var out []int
+	for i := p; i < n; i += k {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package sched
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestStageDAGOrderAndBlocking(t *testing.T) {
+	var order []string
+	var mu atomic.Int64
+	record := func(name string) Task {
+		return func(taskID int) error {
+			mu.Add(1)
+			order = append(order, name) // stages run serially so this is safe per stage boundary
+			return nil
+		}
+	}
+	a := &Stage{Name: "a", NumTasks: 1, Run: record("a")}
+	b := &Stage{Name: "b", NumTasks: 1, Run: record("b"), Deps: []*Stage{a}}
+	c := &Stage{Name: "c", NumTasks: 1, Run: record("c"), Deps: []*Stage{a}}
+	d := &Stage{Name: "d", NumTasks: 1, Run: record("d"), Deps: []*Stage{b, c}}
+	if err := NewDriver(4).RunJob(d); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "a" || order[len(order)-1] != "d" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestTasksRunPerPartition(t *testing.T) {
+	var seen [8]atomic.Int64
+	s := &Stage{Name: "s", NumTasks: 8, Run: func(id int) error {
+		seen[id].Add(1)
+		return nil
+	}}
+	if err := NewDriver(3).RunJob(s); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Errorf("task %d ran %d times", i, seen[i].Load())
+		}
+	}
+	if s.Stats().WallTime <= 0 {
+		t.Error("wall time not recorded")
+	}
+}
+
+func TestRetrySucceedsOnSecondAttempt(t *testing.T) {
+	var tries atomic.Int64
+	s := &Stage{Name: "flaky", NumTasks: 1, Run: func(int) error {
+		if tries.Add(1) == 1 {
+			return errors.New("transient")
+		}
+		return nil
+	}}
+	if err := NewDriver(1).RunJob(s); err != nil {
+		t.Fatal(err)
+	}
+	if tries.Load() != 2 {
+		t.Errorf("tries = %d", tries.Load())
+	}
+	if s.Stats().Failures.Load() != 1 {
+		t.Errorf("failures = %d", s.Stats().Failures.Load())
+	}
+}
+
+func TestPermanentFailurePropagates(t *testing.T) {
+	s := &Stage{Name: "bad", NumTasks: 2, Run: func(id int) error {
+		if id == 1 {
+			return errors.New("boom")
+		}
+		return nil
+	}}
+	if err := NewDriver(2).RunJob(s); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	a := &Stage{Name: "a", NumTasks: 1, Run: func(int) error { return nil }}
+	b := &Stage{Name: "b", NumTasks: 1, Run: func(int) error { return nil }, Deps: []*Stage{a}}
+	a.Deps = []*Stage{b}
+	if err := NewDriver(1).RunJob(b); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestSharedDepRunsOnce(t *testing.T) {
+	var runs atomic.Int64
+	shared := &Stage{Name: "shared", NumTasks: 1, Run: func(int) error {
+		runs.Add(1)
+		return nil
+	}}
+	x := &Stage{Name: "x", NumTasks: 1, Run: func(int) error { return nil }, Deps: []*Stage{shared}}
+	y := &Stage{Name: "y", NumTasks: 1, Run: func(int) error { return nil }, Deps: []*Stage{shared}}
+	if err := NewDriver(2).RunJob(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 1 {
+		t.Errorf("shared dep ran %d times", runs.Load())
+	}
+}
+
+func TestSplitRoundRobin(t *testing.T) {
+	all := map[int]bool{}
+	for p := 0; p < 3; p++ {
+		for _, i := range SplitRoundRobin(10, 3, p) {
+			if all[i] {
+				t.Errorf("item %d assigned twice", i)
+			}
+			all[i] = true
+		}
+	}
+	if len(all) != 10 {
+		t.Errorf("covered %d of 10", len(all))
+	}
+}

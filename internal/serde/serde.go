@@ -1,0 +1,356 @@
+// Package serde implements a compact binary columnar serialization for
+// column batches, used by spill files (sort, aggregation, join) and as the
+// base layer of the shuffle format. Only active rows are written; batches
+// deserialize dense (Sel == nil).
+//
+// Layout per batch:
+//
+//	u32 numRows
+//	per column:
+//	  u8 hasNulls; if 1: numRows null bytes
+//	  values:
+//	    fixed-width types: numRows * width little-endian bytes
+//	    strings: u32 totalBytes, numRows u32 lengths, payload bytes
+//
+// A batch with numRows == math.MaxUint32 marks end-of-stream (written by
+// Writer.Close), which lets readers distinguish clean EOF from truncation.
+package serde
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+const eosMarker = math.MaxUint32
+
+// Writer serializes batches to an underlying stream.
+type Writer struct {
+	w       *bufio.Writer
+	scratch []byte
+	// Rows and Bytes count what has been written (for metrics).
+	Rows  int64
+	Bytes int64
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (sw *Writer) u32(v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	n, err := sw.w.Write(b[:])
+	sw.Bytes += int64(n)
+	return err
+}
+
+// WriteBatch serializes b's active rows.
+func (sw *Writer) WriteBatch(b *vector.Batch) error {
+	n := b.NumActive()
+	if err := sw.u32(uint32(n)); err != nil {
+		return err
+	}
+	sw.Rows += int64(n)
+	for _, v := range b.Vecs {
+		if err := sw.writeVector(v, b.Sel, b.NumRows, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (sw *Writer) writeVector(v *vector.Vector, sel []int32, numRows, n int) error {
+	// Nulls.
+	hasNulls := v.HasNulls()
+	nb := byte(0)
+	if hasNulls {
+		nb = 1
+	}
+	if err := sw.w.WriteByte(nb); err != nil {
+		return err
+	}
+	sw.Bytes++
+	if hasNulls {
+		buf := sw.grow(n)
+		gatherBytes(v.Nulls, sel, n, buf)
+		if _, err := sw.w.Write(buf); err != nil {
+			return err
+		}
+		sw.Bytes += int64(n)
+	}
+	// Values.
+	switch v.Type.ID {
+	case types.Bool:
+		buf := sw.grow(n)
+		gatherBytes(v.Bool, sel, n, buf)
+		_, err := sw.w.Write(buf)
+		sw.Bytes += int64(n)
+		return err
+	case types.Int32, types.Date:
+		buf := sw.grow(n * 4)
+		if sel == nil {
+			for i := 0; i < n; i++ {
+				binary.LittleEndian.PutUint32(buf[i*4:], uint32(v.I32[i]))
+			}
+		} else {
+			for k, i := range sel {
+				binary.LittleEndian.PutUint32(buf[k*4:], uint32(v.I32[i]))
+			}
+		}
+		_, err := sw.w.Write(buf)
+		sw.Bytes += int64(len(buf))
+		return err
+	case types.Int64, types.Timestamp:
+		buf := sw.grow(n * 8)
+		if sel == nil {
+			for i := 0; i < n; i++ {
+				binary.LittleEndian.PutUint64(buf[i*8:], uint64(v.I64[i]))
+			}
+		} else {
+			for k, i := range sel {
+				binary.LittleEndian.PutUint64(buf[k*8:], uint64(v.I64[i]))
+			}
+		}
+		_, err := sw.w.Write(buf)
+		sw.Bytes += int64(len(buf))
+		return err
+	case types.Float64:
+		buf := sw.grow(n * 8)
+		if sel == nil {
+			for i := 0; i < n; i++ {
+				binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v.F64[i]))
+			}
+		} else {
+			for k, i := range sel {
+				binary.LittleEndian.PutUint64(buf[k*8:], math.Float64bits(v.F64[i]))
+			}
+		}
+		_, err := sw.w.Write(buf)
+		sw.Bytes += int64(len(buf))
+		return err
+	case types.Decimal:
+		buf := sw.grow(n * 16)
+		if sel == nil {
+			for i := 0; i < n; i++ {
+				binary.LittleEndian.PutUint64(buf[i*16:], v.Dec[i].Lo)
+				binary.LittleEndian.PutUint64(buf[i*16+8:], uint64(v.Dec[i].Hi))
+			}
+		} else {
+			for k, i := range sel {
+				binary.LittleEndian.PutUint64(buf[k*16:], v.Dec[i].Lo)
+				binary.LittleEndian.PutUint64(buf[k*16+8:], uint64(v.Dec[i].Hi))
+			}
+		}
+		_, err := sw.w.Write(buf)
+		sw.Bytes += int64(len(buf))
+		return err
+	case types.String:
+		total := 0
+		if sel == nil {
+			for i := 0; i < n; i++ {
+				total += len(v.Str[i])
+			}
+		} else {
+			for _, i := range sel {
+				total += len(v.Str[i])
+			}
+		}
+		if err := sw.u32(uint32(total)); err != nil {
+			return err
+		}
+		buf := sw.grow(n * 4)
+		if sel == nil {
+			for i := 0; i < n; i++ {
+				binary.LittleEndian.PutUint32(buf[i*4:], uint32(len(v.Str[i])))
+			}
+		} else {
+			for k, i := range sel {
+				binary.LittleEndian.PutUint32(buf[k*4:], uint32(len(v.Str[i])))
+			}
+		}
+		if _, err := sw.w.Write(buf); err != nil {
+			return err
+		}
+		sw.Bytes += int64(len(buf))
+		write := func(i int32) error {
+			m, err := sw.w.Write(v.Str[i])
+			sw.Bytes += int64(m)
+			return err
+		}
+		if sel == nil {
+			for i := 0; i < n; i++ {
+				if err := write(int32(i)); err != nil {
+					return err
+				}
+			}
+		} else {
+			for _, i := range sel {
+				if err := write(i); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("serde: unsupported type %v", v.Type)
+}
+
+func (sw *Writer) grow(n int) []byte {
+	if cap(sw.scratch) < n {
+		sw.scratch = make([]byte, n)
+	}
+	return sw.scratch[:n]
+}
+
+// gatherBytes copies active byte lanes densely into dst.
+func gatherBytes(src []byte, sel []int32, n int, dst []byte) {
+	if sel == nil {
+		copy(dst, src[:n])
+		return
+	}
+	for k, i := range sel {
+		dst[k] = src[i]
+	}
+}
+
+// Close writes the end-of-stream marker and flushes. It does not close the
+// underlying writer.
+func (sw *Writer) Close() error {
+	if err := sw.u32(eosMarker); err != nil {
+		return err
+	}
+	return sw.w.Flush()
+}
+
+// Flush flushes buffered bytes without ending the stream.
+func (sw *Writer) Flush() error { return sw.w.Flush() }
+
+// Reader deserializes batches written by Writer.
+type Reader struct {
+	r      *bufio.Reader
+	schema *types.Schema
+}
+
+// NewReader wraps r for the given schema.
+func NewReader(r io.Reader, schema *types.Schema) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16), schema: schema}
+}
+
+func (sr *Reader) u32() (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(sr.r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+// ReadBatch reads the next batch into dst (which must have the stream's
+// schema and sufficient capacity for the incoming row count; batches written
+// from pools sized alike always fit). Returns io.EOF at the end-of-stream
+// marker.
+func (sr *Reader) ReadBatch(dst *vector.Batch) error {
+	n32, err := sr.u32()
+	if err != nil {
+		if err == io.EOF {
+			return fmt.Errorf("serde: truncated stream (missing end marker): %w", io.ErrUnexpectedEOF)
+		}
+		return err
+	}
+	if n32 == eosMarker {
+		return io.EOF
+	}
+	n := int(n32)
+	if n > dst.Capacity() {
+		return fmt.Errorf("serde: batch of %d rows exceeds capacity %d", n, dst.Capacity())
+	}
+	dst.Reset()
+	dst.NumRows = n
+	for ci, v := range dst.Vecs {
+		if err := sr.readVector(v, n); err != nil {
+			return fmt.Errorf("serde: column %d (%s): %w", ci, sr.schema.Field(ci).Name, err)
+		}
+	}
+	return nil
+}
+
+func (sr *Reader) readVector(v *vector.Vector, n int) error {
+	nb, err := sr.r.ReadByte()
+	if err != nil {
+		return err
+	}
+	if nb == 1 {
+		if _, err := io.ReadFull(sr.r, v.Nulls[:n]); err != nil {
+			return err
+		}
+		v.RecomputeHasNulls(nil, n)
+	}
+	switch v.Type.ID {
+	case types.Bool:
+		_, err := io.ReadFull(sr.r, v.Bool[:n])
+		return err
+	case types.Int32, types.Date:
+		buf := make([]byte, n*4)
+		if _, err := io.ReadFull(sr.r, buf); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			v.I32[i] = int32(binary.LittleEndian.Uint32(buf[i*4:]))
+		}
+	case types.Int64, types.Timestamp:
+		buf := make([]byte, n*8)
+		if _, err := io.ReadFull(sr.r, buf); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			v.I64[i] = int64(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+	case types.Float64:
+		buf := make([]byte, n*8)
+		if _, err := io.ReadFull(sr.r, buf); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			v.F64[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+	case types.Decimal:
+		buf := make([]byte, n*16)
+		if _, err := io.ReadFull(sr.r, buf); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			v.Dec[i] = types.Decimal128{
+				Lo: binary.LittleEndian.Uint64(buf[i*16:]),
+				Hi: int64(binary.LittleEndian.Uint64(buf[i*16+8:])),
+			}
+		}
+	case types.String:
+		total, err := sr.u32()
+		if err != nil {
+			return err
+		}
+		lens := make([]byte, n*4)
+		if _, err := io.ReadFull(sr.r, lens); err != nil {
+			return err
+		}
+		payload := make([]byte, total)
+		if _, err := io.ReadFull(sr.r, payload); err != nil {
+			return err
+		}
+		off := uint32(0)
+		for i := 0; i < n; i++ {
+			l := binary.LittleEndian.Uint32(lens[i*4:])
+			v.Str[i] = payload[off : off+l : off+l]
+			off += l
+		}
+	default:
+		return fmt.Errorf("unsupported type %v", v.Type)
+	}
+	return nil
+}

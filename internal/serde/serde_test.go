@@ -1,0 +1,169 @@
+package serde
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+func roundTrip(t *testing.T, schema *types.Schema, batches []*vector.Batch) []*vector.Batch {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, b := range batches {
+		if err := w.WriteBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf, schema)
+	var out []*vector.Batch
+	for {
+		dst := vector.NewBatch(schema, 4096)
+		err := r.ReadBatch(dst)
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, dst)
+	}
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	schema := types.NewSchema(
+		types.Field{Name: "b", Type: types.BoolType, Nullable: true},
+		types.Field{Name: "i", Type: types.Int32Type, Nullable: true},
+		types.Field{Name: "l", Type: types.Int64Type, Nullable: true},
+		types.Field{Name: "f", Type: types.Float64Type, Nullable: true},
+		types.Field{Name: "s", Type: types.StringType, Nullable: true},
+		types.Field{Name: "d", Type: types.DateType, Nullable: true},
+		types.Field{Name: "ts", Type: types.TimestampType, Nullable: true},
+		types.Field{Name: "dec", Type: types.DecimalType(20, 2), Nullable: true},
+	)
+	b := vector.NewBatch(schema, 16)
+	b.AppendRow(true, int32(1), int64(2), 3.5, "hello", int32(100), int64(1e12), types.DecimalFromInt64(1234))
+	b.AppendRow(false, nil, int64(-9), -0.5, "", int32(-5), nil, types.DecimalFromInt64(-77))
+	b.AppendRow(nil, int32(7), nil, nil, nil, nil, int64(0), nil)
+	got := roundTrip(t, schema, []*vector.Batch{b})
+	if len(got) != 1 {
+		t.Fatalf("batches = %d", len(got))
+	}
+	if !reflect.DeepEqual(got[0].Rows(), b.Rows()) {
+		t.Errorf("round trip mismatch:\n got %v\nwant %v", got[0].Rows(), b.Rows())
+	}
+}
+
+func TestRoundTripSelectionOnlyActive(t *testing.T) {
+	schema := types.NewSchema(types.Field{Name: "x", Type: types.Int64Type})
+	b := vector.NewBatch(schema, 8)
+	for i := 0; i < 8; i++ {
+		b.AppendRow(int64(i))
+	}
+	b.SetSel([]int32{1, 3, 5})
+	got := roundTrip(t, schema, []*vector.Batch{b})
+	rows := got[0].Rows()
+	if len(rows) != 3 || rows[0][0].(int64) != 1 || rows[2][0].(int64) != 5 {
+		t.Errorf("selective serialize: %v", rows)
+	}
+	if !got[0].AllActive() {
+		t.Error("deserialized batch should be dense")
+	}
+}
+
+func TestEmptyStreamAndEmptyBatch(t *testing.T) {
+	schema := types.NewSchema(types.Field{Name: "x", Type: types.Int64Type})
+	got := roundTrip(t, schema, nil)
+	if len(got) != 0 {
+		t.Errorf("empty stream: %d batches", len(got))
+	}
+	b := vector.NewBatch(schema, 4)
+	got = roundTrip(t, schema, []*vector.Batch{b})
+	if len(got) != 1 || got[0].NumRows != 0 {
+		t.Errorf("empty batch round trip failed")
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	schema := types.NewSchema(types.Field{Name: "x", Type: types.Int64Type})
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	b := vector.NewBatch(schema, 4)
+	b.AppendRow(int64(42))
+	if err := w.WriteBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil { // no Close: no end marker
+		t.Fatal(err)
+	}
+	r := NewReader(&buf, schema)
+	dst := vector.NewBatch(schema, 4)
+	if err := r.ReadBatch(dst); err != nil {
+		t.Fatal(err)
+	}
+	err := r.ReadBatch(dst)
+	if err == nil || err == io.EOF {
+		t.Errorf("truncated stream not detected: %v", err)
+	}
+}
+
+func TestRandomRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	schema := types.NewSchema(
+		types.Field{Name: "i", Type: types.Int64Type, Nullable: true},
+		types.Field{Name: "s", Type: types.StringType, Nullable: true},
+	)
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(200)
+		b := vector.NewBatch(schema, 256)
+		var want [][]any
+		for i := 0; i < n; i++ {
+			var iv, sv any
+			if rng.Intn(5) > 0 {
+				iv = rng.Int63()
+			}
+			if rng.Intn(5) > 0 {
+				l := rng.Intn(30)
+				s := make([]byte, l)
+				rng.Read(s)
+				sv = string(s)
+			}
+			b.AppendRow(iv, sv)
+			want = append(want, []any{iv, sv})
+		}
+		got := roundTrip(t, schema, []*vector.Batch{b})
+		var gotRows [][]any
+		for _, g := range got {
+			gotRows = append(gotRows, g.Rows()...)
+		}
+		if !reflect.DeepEqual(gotRows, want) && !(len(want) == 0 && len(gotRows) == 0) {
+			t.Fatalf("trial %d mismatch (n=%d)", trial, n)
+		}
+	}
+}
+
+func TestWriterMetrics(t *testing.T) {
+	schema := types.NewSchema(types.Field{Name: "x", Type: types.Int64Type})
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	b := vector.NewBatch(schema, 4)
+	b.AppendRow(int64(1))
+	b.AppendRow(int64(2))
+	if err := w.WriteBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	if w.Rows != 2 {
+		t.Errorf("Rows = %d", w.Rows)
+	}
+	if w.Bytes == 0 {
+		t.Error("Bytes not counted")
+	}
+}

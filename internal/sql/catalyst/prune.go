@@ -1,0 +1,297 @@
+package catalyst
+
+import (
+	"fmt"
+
+	"photon/internal/expr"
+	"photon/internal/sql"
+)
+
+// pruneColumns narrows scans to the columns a query actually touches —
+// essential for wide Lakehouse tables (the paper notes tables with
+// hundreds of columns, §3.2). The pass walks top-down with a required-
+// column set and returns, per node, a mapping from old output ordinals to
+// new ones so parents can rewrite their expressions.
+func pruneColumns(plan sql.LogicalPlan) (sql.LogicalPlan, error) {
+	required := make(map[int]bool)
+	for i := 0; i < plan.Schema().Len(); i++ {
+		required[i] = true
+	}
+	out, _, err := prune(plan, required)
+	return out, err
+}
+
+// prune narrows plan to `required` output columns. The returned mapping
+// translates old output ordinals to new ones (-1 = dropped).
+func prune(plan sql.LogicalPlan, required map[int]bool) (sql.LogicalPlan, []int, error) {
+	switch n := plan.(type) {
+	case *sql.LScan:
+		width := n.Schema().Len()
+		need := make(map[int]bool, len(required))
+		for i := range required {
+			need[i] = true
+		}
+		if n.Filter != nil {
+			UsedColumnsFilter(n.Filter, need)
+		}
+		if len(need) == width {
+			return n, identityMapping(width), nil
+		}
+		mapping := make([]int, width)
+		var proj []int
+		for i := 0; i < width; i++ {
+			if need[i] {
+				mapping[i] = len(proj)
+				proj = append(proj, i)
+			} else {
+				mapping[i] = -1
+			}
+		}
+		if len(proj) == 0 {
+			// Keep one column so the scan still produces row counts
+			// (e.g. SELECT count(*)).
+			proj = append(proj, 0)
+			mapping[0] = 0
+		}
+		if n.Filter != nil {
+			nf, err := RemapFilter(n.Filter, mapping)
+			if err != nil {
+				return nil, nil, err
+			}
+			n.Filter = nf
+		}
+		n.Projection = proj
+		n.InvalidateSchema()
+		return n, mapping, nil
+
+	case *sql.LFilter:
+		childReq := cloneSet(required)
+		UsedColumnsFilter(n.Pred, childReq)
+		child, mapping, err := prune(n.Child, childReq)
+		if err != nil {
+			return nil, nil, err
+		}
+		n.Child = child
+		pred, err := RemapFilter(n.Pred, mapping)
+		if err != nil {
+			return nil, nil, err
+		}
+		n.Pred = pred
+		return n, mapping, nil
+
+	case *sql.LProject:
+		// Drop unneeded output expressions.
+		width := len(n.Exprs)
+		mapping := make([]int, width)
+		var keptExprs []expr.Expr
+		var keptNames []string
+		for i := 0; i < width; i++ {
+			if required[i] {
+				mapping[i] = len(keptExprs)
+				keptExprs = append(keptExprs, n.Exprs[i])
+				keptNames = append(keptNames, n.Names[i])
+			} else {
+				mapping[i] = -1
+			}
+		}
+		if len(keptExprs) == 0 && width > 0 {
+			mapping[0] = 0
+			keptExprs = append(keptExprs, n.Exprs[0])
+			keptNames = append(keptNames, n.Names[0])
+		}
+		childReq := map[int]bool{}
+		for _, e := range keptExprs {
+			UsedColumns(e, childReq)
+		}
+		child, childMap, err := prune(n.Child, childReq)
+		if err != nil {
+			return nil, nil, err
+		}
+		n.Child = child
+		for i, e := range keptExprs {
+			re, err := RemapExpr(e, childMap)
+			if err != nil {
+				return nil, nil, err
+			}
+			keptExprs[i] = re
+		}
+		n.Exprs = keptExprs
+		n.Names = keptNames
+		n.InvalidateSchema()
+		return n, mapping, nil
+
+	case *sql.LAggregate:
+		// Keys always stay (they define grouping); unneeded aggregates drop.
+		nKeys := len(n.Keys)
+		width := nKeys + len(n.Aggs)
+		mapping := make([]int, width)
+		var keptAggs []expr.AggSpec
+		for i := 0; i < nKeys; i++ {
+			mapping[i] = i
+		}
+		for i := range n.Aggs {
+			if required[nKeys+i] {
+				mapping[nKeys+i] = nKeys + len(keptAggs)
+				keptAggs = append(keptAggs, n.Aggs[i])
+			} else {
+				mapping[nKeys+i] = -1
+			}
+		}
+		childReq := map[int]bool{}
+		for _, k := range n.Keys {
+			UsedColumns(k, childReq)
+		}
+		for _, a := range keptAggs {
+			if a.Arg != nil {
+				UsedColumns(a.Arg, childReq)
+			}
+		}
+		child, childMap, err := prune(n.Child, childReq)
+		if err != nil {
+			return nil, nil, err
+		}
+		n.Child = child
+		for i, k := range n.Keys {
+			rk, err := RemapExpr(k, childMap)
+			if err != nil {
+				return nil, nil, err
+			}
+			n.Keys[i] = rk
+		}
+		for i := range keptAggs {
+			if keptAggs[i].Arg != nil {
+				ra, err := RemapExpr(keptAggs[i].Arg, childMap)
+				if err != nil {
+					return nil, nil, err
+				}
+				keptAggs[i].Arg = ra
+			}
+		}
+		n.Aggs = keptAggs
+		n.InvalidateSchema()
+		return n, mapping, nil
+
+	case *sql.LJoin:
+		leftW := n.Left.Schema().Len()
+		rightW := n.Right.Schema().Len()
+		leftReq := map[int]bool{}
+		rightReq := map[int]bool{}
+		semiLike := n.Kind == sql.JoinLeftSemi || n.Kind == sql.JoinLeftAnti
+		for i := range required {
+			if i < leftW {
+				leftReq[i] = true
+			} else if !semiLike {
+				rightReq[i-leftW] = true
+			}
+		}
+		for _, k := range n.LeftKeys {
+			UsedColumns(k, leftReq)
+		}
+		for _, k := range n.RightKeys {
+			UsedColumns(k, rightReq)
+		}
+		if n.Residual != nil {
+			resUsed := map[int]bool{}
+			UsedColumnsFilter(n.Residual, resUsed)
+			for i := range resUsed {
+				if i < leftW {
+					leftReq[i] = true
+				} else {
+					rightReq[i-leftW] = true
+				}
+			}
+		}
+		left, leftMap, err := prune(n.Left, leftReq)
+		if err != nil {
+			return nil, nil, err
+		}
+		right, rightMap, err := prune(n.Right, rightReq)
+		if err != nil {
+			return nil, nil, err
+		}
+		n.Left, n.Right = left, right
+		for i, k := range n.LeftKeys {
+			rk, err := RemapExpr(k, leftMap)
+			if err != nil {
+				return nil, nil, err
+			}
+			n.LeftKeys[i] = rk
+		}
+		for i, k := range n.RightKeys {
+			rk, err := RemapExpr(k, rightMap)
+			if err != nil {
+				return nil, nil, err
+			}
+			n.RightKeys[i] = rk
+		}
+		newLeftW := left.Schema().Len()
+		// Combined output mapping.
+		mapping := make([]int, leftW+rightW)
+		for i := 0; i < leftW; i++ {
+			mapping[i] = leftMap[i]
+		}
+		for i := 0; i < rightW; i++ {
+			if semiLike {
+				mapping[leftW+i] = -1
+				continue
+			}
+			if rightMap[i] >= 0 {
+				mapping[leftW+i] = newLeftW + rightMap[i]
+			} else {
+				mapping[leftW+i] = -1
+			}
+		}
+		if n.Residual != nil {
+			nr, err := RemapFilter(n.Residual, mapping)
+			if err != nil {
+				return nil, nil, err
+			}
+			n.Residual = nr
+		}
+		n.InvalidateSchema()
+		if semiLike {
+			return n, leftMap, nil
+		}
+		return n, mapping, nil
+
+	case *sql.LSort:
+		childReq := cloneSet(required)
+		for _, k := range n.Keys {
+			childReq[k.Col] = true
+		}
+		child, mapping, err := prune(n.Child, childReq)
+		if err != nil {
+			return nil, nil, err
+		}
+		n.Child = child
+		for i := range n.Keys {
+			nk := mapping[n.Keys[i].Col]
+			if nk < 0 {
+				return nil, nil, fmt.Errorf("catalyst: sort key column pruned away")
+			}
+			n.Keys[i].Col = nk
+		}
+		return n, mapping, nil
+
+	case *sql.LLimit:
+		child, mapping, err := prune(n.Child, required)
+		if err != nil {
+			return nil, nil, err
+		}
+		n.Child = child
+		return n, mapping, nil
+
+	case *sql.LCrossJoin:
+		return nil, nil, fmt.Errorf("catalyst: cross join survived optimization")
+	}
+	// Unknown node: identity.
+	return plan, identityMapping(plan.Schema().Len()), nil
+}
+
+func cloneSet(s map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+// Package catalyst is the rule-based optimizer and physical planner, named
+// for Spark SQL's extensible optimizer that Photon plugs into (§5.1). It
+// applies logical rules (predicate pushdown into scans for Delta data
+// skipping, cross-join elimination, fused-BETWEEN detection, column
+// pruning, build-side selection) and then converts the plan to physical
+// operators — Photon's vectorized operators by default, with the paper's
+// bottom-up conversion rule: unsupported nodes fall back to the row engine
+// with an explicit column-to-row transition node (Fig. 3).
+package catalyst
+
+import (
+	"fmt"
+
+	"photon/internal/expr"
+)
+
+// RemapExpr rewrites column ordinals through mapping (old → new); a -1
+// mapping entry means the column is unavailable and remapping fails.
+func RemapExpr(e expr.Expr, mapping []int) (expr.Expr, error) {
+	switch n := e.(type) {
+	case *expr.ColRef:
+		if n.Idx >= len(mapping) || mapping[n.Idx] < 0 {
+			return nil, fmt.Errorf("catalyst: column %d unavailable after remap", n.Idx)
+		}
+		return expr.Col(mapping[n.Idx], n.Name, n.T), nil
+	case *expr.Literal:
+		return n, nil
+	case *expr.Arith:
+		l, err := RemapExpr(n.Left, mapping)
+		if err != nil {
+			return nil, err
+		}
+		r, err := RemapExpr(n.Right, mapping)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewArith(n.Op, l, r)
+	case *expr.Cmp:
+		l, err := RemapExpr(n.Left, mapping)
+		if err != nil {
+			return nil, err
+		}
+		r, err := RemapExpr(n.Right, mapping)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewCmp(n.Op, l, r)
+	case *expr.Unary:
+		inner, err := RemapExpr(n.Inner, mapping)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Unary{Op: n.Op, Inner: inner}, nil
+	case *expr.Cast:
+		inner, err := RemapExpr(n.Inner, mapping)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewCast(inner, n.To), nil
+	case *expr.StrFunc:
+		inner, err := RemapExpr(n.Inner, mapping)
+		if err != nil {
+			return nil, err
+		}
+		out := *n
+		out.Inner = inner
+		if len(n.Args) > 0 {
+			out.Args = make([]expr.Expr, len(n.Args))
+			for i, a := range n.Args {
+				ra, err := RemapExpr(a, mapping)
+				if err != nil {
+					return nil, err
+				}
+				out.Args[i] = ra
+			}
+		}
+		return &out, nil
+	case *expr.Extract:
+		inner, err := RemapExpr(n.Inner, mapping)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Extract{Field: n.Field, Inner: inner}, nil
+	case *expr.DateAdd:
+		inner, err := RemapExpr(n.Inner, mapping)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.DateAdd{Inner: inner, Days: n.Days}, nil
+	case *expr.IsNull:
+		inner, err := RemapExpr(n.Inner, mapping)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.IsNull{Inner: inner, Negate: n.Negate}, nil
+	case *expr.Case:
+		out := &expr.Case{T: n.T}
+		for _, br := range n.Branches {
+			w, err := RemapFilter(br.When, mapping)
+			if err != nil {
+				return nil, err
+			}
+			t, err := RemapExpr(br.Then, mapping)
+			if err != nil {
+				return nil, err
+			}
+			out.Branches = append(out.Branches, expr.CaseBranch{When: w, Then: t})
+		}
+		if n.Else != nil {
+			e2, err := RemapExpr(n.Else, mapping)
+			if err != nil {
+				return nil, err
+			}
+			out.Else = e2
+		}
+		return out, nil
+	case *expr.Coalesce:
+		args := make([]expr.Expr, len(n.Args))
+		for i, a := range n.Args {
+			ra, err := RemapExpr(a, mapping)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = ra
+		}
+		return expr.NewCoalesce(args...)
+	}
+	return nil, fmt.Errorf("catalyst: cannot remap %T", e)
+}
+
+// RemapFilter rewrites a filter tree's column ordinals.
+func RemapFilter(f expr.Filter, mapping []int) (expr.Filter, error) {
+	switch n := f.(type) {
+	case *expr.Cmp:
+		e, err := RemapExpr(n, mapping)
+		if err != nil {
+			return nil, err
+		}
+		return e.(*expr.Cmp), nil
+	case *expr.And:
+		out := make([]expr.Filter, len(n.Filters))
+		for i, sub := range n.Filters {
+			r, err := RemapFilter(sub, mapping)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return expr.NewAnd(out...), nil
+	case *expr.Or:
+		l, err := RemapFilter(n.Left, mapping)
+		if err != nil {
+			return nil, err
+		}
+		r, err := RemapFilter(n.Right, mapping)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewOr(l, r), nil
+	case *expr.Not:
+		inner, err := RemapFilter(n.Inner, mapping)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewNot(inner), nil
+	case *expr.Between:
+		inner, err := RemapExpr(n.Inner, mapping)
+		if err != nil {
+			return nil, err
+		}
+		nb := expr.NewBetween(inner, n.Lo, n.Hi)
+		nb.Unfused = n.Unfused
+		return nb, nil
+	case *expr.In:
+		inner, err := RemapExpr(n.Inner, mapping)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewIn(inner, n.Vals), nil
+	case *expr.Like:
+		inner, err := RemapExpr(n.Inner, mapping)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewLike(inner, n.Pattern, n.Negate), nil
+	case *expr.IsNull:
+		e, err := RemapExpr(n, mapping)
+		if err != nil {
+			return nil, err
+		}
+		return e.(*expr.IsNull), nil
+	case *expr.BoolColFilter:
+		inner, err := RemapExpr(n.Inner, mapping)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.BoolColFilter{Inner: inner}, nil
+	}
+	return nil, fmt.Errorf("catalyst: cannot remap filter %T", f)
+}
+
+// UsedColumns collects the child ordinals referenced by an expression.
+func UsedColumns(e expr.Expr, used map[int]bool) {
+	expr.Walk(e, func(n expr.Expr) {
+		if c, ok := n.(*expr.ColRef); ok {
+			used[c.Idx] = true
+		}
+	})
+}
+
+// UsedColumnsFilter collects ordinals referenced by a filter.
+func UsedColumnsFilter(f expr.Filter, used map[int]bool) {
+	expr.WalkFilter(f, func(n expr.Expr) {
+		if c, ok := n.(*expr.ColRef); ok {
+			used[c.Idx] = true
+		}
+	})
+}
+
+// maxColRef returns the highest ordinal referenced (-1 if none).
+func maxColRef(f expr.Filter) int {
+	m := -1
+	expr.WalkFilter(f, func(n expr.Expr) {
+		if c, ok := n.(*expr.ColRef); ok && c.Idx > m {
+			m = c.Idx
+		}
+	})
+	return m
+}
+
+// minColRef returns the lowest ordinal referenced (or 1<<30 if none).
+func minColRef(f expr.Filter) int {
+	m := 1 << 30
+	expr.WalkFilter(f, func(n expr.Expr) {
+		if c, ok := n.(*expr.ColRef); ok && c.Idx < m {
+			m = c.Idx
+		}
+	})
+	return m
+}

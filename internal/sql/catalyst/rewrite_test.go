@@ -1,0 +1,86 @@
+package catalyst
+
+import (
+	"testing"
+
+	"photon/internal/expr"
+	"photon/internal/kernels"
+	"photon/internal/types"
+)
+
+func TestRemapExprCoversNodeKinds(t *testing.T) {
+	c0 := expr.Col(0, "a", types.Int64Type)
+	c1 := expr.Col(1, "s", types.StringType)
+	c2 := expr.Col(2, "d", types.DateType)
+	caseExpr, err := expr.NewCase([]expr.CaseBranch{
+		{When: expr.MustCmp(kernels.CmpGt, c0, expr.Int64Lit(0)), Then: expr.StringLit("p")},
+	}, expr.Upper(c1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coal, err := expr.NewCoalesce(c1, expr.StringLit("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exprs := []expr.Expr{
+		expr.MustArith(expr.OpAdd, c0, expr.Int64Lit(5)),
+		expr.Eq(c0, expr.Int64Lit(1)),
+		expr.NewCast(c0, types.Float64Type),
+		expr.Upper(c1),
+		expr.Substr(c1, 1, 2),
+		expr.Year(c2),
+		&expr.DateAdd{Inner: c2, Days: 7},
+		&expr.IsNull{Inner: c1},
+		&expr.Unary{Op: expr.OpAbs, Inner: c0},
+		caseExpr,
+		coal,
+	}
+	mapping := []int{5, 6, 7} // shift every ordinal
+	for _, e := range exprs {
+		re, err := RemapExpr(e, mapping)
+		if err != nil {
+			t.Fatalf("remap %s: %v", e, err)
+		}
+		used := map[int]bool{}
+		UsedColumns(re, used)
+		for idx := range used {
+			if idx < 5 || idx > 7 {
+				t.Errorf("remap %s left ordinal %d", e, idx)
+			}
+		}
+	}
+	// Unavailable column fails.
+	if _, err := RemapExpr(c0, []int{-1}); err == nil {
+		t.Error("remap to dropped column should fail")
+	}
+}
+
+func TestRemapFilterCoversNodeKinds(t *testing.T) {
+	c0 := expr.Col(0, "a", types.Int64Type)
+	c1 := expr.Col(1, "s", types.StringType)
+	filters := []expr.Filter{
+		expr.MustCmp(kernels.CmpLe, c0, expr.Int64Lit(3)),
+		expr.NewAnd(expr.Eq(c0, expr.Int64Lit(1)), expr.Ne(c0, expr.Int64Lit(2))),
+		expr.NewOr(expr.Eq(c0, expr.Int64Lit(1)), expr.Eq(c0, expr.Int64Lit(2))),
+		expr.NewNot(expr.Eq(c0, expr.Int64Lit(9))),
+		expr.NewBetween(c0, expr.Int64Lit(1), expr.Int64Lit(5)),
+		expr.NewIn(c0, []*expr.Literal{expr.Int64Lit(1)}),
+		expr.NewLike(c1, "a%", false),
+		&expr.IsNull{Inner: c1, Negate: true},
+		&expr.BoolColFilter{Inner: expr.Eq(c0, expr.Int64Lit(0))},
+	}
+	mapping := []int{3, 4}
+	for _, f := range filters {
+		rf, err := RemapFilter(f, mapping)
+		if err != nil {
+			t.Fatalf("remap %s: %v", f, err)
+		}
+		used := map[int]bool{}
+		UsedColumnsFilter(rf, used)
+		for idx := range used {
+			if idx != 3 && idx != 4 {
+				t.Errorf("remap %s left ordinal %d", f, idx)
+			}
+		}
+	}
+}

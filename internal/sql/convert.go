@@ -1,0 +1,712 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"photon/internal/expr"
+	"photon/internal/kernels"
+	"photon/internal/types"
+)
+
+// convertScalar lowers an AST expression to the vectorized expression IR.
+func (a *analyzer) convertScalar(e AstExpr, c exprConverter) (expr.Expr, error) {
+	switch n := e.(type) {
+	case *ColName:
+		return c.resolveCol(n.Table, n.Name)
+	case *NumberLit:
+		return numberLit(n)
+	case *StringLit:
+		return expr.StringLit(n.Val), nil
+	case *BoolLit:
+		return expr.BoolLit(n.Val), nil
+	case *NullLit:
+		return expr.NullLit(types.StringType), nil
+	case *DateLit:
+		d, err := types.ParseDate(n.Text)
+		if err != nil {
+			return nil, err
+		}
+		return expr.DateLit(d), nil
+	case *UnaryExpr:
+		if n.Op == "-" {
+			if num, ok := n.Inner.(*NumberLit); ok {
+				return numberLit(&NumberLit{Text: "-" + num.Text, IsInt: num.IsInt})
+			}
+			inner, err := c.convertChild(n.Inner)
+			if err != nil {
+				return nil, err
+			}
+			return &expr.Unary{Op: expr.OpNeg, Inner: inner}, nil
+		}
+		return nil, fmt.Errorf("sql: unary %q is not a scalar expression", n.Op)
+	case *BinaryExpr:
+		switch n.Op {
+		case "+", "-", "*", "/", "%":
+			return a.convertArith(n, c)
+		case "||":
+			l, err := c.convertChild(n.Left)
+			if err != nil {
+				return nil, err
+			}
+			r, err := c.convertChild(n.Right)
+			if err != nil {
+				return nil, err
+			}
+			return expr.Concat(l, r), nil
+		case "=", "<>", "<", "<=", ">", ">=":
+			l, r, err := a.convertCmpSides(n, c)
+			if err != nil {
+				return nil, err
+			}
+			return expr.MustCmp(cmpOpOf(n.Op), l, r), nil
+		case "AND", "OR":
+			return nil, fmt.Errorf("sql: boolean %s is only supported in predicates", n.Op)
+		}
+	case *CaseExpr:
+		var branches []expr.CaseBranch
+		for _, w := range n.Whens {
+			cond, err := a.convertPred(w.Cond, c)
+			if err != nil {
+				return nil, err
+			}
+			then, err := c.convertChild(w.Then)
+			if err != nil {
+				return nil, err
+			}
+			branches = append(branches, expr.CaseBranch{When: cond, Then: then})
+		}
+		var els expr.Expr
+		if n.Else != nil {
+			var err error
+			els, err = c.convertChild(n.Else)
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Align branch types (e.g. literal 0 vs decimal column).
+		branches, els, err := alignCaseTypes(branches, els)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewCase(branches, els)
+	case *CastExpr:
+		inner, err := c.convertChild(n.Inner)
+		if err != nil {
+			return nil, err
+		}
+		t, err := parseTypeName(n.TypeName)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewCast(inner, t), nil
+	case *FuncCall:
+		return a.convertFunc(n, c)
+	case *IsNullExpr:
+		inner, err := c.convertChild(n.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.IsNull{Inner: inner, Negate: n.Negate}, nil
+	case *IntervalLit:
+		return nil, fmt.Errorf("sql: INTERVAL is only valid in date arithmetic")
+	}
+	return nil, fmt.Errorf("sql: unsupported scalar expression %s", renderAst(e))
+}
+
+// numberLit types a numeric literal: integers as BIGINT, decimals as
+// DECIMAL(precision, scale) from the literal's digits.
+func numberLit(n *NumberLit) (expr.Expr, error) {
+	if n.IsInt {
+		v, err := strconv.ParseInt(n.Text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad integer literal %q", n.Text)
+		}
+		return expr.Int64Lit(v), nil
+	}
+	text := strings.TrimPrefix(n.Text, "-")
+	_, frac, _ := strings.Cut(text, ".")
+	scale := len(frac)
+	prec := len(strings.ReplaceAll(text, ".", ""))
+	d, err := types.ParseDecimal(n.Text, scale)
+	if err != nil {
+		return nil, err
+	}
+	return expr.Lit(d, types.DecimalType(max(prec, 1), scale)), nil
+}
+
+func cmpOpOf(op string) kernels.CmpOp {
+	switch op {
+	case "=":
+		return kernels.CmpEq
+	case "<>":
+		return kernels.CmpNe
+	case "<":
+		return kernels.CmpLt
+	case "<=":
+		return kernels.CmpLe
+	case ">":
+		return kernels.CmpGt
+	case ">=":
+		return kernels.CmpGe
+	}
+	panic("sql: bad comparison operator " + op)
+}
+
+// convertArith handles +,-,*,/,% including date ± INTERVAL folding.
+func (a *analyzer) convertArith(n *BinaryExpr, c exprConverter) (expr.Expr, error) {
+	// date_literal ± INTERVAL folds at analysis time; column ± INTERVAL
+	// becomes DateAdd.
+	if iv, ok := n.Right.(*IntervalLit); ok && (n.Op == "+" || n.Op == "-") {
+		sign := int64(1)
+		if n.Op == "-" {
+			sign = -1
+		}
+		if dl, ok := n.Left.(*DateLit); ok {
+			d, err := types.ParseDate(dl.Text)
+			if err != nil {
+				return nil, err
+			}
+			return expr.DateLit(shiftDate(d, sign*iv.N, iv.Unit)), nil
+		}
+		inner, err := c.convertChild(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		if iv.Unit == "DAY" {
+			return &expr.DateAdd{Inner: inner, Days: int32(sign * iv.N)}, nil
+		}
+		return nil, fmt.Errorf("sql: non-constant date %s INTERVAL %s is not supported", n.Op, iv.Unit)
+	}
+	l, err := c.convertChild(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.convertChild(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	l, r, err = coercePair(l, r)
+	if err != nil {
+		return nil, err
+	}
+	var op expr.ArithOp
+	switch n.Op {
+	case "+":
+		op = expr.OpAdd
+	case "-":
+		op = expr.OpSub
+	case "*":
+		op = expr.OpMul
+	case "/":
+		op = expr.OpDiv
+	case "%":
+		op = expr.OpMod
+	}
+	return expr.NewArith(op, l, r)
+}
+
+// shiftDate moves a day count by n units.
+func shiftDate(days int32, n int64, unit string) int32 {
+	switch unit {
+	case "DAY":
+		return days + int32(n)
+	case "MONTH":
+		return types.AddMonths(days, int32(n))
+	case "YEAR":
+		return types.AddMonths(days, int32(n*12))
+	}
+	return days
+}
+
+// convertCmpSides converts and coerces both sides of a comparison.
+func (a *analyzer) convertCmpSides(n *BinaryExpr, c exprConverter) (expr.Expr, expr.Expr, error) {
+	// Fold interval arithmetic inside comparisons first.
+	left, right := n.Left, n.Right
+	l, err := a.convertScalarOrArith(left, c)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := a.convertScalarOrArith(right, c)
+	if err != nil {
+		return nil, nil, err
+	}
+	l, r, err = coercePair(l, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return l, r, nil
+}
+
+func (a *analyzer) convertScalarOrArith(e AstExpr, c exprConverter) (expr.Expr, error) {
+	if b, ok := e.(*BinaryExpr); ok {
+		switch b.Op {
+		case "+", "-", "*", "/", "%":
+			return a.convertArith(b, c)
+		}
+	}
+	// Route through the converter so scope-specific resolution applies
+	// (e.g. aggregate calls in HAVING resolve to aggregate outputs).
+	return c.convertChild(e)
+}
+
+// coercePair reconciles the two sides' types: literal adaptation first,
+// then implicit casts (int widening, int→float, int→decimal, string
+// literal→date/timestamp).
+func coercePair(l, r expr.Expr) (expr.Expr, expr.Expr, error) {
+	lt, rt := l.Type(), r.Type()
+	if lt.ID == rt.ID {
+		return l, r, nil
+	}
+	// Literal adaptation avoids casting whole columns.
+	if lit, ok := r.(*expr.Literal); ok {
+		if adapted, ok2 := adaptLiteral(lit, lt); ok2 {
+			return l, adapted, nil
+		}
+	}
+	if lit, ok := l.(*expr.Literal); ok {
+		if adapted, ok2 := adaptLiteral(lit, rt); ok2 {
+			return adapted, r, nil
+		}
+	}
+	// Column-level implicit casts.
+	rank := func(t types.DataType) int {
+		switch t.ID {
+		case types.Int32:
+			return 1
+		case types.Int64:
+			return 2
+		case types.Decimal:
+			return 3
+		case types.Float64:
+			return 4
+		}
+		return 0
+	}
+	lr, rr := rank(lt), rank(rt)
+	if lr > 0 && rr > 0 {
+		if lr < rr {
+			return expr.NewCast(l, castTarget(rt, lt)), r, nil
+		}
+		return l, expr.NewCast(r, castTarget(lt, rt)), nil
+	}
+	return nil, nil, fmt.Errorf("sql: cannot compare/combine %v with %v", lt, rt)
+}
+
+// castTarget picks the widened type when casting `from` up to `to`'s rank.
+func castTarget(to, from types.DataType) types.DataType {
+	if to.ID == types.Decimal && from.ID != types.Decimal {
+		return types.DecimalType(to.Precision, to.Scale)
+	}
+	return types.DataType{ID: to.ID, Precision: to.Precision, Scale: to.Scale}
+}
+
+// adaptLiteral rewrites a literal to the target type when lossless.
+func adaptLiteral(lit *expr.Literal, to types.DataType) (*expr.Literal, bool) {
+	if lit.IsNullLit() {
+		return expr.NullLit(to), true
+	}
+	from := lit.Type()
+	switch {
+	case from.ID == to.ID:
+		if to.ID == types.Decimal {
+			return expr.Lit(lit.Dec(to.Scale), to), true
+		}
+		return lit, true
+	case from.ID == types.Int64 && to.ID == types.Int32:
+		v := lit.I64()
+		if int64(int32(v)) == v {
+			return expr.Int32Lit(int32(v)), true
+		}
+	case from.ID == types.Int64 && to.ID == types.Float64:
+		return expr.Float64Lit(float64(lit.I64())), true
+	case from.ID == types.Int64 && to.ID == types.Decimal:
+		d := types.DecimalFromInt64(lit.I64()).Rescale(0, to.Scale)
+		return expr.Lit(d, to), true
+	case from.ID == types.Decimal && to.ID == types.Float64:
+		div := types.Pow10(from.Scale).ToFloat64()
+		return expr.Float64Lit(lit.Val.(types.Decimal128).ToFloat64() / div), true
+	case from.ID == types.Decimal && to.ID == types.Decimal:
+		return expr.Lit(lit.Dec(to.Scale), to), true
+	case from.ID == types.String && to.ID == types.Date:
+		if d, err := types.ParseDate(lit.Val.(string)); err == nil {
+			return expr.DateLit(d), true
+		}
+	case from.ID == types.String && to.ID == types.Timestamp:
+		if ts, err := types.ParseTimestamp(lit.Val.(string)); err == nil {
+			return expr.Lit(ts, types.TimestampType), true
+		}
+	}
+	return nil, false
+}
+
+// alignCaseTypes coerces CASE branch outputs to one type.
+func alignCaseTypes(branches []expr.CaseBranch, els expr.Expr) ([]expr.CaseBranch, expr.Expr, error) {
+	// Pick the first non-literal type as the target, else the widest.
+	var target types.DataType
+	pick := func(e expr.Expr) {
+		if e == nil {
+			return
+		}
+		t := e.Type()
+		if target.ID == types.Unknown {
+			target = t
+			return
+		}
+		// Prefer decimal/float over int for mixed numeric branches.
+		if target.ID == types.Int64 && (t.ID == types.Decimal || t.ID == types.Float64) {
+			target = t
+		}
+	}
+	for _, b := range branches {
+		pick(b.Then)
+	}
+	pick(els)
+	coerce := func(e expr.Expr) (expr.Expr, error) {
+		if e == nil {
+			return nil, nil
+		}
+		if e.Type().Equal(target) {
+			return e, nil
+		}
+		if lit, ok := e.(*expr.Literal); ok {
+			if adapted, ok2 := adaptLiteral(lit, target); ok2 {
+				return adapted, nil
+			}
+		}
+		return expr.NewCast(e, target), nil
+	}
+	for i := range branches {
+		var err error
+		branches[i].Then, err = coerce(branches[i].Then)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	var err error
+	els, err = coerce(els)
+	return branches, els, err
+}
+
+// convertFunc lowers scalar function calls.
+func (a *analyzer) convertFunc(n *FuncCall, c exprConverter) (expr.Expr, error) {
+	if _, isAgg := aggNames[n.Name]; isAgg {
+		return nil, fmt.Errorf("sql: aggregate %s is not allowed here", n.Name)
+	}
+	argAt := func(i int) (expr.Expr, error) {
+		if i >= len(n.Args) {
+			return nil, fmt.Errorf("sql: %s: missing argument %d", n.Name, i+1)
+		}
+		return c.convertChild(n.Args[i])
+	}
+	switch n.Name {
+	case "UPPER":
+		e, err := argAt(0)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Upper(e), nil
+	case "LOWER":
+		e, err := argAt(0)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Lower(e), nil
+	case "LENGTH":
+		e, err := argAt(0)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Length(e), nil
+	case "TRIM":
+		e, err := argAt(0)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Trim(e), nil
+	case "SUBSTRING", "SUBSTR":
+		e, err := argAt(0)
+		if err != nil {
+			return nil, err
+		}
+		start, err := intArg(n, 1)
+		if err != nil {
+			return nil, err
+		}
+		length := 1 << 30
+		if len(n.Args) > 2 {
+			length, err = intArg(n, 2)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return expr.Substr(e, start, length), nil
+	case "CONCAT":
+		e, err := argAt(0)
+		if err != nil {
+			return nil, err
+		}
+		for i := 1; i < len(n.Args); i++ {
+			r, err := argAt(i)
+			if err != nil {
+				return nil, err
+			}
+			e = expr.Concat(e, r)
+		}
+		return e, nil
+	case "YEAR":
+		e, err := argAt(0)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Year(e), nil
+	case "MONTH":
+		e, err := argAt(0)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Month(e), nil
+	case "DAY":
+		e, err := argAt(0)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Day(e), nil
+	case "SQRT":
+		e, err := argAt(0)
+		if err != nil {
+			return nil, err
+		}
+		if e.Type().ID != types.Float64 {
+			e = expr.NewCast(e, types.Float64Type)
+		}
+		return &expr.Unary{Op: expr.OpSqrt, Inner: e}, nil
+	case "ABS":
+		e, err := argAt(0)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Unary{Op: expr.OpAbs, Inner: e}, nil
+	case "COALESCE":
+		var args []expr.Expr
+		for i := range n.Args {
+			e, err := argAt(i)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, e)
+		}
+		// Adapt literal args to the first non-literal type.
+		var target types.DataType
+		for _, e := range args {
+			if _, isLit := e.(*expr.Literal); !isLit {
+				target = e.Type()
+				break
+			}
+		}
+		if target.ID != types.Unknown {
+			for i, e := range args {
+				if lit, ok := e.(*expr.Literal); ok {
+					if adapted, ok2 := adaptLiteral(lit, target); ok2 {
+						args[i] = adapted
+					}
+				}
+			}
+		}
+		return expr.NewCoalesce(args...)
+	}
+	return nil, fmt.Errorf("sql: unknown function %s", n.Name)
+}
+
+// intArg extracts a constant integer argument.
+func intArg(n *FuncCall, i int) (int, error) {
+	num, ok := n.Args[i].(*NumberLit)
+	if !ok || !num.IsInt {
+		return 0, fmt.Errorf("sql: %s argument %d must be an integer literal", n.Name, i+1)
+	}
+	v, err := strconv.Atoi(num.Text)
+	if err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// parseTypeName maps SQL type names to DataTypes.
+func parseTypeName(name string) (types.DataType, error) {
+	up := strings.ToUpper(name)
+	switch {
+	case up == "BOOLEAN" || up == "BOOL":
+		return types.BoolType, nil
+	case up == "INT" || up == "INTEGER":
+		return types.Int32Type, nil
+	case up == "BIGINT" || up == "LONG":
+		return types.Int64Type, nil
+	case up == "DOUBLE" || up == "FLOAT":
+		return types.Float64Type, nil
+	case up == "STRING" || up == "VARCHAR" || up == "TEXT":
+		return types.StringType, nil
+	case up == "DATE":
+		return types.DateType, nil
+	case up == "TIMESTAMP":
+		return types.TimestampType, nil
+	case strings.HasPrefix(up, "DECIMAL(") || strings.HasPrefix(up, "NUMERIC("):
+		inner := up[strings.Index(up, "(")+1 : len(up)-1]
+		var p, s int
+		if _, err := fmt.Sscanf(inner, "%d,%d", &p, &s); err != nil {
+			if _, err := fmt.Sscanf(inner, "%d", &p); err != nil {
+				return types.DataType{}, fmt.Errorf("sql: bad decimal type %q", name)
+			}
+		}
+		return types.DecimalType(p, s), nil
+	case up == "DECIMAL" || up == "NUMERIC":
+		return types.DecimalType(10, 0), nil
+	}
+	return types.DataType{}, fmt.Errorf("sql: unknown type %q", name)
+}
+
+// convertPred lowers an AST predicate to a vectorized filter.
+func (a *analyzer) convertPred(e AstExpr, c exprConverter) (expr.Filter, error) {
+	switch n := e.(type) {
+	case *BinaryExpr:
+		switch n.Op {
+		case "AND":
+			l, err := a.convertPred(n.Left, c)
+			if err != nil {
+				return nil, err
+			}
+			r, err := a.convertPred(n.Right, c)
+			if err != nil {
+				return nil, err
+			}
+			return expr.NewAnd(l, r), nil
+		case "OR":
+			l, err := a.convertPred(n.Left, c)
+			if err != nil {
+				return nil, err
+			}
+			r, err := a.convertPred(n.Right, c)
+			if err != nil {
+				return nil, err
+			}
+			return expr.NewOr(l, r), nil
+		case "=", "<>", "<", "<=", ">", ">=":
+			l, r, err := a.convertCmpSides(n, c)
+			if err != nil {
+				return nil, err
+			}
+			return expr.MustCmp(cmpOpOf(n.Op), l, r), nil
+		}
+		return nil, fmt.Errorf("sql: %q is not a predicate", n.Op)
+	case *UnaryExpr:
+		if n.Op == "NOT" {
+			inner, err := a.convertPred(n.Inner, c)
+			if err != nil {
+				return nil, err
+			}
+			return expr.NewNot(inner), nil
+		}
+	case *BetweenExpr:
+		inner, err := a.convertScalarOrArith(n.Inner, c)
+		if err != nil {
+			return nil, err
+		}
+		loE, err := a.convertScalarOrArith(n.Lo, c)
+		if err != nil {
+			return nil, err
+		}
+		hiE, err := a.convertScalarOrArith(n.Hi, c)
+		if err != nil {
+			return nil, err
+		}
+		lo, okLo := litOf(loE, inner.Type())
+		hi, okHi := litOf(hiE, inner.Type())
+		var f expr.Filter
+		if okLo && okHi {
+			f = expr.NewBetween(inner, lo, hi) // the fused kernel (§3.3)
+		} else {
+			_, lo2, err1 := coercePairKeepLeft(inner, loE)
+			_, hi2, err2 := coercePairKeepLeft(inner, hiE)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("sql: BETWEEN bounds incompatible with %v", inner.Type())
+			}
+			f = expr.NewAnd(
+				expr.MustCmp(kernels.CmpGe, inner, lo2),
+				expr.MustCmp(kernels.CmpLe, inner, hi2),
+			)
+		}
+		if n.Negate {
+			return expr.NewNot(f), nil
+		}
+		return f, nil
+	case *InExpr:
+		inner, err := a.convertScalarOrArith(n.Inner, c)
+		if err != nil {
+			return nil, err
+		}
+		var lits []*expr.Literal
+		for _, item := range n.List {
+			le, err := a.convertScalarOrArith(item, c)
+			if err != nil {
+				return nil, err
+			}
+			lit, ok := litOf(le, inner.Type())
+			if !ok {
+				return nil, fmt.Errorf("sql: IN list supports literals only")
+			}
+			lits = append(lits, lit)
+		}
+		var f expr.Filter = expr.NewIn(inner, lits)
+		if n.Negate {
+			return expr.NewNot(f), nil
+		}
+		return f, nil
+	case *LikeExpr:
+		inner, err := c.convertChild(n.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewLike(inner, n.Pattern, n.Negate), nil
+	case *IsNullExpr:
+		inner, err := c.convertChild(n.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.IsNull{Inner: inner, Negate: n.Negate}, nil
+	case *BoolLit:
+		if n.Val {
+			return expr.NewAnd(), nil // always-true
+		}
+		return expr.NewLike(expr.StringLit(""), "x", false), nil // always-false
+	}
+	// Fallback: a boolean-typed scalar (e.g. boolean column).
+	se, err := c.convertChild(e)
+	if err != nil {
+		return nil, err
+	}
+	if se.Type().ID != types.Bool {
+		return nil, fmt.Errorf("sql: %s is not a boolean predicate", renderAst(e))
+	}
+	return &expr.BoolColFilter{Inner: se}, nil
+}
+
+// litOf extracts an expression as a literal adapted to type t.
+func litOf(e expr.Expr, t types.DataType) (*expr.Literal, bool) {
+	lit, ok := e.(*expr.Literal)
+	if !ok {
+		return nil, false
+	}
+	return adaptLiteral(lit, t)
+}
+
+// coercePairKeepLeft coerces only the right side toward the left's type.
+func coercePairKeepLeft(l, r expr.Expr) (expr.Expr, expr.Expr, error) {
+	lc, rc, err := coercePair(l, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if lc != l {
+		return nil, nil, fmt.Errorf("sql: cannot coerce without casting the column side")
+	}
+	return lc, rc, nil
+}

@@ -1,0 +1,260 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"photon/internal/catalog"
+	"photon/internal/expr"
+	"photon/internal/types"
+)
+
+// LogicalPlan is the analyzer's output and the optimizer's working tree.
+// Expressions within a node reference the node's child output by ordinal
+// (expr.ColRef), so plans are position-resolved after analysis.
+type LogicalPlan interface {
+	Schema() *types.Schema
+	Children() []LogicalPlan
+	String() string
+}
+
+// LScan reads a catalog table. Filter (pushed by the optimizer) prunes
+// Delta files via statistics and filters rows; Projection selects columns.
+type LScan struct {
+	Table      catalog.Table
+	Alias      string
+	Projection []int       // nil = all columns
+	Filter     expr.Filter // nil = none
+	schema     *types.Schema
+}
+
+// Schema implements LogicalPlan.
+func (s *LScan) Schema() *types.Schema {
+	if s.schema == nil {
+		if s.Projection == nil {
+			s.schema = s.Table.Schema()
+		} else {
+			s.schema = s.Table.Schema().Project(s.Projection)
+		}
+	}
+	return s.schema
+}
+
+// Children implements LogicalPlan.
+func (s *LScan) Children() []LogicalPlan { return nil }
+
+func (s *LScan) String() string {
+	out := fmt.Sprintf("Scan(%s", s.Table.Name())
+	if s.Filter != nil {
+		out += ", filter=" + s.Filter.String()
+	}
+	if s.Projection != nil {
+		out += fmt.Sprintf(", cols=%v", s.Projection)
+	}
+	return out + ")"
+}
+
+// InvalidateSchema clears the cached schema after projection changes.
+func (s *LScan) InvalidateSchema() { s.schema = nil }
+
+// LFilter keeps rows satisfying Pred.
+type LFilter struct {
+	Child LogicalPlan
+	Pred  expr.Filter
+}
+
+// Schema implements LogicalPlan.
+func (f *LFilter) Schema() *types.Schema   { return f.Child.Schema() }
+func (f *LFilter) Children() []LogicalPlan { return []LogicalPlan{f.Child} }
+func (f *LFilter) String() string          { return "Filter(" + f.Pred.String() + ")" }
+
+// LProject computes expressions over the child.
+type LProject struct {
+	Child  LogicalPlan
+	Exprs  []expr.Expr
+	Names  []string
+	schema *types.Schema
+}
+
+// Schema implements LogicalPlan.
+func (p *LProject) Schema() *types.Schema {
+	if p.schema == nil {
+		fields := make([]types.Field, len(p.Exprs))
+		for i, e := range p.Exprs {
+			name := p.Names[i]
+			if name == "" {
+				name = e.String()
+			}
+			fields[i] = types.Field{Name: name, Type: e.Type(), Nullable: true}
+		}
+		p.schema = &types.Schema{Fields: fields}
+	}
+	return p.schema
+}
+
+func (p *LProject) Children() []LogicalPlan { return []LogicalPlan{p.Child} }
+
+// InvalidateSchema clears the cached schema after expression changes.
+func (p *LProject) InvalidateSchema() { p.schema = nil }
+func (p *LProject) String() string {
+	parts := make([]string, len(p.Exprs))
+	for i, e := range p.Exprs {
+		parts[i] = e.String()
+	}
+	return "Project(" + strings.Join(parts, ", ") + ")"
+}
+
+// LAggregate groups by Keys and computes Aggs.
+type LAggregate struct {
+	Child    LogicalPlan
+	Keys     []expr.Expr
+	KeyNames []string
+	Aggs     []expr.AggSpec
+	schema   *types.Schema
+}
+
+// Schema implements LogicalPlan.
+func (a *LAggregate) Schema() *types.Schema {
+	if a.schema == nil {
+		fields := make([]types.Field, 0, len(a.Keys)+len(a.Aggs))
+		for i, k := range a.Keys {
+			name := a.KeyNames[i]
+			if name == "" {
+				name = k.String()
+			}
+			fields = append(fields, types.Field{Name: name, Type: k.Type(), Nullable: true})
+		}
+		for i, s := range a.Aggs {
+			rt, err := s.ResultType()
+			if err != nil {
+				rt = types.DataType{}
+			}
+			name := s.Name
+			if name == "" {
+				name = fmt.Sprintf("agg%d", i)
+			}
+			fields = append(fields, types.Field{Name: name, Type: rt, Nullable: true})
+		}
+		a.schema = &types.Schema{Fields: fields}
+	}
+	return a.schema
+}
+
+func (a *LAggregate) Children() []LogicalPlan { return []LogicalPlan{a.Child} }
+
+// InvalidateSchema clears the cached schema after aggregate changes.
+func (a *LAggregate) InvalidateSchema() { a.schema = nil }
+func (a *LAggregate) String() string {
+	parts := make([]string, 0, len(a.Keys)+len(a.Aggs))
+	for _, k := range a.Keys {
+		parts = append(parts, k.String())
+	}
+	for _, s := range a.Aggs {
+		parts = append(parts, s.String())
+	}
+	return "Aggregate(" + strings.Join(parts, ", ") + ")"
+}
+
+// LJoin is an equi-join with optional residual filter over the combined row.
+type LJoin struct {
+	Left, Right LogicalPlan
+	Kind        JoinKind
+	LeftKeys    []expr.Expr // over Left's schema
+	RightKeys   []expr.Expr // over Right's schema
+	Residual    expr.Filter // over the combined schema; inner joins only
+	schema      *types.Schema
+}
+
+// Schema implements LogicalPlan.
+func (j *LJoin) Schema() *types.Schema {
+	if j.schema == nil {
+		switch j.Kind {
+		case JoinLeftSemi, JoinLeftAnti:
+			j.schema = j.Left.Schema()
+		default:
+			fields := append([]types.Field(nil), j.Left.Schema().Fields...)
+			for _, f := range j.Right.Schema().Fields {
+				nf := f
+				if j.Kind == JoinLeftOuter {
+					nf.Nullable = true
+				}
+				fields = append(fields, nf)
+			}
+			j.schema = &types.Schema{Fields: fields}
+		}
+	}
+	return j.schema
+}
+
+func (j *LJoin) Children() []LogicalPlan { return []LogicalPlan{j.Left, j.Right} }
+
+// InvalidateSchema clears the cached schema (after input swaps).
+func (j *LJoin) InvalidateSchema() { j.schema = nil }
+func (j *LJoin) String() string {
+	kinds := [...]string{"Inner", "LeftOuter", "LeftSemi", "LeftAnti", "Cross"}
+	return fmt.Sprintf("Join(%s, keys=%d)", kinds[j.Kind], len(j.LeftKeys))
+}
+
+// LCrossJoin is an unconverted cross join (only valid pre-optimization;
+// the optimizer converts equality predicates into LJoin keys).
+type LCrossJoin struct {
+	Left, Right LogicalPlan
+	schema      *types.Schema
+}
+
+// Schema implements LogicalPlan.
+func (j *LCrossJoin) Schema() *types.Schema {
+	if j.schema == nil {
+		fields := append([]types.Field(nil), j.Left.Schema().Fields...)
+		fields = append(fields, j.Right.Schema().Fields...)
+		j.schema = &types.Schema{Fields: fields}
+	}
+	return j.schema
+}
+
+func (j *LCrossJoin) Children() []LogicalPlan { return []LogicalPlan{j.Left, j.Right} }
+func (j *LCrossJoin) String() string          { return "CrossJoin" }
+
+// SortKeyPlan orders by a child output column.
+type SortKeyPlan struct {
+	Col  int
+	Desc bool
+}
+
+// LSort orders the child's output.
+type LSort struct {
+	Child LogicalPlan
+	Keys  []SortKeyPlan
+}
+
+// Schema implements LogicalPlan.
+func (s *LSort) Schema() *types.Schema   { return s.Child.Schema() }
+func (s *LSort) Children() []LogicalPlan { return []LogicalPlan{s.Child} }
+func (s *LSort) String() string          { return fmt.Sprintf("Sort(%v)", s.Keys) }
+
+// LLimit keeps the first N rows.
+type LLimit struct {
+	Child LogicalPlan
+	N     int64
+}
+
+// Schema implements LogicalPlan.
+func (l *LLimit) Schema() *types.Schema   { return l.Child.Schema() }
+func (l *LLimit) Children() []LogicalPlan { return []LogicalPlan{l.Child} }
+func (l *LLimit) String() string          { return fmt.Sprintf("Limit(%d)", l.N) }
+
+// ExplainPlan renders a plan tree for debugging and the SQL shell.
+func ExplainPlan(p LogicalPlan) string {
+	var sb strings.Builder
+	var walk func(n LogicalPlan, depth int)
+	walk = func(n LogicalPlan, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(n.String())
+		sb.WriteByte('\n')
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(p, 0)
+	return sb.String()
+}

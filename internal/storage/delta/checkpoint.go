@@ -1,0 +1,176 @@
+package delta
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Checkpoints make snapshot reconstruction O(changes-since-checkpoint)
+// instead of O(all versions) — the "fast metadata operations" Delta
+// provides (§2.1/§2.3). Every checkpointInterval commits, the writer
+// serializes the full reconstructed state as <version>.checkpoint.json;
+// Snapshot() replays the log from the newest checkpoint at or below the
+// requested version.
+
+const checkpointInterval = 10
+
+// checkpointState is the serialized snapshot.
+type checkpointState struct {
+	Version  int64     `json:"version"`
+	MetaData *MetaData `json:"metaData"`
+	Files    []AddFile `json:"files"`
+}
+
+func (t *Table) checkpointFile(version int64) string {
+	return filepath.Join(t.Path, logDir, fmt.Sprintf("%020d.checkpoint.json", version))
+}
+
+// maybeCheckpoint writes a checkpoint when the version hits the interval.
+// Failures are non-fatal: the log remains the source of truth.
+func (t *Table) maybeCheckpoint(version int64) {
+	if version <= 0 || version%checkpointInterval != 0 {
+		return
+	}
+	snap, err := t.snapshotFrom(0, nil, version)
+	if err != nil {
+		return
+	}
+	state := checkpointState{
+		Version: version,
+		MetaData: &MetaData{
+			ID:               "tbl-0",
+			SchemaString:     encodeSchema(snap.Schema),
+			PartitionColumns: snap.PartitionCols,
+		},
+		Files: snap.Files,
+	}
+	body, err := json.Marshal(&state)
+	if err != nil {
+		return
+	}
+	tmp := t.checkpointFile(version) + ".tmp"
+	if err := os.WriteFile(tmp, body, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, t.checkpointFile(version))
+}
+
+// latestCheckpoint finds the newest checkpoint at or below version.
+func (t *Table) latestCheckpoint(version int64) (*checkpointState, bool) {
+	entries, err := os.ReadDir(filepath.Join(t.Path, logDir))
+	if err != nil {
+		return nil, false
+	}
+	best := int64(-1)
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".checkpoint.json") {
+			continue
+		}
+		v, err := strconv.ParseInt(strings.TrimSuffix(name, ".checkpoint.json"), 10, 64)
+		if err != nil {
+			continue
+		}
+		if v <= version && v > best {
+			best = v
+		}
+	}
+	if best < 0 {
+		return nil, false
+	}
+	body, err := os.ReadFile(t.checkpointFile(best))
+	if err != nil {
+		return nil, false
+	}
+	var state checkpointState
+	if err := json.Unmarshal(body, &state); err != nil {
+		return nil, false
+	}
+	return &state, true
+}
+
+// snapshotFrom replays the log in (startAfter, version] on top of a base
+// checkpoint state (nil = empty).
+func (t *Table) snapshotFrom(startVersion int64, base *checkpointState, version int64) (*Snapshot, error) {
+	snap := &Snapshot{Version: version}
+	live := map[string]AddFile{}
+	var order []string
+	if base != nil {
+		schema, err := decodeSchema(base.MetaData.SchemaString)
+		if err != nil {
+			return nil, err
+		}
+		snap.Schema = schema
+		snap.PartitionCols = base.MetaData.PartitionColumns
+		for _, f := range base.Files {
+			live[f.Path] = f
+			order = append(order, f.Path)
+		}
+	}
+	for v := startVersion; v <= version; v++ {
+		if err := t.replayVersion(v, snap, live, &order); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range order {
+		if af, ok := live[p]; ok {
+			snap.Files = append(snap.Files, af)
+		}
+	}
+	sortFiles(snap.Files)
+	if snap.Schema == nil {
+		return nil, errors.New("delta: snapshot has no metadata")
+	}
+	return snap, nil
+}
+
+// replayVersion applies one log file's actions (missing files are skipped:
+// failed writers can leave gaps).
+func (t *Table) replayVersion(v int64, snap *Snapshot, live map[string]AddFile, order *[]string) error {
+	f, err := os.Open(t.logFile(v))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	for dec.More() {
+		var a Action
+		if err := dec.Decode(&a); err != nil {
+			return fmt.Errorf("delta: log %d: %w", v, err)
+		}
+		switch {
+		case a.MetaData != nil:
+			schema, err := decodeSchema(a.MetaData.SchemaString)
+			if err != nil {
+				return err
+			}
+			snap.Schema = schema
+			snap.PartitionCols = a.MetaData.PartitionColumns
+		case a.Add != nil:
+			if _, seen := live[a.Add.Path]; !seen {
+				*order = append(*order, a.Add.Path)
+			}
+			live[a.Add.Path] = *a.Add
+		case a.Remove != nil:
+			delete(live, a.Remove.Path)
+		}
+	}
+	return nil
+}
+
+func sortFiles(files []AddFile) {
+	for i := 1; i < len(files); i++ {
+		for j := i; j > 0 && files[j].Path < files[j-1].Path; j-- {
+			files[j], files[j-1] = files[j-1], files[j]
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package delta
+
+import (
+	"fmt"
+	"strings"
+
+	"photon/internal/expr"
+	"photon/internal/kernels"
+	"photon/internal/types"
+)
+
+// Data skipping (§2.1, §2.3): file-level min/max statistics and partition
+// values prune files that cannot contain matching rows, before any data is
+// read. The pruner understands the filter shapes the optimizer pushes down:
+// comparisons against literals, BETWEEN, IN lists, and conjunctions.
+
+// PruneFiles returns the subset of snapshot files that might satisfy the
+// filter. A nil filter keeps everything. Pruning is conservative: any
+// filter shape it does not understand keeps the file.
+func (s *Snapshot) PruneFiles(filter expr.Filter) []AddFile {
+	if filter == nil {
+		return s.Files
+	}
+	out := make([]AddFile, 0, len(s.Files))
+	for i := range s.Files {
+		if fileMightMatch(&s.Files[i], filter, s.Schema) {
+			out = append(out, s.Files[i])
+		}
+	}
+	return out
+}
+
+// fileMightMatch evaluates a filter against a file's stats envelope.
+func fileMightMatch(f *AddFile, filter expr.Filter, schema *types.Schema) bool {
+	switch n := filter.(type) {
+	case *expr.And:
+		for _, sub := range n.Filters {
+			if !fileMightMatch(f, sub, schema) {
+				return false
+			}
+		}
+		return true
+	case *expr.Or:
+		return fileMightMatch(f, n.Left, schema) || fileMightMatch(f, n.Right, schema)
+	case *expr.Cmp:
+		return cmpMightMatch(f, n, schema)
+	case *expr.Between:
+		col, ok := n.Inner.(*expr.ColRef)
+		if !ok {
+			return true
+		}
+		ge := expr.MustCmp(kernels.CmpGe, col, n.Lo)
+		le := expr.MustCmp(kernels.CmpLe, col, n.Hi)
+		return cmpMightMatch(f, ge, schema) && cmpMightMatch(f, le, schema)
+	case *expr.In:
+		col, ok := n.Inner.(*expr.ColRef)
+		if !ok {
+			return true
+		}
+		for _, lit := range n.Vals {
+			if lit.IsNullLit() {
+				continue
+			}
+			if cmpMightMatch(f, expr.MustCmp(kernels.CmpEq, col, lit), schema) {
+				return true
+			}
+		}
+		return false
+	case *expr.IsNull:
+		col, ok := n.Inner.(*expr.ColRef)
+		if !ok {
+			return true
+		}
+		st, ok := statsFor(f, col.Name)
+		if !ok {
+			return true
+		}
+		if n.Negate {
+			// IS NOT NULL: skip files where everything is NULL.
+			return !(st.NullCount >= f.NumRecords && f.NumRecords > 0)
+		}
+		return st.NullCount > 0
+	default:
+		return true // unknown shapes keep the file
+	}
+}
+
+// cmpMightMatch checks a column-vs-literal comparison against the file's
+// partition value (partition pruning) or its stats envelope [min, max].
+func cmpMightMatch(f *AddFile, n *expr.Cmp, schema *types.Schema) bool {
+	col, lit, op, ok := normalizeCmp(n)
+	if !ok {
+		return true
+	}
+	// Partition pruning: a partitioned file stores one value per partition
+	// column, so the predicate evaluates exactly.
+	if pv, isPart := partitionValueFor(f, col.Name); isPart {
+		t := col.Type()
+		colVal := parsePartitionValue(pv, t)
+		litVal := litBoxed(lit, t)
+		if colVal != nil && litVal != nil {
+			c := compareBoxed(colVal, litVal, t)
+			switch op {
+			case kernels.CmpEq:
+				return c == 0
+			case kernels.CmpNe:
+				return c != 0
+			case kernels.CmpLt:
+				return c < 0
+			case kernels.CmpLe:
+				return c <= 0
+			case kernels.CmpGt:
+				return c > 0
+			case kernels.CmpGe:
+				return c >= 0
+			}
+		}
+	}
+	st, haveStats := statsFor(f, col.Name)
+	if !haveStats {
+		return true
+	}
+	t := col.Type()
+	litVal := litBoxed(lit, t)
+	if litVal == nil {
+		return false // comparison with NULL matches nothing
+	}
+	minV, minOK := StatValue(st.Min, t)
+	maxV, maxOK := StatValue(st.Max, t)
+	if !minOK || !maxOK {
+		// All-NULL file: no non-NULL value can match any comparison.
+		return false
+	}
+	cMin := compareBoxed(litVal, minV, t) // lit vs min
+	cMax := compareBoxed(litVal, maxV, t) // lit vs max
+	switch op {
+	case kernels.CmpEq:
+		return cMin >= 0 && cMax <= 0
+	case kernels.CmpNe:
+		// Only prunable when every value equals the literal.
+		return !(cMin == 0 && cMax == 0)
+	case kernels.CmpLt: // col < lit: need min < lit
+		return compareBoxed(minV, litVal, t) < 0
+	case kernels.CmpLe:
+		return compareBoxed(minV, litVal, t) <= 0
+	case kernels.CmpGt: // col > lit: need max > lit
+		return compareBoxed(maxV, litVal, t) > 0
+	case kernels.CmpGe:
+		return compareBoxed(maxV, litVal, t) >= 0
+	}
+	return true
+}
+
+// normalizeCmp extracts (column, literal, op) with the column on the left.
+func normalizeCmp(n *expr.Cmp) (*expr.ColRef, *expr.Literal, kernels.CmpOp, bool) {
+	if col, ok := n.Left.(*expr.ColRef); ok {
+		if lit, ok := n.Right.(*expr.Literal); ok {
+			return col, lit, n.Op, true
+		}
+	}
+	if col, ok := n.Right.(*expr.ColRef); ok {
+		if lit, ok := n.Left.(*expr.Literal); ok {
+			return col, lit, swapCmp(n.Op), true
+		}
+	}
+	return nil, nil, 0, false
+}
+
+func swapCmp(op kernels.CmpOp) kernels.CmpOp {
+	switch op {
+	case kernels.CmpLt:
+		return kernels.CmpGt
+	case kernels.CmpLe:
+		return kernels.CmpGe
+	case kernels.CmpGt:
+		return kernels.CmpLt
+	case kernels.CmpGe:
+		return kernels.CmpLe
+	}
+	return op
+}
+
+// litBoxed extracts a literal's value at the column's type.
+func litBoxed(l *expr.Literal, t types.DataType) any {
+	if l.IsNullLit() {
+		return nil
+	}
+	if t.ID == types.Decimal {
+		return l.Dec(t.Scale)
+	}
+	return l.Val
+}
+
+// statsFor looks up a column's stats case-insensitively.
+func statsFor(f *AddFile, name string) (ColStats, bool) {
+	if st, ok := f.Stats[name]; ok {
+		return st, true
+	}
+	for k, st := range f.Stats {
+		if strings.EqualFold(k, name) {
+			return st, true
+		}
+	}
+	return ColStats{}, false
+}
+
+// partitionValueFor returns the file's stored partition value for a column.
+func partitionValueFor(f *AddFile, name string) (string, bool) {
+	for k, v := range f.PartitionValues {
+		if strings.EqualFold(k, name) {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+// parsePartitionValue converts a textual partition value to the column type.
+func parsePartitionValue(s string, t types.DataType) any {
+	switch t.ID {
+	case types.String:
+		return s
+	case types.Int32:
+		var v int32
+		if _, err := fmt.Sscanf(s, "%d", &v); err == nil {
+			return v
+		}
+	case types.Int64:
+		var v int64
+		if _, err := fmt.Sscanf(s, "%d", &v); err == nil {
+			return v
+		}
+	case types.Date:
+		if d, err := types.ParseDate(s); err == nil {
+			return d
+		}
+	}
+	return nil
+}

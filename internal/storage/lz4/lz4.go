@@ -1,0 +1,219 @@
+// Package lz4 implements the LZ4 block format (compress + decompress),
+// needed because the paper's shuffle and Parquet paths compress with LZ4
+// (§6.4, Table 1) and the Go standard library has no LZ4 codec.
+//
+// The compressor is a greedy single-pass matcher with a 16-bit hash chain,
+// like the reference LZ4 fast path. The format is the standard block
+// format: sequences of [token][literal-length*][literals][offset][match-
+// length*], ending with a literals-only sequence.
+package lz4
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const (
+	minMatch     = 4
+	lastLiterals = 5     // spec: last 5 bytes are always literals
+	mfLimit      = 12    // spec: no match may start within 12 bytes of the end
+	maxOffset    = 65535 // 16-bit offsets
+	hashLog      = 16
+	hashShift    = (minMatch * 8) - hashLog
+)
+
+func hash4(u uint32) uint32 {
+	return (u * 2654435761) >> hashShift
+}
+
+func load32(b []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(b[i:])
+}
+
+// CompressBound returns the maximum compressed size for n input bytes.
+func CompressBound(n int) int {
+	return n + n/255 + 16
+}
+
+// Compress appends the LZ4 block of src to dst and returns it.
+func Compress(dst, src []byte) []byte {
+	n := len(src)
+	if n == 0 {
+		return append(dst, 0) // token: 0 literals, no match
+	}
+	if n < mfLimit+1 {
+		return emitLastLiterals(dst, src)
+	}
+	var table [1 << hashLog]int32 // position+1; 0 = empty
+	anchor := 0
+	i := 0
+	limit := n - mfLimit
+	for i < limit {
+		h := hash4(load32(src, i))
+		cand := int(table[h]) - 1
+		table[h] = int32(i + 1)
+		if cand >= 0 && i-cand <= maxOffset && load32(src, cand) == load32(src, i) {
+			// Extend the match forward.
+			matchLen := minMatch
+			for i+matchLen < n-lastLiterals && src[cand+matchLen] == src[i+matchLen] {
+				matchLen++
+			}
+			dst = emitSequence(dst, src[anchor:i], i-cand, matchLen)
+			i += matchLen
+			anchor = i
+			continue
+		}
+		i++
+	}
+	return emitLastLiterals(dst, src[anchor:])
+}
+
+// emitSequence writes one token + literals + match.
+func emitSequence(dst, literals []byte, offset, matchLen int) []byte {
+	litLen := len(literals)
+	mlCode := matchLen - minMatch
+	token := byte(0)
+	if litLen >= 15 {
+		token = 0xF0
+	} else {
+		token = byte(litLen) << 4
+	}
+	if mlCode >= 15 {
+		token |= 0x0F
+	} else {
+		token |= byte(mlCode)
+	}
+	dst = append(dst, token)
+	if litLen >= 15 {
+		dst = appendLenExt(dst, litLen-15)
+	}
+	dst = append(dst, literals...)
+	dst = append(dst, byte(offset), byte(offset>>8))
+	if mlCode >= 15 {
+		dst = appendLenExt(dst, mlCode-15)
+	}
+	return dst
+}
+
+// emitLastLiterals writes the final literals-only sequence.
+func emitLastLiterals(dst, literals []byte) []byte {
+	litLen := len(literals)
+	if litLen >= 15 {
+		dst = append(dst, 0xF0)
+		dst = appendLenExt(dst, litLen-15)
+	} else {
+		dst = append(dst, byte(litLen)<<4)
+	}
+	return append(dst, literals...)
+}
+
+func appendLenExt(dst []byte, v int) []byte {
+	for v >= 255 {
+		dst = append(dst, 255)
+		v -= 255
+	}
+	return append(dst, byte(v))
+}
+
+// Decompress expands an LZ4 block into dst, which must be pre-sized to the
+// exact decompressed length. Returns the bytes written.
+func Decompress(dst, src []byte) (int, error) {
+	di, si := 0, 0
+	for si < len(src) {
+		token := src[si]
+		si++
+		// Literals.
+		litLen := int(token >> 4)
+		if litLen == 15 {
+			for {
+				if si >= len(src) {
+					return 0, fmt.Errorf("lz4: truncated literal length")
+				}
+				b := src[si]
+				si++
+				litLen += int(b)
+				if b != 255 {
+					break
+				}
+			}
+		}
+		if si+litLen > len(src) || di+litLen > len(dst) {
+			return 0, fmt.Errorf("lz4: literal overrun (lit=%d)", litLen)
+		}
+		copy(dst[di:], src[si:si+litLen])
+		si += litLen
+		di += litLen
+		if si >= len(src) {
+			return di, nil // final literals-only sequence
+		}
+		// Match.
+		if si+2 > len(src) {
+			return 0, fmt.Errorf("lz4: truncated offset")
+		}
+		offset := int(src[si]) | int(src[si+1])<<8
+		si += 2
+		if offset == 0 || offset > di {
+			return 0, fmt.Errorf("lz4: invalid offset %d at %d", offset, di)
+		}
+		matchLen := int(token&0x0F) + minMatch
+		if token&0x0F == 15 {
+			for {
+				if si >= len(src) {
+					return 0, fmt.Errorf("lz4: truncated match length")
+				}
+				b := src[si]
+				si++
+				matchLen += int(b)
+				if b != 255 {
+					break
+				}
+			}
+		}
+		if di+matchLen > len(dst) {
+			return 0, fmt.Errorf("lz4: match overrun")
+		}
+		// Byte-wise copy: matches may overlap (offset < matchLen).
+		m := di - offset
+		for k := 0; k < matchLen; k++ {
+			dst[di+k] = dst[m+k]
+		}
+		di += matchLen
+	}
+	return di, nil
+}
+
+// Frame helpers: a tiny envelope [u32 rawLen][u32 compLen][block] so readers
+// can size buffers; used by spill/shuffle files.
+
+// AppendFrame compresses src and appends an envelope-framed block to dst.
+func AppendFrame(dst, src []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(src)))
+	start := len(dst) + 8
+	dst = append(dst, hdr[:]...)
+	dst = Compress(dst, src)
+	binary.LittleEndian.PutUint32(dst[start-4:start], uint32(len(dst)-start))
+	return dst
+}
+
+// ReadFrame decodes one envelope-framed block from src, returning the
+// decompressed payload and the remaining bytes.
+func ReadFrame(src []byte) ([]byte, []byte, error) {
+	if len(src) < 8 {
+		return nil, nil, fmt.Errorf("lz4: short frame header")
+	}
+	rawLen := binary.LittleEndian.Uint32(src)
+	compLen := binary.LittleEndian.Uint32(src[4:])
+	if len(src) < int(8+compLen) {
+		return nil, nil, fmt.Errorf("lz4: short frame body")
+	}
+	out := make([]byte, rawLen)
+	n, err := Decompress(out, src[8:8+compLen])
+	if err != nil {
+		return nil, nil, err
+	}
+	if n != int(rawLen) {
+		return nil, nil, fmt.Errorf("lz4: frame length mismatch: %d != %d", n, rawLen)
+	}
+	return out, src[8+compLen:], nil
+}

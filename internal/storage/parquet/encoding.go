@@ -1,0 +1,217 @@
+package parquet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// Column chunk wire layout (before compression):
+//
+//	u32 numValues
+//	u8  hasNulls; if 1: bit-packed validity bitmap (1 bit per value, 1=valid)
+//	encoding payload:
+//	  PLAIN: values back to back (strings: u32 len + bytes each)
+//	  DICT:  u32 dictCount, PLAIN dictionary, u8 bitWidth, packed indices
+
+// BitPack packs vals (each < 2^width) into 32-bit-aligned little-endian
+// words; this is the RLE/bit-packing hybrid's bit-packed run, implemented
+// as a kernel over the whole index array (§6.1's "optimized bit-packing").
+func BitPack(vals []uint32, width int, dst []byte) []byte {
+	if width == 0 {
+		return dst
+	}
+	var acc uint64
+	accBits := 0
+	for _, v := range vals {
+		acc |= uint64(v) << accBits
+		accBits += width
+		for accBits >= 8 {
+			dst = append(dst, byte(acc))
+			acc >>= 8
+			accBits -= 8
+		}
+	}
+	if accBits > 0 {
+		dst = append(dst, byte(acc))
+	}
+	return dst
+}
+
+// BitUnpack reverses BitPack for n values.
+func BitUnpack(src []byte, width, n int, dst []uint32) ([]uint32, error) {
+	if width == 0 {
+		for i := 0; i < n; i++ {
+			dst = append(dst, 0)
+		}
+		return dst, nil
+	}
+	need := (n*width + 7) / 8
+	if len(src) < need {
+		return nil, fmt.Errorf("parquet: bit-packed run truncated: have %d need %d", len(src), need)
+	}
+	var acc uint64
+	accBits := 0
+	si := 0
+	mask := uint32(1)<<width - 1
+	for i := 0; i < n; i++ {
+		for accBits < width {
+			acc |= uint64(src[si]) << accBits
+			si++
+			accBits += 8
+		}
+		dst = append(dst, uint32(acc)&mask)
+		acc >>= width
+		accBits -= width
+	}
+	return dst, nil
+}
+
+// bitWidthFor returns the bits needed to represent values in [0, n).
+func bitWidthFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len32(uint32(n - 1))
+}
+
+// packValidity appends a 1-bit-per-value validity bitmap (1 = valid).
+func packValidity(nulls []byte, n int, dst []byte) []byte {
+	var cur byte
+	for i := 0; i < n; i++ {
+		if nulls[i] == 0 {
+			cur |= 1 << (i & 7)
+		}
+		if i&7 == 7 {
+			dst = append(dst, cur)
+			cur = 0
+		}
+	}
+	if n&7 != 0 {
+		dst = append(dst, cur)
+	}
+	return dst
+}
+
+// unpackValidity fills nulls (1 = NULL) from a validity bitmap and returns
+// the remaining bytes.
+func unpackValidity(src []byte, n int, nulls []byte) ([]byte, error) {
+	need := (n + 7) / 8
+	if len(src) < need {
+		return nil, fmt.Errorf("parquet: validity bitmap truncated")
+	}
+	for i := 0; i < n; i++ {
+		if src[i>>3]&(1<<(i&7)) != 0 {
+			nulls[i] = 0
+		} else {
+			nulls[i] = 1
+		}
+	}
+	return src[need:], nil
+}
+
+// appendPlainValue appends one value in PLAIN encoding.
+func appendPlainValue(dst []byte, v *vector.Vector, i int) []byte {
+	switch v.Type.ID {
+	case types.Bool:
+		return append(dst, v.Bool[i])
+	case types.Int32, types.Date:
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(v.I32[i]))
+		return append(dst, b[:]...)
+	case types.Int64, types.Timestamp:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(v.I64[i]))
+		return append(dst, b[:]...)
+	case types.Float64:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.F64[i]))
+		return append(dst, b[:]...)
+	case types.Decimal:
+		var b [16]byte
+		binary.LittleEndian.PutUint64(b[:8], v.Dec[i].Lo)
+		binary.LittleEndian.PutUint64(b[8:], uint64(v.Dec[i].Hi))
+		return append(dst, b[:]...)
+	case types.String:
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(len(v.Str[i])))
+		dst = append(dst, b[:]...)
+		return append(dst, v.Str[i]...)
+	}
+	panic("parquet: unsupported type")
+}
+
+// plainWidth returns the PLAIN width of a fixed type (0 = variable).
+func plainWidth(t types.DataType) int { return t.FixedWidth() }
+
+// readPlainInto decodes n PLAIN values into v starting at row base, leaving
+// NULL rows untouched (their slots were pre-zeroed). valid reports which
+// rows hold values; nil means all.
+func readPlainInto(src []byte, v *vector.Vector, base, n int, valid func(i int) bool) ([]byte, error) {
+	take := func(w int) ([]byte, error) {
+		if len(src) < w {
+			return nil, fmt.Errorf("parquet: PLAIN data truncated")
+		}
+		b := src[:w]
+		src = src[w:]
+		return b, nil
+	}
+	for i := 0; i < n; i++ {
+		if valid != nil && !valid(i) {
+			continue
+		}
+		switch v.Type.ID {
+		case types.Bool:
+			b, err := take(1)
+			if err != nil {
+				return nil, err
+			}
+			v.Bool[base+i] = b[0]
+		case types.Int32, types.Date:
+			b, err := take(4)
+			if err != nil {
+				return nil, err
+			}
+			v.I32[base+i] = int32(binary.LittleEndian.Uint32(b))
+		case types.Int64, types.Timestamp:
+			b, err := take(8)
+			if err != nil {
+				return nil, err
+			}
+			v.I64[base+i] = int64(binary.LittleEndian.Uint64(b))
+		case types.Float64:
+			b, err := take(8)
+			if err != nil {
+				return nil, err
+			}
+			v.F64[base+i] = math.Float64frombits(binary.LittleEndian.Uint64(b))
+		case types.Decimal:
+			b, err := take(16)
+			if err != nil {
+				return nil, err
+			}
+			v.Dec[base+i] = types.Decimal128{
+				Lo: binary.LittleEndian.Uint64(b),
+				Hi: int64(binary.LittleEndian.Uint64(b[8:])),
+			}
+		case types.String:
+			b, err := take(4)
+			if err != nil {
+				return nil, err
+			}
+			l := int(binary.LittleEndian.Uint32(b))
+			pb, err := take(l)
+			if err != nil {
+				return nil, err
+			}
+			v.Str[base+i] = pb
+		default:
+			return nil, fmt.Errorf("parquet: unsupported type %v", v.Type)
+		}
+	}
+	return src, nil
+}

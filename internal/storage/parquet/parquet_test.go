@@ -1,0 +1,278 @@
+package parquet
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+func testSchema() *types.Schema {
+	return types.NewSchema(
+		types.Field{Name: "i", Type: types.Int32Type, Nullable: true},
+		types.Field{Name: "l", Type: types.Int64Type, Nullable: true},
+		types.Field{Name: "d", Type: types.DateType, Nullable: true},
+		types.Field{Name: "ts", Type: types.TimestampType, Nullable: true},
+		types.Field{Name: "s", Type: types.StringType, Nullable: true},
+		types.Field{Name: "b", Type: types.BoolType, Nullable: true},
+	)
+}
+
+// genRows builds the Fig. 7 shaped six-column data.
+func genRows(n int, seed int64) [][]any {
+	rng := rand.New(rand.NewSource(seed))
+	var rows [][]any
+	for i := 0; i < n; i++ {
+		row := []any{
+			int32(rng.Intn(100000)),
+			rng.Int63(),
+			int32(18000 + rng.Intn(1000)),
+			int64(1.6e15) + rng.Int63n(1e12),
+			fmt.Sprintf("city_%03d", rng.Intn(200)), // dictionary-friendly
+			rng.Intn(2) == 0,
+		}
+		if rng.Intn(17) == 0 {
+			row[rng.Intn(6)] = nil
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func batchesOf(schema *types.Schema, rows [][]any, size int) []*vector.Batch {
+	var out []*vector.Batch
+	for start := 0; start < len(rows); start += size {
+		end := min(start+size, len(rows))
+		b := vector.NewBatch(schema, size)
+		for _, r := range rows[start:end] {
+			b.AppendRow(r...)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func writeVectorized(t *testing.T, schema *types.Schema, rows [][]any, opts Options) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, schema, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batchesOf(schema, rows, 512) {
+		if err := w.WriteBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func readAllRows(t *testing.T, data []byte) [][]any {
+	t.Helper()
+	r, err := NewReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches, err := r.ReadAll(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]any
+	for _, b := range batches {
+		rows = append(rows, b.Rows()...)
+	}
+	return rows
+}
+
+func TestVectorizedRoundTrip(t *testing.T) {
+	schema := testSchema()
+	rows := genRows(3000, 1)
+	for _, opts := range []Options{
+		{Compression: CompLZ4},
+		{Compression: CompNone},
+		{Compression: CompLZ4, DisableDict: true},
+		{Compression: CompLZ4, RowGroupRows: 700},
+	} {
+		data := writeVectorized(t, schema, rows, opts)
+		got := readAllRows(t, data)
+		if !reflect.DeepEqual(got, rows) {
+			t.Fatalf("round trip mismatch with opts %+v (%d vs %d rows)", opts, len(got), len(rows))
+		}
+	}
+}
+
+func TestRowWriterRoundTripAndEquivalence(t *testing.T) {
+	schema := testSchema()
+	rows := genRows(2500, 2)
+	var buf bytes.Buffer
+	rw, err := NewRowWriter(&buf, schema, Options{Compression: CompLZ4, RowGroupRows: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := rw.WriteRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := readAllRows(t, buf.Bytes())
+	if !reflect.DeepEqual(got, rows) {
+		t.Fatal("row-writer round trip mismatch")
+	}
+	// The two writers must agree on decoded contents.
+	vec := writeVectorized(t, schema, rows, Options{Compression: CompLZ4, RowGroupRows: 600})
+	if !reflect.DeepEqual(readAllRows(t, vec), got) {
+		t.Fatal("vectorized and row writers decode differently")
+	}
+}
+
+func TestDictionaryChosenForLowCardinality(t *testing.T) {
+	schema := types.NewSchema(types.Field{Name: "s", Type: types.StringType})
+	var rows [][]any
+	for i := 0; i < 5000; i++ {
+		rows = append(rows, []any{fmt.Sprintf("v%d", i%10)})
+	}
+	data := writeVectorized(t, schema, rows, Options{Compression: CompNone})
+	r, _ := NewReader(data)
+	cm := r.Meta().RowGroups[0].Columns[0]
+	if cm.Encoding != EncDict {
+		t.Error("low-cardinality strings should dictionary-encode")
+	}
+	if cm.DictValues != 10 {
+		t.Errorf("dict size = %d", cm.DictValues)
+	}
+	// High-cardinality: PLAIN.
+	rows = rows[:0]
+	for i := 0; i < 5000; i++ {
+		rows = append(rows, []any{fmt.Sprintf("unique_%06d", i)})
+	}
+	data = writeVectorized(t, schema, rows, Options{Compression: CompNone})
+	r, _ = NewReader(data)
+	if r.Meta().RowGroups[0].Columns[0].Encoding != EncPlain {
+		t.Error("high-cardinality strings should stay PLAIN")
+	}
+}
+
+func TestStatsAndSkipping(t *testing.T) {
+	schema := types.NewSchema(types.Field{Name: "v", Type: types.Int64Type, Nullable: true})
+	rows := [][]any{{int64(5)}, {int64(-3)}, {nil}, {int64(100)}}
+	data := writeVectorized(t, schema, rows, Options{})
+	r, _ := NewReader(data)
+	cm := r.Meta().RowGroups[0].Columns[0]
+	if cm.NullCount != 1 {
+		t.Errorf("null count = %d", cm.NullCount)
+	}
+	if got := DecodeStatValue(cm.Min, types.Int64Type); got.(int64) != -3 {
+		t.Errorf("min = %v", got)
+	}
+	if got := DecodeStatValue(cm.Max, types.Int64Type); got.(int64) != 100 {
+		t.Errorf("max = %v", got)
+	}
+}
+
+func TestAllNullColumnStats(t *testing.T) {
+	schema := types.NewSchema(types.Field{Name: "v", Type: types.StringType, Nullable: true})
+	rows := [][]any{{nil}, {nil}}
+	data := writeVectorized(t, schema, rows, Options{})
+	r, _ := NewReader(data)
+	cm := r.Meta().RowGroups[0].Columns[0]
+	if cm.Min != nil || cm.Max != nil {
+		t.Error("all-NULL column should have no min/max")
+	}
+	got := readAllRows(t, data)
+	if !reflect.DeepEqual(got, rows) {
+		t.Error("all-NULL round trip failed")
+	}
+}
+
+func TestProjection(t *testing.T) {
+	schema := testSchema()
+	rows := genRows(500, 3)
+	data := writeVectorized(t, schema, rows, Options{})
+	r, err := NewReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Project([]string{"s", "i"}); err != nil {
+		t.Fatal(err)
+	}
+	batches, err := r.ReadAll(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [][]any
+	for _, b := range batches {
+		got = append(got, b.Rows()...)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("projected rows = %d", len(got))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i][0], rows[i][4]) || !reflect.DeepEqual(got[i][1], rows[i][0]) {
+			t.Fatalf("projection row %d: %v vs source %v", i, got[i], rows[i])
+		}
+	}
+	if err := r.Project([]string{"nope"}); err == nil {
+		t.Error("projecting a missing column should fail")
+	}
+}
+
+func TestBitPackRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for width := 0; width <= 20; width++ {
+		n := rng.Intn(1000)
+		vals := make([]uint32, n)
+		if width > 0 {
+			for i := range vals {
+				vals[i] = rng.Uint32() & (1<<width - 1)
+			}
+		}
+		packed := BitPack(vals, width, nil)
+		got, err := BitUnpack(packed, width, n, nil)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		if !reflect.DeepEqual(got, append([]uint32{}, vals...)) && n > 0 {
+			t.Fatalf("width %d: mismatch", width)
+		}
+	}
+}
+
+func TestCorruptFooter(t *testing.T) {
+	if _, err := NewReader([]byte("short")); err == nil {
+		t.Error("short file accepted")
+	}
+	schema := types.NewSchema(types.Field{Name: "v", Type: types.Int64Type})
+	data := writeVectorized(t, schema, [][]any{{int64(1)}}, Options{})
+	bad := append([]byte(nil), data...)
+	bad[len(bad)-1] = 'X'
+	if _, err := NewReader(bad); err == nil {
+		t.Error("corrupt magic accepted")
+	}
+}
+
+func TestDecimalColumn(t *testing.T) {
+	schema := types.NewSchema(types.Field{Name: "d", Type: types.DecimalType(12, 2), Nullable: true})
+	d1, _ := types.ParseDecimal("123.45", 2)
+	d2, _ := types.ParseDecimal("-0.99", 2)
+	rows := [][]any{{d1}, {nil}, {d2}}
+	data := writeVectorized(t, schema, rows, Options{})
+	got := readAllRows(t, data)
+	if !reflect.DeepEqual(got, rows) {
+		t.Errorf("decimal round trip: %v", got)
+	}
+	r, _ := NewReader(data)
+	cm := r.Meta().RowGroups[0].Columns[0]
+	if got := DecodeStatValue(cm.Min, types.DecimalType(12, 2)); got.(types.Decimal128).Cmp(d2) != 0 {
+		t.Errorf("decimal min = %v", got)
+	}
+}

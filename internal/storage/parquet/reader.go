@@ -1,0 +1,270 @@
+package parquet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"photon/internal/storage/lz4"
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// Reader decodes a file image into column batches (the vectorized scan
+// path: columnar pages decode straight into column vectors, no row pivot).
+type Reader struct {
+	data   []byte
+	meta   *FileMeta
+	schema *types.Schema
+	// projection: output column -> file column.
+	proj []int
+
+	group   int
+	decoded []*chunkCursor
+	left    int // rows left in the current group
+}
+
+// OpenFile memory-maps (reads) a file and parses its footer.
+func OpenFile(path string) (*Reader, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewReader(data)
+}
+
+// NewReader parses a file image.
+func NewReader(data []byte) (*Reader, error) {
+	meta, err := ReadFooter(data)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{data: data, meta: meta, schema: meta.SchemaOf()}
+	r.proj = make([]int, r.schema.Len())
+	for i := range r.proj {
+		r.proj[i] = i
+	}
+	return r, nil
+}
+
+// Meta exposes the footer (for stats-based skipping).
+func (r *Reader) Meta() *FileMeta { return r.meta }
+
+// Schema returns the (projected) schema.
+func (r *Reader) Schema() *types.Schema { return r.schema }
+
+// NumRows returns the file's row count.
+func (r *Reader) NumRows() int64 { return r.meta.NumRows }
+
+// Project restricts reads to the named columns, in order.
+func (r *Reader) Project(names []string) error {
+	full := r.meta.SchemaOf()
+	proj := make([]int, len(names))
+	for i, n := range names {
+		idx := full.IndexOf(n)
+		if idx < 0 {
+			return fmt.Errorf("parquet: no column %q", n)
+		}
+		proj[i] = idx
+	}
+	r.proj = proj
+	r.schema = full.Project(proj)
+	return nil
+}
+
+// chunkCursor streams one column chunk's decoded values.
+type chunkCursor struct {
+	t     types.DataType
+	body  []byte // decompressed chunk, positioned after the header
+	nulls []byte // unpacked null bytes for the whole chunk (nil = none)
+	pos   int    // rows consumed
+	n     int    // total rows
+
+	// dictionary state
+	dict    [][]byte
+	indices []uint32
+	// validSeen counts valid values consumed so far (the dictionary index
+	// stream covers only valid rows).
+	validSeen int
+}
+
+// openChunk decompresses and prepares one column chunk.
+func (r *Reader) openChunk(cm *ColumnChunkMeta, t types.DataType) (*chunkCursor, error) {
+	raw := r.data[cm.Offset : cm.Offset+cm.Size]
+	if len(raw) < 4 {
+		return nil, fmt.Errorf("parquet: chunk too small")
+	}
+	rawLen := binary.LittleEndian.Uint32(raw)
+	payload := raw[4:]
+	if cm.Compress == CompLZ4 {
+		out := make([]byte, rawLen)
+		n, err := lz4.Decompress(out, payload)
+		if err != nil {
+			return nil, err
+		}
+		payload = out[:n]
+	}
+	if len(payload) < 5 {
+		return nil, fmt.Errorf("parquet: chunk header truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(payload))
+	hasNulls := payload[4] == 1
+	body := payload[5:]
+	cc := &chunkCursor{t: t, n: n}
+	if hasNulls {
+		cc.nulls = make([]byte, n)
+		var err error
+		body, err = unpackValidity(body, n, cc.nulls)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cm.Encoding == EncDict {
+		if len(body) < 4 {
+			return nil, fmt.Errorf("parquet: dict header truncated")
+		}
+		dictN := int(binary.LittleEndian.Uint32(body))
+		body = body[4:]
+		cc.dict = make([][]byte, dictN)
+		for i := 0; i < dictN; i++ {
+			if len(body) < 4 {
+				return nil, fmt.Errorf("parquet: dict value truncated")
+			}
+			l := int(binary.LittleEndian.Uint32(body))
+			body = body[4:]
+			if len(body) < l {
+				return nil, fmt.Errorf("parquet: dict payload truncated")
+			}
+			cc.dict[i] = body[:l]
+			body = body[l:]
+		}
+		if len(body) < 5 {
+			return nil, fmt.Errorf("parquet: index header truncated")
+		}
+		width := int(body[0])
+		cnt := int(binary.LittleEndian.Uint32(body[1:]))
+		body = body[5:]
+		idx, err := BitUnpack(body, width, cnt, make([]uint32, 0, cnt))
+		if err != nil {
+			return nil, err
+		}
+		cc.indices = idx
+	}
+	cc.body = body
+	return cc, nil
+}
+
+// readInto decodes the cursor's next k rows into v at [0, k).
+func (cc *chunkCursor) readInto(v *vector.Vector, k int) error {
+	base := cc.pos
+	var valid func(i int) bool
+	if cc.nulls != nil {
+		for i := 0; i < k; i++ {
+			if cc.nulls[base+i] != 0 {
+				v.SetNull(i)
+			}
+		}
+		valid = func(i int) bool { return cc.nulls[base+i] == 0 }
+	}
+	if cc.dict != nil {
+		// Dictionary decode: indices cover valid rows in order.
+		vi := 0
+		// Count valid rows before base to find the index offset.
+		// (Tracked incrementally via cc.validSeen.)
+		vi = cc.validSeen
+		for i := 0; i < k; i++ {
+			if valid != nil && !valid(i) {
+				continue
+			}
+			if vi >= len(cc.indices) {
+				return fmt.Errorf("parquet: dictionary index overrun")
+			}
+			v.Str[i] = cc.dict[cc.indices[vi]]
+			vi++
+		}
+		cc.validSeen = vi
+		cc.pos += k
+		return nil
+	}
+	// PLAIN decode. valid indexes are relative to this batch slice.
+	rest, err := readPlainInto(cc.body, vecOffsetView(v), 0, k, valid)
+	if err != nil {
+		return err
+	}
+	cc.body = rest
+	if cc.nulls != nil {
+		cc.validSeen += countValid(cc.nulls[base : base+k])
+	}
+	cc.pos += k
+	return nil
+}
+
+// validSeen tracks how many valid values have been consumed (dictionary
+// index position).
+func countValid(nulls []byte) int {
+	c := 0
+	for _, b := range nulls {
+		if b == 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// vecOffsetView returns v itself (plain decode writes at [0, k)).
+func vecOffsetView(v *vector.Vector) *vector.Vector { return v }
+
+// NextBatch decodes up to capacity rows into a fresh batch; returns nil at
+// end of file.
+func (r *Reader) NextBatch(batchSize int) (*vector.Batch, error) {
+	if batchSize <= 0 {
+		batchSize = vector.DefaultBatchSize
+	}
+	for {
+		if r.decoded == nil {
+			if r.group >= len(r.meta.RowGroups) {
+				return nil, nil
+			}
+			rg := &r.meta.RowGroups[r.group]
+			r.decoded = make([]*chunkCursor, len(r.proj))
+			for oi, fi := range r.proj {
+				cc, err := r.openChunk(&rg.Columns[fi], r.schema.Field(oi).Type)
+				if err != nil {
+					return nil, fmt.Errorf("parquet: row group %d column %d: %w", r.group, fi, err)
+				}
+				r.decoded[oi] = cc
+			}
+			r.left = int(rg.NumRows)
+		}
+		if r.left == 0 {
+			r.decoded = nil
+			r.group++
+			continue
+		}
+		k := min(batchSize, r.left)
+		out := vector.NewBatch(r.schema, k)
+		for oi := range r.decoded {
+			if err := r.decoded[oi].readInto(out.Vecs[oi], k); err != nil {
+				return nil, err
+			}
+		}
+		out.NumRows = k
+		r.left -= k
+		return out, nil
+	}
+}
+
+// ReadAll decodes the whole file into batches.
+func (r *Reader) ReadAll(batchSize int) ([]*vector.Batch, error) {
+	var out []*vector.Batch
+	for {
+		b, err := r.NextBatch(batchSize)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		out = append(out, b)
+	}
+}

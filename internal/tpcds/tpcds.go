@@ -1,0 +1,181 @@
+// Package tpcds provides the TPC-DS subset the paper's adaptivity
+// experiment uses: the store_sales / store_returns / item / store /
+// customer tables and a Q24-shaped query ("customers who returned items
+// of a particular color bought at a particular market's stores"). Q24 is
+// the paper's Fig. 9 workload: a selective filter leaves probe batches
+// sparse before large hash-table probes, which is where adaptive batch
+// compaction matters.
+package tpcds
+
+import (
+	"fmt"
+
+	"photon/internal/catalog"
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+type rng struct{ state uint64 }
+
+func newRng(seed uint64) *rng { return &rng{state: seed*0x9e3779b97f4a7c15 + 1} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+var colors = []string{"pale", "peach", "saddle", "yellow", "orchid", "chiffon", "lace", "navy", "ghost", "ivory"}
+var markets = []string{"Books", "Home", "Electronics", "Music", "Sports", "Shoes", "Women", "Men", "Jewelry", "Pets"}
+
+// Gen generates the five-table subset. Scale ~ rows of store_sales.
+type Gen struct {
+	SalesRows   int
+	ReturnRate  float64 // fraction of sales with a matching return
+	NumItems    int
+	NumStores   int
+	NumCustomer int
+	BatchSize   int
+}
+
+// NewGen builds a generator sized from the sales row count.
+func NewGen(salesRows int) *Gen {
+	return &Gen{
+		SalesRows:   salesRows,
+		ReturnRate:  0.10,
+		NumItems:    max(salesRows/50, 20),
+		NumStores:   12,
+		NumCustomer: max(salesRows/20, 50),
+		BatchSize:   vector.DefaultBatchSize,
+	}
+}
+
+type builder struct {
+	schema *types.Schema
+	size   int
+	cur    *vector.Batch
+	out    []*vector.Batch
+}
+
+func (b *builder) add(row ...any) {
+	if b.cur == nil {
+		b.cur = vector.NewBatch(b.schema, b.size)
+	}
+	b.cur.AppendRow(row...)
+	if b.cur.NumRows == b.size {
+		b.out = append(b.out, b.cur)
+		b.cur = nil
+	}
+}
+
+func (b *builder) finish() []*vector.Batch {
+	if b.cur != nil && b.cur.NumRows > 0 {
+		b.out = append(b.out, b.cur)
+	}
+	return b.out
+}
+
+// Generate builds the catalog.
+func (g *Gen) Generate() *catalog.Catalog {
+	cat := catalog.New()
+	r := newRng(101)
+
+	itemSchema := types.NewSchema(
+		types.Field{Name: "i_item_sk", Type: types.Int64Type},
+		types.Field{Name: "i_color", Type: types.StringType},
+		types.Field{Name: "i_current_price", Type: types.DecimalType(12, 2)},
+		types.Field{Name: "i_size", Type: types.StringType},
+		types.Field{Name: "i_units", Type: types.StringType},
+	)
+	ib := &builder{schema: itemSchema, size: g.BatchSize}
+	for i := 1; i <= g.NumItems; i++ {
+		ib.add(int64(i), colors[r.intn(len(colors))],
+			types.DecimalFromInt64(int64(100+r.intn(9900))),
+			[]string{"small", "medium", "large", "petite"}[r.intn(4)],
+			[]string{"Each", "Dozen", "Case"}[r.intn(3)])
+	}
+	cat.Register(&catalog.MemTable{TableName: "item", Sch: itemSchema, Batches: ib.finish()})
+
+	storeSchema := types.NewSchema(
+		types.Field{Name: "s_store_sk", Type: types.Int64Type},
+		types.Field{Name: "s_store_name", Type: types.StringType},
+		types.Field{Name: "s_market_id", Type: types.Int32Type},
+		types.Field{Name: "s_state", Type: types.StringType},
+		types.Field{Name: "s_zip", Type: types.StringType},
+	)
+	sb := &builder{schema: storeSchema, size: g.BatchSize}
+	for i := 1; i <= g.NumStores; i++ {
+		sb.add(int64(i), markets[r.intn(len(markets))]+" store",
+			int32(r.intn(10)+1),
+			[]string{"TN", "CA", "TX", "NY"}[r.intn(4)],
+			fmt.Sprintf("%05d", 10000+r.intn(90000)))
+	}
+	cat.Register(&catalog.MemTable{TableName: "store", Sch: storeSchema, Batches: sb.finish()})
+
+	custSchema := types.NewSchema(
+		types.Field{Name: "c_customer_sk", Type: types.Int64Type},
+		types.Field{Name: "c_first_name", Type: types.StringType},
+		types.Field{Name: "c_last_name", Type: types.StringType},
+		types.Field{Name: "c_birth_country", Type: types.StringType},
+	)
+	cb := &builder{schema: custSchema, size: g.BatchSize}
+	for i := 1; i <= g.NumCustomer; i++ {
+		cb.add(int64(i), fmt.Sprintf("First%04d", r.intn(2000)), fmt.Sprintf("Last%04d", r.intn(2000)),
+			[]string{"UNITED STATES", "CANADA", "MEXICO", "FRANCE"}[r.intn(4)])
+	}
+	cat.Register(&catalog.MemTable{TableName: "customer", Sch: custSchema, Batches: cb.finish()})
+
+	ssSchema := types.NewSchema(
+		types.Field{Name: "ss_ticket_number", Type: types.Int64Type},
+		types.Field{Name: "ss_item_sk", Type: types.Int64Type},
+		types.Field{Name: "ss_customer_sk", Type: types.Int64Type},
+		types.Field{Name: "ss_store_sk", Type: types.Int64Type},
+		types.Field{Name: "ss_quantity", Type: types.Int32Type},
+		types.Field{Name: "ss_sales_price", Type: types.DecimalType(12, 2)},
+		types.Field{Name: "ss_net_paid", Type: types.DecimalType(12, 2)},
+	)
+	srSchema := types.NewSchema(
+		types.Field{Name: "sr_ticket_number", Type: types.Int64Type},
+		types.Field{Name: "sr_item_sk", Type: types.Int64Type},
+		types.Field{Name: "sr_return_quantity", Type: types.Int32Type},
+	)
+	ssb := &builder{schema: ssSchema, size: g.BatchSize}
+	srb := &builder{schema: srSchema, size: g.BatchSize}
+	for t := 1; t <= g.SalesRows; t++ {
+		item := int64(r.intn(g.NumItems) + 1)
+		price := int64(100 + r.intn(20000))
+		qty := int32(r.intn(20) + 1)
+		ssb.add(int64(t), item, int64(r.intn(g.NumCustomer)+1), int64(r.intn(g.NumStores)+1),
+			qty, types.DecimalFromInt64(price), types.DecimalFromInt64(price*int64(qty)))
+		if float64(r.intn(1000))/1000 < g.ReturnRate {
+			srb.add(int64(t), item, int32(r.intn(int(qty))+1))
+		}
+	}
+	cat.Register(&catalog.MemTable{TableName: "store_sales", Sch: ssSchema, Batches: ssb.finish()})
+	cat.Register(&catalog.MemTable{TableName: "store_returns", Sch: srSchema, Batches: srb.finish()})
+	return cat
+}
+
+// Q24 is the Fig. 9 workload: returned items of one color, bought at
+// stores in one market, aggregated per customer. The selective color and
+// market filters leave the probe batches into the sales→returns join
+// sparse — the scenario adaptive batch compaction targets.
+const Q24 = `
+SELECT c_last_name, c_first_name, s_store_name, sum(ss_net_paid) netpaid
+FROM store_sales
+JOIN store_returns ON sr_ticket_number = ss_ticket_number AND sr_item_sk = ss_item_sk
+JOIN store ON s_store_sk = ss_store_sk
+JOIN item ON i_item_sk = ss_item_sk
+JOIN customer ON c_customer_sk = ss_customer_sk
+WHERE i_color = 'pale' AND s_market_id <= 5 AND ss_quantity >= 15
+GROUP BY c_last_name, c_first_name, s_store_name
+ORDER BY c_last_name, c_first_name, s_store_name`
+
+// The ss_quantity predicate is the sparsity source: it pushes into the
+// store_sales scan, so the surviving ~15% of rows probe the large
+// store_returns hash table through sparse position lists unless the join
+// compacts them first.

@@ -1,0 +1,71 @@
+package tpcds
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"photon/internal/exec"
+	"photon/internal/sql"
+	"photon/internal/sql/catalyst"
+)
+
+func TestQ24CrossEngineAndCompaction(t *testing.T) {
+	cat := NewGen(20000).Generate()
+	run := func(engine catalyst.Engine, compact bool) [][]any {
+		stmt, err := sql.Parse(Q24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := sql.Analyze(cat, stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err = catalyst.Optimize(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc := exec.NewTaskCtx(nil, 0)
+		tc.EnableCompaction = compact
+		ex, err := catalyst.Build(plan, catalyst.Config{Engine: engine}, tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := ex.Run(tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	photon := run(catalyst.EnginePhoton, true)
+	noCompact := run(catalyst.EnginePhoton, false)
+	dbr := run(catalyst.EngineDBRCompiled, true)
+	if len(photon) == 0 {
+		t.Fatal("Q24 returned no rows; generator parameters too selective")
+	}
+	norm := func(rows [][]any) []string {
+		out := make([]string, len(rows))
+		for i, r := range rows {
+			out[i] = fmt.Sprint(r)
+		}
+		sort.Strings(out)
+		return out
+	}
+	if !reflect.DeepEqual(norm(photon), norm(noCompact)) {
+		t.Error("compaction changed Q24 results")
+	}
+	if !reflect.DeepEqual(norm(photon), norm(dbr)) {
+		t.Error("engines disagree on Q24")
+	}
+}
+
+func TestGeneratorShapes(t *testing.T) {
+	g := NewGen(5000)
+	cat := g.Generate()
+	for _, n := range []string{"store_sales", "store_returns", "item", "store", "customer"} {
+		if _, err := cat.Lookup(n); err != nil {
+			t.Fatalf("missing %s", n)
+		}
+	}
+}

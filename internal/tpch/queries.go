@@ -1,0 +1,389 @@
+package tpch
+
+// The 22 TPC-H queries in this engine's dialect, with the standard
+// validation parameters. Queries whose spec form uses correlated or scalar
+// subqueries (2, 11, 15, 17, 18, 20, 21, 22) appear in their standard
+// decorrelated join rewrites — the same dataflow an optimizer with
+// subquery decorrelation would produce — since the dialect deliberately
+// has no correlated subqueries. Each rewrite is noted inline.
+
+// Queries maps query number (1-22) to SQL text.
+var Queries = map[int]string{
+	1: `
+SELECT l_returnflag, l_linestatus,
+       sum(l_quantity) sum_qty,
+       sum(l_extendedprice) sum_base_price,
+       sum(l_extendedprice * (1 - l_discount)) sum_disc_price,
+       sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) sum_charge,
+       avg(l_quantity) avg_qty,
+       avg(l_extendedprice) avg_price,
+       avg(l_discount) avg_disc,
+       count(*) count_order
+FROM lineitem
+WHERE l_shipdate <= DATE '1998-09-02'
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus`,
+
+	// Q2: the correlated MIN(ps_supplycost) subquery joins back on
+	// (partkey, min cost) — the standard decorrelation.
+	2: `
+SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone, s_comment
+FROM partsupp
+JOIN part ON p_partkey = ps_partkey
+JOIN supplier ON s_suppkey = ps_suppkey
+JOIN nation ON n_nationkey = s_nationkey
+JOIN region ON r_regionkey = n_regionkey
+JOIN (
+  SELECT ps_partkey mk_part, min(ps_supplycost) mn_cost
+  FROM partsupp
+  JOIN supplier ON s_suppkey = ps_suppkey
+  JOIN nation ON n_nationkey = s_nationkey
+  JOIN region ON r_regionkey = n_regionkey
+  WHERE r_name = 'EUROPE'
+  GROUP BY ps_partkey
+) mc ON mk_part = ps_partkey AND mn_cost = ps_supplycost
+WHERE p_size = 15 AND p_type LIKE '%BRASS' AND r_name = 'EUROPE'
+ORDER BY s_acctbal DESC, n_name, s_name, p_partkey
+LIMIT 100`,
+
+	3: `
+SELECT l_orderkey,
+       sum(l_extendedprice * (1 - l_discount)) revenue,
+       o_orderdate, o_shippriority
+FROM customer
+JOIN orders ON c_custkey = o_custkey
+JOIN lineitem ON l_orderkey = o_orderkey
+WHERE c_mktsegment = 'BUILDING'
+  AND o_orderdate < DATE '1995-03-15'
+  AND l_shipdate > DATE '1995-03-15'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate
+LIMIT 10`,
+
+	// Q4: EXISTS(lineitem late) becomes a semi join on the pre-filtered
+	// lineitem.
+	4: `
+SELECT o_orderpriority, count(*) order_count
+FROM orders
+LEFT SEMI JOIN (
+  SELECT l_orderkey lk FROM lineitem WHERE l_commitdate < l_receiptdate
+) late ON lk = o_orderkey
+WHERE o_orderdate >= DATE '1993-07-01' AND o_orderdate < DATE '1993-10-01'
+GROUP BY o_orderpriority
+ORDER BY o_orderpriority`,
+
+	5: `
+SELECT n_name, sum(l_extendedprice * (1 - l_discount)) revenue
+FROM customer
+JOIN orders ON c_custkey = o_custkey
+JOIN lineitem ON l_orderkey = o_orderkey
+JOIN supplier ON s_suppkey = l_suppkey AND s_nationkey = c_nationkey
+JOIN nation ON n_nationkey = s_nationkey
+JOIN region ON r_regionkey = n_regionkey
+WHERE r_name = 'ASIA'
+  AND o_orderdate >= DATE '1994-01-01' AND o_orderdate < DATE '1995-01-01'
+GROUP BY n_name
+ORDER BY revenue DESC`,
+
+	6: `
+SELECT sum(l_extendedprice * l_discount) revenue
+FROM lineitem
+WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01'
+  AND l_discount BETWEEN 0.05 AND 0.07
+  AND l_quantity < 24.00`,
+
+	7: `
+SELECT supp_nation, cust_nation, l_year, sum(volume) revenue
+FROM (
+  SELECT n1.n_name supp_nation, n2.n_name cust_nation,
+         year(l_shipdate) l_year,
+         l_extendedprice * (1 - l_discount) volume
+  FROM supplier
+  JOIN lineitem ON s_suppkey = l_suppkey
+  JOIN orders ON o_orderkey = l_orderkey
+  JOIN customer ON c_custkey = o_custkey
+  JOIN nation n1 ON n1.n_nationkey = s_nationkey
+  JOIN nation n2 ON n2.n_nationkey = c_nationkey
+  WHERE l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+    AND ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY')
+      OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE'))
+) shipping
+GROUP BY supp_nation, cust_nation, l_year
+ORDER BY supp_nation, cust_nation, l_year`,
+
+	8: `
+SELECT o_year,
+       sum(CASE WHEN nation = 'BRAZIL' THEN volume ELSE 0.0000 END) / sum(volume) mkt_share
+FROM (
+  SELECT year(o_orderdate) o_year,
+         l_extendedprice * (1 - l_discount) volume,
+         n2.n_name nation
+  FROM part
+  JOIN lineitem ON p_partkey = l_partkey
+  JOIN supplier ON s_suppkey = l_suppkey
+  JOIN orders ON o_orderkey = l_orderkey
+  JOIN customer ON c_custkey = o_custkey
+  JOIN nation n1 ON n1.n_nationkey = c_nationkey
+  JOIN region ON r_regionkey = n1.n_regionkey
+  JOIN nation n2 ON n2.n_nationkey = s_nationkey
+  WHERE r_name = 'AMERICA'
+    AND o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+    AND p_type = 'ECONOMY ANODIZED STEEL'
+) all_nations
+GROUP BY o_year
+ORDER BY o_year`,
+
+	9: `
+SELECT nation, o_year, sum(amount) sum_profit
+FROM (
+  SELECT n_name nation, year(o_orderdate) o_year,
+         l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity amount
+  FROM lineitem
+  JOIN supplier ON s_suppkey = l_suppkey
+  JOIN part ON p_partkey = l_partkey
+  JOIN partsupp ON ps_suppkey = l_suppkey AND ps_partkey = l_partkey
+  JOIN orders ON o_orderkey = l_orderkey
+  JOIN nation ON n_nationkey = s_nationkey
+  WHERE p_name LIKE '%fox%'
+) profit
+GROUP BY nation, o_year
+ORDER BY nation, o_year DESC`,
+
+	10: `
+SELECT c_custkey, c_name,
+       sum(l_extendedprice * (1 - l_discount)) revenue,
+       c_acctbal, n_name, c_address, c_phone, c_comment
+FROM customer
+JOIN orders ON c_custkey = o_custkey
+JOIN lineitem ON l_orderkey = o_orderkey
+JOIN nation ON n_nationkey = c_nationkey
+WHERE o_orderdate >= DATE '1993-10-01' AND o_orderdate < DATE '1994-01-01'
+  AND l_returnflag = 'R'
+GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment
+ORDER BY revenue DESC
+LIMIT 20`,
+
+	// Q11: the scalar threshold subquery joins in via a constant key.
+	11: `
+SELECT ps_partkey, sum(ps_supplycost * ps_availqty) total_value
+FROM partsupp
+JOIN supplier ON s_suppkey = ps_suppkey
+JOIN nation ON n_nationkey = s_nationkey
+JOIN (
+  SELECT 1 k, sum(ps_supplycost * ps_availqty) * 0.0001 threshold
+  FROM partsupp
+  JOIN supplier ON s_suppkey = ps_suppkey
+  JOIN nation ON n_nationkey = s_nationkey
+  WHERE n_name = 'GERMANY'
+) t ON 1 = k
+WHERE n_name = 'GERMANY'
+GROUP BY ps_partkey, threshold
+HAVING sum(ps_supplycost * ps_availqty) > threshold
+ORDER BY total_value DESC`,
+
+	12: `
+SELECT l_shipmode,
+       sum(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH'
+                THEN 1 ELSE 0 END) high_line_count,
+       sum(CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority <> '2-HIGH'
+                THEN 1 ELSE 0 END) low_line_count
+FROM orders
+JOIN lineitem ON l_orderkey = o_orderkey
+WHERE l_shipmode IN ('MAIL', 'SHIP')
+  AND l_commitdate < l_receiptdate
+  AND l_shipdate < l_commitdate
+  AND l_receiptdate >= DATE '1994-01-01' AND l_receiptdate < DATE '1995-01-01'
+GROUP BY l_shipmode
+ORDER BY l_shipmode`,
+
+	13: `
+SELECT c_count, count(*) custdist
+FROM (
+  SELECT c_custkey, count(o_orderkey) c_count
+  FROM customer
+  LEFT OUTER JOIN (
+    SELECT o_orderkey, o_custkey
+    FROM orders
+    WHERE o_comment NOT LIKE '%special%requests%'
+  ) filtered ON o_custkey = c_custkey
+  GROUP BY c_custkey
+) dist
+GROUP BY c_count
+ORDER BY custdist DESC, c_count DESC`,
+
+	14: `
+SELECT 100.00 * sum(CASE WHEN p_type LIKE 'PROMO%'
+                         THEN l_extendedprice * (1 - l_discount)
+                         ELSE 0.0000 END) / sum(l_extendedprice * (1 - l_discount)) promo_revenue
+FROM lineitem
+JOIN part ON p_partkey = l_partkey
+WHERE l_shipdate >= DATE '1995-09-01' AND l_shipdate < DATE '1995-10-01'`,
+
+	// Q15: the revenue view inlines twice; max(total_revenue) joins back
+	// by value equality.
+	15: `
+SELECT s_suppkey, s_name, s_address, s_phone, total_revenue
+FROM supplier
+JOIN (
+  SELECT l_suppkey supplier_no, sum(l_extendedprice * (1 - l_discount)) total_revenue
+  FROM lineitem
+  WHERE l_shipdate >= DATE '1996-01-01' AND l_shipdate < DATE '1996-04-01'
+  GROUP BY l_suppkey
+) revenue ON supplier_no = s_suppkey
+JOIN (
+  SELECT max(total_revenue2) mx
+  FROM (
+    SELECT sum(l_extendedprice * (1 - l_discount)) total_revenue2
+    FROM lineitem
+    WHERE l_shipdate >= DATE '1996-01-01' AND l_shipdate < DATE '1996-04-01'
+    GROUP BY l_suppkey
+  ) r2
+) m ON total_revenue = mx
+ORDER BY s_suppkey`,
+
+	// Q16: NOT IN (complaint suppliers) becomes an anti join.
+	16: `
+SELECT p_brand, p_type, p_size, count(DISTINCT ps_suppkey) supplier_cnt
+FROM partsupp
+JOIN part ON p_partkey = ps_partkey
+LEFT ANTI JOIN (
+  SELECT s_suppkey bad FROM supplier
+  WHERE s_comment LIKE '%Customer%Complaints%'
+) complainers ON bad = ps_suppkey
+WHERE p_brand <> 'Brand#45'
+  AND p_type NOT LIKE 'MEDIUM POLISHED%'
+  AND p_size IN (49, 14, 23, 45, 19, 3, 36, 9)
+GROUP BY p_brand, p_type, p_size
+ORDER BY supplier_cnt DESC, p_brand, p_type, p_size`,
+
+	// Q17: the correlated avg-quantity subquery joins back on partkey.
+	17: `
+SELECT sum(l_extendedprice) / 7.0 avg_yearly
+FROM lineitem
+JOIN part ON p_partkey = l_partkey
+JOIN (
+  SELECT l_partkey apk, avg(l_quantity) * 0.2 qty_limit
+  FROM lineitem
+  GROUP BY l_partkey
+) avgq ON apk = l_partkey
+WHERE p_brand = 'Brand#23' AND p_container = 'MED BOX'
+  AND l_quantity < qty_limit`,
+
+	// Q18: the IN (big orders) subquery becomes a semi join.
+	18: `
+SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, sum(l_quantity) total_qty
+FROM customer
+JOIN orders ON c_custkey = o_custkey
+JOIN lineitem ON l_orderkey = o_orderkey
+LEFT SEMI JOIN (
+  SELECT l_orderkey big FROM lineitem GROUP BY l_orderkey HAVING sum(l_quantity) > 250.00
+) bigorders ON big = o_orderkey
+GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+ORDER BY o_totalprice DESC, o_orderdate
+LIMIT 100`,
+
+	19: `
+SELECT sum(l_extendedprice * (1 - l_discount)) revenue
+FROM lineitem
+JOIN part ON p_partkey = l_partkey
+WHERE (p_brand = 'Brand#12'
+       AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+       AND l_quantity >= 1.00 AND l_quantity <= 11.00
+       AND p_size BETWEEN 1 AND 5
+       AND l_shipmode IN ('AIR', 'REG AIR')
+       AND l_shipinstruct = 'DELIVER IN PERSON')
+   OR (p_brand = 'Brand#23'
+       AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+       AND l_quantity >= 10.00 AND l_quantity <= 20.00
+       AND p_size BETWEEN 1 AND 10
+       AND l_shipmode IN ('AIR', 'REG AIR')
+       AND l_shipinstruct = 'DELIVER IN PERSON')
+   OR (p_brand = 'Brand#34'
+       AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+       AND l_quantity >= 20.00 AND l_quantity <= 30.00
+       AND p_size BETWEEN 1 AND 15
+       AND l_shipmode IN ('AIR', 'REG AIR')
+       AND l_shipinstruct = 'DELIVER IN PERSON')`,
+
+	// Q20: nested EXISTS chain becomes semi joins over pre-aggregated
+	// shipped quantities.
+	20: `
+SELECT s_name, s_address
+FROM supplier
+JOIN nation ON n_nationkey = s_nationkey
+LEFT SEMI JOIN (
+  SELECT ps_suppkey qualifying
+  FROM partsupp
+  JOIN (
+    SELECT p_partkey pk FROM part WHERE p_name LIKE 'furious%'
+  ) fparts ON pk = ps_partkey
+  JOIN (
+    SELECT l_partkey lpk, l_suppkey lsk, sum(l_quantity) * 0.5 half_qty
+    FROM lineitem
+    WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01'
+    GROUP BY l_partkey, l_suppkey
+  ) shipped ON lpk = ps_partkey AND lsk = ps_suppkey
+  WHERE CAST(ps_availqty AS DECIMAL(12,2)) > half_qty
+) q ON qualifying = s_suppkey
+WHERE n_name = 'CANADA'
+ORDER BY s_name`,
+
+	// Q21: EXISTS/NOT EXISTS over other suppliers become per-order
+	// distinct-supplier counts.
+	21: `
+SELECT s_name, count(*) numwait
+FROM (
+  SELECT l_orderkey lo, l_suppkey ls
+  FROM lineitem
+  WHERE l_receiptdate > l_commitdate
+) l1
+JOIN orders ON o_orderkey = lo
+JOIN supplier ON s_suppkey = ls
+JOIN nation ON n_nationkey = s_nationkey
+JOIN (
+  SELECT l_orderkey ok_all, count(DISTINCT l_suppkey) cnt_all
+  FROM lineitem GROUP BY l_orderkey
+) alls ON ok_all = lo
+JOIN (
+  SELECT l_orderkey ok_late, count(DISTINCT l_suppkey) cnt_late
+  FROM lineitem
+  WHERE l_receiptdate > l_commitdate
+  GROUP BY l_orderkey
+) lates ON ok_late = lo
+WHERE o_orderstatus = 'F' AND n_name = 'SAUDI ARABIA'
+  AND cnt_all > 1 AND cnt_late = 1
+GROUP BY s_name
+ORDER BY numwait DESC, s_name
+LIMIT 100`,
+
+	// Q22: the scalar average joins in by constant key; NOT EXISTS(orders)
+	// becomes an anti join.
+	22: `
+SELECT cntrycode, count(*) numcust, sum(c_acctbal2) totacctbal
+FROM (
+  SELECT substring(c_phone, 1, 2) cntrycode, c_acctbal c_acctbal2, c_custkey ck
+  FROM customer
+  WHERE substring(c_phone, 1, 2) IN ('13', '31', '23', '29', '30', '18', '17')
+) phones
+JOIN (
+  SELECT 1 k, avg(c_acctbal) avgbal
+  FROM customer
+  WHERE c_acctbal > 0.00
+    AND substring(c_phone, 1, 2) IN ('13', '31', '23', '29', '30', '18', '17')
+) t ON 1 = k
+LEFT ANTI JOIN orders ON o_custkey = ck
+WHERE c_acctbal2 > avgbal
+GROUP BY cntrycode
+ORDER BY cntrycode`,
+}
+
+// QueryNumbers lists the queries in order.
+func QueryNumbers() []int {
+	out := make([]int, 0, len(Queries))
+	for i := 1; i <= 22; i++ {
+		if _, ok := Queries[i]; ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}

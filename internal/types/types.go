@@ -1,0 +1,201 @@
+// Package types defines the SQL type system shared by the Photon engine,
+// the baseline row engine, the storage layer, and the SQL front end.
+//
+// It includes a 128-bit fixed-point Decimal implemented with native integer
+// arithmetic (the representation Photon vectorizes, versus the baseline
+// engine's arbitrary-precision big.Int decimals), calendar Date and
+// microsecond Timestamp types, and UUID parsing/formatting used by the
+// adaptive shuffle encoder.
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeID identifies a physical SQL type.
+type TypeID uint8
+
+const (
+	Unknown TypeID = iota
+	Bool
+	Int32
+	Int64
+	Float64
+	String
+	Date      // days since 1970-01-01, stored as int32
+	Timestamp // microseconds since 1970-01-01 UTC, stored as int64
+	Decimal   // 128-bit fixed point, parameterized by precision and scale
+)
+
+func (t TypeID) String() string {
+	switch t {
+	case Bool:
+		return "BOOLEAN"
+	case Int32:
+		return "INT"
+	case Int64:
+		return "BIGINT"
+	case Float64:
+		return "DOUBLE"
+	case String:
+		return "STRING"
+	case Date:
+		return "DATE"
+	case Timestamp:
+		return "TIMESTAMP"
+	case Decimal:
+		return "DECIMAL"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// DataType is a full type: a TypeID plus parameters (precision/scale for
+// decimals).
+type DataType struct {
+	ID        TypeID
+	Precision int // Decimal only
+	Scale     int // Decimal only
+}
+
+var (
+	BoolType      = DataType{ID: Bool}
+	Int32Type     = DataType{ID: Int32}
+	Int64Type     = DataType{ID: Int64}
+	Float64Type   = DataType{ID: Float64}
+	StringType    = DataType{ID: String}
+	DateType      = DataType{ID: Date}
+	TimestampType = DataType{ID: Timestamp}
+)
+
+// DecimalType returns a decimal DataType with the given precision and scale.
+func DecimalType(precision, scale int) DataType {
+	return DataType{ID: Decimal, Precision: precision, Scale: scale}
+}
+
+func (d DataType) String() string {
+	if d.ID == Decimal {
+		return fmt.Sprintf("DECIMAL(%d,%d)", d.Precision, d.Scale)
+	}
+	return d.ID.String()
+}
+
+// Equal reports whether two data types are identical, including parameters.
+func (d DataType) Equal(o DataType) bool {
+	if d.ID != o.ID {
+		return false
+	}
+	if d.ID == Decimal {
+		return d.Precision == o.Precision && d.Scale == o.Scale
+	}
+	return true
+}
+
+// FixedWidth returns the in-memory width in bytes of the type's value slot,
+// or 0 for variable-length types (String).
+func (d DataType) FixedWidth() int {
+	switch d.ID {
+	case Bool:
+		return 1
+	case Int32, Date:
+		return 4
+	case Int64, Float64, Timestamp:
+		return 8
+	case Decimal:
+		return 16
+	default:
+		return 0
+	}
+}
+
+// Numeric reports whether the type participates in arithmetic.
+func (d DataType) Numeric() bool {
+	switch d.ID {
+	case Int32, Int64, Float64, Decimal:
+		return true
+	}
+	return false
+}
+
+// Field is a named, typed column with nullability.
+type Field struct {
+	Name     string
+	Type     DataType
+	Nullable bool
+}
+
+// Schema is an ordered list of fields.
+type Schema struct {
+	Fields []Field
+}
+
+// NewSchema builds a schema from fields.
+func NewSchema(fields ...Field) *Schema {
+	return &Schema{Fields: fields}
+}
+
+// Len returns the number of fields.
+func (s *Schema) Len() int { return len(s.Fields) }
+
+// Field returns the i-th field.
+func (s *Schema) Field(i int) Field { return s.Fields[i] }
+
+// IndexOf returns the index of the field with the given (case-insensitive)
+// name, or -1 if absent.
+func (s *Schema) IndexOf(name string) int {
+	for i, f := range s.Fields {
+		if strings.EqualFold(f.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the schema as "name TYPE, ...".
+func (s *Schema) String() string {
+	var b strings.Builder
+	for i, f := range s.Fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.Name)
+		b.WriteByte(' ')
+		b.WriteString(f.Type.String())
+		if !f.Nullable {
+			b.WriteString(" NOT NULL")
+		}
+	}
+	return b.String()
+}
+
+// Project returns a new schema containing the fields at the given indices.
+func (s *Schema) Project(indices []int) *Schema {
+	out := make([]Field, len(indices))
+	for i, idx := range indices {
+		out[i] = s.Fields[idx]
+	}
+	return &Schema{Fields: out}
+}
+
+// Concat returns a schema with o's fields appended to s's.
+func (s *Schema) Concat(o *Schema) *Schema {
+	out := make([]Field, 0, len(s.Fields)+len(o.Fields))
+	out = append(out, s.Fields...)
+	out = append(out, o.Fields...)
+	return &Schema{Fields: out}
+}
+
+// Equal reports whether two schemas have identical names and types.
+func (s *Schema) Equal(o *Schema) bool {
+	if len(s.Fields) != len(o.Fields) {
+		return false
+	}
+	for i := range s.Fields {
+		if !strings.EqualFold(s.Fields[i].Name, o.Fields[i].Name) ||
+			!s.Fields[i].Type.Equal(o.Fields[i].Type) {
+			return false
+		}
+	}
+	return true
+}

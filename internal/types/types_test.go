@@ -1,0 +1,167 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSchemaBasics(t *testing.T) {
+	s := NewSchema(
+		Field{Name: "id", Type: Int64Type},
+		Field{Name: "name", Type: StringType, Nullable: true},
+		Field{Name: "price", Type: DecimalType(12, 2)},
+	)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.IndexOf("NAME"); got != 1 {
+		t.Errorf("IndexOf case-insensitive = %d", got)
+	}
+	if got := s.IndexOf("missing"); got != -1 {
+		t.Errorf("IndexOf missing = %d", got)
+	}
+	p := s.Project([]int{2, 0})
+	if p.Field(0).Name != "price" || p.Field(1).Name != "id" {
+		t.Errorf("Project wrong: %s", p)
+	}
+	c := s.Concat(p)
+	if c.Len() != 5 {
+		t.Errorf("Concat len = %d", c.Len())
+	}
+	if !s.Equal(s) || s.Equal(p) {
+		t.Error("Equal misbehaves")
+	}
+}
+
+func TestDataTypeString(t *testing.T) {
+	if got := DecimalType(12, 2).String(); got != "DECIMAL(12,2)" {
+		t.Errorf("decimal string = %q", got)
+	}
+	if got := Int64Type.String(); got != "BIGINT" {
+		t.Errorf("int64 string = %q", got)
+	}
+}
+
+func TestFixedWidth(t *testing.T) {
+	cases := map[TypeID]int{
+		Bool: 1, Int32: 4, Date: 4, Int64: 8, Float64: 8, Timestamp: 8, String: 0,
+	}
+	for id, w := range cases {
+		if got := (DataType{ID: id}).FixedWidth(); got != w {
+			t.Errorf("FixedWidth(%v) = %d, want %d", id, got, w)
+		}
+	}
+	if got := DecimalType(10, 2).FixedWidth(); got != 16 {
+		t.Errorf("decimal width = %d", got)
+	}
+}
+
+func TestDateParseFormat(t *testing.T) {
+	d, err := ParseDate("2021-01-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatDate(d); got != "2021-01-01" {
+		t.Errorf("round trip = %q", got)
+	}
+	if got := DateYear(d); got != 2021 {
+		t.Errorf("year = %d", got)
+	}
+	if got := DateMonth(d); got != 1 {
+		t.Errorf("month = %d", got)
+	}
+	if got := DateDay(d); got != 1 {
+		t.Errorf("day = %d", got)
+	}
+	if _, err := ParseDate("01/02/2021"); err == nil {
+		t.Error("bad date should fail")
+	}
+	// Epoch sanity: 1970-01-01 is day 0.
+	e, _ := ParseDate("1970-01-01")
+	if e != 0 {
+		t.Errorf("epoch day = %d", e)
+	}
+}
+
+func TestAddMonths(t *testing.T) {
+	d, _ := ParseDate("2021-01-31")
+	got := FormatDate(AddMonths(d, 1))
+	// time.AddDate normalizes Jan 31 + 1 month to Mar 3.
+	if got != "2021-03-03" {
+		t.Errorf("AddMonths = %q", got)
+	}
+	d2, _ := ParseDate("2021-03-15")
+	if got := FormatDate(AddMonths(d2, -3)); got != "2020-12-15" {
+		t.Errorf("AddMonths back = %q", got)
+	}
+}
+
+func TestTimestampParseFormat(t *testing.T) {
+	ts, err := ParseTimestamp("2021-06-15 10:30:00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatTimestamp(ts); got != "2021-06-15 10:30:00" {
+		t.Errorf("round trip = %q", got)
+	}
+	ts2, err := ParseTimestamp("2021-06-15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatTimestamp(ts2); got != "2021-06-15 00:00:00" {
+		t.Errorf("date-only = %q", got)
+	}
+	if _, err := ParseTimestamp("nope"); err == nil {
+		t.Error("bad timestamp should fail")
+	}
+}
+
+func TestUUIDParseFormat(t *testing.T) {
+	u := UUIDFromParts(0x0123456789abcdef, 0xfedcba9876543210)
+	s := UUIDString(u)
+	if s != "01234567-89ab-cdef-fedc-ba9876543210" {
+		t.Errorf("UUIDString = %q", s)
+	}
+	var back [16]byte
+	if !ParseUUID([]byte(s), &back) {
+		t.Fatal("ParseUUID failed on canonical form")
+	}
+	if back != u {
+		t.Error("UUID round trip mismatch")
+	}
+	// Upper-case hex also accepted.
+	var up [16]byte
+	if !ParseUUID([]byte("01234567-89AB-CDEF-FEDC-BA9876543210"), &up) || up != u {
+		t.Error("upper-case UUID parse failed")
+	}
+}
+
+func TestUUIDRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"01234567-89ab-cdef-fedc-ba987654321",   // short
+		"01234567-89ab-cdef-fedc-ba98765432100", // long
+		"0123456789ab-cdef-fedc-ba9876543210x",  // wrong dashes
+		"g1234567-89ab-cdef-fedc-ba9876543210",  // bad hex
+		"01234567x89ab-cdef-fedc-ba9876543210",  // dash replaced
+	}
+	var out [16]byte
+	for _, s := range bad {
+		if ParseUUID([]byte(s), &out) {
+			t.Errorf("ParseUUID(%q) should fail", s)
+		}
+	}
+}
+
+func TestUUIDQuickRoundTrip(t *testing.T) {
+	f := func(hi, lo uint64) bool {
+		u := UUIDFromParts(hi, lo)
+		var buf [36]byte
+		FormatUUID(u, buf[:])
+		var back [16]byte
+		return ParseUUID(buf[:], &back) && back == u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

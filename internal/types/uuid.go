@@ -1,0 +1,110 @@
+package types
+
+import "fmt"
+
+// UUID support for the adaptive shuffle encoder (§4.6, Table 1): canonical
+// 36-character UUID strings ("xxxxxxxx-xxxx-xxxx-xxxx-xxxxxxxxxxxx") are
+// detected at runtime and re-encoded as 128-bit integers, shrinking shuffle
+// files by >2x before compression.
+
+// UUIDStringLen is the canonical textual UUID length.
+const UUIDStringLen = 36
+
+var hexVal = func() [256]int8 {
+	var t [256]int8
+	for i := range t {
+		t[i] = -1
+	}
+	for c := byte('0'); c <= '9'; c++ {
+		t[c] = int8(c - '0')
+	}
+	for c := byte('a'); c <= 'f'; c++ {
+		t[c] = int8(c-'a') + 10
+	}
+	for c := byte('A'); c <= 'F'; c++ {
+		t[c] = int8(c-'A') + 10
+	}
+	return t
+}()
+
+// IsCanonicalUUID reports whether b is a canonical 8-4-4-4-12 hex UUID.
+func IsCanonicalUUID(b []byte) bool {
+	if len(b) != UUIDStringLen {
+		return false
+	}
+	for i := 0; i < UUIDStringLen; i++ {
+		switch i {
+		case 8, 13, 18, 23:
+			if b[i] != '-' {
+				return false
+			}
+		default:
+			if hexVal[b[i]] < 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ParseUUID converts a canonical UUID string into its 16-byte binary form.
+// It reports ok=false for non-canonical input.
+func ParseUUID(b []byte, out *[16]byte) bool {
+	if !IsCanonicalUUID(b) {
+		return false
+	}
+	j := 0
+	for i := 0; i < UUIDStringLen; {
+		if b[i] == '-' {
+			i++
+			continue
+		}
+		out[j] = byte(hexVal[b[i]])<<4 | byte(hexVal[b[i+1]])
+		j++
+		i += 2
+	}
+	return true
+}
+
+const hexDigits = "0123456789abcdef"
+
+// FormatUUID renders 16 bytes in canonical lower-case form into dst, which
+// must have length >= 36. It returns the number of bytes written (36).
+func FormatUUID(u [16]byte, dst []byte) int {
+	j := 0
+	for i := 0; i < 16; i++ {
+		if i == 4 || i == 6 || i == 8 || i == 10 {
+			dst[j] = '-'
+			j++
+		}
+		dst[j] = hexDigits[u[i]>>4]
+		dst[j+1] = hexDigits[u[i]&0xf]
+		j += 2
+	}
+	return j
+}
+
+// UUIDString is a convenience wrapper returning the canonical string.
+func UUIDString(u [16]byte) string {
+	var buf [36]byte
+	FormatUUID(u, buf[:])
+	return string(buf[:])
+}
+
+// UUIDFromParts builds a deterministic UUID from two 64-bit words; used by
+// workload generators.
+func UUIDFromParts(hi, lo uint64) [16]byte {
+	var u [16]byte
+	for i := 0; i < 8; i++ {
+		u[i] = byte(hi >> (56 - 8*i))
+		u[8+i] = byte(lo >> (56 - 8*i))
+	}
+	return u
+}
+
+// String implements a debug rendering for error messages.
+func uuidErr(b []byte) error {
+	return fmt.Errorf("types: not a canonical UUID: %q", b)
+}
+
+var _ = uuidErr // referenced by tests

@@ -1,0 +1,97 @@
+package vector
+
+import (
+	"reflect"
+	"testing"
+
+	"photon/internal/types"
+)
+
+func gatherSchema() *types.Schema {
+	return types.NewSchema(
+		types.Field{Name: "i", Type: types.Int64Type, Nullable: true},
+		types.Field{Name: "s", Type: types.StringType, Nullable: true},
+		types.Field{Name: "d", Type: types.DecimalType(10, 2), Nullable: true},
+	)
+}
+
+func TestGatherIntoDense(t *testing.T) {
+	schema := gatherSchema()
+	src := NewBatch(schema, 8)
+	for i := 0; i < 6; i++ {
+		var s any = string(rune('a' + i))
+		if i == 2 {
+			s = nil
+		}
+		src.AppendRow(int64(i), s, types.DecimalFromInt64(int64(i*100)))
+	}
+	src.SetSel([]int32{1, 2, 4})
+	dst := NewBatch(schema, 8)
+	src.GatherInto(dst)
+	if !dst.AllActive() || dst.NumRows != 3 {
+		t.Fatalf("gather result: %v", dst)
+	}
+	want := [][]any{
+		{int64(1), "b", types.DecimalFromInt64(100)},
+		{int64(2), nil, types.DecimalFromInt64(200)},
+		{int64(4), "e", types.DecimalFromInt64(400)},
+	}
+	if !reflect.DeepEqual(dst.Rows(), want) {
+		t.Errorf("rows: %v", dst.Rows())
+	}
+	if !dst.Vecs[1].HasNulls() {
+		t.Error("null metadata lost")
+	}
+	if dst.Vecs[0].HasNulls() {
+		t.Error("spurious null metadata")
+	}
+}
+
+func TestGatherAppendCoalesces(t *testing.T) {
+	schema := gatherSchema()
+	dst := NewBatch(schema, 16)
+	total := 0
+	for batch := 0; batch < 3; batch++ {
+		src := NewBatch(schema, 8)
+		for i := 0; i < 6; i++ {
+			src.AppendRow(int64(batch*10+i), "x", types.DecimalFromInt64(1))
+		}
+		src.SetSel([]int32{0, 3})
+		src.GatherAppend(dst)
+		total += 2
+		if dst.NumRows != total {
+			t.Fatalf("after batch %d: NumRows = %d, want %d", batch, dst.NumRows, total)
+		}
+	}
+	rows := dst.Rows()
+	wantIDs := []int64{0, 3, 10, 13, 20, 23}
+	for i, id := range wantIDs {
+		if rows[i][0].(int64) != id {
+			t.Errorf("row %d id = %v, want %d", i, rows[i][0], id)
+		}
+	}
+}
+
+func TestGatherAppendNullAndAsciiMetadata(t *testing.T) {
+	schema := gatherSchema()
+	dst := NewBatch(schema, 16)
+	// First append: no nulls, ASCII strings.
+	a := NewBatch(schema, 4)
+	a.AppendRow(int64(1), "abc", types.DecimalFromInt64(1))
+	a.Vecs[1].Ascii = AsciiAll
+	a.GatherAppend(dst)
+	if dst.Vecs[1].HasNulls() || dst.Vecs[1].Ascii != AsciiAll {
+		t.Error("metadata after first append")
+	}
+	// Second append introduces a NULL and mixed ASCII.
+	b := NewBatch(schema, 4)
+	b.AppendRow(int64(2), nil, types.DecimalFromInt64(2))
+	b.Vecs[1].Ascii = AsciiMixed
+	b.GatherAppend(dst)
+	if !dst.Vecs[1].HasNulls() {
+		t.Error("null introduced by second append lost")
+	}
+	if dst.Vecs[1].Ascii != AsciiUnknown {
+		t.Error("conflicting ASCII metadata should reset to unknown")
+	}
+}

@@ -1,0 +1,386 @@
+// Package photon is a Go reproduction of Photon, the vectorized query
+// engine for Lakehouse systems described in "Photon: A Fast Query Engine
+// for Lakehouse Systems" (Behm et al., SIGMOD 2022).
+//
+// A Session is the entry point: register in-memory tables or open Delta
+// tables, then run SQL. Queries execute on the vectorized Photon engine by
+// default, with the paper's baseline row engine ("DBR") selectable per
+// session for comparison, the partial-rollout fallback mechanism
+// (transition nodes) available for unsupported operators, and parallel
+// execution over the driver/stage/task scheduler when Parallelism > 1.
+//
+//	sess := photon.NewSession()
+//	sess.RegisterRows("people", schema, rows)
+//	res, err := sess.SQL("SELECT name, count(*) FROM people GROUP BY name")
+package photon
+
+import (
+	"fmt"
+	"strings"
+
+	"photon/internal/catalog"
+	"photon/internal/driver"
+	"photon/internal/exec"
+	"photon/internal/mem"
+	"photon/internal/sql"
+	"photon/internal/sql/catalyst"
+	"photon/internal/storage/delta"
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// Engine selects the execution backend for a session.
+type Engine = catalyst.Engine
+
+// Engine values.
+const (
+	// EnginePhoton is the vectorized engine (default).
+	EnginePhoton = catalyst.EnginePhoton
+	// EngineDBR is the baseline row engine with whole-stage-codegen-style
+	// compiled closures.
+	EngineDBR = catalyst.EngineDBRCompiled
+	// EngineDBRInterpreted is the baseline row engine's Volcano
+	// interpreted mode.
+	EngineDBRInterpreted = catalyst.EngineDBRInterpreted
+)
+
+// Re-exported type aliases so applications need only this package.
+type (
+	// Schema describes a table's columns.
+	Schema = types.Schema
+	// Field is one column of a Schema.
+	Field = types.Field
+	// DataType is a column type.
+	DataType = types.DataType
+	// Batch is a column batch (advanced/zero-copy ingestion).
+	Batch = vector.Batch
+)
+
+// Common data types.
+var (
+	Bool      = types.BoolType
+	Int32     = types.Int32Type
+	Int64     = types.Int64Type
+	Float64   = types.Float64Type
+	String    = types.StringType
+	Date      = types.DateType
+	Timestamp = types.TimestampType
+)
+
+// Decimal builds a decimal type.
+func Decimal(precision, scale int) DataType { return types.DecimalType(precision, scale) }
+
+// Config controls a session.
+type Config struct {
+	// Engine selects the backend (default EnginePhoton).
+	Engine Engine
+	// BatchSize is the column-batch row capacity (default 2048).
+	BatchSize int
+	// MemoryLimit bounds execution memory in bytes; operators spill to
+	// SpillDir under pressure (0 = unlimited).
+	MemoryLimit int64
+	// SpillDir receives spill and shuffle files ("" = temp dirs).
+	SpillDir string
+	// Parallelism > 1 executes aggregation queries as distributed
+	// map/shuffle/reduce jobs on the task scheduler.
+	Parallelism int
+	// DisableCompaction turns off adaptive join batch compaction (§4.6).
+	DisableCompaction bool
+	// DisableAdaptivity turns off batch-level adaptivity (ASCII fast
+	// paths etc.); for ablation.
+	DisableAdaptivity bool
+	// PhotonUnsupported forces row-engine fallback for the listed logical
+	// node kinds ("filter", "project", "aggregate", "join", "sort",
+	// "limit"), demonstrating partial rollout (§3.5).
+	PhotonUnsupported []string
+}
+
+// Session owns a catalog and executes queries.
+type Session struct {
+	cfg Config
+	cat *catalog.Catalog
+	mm  *mem.Manager
+}
+
+// NewSession creates a session with the given (optional) config.
+func NewSession(cfg ...Config) *Session {
+	var c Config
+	if len(cfg) > 0 {
+		c = cfg[0]
+	}
+	return &Session{cfg: c, cat: catalog.New(), mm: mem.NewManager(c.MemoryLimit)}
+}
+
+// Result is a fully materialized query result.
+type Result struct {
+	Schema *Schema
+	Rows   [][]any
+}
+
+// String renders the result as an aligned table (capped for readability).
+func (r *Result) String() string {
+	var sb strings.Builder
+	for i, f := range r.Schema.Fields {
+		if i > 0 {
+			sb.WriteString(" | ")
+		}
+		sb.WriteString(f.Name)
+	}
+	sb.WriteByte('\n')
+	limit := min(len(r.Rows), 50)
+	for _, row := range r.Rows[:limit] {
+		for c, v := range row {
+			if c > 0 {
+				sb.WriteString(" | ")
+			}
+			if v == nil {
+				sb.WriteString("NULL")
+			} else if d, ok := v.(types.Decimal128); ok {
+				sb.WriteString(types.FormatDecimal(d, r.Schema.Field(c).Type.Scale))
+			} else if r.Schema.Field(c).Type.ID == types.Date {
+				sb.WriteString(types.FormatDate(v.(int32)))
+			} else {
+				fmt.Fprintf(&sb, "%v", v)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	if len(r.Rows) > limit {
+		fmt.Fprintf(&sb, "... (%d rows total)\n", len(r.Rows))
+	}
+	return sb.String()
+}
+
+// NewSchema builds a schema.
+func NewSchema(fields ...Field) *Schema { return types.NewSchema(fields...) }
+
+// Col builds a nullable field.
+func Col(name string, t DataType) Field { return Field{Name: name, Type: t, Nullable: true} }
+
+// RegisterRows registers an in-memory table from materialized rows
+// (nil = NULL).
+func (s *Session) RegisterRows(name string, schema *Schema, rows [][]any) {
+	s.cat.Register(&catalog.MemTable{
+		TableName: name,
+		Sch:       schema,
+		Batches:   exec.BuildBatches(schema, rows, s.batchSize()),
+	})
+}
+
+// RegisterBatches registers an in-memory table from column batches
+// (zero-copy ingestion path).
+func (s *Session) RegisterBatches(name string, schema *Schema, batches []*Batch) {
+	s.cat.Register(&catalog.MemTable{TableName: name, Sch: schema, Batches: batches})
+}
+
+// CreateDeltaTable creates a Delta table on disk and registers it.
+func (s *Session) CreateDeltaTable(name, path string, schema *Schema) (*DeltaTable, error) {
+	tbl, err := delta.Create(path, schema, nil)
+	if err != nil {
+		return nil, err
+	}
+	dt := &DeltaTable{sess: s, name: name, tbl: tbl}
+	return dt, dt.refresh()
+}
+
+// OpenDeltaTable opens an existing Delta table at its latest snapshot and
+// registers it.
+func (s *Session) OpenDeltaTable(name, path string) (*DeltaTable, error) {
+	tbl, err := delta.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	dt := &DeltaTable{sess: s, name: name, tbl: tbl}
+	return dt, dt.refresh()
+}
+
+// DeltaTable is a session-registered transactional table.
+type DeltaTable struct {
+	sess *Session
+	name string
+	tbl  *delta.Table
+}
+
+// AppendRows writes rows as a new file in one ACID commit.
+func (d *DeltaTable) AppendRows(rows [][]any) error {
+	snap, err := d.tbl.Snapshot(-1)
+	if err != nil {
+		return err
+	}
+	batches := exec.BuildBatches(snap.Schema, rows, d.sess.batchSize())
+	if err := d.tbl.Append(batches, nil); err != nil {
+		return err
+	}
+	return d.refresh()
+}
+
+// Overwrite replaces the table contents in one ACID commit.
+func (d *DeltaTable) Overwrite(rows [][]any) error {
+	snap, err := d.tbl.Snapshot(-1)
+	if err != nil {
+		return err
+	}
+	batches := exec.BuildBatches(snap.Schema, rows, d.sess.batchSize())
+	if err := d.tbl.Overwrite(batches); err != nil {
+		return err
+	}
+	return d.refresh()
+}
+
+// AsOf re-registers the table pinned to an historical version
+// (time travel).
+func (d *DeltaTable) AsOf(version int64) error {
+	snap, err := d.tbl.Snapshot(version)
+	if err != nil {
+		return err
+	}
+	d.sess.cat.Register(&catalog.DeltaTable{TableName: d.name, Tbl: d.tbl, Snap: snap})
+	return nil
+}
+
+// Version returns the currently registered snapshot version.
+func (d *DeltaTable) Version() (int64, error) {
+	snap, err := d.tbl.Snapshot(-1)
+	if err != nil {
+		return -1, err
+	}
+	return snap.Version, nil
+}
+
+// refresh re-registers the latest snapshot.
+func (d *DeltaTable) refresh() error { return d.AsOf(-1) }
+
+func (s *Session) batchSize() int {
+	if s.cfg.BatchSize > 0 {
+		return s.cfg.BatchSize
+	}
+	return vector.DefaultBatchSize
+}
+
+// plannerConfig lowers session config to the physical planner's.
+func (s *Session) plannerConfig() catalyst.Config {
+	cfg := catalyst.Config{Engine: s.cfg.Engine, BatchSize: s.cfg.BatchSize}
+	if len(s.cfg.PhotonUnsupported) > 0 {
+		cfg.PhotonUnsupported = map[string]bool{}
+		for _, k := range s.cfg.PhotonUnsupported {
+			cfg.PhotonUnsupported[strings.ToLower(k)] = true
+		}
+	}
+	return cfg
+}
+
+// Plan parses, analyzes, and optimizes a query (shared by SQL/Explain).
+func (s *Session) plan(query string) (sql.LogicalPlan, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := sql.Analyze(s.cat, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return catalyst.Optimize(plan)
+}
+
+// SQL executes a query and materializes the result.
+func (s *Session) SQL(query string) (*Result, error) {
+	plan, err := s.plan(query)
+	if err != nil {
+		return nil, err
+	}
+	rows, schema, err := driver.Run(plan, driver.Options{
+		Parallelism:       s.cfg.Parallelism,
+		ShuffleDir:        s.cfg.SpillDir,
+		Mem:               s.mm,
+		BatchSize:         s.cfg.BatchSize,
+		Config:            s.plannerConfig(),
+		DisableCompaction: s.cfg.DisableCompaction,
+		DisableAdaptivity: s.cfg.DisableAdaptivity,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schema: schema, Rows: rows}, nil
+}
+
+// Explain renders the optimized logical plan.
+func (s *Session) Explain(query string) (string, error) {
+	plan, err := s.plan(query)
+	if err != nil {
+		return "", err
+	}
+	return sql.ExplainPlan(plan), nil
+}
+
+// Tables lists registered table names.
+func (s *Session) Tables() []string { return s.cat.Names() }
+
+// TaskContext builds an execution context honoring the session's
+// adaptivity settings (used by advanced callers driving exec operators
+// directly; the benchmark harness does).
+func (s *Session) TaskContext() *exec.TaskCtx {
+	tc := exec.NewTaskCtx(s.mm, s.cfg.BatchSize)
+	tc.SpillDir = s.cfg.SpillDir
+	tc.EnableCompaction = !s.cfg.DisableCompaction
+	tc.Expr.Adaptive = !s.cfg.DisableAdaptivity
+	return tc
+}
+
+// ParseDate parses a "YYYY-MM-DD" literal into the DATE physical value
+// (days since the Unix epoch).
+func ParseDate(s string) (int32, error) { return types.ParseDate(s) }
+
+// ParseTimestamp parses a SQL timestamp literal into microseconds since
+// the Unix epoch.
+func ParseTimestamp(s string) (int64, error) { return types.ParseTimestamp(s) }
+
+// ParseDecimal parses a decimal literal at the given scale.
+func ParseDecimal(s string, scale int) (types.Decimal128, error) {
+	return types.ParseDecimal(s, scale)
+}
+
+// FormatDecimal renders a decimal value at the given scale.
+func FormatDecimal(d types.Decimal128, scale int) string {
+	return types.FormatDecimal(d, scale)
+}
+
+// Profile is the per-operator metrics report of one executed query — the
+// vectorized model's observability story (§3.3): operator boundaries
+// survive execution, so each operator reports its own rows, batches, time,
+// spills, and peak memory, like the live metrics Photon feeds the Spark UI.
+type Profile struct {
+	Result *Result
+	// Operators renders one line per operator, indented by plan depth.
+	Operators string
+	// Transitions counts engine-boundary nodes in the plan (§6.3).
+	Transitions int
+}
+
+// SQLWithProfile executes a query single-task and returns the result along
+// with per-operator metrics. (Parallel execution reports per-stage metrics
+// through the scheduler instead.)
+func (s *Session) SQLWithProfile(query string) (*Profile, error) {
+	plan, err := s.plan(query)
+	if err != nil {
+		return nil, err
+	}
+	tc := s.TaskContext()
+	ex, err := catalyst.Build(plan, s.plannerConfig(), tc)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := ex.Run(tc)
+	if err != nil {
+		return nil, err
+	}
+	p := &Profile{
+		Result:      &Result{Schema: ex.Schema(), Rows: rows},
+		Transitions: ex.Transitions,
+	}
+	if ex.Photon != nil {
+		p.Operators = exec.RenderStats(ex.Photon)
+	} else {
+		p.Operators = "(plan executed on the row engine)"
+	}
+	return p, nil
+}

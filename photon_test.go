@@ -1,0 +1,179 @@
+package photon
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func peopleSession(t *testing.T, cfg ...Config) *Session {
+	t.Helper()
+	sess := NewSession(cfg...)
+	schema := NewSchema(
+		Col("name", String),
+		Col("team", String),
+		Col("score", Int64),
+	)
+	sess.RegisterRows("people", schema, [][]any{
+		{"ada", "core", int64(95)},
+		{"grace", "core", int64(88)},
+		{"alan", "infra", int64(75)},
+		{"edsger", "infra", int64(91)},
+		{"barbara", "core", nil},
+	})
+	return sess
+}
+
+func TestSessionSQL(t *testing.T) {
+	sess := peopleSession(t)
+	res, err := sess.SQL("SELECT team, count(*) cnt, avg(score) avg_score FROM people GROUP BY team ORDER BY team")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0][0] != "core" || res.Rows[0][1].(int64) != 3 {
+		t.Errorf("core row = %v", res.Rows[0])
+	}
+	if out := res.String(); !strings.Contains(out, "core") {
+		t.Errorf("render: %s", out)
+	}
+}
+
+func TestSessionEnginesAgree(t *testing.T) {
+	q := "SELECT upper(name), score + 1 FROM people WHERE score >= 80 ORDER BY name"
+	photon, err := peopleSession(t).SQL(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbr, err := peopleSession(t, Config{Engine: EngineDBR}).SQL(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interp, err := peopleSession(t, Config{Engine: EngineDBRInterpreted}).SQL(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(photon.Rows) != 3 || len(dbr.Rows) != 3 || len(interp.Rows) != 3 {
+		t.Fatalf("row counts: %d/%d/%d", len(photon.Rows), len(dbr.Rows), len(interp.Rows))
+	}
+	for i := range photon.Rows {
+		for c := range photon.Rows[i] {
+			if photon.Rows[i][c] != dbr.Rows[i][c] || photon.Rows[i][c] != interp.Rows[i][c] {
+				t.Fatalf("engines disagree at row %d: %v / %v / %v", i, photon.Rows[i], dbr.Rows[i], interp.Rows[i])
+			}
+		}
+	}
+}
+
+func TestSessionParallel(t *testing.T) {
+	sess := peopleSession(t, Config{Parallelism: 4, SpillDir: t.TempDir()})
+	res, err := sess.SQL("SELECT team, sum(score) FROM people GROUP BY team ORDER BY team")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][1].(int64) != 183 {
+		t.Fatalf("parallel result: %v", res.Rows)
+	}
+}
+
+func TestSessionDelta(t *testing.T) {
+	sess := NewSession()
+	schema := NewSchema(Col("id", Int64), Col("v", Float64))
+	dir := filepath.Join(t.TempDir(), "tbl")
+	dt, err := sess.CreateDeltaTable("events", dir, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.AppendRows([][]any{{int64(1), 1.5}, {int64(2), 2.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.AppendRows([][]any{{int64(3), 3.5}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.SQL("SELECT count(*), sum(v) FROM events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 3 {
+		t.Errorf("count = %v", res.Rows[0][0])
+	}
+	// Time travel back to the first append.
+	if err := dt.AsOf(1); err != nil {
+		t.Fatal(err)
+	}
+	res, err = sess.SQL("SELECT count(*) FROM events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 2 {
+		t.Errorf("time travel count = %v", res.Rows[0][0])
+	}
+	// Reopen from disk in a fresh session.
+	sess2 := NewSession()
+	if _, err := sess2.OpenDeltaTable("events", dir); err != nil {
+		t.Fatal(err)
+	}
+	res, err = sess2.SQL("SELECT count(*) FROM events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 3 {
+		t.Errorf("reopened count = %v", res.Rows[0][0])
+	}
+}
+
+func TestSessionPartialRollout(t *testing.T) {
+	sess := peopleSession(t, Config{PhotonUnsupported: []string{"aggregate"}})
+	res, err := sess.SQL("SELECT team, count(*) FROM people GROUP BY team ORDER BY team")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("fallback rows = %d", len(res.Rows))
+	}
+}
+
+func TestSessionExplain(t *testing.T) {
+	sess := peopleSession(t)
+	out, err := sess.Explain("SELECT name FROM people WHERE score > 90")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Scan(people") || !strings.Contains(out, "filter=") {
+		t.Errorf("explain missing pushed filter:\n%s", out)
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	sess := peopleSession(t)
+	if _, err := sess.SQL("SELECT nope FROM people"); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := sess.SQL("SELECT * FROM missing"); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := sess.SQL("SELEC broken"); err == nil {
+		t.Error("syntax error accepted")
+	}
+}
+
+func TestSQLWithProfile(t *testing.T) {
+	sess := peopleSession(t)
+	p, err := sess.SQLWithProfile("SELECT team, count(*) FROM people WHERE score > 10 GROUP BY team")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Result.Rows) != 2 {
+		t.Fatalf("rows = %d", len(p.Result.Rows))
+	}
+	for _, frag := range []string{"HashAgg", "Filter", "MemScan", "in=", "out="} {
+		if !strings.Contains(p.Operators, frag) {
+			t.Errorf("profile missing %q:\n%s", frag, p.Operators)
+		}
+	}
+	if p.Transitions != 0 {
+		t.Errorf("transitions = %d", p.Transitions)
+	}
+}
