@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"photon/internal/driver"
 	"photon/internal/exec"
 	"photon/internal/experiments"
 	"photon/internal/expr"
@@ -131,6 +132,51 @@ func benchTPCH(b *testing.B, engine catalyst.Engine) {
 
 func BenchmarkFig8TPCHPhoton(b *testing.B) { benchTPCH(b, catalyst.EnginePhoton) }
 func BenchmarkFig8TPCHDBR(b *testing.B)    { benchTPCH(b, catalyst.EngineDBRCompiled) }
+
+// ----- §2.2: stage-parallel execution (exchange-based physical plan) -----
+
+// BenchmarkParallelScaling measures multi-task speedup on a non-aggregate
+// query (string filter + computed projection + top-k): the scan partitions
+// across tasks, each task keeps its own ordered top 100, and the driver
+// k-way merges the per-task runs. The per-task work is compute-bound and
+// embarrassingly parallel, so ns/op should scale with cores — compare
+// par=1 vs par=4 for the scaling factor.
+func BenchmarkParallelScaling(b *testing.B) {
+	cat := tpch.NewGen(0.05).Generate()
+	const query = `
+SELECT l_orderkey, l_extendedprice * (1 - l_discount) * (1 + l_tax) charge
+FROM lineitem
+WHERE l_comment LIKE '%al%' AND l_shipdate > DATE '1994-01-01'
+ORDER BY charge DESC, l_orderkey
+LIMIT 100`
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			stmt, err := sql.Parse(query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan, err := sql.Analyze(cat, stmt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan, err = catalyst.Optimize(plan)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dir := b.TempDir()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rows, _, err := driver.Run(plan, driver.Options{Parallelism: par, ShuffleDir: dir})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != 100 {
+					b.Fatalf("got %d rows, want 100", len(rows))
+				}
+			}
+		})
+	}
+}
 
 // ----- §6.3: engine boundary overhead -----
 

@@ -1,20 +1,19 @@
 // Package driver runs optimized logical plans on the cluster substrate:
-// the driver node plans stages (§2.2/§2.3), launches parallel map tasks
-// that evaluate scan→filter→join pipelines and partial aggregation per
-// data partition, exchanges partial states through the shuffle layer with
-// adaptive encodings, and finalizes with reduce tasks plus a driver-side
-// tail (HAVING/projection/sort/limit). Stage boundaries are blocking, so
-// per-stage statistics are available for adaptive decisions.
+// the driver node plans stages (§2.2/§2.3), launches parallel tasks that
+// evaluate scan→filter→join pipelines and partial aggregation per data
+// partition, exchanges rows through the shuffle layer with adaptive
+// encodings, and finishes on the driver (gather, k-way merge, limit).
+// Stage boundaries are blocking, so per-stage shuffle statistics are
+// available for adaptive decisions (AQE partition coalescing, §5.5).
 package driver
 
 import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 
-	"photon/internal/catalog"
 	"photon/internal/exec"
-	"photon/internal/expr"
 	"photon/internal/mem"
 	"photon/internal/sched"
 	"photon/internal/shuffle"
@@ -31,6 +30,9 @@ type Options struct {
 	Mem         *mem.Manager
 	BatchSize   int
 	Config      catalyst.Config
+	// BroadcastRows is the broadcast-join build-side ceiling passed to the
+	// stage planner (0 = default, negative = never broadcast).
+	BroadcastRows int64
 	// Adaptivity switches (ablation/experiments).
 	DisableCompaction bool
 	DisableAdaptivity bool
@@ -45,19 +47,47 @@ func (o *Options) newTaskCtx() *exec.TaskCtx {
 	return tc
 }
 
-// Run executes the plan. Parallelism <= 1 (or plans without a top-level
-// aggregation) run as a single task; otherwise the aggregation splits into
-// the partial/shuffle/final stage pipeline.
+// shuffleSeq numbers exchanges process-wide so concurrent queries sharing a
+// shuffle directory never collide (replacing the old pointer-formatted ID).
+var shuffleSeq atomic.Int64
+
+// nextExchangeID returns a process-unique shuffle identifier.
+func nextExchangeID() string {
+	return fmt.Sprintf("x%d", shuffleSeq.Add(1))
+}
+
+// Run executes the plan. Parallelism <= 1 runs as a single task; otherwise
+// the stage planner decomposes the plan into an exchange DAG and every
+// stage runs as parallel tasks. Plans the stage planner cannot split (and
+// configurations that need the row-engine fallback) run single-task.
 func Run(plan sql.LogicalPlan, opts Options) ([][]any, *types.Schema, error) {
-	if opts.Parallelism <= 1 {
+	if opts.Parallelism <= 1 || !distributable(opts.Config) {
 		return runSingle(plan, opts)
 	}
-	agg, suffix := peelToAggregate(plan)
-	if agg == nil {
-		// No distributable aggregation at the top: single task.
+	frag, err := catalyst.PlanStages(plan, catalyst.StageConfig{
+		Parallelism:   opts.Parallelism,
+		BroadcastRows: opts.BroadcastRows,
+	})
+	if err != nil {
+		// Unstageable shape (interior sort, cross join, ...): one task.
 		return runSingle(plan, opts)
 	}
-	return runAggJob(agg, suffix, opts)
+	return runStaged(frag, opts)
+}
+
+// distributable reports whether the config can run pure-Photon fragments:
+// distributed tasks have no row-engine fallback, so any forced fallback
+// keeps the query single-task.
+func distributable(cfg catalyst.Config) bool {
+	if cfg.Engine != catalyst.EnginePhoton {
+		return false
+	}
+	for _, v := range cfg.PhotonUnsupported {
+		if v {
+			return false
+		}
+	}
+	return true
 }
 
 // runSingle executes the whole plan in one task.
@@ -74,36 +104,38 @@ func runSingle(plan sql.LogicalPlan, opts Options) ([][]any, *types.Schema, erro
 	return rows, ex.Schema(), nil
 }
 
-// peelToAggregate walks the suffix chain (Limit/Sort/Project/Filter) to
-// the first Aggregate; returns (aggregate, suffix nodes outermost-first).
-func peelToAggregate(plan sql.LogicalPlan) (*sql.LAggregate, []sql.LogicalPlan) {
-	var suffix []sql.LogicalPlan
-	cur := plan
-	for {
-		switch n := cur.(type) {
-		case *sql.LAggregate:
-			return n, suffix
-		case *sql.LLimit:
-			suffix = append(suffix, n)
-			cur = n.Child
-		case *sql.LSort:
-			suffix = append(suffix, n)
-			cur = n.Child
-		case *sql.LProject:
-			suffix = append(suffix, n)
-			cur = n.Child
-		case *sql.LFilter:
-			suffix = append(suffix, n)
-			cur = n.Child
-		default:
-			return nil, nil
-		}
-	}
+// stageInfo pairs a plan fragment with its scheduler stage and the
+// exchange state that crosses its boundaries.
+type stageInfo struct {
+	frag   *catalyst.Fragment
+	stage  *sched.Stage
+	schema *types.Schema // fragment output schema, resolved at plan time
+
+	// Producer side: this fragment's shuffle output.
+	exID      string
+	bytesMu   sync.Mutex
+	partBytes []int64 // compressed bytes per hash partition (ExchangeHash)
+
+	// Consumer side: which hash partitions each task reads, derived from
+	// the input stages' byte statistics once they complete (AQE §5.5).
+	assignOnce  sync.Once
+	assignments [][]int
 }
 
-// runAggJob is the two-stage aggregation pipeline.
-func runAggJob(agg *sql.LAggregate, suffix []sql.LogicalPlan, opts Options) ([][]any, *types.Schema, error) {
-	par := opts.Parallelism
+// stagedJob lowers a fragment DAG onto the scheduler.
+type stagedJob struct {
+	opts Options
+	dir  string
+	par  int
+
+	stages map[*catalyst.Fragment]*stageInfo
+
+	// Root gather output.
+	results [][]*vector.Batch
+}
+
+// runStaged executes the fragment DAG.
+func runStaged(root *catalyst.Fragment, opts Options) ([][]any, *types.Schema, error) {
 	dir := opts.ShuffleDir
 	if dir == "" {
 		d, err := os.MkdirTemp("", "photon-shuffle-*")
@@ -116,186 +148,218 @@ func runAggJob(agg *sql.LAggregate, suffix []sql.LogicalPlan, opts Options) ([][
 	if opts.Mem == nil {
 		opts.Mem = mem.NewManager(0)
 	}
-	shuffleID := fmt.Sprintf("agg-%p", agg)
-	nKeys := len(agg.Keys)
-
-	// Stage 1 (map): per-partition pipeline + partial aggregation, shuffle
-	// write hash-partitioned by grouping key.
-	var partialSchema *types.Schema
-	var schemaOnce sync.Once
-	partBytes := make([]int64, par) // per-reduce-partition shuffle volume
-	var partMu sync.Mutex
-
-	mapStage := &sched.Stage{
-		Name:     "map-partial-agg",
-		NumTasks: par,
-		Run: func(taskID int) error {
-			cfg := opts.Config
-			cfg.ScanPartitions = par
-			cfg.ScanPartition = taskID
-			tc := opts.newTaskCtx()
-			tc.SpillDir = dir
-			tc.Expr.SharedVectors = true
-
-			child, err := catalyst.BuildOperator(agg.Child, cfg, tc)
-			if err != nil {
-				return err
-			}
-			partial, err := exec.NewHashAgg(child, exec.AggPartial, agg.Keys, agg.KeyNames, agg.Aggs)
-			if err != nil {
-				return err
-			}
-			schemaOnce.Do(func() { partialSchema = partial.Schema() })
-
-			w, err := shuffle.NewWriter(dir, shuffleID, taskID, par, shuffle.EncoderOptions{Adaptive: true})
-			if err != nil {
-				return err
-			}
-			defer w.Close()
-			keyCols := make([]int, nKeys)
-			for i := range keyCols {
-				keyCols[i] = i
-			}
-			partitioner := shuffle.NewPartitioner(par, keyCols)
-
-			if err := partial.Open(tc); err != nil {
-				return err
-			}
-			defer partial.Close()
-			for {
-				batch, err := partial.Next()
-				if err != nil {
-					return err
-				}
-				if batch == nil {
-					break
-				}
-				if nKeys == 0 {
-					// Keyless: everything reduces in partition 0.
-					if err := w.WritePartition(0, batch); err != nil {
-						return err
-					}
-					continue
-				}
-				saved := batch.Sel
-				for part, sel := range partitioner.Split(batch) {
-					if len(sel) == 0 {
-						continue
-					}
-					batch.Sel = sel
-					if err := w.WritePartition(part, batch); err != nil {
-						batch.Sel = saved
-						return err
-					}
-				}
-				batch.Sel = saved
-			}
-			partMu.Lock()
-			for i, b := range w.PartBytes {
-				partBytes[i] += b
-			}
-			partMu.Unlock()
-			return nil
-		},
+	j := &stagedJob{
+		opts:   opts,
+		dir:    dir,
+		par:    opts.Parallelism,
+		stages: map[*catalyst.Fragment]*stageInfo{},
 	}
+	rootInfo := j.stageFor(root)
+	j.results = make([][]*vector.Batch, rootInfo.stage.NumTasks)
 
-	// Blocking stage boundary: run the map stage first so its runtime
-	// statistics can drive AQE-style partition coalescing (§5.5) — small
-	// shuffle partitions merge into fewer reduce tasks.
-	drv := sched.NewDriver(par)
-	if err := drv.RunJob(mapStage); err != nil {
-		return nil, nil, err
-	}
-	assignments := coalescePartitions(partBytes)
-
-	// Stage 2 (reduce): one task per (possibly coalesced) partition group.
-	results := make([][]*vector.Batch, len(assignments))
-	reduceStage := &sched.Stage{
-		Name:     "reduce-final-agg",
-		NumTasks: len(assignments),
-		Deps:     []*sched.Stage{mapStage},
-		Run: func(taskID int) error {
-			tc := opts.newTaskCtx()
-			tc.SpillDir = dir
-			parts := assignments[taskID]
-			pi := 0
-			var rd *shuffle.Reader
-			src := exec.NewSource("ShuffleRead", partialSchema, func() (exec.SourceFunc, error) {
-				buf := vector.NewBatch(partialSchema, max(opts.BatchSize, vector.DefaultBatchSize))
-				return func() (*vector.Batch, error) {
-					for {
-						if rd == nil {
-							if pi >= len(parts) {
-								return nil, nil
-							}
-							rd = shuffle.NewReader(dir, shuffleID, par, parts[pi], partialSchema)
-							pi++
-						}
-						ok, err := rd.Next(buf)
-						if err != nil {
-							return nil, err
-						}
-						if ok {
-							return buf, nil
-						}
-						rd = nil
-					}
-				}, nil
-			})
-			finalKeys := make([]expr.Expr, nKeys)
-			for i := range finalKeys {
-				f := partialSchema.Field(i)
-				finalKeys[i] = expr.Col(i, f.Name, f.Type)
-			}
-			final, err := exec.NewHashAgg(src, exec.AggFinal, finalKeys, agg.KeyNames, agg.Aggs)
-			if err != nil {
-				return err
-			}
-			batches, err := exec.CollectAll(final, tc)
-			if err != nil {
-				return err
-			}
-			results[taskID] = batches
-			return nil
-		},
-	}
-
-	if err := drv.RunJob(reduceStage); err != nil {
+	drv := sched.NewDriver(j.par)
+	if err := drv.RunJob(rootInfo.stage); err != nil {
 		return nil, nil, err
 	}
 
-	// Driver tail: rebuild the suffix chain over the merged reduce output.
-	aggSchema := agg.Schema()
-	var all []*vector.Batch
-	for _, bs := range results {
-		all = append(all, bs...)
+	// Driver tail: merge ordered per-task runs or concatenate, then apply
+	// the global limit.
+	schema := root.Root.Schema()
+	if len(root.MergeKeys) > 0 {
+		rows, err := exec.MergeSortedRuns(j.results, execSortKeys(root.MergeKeys), root.TailLimit)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rows, schema, nil
 	}
-	tail := rebuildSuffix(suffix, &sql.LScan{
-		Table: &catalog.MemTable{TableName: "__agg_result", Sch: aggSchema, Batches: all},
-	})
-	tailOpts := opts
-	tailOpts.Parallelism = 1
-	tailOpts.ShuffleDir = dir
-	return runSingle(tail, tailOpts)
-}
-
-// rebuildSuffix re-parents the peeled suffix chain (outermost-first) onto
-// a new child.
-func rebuildSuffix(suffix []sql.LogicalPlan, child sql.LogicalPlan) sql.LogicalPlan {
-	cur := child
-	for i := len(suffix) - 1; i >= 0; i-- {
-		switch n := suffix[i].(type) {
-		case *sql.LLimit:
-			cur = &sql.LLimit{Child: cur, N: n.N}
-		case *sql.LSort:
-			cur = &sql.LSort{Child: cur, Keys: n.Keys}
-		case *sql.LProject:
-			cur = &sql.LProject{Child: cur, Exprs: n.Exprs, Names: n.Names}
-		case *sql.LFilter:
-			cur = &sql.LFilter{Child: cur, Pred: n.Pred}
+	var rows [][]any
+	for _, bs := range j.results {
+		for _, b := range bs {
+			rows = append(rows, b.Rows()...)
 		}
 	}
-	return cur
+	if root.TailLimit >= 0 && int64(len(rows)) > root.TailLimit {
+		rows = rows[:root.TailLimit]
+	}
+	return rows, schema, nil
+}
+
+// stageFor memoizes the scheduler stage for a fragment, wiring exchange
+// dependencies. Task counts are static: fragments with a partitioned scan
+// or a hash-exchange input run Parallelism tasks (hash readers with fewer
+// coalesced partition groups than tasks no-op the excess); pure broadcast
+// builds and constant fragments run one task.
+func (j *stagedJob) stageFor(f *catalyst.Fragment) *stageInfo {
+	if si, ok := j.stages[f]; ok {
+		return si
+	}
+	si := &stageInfo{frag: f, exID: nextExchangeID()}
+	// Resolve every lazily-memoized logical schema on this single-threaded
+	// planning path: tasks of a stage share the fragment's plan nodes, and
+	// concurrent first calls to Schema() would race on the memo writes.
+	warmSchemas(f.Root)
+	si.schema = f.Root.Schema()
+	if f.Out == catalyst.ExchangeHash {
+		si.partBytes = make([]int64, j.par)
+	}
+	j.stages[f] = si
+
+	var deps []*sched.Stage
+	for _, in := range f.Inputs {
+		deps = append(deps, j.stageFor(in).stage)
+	}
+	numTasks := 1
+	if f.PartitionedScan || f.ReadsHash {
+		numTasks = j.par
+	}
+	si.stage = &sched.Stage{
+		Name:     fmt.Sprintf("stage-%d-%s", f.ID, f.Out),
+		NumTasks: numTasks,
+		Deps:     deps,
+		Run:      func(taskID int) error { return j.runTask(si, taskID) },
+	}
+	return si
+}
+
+// warmSchemas forces schema resolution over a whole plan tree. Several
+// logical nodes memoize Schema() lazily; warming them before tasks launch
+// keeps the shared plan read-only during parallel execution.
+func warmSchemas(n sql.LogicalPlan) {
+	if n == nil {
+		return
+	}
+	n.Schema()
+	for _, c := range n.Children() {
+		warmSchemas(c)
+	}
+}
+
+// assignmentsFor lazily computes the consumer's partition groups from the
+// *summed* byte statistics of all its hash inputs — a shuffle join must
+// coalesce both sides identically so partition i of the probe side meets
+// partition i of the build side in one task. Input stages have completed
+// (blocking boundaries), so the statistics are final.
+func (j *stagedJob) assignmentsFor(si *stageInfo) [][]int {
+	si.assignOnce.Do(func() {
+		sum := make([]int64, j.par)
+		for _, in := range si.frag.Inputs {
+			if in.Out != catalyst.ExchangeHash {
+				continue
+			}
+			pi := j.stages[in]
+			pi.bytesMu.Lock()
+			for p, b := range pi.partBytes {
+				sum[p] += b
+			}
+			pi.bytesMu.Unlock()
+		}
+		si.assignments = coalescePartitions(sum)
+	})
+	return si.assignments
+}
+
+// runTask executes one task of a stage: build the fragment's operator tree
+// (exchange leaves resolve to this task's shuffle/broadcast readers), then
+// dispose of the output per the fragment's exchange kind.
+func (j *stagedJob) runTask(si *stageInfo, taskID int) error {
+	f := si.frag
+
+	var parts []int // hash partitions this task consumes
+	if f.ReadsHash {
+		asg := j.assignmentsFor(si)
+		if taskID >= len(asg) {
+			// Coalescing produced fewer groups than the static task count.
+			return nil
+		}
+		parts = asg[taskID]
+	}
+
+	cfg := j.opts.Config
+	if f.PartitionedScan && si.stage.NumTasks > 1 {
+		cfg.ScanPartitions = si.stage.NumTasks
+		cfg.ScanPartition = taskID
+	}
+	tc := j.opts.newTaskCtx()
+	tc.SpillDir = j.dir
+	// Tasks of one stage share in-memory table batches read-only.
+	tc.Expr.SharedVectors = true
+
+	cfg.ExchangeSource = func(er *catalyst.ExchangeRead) (exec.Operator, error) {
+		in := er.Frag
+		pi, ok := j.stages[in]
+		if !ok {
+			return nil, fmt.Errorf("driver: exchange read of unplanned stage %d", in.ID)
+		}
+		schema := pi.schema
+		mapTasks := pi.stage.NumTasks
+		if er.Broadcast {
+			name := fmt.Sprintf("BroadcastRead(stage=%d)", in.ID)
+			return exec.NewBroadcastRead(name, schema, func() ([]exec.ShuffleSource, error) {
+				return []exec.ShuffleSource{
+					shuffle.NewBroadcastReader(j.dir, pi.exID, mapTasks, schema),
+				}, nil
+			}), nil
+		}
+		name := fmt.Sprintf("ShuffleRead(stage=%d)", in.ID)
+		myParts := parts
+		return exec.NewShuffleRead(name, schema, func() ([]exec.ShuffleSource, error) {
+			srcs := make([]exec.ShuffleSource, 0, len(myParts))
+			for _, p := range myParts {
+				srcs = append(srcs, shuffle.NewReader(j.dir, pi.exID, mapTasks, p, schema))
+			}
+			return srcs, nil
+		}), nil
+	}
+
+	op, err := catalyst.BuildOperator(f.Root, cfg, tc)
+	if err != nil {
+		return err
+	}
+
+	switch f.Out {
+	case catalyst.ExchangeHash:
+		w, err := shuffle.NewWriter(j.dir, si.exID, taskID, j.par, shuffle.EncoderOptions{Adaptive: true})
+		if err != nil {
+			return err
+		}
+		var split exec.PartitionFunc
+		if len(f.HashCols) > 0 {
+			split = shuffle.NewPartitioner(j.par, f.HashCols).Split
+		}
+		// nil split: keyless aggregation — every row reduces in partition 0.
+		if err := exec.Drain(exec.NewShuffleWrite(op, w, split), tc); err != nil {
+			return err
+		}
+		si.bytesMu.Lock()
+		for p, b := range w.PartBytes {
+			si.partBytes[p] += b
+		}
+		si.bytesMu.Unlock()
+		return nil
+
+	case catalyst.ExchangeBroadcast:
+		w, err := shuffle.NewBroadcastWriter(j.dir, si.exID, taskID, shuffle.EncoderOptions{Adaptive: true})
+		if err != nil {
+			return err
+		}
+		return exec.Drain(exec.NewShuffleWrite(op, w, nil), tc)
+
+	default: // ExchangeGather
+		batches, err := exec.CollectAll(op, tc)
+		if err != nil {
+			return err
+		}
+		j.results[taskID] = batches
+		return nil
+	}
+}
+
+func execSortKeys(keys []sql.SortKeyPlan) []exec.SortKey {
+	out := make([]exec.SortKey, len(keys))
+	for i, k := range keys {
+		out[i] = exec.SortKey{Col: k.Col, Desc: k.Desc}
+	}
+	return out
 }
 
 // coalescePartitions groups shuffle partitions into reduce tasks so each

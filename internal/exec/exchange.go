@@ -1,0 +1,315 @@
+package exec
+
+import (
+	"container/heap"
+	"fmt"
+
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// Exchange operators are the physical form of stage boundaries (§2.2):
+// a ShuffleWriteOp terminates a map stage, hash-partitioning its input
+// across the next stage's tasks; ShuffleReadOp / BroadcastReadOp are the
+// leaf operators of the consuming stage. They are first-class operators —
+// they appear in the stats tree like any other node — while the storage
+// format stays behind the ShuffleSink/ShuffleSource interfaces so exec does
+// not depend on the shuffle layer's encoding.
+
+// ShuffleSink receives partitioned batches at a stage boundary
+// (implemented by shuffle.Writer). WritePartition encodes b's *active*
+// rows, so callers can route subsets via the batch's selection vector.
+type ShuffleSink interface {
+	WritePartition(part int, b *vector.Batch) error
+	Close() error
+}
+
+// ShuffleSource streams decoded batches of one shuffle partition
+// (implemented by shuffle.Reader). Next fills dst and reports whether a
+// block was decoded.
+type ShuffleSource interface {
+	Next(dst *vector.Batch) (bool, error)
+}
+
+// PartitionFunc maps a batch's active rows to output partitions, returning
+// one position list per partition (see shuffle.Partitioner.Split). The
+// returned lists may alias internal buffers valid until the next call.
+type PartitionFunc func(b *vector.Batch) [][]int32
+
+// ShuffleWriteOp drains its child and routes every row to a shuffle
+// partition. It is a sink: Next performs the whole write and returns end of
+// input without emitting batches. The driver reads per-partition byte
+// statistics from the concrete sink afterwards (AQE coalescing, §5.5).
+type ShuffleWriteOp struct {
+	base
+	child Operator
+	sink  ShuffleSink
+	split PartitionFunc // nil = everything to partition 0 (keyless/broadcast)
+	done  bool
+}
+
+// NewShuffleWrite builds a shuffle-write sink over child. A nil split sends
+// every row to partition 0 (the keyless-aggregation and broadcast cases).
+func NewShuffleWrite(child Operator, sink ShuffleSink, split PartitionFunc) *ShuffleWriteOp {
+	s := &ShuffleWriteOp{child: child, sink: sink, split: split}
+	s.schema = child.Schema()
+	s.stats.Name = "ShuffleWrite"
+	return s
+}
+
+// Open implements Operator.
+func (s *ShuffleWriteOp) Open(tc *TaskCtx) error {
+	s.tc = tc
+	s.done = false
+	return s.child.Open(tc)
+}
+
+// Next implements Operator: the first call drains the child into the sink;
+// every call reports end of input.
+func (s *ShuffleWriteOp) Next() (*vector.Batch, error) {
+	if s.done {
+		return nil, nil
+	}
+	err := s.timed(func() error {
+		for {
+			b, err := s.child.Next()
+			if err != nil {
+				return err
+			}
+			if b == nil {
+				s.done = true
+				return nil
+			}
+			n := int64(b.NumActive())
+			s.stats.RowsIn.Add(n)
+			if n == 0 {
+				continue
+			}
+			if s.split == nil {
+				if err := s.sink.WritePartition(0, b); err != nil {
+					return err
+				}
+				s.stats.RowsOut.Add(n)
+				continue
+			}
+			saved := b.Sel
+			for part, sel := range s.split(b) {
+				if len(sel) == 0 {
+					continue
+				}
+				b.Sel = sel
+				if err := s.sink.WritePartition(part, b); err != nil {
+					b.Sel = saved
+					return err
+				}
+				s.stats.RowsOut.Add(int64(len(sel)))
+			}
+			b.Sel = saved
+		}
+	})
+	return nil, err
+}
+
+// Close implements Operator, closing the sink after the child so partition
+// files are complete before the next stage starts.
+func (s *ShuffleWriteOp) Close() error {
+	errChild := s.child.Close()
+	errSink := s.sink.Close()
+	if errChild != nil {
+		return errChild
+	}
+	return errSink
+}
+
+// exchangeRead is the shared mechanics of the exchange leaf operators: it
+// streams a sequence of shuffle sources into a reused batch.
+type exchangeRead struct {
+	base
+	open func() ([]ShuffleSource, error)
+	srcs []ShuffleSource
+	idx  int
+	buf  *vector.Batch
+}
+
+func (e *exchangeRead) Open(tc *TaskCtx) error {
+	e.tc = tc
+	e.idx = 0
+	srcs, err := e.open()
+	if err != nil {
+		return err
+	}
+	e.srcs = srcs
+	return nil
+}
+
+func (e *exchangeRead) Next() (*vector.Batch, error) {
+	var out *vector.Batch
+	err := e.timed(func() error {
+		if e.buf == nil {
+			// Shuffle blocks were encoded from full writer-side batches, so
+			// the decode target must be at least the default batch size.
+			e.buf = vector.NewBatch(e.schema, max(e.tc.Pool.BatchSize(), vector.DefaultBatchSize))
+		}
+		for e.idx < len(e.srcs) {
+			ok, err := e.srcs[e.idx].Next(e.buf)
+			if err != nil {
+				return err
+			}
+			if ok {
+				e.stats.RowsOut.Add(int64(e.buf.NumActive()))
+				e.stats.BatchesOut.Add(1)
+				out = e.buf
+				return nil
+			}
+			e.idx++
+		}
+		return nil
+	})
+	return out, err
+}
+
+func (e *exchangeRead) Close() error {
+	e.srcs = nil
+	return nil
+}
+
+// ShuffleReadOp reads this task's (possibly coalesced) set of hash
+// partitions of an upstream stage's shuffle output.
+type ShuffleReadOp struct{ exchangeRead }
+
+// NewShuffleRead builds a shuffle-read leaf; open yields one source per
+// assigned partition.
+func NewShuffleRead(name string, schema *types.Schema, open func() ([]ShuffleSource, error)) *ShuffleReadOp {
+	op := &ShuffleReadOp{}
+	op.schema = schema
+	op.open = open
+	op.stats.Name = name
+	if name == "" {
+		op.stats.Name = "ShuffleRead"
+	}
+	return op
+}
+
+// BroadcastReadOp reads the *entire* replicated output of an upstream
+// stage (every map task's broadcast file) — the build-side input of a
+// broadcast hash join. Unlike ShuffleReadOp, every task of the consuming
+// stage sees all rows.
+type BroadcastReadOp struct{ exchangeRead }
+
+// NewBroadcastRead builds a broadcast-read leaf; open yields the sources
+// covering the full broadcast dataset.
+func NewBroadcastRead(name string, schema *types.Schema, open func() ([]ShuffleSource, error)) *BroadcastReadOp {
+	op := &BroadcastReadOp{}
+	op.schema = schema
+	op.open = open
+	op.stats.Name = name
+	if name == "" {
+		op.stats.Name = "BroadcastRead"
+	}
+	return op
+}
+
+// Drain runs op to completion for its side effects (shuffle writes),
+// discarding any output batches.
+func Drain(op Operator, tc *TaskCtx) error {
+	if err := op.Open(tc); err != nil {
+		return err
+	}
+	defer op.Close()
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+	}
+}
+
+// mergeCursor walks one sorted run (a task's ordered output batches).
+type mergeCursor struct {
+	batches []*vector.Batch
+	bi      int // batch index
+	ri      int // row position within batches[bi]'s active rows
+}
+
+func (c *mergeCursor) skipEmpty() {
+	for c.bi < len(c.batches) && c.ri >= c.batches[c.bi].NumActive() {
+		c.bi++
+		c.ri = 0
+	}
+}
+
+func (c *mergeCursor) done() bool { return c.bi >= len(c.batches) }
+
+// current returns the (batch, physical row) under the cursor.
+func (c *mergeCursor) current() (*vector.Batch, int) {
+	b := c.batches[c.bi]
+	return b, b.RowIndex(c.ri)
+}
+
+// runHeap is a min-heap of cursors ordered by their current row.
+type runHeap struct {
+	keys []SortKey
+	cur  []*mergeCursor
+}
+
+func (h *runHeap) Len() int { return len(h.cur) }
+func (h *runHeap) Less(x, y int) bool {
+	ba, ia := h.cur[x].current()
+	bb, ib := h.cur[y].current()
+	return compareBatchRowsMixed(ba, ia, bb, ib, h.keys) < 0
+}
+func (h *runHeap) Swap(x, y int) { h.cur[x], h.cur[y] = h.cur[y], h.cur[x] }
+func (h *runHeap) Push(x any)    { h.cur = append(h.cur, x.(*mergeCursor)) }
+func (h *runHeap) Pop() any {
+	old := h.cur
+	n := len(old)
+	x := old[n-1]
+	h.cur = old[:n-1]
+	return x
+}
+
+// MergeSortedRuns k-way merges per-task sorted outputs into globally
+// ordered rows — the driver-side second phase of a two-phase parallel sort.
+// Each run must already be ordered under keys; limit >= 0 truncates the
+// merged output.
+func MergeSortedRuns(runs [][]*vector.Batch, keys []SortKey, limit int64) ([][]any, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("exec: merge requires sort keys")
+	}
+	h := &runHeap{keys: keys}
+	var total int64
+	for _, run := range runs {
+		c := &mergeCursor{batches: run}
+		c.skipEmpty()
+		if !c.done() {
+			h.cur = append(h.cur, c)
+		}
+		for _, b := range run {
+			total += int64(b.NumActive())
+		}
+	}
+	if limit >= 0 && limit < total {
+		total = limit
+	}
+	heap.Init(h)
+	out := make([][]any, 0, total)
+	for h.Len() > 0 {
+		if limit >= 0 && int64(len(out)) >= limit {
+			break
+		}
+		c := h.cur[0]
+		b, i := c.current()
+		out = append(out, b.Row(i))
+		c.ri++
+		c.skipEmpty()
+		if c.done() {
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+	}
+	return out, nil
+}

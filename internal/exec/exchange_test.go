@@ -1,0 +1,243 @@
+package exec
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// memSink is an in-memory ShuffleSink capturing routed rows per partition.
+type memSink struct {
+	parts  map[int][][]any
+	closed bool
+}
+
+func (m *memSink) WritePartition(part int, b *vector.Batch) error {
+	if m.parts == nil {
+		m.parts = map[int][][]any{}
+	}
+	m.parts[part] = append(m.parts[part], b.Rows()...)
+	return nil
+}
+
+func (m *memSink) Close() error {
+	m.closed = true
+	return nil
+}
+
+// memSource is an in-memory ShuffleSource replaying one block of rows.
+type memSource struct {
+	schema *types.Schema
+	rows   [][]any
+	done   bool
+}
+
+func (s *memSource) Next(dst *vector.Batch) (bool, error) {
+	if s.done || len(s.rows) == 0 {
+		return false, nil
+	}
+	dst.Reset()
+	for _, r := range s.rows {
+		dst.AppendRow(r...)
+	}
+	s.done = true
+	return true, nil
+}
+
+func exchangeSchema() *types.Schema {
+	return types.NewSchema(types.Field{Name: "k", Type: types.Int64Type})
+}
+
+func TestShuffleWriteRoutesRows(t *testing.T) {
+	schema := exchangeSchema()
+	var rows [][]any
+	for i := 0; i < 100; i++ {
+		rows = append(rows, []any{int64(i)})
+	}
+	scan := NewMemScan(schema, BuildBatches(schema, rows, 16))
+	sink := &memSink{}
+	// Route by parity of the key value.
+	split := func(b *vector.Batch) [][]int32 {
+		parts := make([][]int32, 2)
+		for pos := 0; pos < b.NumActive(); pos++ {
+			i := b.RowIndex(pos)
+			v := b.Vecs[0].I64[i]
+			parts[v%2] = append(parts[v%2], int32(i))
+		}
+		return parts
+	}
+	w := NewShuffleWrite(scan, sink, split)
+	tc := NewTaskCtx(nil, 16)
+	if err := Drain(w, tc); err != nil {
+		t.Fatal(err)
+	}
+	if !sink.closed {
+		t.Fatal("sink not closed")
+	}
+	if len(sink.parts[0]) != 50 || len(sink.parts[1]) != 50 {
+		t.Fatalf("partition sizes: %d even, %d odd", len(sink.parts[0]), len(sink.parts[1]))
+	}
+	for part, rs := range sink.parts {
+		for _, r := range rs {
+			if r[0].(int64)%2 != int64(part) {
+				t.Fatalf("row %v routed to partition %d", r, part)
+			}
+		}
+	}
+	if got := w.Stats().RowsIn.Load(); got != 100 {
+		t.Fatalf("RowsIn = %d, want 100", got)
+	}
+}
+
+func TestShuffleWriteNilSplit(t *testing.T) {
+	schema := exchangeSchema()
+	rows := [][]any{{int64(1)}, {int64(2)}, {int64(3)}}
+	scan := NewMemScan(schema, BuildBatches(schema, rows, 2))
+	sink := &memSink{}
+	if err := Drain(NewShuffleWrite(scan, sink, nil), NewTaskCtx(nil, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.parts) != 1 || len(sink.parts[0]) != 3 {
+		t.Fatalf("nil split routing: %v", sink.parts)
+	}
+}
+
+func TestShuffleReadStreamsSources(t *testing.T) {
+	schema := exchangeSchema()
+	open := func() ([]ShuffleSource, error) {
+		return []ShuffleSource{
+			&memSource{schema: schema, rows: [][]any{{int64(1)}, {int64(2)}}},
+			&memSource{schema: schema}, // empty partition
+			&memSource{schema: schema, rows: [][]any{{int64(3)}}},
+		}, nil
+	}
+	op := NewShuffleRead("ShuffleRead(test)", schema, open)
+	rows, err := CollectRows(op, NewTaskCtx(nil, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]any{{int64(1)}, {int64(2)}, {int64(3)}}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("rows = %v, want %v", rows, want)
+	}
+	if op.Stats().Name != "ShuffleRead(test)" {
+		t.Fatalf("stats name = %q", op.Stats().Name)
+	}
+}
+
+func TestBroadcastReadStreamsAll(t *testing.T) {
+	schema := exchangeSchema()
+	op := NewBroadcastRead("", schema, func() ([]ShuffleSource, error) {
+		return []ShuffleSource{
+			&memSource{schema: schema, rows: [][]any{{int64(7)}}},
+			&memSource{schema: schema, rows: [][]any{{int64(8)}}},
+		}, nil
+	})
+	rows, err := CollectRows(op, NewTaskCtx(nil, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if op.Stats().Name != "BroadcastRead" {
+		t.Fatalf("stats name = %q", op.Stats().Name)
+	}
+}
+
+func TestMergeSortedRuns(t *testing.T) {
+	schema := exchangeSchema()
+	run := func(vals ...int64) []*vector.Batch {
+		var rows [][]any
+		for _, v := range vals {
+			rows = append(rows, []any{v})
+		}
+		return BuildBatches(schema, rows, 2)
+	}
+	keys := []SortKey{{Col: 0}}
+
+	rows, err := MergeSortedRuns([][]*vector.Batch{
+		run(1, 4, 9), run(2, 3, 10), run(), run(5),
+	}, keys, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for _, r := range rows {
+		got = append(got, r[0].(int64))
+	}
+	want := []int64{1, 2, 3, 4, 5, 9, 10}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged = %v, want %v", got, want)
+	}
+
+	// Limit truncates the merged stream.
+	rows, err = MergeSortedRuns([][]*vector.Batch{run(1, 3), run(2)}, keys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[1][0].(int64) != 2 {
+		t.Fatalf("limited merge = %v", rows)
+	}
+
+	// Descending keys merge descending runs.
+	desc := []SortKey{{Col: 0, Desc: true}}
+	rows, err = MergeSortedRuns([][]*vector.Batch{run(9, 4), run(10, 3)}, desc, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dgot []int64
+	for _, r := range rows {
+		dgot = append(dgot, r[0].(int64))
+	}
+	if !reflect.DeepEqual(dgot, []int64{10, 9, 4, 3}) {
+		t.Fatalf("descending merge = %v", dgot)
+	}
+
+	// No keys is an error (merging unordered runs is meaningless).
+	if _, err := MergeSortedRuns(nil, nil, -1); err == nil {
+		t.Fatal("merge without keys succeeded")
+	}
+}
+
+// TestStatsWalkCrossesEngineBoundaries pins the stats-tree fix: a plan that
+// leaves Photon through a TransitionOp and re-enters through an AdapterOp
+// must still report every metrics-carrying node, not truncate at the first
+// boundary.
+func TestStatsWalkCrossesEngineBoundaries(t *testing.T) {
+	schema := exchangeSchema()
+	var rows [][]any
+	for i := 0; i < 10; i++ {
+		rows = append(rows, []any{int64(i)})
+	}
+	tc := NewTaskCtx(nil, 4)
+	scan := NewMemScan(schema, BuildBatches(schema, rows, 4))
+	transition := NewTransition(scan, tc) // Photon -> rows
+	adapter := NewAdapter(transition)     // rows -> Photon
+	limit := NewLimit(adapter, 100)
+
+	if _, err := CollectRows(limit, tc); err != nil {
+		t.Fatal(err)
+	}
+
+	var names []string
+	WalkStats(limit, func(s *OpStats, depth int) {
+		names = append(names, fmt.Sprintf("%d:%s", depth, s.Name))
+	})
+	want := []string{"0:Limit(100)", "1:Adapter", "2:Transition", "3:MemScan"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("stats walk = %v, want %v", names, want)
+	}
+
+	// RenderStats covers the same tree.
+	out := RenderStats(limit)
+	for _, n := range []string{"Limit", "Adapter", "Transition", "MemScan"} {
+		if !strings.Contains(out, n) {
+			t.Fatalf("rendered stats missing %s:\n%s", n, out)
+		}
+	}
+}

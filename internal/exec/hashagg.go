@@ -192,6 +192,19 @@ func NewHashAgg(child Operator, mode AggMode, keyExprs []expr.Expr, keyNames []s
 	return op, nil
 }
 
+// PartialAggSchema returns the schema an AggPartial operator with these
+// specs emits (and an AggFinal operator consumes). The stage planner uses
+// it to type exchange boundaries before any operator exists.
+func PartialAggSchema(keyExprs []expr.Expr, keyNames []string, aggs []expr.AggSpec) (*types.Schema, error) {
+	// Schema derivation never touches the child, so a child-less operator
+	// is safe here.
+	op, err := NewHashAgg(nil, AggPartial, keyExprs, keyNames, aggs)
+	if err != nil {
+		return nil, err
+	}
+	return op.Schema(), nil
+}
+
 // argOrResType returns the type driving the state representation.
 func (in *aggInfo) argOrResType() types.DataType {
 	if in.spec.Arg != nil {

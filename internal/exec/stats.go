@@ -11,39 +11,66 @@ import (
 // debugging performance issues in customer workloads". WalkStats collects
 // the live tree; RenderStats formats it like a query profile.
 
-// statsChild exposes operator children for stats walking without widening
-// the Operator interface.
-type statsChild interface{ children() []Operator }
+// statsNode is any node carrying operator metrics. Both Photon operators
+// and the row-boundary TransitionOp (a RowIterator, not an Operator)
+// qualify, so the stats walk can cross engine boundaries.
+type statsNode interface{ Stats() *OpStats }
 
-func (f *FilterOp) children() []Operator   { return []Operator{f.child} }
-func (p *ProjectOp) children() []Operator  { return []Operator{p.child} }
-func (op *HashAggOp) children() []Operator { return []Operator{op.child} }
-func (op *HashJoinOp) children() []Operator {
-	return []Operator{op.left, op.right}
+// statsChild exposes node children for stats walking without widening the
+// Operator interface. Children are `any` because a mixed Photon/row-engine
+// plan interleaves Operators with RowIterators (AdapterOp wraps a
+// RowIterator; TransitionOp wraps an Operator).
+type statsChild interface{ children() []any }
+
+func (f *FilterOp) children() []any   { return []any{f.child} }
+func (p *ProjectOp) children() []any  { return []any{p.child} }
+func (op *HashAggOp) children() []any { return []any{op.child} }
+func (op *HashJoinOp) children() []any {
+	return []any{op.left, op.right}
 }
-func (s *SortOp) children() []Operator  { return []Operator{s.child} }
-func (t *TopKOp) children() []Operator  { return []Operator{t.child} }
-func (l *LimitOp) children() []Operator { return []Operator{l.child} }
+func (s *SortOp) children() []any  { return []any{s.child} }
+func (t *TopKOp) children() []any  { return []any{t.child} }
+func (l *LimitOp) children() []any { return []any{l.child} }
 
-// WalkStats visits every operator in the tree with its depth.
-func WalkStats(op Operator, visit func(op Operator, depth int)) {
-	var walk func(o Operator, d int)
-	walk = func(o Operator, d int) {
-		visit(o, d)
-		if sc, ok := o.(statsChild); ok {
+// Engine-boundary nodes: without these the walk silently truncated any
+// mixed Photon/row-engine plan at the first adapter or transition.
+func (a *AdapterOp) children() []any    { return []any{a.rows} }
+func (t *TransitionOp) children() []any { return []any{t.child} }
+
+// Leaves report no children explicitly so the walk terminates cleanly.
+func (s *SourceOp) children() []any { return nil }
+
+// Exchange operators participate like any other node; the read sides are
+// stage-input leaves.
+func (s *ShuffleWriteOp) children() []any  { return []any{s.child} }
+func (e *ShuffleReadOp) children() []any   { return nil }
+func (e *BroadcastReadOp) children() []any { return nil }
+
+// WalkStats visits every metrics-carrying node reachable from root with
+// its depth. Root is usually an Operator but may be any plan node; nodes
+// without metrics (pure row-engine operators) are traversed silently when
+// they expose children, and end the walk otherwise.
+func WalkStats(root any, visit func(s *OpStats, depth int)) {
+	var walk func(n any, d int)
+	walk = func(n any, d int) {
+		next := d
+		if sn, ok := n.(statsNode); ok {
+			visit(sn.Stats(), d)
+			next = d + 1
+		}
+		if sc, ok := n.(statsChild); ok {
 			for _, c := range sc.children() {
-				walk(c, d+1)
+				walk(c, next)
 			}
 		}
 	}
-	walk(op, 0)
+	walk(root, 0)
 }
 
 // RenderStats formats the operator tree's live metrics.
 func RenderStats(op Operator) string {
 	var sb strings.Builder
-	WalkStats(op, func(o Operator, depth int) {
-		s := o.Stats()
+	WalkStats(op, func(s *OpStats, depth int) {
 		fmt.Fprintf(&sb, "%s%s\n", strings.Repeat("  ", depth), s.String())
 	})
 	return sb.String()

@@ -1,0 +1,26 @@
+package shuffle
+
+import (
+	"photon/internal/types"
+)
+
+// Broadcast exchange: a stage whose output feeds the build side of a
+// broadcast hash join writes its *entire* per-task output as a single
+// replicated partition, and every task of the consuming stage reads all of
+// it. On a real cluster this is the "small table shipped to every
+// executor" path; here it reuses the columnar shuffle format with one
+// partition per map task.
+
+// NewBroadcastWriter opens a broadcast writer for one map task: a
+// single-partition shuffle file holding the task's full output. Write rows
+// through WritePartition(0, batch) (or exec.NewShuffleWrite with a nil
+// partitioner).
+func NewBroadcastWriter(dir, shuffleID string, mapTask int, opts EncoderOptions) (*Writer, error) {
+	return NewWriter(dir, shuffleID, mapTask, 1, opts)
+}
+
+// NewBroadcastReader streams the union of every map task's broadcast
+// output — the full replicated dataset.
+func NewBroadcastReader(dir, shuffleID string, mapTasks int, schema *types.Schema) *Reader {
+	return NewReader(dir, shuffleID, mapTasks, 0, schema)
+}

@@ -5,6 +5,7 @@ import (
 
 	"photon/internal/catalog"
 	"photon/internal/exec"
+	"photon/internal/expr"
 	"photon/internal/rowengine"
 	"photon/internal/sql"
 	"photon/internal/storage/delta"
@@ -48,6 +49,10 @@ type Config struct {
 	// (broadcast semantics). Zero disables partitioning.
 	ScanPartitions int
 	ScanPartition  int
+	// ExchangeSource lowers an ExchangeRead leaf to the task's shuffle or
+	// broadcast read operator. Set by the distributed driver; nil outside
+	// staged execution (ExchangeRead nodes then fail to plan).
+	ExchangeSource func(*ExchangeRead) (exec.Operator, error)
 }
 
 func (c Config) rowMode() rowengine.Mode {
@@ -129,6 +134,10 @@ func nodeKind(plan sql.LogicalPlan) string {
 		return "sort"
 	case *sql.LLimit:
 		return "limit"
+	case *ExchangeRead:
+		return "exchange"
+	case *PartialAggPlan, *FinalAggPlan:
+		return "aggregate"
 	}
 	return "unknown"
 }
@@ -248,6 +257,47 @@ func (b *builder) buildHybrid(plan sql.LogicalPlan) (exec.Operator, rowengine.Op
 		}
 		agg, err := rowengine.NewHashAgg(rowIn, n.Keys, n.KeyNames, n.Aggs, b.cfg.rowMode())
 		return nil, agg, err
+
+	case *ExchangeRead:
+		// Stage-input leaf: the distributed driver supplies the shuffle or
+		// broadcast read for this task.
+		if b.cfg.ExchangeSource == nil {
+			return nil, nil, fmt.Errorf("catalyst: exchange read outside distributed execution")
+		}
+		op, err := b.cfg.ExchangeSource(n)
+		return op, nil, err
+
+	case *PartialAggPlan:
+		// Map side of a split aggregation; distributed fragments are pure
+		// Photon, so no row-engine variant exists.
+		ph, _, err := b.buildHybrid(n.Child)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ph == nil {
+			return nil, nil, fmt.Errorf("catalyst: partial aggregation requires a Photon input")
+		}
+		agg, err := exec.NewHashAgg(ph, exec.AggPartial, n.Agg.Keys, n.Agg.KeyNames, n.Agg.Aggs)
+		return agg, nil, err
+
+	case *FinalAggPlan:
+		// Reduce side: grouping keys are plain columns of the partial-state
+		// schema (the exchange leads with them).
+		ph, _, err := b.buildHybrid(n.Child)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ph == nil {
+			return nil, nil, fmt.Errorf("catalyst: final aggregation requires a Photon input")
+		}
+		ps := ph.Schema()
+		finalKeys := make([]expr.Expr, len(n.Agg.Keys))
+		for i := range finalKeys {
+			f := ps.Field(i)
+			finalKeys[i] = expr.Col(i, f.Name, f.Type)
+		}
+		agg, err := exec.NewHashAgg(ph, exec.AggFinal, finalKeys, n.Agg.KeyNames, n.Agg.Aggs)
+		return agg, nil, err
 
 	case *sql.LJoin:
 		lph, lrow, err := b.buildHybrid(n.Left)

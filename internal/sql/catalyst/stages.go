@@ -1,0 +1,238 @@
+package catalyst
+
+import (
+	"fmt"
+
+	"photon/internal/expr"
+	"photon/internal/sql"
+)
+
+// The stage planner generalizes distributed execution from "top-level
+// aggregations only" to every plan shape (§2.2): it walks an optimized
+// logical plan and inserts exchange boundaries — hash partitioning for
+// grouped aggregation and shuffle joins, broadcast for small join build
+// sides, and a gather (with optional k-way merge order) back to the
+// driver — so scans, filters, projections, joins, sorts, DISTINCT, and
+// aggregations all execute as parallel stages.
+
+// DefaultBroadcastRows is the build-side size ceiling (estimated rows)
+// below which a join broadcasts its build side instead of shuffling both
+// sides.
+const DefaultBroadcastRows = 4 << 20
+
+// StageConfig controls stage planning.
+type StageConfig struct {
+	// Parallelism is the target task count per partitioned stage (and the
+	// hash-exchange partition count).
+	Parallelism int
+	// BroadcastRows is the build-side row-estimate ceiling for broadcast
+	// joins. 0 selects DefaultBroadcastRows; negative disables broadcast
+	// for keyed joins (both sides shuffle), which is mainly useful for
+	// testing the shuffle-join path.
+	BroadcastRows int64
+}
+
+func (c StageConfig) broadcastRows() int64 {
+	if c.BroadcastRows == 0 {
+		return DefaultBroadcastRows
+	}
+	return c.BroadcastRows
+}
+
+// PlanStages decomposes an optimized logical plan into a fragment DAG.
+// An error means the plan contains a shape the stage planner cannot split
+// (for example an unconverted cross join or an interior sort); callers
+// fall back to single-task execution.
+func PlanStages(plan sql.LogicalPlan, cfg StageConfig) (*Fragment, error) {
+	p := &stagePlanner{cfg: cfg}
+
+	// Peel the driver tail: a root LIMIT and/or ORDER BY runs per task
+	// inside the final stage (Sort/TopK), then finishes on the driver
+	// (k-way merge + truncate) — the two-phase parallel sort.
+	tailLimit := int64(-1)
+	body := plan
+	if l, ok := body.(*sql.LLimit); ok {
+		tailLimit = l.N
+		body = l.Child
+	}
+	sortNode, _ := body.(*sql.LSort)
+	if sortNode != nil {
+		body = sortNode.Child
+	}
+
+	fc := &fragCtx{}
+	staged, err := p.assemble(body, fc)
+	if err != nil {
+		return nil, err
+	}
+	root := staged
+	if sortNode != nil {
+		root = &sql.LSort{Child: root, Keys: sortNode.Keys}
+	}
+	if tailLimit >= 0 {
+		// Per-task limit: each task's top/first N rows are a superset of
+		// its contribution to the global result.
+		root = &sql.LLimit{Child: root, N: tailLimit}
+	}
+	rf := p.cut(root, ExchangeGather, nil, fc)
+	if sortNode != nil {
+		rf.MergeKeys = sortNode.Keys
+	}
+	rf.TailLimit = tailLimit
+	return rf, nil
+}
+
+// fragCtx accumulates the state of the fragment under construction.
+type fragCtx struct {
+	inputs   []*Fragment
+	partScan bool // contains a task-partitioned scan
+	readsHash bool // consumes a hash exchange
+}
+
+type stagePlanner struct {
+	cfg    StageConfig
+	nextID int
+}
+
+// cut finishes the fragment under construction.
+func (p *stagePlanner) cut(root sql.LogicalPlan, out ExchangeKind, hashCols []int, fc *fragCtx) *Fragment {
+	f := &Fragment{
+		ID:              p.nextID,
+		Root:            root,
+		Out:             out,
+		HashCols:        hashCols,
+		Inputs:          fc.inputs,
+		PartitionedScan: fc.partScan,
+		ReadsHash:       fc.readsHash,
+		TailLimit:       -1,
+	}
+	p.nextID++
+	return f
+}
+
+// assemble builds node's fragment-local plan, cutting child fragments at
+// exchange boundaries.
+func (p *stagePlanner) assemble(node sql.LogicalPlan, fc *fragCtx) (sql.LogicalPlan, error) {
+	switch n := node.(type) {
+	case *sql.LScan:
+		// The physical planner partitions the first (probe-lineage) scan of
+		// a fragment across tasks; the stage planner guarantees at most one
+		// scan per fragment.
+		fc.partScan = true
+		return n, nil
+
+	case *sql.LFilter:
+		c, err := p.assemble(n.Child, fc)
+		if err != nil {
+			return nil, err
+		}
+		return &sql.LFilter{Child: c, Pred: n.Pred}, nil
+
+	case *sql.LProject:
+		c, err := p.assemble(n.Child, fc)
+		if err != nil {
+			return nil, err
+		}
+		return &sql.LProject{Child: c, Exprs: n.Exprs, Names: n.Names}, nil
+
+	case *sql.LAggregate:
+		// Split into partial (map side) and final (reduce side) across a
+		// hash exchange on the grouping keys. Keyless aggregations exchange
+		// everything to partition 0.
+		childFC := &fragCtx{}
+		c, err := p.assemble(n.Child, childFC)
+		if err != nil {
+			return nil, err
+		}
+		partial, err := newPartialAgg(c, n)
+		if err != nil {
+			return nil, err
+		}
+		keyCols := make([]int, len(n.Keys))
+		for i := range keyCols {
+			keyCols[i] = i // partial schema leads with the grouping keys
+		}
+		pf := p.cut(partial, ExchangeHash, keyCols, childFC)
+		fc.inputs = append(fc.inputs, pf)
+		fc.readsHash = true
+		return &FinalAggPlan{Child: &ExchangeRead{Frag: pf}, Agg: n}, nil
+
+	case *sql.LJoin:
+		return p.assembleJoin(n, fc)
+
+	default:
+		// Interior sorts/limits, cross joins, and unknown nodes cannot be
+		// staged; the caller runs the whole plan single-task.
+		return nil, fmt.Errorf("catalyst: cannot stage %T", node)
+	}
+}
+
+// assembleJoin picks the join's exchange strategy: broadcast the build
+// side when it is small (or when the keys are not plain columns), else
+// hash-partition both sides on the join keys.
+func (p *stagePlanner) assembleJoin(n *sql.LJoin, fc *fragCtx) (sql.LogicalPlan, error) {
+	leftCols, rightCols, keyed := joinKeyCols(n)
+	bcast := p.cfg.broadcastRows()
+	if !keyed || (bcast >= 0 && estimateRows(n.Right) <= bcast) {
+		// Broadcast join: the probe side stays in this fragment (parallel
+		// probe); the build side becomes its own stage whose output is
+		// replicated to every probe task.
+		left, err := p.assemble(n.Left, fc)
+		if err != nil {
+			return nil, err
+		}
+		rfc := &fragCtx{}
+		right, err := p.assemble(n.Right, rfc)
+		if err != nil {
+			return nil, err
+		}
+		bf := p.cut(right, ExchangeBroadcast, nil, rfc)
+		fc.inputs = append(fc.inputs, bf)
+		return &sql.LJoin{
+			Left:     left,
+			Right:    &ExchangeRead{Frag: bf, Broadcast: true},
+			Kind:     n.Kind,
+			LeftKeys: n.LeftKeys, RightKeys: n.RightKeys,
+			Residual: n.Residual,
+		}, nil
+	}
+
+	// Shuffle join: hash-partition both sides on the join keys so partition
+	// i of the probe side meets partition i of the build side in one task.
+	lfc := &fragCtx{}
+	left, err := p.assemble(n.Left, lfc)
+	if err != nil {
+		return nil, err
+	}
+	lf := p.cut(left, ExchangeHash, leftCols, lfc)
+	rfc := &fragCtx{}
+	right, err := p.assemble(n.Right, rfc)
+	if err != nil {
+		return nil, err
+	}
+	rf := p.cut(right, ExchangeHash, rightCols, rfc)
+	fc.inputs = append(fc.inputs, lf, rf)
+	fc.readsHash = true
+	return &sql.LJoin{
+		Left:     &ExchangeRead{Frag: lf},
+		Right:    &ExchangeRead{Frag: rf},
+		Kind:     n.Kind,
+		LeftKeys: n.LeftKeys, RightKeys: n.RightKeys,
+		Residual: n.Residual,
+	}, nil
+}
+
+// joinKeyCols extracts plain-column join keys; a shuffle join needs raw
+// column ordinals to hash-partition both inputs identically.
+func joinKeyCols(n *sql.LJoin) (left, right []int, ok bool) {
+	for i := range n.LeftKeys {
+		lc, lok := n.LeftKeys[i].(*expr.ColRef)
+		rc, rok := n.RightKeys[i].(*expr.ColRef)
+		if !lok || !rok {
+			return nil, nil, false
+		}
+		left = append(left, lc.Idx)
+		right = append(right, rc.Idx)
+	}
+	return left, right, len(left) > 0
+}

@@ -1,0 +1,220 @@
+package catalyst
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"photon/internal/expr"
+	"photon/internal/sql"
+	"photon/internal/tpch"
+)
+
+// stagePlan parses/optimizes a query and runs the stage planner.
+func stagePlan(t *testing.T, query string, cfg StageConfig) (*Fragment, error) {
+	t.Helper()
+	cat := fixture(t)
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	plan, err := sql.Analyze(cat, stmt)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	plan, err = Optimize(plan)
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	return PlanStages(plan, cfg)
+}
+
+func TestPlanStagesAggregate(t *testing.T) {
+	frag, err := stagePlan(t, "SELECT c_name, count(*) FROM customer GROUP BY c_name",
+		StageConfig{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := frag.NumFragments(); got != 2 {
+		t.Fatalf("fragments = %d, want 2\n%s", got, frag.Explain())
+	}
+	if frag.Out != ExchangeGather || !frag.ReadsHash {
+		t.Fatalf("root fragment: out=%v readsHash=%v", frag.Out, frag.ReadsHash)
+	}
+	partial := frag.Inputs[0]
+	if partial.Out != ExchangeHash || !partial.PartitionedScan {
+		t.Fatalf("partial fragment: out=%v partScan=%v", partial.Out, partial.PartitionedScan)
+	}
+	if len(partial.HashCols) != 1 || partial.HashCols[0] != 0 {
+		t.Fatalf("partial hash cols = %v, want [0]", partial.HashCols)
+	}
+	// The root fragment finishes the aggregation (possibly under a
+	// projection); the input fragment emits partial states.
+	if out := sql.ExplainPlan(frag.Root); !strings.Contains(out, "FinalAgg") {
+		t.Fatalf("root plan missing FinalAgg:\n%s", out)
+	}
+	if _, ok := partial.Root.(*PartialAggPlan); !ok {
+		t.Fatalf("partial plan = %T, want *PartialAggPlan", partial.Root)
+	}
+}
+
+func TestPlanStagesBroadcastJoin(t *testing.T) {
+	frag, err := stagePlan(t,
+		"SELECT c_name, o_price FROM orders JOIN customer ON o_orderid = c_orderid",
+		StageConfig{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small build side broadcasts: probe stays in the root fragment.
+	if got := frag.NumFragments(); got != 2 {
+		t.Fatalf("fragments = %d, want 2\n%s", got, frag.Explain())
+	}
+	if !frag.PartitionedScan {
+		t.Fatal("probe fragment should own the partitioned scan")
+	}
+	build := frag.Inputs[0]
+	if build.Out != ExchangeBroadcast {
+		t.Fatalf("build fragment out = %v, want broadcast", build.Out)
+	}
+}
+
+func TestPlanStagesShuffleJoin(t *testing.T) {
+	frag, err := stagePlan(t,
+		"SELECT c_name, o_price FROM orders JOIN customer ON o_orderid = c_orderid",
+		StageConfig{Parallelism: 4, BroadcastRows: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Broadcast disabled: both sides hash-partition on the join key.
+	if got := frag.NumFragments(); got != 3 {
+		t.Fatalf("fragments = %d, want 3\n%s", got, frag.Explain())
+	}
+	if !frag.ReadsHash || frag.PartitionedScan {
+		t.Fatalf("join fragment: readsHash=%v partScan=%v", frag.ReadsHash, frag.PartitionedScan)
+	}
+	for _, in := range frag.Inputs {
+		if in.Out != ExchangeHash {
+			t.Fatalf("join input out = %v, want hash", in.Out)
+		}
+		if len(in.HashCols) != 1 {
+			t.Fatalf("join input hash cols = %v", in.HashCols)
+		}
+		if !in.PartitionedScan {
+			t.Fatal("join input should scan partitioned")
+		}
+	}
+}
+
+func TestPlanStagesSortLimitTail(t *testing.T) {
+	frag, err := stagePlan(t,
+		"SELECT c_name, c_age FROM customer ORDER BY c_age DESC LIMIT 7",
+		StageConfig{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := frag.NumFragments(); got != 1 {
+		t.Fatalf("fragments = %d, want 1\n%s", got, frag.Explain())
+	}
+	if len(frag.MergeKeys) != 1 || !frag.MergeKeys[0].Desc {
+		t.Fatalf("merge keys = %v", frag.MergeKeys)
+	}
+	if frag.TailLimit != 7 {
+		t.Fatalf("tail limit = %d, want 7", frag.TailLimit)
+	}
+	if !frag.PartitionedScan {
+		t.Fatal("sort fragment should scan partitioned")
+	}
+	// The per-task plan must retain Sort+Limit so each task emits an
+	// ordered superset of its global contribution.
+	if _, ok := frag.Root.(*sql.LLimit); !ok {
+		t.Fatalf("root plan = %T, want *sql.LLimit", frag.Root)
+	}
+}
+
+func TestPlanStagesUnstageable(t *testing.T) {
+	// Interior sorts (not part of the driver tail) cannot split.
+	cat := fixture(t)
+	stmt, _ := sql.Parse("SELECT c_name FROM customer ORDER BY c_name")
+	plan, err := sql.Analyze(cat, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, _ = Optimize(plan)
+	sc := plan.Schema()
+	wrapped := &sql.LProject{
+		Child: plan,
+		Exprs: []expr.Expr{expr.Col(0, sc.Field(0).Name, sc.Field(0).Type)},
+		Names: []string{sc.Field(0).Name},
+	}
+	if _, err := PlanStages(wrapped, StageConfig{Parallelism: 4}); err == nil {
+		t.Fatal("interior sort staged without error")
+	}
+}
+
+// TestPlanStagesTPCH pins the multi-stage shapes of representative TPC-H
+// queries: every query must stage, and the join-heavy and global-sort
+// shapes must decompose into multiple parallel fragments.
+func TestPlanStagesTPCH(t *testing.T) {
+	cat := tpch.NewGen(0.002).Generate()
+	wantMin := map[int]int{
+		1: 2, // split aggregation
+		3: 4, // joins + aggregation + sort tail
+		5: 6, // six-table join plus aggregation
+		6: 2, // keyless aggregation
+	}
+	for _, q := range tpch.QueryNumbers() {
+		stmt, err := sql.Parse(tpch.Queries[q])
+		if err != nil {
+			t.Fatalf("Q%d parse: %v", q, err)
+		}
+		plan, err := sql.Analyze(cat, stmt)
+		if err != nil {
+			t.Fatalf("Q%d analyze: %v", q, err)
+		}
+		plan, err = Optimize(plan)
+		if err != nil {
+			t.Fatalf("Q%d optimize: %v", q, err)
+		}
+		frag, err := PlanStages(plan, StageConfig{Parallelism: 4})
+		if err != nil {
+			t.Errorf("Q%d: not staged: %v", q, err)
+			continue
+		}
+		if m := wantMin[q]; m > 0 && frag.NumFragments() < m {
+			t.Errorf("Q%d: %d fragments, want >= %d\n%s", q, frag.NumFragments(), m, frag.Explain())
+		}
+		if !strings.Contains(frag.Explain(), "Stage 0") {
+			t.Errorf("Q%d: explain missing stage header:\n%s", q, frag.Explain())
+		}
+	}
+}
+
+func TestStageConfigBroadcastRows(t *testing.T) {
+	for _, tc := range []struct {
+		in   int64
+		want int64
+	}{{0, DefaultBroadcastRows}, {-1, -1}, {100, 100}} {
+		if got := (StageConfig{BroadcastRows: tc.in}).broadcastRows(); got != tc.want {
+			t.Errorf("broadcastRows(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestFragmentExplain(t *testing.T) {
+	frag, err := stagePlan(t,
+		"SELECT c_name, count(*) FROM orders JOIN customer ON o_orderid = c_orderid GROUP BY c_name",
+		StageConfig{Parallelism: 4, BroadcastRows: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := frag.Explain()
+	for _, want := range []string{"out=hash", "out=gather", "ShuffleRead", "PartialAgg", "FinalAgg"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+	if frag.NumFragments() != 4 {
+		t.Errorf("fragments = %d, want 4\n%s", frag.NumFragments(), out)
+	}
+	_ = fmt.Sprint(frag.Out) // String coverage
+}

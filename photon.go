@@ -81,9 +81,15 @@ type Config struct {
 	MemoryLimit int64
 	// SpillDir receives spill and shuffle files ("" = temp dirs).
 	SpillDir string
-	// Parallelism > 1 executes aggregation queries as distributed
-	// map/shuffle/reduce jobs on the task scheduler.
+	// Parallelism > 1 executes every query as a DAG of parallel stages on
+	// the task scheduler: partitioned scans, shuffle/broadcast joins, split
+	// aggregations, parallel DISTINCT, and two-phase parallel sorts.
+	// Queries the stage planner cannot split fall back to a single task.
 	Parallelism int
+	// BroadcastRows caps the estimated build-side row count for broadcast
+	// hash joins; larger build sides shuffle both inputs instead. 0 uses
+	// the default (4Mi rows); negative disables broadcast joins.
+	BroadcastRows int64
 	// DisableCompaction turns off adaptive join batch compaction (§4.6).
 	DisableCompaction bool
 	// DisableAdaptivity turns off batch-level adaptivity (ASCII fast
@@ -294,6 +300,7 @@ func (s *Session) SQL(query string) (*Result, error) {
 		Mem:               s.mm,
 		BatchSize:         s.cfg.BatchSize,
 		Config:            s.plannerConfig(),
+		BroadcastRows:     s.cfg.BroadcastRows,
 		DisableCompaction: s.cfg.DisableCompaction,
 		DisableAdaptivity: s.cfg.DisableAdaptivity,
 	})
