@@ -6,6 +6,7 @@ package photon
 // tables; these testing.B entry points integrate with `go test -bench`.
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -166,7 +167,7 @@ LIMIT 100`
 			dir := b.TempDir()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				rows, _, err := driver.Run(plan, driver.Options{Parallelism: par, ShuffleDir: dir})
+				rows, _, err := driver.Run(context.Background(), plan, driver.Options{Parallelism: par, ShuffleDir: dir})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -1,0 +1,399 @@
+package photon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"photon/internal/mem"
+	"photon/internal/tpch"
+)
+
+// tpchSession builds a session over a generated TPC-H catalog at the given
+// scale factor (internal test: the catalog is installed directly).
+func tpchSession(sf float64, cfg Config) *Session {
+	sess := NewSession(cfg)
+	sess.cat = tpch.NewGen(sf).Generate()
+	return sess
+}
+
+// renderSorted normalizes rows for order-insensitive comparison.
+func renderSorted(rows [][]any) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprint(r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// base+slack, failing the test if it never does (goroutine leak).
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+3 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutine leak: %d goroutines, started with %d", runtime.NumGoroutine(), base)
+}
+
+// assertNoShuffleFiles asserts the session spill dir holds no leftover
+// per-query directories or files.
+func assertNoShuffleFiles(t *testing.T, dir string) {
+	t.Helper()
+	var leftovers []string
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && path != dir {
+			leftovers = append(leftovers, path)
+		}
+		return nil
+	})
+	if len(leftovers) > 0 {
+		t.Errorf("shuffle/spill files leaked: %v", leftovers)
+	}
+}
+
+// TestConcurrentStressTPCH is the acceptance stress test: >= 8 concurrent
+// TPC-H queries per session across 2 sessions, with admission control
+// capping in-flight queries, mixed cancellations and timeouts, under
+// -race. Every uncancelled query must return the sequential baseline
+// result; afterwards no goroutines, shuffle files, or memory reservations
+// may remain.
+func TestConcurrentStressTPCH(t *testing.T) {
+	queries := []int{1, 3, 5, 6, 10, 12, 14, 19}
+	const workersPerSession = 10 // >= 8 concurrent queries per session
+	const cap = 4
+
+	baseGoroutines := runtime.NumGoroutine()
+
+	// Sequential baseline at Parallelism 1.
+	baseSess := tpchSession(0.005, Config{})
+	baseline := map[int][]string{}
+	for _, q := range queries {
+		res, err := baseSess.SQL(tpch.Queries[q])
+		if err != nil {
+			t.Fatalf("baseline Q%d: %v", q, err)
+		}
+		baseline[q] = renderSorted(res.Rows)
+	}
+
+	type sessionUnderTest struct {
+		sess *Session
+		dir  string
+	}
+	var suts []sessionUnderTest
+	for i := 0; i < 2; i++ {
+		dir := t.TempDir()
+		suts = append(suts, sessionUnderTest{
+			sess: tpchSession(0.005, Config{
+				Parallelism:          4,
+				SpillDir:             dir,
+				MaxConcurrentQueries: cap,
+			}),
+			dir: dir,
+		})
+	}
+
+	var wg sync.WaitGroup
+	var completed, cancelled atomic.Int64
+	var overCap atomic.Bool
+	stop := make(chan struct{})
+	// Watchdog: the gate must never admit more than `cap` queries at once.
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, sut := range suts {
+				if sut.sess.gate.Running() > cap {
+					overCap.Store(true)
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	for si, sut := range suts {
+		for w := 0; w < workersPerSession; w++ {
+			wg.Add(1)
+			go func(si, w int, sut sessionUnderTest) {
+				defer wg.Done()
+				for i := 0; i < 3; i++ {
+					q := queries[(w+i)%len(queries)]
+					ctx := context.Background()
+					mode := (w + i) % 5
+					var cancel context.CancelFunc
+					switch mode {
+					case 3: // aggressive timeout: likely cancels mid-run
+						ctx, cancel = context.WithTimeout(ctx, 2*time.Millisecond)
+					case 4: // pre-cancelled
+						ctx, cancel = context.WithCancel(ctx)
+						cancel()
+					}
+					res, err := sut.sess.SQLContext(ctx, tpch.Queries[q])
+					if cancel != nil {
+						cancel()
+					}
+					switch {
+					case err == nil:
+						completed.Add(1)
+						if got := renderSorted(res.Rows); !equalStrings(got, baseline[q]) {
+							t.Errorf("session %d worker %d Q%d: wrong result (%d rows, want %d)",
+								si, w, q, len(got), len(baseline[q]))
+						}
+					case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+						cancelled.Add(1)
+					default:
+						t.Errorf("session %d worker %d Q%d: %v", si, w, q, err)
+					}
+				}
+			}(si, w, sut)
+		}
+	}
+	wg.Wait()
+	close(stop)
+
+	if overCap.Load() {
+		t.Error("admission control exceeded MaxConcurrentQueries")
+	}
+	if completed.Load() == 0 {
+		t.Error("no query completed")
+	}
+	if cancelled.Load() == 0 {
+		t.Error("no query was cancelled (pre-cancelled contexts must cancel)")
+	}
+	t.Logf("completed=%d cancelled=%d", completed.Load(), cancelled.Load())
+
+	for _, sut := range suts {
+		if used := sut.sess.mm.Used(); used != 0 {
+			t.Errorf("session leaked %d reserved bytes", used)
+		}
+		assertNoShuffleFiles(t, sut.dir)
+	}
+	waitGoroutines(t, baseGoroutines)
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCancellationPerExchangeShape cancels a query mid-flight for each
+// exchange shape — shuffle join, broadcast join, global sort — and asserts
+// the error surfaces as cancellation, the full memory reservation is
+// released, no shuffle files survive, and no goroutines leak.
+func TestCancellationPerExchangeShape(t *testing.T) {
+	const joinQ = `SELECT o_orderpriority, count(*) FROM orders, lineitem
+WHERE o_orderkey = l_orderkey AND l_extendedprice > 100 GROUP BY o_orderpriority`
+	const sortQ = `SELECT l_orderkey, l_extendedprice FROM lineitem ORDER BY l_extendedprice DESC, l_orderkey`
+
+	shapes := []struct {
+		name  string
+		query string
+		cfg   Config
+	}{
+		{"shuffle-join", joinQ, Config{Parallelism: 4, BroadcastRows: -1}},
+		{"broadcast-join", joinQ, Config{Parallelism: 4}},
+		{"global-sort", sortQ, Config{Parallelism: 4}},
+	}
+
+	cat := tpch.NewGen(0.05).Generate() // big enough that queries run for tens of ms
+	for _, shape := range shapes {
+		t.Run(shape.name, func(t *testing.T) {
+			baseGoroutines := runtime.NumGoroutine()
+			dir := t.TempDir()
+			cfg := shape.cfg
+			cfg.SpillDir = dir
+			sess := NewSession(cfg)
+			sess.cat = cat
+
+			// Uncancelled control run: the shape works and takes real time.
+			start := time.Now()
+			if _, err := sess.SQLContext(context.Background(), shape.query); err != nil {
+				t.Fatalf("control run: %v", err)
+			}
+			full := time.Since(start)
+
+			// Cancel mid-flight at ~10% of the control runtime.
+			ctx, cancel := context.WithTimeout(context.Background(), full/10+time.Millisecond)
+			_, err := sess.SQLContext(ctx, shape.query)
+			cancel()
+			if err == nil {
+				t.Fatalf("query outran its %s timeout (control took %s); cancellation untested",
+					full/10, full)
+			}
+			if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want cancellation", err)
+			}
+
+			// Whole reservation released, no shuffle files, no goroutines.
+			if used := sess.mm.Used(); used != 0 {
+				t.Errorf("leaked %d reserved bytes after cancel", used)
+			}
+			assertNoShuffleFiles(t, dir)
+			waitGoroutines(t, baseGoroutines)
+		})
+	}
+}
+
+// TestAdmissionQueueAndReject covers the gate's queue-or-reject modes.
+func TestAdmissionQueueAndReject(t *testing.T) {
+	t.Run("reject-at-capacity", func(t *testing.T) {
+		sess := tpchSession(0.01, Config{
+			Parallelism:          2,
+			MaxConcurrentQueries: 1,
+			AdmissionQueue:       -1,
+		})
+		release := make(chan struct{})
+		started := make(chan struct{})
+		var firstErr error
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Manually hold the gate to simulate a long-running query.
+			if err := sess.gate.admit(context.Background()); err != nil {
+				firstErr = err
+				close(started)
+				return
+			}
+			close(started)
+			<-release
+			sess.gate.release()
+		}()
+		<-started
+		if firstErr != nil {
+			t.Fatal(firstErr)
+		}
+		_, err := sess.SQLContext(context.Background(), tpch.Queries[6])
+		if !errors.Is(err, ErrQueryRejected) {
+			t.Errorf("err = %v, want ErrQueryRejected", err)
+		}
+		close(release)
+		wg.Wait()
+		// After release, queries are admitted again.
+		if _, err := sess.SQLContext(context.Background(), tpch.Queries[6]); err != nil {
+			t.Errorf("post-release query failed: %v", err)
+		}
+	})
+
+	t.Run("fifo-queue", func(t *testing.T) {
+		sess := tpchSession(0.01, Config{
+			Parallelism:          2,
+			MaxConcurrentQueries: 2,
+		})
+		// 6 concurrent queries through a 2-wide gate: all succeed, some wait.
+		var wg sync.WaitGroup
+		var queuedSome atomic.Bool
+		for i := 0; i < 6; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, stats, err := sess.SQLContextStats(context.Background(), tpch.Queries[1])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if stats.Queued > 500*time.Microsecond {
+					queuedSome.Store(true)
+				}
+			}()
+		}
+		wg.Wait()
+		if !queuedSome.Load() {
+			t.Log("note: no query observed measurable admission wait (fast machine)")
+		}
+	})
+
+	t.Run("min-memory-predicate", func(t *testing.T) {
+		mm := mem.NewManager(1000)
+		gate := newAdmission(Config{MinQueryMemory: 600}, mm)
+		hog := &mem.FuncConsumer{ConsumerName: "hog"}
+		if err := mm.Reserve(hog, 700); err != nil {
+			t.Fatal(err)
+		}
+		// 300 available < 600 required: admit must not succeed now.
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		defer cancel()
+		if err := gate.admit(ctx); err == nil {
+			t.Fatal("admitted despite insufficient reservable memory")
+		}
+		mm.ReleaseAll(hog)
+		if err := gate.admit(context.Background()); err != nil {
+			t.Fatalf("admit after memory freed: %v", err)
+		}
+		gate.release()
+	})
+}
+
+// TestQueryTimeoutConfig: Config.QueryTimeout cancels long queries.
+func TestQueryTimeoutConfig(t *testing.T) {
+	sess := tpchSession(0.05, Config{
+		Parallelism:  4,
+		QueryTimeout: 2 * time.Millisecond,
+	})
+	_, err := sess.SQLContext(context.Background(), tpch.Queries[1])
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if used := sess.mm.Used(); used != 0 {
+		t.Errorf("leaked %d reserved bytes after timeout", used)
+	}
+}
+
+// TestLifecycleStats: SQLContextStats reports the lifecycle phases and the
+// per-query memory peak.
+func TestLifecycleStats(t *testing.T) {
+	sess := tpchSession(0.01, Config{Parallelism: 4, SpillDir: t.TempDir()})
+	res, stats, err := sess.SQLContextStats(context.Background(), tpch.Queries[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Error("no rows")
+	}
+	if stats.Planning <= 0 || stats.Running <= 0 {
+		t.Errorf("missing phase durations: %+v", stats)
+	}
+	if stats.Stages < 2 {
+		t.Errorf("stages = %d, want >= 2 for a split aggregation", stats.Stages)
+	}
+	if stats.SlotsHeldPeak < 1 {
+		t.Errorf("SlotsHeldPeak = %d, want >= 1", stats.SlotsHeldPeak)
+	}
+	if stats.PeakReservedBytes <= 0 {
+		t.Errorf("PeakReservedBytes = %d, want > 0", stats.PeakReservedBytes)
+	}
+	// Profile surfaces the same lifecycle report.
+	p, err := sess.SQLWithProfileContext(context.Background(), tpch.Queries[6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lifecycle == nil || p.Lifecycle.Running <= 0 {
+		t.Errorf("profile lifecycle missing: %+v", p.Lifecycle)
+	}
+	if p.Lifecycle.String() == "" {
+		t.Error("empty lifecycle string")
+	}
+}

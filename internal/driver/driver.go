@@ -8,6 +8,7 @@
 package driver
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -33,17 +34,40 @@ type Options struct {
 	// BroadcastRows is the broadcast-join build-side ceiling passed to the
 	// stage planner (0 = default, negative = never broadcast).
 	BroadcastRows int64
+	// Pool is the executor slot pool shared by concurrent queries; nil
+	// uses a private pool of Parallelism slots (single-query behavior).
+	Pool *sched.Pool
+	// Stats, when non-nil, receives the query's run statistics.
+	Stats *RunStats
+	// SharedVectors marks table vectors as shared across concurrent
+	// queries/tasks: per-vector metadata caches are computed per call
+	// instead of written back. Required whenever two queries can touch
+	// the same registered tables concurrently.
+	SharedVectors bool
 	// Adaptivity switches (ablation/experiments).
 	DisableCompaction bool
 	DisableAdaptivity bool
 }
 
-// newTaskCtx builds a task context honoring the options.
-func (o *Options) newTaskCtx() *exec.TaskCtx {
+// RunStats reports one query run's scheduling footprint.
+type RunStats struct {
+	// SlotsHeldPeak is the maximum number of executor slots held at once
+	// (0 for single-task runs, which execute inline).
+	SlotsHeldPeak int
+	// Stages is the number of scheduler stages the query planned (1 for
+	// single-task runs).
+	Stages int
+}
+
+// newTaskCtx builds a task context honoring the options; ctx is the query
+// context operators observe at batch boundaries.
+func (o *Options) newTaskCtx(ctx context.Context) *exec.TaskCtx {
 	tc := exec.NewTaskCtx(o.Mem, o.BatchSize)
+	tc.Ctx = ctx
 	tc.SpillDir = o.ShuffleDir
 	tc.EnableCompaction = !o.DisableCompaction
 	tc.Expr.Adaptive = !o.DisableAdaptivity
+	tc.Expr.SharedVectors = o.SharedVectors
 	return tc
 }
 
@@ -56,13 +80,29 @@ func nextExchangeID() string {
 	return fmt.Sprintf("x%d", shuffleSeq.Add(1))
 }
 
-// Run executes the plan. Parallelism <= 1 runs as a single task; otherwise
-// the stage planner decomposes the plan into an exchange DAG and every
-// stage runs as parallel tasks. Plans the stage planner cannot split (and
-// configurations that need the row-engine fallback) run single-task.
-func Run(plan sql.LogicalPlan, opts Options) ([][]any, *types.Schema, error) {
+// Run executes the plan under ctx. Parallelism <= 1 runs as a single task;
+// otherwise the stage planner decomposes the plan into an exchange DAG and
+// every stage runs as parallel tasks on the (possibly shared) slot pool.
+// Plans the stage planner cannot split (and configurations that need the
+// row-engine fallback) run single-task.
+//
+// Every run works inside a private per-query spill/shuffle directory that
+// is removed before Run returns — success, error, or cancellation — so no
+// query can leak shuffle or spill files.
+func Run(ctx context.Context, plan sql.LogicalPlan, opts Options) ([][]any, *types.Schema, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	dir, err := queryDir(opts.ShuffleDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Guaranteed cleanup on every exit path (cancel, error, success).
+	defer os.RemoveAll(dir)
+	opts.ShuffleDir = dir
+
 	if opts.Parallelism <= 1 || !distributable(opts.Config) {
-		return runSingle(plan, opts)
+		return runSingle(ctx, plan, opts)
 	}
 	frag, err := catalyst.PlanStages(plan, catalyst.StageConfig{
 		Parallelism:   opts.Parallelism,
@@ -70,9 +110,18 @@ func Run(plan sql.LogicalPlan, opts Options) ([][]any, *types.Schema, error) {
 	})
 	if err != nil {
 		// Unstageable shape (interior sort, cross join, ...): one task.
-		return runSingle(plan, opts)
+		return runSingle(ctx, plan, opts)
 	}
-	return runStaged(frag, opts)
+	return runStaged(ctx, frag, opts)
+}
+
+// queryDir creates the query's private spill/shuffle directory under base
+// ("" = system temp).
+func queryDir(base string) (string, error) {
+	if base == "" {
+		return os.MkdirTemp("", "photon-query-*")
+	}
+	return os.MkdirTemp(base, "query-*")
 }
 
 // distributable reports whether the config can run pure-Photon fragments:
@@ -91,8 +140,11 @@ func distributable(cfg catalyst.Config) bool {
 }
 
 // runSingle executes the whole plan in one task.
-func runSingle(plan sql.LogicalPlan, opts Options) ([][]any, *types.Schema, error) {
-	tc := opts.newTaskCtx()
+func runSingle(ctx context.Context, plan sql.LogicalPlan, opts Options) ([][]any, *types.Schema, error) {
+	if opts.Stats != nil {
+		*opts.Stats = RunStats{Stages: 1}
+	}
+	tc := opts.newTaskCtx(ctx)
 	ex, err := catalyst.Build(plan, opts.Config, tc)
 	if err != nil {
 		return nil, nil, err
@@ -135,30 +187,30 @@ type stagedJob struct {
 }
 
 // runStaged executes the fragment DAG.
-func runStaged(root *catalyst.Fragment, opts Options) ([][]any, *types.Schema, error) {
-	dir := opts.ShuffleDir
-	if dir == "" {
-		d, err := os.MkdirTemp("", "photon-shuffle-*")
-		if err != nil {
-			return nil, nil, err
-		}
-		defer os.RemoveAll(d)
-		dir = d
-	}
+func runStaged(ctx context.Context, root *catalyst.Fragment, opts Options) ([][]any, *types.Schema, error) {
 	if opts.Mem == nil {
 		opts.Mem = mem.NewManager(0)
 	}
 	j := &stagedJob{
 		opts:   opts,
-		dir:    dir,
+		dir:    opts.ShuffleDir,
 		par:    opts.Parallelism,
 		stages: map[*catalyst.Fragment]*stageInfo{},
 	}
 	rootInfo := j.stageFor(root)
 	j.results = make([][]*vector.Batch, rootInfo.stage.NumTasks)
 
-	drv := sched.NewDriver(j.par)
-	if err := drv.RunJob(rootInfo.stage); err != nil {
+	var drv *sched.Driver
+	if opts.Pool != nil {
+		drv = sched.NewDriverOnPool(opts.Pool)
+	} else {
+		drv = sched.NewDriver(j.par)
+	}
+	jobStats, err := drv.RunJobStats(ctx, rootInfo.stage)
+	if opts.Stats != nil {
+		*opts.Stats = RunStats{SlotsHeldPeak: jobStats.SlotsHeldPeak, Stages: len(j.stages)}
+	}
+	if err != nil {
 		return nil, nil, err
 	}
 
@@ -216,7 +268,7 @@ func (j *stagedJob) stageFor(f *catalyst.Fragment) *stageInfo {
 		Name:     fmt.Sprintf("stage-%d-%s", f.ID, f.Out),
 		NumTasks: numTasks,
 		Deps:     deps,
-		Run:      func(taskID int) error { return j.runTask(si, taskID) },
+		Run:      func(ctx context.Context, taskID int) error { return j.runTask(ctx, si, taskID) },
 	}
 	return si
 }
@@ -260,8 +312,10 @@ func (j *stagedJob) assignmentsFor(si *stageInfo) [][]int {
 
 // runTask executes one task of a stage: build the fragment's operator tree
 // (exchange leaves resolve to this task's shuffle/broadcast readers), then
-// dispose of the output per the fragment's exchange kind.
-func (j *stagedJob) runTask(si *stageInfo, taskID int) error {
+// dispose of the output per the fragment's exchange kind. ctx is the job's
+// context: operators observe it at batch boundaries, so a cancelled query
+// stops within one batch.
+func (j *stagedJob) runTask(ctx context.Context, si *stageInfo, taskID int) error {
 	f := si.frag
 
 	var parts []int // hash partitions this task consumes
@@ -279,7 +333,7 @@ func (j *stagedJob) runTask(si *stageInfo, taskID int) error {
 		cfg.ScanPartitions = si.stage.NumTasks
 		cfg.ScanPartition = taskID
 	}
-	tc := j.opts.newTaskCtx()
+	tc := j.opts.newTaskCtx(ctx)
 	tc.SpillDir = j.dir
 	// Tasks of one stage share in-memory table batches read-only.
 	tc.Expr.SharedVectors = true

@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sort"
@@ -71,7 +72,7 @@ func runTPCH(t *testing.T, cat *catalog.Catalog, q int, opts Options) [][]any {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, _, err := Run(plan, opts)
+	rows, _, err := Run(context.Background(), plan, opts)
 	if err != nil {
 		t.Fatalf("Q%d (par=%d): %v", q, opts.Parallelism, err)
 	}

@@ -72,6 +72,11 @@ func (s *ShuffleWriteOp) Next() (*vector.Batch, error) {
 	}
 	err := s.timed(func() error {
 		for {
+			// Batch-boundary cancellation check: a cancelled query stops
+			// writing shuffle output within one batch.
+			if err := s.tc.Cancelled(); err != nil {
+				return err
+			}
 			b, err := s.child.Next()
 			if err != nil {
 				return err
@@ -151,6 +156,10 @@ func (e *exchangeRead) Next() (*vector.Batch, error) {
 			e.buf = vector.NewBatch(e.schema, max(e.tc.Pool.BatchSize(), vector.DefaultBatchSize))
 		}
 		for e.idx < len(e.srcs) {
+			// Batch-boundary cancellation check (shuffle/broadcast read).
+			if err := e.tc.Cancelled(); err != nil {
+				return err
+			}
 			ok, err := e.srcs[e.idx].Next(e.buf)
 			if err != nil {
 				return err

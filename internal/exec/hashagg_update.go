@@ -19,6 +19,10 @@ import (
 // consumeInput drains the child, updating aggregation states batch by batch.
 func (op *HashAggOp) consumeInput() error {
 	for {
+		// Batch-boundary cancellation check (build side of the agg).
+		if err := op.tc.Cancelled(); err != nil {
+			return err
+		}
 		b, err := op.child.Next()
 		if err != nil {
 			return err

@@ -209,6 +209,10 @@ func (op *HashJoinOp) ensureCap(n int) {
 // build consumes the build (right) side.
 func (op *HashJoinOp) build() error {
 	for {
+		// Batch-boundary cancellation check (join build side).
+		if err := op.tc.Cancelled(); err != nil {
+			return err
+		}
 		b, err := op.right.Next()
 		if err != nil {
 			return err

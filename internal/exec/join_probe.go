@@ -61,6 +61,10 @@ func (op *HashJoinOp) probeNext() (*vector.Batch, error) {
 	}
 	op.out.Reset()
 	for {
+		// Batch-boundary cancellation check (join probe side).
+		if err := op.tc.Cancelled(); err != nil {
+			return nil, err
+		}
 		// Emit pending matches from the current probe batch.
 		if op.probeBatch != nil {
 			if op.emitMatches() {

@@ -7,6 +7,8 @@
 package exec
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -73,6 +75,12 @@ type TaskCtx struct {
 	Mem  *mem.Manager
 	Pool *mem.BatchPool
 
+	// Ctx is the query/job context. Operators check it at batch
+	// boundaries (the Cancelled helper), so a cancelled query stops
+	// within one batch of work even mid-scan, mid-build, or mid-shuffle.
+	// Nil means "never cancelled".
+	Ctx context.Context
+
 	// SpillDir receives spill files; empty disables spilling (reservations
 	// that would spill then fail).
 	SpillDir string
@@ -96,9 +104,29 @@ func NewTaskCtx(m *mem.Manager, batchSize int) *TaskCtx {
 		Expr:                expr.NewCtx(batchSize),
 		Mem:                 m,
 		Pool:                mem.NewBatchPool(batchSize),
+		Ctx:                 context.Background(),
 		EnableCompaction:    true,
 		CompactionThreshold: 0.5,
 	}
+}
+
+// Cancelled returns a non-nil error when the task's context is done — the
+// batch-boundary cancellation check. The returned error wraps the context
+// cause (so errors.Is(err, context.Canceled) holds) while naming the
+// cancellation point.
+func (tc *TaskCtx) Cancelled() error {
+	if tc == nil || tc.Ctx == nil {
+		return nil
+	}
+	if err := tc.Ctx.Err(); err != nil {
+		if cause := context.Cause(tc.Ctx); cause != nil && !errors.Is(err, cause) {
+			// Keep the ctx error in the wrap chain (so callers can match
+			// context.Canceled) but name the cancellation cause.
+			return fmt.Errorf("exec: query cancelled: %w (cause: %v)", err, cause)
+		}
+		return fmt.Errorf("exec: query cancelled: %w", err)
+	}
+	return nil
 }
 
 // NewSpillFile creates a uniquely named spill file.

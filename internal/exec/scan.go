@@ -50,6 +50,11 @@ func (s *MemScan) Open(tc *TaskCtx) error {
 func (s *MemScan) Next() (*vector.Batch, error) {
 	var out *vector.Batch
 	err := s.timed(func() error {
+		// Batch-boundary cancellation check: a cancelled query stops its
+		// scan before emitting the next batch.
+		if err := s.tc.Cancelled(); err != nil {
+			return err
+		}
 		if s.pos >= len(s.batches) {
 			return nil
 		}

@@ -205,6 +205,10 @@ func (s *SortOp) spill(need int64) (int64, error) {
 // consume drains the child into the buffer.
 func (s *SortOp) consume() error {
 	for {
+		// Batch-boundary cancellation check (sort input drain).
+		if err := s.tc.Cancelled(); err != nil {
+			return err
+		}
 		b, err := s.child.Next()
 		if err != nil {
 			return err

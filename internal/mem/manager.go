@@ -27,6 +27,12 @@ type Manager struct {
 	limit    int64
 	reserved map[Consumer]int64
 	total    int64
+	peak     int64
+
+	// Per-query scoping (see query.go): a child manager forwards its
+	// reservations to parent under the self identity.
+	parent *Manager
+	self   *childConsumer
 
 	// Metrics.
 	SpillCount   int64
@@ -80,6 +86,9 @@ func (m *Manager) Reserve(c Consumer, n int64) error {
 	if n < 0 {
 		panic("mem: negative reservation")
 	}
+	if m.parent != nil {
+		return m.reserveChild(c, n)
+	}
 	m.mu.Lock()
 	for m.total+n > m.limit {
 		need := m.total + n - m.limit
@@ -111,6 +120,9 @@ func (m *Manager) Reserve(c Consumer, n int64) error {
 	}
 	m.reserved[c] += n
 	m.total += n
+	if m.total > m.peak {
+		m.peak = m.total
+	}
 	m.mu.Unlock()
 	return nil
 }
@@ -134,6 +146,14 @@ func (m *Manager) pickVictimLocked(requester Consumer, need int64) Consumer {
 	if len(entries) == 0 {
 		return nil
 	}
+	// Per-query isolation: a query under its own memory pressure spills its
+	// own consumers before touching sibling queries (query.go). The
+	// preference applies only when the query holds enough to cover the
+	// shortfall; otherwise the standard policy may pick a sibling
+	// (recursive spill across queries, §5.3).
+	if _, isQuery := requester.(*childConsumer); isQuery && m.reserved[requester] >= need {
+		return requester
+	}
 	sort.Slice(entries, func(i, j int) bool {
 		if entries[i].n != entries[j].n {
 			return entries[i].n < entries[j].n
@@ -151,7 +171,6 @@ func (m *Manager) pickVictimLocked(requester Consumer, need int64) Consumer {
 // Release returns n bytes of c's reservation to the manager.
 func (m *Manager) Release(c Consumer, n int64) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	cur := m.reserved[c]
 	if n > cur {
 		n = cur
@@ -161,15 +180,25 @@ func (m *Manager) Release(c Consumer, n int64) {
 		delete(m.reserved, c)
 	}
 	m.total -= n
+	parent, self := m.parent, m.self
+	m.mu.Unlock()
+	if parent != nil && n > 0 {
+		parent.Release(self, n)
+	}
 }
 
 // ReleaseAll returns c's entire reservation (called on operator close, tying
 // operator state to query lifetime rather than a GC generation, §5.4).
 func (m *Manager) ReleaseAll(c Consumer) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.total -= m.reserved[c]
+	n := m.reserved[c]
+	m.total -= n
 	delete(m.reserved, c)
+	parent, self := m.parent, m.self
+	m.mu.Unlock()
+	if parent != nil && n > 0 {
+		parent.Release(self, n)
+	}
 }
 
 // FuncConsumer adapts a name and a spill function into a Consumer.

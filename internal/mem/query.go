@@ -1,0 +1,127 @@
+package mem
+
+import "fmt"
+
+// Per-query memory isolation (§5.3 in a multi-tenant service): each query
+// gets a *child* Manager scoped under the session's Manager. Operators keep
+// using the familiar Reserve/Release/ReleaseAll API against the child; the
+// child forwards every byte to the parent under a single consumer identity,
+// so:
+//
+//   - one query's pressure spills its *own* consumers first (the parent's
+//     victim policy prefers the requesting query when it holds enough);
+//   - a sibling query can still be chosen as a recursive-spill victim when
+//     the pressuring query cannot free enough on its own;
+//   - a query's death releases its whole quota atomically (Close), so no
+//     partial reservations leak past query lifetime.
+
+// childConsumer is the query's single identity on the parent manager.
+type childConsumer struct {
+	child *Manager
+	name  string
+}
+
+// Name implements Consumer.
+func (c *childConsumer) Name() string { return c.name }
+
+// Spill implements Consumer: the parent asks the query to free n bytes, and
+// the query spills among its own operators using the standard victim policy.
+func (c *childConsumer) Spill(n int64) (int64, error) { return c.child.spillOwn(n) }
+
+// Child creates a per-query memory scope under m. The returned Manager is
+// used exactly like a root manager by operators; call Close when the query
+// ends to release any remaining quota atomically.
+func (m *Manager) Child(name string) *Manager {
+	if m.parent != nil {
+		panic("mem: nested query scopes are not supported")
+	}
+	c := &Manager{
+		limit:    m.limit,
+		reserved: make(map[Consumer]int64),
+		parent:   m,
+	}
+	c.self = &childConsumer{child: c, name: "query:" + name}
+	return c
+}
+
+// Close releases the query's entire remaining reservation back to the
+// parent in one step (a query's death frees its whole quota atomically).
+// No-op on root managers.
+func (m *Manager) Close() {
+	if m.parent == nil {
+		return
+	}
+	m.mu.Lock()
+	total := m.total
+	m.total = 0
+	m.reserved = make(map[Consumer]int64)
+	m.mu.Unlock()
+	if total > 0 {
+		m.parent.Release(m.self, total)
+	}
+}
+
+// PeakBytes reports the manager's reservation high-water mark.
+func (m *Manager) PeakBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peak
+}
+
+// Available reports the bytes still reservable under the limit (resolved at
+// the root for query scopes). A point-in-time value: concurrent queries may
+// reserve or spill at any moment.
+func (m *Manager) Available() int64 {
+	if m.parent != nil {
+		return m.parent.Available()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.limit - m.total
+}
+
+// reserveChild is the child-manager Reserve path: acquire from the parent
+// under the query's identity, then record locally.
+func (m *Manager) reserveChild(c Consumer, n int64) error {
+	if err := m.parent.Reserve(m.self, n); err != nil {
+		return fmt.Errorf("mem: query %s: %w", m.self.Name(), err)
+	}
+	m.mu.Lock()
+	m.reserved[c] += n
+	m.total += n
+	if m.total > m.peak {
+		m.peak = m.total
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+// spillOwn frees at least `need` bytes by spilling the query's own
+// consumers, preferring the standard victim policy (smallest sufficient,
+// else largest). Called by the parent when this query is the victim —
+// either under its own pressure (own-first isolation) or a sibling's
+// (recursive spill).
+func (m *Manager) spillOwn(need int64) (int64, error) {
+	var freed int64
+	for freed < need {
+		m.mu.Lock()
+		victim := m.pickVictimLocked(nil, need-freed)
+		m.mu.Unlock()
+		if victim == nil {
+			break
+		}
+		f, err := victim.Spill(need - freed)
+		if err != nil {
+			return freed, err
+		}
+		if f <= 0 {
+			break
+		}
+		freed += f
+		m.mu.Lock()
+		m.SpillCount++
+		m.SpilledBytes += f
+		m.mu.Unlock()
+	}
+	return freed, nil
+}

@@ -1,0 +1,156 @@
+package sched
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Pool is a process-wide executor slot pool shared by concurrent jobs —
+// the stand-in for the fixed task-thread count of the paper's executor
+// processes (§2.2). Every task of every concurrent job acquires one slot
+// before running, so total execution parallelism is bounded regardless of
+// how many queries are in flight.
+//
+// Dispatch is fair FIFO-with-job-interleaving: when a slot frees, it goes
+// to the waiting job currently holding the *fewest* slots (FIFO order
+// breaks ties). A wide 200-task stage therefore cannot starve a small
+// 2-task query that arrived later; concurrent jobs interleave instead of
+// running strictly back-to-back.
+type Pool struct {
+	slots int
+
+	mu      sync.Mutex
+	free    int
+	waiters []*waiter // arrival (FIFO) order
+}
+
+// waiter is one task waiting for a slot.
+type waiter struct {
+	tok     *JobToken
+	ready   chan struct{}
+	granted bool
+}
+
+// JobToken identifies one job to the pool, carrying its fairness state
+// (slots currently held) and slot statistics. Create one per job with
+// Pool.NewJob and use it for every Acquire/Release of that job.
+type JobToken struct {
+	pool *Pool
+	// Guarded by pool.mu.
+	held int
+	peak int
+}
+
+// NewPool builds a slot pool (slots <= 0 means NumCPU).
+func NewPool(slots int) *Pool {
+	if slots <= 0 {
+		slots = runtime.NumCPU()
+	}
+	return &Pool{slots: slots, free: slots}
+}
+
+var (
+	defaultPoolOnce sync.Once
+	defaultPool     *Pool
+)
+
+// DefaultPool returns the process-wide slot pool (NumCPU slots), created on
+// first use. Sessions that do not configure an explicit pool share it.
+func DefaultPool() *Pool {
+	defaultPoolOnce.Do(func() { defaultPool = NewPool(0) })
+	return defaultPool
+}
+
+// Slots returns the pool's slot count.
+func (p *Pool) Slots() int { return p.slots }
+
+// NewJob registers a job with the pool.
+func (p *Pool) NewJob() *JobToken { return &JobToken{pool: p} }
+
+// SlotsHeldPeak reports the maximum number of slots the job held at once
+// (stable after the job completes).
+func (t *JobToken) SlotsHeldPeak() int {
+	t.pool.mu.Lock()
+	defer t.pool.mu.Unlock()
+	return t.peak
+}
+
+// Acquire blocks until the job is granted a slot or ctx is done.
+func (p *Pool) Acquire(ctx context.Context, tok *JobToken) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	if p.free > 0 && len(p.waiters) == 0 {
+		p.free--
+		tok.grantLocked()
+		p.mu.Unlock()
+		return nil
+	}
+	w := &waiter{tok: tok, ready: make(chan struct{})}
+	p.waiters = append(p.waiters, w)
+	p.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		if w.granted {
+			// Lost the race: a slot was assigned concurrently with
+			// cancellation. Hand it straight back.
+			p.releaseLocked(tok)
+			p.mu.Unlock()
+			return ctx.Err()
+		}
+		for i, q := range p.waiters {
+			if q == w {
+				p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+				break
+			}
+		}
+		p.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release returns the job's slot to the pool, waking the fairest waiter.
+func (p *Pool) Release(tok *JobToken) {
+	p.mu.Lock()
+	p.releaseLocked(tok)
+	p.mu.Unlock()
+}
+
+func (p *Pool) releaseLocked(tok *JobToken) {
+	tok.held--
+	p.free++
+	p.grantLocked()
+}
+
+// grantLocked hands free slots to waiters: among all waiting tasks, the one
+// whose job holds the fewest slots wins; arrival order breaks ties.
+func (p *Pool) grantLocked() {
+	for p.free > 0 && len(p.waiters) > 0 {
+		best := 0
+		for i, w := range p.waiters {
+			if w.tok.held < p.waiters[best].tok.held {
+				best = i
+			}
+		}
+		w := p.waiters[best]
+		p.waiters = append(p.waiters[:best], p.waiters[best+1:]...)
+		p.free--
+		w.tok.grantLocked()
+		w.granted = true
+		close(w.ready)
+	}
+}
+
+// grantLocked records a slot grant on the token (pool.mu held).
+func (t *JobToken) grantLocked() {
+	t.held++
+	if t.held > t.peak {
+		t.peak = t.held
+	}
+}

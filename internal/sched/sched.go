@@ -3,10 +3,16 @@
 // code over different data partitions, with blocking stage boundaries (the
 // next stage starts only after the previous ends, enabling fault tolerance
 // by task retry and adaptive decisions at boundaries). Executor slots are a
-// goroutine pool standing in for the executor processes' task threads.
+// process-wide Pool standing in for the executor processes' task threads;
+// concurrent jobs share the pool under fair FIFO-with-job-interleaving
+// dispatch. Every job carries a context.Context: cancelling it (or a
+// permanent task failure) fail-fasts the whole job — queued sibling tasks
+// are skipped, in-flight tasks observe the context at batch boundaries.
 package sched
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -15,8 +21,45 @@ import (
 	"time"
 )
 
-// Task is one unit of stage work; taskID indexes the data partition.
-type Task func(taskID int) error
+// Task is one unit of stage work; taskID indexes the data partition. The
+// context is the job's: tasks must observe cancellation promptly (operator
+// batch boundaries) and return ctx.Err().
+type Task func(ctx context.Context, taskID int) error
+
+// ErrRetryable marks an error as transient: the scheduler retries tasks
+// failing with an error matching errors.Is(err, ErrRetryable) up to
+// MaxAttempts with a small backoff. Everything else — planner errors,
+// casts, divide-by-zero, cancellation — is permanent and fails the task
+// (and then the job) on first occurrence.
+var ErrRetryable = errors.New("retryable")
+
+// Retryable wraps err so the scheduler classifies it as transient.
+func Retryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &retryableError{err}
+}
+
+type retryableError struct{ err error }
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+func (e *retryableError) Is(target error) bool {
+	return target == ErrRetryable
+}
+
+// IsRetryable reports whether the scheduler would retry err. Cancellation
+// is never retryable, even when wrapped.
+func IsRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return errors.Is(err, ErrRetryable)
+}
 
 // Stage is a set of identical tasks over different partitions.
 type Stage struct {
@@ -37,6 +80,10 @@ type StageStats struct {
 	TaskTime []time.Duration
 	Attempts atomic.Int64
 	Failures atomic.Int64
+	// Skipped counts tasks that never ran (or were abandoned before
+	// completing) because a sibling's permanent failure or the job's
+	// cancellation fail-fasted the stage.
+	Skipped  atomic.Int64
 	RowsOut  atomic.Int64
 	BytesOut atomic.Int64
 	WallTime time.Duration
@@ -45,43 +92,98 @@ type StageStats struct {
 // Stats returns the stage's statistics (valid after the stage completes).
 func (s *Stage) Stats() *StageStats { return &s.stats }
 
-// Driver schedules stages on an executor pool.
+// Driver schedules stages on an executor slot pool.
 type Driver struct {
-	// Parallelism is the executor task-slot count (0 = NumCPU).
+	// Parallelism sizes the private pool when Pool is nil (0 = NumCPU).
 	Parallelism int
-	// MaxAttempts per task (task retry is the fault-tolerance unit).
+	// MaxAttempts per task (task retry is the fault-tolerance unit); only
+	// retryable errors (see ErrRetryable) consume extra attempts.
 	MaxAttempts int
+	// Pool is the executor slot pool; nil makes RunJob create a private
+	// pool of Parallelism slots (the single-job case). Share one Pool
+	// across drivers/jobs for process-wide slot accounting.
+	Pool *Pool
+	// RetryBackoff is the base delay between attempts (default 1ms,
+	// doubling per attempt). Tests may set it to 0.
+	RetryBackoff time.Duration
 
 	mu   sync.Mutex
 	jobs int64
 }
 
-// NewDriver builds a driver.
+// NewDriver builds a driver with a private pool of `parallelism` slots.
 func NewDriver(parallelism int) *Driver {
 	if parallelism <= 0 {
 		parallelism = runtime.NumCPU()
 	}
-	return &Driver{Parallelism: parallelism, MaxAttempts: 2}
+	return &Driver{Parallelism: parallelism, MaxAttempts: 2, RetryBackoff: time.Millisecond}
+}
+
+// NewDriverOnPool builds a driver sharing an existing slot pool.
+func NewDriverOnPool(pool *Pool) *Driver {
+	return &Driver{Parallelism: pool.Slots(), MaxAttempts: 2, Pool: pool, RetryBackoff: time.Millisecond}
+}
+
+// JobStats reports one job's slot usage.
+type JobStats struct {
+	// SlotsHeldPeak is the maximum number of executor slots the job held
+	// concurrently.
+	SlotsHeldPeak int
 }
 
 // RunJob executes the stage DAG reachable from the final stages, honoring
-// dependencies. It blocks until the job completes or a task exhausts its
-// retries.
-func (d *Driver) RunJob(finals ...*Stage) error {
+// dependencies. It blocks until the job completes, a task fails
+// permanently, or ctx is cancelled. On the first permanent failure the
+// job's context is cancelled: queued sibling tasks are skipped and
+// in-flight tasks stop at their next batch boundary (fail-fast).
+func (d *Driver) RunJob(ctx context.Context, finals ...*Stage) error {
+	_, err := d.RunJobStats(ctx, finals...)
+	return err
+}
+
+// RunJobStats is RunJob returning the job's slot statistics.
+func (d *Driver) RunJobStats(ctx context.Context, finals ...*Stage) (JobStats, error) {
 	d.mu.Lock()
 	d.jobs++
 	d.mu.Unlock()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	pool := d.Pool
+	if pool == nil {
+		pool = NewPool(d.Parallelism)
+	}
+	tok := pool.NewJob()
 
 	order, err := topoSort(finals)
 	if err != nil {
-		return err
+		return JobStats{}, err
 	}
+
+	// The job context: cancelled on the first permanent task failure so
+	// every queued and in-flight task of the job stops.
+	jobCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+
 	for _, st := range order {
-		if err := d.runStage(st); err != nil {
-			return fmt.Errorf("sched: stage %q: %w", st.Name, err)
+		if err := jobCtx.Err(); err != nil {
+			return JobStats{SlotsHeldPeak: tok.SlotsHeldPeak()}, jobCause(jobCtx)
+		}
+		if err := d.runStage(jobCtx, cancel, pool, tok, st); err != nil {
+			return JobStats{SlotsHeldPeak: tok.SlotsHeldPeak()},
+				fmt.Errorf("sched: stage %q: %w", st.Name, err)
 		}
 	}
-	return nil
+	return JobStats{SlotsHeldPeak: tok.SlotsHeldPeak()}, nil
+}
+
+// jobCause extracts the most specific error from a cancelled job context.
+func jobCause(ctx context.Context) error {
+	if cause := context.Cause(ctx); cause != nil {
+		return cause
+	}
+	return ctx.Err()
 }
 
 // topoSort orders stages dependencies-first, detecting cycles.
@@ -117,41 +219,58 @@ func topoSort(finals []*Stage) ([]*Stage, error) {
 }
 
 // runStage runs a stage's tasks on the executor pool with retries.
-func (d *Driver) runStage(st *Stage) error {
+// Fail-fast: the first permanent task failure cancels jobCtx, so queued
+// tasks are recorded as skipped (not failed) and in-flight siblings stop
+// at their next batch boundary.
+func (d *Driver) runStage(jobCtx context.Context, cancel context.CancelCauseFunc,
+	pool *Pool, tok *JobToken, st *Stage) error {
 	if st.done {
 		return nil
 	}
 	start := time.Now()
 	st.stats.TaskTime = make([]time.Duration, st.NumTasks)
 
-	sem := make(chan struct{}, d.Parallelism)
 	var wg sync.WaitGroup
 	var firstErr error
 	var errMu sync.Mutex
 
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			// Fail-fast: stop every queued and in-flight sibling.
+			cancel(err)
+		}
+		errMu.Unlock()
+	}
+
 	for id := 0; id < st.NumTasks; id++ {
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(taskID int) {
 			defer wg.Done()
-			defer func() { <-sem }()
-			tStart := time.Now()
-			var err error
-			for attempt := 0; attempt < max(d.MaxAttempts, 1); attempt++ {
-				st.stats.Attempts.Add(1)
-				err = st.Run(taskID)
-				if err == nil {
-					break
-				}
-				st.stats.Failures.Add(1)
+			// Queued: wait for an executor slot (fair across jobs).
+			if err := pool.Acquire(jobCtx, tok); err != nil {
+				st.stats.Skipped.Add(1)
+				return
 			}
+			defer pool.Release(tok)
+			if jobCtx.Err() != nil {
+				// Cancelled between grant and start.
+				st.stats.Skipped.Add(1)
+				return
+			}
+			tStart := time.Now()
+			err := d.runTaskWithRetry(jobCtx, st, taskID)
 			st.stats.TaskTime[taskID] = time.Since(tStart)
 			if err != nil {
-				errMu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("task %d: %w", taskID, err)
+				if jobCause(jobCtx) != nil &&
+					(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+					// Abandoned because a sibling already failed or the
+					// caller cancelled: skipped, not failed.
+					st.stats.Skipped.Add(1)
+					return
 				}
-				errMu.Unlock()
+				fail(fmt.Errorf("task %d: %w", taskID, err))
 			}
 		}(id)
 	}
@@ -160,8 +279,61 @@ func (d *Driver) runStage(st *Stage) error {
 	if firstErr != nil {
 		return firstErr
 	}
+	if err := jobCtx.Err(); err != nil {
+		// Cancelled from outside (caller ctx / sibling stage): surface the
+		// cause.
+		return jobCause(jobCtx)
+	}
 	st.done = true
 	return nil
+}
+
+// runTaskWithRetry runs one task, retrying transient failures with
+// exponential backoff. Permanent errors (the default classification)
+// return immediately.
+func (d *Driver) runTaskWithRetry(ctx context.Context, st *Stage, taskID int) error {
+	maxAttempts := max(d.MaxAttempts, 1)
+	var err error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		st.stats.Attempts.Add(1)
+		err = st.Run(ctx, taskID)
+		if err == nil {
+			return nil
+		}
+		st.stats.Failures.Add(1)
+		if !IsRetryable(err) {
+			return err
+		}
+		if attempt+1 < maxAttempts {
+			if berr := d.backoff(ctx, attempt); berr != nil {
+				return berr
+			}
+		}
+	}
+	return err
+}
+
+// backoff sleeps 2^attempt * RetryBackoff, honoring cancellation.
+func (d *Driver) backoff(ctx context.Context, attempt int) error {
+	base := d.RetryBackoff
+	if base <= 0 {
+		return ctx.Err()
+	}
+	delay := base << uint(attempt)
+	if delay > 100*time.Millisecond {
+		delay = 100 * time.Millisecond
+	}
+	t := time.NewTimer(delay)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // SplitRoundRobin assigns n items to k partitions round-robin, returning

@@ -1,16 +1,20 @@
 package sched
 
 import (
+	"context"
 	"errors"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestStageDAGOrderAndBlocking(t *testing.T) {
 	var order []string
 	var mu atomic.Int64
 	record := func(name string) Task {
-		return func(taskID int) error {
+		return func(_ context.Context, taskID int) error {
 			mu.Add(1)
 			order = append(order, name) // stages run serially so this is safe per stage boundary
 			return nil
@@ -20,7 +24,7 @@ func TestStageDAGOrderAndBlocking(t *testing.T) {
 	b := &Stage{Name: "b", NumTasks: 1, Run: record("b"), Deps: []*Stage{a}}
 	c := &Stage{Name: "c", NumTasks: 1, Run: record("c"), Deps: []*Stage{a}}
 	d := &Stage{Name: "d", NumTasks: 1, Run: record("d"), Deps: []*Stage{b, c}}
-	if err := NewDriver(4).RunJob(d); err != nil {
+	if err := NewDriver(4).RunJob(context.Background(), d); err != nil {
 		t.Fatal(err)
 	}
 	if order[0] != "a" || order[len(order)-1] != "d" {
@@ -30,11 +34,11 @@ func TestStageDAGOrderAndBlocking(t *testing.T) {
 
 func TestTasksRunPerPartition(t *testing.T) {
 	var seen [8]atomic.Int64
-	s := &Stage{Name: "s", NumTasks: 8, Run: func(id int) error {
+	s := &Stage{Name: "s", NumTasks: 8, Run: func(_ context.Context, id int) error {
 		seen[id].Add(1)
 		return nil
 	}}
-	if err := NewDriver(3).RunJob(s); err != nil {
+	if err := NewDriver(3).RunJob(context.Background(), s); err != nil {
 		t.Fatal(err)
 	}
 	for i := range seen {
@@ -49,13 +53,15 @@ func TestTasksRunPerPartition(t *testing.T) {
 
 func TestRetrySucceedsOnSecondAttempt(t *testing.T) {
 	var tries atomic.Int64
-	s := &Stage{Name: "flaky", NumTasks: 1, Run: func(int) error {
+	s := &Stage{Name: "flaky", NumTasks: 1, Run: func(context.Context, int) error {
 		if tries.Add(1) == 1 {
-			return errors.New("transient")
+			return Retryable(errors.New("transient"))
 		}
 		return nil
 	}}
-	if err := NewDriver(1).RunJob(s); err != nil {
+	d := NewDriver(1)
+	d.RetryBackoff = 0
+	if err := d.RunJob(context.Background(), s); err != nil {
 		t.Fatal(err)
 	}
 	if tries.Load() != 2 {
@@ -66,36 +72,227 @@ func TestRetrySucceedsOnSecondAttempt(t *testing.T) {
 	}
 }
 
+// TestPermanentErrorNotRetried: deterministic errors (planner, cast,
+// divide-by-zero...) must not consume MaxAttempts — exactly one attempt.
+func TestPermanentErrorNotRetried(t *testing.T) {
+	var tries atomic.Int64
+	s := &Stage{Name: "det", NumTasks: 1, Run: func(context.Context, int) error {
+		tries.Add(1)
+		return errors.New("division by zero")
+	}}
+	d := NewDriver(1)
+	d.MaxAttempts = 5
+	if err := d.RunJob(context.Background(), s); err == nil {
+		t.Fatal("expected error")
+	}
+	if tries.Load() != 1 {
+		t.Errorf("permanent error retried: %d attempts", tries.Load())
+	}
+}
+
+func TestRetryClassification(t *testing.T) {
+	if IsRetryable(errors.New("x")) {
+		t.Error("plain error classified retryable")
+	}
+	wrapped := Retryable(errors.New("io glitch"))
+	if !IsRetryable(wrapped) {
+		t.Error("Retryable(...) not classified retryable")
+	}
+	if !errors.Is(wrapped, ErrRetryable) {
+		t.Error("errors.Is(wrapped, ErrRetryable) = false")
+	}
+	if IsRetryable(Retryable(context.Canceled)) {
+		t.Error("cancellation must never be retryable")
+	}
+	if IsRetryable(nil) {
+		t.Error("nil retryable")
+	}
+	if Retryable(nil) != nil {
+		t.Error("Retryable(nil) != nil")
+	}
+}
+
 func TestPermanentFailurePropagates(t *testing.T) {
-	s := &Stage{Name: "bad", NumTasks: 2, Run: func(id int) error {
+	s := &Stage{Name: "bad", NumTasks: 2, Run: func(_ context.Context, id int) error {
 		if id == 1 {
 			return errors.New("boom")
 		}
 		return nil
 	}}
-	if err := NewDriver(2).RunJob(s); err == nil {
+	if err := NewDriver(2).RunJob(context.Background(), s); err == nil {
 		t.Fatal("expected error")
 	}
 }
 
+// TestFailFastSkipsSiblings: after the first permanent failure, queued
+// sibling tasks must not run — they are recorded as skipped.
+func TestFailFastSkipsSiblings(t *testing.T) {
+	const numTasks = 32
+	var ran atomic.Int64
+	var first atomic.Bool
+	s := &Stage{Name: "ff", NumTasks: numTasks, Run: func(ctx context.Context, id int) error {
+		if first.CompareAndSwap(false, true) {
+			return errors.New("permanent")
+		}
+		ran.Add(1)
+		// Hold the slot until cancellation so queued siblings stay queued.
+		<-ctx.Done()
+		return ctx.Err()
+	}}
+	err := NewDriver(2).RunJob(context.Background(), s)
+	if err == nil || !strings.Contains(err.Error(), "permanent") {
+		t.Fatalf("err = %v", err)
+	}
+	// With 2 slots, at most a handful of tasks can have started before the
+	// failure cancelled the job; the bulk must have been skipped unrun.
+	if ran.Load() > numTasks/2 {
+		t.Errorf("fail-fast let %d of %d siblings run", ran.Load(), numTasks)
+	}
+	if s.Stats().Skipped.Load() == 0 {
+		t.Error("no tasks recorded as skipped")
+	}
+}
+
+// TestJobCancellation: cancelling the caller context stops the job and
+// surfaces context.Canceled.
+func TestJobCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	s := &Stage{Name: "c", NumTasks: 4, Run: func(ctx context.Context, id int) error {
+		once.Do(func() { close(started) })
+		<-ctx.Done()
+		return ctx.Err()
+	}}
+	done := make(chan error, 1)
+	go func() { done <- NewDriver(2).RunJob(ctx, s) }()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("job did not stop after cancellation")
+	}
+}
+
+// TestPoolSharedAcrossJobs: two concurrent jobs on one pool never exceed
+// the pool's slot count in combined running tasks.
+func TestPoolSharedAcrossJobs(t *testing.T) {
+	pool := NewPool(3)
+	var running, maxRunning atomic.Int64
+	task := func(context.Context, int) error {
+		cur := running.Add(1)
+		for {
+			m := maxRunning.Load()
+			if cur <= m || maxRunning.CompareAndSwap(m, cur) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		running.Add(-1)
+		return nil
+	}
+	var wg sync.WaitGroup
+	for j := 0; j < 4; j++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := &Stage{Name: "s", NumTasks: 8, Run: task}
+			if err := NewDriverOnPool(pool).RunJob(context.Background(), s); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if maxRunning.Load() > 3 {
+		t.Errorf("max concurrent tasks = %d, pool has 3 slots", maxRunning.Load())
+	}
+}
+
+// TestPoolFairInterleaving: a small job submitted while a wide job holds
+// the pool must get slots before the wide job finishes (no head-of-line
+// starvation).
+func TestPoolFairInterleaving(t *testing.T) {
+	pool := NewPool(2)
+	var wideDone, smallDone atomic.Int64
+	var smallSawWidePending atomic.Bool
+
+	wideStarted := make(chan struct{})
+	var once sync.Once
+	wide := &Stage{Name: "wide", NumTasks: 40, Run: func(context.Context, int) error {
+		once.Do(func() { close(wideStarted) })
+		time.Sleep(5 * time.Millisecond)
+		wideDone.Add(1)
+		return nil
+	}}
+	small := &Stage{Name: "small", NumTasks: 2, Run: func(context.Context, int) error {
+		if wideDone.Load() < 40 {
+			smallSawWidePending.Store(true)
+		}
+		smallDone.Add(1)
+		return nil
+	}}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := NewDriverOnPool(pool).RunJob(context.Background(), wide); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-wideStarted
+	go func() {
+		defer wg.Done()
+		if err := NewDriverOnPool(pool).RunJob(context.Background(), small); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+	if smallDone.Load() != 2 {
+		t.Fatalf("small job ran %d tasks", smallDone.Load())
+	}
+	if !smallSawWidePending.Load() {
+		t.Error("small job only ran after the wide job drained (starvation)")
+	}
+}
+
+// TestJobSlotStats: RunJobStats reports a sensible slot peak.
+func TestJobSlotStats(t *testing.T) {
+	s := &Stage{Name: "s", NumTasks: 8, Run: func(context.Context, int) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	}}
+	stats, err := NewDriver(4).RunJobStats(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SlotsHeldPeak < 1 || stats.SlotsHeldPeak > 4 {
+		t.Errorf("SlotsHeldPeak = %d, want 1..4", stats.SlotsHeldPeak)
+	}
+}
+
 func TestCycleDetection(t *testing.T) {
-	a := &Stage{Name: "a", NumTasks: 1, Run: func(int) error { return nil }}
-	b := &Stage{Name: "b", NumTasks: 1, Run: func(int) error { return nil }, Deps: []*Stage{a}}
+	a := &Stage{Name: "a", NumTasks: 1, Run: func(context.Context, int) error { return nil }}
+	b := &Stage{Name: "b", NumTasks: 1, Run: func(context.Context, int) error { return nil }, Deps: []*Stage{a}}
 	a.Deps = []*Stage{b}
-	if err := NewDriver(1).RunJob(b); err == nil {
+	if err := NewDriver(1).RunJob(context.Background(), b); err == nil {
 		t.Fatal("cycle not detected")
 	}
 }
 
 func TestSharedDepRunsOnce(t *testing.T) {
 	var runs atomic.Int64
-	shared := &Stage{Name: "shared", NumTasks: 1, Run: func(int) error {
+	shared := &Stage{Name: "shared", NumTasks: 1, Run: func(context.Context, int) error {
 		runs.Add(1)
 		return nil
 	}}
-	x := &Stage{Name: "x", NumTasks: 1, Run: func(int) error { return nil }, Deps: []*Stage{shared}}
-	y := &Stage{Name: "y", NumTasks: 1, Run: func(int) error { return nil }, Deps: []*Stage{shared}}
-	if err := NewDriver(2).RunJob(x, y); err != nil {
+	x := &Stage{Name: "x", NumTasks: 1, Run: func(context.Context, int) error { return nil }, Deps: []*Stage{shared}}
+	y := &Stage{Name: "y", NumTasks: 1, Run: func(context.Context, int) error { return nil }, Deps: []*Stage{shared}}
+	if err := NewDriver(2).RunJob(context.Background(), x, y); err != nil {
 		t.Fatal(err)
 	}
 	if runs.Load() != 1 {

@@ -84,8 +84,8 @@ func PlanStages(plan sql.LogicalPlan, cfg StageConfig) (*Fragment, error) {
 
 // fragCtx accumulates the state of the fragment under construction.
 type fragCtx struct {
-	inputs   []*Fragment
-	partScan bool // contains a task-partitioned scan
+	inputs    []*Fragment
+	partScan  bool // contains a task-partitioned scan
 	readsHash bool // consumes a hash exchange
 }
 

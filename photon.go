@@ -15,13 +15,16 @@
 package photon
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync"
+	"time"
 
 	"photon/internal/catalog"
-	"photon/internal/driver"
 	"photon/internal/exec"
 	"photon/internal/mem"
+	"photon/internal/sched"
 	"photon/internal/sql"
 	"photon/internal/sql/catalyst"
 	"photon/internal/storage/delta"
@@ -99,13 +102,39 @@ type Config struct {
 	// node kinds ("filter", "project", "aggregate", "join", "sort",
 	// "limit"), demonstrating partial rollout (§3.5).
 	PhotonUnsupported []string
+
+	// ---- Concurrent query service (admission control + lifecycle) ----
+
+	// MaxConcurrentQueries caps in-flight (admitted, unfinished) queries
+	// per session; 0 = unlimited. Excess queries queue (or are rejected,
+	// see AdmissionQueue) in FIFO order.
+	MaxConcurrentQueries int
+	// AdmissionQueue bounds the admission wait queue: 0 = unbounded,
+	// n > 0 = at most n queued queries (further arrivals get
+	// ErrQueryRejected), negative = reject immediately at capacity.
+	AdmissionQueue int
+	// MinQueryMemory is the minimum reservable memory (bytes) required to
+	// admit a query: admission waits until at least this much of
+	// MemoryLimit is unreserved. 0 disables the memory predicate.
+	MinQueryMemory int64
+	// QueryTimeout cancels each query after the given duration (0 = no
+	// timeout). Cancellation takes effect at operator batch boundaries.
+	QueryTimeout time.Duration
 }
 
-// Session owns a catalog and executes queries.
+// Session owns a catalog and executes queries. Sessions are safe for
+// concurrent use: queries admitted through the session share one executor
+// slot pool and the session memory limit, each inside its own per-query
+// memory scope (see service.go).
 type Session struct {
 	cfg Config
 	cat *catalog.Catalog
 	mm  *mem.Manager
+
+	// Concurrent query service state.
+	gate     *admission
+	pool     *sched.Pool
+	poolOnce sync.Once
 }
 
 // NewSession creates a session with the given (optional) config.
@@ -114,7 +143,8 @@ func NewSession(cfg ...Config) *Session {
 	if len(cfg) > 0 {
 		c = cfg[0]
 	}
-	return &Session{cfg: c, cat: catalog.New(), mm: mem.NewManager(c.MemoryLimit)}
+	mm := mem.NewManager(c.MemoryLimit)
+	return &Session{cfg: c, cat: catalog.New(), mm: mm, gate: newAdmission(c, mm)}
 }
 
 // Result is a fully materialized query result.
@@ -288,26 +318,11 @@ func (s *Session) plan(query string) (sql.LogicalPlan, error) {
 	return catalyst.Optimize(plan)
 }
 
-// SQL executes a query and materializes the result.
+// SQL executes a query and materializes the result. It is
+// SQLContext(context.Background(), query): the query passes through the
+// session's admission gate and runs inside its own memory scope.
 func (s *Session) SQL(query string) (*Result, error) {
-	plan, err := s.plan(query)
-	if err != nil {
-		return nil, err
-	}
-	rows, schema, err := driver.Run(plan, driver.Options{
-		Parallelism:       s.cfg.Parallelism,
-		ShuffleDir:        s.cfg.SpillDir,
-		Mem:               s.mm,
-		BatchSize:         s.cfg.BatchSize,
-		Config:            s.plannerConfig(),
-		BroadcastRows:     s.cfg.BroadcastRows,
-		DisableCompaction: s.cfg.DisableCompaction,
-		DisableAdaptivity: s.cfg.DisableAdaptivity,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Schema: schema, Rows: rows}, nil
+	return s.SQLContext(context.Background(), query)
 }
 
 // Explain renders the optimized logical plan.
@@ -361,33 +376,16 @@ type Profile struct {
 	Operators string
 	// Transitions counts engine-boundary nodes in the plan (§6.3).
 	Transitions int
+	// Lifecycle reports the query's service-level statistics: admission
+	// wait, planning and running durations, slots held, and the peak of
+	// its memory reservation scope.
+	Lifecycle *QueryStats
 }
 
 // SQLWithProfile executes a query single-task and returns the result along
 // with per-operator metrics. (Parallel execution reports per-stage metrics
-// through the scheduler instead.)
+// through the scheduler instead.) It is SQLWithProfileContext with a
+// background context.
 func (s *Session) SQLWithProfile(query string) (*Profile, error) {
-	plan, err := s.plan(query)
-	if err != nil {
-		return nil, err
-	}
-	tc := s.TaskContext()
-	ex, err := catalyst.Build(plan, s.plannerConfig(), tc)
-	if err != nil {
-		return nil, err
-	}
-	rows, err := ex.Run(tc)
-	if err != nil {
-		return nil, err
-	}
-	p := &Profile{
-		Result:      &Result{Schema: ex.Schema(), Rows: rows},
-		Transitions: ex.Transitions,
-	}
-	if ex.Photon != nil {
-		p.Operators = exec.RenderStats(ex.Photon)
-	} else {
-		p.Operators = "(plan executed on the row engine)"
-	}
-	return p, nil
+	return s.SQLWithProfileContext(context.Background(), query)
 }

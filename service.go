@@ -1,0 +1,313 @@
+package photon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"photon/internal/driver"
+	"photon/internal/exec"
+	"photon/internal/mem"
+	"photon/internal/sched"
+	"photon/internal/sql"
+	"photon/internal/sql/catalyst"
+)
+
+// This file is the session's concurrent-query service: Photon runs inside a
+// multi-tenant service where many queries share executor task slots and a
+// unified memory manager (§2.2, §5.3). A Session therefore admits queries
+// through a configurable gate (max concurrency + minimum reservable
+// memory, queue-or-reject), runs them on one shared executor slot pool
+// with per-query cancellation/timeout, scopes each query's memory in a
+// child reservation released atomically at query end, and reports
+// lifecycle statistics (queued/planning/running durations, slots held,
+// peak reserved bytes).
+//
+// Query lifecycle state machine:
+//
+//	submitted → queued → admitted → planning → running → done
+//	                  ↘ rejected            ↘ failed  ↘ cancelled
+//
+// Cancellation (ctx cancel or QueryTimeout) takes effect at operator batch
+// boundaries: a cancelled query stops within one batch, its memory quota
+// is released in full, and its private shuffle/spill directory is removed.
+
+// ErrQueryRejected is returned when admission control turns a query away
+// (the gate is at capacity and the wait queue is full or disabled).
+var ErrQueryRejected = errors.New("photon: query rejected by admission control")
+
+// QueryStats is the per-query lifecycle report.
+type QueryStats struct {
+	// Queued is the time spent waiting in the admission gate.
+	Queued time.Duration
+	// Planning covers parse, analysis, and optimization.
+	Planning time.Duration
+	// Running covers execution (scheduling, tasks, driver tail).
+	Running time.Duration
+	// SlotsHeldPeak is the most executor slots the query held at once
+	// (0 when the query ran inline as a single task).
+	SlotsHeldPeak int
+	// Stages is the number of scheduler stages (1 for single-task runs).
+	Stages int
+	// PeakReservedBytes is the query's memory-reservation high-water mark.
+	PeakReservedBytes int64
+}
+
+// String renders a one-line lifecycle summary (same spirit as OpStats).
+func (q *QueryStats) String() string {
+	return fmt.Sprintf("queued=%s planning=%s running=%s stages=%d slotsPeak=%d peakMem=%d",
+		q.Queued, q.Planning, q.Running, q.Stages, q.SlotsHeldPeak, q.PeakReservedBytes)
+}
+
+// admission is the session's query gate: FIFO queue-or-reject over two
+// predicates — running-query count and minimum reservable memory.
+type admission struct {
+	maxConcurrent int   // 0 = unlimited
+	queueLimit    int   // 0 = unbounded queue, < 0 = reject at capacity
+	minMemory     int64 // 0 = no memory predicate
+	mm            *mem.Manager
+
+	mu      sync.Mutex
+	running int
+	waiters []*admitWaiter
+}
+
+type admitWaiter struct {
+	ready   chan struct{}
+	granted bool
+}
+
+func newAdmission(cfg Config, mm *mem.Manager) *admission {
+	return &admission{
+		maxConcurrent: cfg.MaxConcurrentQueries,
+		queueLimit:    cfg.AdmissionQueue,
+		minMemory:     cfg.MinQueryMemory,
+		mm:            mm,
+	}
+}
+
+// canAdmitLocked evaluates the gate's predicates.
+func (a *admission) canAdmitLocked() bool {
+	if a.maxConcurrent > 0 && a.running >= a.maxConcurrent {
+		return false
+	}
+	if a.minMemory > 0 && a.mm.Available() < a.minMemory {
+		return false
+	}
+	return true
+}
+
+// admit blocks until the query is admitted, the queue rejects it, or ctx
+// is done. FIFO: later arrivals never overtake earlier waiters.
+func (a *admission) admit(ctx context.Context) error {
+	a.mu.Lock()
+	if len(a.waiters) == 0 && a.canAdmitLocked() {
+		a.running++
+		a.mu.Unlock()
+		return nil
+	}
+	if a.queueLimit < 0 || (a.queueLimit > 0 && len(a.waiters) >= a.queueLimit) {
+		a.mu.Unlock()
+		if a.queueLimit < 0 {
+			return fmt.Errorf("%w: at capacity (%d running), queueing disabled",
+				ErrQueryRejected, a.maxConcurrent)
+		}
+		return fmt.Errorf("%w: at capacity (%d running), queue full (%d waiting)",
+			ErrQueryRejected, a.maxConcurrent, a.queueLimit)
+	}
+	w := &admitWaiter{ready: make(chan struct{})}
+	a.waiters = append(a.waiters, w)
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		if w.granted {
+			// Admission raced with cancellation: give the grant back.
+			a.releaseLocked()
+			a.mu.Unlock()
+			return ctx.Err()
+		}
+		for i, q := range a.waiters {
+			if q == w {
+				a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+				break
+			}
+		}
+		a.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// release frees one admission and wakes eligible FIFO waiters. Called
+// after the query's memory quota is released, so the memory predicate is
+// re-evaluated against up-to-date availability.
+func (a *admission) release() {
+	a.mu.Lock()
+	a.releaseLocked()
+	a.mu.Unlock()
+}
+
+func (a *admission) releaseLocked() {
+	a.running--
+	for len(a.waiters) > 0 && a.canAdmitLocked() {
+		w := a.waiters[0]
+		a.waiters = a.waiters[1:]
+		a.running++
+		w.granted = true
+		close(w.ready)
+	}
+}
+
+// Running reports the number of admitted, unfinished queries.
+func (a *admission) Running() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.running
+}
+
+// slotPool lazily creates the session's shared executor slot pool (all
+// concurrent queries of the session draw tasks from it).
+func (s *Session) slotPool() *sched.Pool {
+	s.poolOnce.Do(func() {
+		s.pool = sched.NewPool(s.cfg.Parallelism)
+	})
+	return s.pool
+}
+
+// querySeq names per-query memory scopes process-wide.
+var querySeq atomic.Int64
+
+// SQLContext executes a query under ctx with admission control, a
+// per-query timeout (Config.QueryTimeout), per-query memory scoping, and
+// cancellation honored at operator batch boundaries.
+func (s *Session) SQLContext(ctx context.Context, query string) (*Result, error) {
+	res, _, err := s.SQLContextStats(ctx, query)
+	return res, err
+}
+
+// SQLContextStats is SQLContext returning the query's lifecycle
+// statistics. Stats are valid (for the phases reached) even when the query
+// fails, is rejected, or is cancelled.
+func (s *Session) SQLContextStats(ctx context.Context, query string) (*Result, *QueryStats, error) {
+	stats := &QueryStats{}
+	var res *Result
+	err := s.runQuery(ctx, stats, query, func(qctx context.Context, qm *mem.Manager, plan sql.LogicalPlan) error {
+		var rs driver.RunStats
+		rows, schema, err := driver.Run(qctx, plan, driver.Options{
+			Parallelism:       s.cfg.Parallelism,
+			ShuffleDir:        s.cfg.SpillDir,
+			Mem:               qm,
+			BatchSize:         s.cfg.BatchSize,
+			Config:            s.plannerConfig(),
+			BroadcastRows:     s.cfg.BroadcastRows,
+			Pool:              s.slotPool(),
+			Stats:             &rs,
+			SharedVectors:     true,
+			DisableCompaction: s.cfg.DisableCompaction,
+			DisableAdaptivity: s.cfg.DisableAdaptivity,
+		})
+		if err != nil {
+			return err
+		}
+		stats.SlotsHeldPeak = rs.SlotsHeldPeak
+		stats.Stages = rs.Stages
+		res = &Result{Schema: schema, Rows: rows}
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	return res, stats, nil
+}
+
+// SQLWithProfileContext executes a query through the full service
+// lifecycle (admission, timeout, per-query memory) single-task and returns
+// per-operator metrics plus the lifecycle stats.
+func (s *Session) SQLWithProfileContext(ctx context.Context, query string) (*Profile, error) {
+	stats := &QueryStats{}
+	var p *Profile
+	err := s.runQuery(ctx, stats, query, func(qctx context.Context, qm *mem.Manager, plan sql.LogicalPlan) error {
+		tc := exec.NewTaskCtx(qm, s.cfg.BatchSize)
+		tc.Ctx = qctx
+		tc.SpillDir = s.cfg.SpillDir
+		tc.EnableCompaction = !s.cfg.DisableCompaction
+		tc.Expr.Adaptive = !s.cfg.DisableAdaptivity
+		tc.Expr.SharedVectors = true // concurrent queries share table vectors
+		ex, err := catalyst.Build(plan, s.plannerConfig(), tc)
+		if err != nil {
+			return err
+		}
+		rows, err := ex.Run(tc)
+		if err != nil {
+			return err
+		}
+		p = &Profile{
+			Result:      &Result{Schema: ex.Schema(), Rows: rows},
+			Transitions: ex.Transitions,
+		}
+		if ex.Photon != nil {
+			p.Operators = exec.RenderStats(ex.Photon)
+		} else {
+			p.Operators = "(plan executed on the row engine)"
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.Lifecycle = stats
+	return p, nil
+}
+
+// runQuery drives the query lifecycle state machine around fn:
+// admission → planning → running, with timeout, per-query memory scope
+// (released atomically), and stats recording on every exit path.
+func (s *Session) runQuery(ctx context.Context, stats *QueryStats, query string,
+	fn func(context.Context, *mem.Manager, sql.LogicalPlan) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+
+	// State: queued.
+	t0 := time.Now()
+	if err := s.gate.admit(ctx); err != nil {
+		stats.Queued = time.Since(t0)
+		return err
+	}
+	// Admission released only after the memory quota is returned, so the
+	// gate's memory predicate sees up-to-date availability.
+	defer s.gate.release()
+	stats.Queued = time.Since(t0)
+
+	// State: planning.
+	t1 := time.Now()
+	plan, err := s.plan(query)
+	stats.Planning = time.Since(t1)
+	if err != nil {
+		return err
+	}
+
+	// State: running, inside a per-query memory scope. Close releases the
+	// query's whole remaining quota atomically — including after
+	// cancellation or failure.
+	qm := s.mm.Child(fmt.Sprintf("q%d", querySeq.Add(1)))
+	defer func() {
+		stats.PeakReservedBytes = qm.PeakBytes()
+		qm.Close()
+	}()
+	t2 := time.Now()
+	err = fn(ctx, qm, plan)
+	stats.Running = time.Since(t2)
+	return err
+}
