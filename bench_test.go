@@ -18,6 +18,8 @@ import (
 	"photon/internal/ht"
 	"photon/internal/kernels"
 	"photon/internal/mem"
+	"photon/internal/obs"
+	"photon/internal/sched"
 	"photon/internal/sql"
 	"photon/internal/sql/catalyst"
 	"photon/internal/tpch"
@@ -399,4 +401,51 @@ func buildProbeTable(size int) *ht.Table {
 		tbl.FindOrInsert([]*vector.Vector{batch}, hashes, nil, n, rowIDs, inserted)
 	}
 	return tbl
+}
+
+// ----- Observability overhead guard -----
+
+// BenchmarkObservabilityOverhead measures the metrics hot path on a staged
+// scan-filter-agg pipeline: "off" runs with a nil registry — every handle
+// is a nil no-op — while "on" wires a live registry into the pool, memory
+// manager, shuffle layer, and driver. The acceptance guard (EXPERIMENTS.md)
+// is < 5% wall-clock overhead with metrics on.
+func BenchmarkObservabilityOverhead(b *testing.B) {
+	cat := tpch.NewGen(0.02).Generate()
+	stmt, err := sql.Parse(`SELECT l_returnflag, count(*), sum(l_quantity), avg(l_extendedprice)
+		FROM lineitem WHERE l_quantity < 30 GROUP BY l_returnflag`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := sql.Analyze(cat, stmt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err = catalyst.Optimize(plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, reg *obs.Registry) {
+		pool := sched.NewPool(4)
+		mm := mem.NewManager(0)
+		if reg != nil {
+			pool.Instrument(reg)
+			mm.Instrument(reg)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var rs driver.RunStats
+			if _, _, err := driver.Run(context.Background(), plan, driver.Options{
+				Parallelism: 4,
+				Pool:        pool,
+				Mem:         mm,
+				Stats:       &rs,
+				Metrics:     reg,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("metrics-off", func(b *testing.B) { run(b, nil) })
+	b.Run("metrics-on", func(b *testing.B) { run(b, obs.NewRegistry()) })
 }

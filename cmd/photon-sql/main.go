@@ -9,6 +9,9 @@
 //	photon-sql -delta name=path [...]         # register Delta tables
 //	photon-sql -engine dbr -q 'SELECT ...'    # one-shot on the baseline
 //	photon-sql -q 'EXPLAIN SELECT ...'
+//	photon-sql -par 4 -analyze -q 'SELECT..'  # merged EXPLAIN ANALYZE
+//	photon-sql -trace q.json -q 'SELECT ...'  # Chrome/Perfetto trace
+//	photon-sql -metrics -q 'SELECT ...'       # Prometheus dump on exit
 package main
 
 import (
@@ -25,11 +28,14 @@ import (
 )
 
 var (
-	sfFlag     = flag.Float64("sf", 0.01, "TPC-H scale factor for the sample catalog")
-	engineFlag = flag.String("engine", "photon", "engine: photon | dbr | dbr-interpreted")
-	queryFlag  = flag.String("q", "", "run one query and exit")
-	parFlag    = flag.Int("par", 1, "parallelism (distributed aggregation when > 1)")
-	noTPCH     = flag.Bool("no-sample", false, "skip loading the TPC-H sample catalog")
+	sfFlag      = flag.Float64("sf", 0.01, "TPC-H scale factor for the sample catalog")
+	engineFlag  = flag.String("engine", "photon", "engine: photon | dbr | dbr-interpreted")
+	queryFlag   = flag.String("q", "", "run one query and exit")
+	parFlag     = flag.Int("par", 1, "parallelism (distributed aggregation when > 1)")
+	noTPCH      = flag.Bool("no-sample", false, "skip loading the TPC-H sample catalog")
+	analyzeFlag = flag.Bool("analyze", false, "print the merged EXPLAIN ANALYZE profile after each query")
+	traceFlag   = flag.String("trace", "", "write a Chrome trace-event JSON file per query (load in chrome://tracing or ui.perfetto.dev)")
+	metricsFlag = flag.Bool("metrics", false, "dump the session's Prometheus metrics on exit")
 )
 
 type deltaList []string
@@ -77,6 +83,10 @@ func main() {
 		}
 	}
 
+	if *metricsFlag {
+		defer sess.Metrics().WritePrometheus(os.Stderr)
+	}
+
 	if *queryFlag != "" {
 		if err := runOne(sess, *queryFlag); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -121,11 +131,52 @@ func runOne(sess *photon.Session, q string) error {
 		return nil
 	}
 	start := time.Now()
+	if *analyzeFlag || *traceFlag != "" {
+		return runProfiled(sess, q, start)
+	}
 	res, err := sess.SQL(q)
 	if err != nil {
 		return err
 	}
 	fmt.Print(res)
 	fmt.Fprintf(os.Stderr, "(%d rows in %s)\n", len(res.Rows), time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// traceSeq numbers per-query trace files within a shell session.
+var traceSeq int
+
+// runProfiled executes q with profiling enabled, printing the merged
+// EXPLAIN ANALYZE tree (-analyze) and/or writing a Chrome trace (-trace).
+func runProfiled(sess *photon.Session, q string, start time.Time) error {
+	p, err := sess.SQLWithProfile(q)
+	if err != nil {
+		return err
+	}
+	fmt.Print(p.Result)
+	fmt.Fprintf(os.Stderr, "(%d rows in %s)\n", len(p.Result.Rows), time.Since(start).Round(time.Millisecond))
+	if *analyzeFlag {
+		fmt.Fprintln(os.Stderr, "-- EXPLAIN ANALYZE --")
+		fmt.Fprint(os.Stderr, p.Operators)
+		if !strings.HasSuffix(p.Operators, "\n") {
+			fmt.Fprintln(os.Stderr)
+		}
+		fmt.Fprintln(os.Stderr, p.Lifecycle)
+	}
+	if *traceFlag != "" {
+		js, err := p.TraceJSON()
+		if err != nil {
+			return err
+		}
+		path := *traceFlag
+		if traceSeq > 0 {
+			path = fmt.Sprintf("%s.%d", path, traceSeq)
+		}
+		traceSeq++
+		if err := os.WriteFile(path, js, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (%d events)\n", path, p.Trace.Len())
+	}
 	return nil
 }

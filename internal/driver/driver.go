@@ -11,11 +11,14 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"photon/internal/exec"
 	"photon/internal/mem"
+	"photon/internal/obs"
 	"photon/internal/sched"
 	"photon/internal/shuffle"
 	"photon/internal/sql"
@@ -37,8 +40,17 @@ type Options struct {
 	// Pool is the executor slot pool shared by concurrent queries; nil
 	// uses a private pool of Parallelism slots (single-query behavior).
 	Pool *sched.Pool
-	// Stats, when non-nil, receives the query's run statistics.
+	// Stats, when non-nil, receives the query's run statistics, including
+	// the merged distributed EXPLAIN ANALYZE profile.
 	Stats *RunStats
+	// Metrics, when non-nil, is the observability registry the run's
+	// shuffle readers and writers report into (volume and §4.6 encoding
+	// decisions). Scheduler-pool and memory metrics attach at session
+	// level, not per run.
+	Metrics *obs.Registry
+	// Trace, when non-nil, records the query's span tree
+	// (query → stage → task → operator) for Chrome trace-event export.
+	Trace *obs.Trace
 	// SharedVectors marks table vectors as shared across concurrent
 	// queries/tasks: per-vector metadata caches are computed per call
 	// instead of written back. Required whenever two queries can touch
@@ -49,7 +61,7 @@ type Options struct {
 	DisableAdaptivity bool
 }
 
-// RunStats reports one query run's scheduling footprint.
+// RunStats reports one query run's scheduling footprint and profile.
 type RunStats struct {
 	// SlotsHeldPeak is the maximum number of executor slots held at once
 	// (0 for single-task runs, which execute inline).
@@ -57,6 +69,15 @@ type RunStats struct {
 	// Stages is the number of scheduler stages the query planned (1 for
 	// single-task runs).
 	Stages int
+	// Profile is the merged distributed EXPLAIN ANALYZE profile: per-task
+	// operator metrics merged across each stage's tasks and stitched back
+	// into the query's shape at exchange boundaries. Single-task runs
+	// report a one-stage profile, so the surface is uniform.
+	Profile *QueryProfile
+	// Transitions counts row<->column engine boundary nodes in the physical
+	// plan (§6.3; always 0 on the distributed path, whose fragments are
+	// pure Photon).
+	Transitions int
 }
 
 // newTaskCtx builds a task context honoring the options; ctx is the query
@@ -149,11 +170,46 @@ func runSingle(ctx context.Context, plan sql.LogicalPlan, opts Options) ([][]any
 	if err != nil {
 		return nil, nil, err
 	}
+	var root any = ex.Photon
+	if ex.Photon == nil {
+		root = ex.Row
+	}
+	exec.AssignStatsIDs(root)
+	start := time.Now()
 	rows, err := ex.Run(tc)
 	if err != nil {
 		return nil, nil, err
 	}
+	wall := time.Since(start)
+	if opts.Stats != nil {
+		opts.Stats.Profile = singleProfile(root, wall)
+		opts.Stats.Transitions = ex.Transitions
+	}
+	if opts.Trace != nil {
+		tid := opts.Trace.NextTID()
+		opts.Trace.NameThread(tid, "single-task")
+		snaps := exec.SnapshotStats(root)
+		emitTaskTrace(opts.Trace, tid, "task", start, wall, snaps)
+	}
 	return rows, ex.Schema(), nil
+}
+
+// emitTaskTrace records one task's span plus per-operator sub-slices. The
+// engine's operator timers mix self and inclusive time (a Filter times only
+// its own work; a Sort's consume loop includes its child), so operator
+// slices share the task's start and nest by duration inside the task span —
+// an attribution approximation, not an exact timeline.
+func emitTaskTrace(tr *obs.Trace, tid int64, name string, start time.Time, wall time.Duration, snaps []exec.StatsSnapshot) {
+	tr.Span(name, "task", tid, start, wall, nil)
+	for _, s := range snaps {
+		d := time.Duration(s.TimeNanos)
+		if d > wall {
+			d = wall
+		}
+		tr.Span(s.Name, "operator", tid, start, d, map[string]any{
+			"rowsIn": s.RowsIn, "rowsOut": s.RowsOut, "batches": s.BatchesOut,
+		})
+	}
 }
 
 // stageInfo pairs a plan fragment with its scheduler stage and the
@@ -172,6 +228,43 @@ type stageInfo struct {
 	// the input stages' byte statistics once they complete (AQE §5.5).
 	assignOnce  sync.Once
 	assignments [][]int
+
+	// Profile accumulation across the stage's tasks (distributed EXPLAIN
+	// ANALYZE): merged operator rows, task counts, wall-clock envelope, and
+	// output-exchange volume/encoding totals.
+	profMu              sync.Mutex
+	ops                 []OpProfile
+	tasksRun            int
+	firstStart, lastEnd time.Time
+	outRaw, outBytes    int64
+	outRows             int64
+	encCounts           [3]int64
+}
+
+// noteTask folds one completed task's snapshots and timing into the stage.
+func (si *stageInfo) noteTask(snaps []exec.StatsSnapshot, start, end time.Time) {
+	si.profMu.Lock()
+	defer si.profMu.Unlock()
+	si.tasksRun++
+	si.ops = mergeSnapshots(si.ops, snaps)
+	if si.firstStart.IsZero() || start.Before(si.firstStart) {
+		si.firstStart = start
+	}
+	if end.After(si.lastEnd) {
+		si.lastEnd = end
+	}
+}
+
+// noteShuffleOut folds one map task's writer totals into the stage.
+func (si *stageInfo) noteShuffleOut(w *shuffle.Writer) {
+	si.profMu.Lock()
+	defer si.profMu.Unlock()
+	si.outRaw += w.RawBytes
+	si.outBytes += w.Bytes
+	si.outRows += w.Rows
+	for i, n := range w.EncCounts {
+		si.encCounts[i] += n
+	}
 }
 
 // stagedJob lowers a fragment DAG onto the scheduler.
@@ -181,6 +274,10 @@ type stagedJob struct {
 	par  int
 
 	stages map[*catalyst.Fragment]*stageInfo
+
+	// sm mirrors shuffle reader/writer volume into the metrics registry
+	// (nil when the run is uninstrumented).
+	sm *shuffle.Metrics
 
 	// Root gather output.
 	results [][]*vector.Batch
@@ -196,6 +293,7 @@ func runStaged(ctx context.Context, root *catalyst.Fragment, opts Options) ([][]
 		dir:    opts.ShuffleDir,
 		par:    opts.Parallelism,
 		stages: map[*catalyst.Fragment]*stageInfo{},
+		sm:     shuffle.NewMetrics(opts.Metrics),
 	}
 	rootInfo := j.stageFor(root)
 	j.results = make([][]*vector.Batch, rootInfo.stage.NumTasks)
@@ -206,16 +304,33 @@ func runStaged(ctx context.Context, root *catalyst.Fragment, opts Options) ([][]
 	} else {
 		drv = sched.NewDriver(j.par)
 	}
+	jobStart := time.Now()
 	jobStats, err := drv.RunJobStats(ctx, rootInfo.stage)
 	if opts.Stats != nil {
 		*opts.Stats = RunStats{SlotsHeldPeak: jobStats.SlotsHeldPeak, Stages: len(j.stages)}
+		if err == nil {
+			opts.Stats.Profile = j.buildProfile(root)
+		}
+	}
+	if opts.Trace != nil {
+		j.emitStageSpans(opts.Trace)
 	}
 	if err != nil {
 		return nil, nil, err
 	}
 
 	// Driver tail: merge ordered per-task runs or concatenate, then apply
-	// the global limit.
+	// the global limit. Traced as the driver's own span.
+	tailStart := time.Now()
+	if opts.Trace != nil {
+		defer func() {
+			tid := opts.Trace.NextTID()
+			opts.Trace.NameThread(tid, "driver")
+			opts.Trace.Span("job", "driver", tid, jobStart, time.Since(jobStart),
+				map[string]any{"stages": len(j.stages)})
+			opts.Trace.Span("gather/merge", "driver", tid, tailStart, time.Since(tailStart), nil)
+		}()
+	}
 	schema := root.Root.Schema()
 	if len(root.MergeKeys) > 0 {
 		rows, err := exec.MergeSortedRuns(j.results, execSortKeys(root.MergeKeys), root.TailLimit)
@@ -314,7 +429,8 @@ func (j *stagedJob) assignmentsFor(si *stageInfo) [][]int {
 // (exchange leaves resolve to this task's shuffle/broadcast readers), then
 // dispose of the output per the fragment's exchange kind. ctx is the job's
 // context: operators observe it at batch boundaries, so a cancelled query
-// stops within one batch.
+// stops within one batch. After a successful run the task snapshots its
+// operator metrics into the stage's merged profile and emits its trace row.
 func (j *stagedJob) runTask(ctx context.Context, si *stageInfo, taskID int) error {
 	f := si.frag
 
@@ -323,6 +439,10 @@ func (j *stagedJob) runTask(ctx context.Context, si *stageInfo, taskID int) erro
 		asg := j.assignmentsFor(si)
 		if taskID >= len(asg) {
 			// Coalescing produced fewer groups than the static task count.
+			if tr := j.opts.Trace; tr != nil {
+				tr.Instant(fmt.Sprintf("stage-%d/task-%d coalesced away", f.ID, taskID),
+					"task", 0, time.Now(), nil)
+			}
 			return nil
 		}
 		parts = asg[taskID]
@@ -348,21 +468,27 @@ func (j *stagedJob) runTask(ctx context.Context, si *stageInfo, taskID int) erro
 		mapTasks := pi.stage.NumTasks
 		if er.Broadcast {
 			name := fmt.Sprintf("BroadcastRead(stage=%d)", in.ID)
-			return exec.NewBroadcastRead(name, schema, func() ([]exec.ShuffleSource, error) {
-				return []exec.ShuffleSource{
-					shuffle.NewBroadcastReader(j.dir, pi.exID, mapTasks, schema),
-				}, nil
-			}), nil
+			op := exec.NewBroadcastRead(name, schema, func() ([]exec.ShuffleSource, error) {
+				r := shuffle.NewBroadcastReader(j.dir, pi.exID, mapTasks, schema)
+				r.Obs = j.sm
+				return []exec.ShuffleSource{r}, nil
+			})
+			op.Stats().SetUpstream(in.ID)
+			return op, nil
 		}
 		name := fmt.Sprintf("ShuffleRead(stage=%d)", in.ID)
 		myParts := parts
-		return exec.NewShuffleRead(name, schema, func() ([]exec.ShuffleSource, error) {
+		op := exec.NewShuffleRead(name, schema, func() ([]exec.ShuffleSource, error) {
 			srcs := make([]exec.ShuffleSource, 0, len(myParts))
 			for _, p := range myParts {
-				srcs = append(srcs, shuffle.NewReader(j.dir, pi.exID, mapTasks, p, schema))
+				r := shuffle.NewReader(j.dir, pi.exID, mapTasks, p, schema)
+				r.Obs = j.sm
+				srcs = append(srcs, r)
 			}
 			return srcs, nil
-		}), nil
+		})
+		op.Stats().SetUpstream(in.ID)
+		return op, nil
 	}
 
 	op, err := catalyst.BuildOperator(f.Root, cfg, tc)
@@ -370,41 +496,108 @@ func (j *stagedJob) runTask(ctx context.Context, si *stageInfo, taskID int) erro
 		return err
 	}
 
+	// Wrap the output exchange (if any) so the whole per-task tree —
+	// including the ShuffleWrite sink — is profiled and traced uniformly.
+	var root exec.Operator = op
+	var w *shuffle.Writer
 	switch f.Out {
 	case catalyst.ExchangeHash:
-		w, err := shuffle.NewWriter(j.dir, si.exID, taskID, j.par, shuffle.EncoderOptions{Adaptive: true})
+		w, err = shuffle.NewWriter(j.dir, si.exID, taskID, j.par, shuffle.EncoderOptions{Adaptive: true})
 		if err != nil {
 			return err
 		}
+		w.Obs = j.sm
 		var split exec.PartitionFunc
 		if len(f.HashCols) > 0 {
 			split = shuffle.NewPartitioner(j.par, f.HashCols).Split
 		}
 		// nil split: keyless aggregation — every row reduces in partition 0.
-		if err := exec.Drain(exec.NewShuffleWrite(op, w, split), tc); err != nil {
-			return err
-		}
-		si.bytesMu.Lock()
-		for p, b := range w.PartBytes {
-			si.partBytes[p] += b
-		}
-		si.bytesMu.Unlock()
-		return nil
-
+		root = exec.NewShuffleWrite(op, w, split)
 	case catalyst.ExchangeBroadcast:
-		w, err := shuffle.NewBroadcastWriter(j.dir, si.exID, taskID, shuffle.EncoderOptions{Adaptive: true})
+		w, err = shuffle.NewBroadcastWriter(j.dir, si.exID, taskID, shuffle.EncoderOptions{Adaptive: true})
 		if err != nil {
 			return err
 		}
-		return exec.Drain(exec.NewShuffleWrite(op, w, nil), tc)
+		w.Obs = j.sm
+		root = exec.NewShuffleWrite(op, w, nil)
+	}
 
-	default: // ExchangeGather
-		batches, err := exec.CollectAll(op, tc)
+	// Stable pre-order IDs: every task of the stage builds the identical
+	// tree, so IDs are the cross-task merge key.
+	exec.AssignStatsIDs(root)
+	start := time.Now()
+	if f.Out == catalyst.ExchangeGather {
+		batches, err := exec.CollectAll(root, tc)
 		if err != nil {
 			return err
 		}
 		j.results[taskID] = batches
-		return nil
+	} else if err := exec.Drain(root, tc); err != nil {
+		return err
+	}
+	end := time.Now()
+
+	if w != nil {
+		if f.Out == catalyst.ExchangeHash {
+			si.bytesMu.Lock()
+			for p, b := range w.PartBytes {
+				si.partBytes[p] += b
+			}
+			si.bytesMu.Unlock()
+		}
+		si.noteShuffleOut(w)
+	}
+	snaps := exec.SnapshotStats(root)
+	si.noteTask(snaps, start, end)
+	if tr := j.opts.Trace; tr != nil {
+		tid := tr.NextTID()
+		label := fmt.Sprintf("stage-%d/task-%d", f.ID, taskID)
+		tr.NameThread(tid, label)
+		emitTaskTrace(tr, tid, label, start, end.Sub(start), snaps)
+	}
+	return nil
+}
+
+// buildProfile assembles the stages' merged operator rows into the query's
+// stitched EXPLAIN ANALYZE profile, ordered by stage ID.
+func (j *stagedJob) buildProfile(root *catalyst.Fragment) *QueryProfile {
+	q := &QueryProfile{Root: root.ID}
+	for f, si := range j.stages {
+		si.profMu.Lock()
+		sp := StageProfile{
+			ID: f.ID, Label: f.Label, Out: f.Out.String(),
+			TasksPlanned: si.stage.NumTasks, TasksRun: si.tasksRun,
+			WallNanos:       int64(si.stage.Stats().WallTime),
+			Ops:             append([]OpProfile(nil), si.ops...),
+			ShuffleRawBytes: si.outRaw, ShuffleBytes: si.outBytes,
+			ShuffleRows: si.outRows, EncCounts: si.encCounts,
+		}
+		si.profMu.Unlock()
+		q.Stages = append(q.Stages, sp)
+	}
+	sort.Slice(q.Stages, func(a, b int) bool { return q.Stages[a].ID < q.Stages[b].ID })
+	return q
+}
+
+// emitStageSpans records one span per stage covering its tasks' wall-clock
+// envelope (first task start to last task end).
+func (j *stagedJob) emitStageSpans(tr *obs.Trace) {
+	infos := make([]*stageInfo, 0, len(j.stages))
+	for _, si := range j.stages {
+		infos = append(infos, si)
+	}
+	sort.Slice(infos, func(a, b int) bool { return infos[a].frag.ID < infos[b].frag.ID })
+	for _, si := range infos {
+		si.profMu.Lock()
+		start, end, n := si.firstStart, si.lastEnd, si.tasksRun
+		si.profMu.Unlock()
+		if n == 0 || start.IsZero() {
+			continue
+		}
+		tid := tr.NextTID()
+		tr.NameThread(tid, fmt.Sprintf("stage-%d %s", si.frag.ID, si.frag.Label))
+		tr.Span(fmt.Sprintf("stage %d", si.frag.ID), "stage", tid, start, end.Sub(start),
+			map[string]any{"tasks": n, "label": si.frag.Label})
 	}
 }
 

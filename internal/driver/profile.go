@@ -1,0 +1,235 @@
+package driver
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"photon/internal/exec"
+	"photon/internal/shuffle"
+)
+
+// Distributed EXPLAIN ANALYZE: every task snapshots its operator tree's
+// metrics after running (exec.SnapshotStats); the driver merges snapshots
+// across a stage's tasks keyed by the stable pre-order operator IDs
+// (exec.AssignStatsIDs — every task of a stage builds the identical tree
+// from the fragment's plan), then stitches stage fragments back into one
+// query-shaped profile at the exchange-read leaves (OpStats upstream
+// markers). The result is the paper's per-operator debugging interface
+// (§3.3) surviving parallel, multi-stage execution.
+
+// OpProfile is one operator's metrics merged across all tasks of a stage.
+// Counters sum; PeakMemory takes the per-task maximum.
+type OpProfile struct {
+	ID       int
+	Depth    int
+	Name     string
+	Upstream int // producing stage for exchange-read leaves; -1 otherwise
+	Tasks    int // number of task snapshots merged into this row
+
+	RowsIn, RowsOut, BatchesOut, TimeNanos          int64
+	SpillCount, SpillBytes, PeakMemory, Compactions int64
+}
+
+// line renders the merged operator row, matching exec.OpStats.String's
+// column layout plus the task count.
+func (o *OpProfile) line() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-28s in=%-10d out=%-10d batches=%-7d time=%-12v tasks=%d",
+		o.Name, o.RowsIn, o.RowsOut, o.BatchesOut,
+		time.Duration(o.TimeNanos).Round(time.Microsecond), o.Tasks)
+	if o.SpillCount > 0 {
+		fmt.Fprintf(&sb, " spills=%d spillBytes=%d", o.SpillCount, o.SpillBytes)
+	}
+	if o.PeakMemory > 0 {
+		fmt.Fprintf(&sb, " peakMem=%d", o.PeakMemory)
+	}
+	if o.Compactions > 0 {
+		fmt.Fprintf(&sb, " compactions=%d", o.Compactions)
+	}
+	if o.Upstream >= 0 {
+		fmt.Fprintf(&sb, " <- stage %d", o.Upstream)
+	}
+	return strings.TrimRight(sb.String(), " ")
+}
+
+// StageProfile is one fragment's merged execution profile.
+type StageProfile struct {
+	ID    int
+	Label string // fragment label ("FinalAgg->gather")
+	Out   string // output exchange kind
+	// TasksPlanned is the scheduled task count; TasksRun counts tasks that
+	// actually built and ran an operator tree (AQE coalescing can no-op
+	// excess readers).
+	TasksPlanned, TasksRun int
+	WallNanos              int64
+	Ops                    []OpProfile
+
+	// Output-exchange volume (hash/broadcast stages): encoded bytes before
+	// framing, compressed bytes on disk, rows, and the §4.6 adaptive
+	// encoding decisions by column block.
+	ShuffleRawBytes, ShuffleBytes, ShuffleRows int64
+	EncCounts                                  [3]int64
+}
+
+// QueryProfile is the stitched whole-query profile.
+type QueryProfile struct {
+	Root   int // root (gather) stage ID
+	Stages []StageProfile
+}
+
+// Stage returns the profile of stage id (nil if absent).
+func (q *QueryProfile) Stage(id int) *StageProfile {
+	for i := range q.Stages {
+		if q.Stages[i].ID == id {
+			return &q.Stages[i]
+		}
+	}
+	return nil
+}
+
+// fromSnapshot seeds a merged row from one task's snapshot.
+func fromSnapshot(s exec.StatsSnapshot) OpProfile {
+	return OpProfile{
+		ID: s.ID, Depth: s.Depth, Name: s.Name, Upstream: s.Upstream, Tasks: 1,
+		RowsIn: s.RowsIn, RowsOut: s.RowsOut, BatchesOut: s.BatchesOut,
+		TimeNanos: s.TimeNanos, SpillCount: s.SpillCount, SpillBytes: s.SpillBytes,
+		PeakMemory: s.PeakMemory, Compactions: s.Compactions,
+	}
+}
+
+// mergeSnapshots folds one task's snapshots into a stage's merged rows.
+// Tasks of a stage build identical trees, so rows align by position; the ID
+// check guards the alignment and falls back to a search if shapes ever
+// diverge.
+func mergeSnapshots(ops []OpProfile, snaps []exec.StatsSnapshot) []OpProfile {
+	for i, s := range snaps {
+		var t *OpProfile
+		if i < len(ops) && ops[i].ID == s.ID {
+			t = &ops[i]
+		} else {
+			for j := range ops {
+				if ops[j].ID == s.ID {
+					t = &ops[j]
+					break
+				}
+			}
+		}
+		if t == nil {
+			ops = append(ops, fromSnapshot(s))
+			continue
+		}
+		t.Tasks++
+		t.RowsIn += s.RowsIn
+		t.RowsOut += s.RowsOut
+		t.BatchesOut += s.BatchesOut
+		t.TimeNanos += s.TimeNanos
+		t.SpillCount += s.SpillCount
+		t.SpillBytes += s.SpillBytes
+		t.Compactions += s.Compactions
+		if s.PeakMemory > t.PeakMemory {
+			t.PeakMemory = s.PeakMemory
+		}
+	}
+	return ops
+}
+
+// Render formats the stitched profile: the root stage's operator tree with
+// each producer fragment spliced in under the exchange-read leaf that
+// consumes it — EXPLAIN ANALYZE output with the query's original shape.
+func (q *QueryProfile) Render() string {
+	var sb strings.Builder
+	seen := map[int]bool{}
+	var render func(id, indent int)
+	render = func(id, indent int) {
+		st := q.Stage(id)
+		if st == nil || seen[id] {
+			return
+		}
+		seen[id] = true
+		pad := strings.Repeat("  ", indent)
+		fmt.Fprintf(&sb, "%sStage %d [%s] tasks=%d/%d wall=%v",
+			pad, st.ID, st.Label, st.TasksRun, st.TasksPlanned,
+			time.Duration(st.WallNanos).Round(time.Microsecond))
+		if st.ShuffleRows > 0 || st.ShuffleBytes > 0 {
+			fmt.Fprintf(&sb, " shuffle[rows=%d bytes=%d raw=%d enc=%s]",
+				st.ShuffleRows, st.ShuffleBytes, st.ShuffleRawBytes,
+				encString(st.EncCounts))
+		}
+		sb.WriteByte('\n')
+		for i := range st.Ops {
+			op := &st.Ops[i]
+			fmt.Fprintf(&sb, "%s%s%s\n", pad, strings.Repeat("  ", op.Depth+1), op.line())
+			if op.Upstream >= 0 {
+				render(op.Upstream, indent+op.Depth+2)
+			}
+		}
+	}
+	render(q.Root, 0)
+	// Defensive: surface stages the stitch walk missed (should not happen)
+	// rather than silently dropping them.
+	for _, st := range q.Stages {
+		if !seen[st.ID] {
+			render(st.ID, 0)
+		}
+	}
+	return sb.String()
+}
+
+// encString renders the per-encoding block counts compactly.
+func encString(c [3]int64) string {
+	parts := make([]string, 0, 3)
+	for i, n := range c {
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("%s:%d", shuffle.EncodingNames[i], n))
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// BoundaryFraction reports the fraction of total operator time spent in
+// row<->column boundary nodes (Adapter/Transition) — the §6.3 metric. The
+// distributed path runs pure-Photon fragments, so this is mainly meaningful
+// on single-task hybrid plans. Returns 0 when no operator time was recorded.
+func (q *QueryProfile) BoundaryFraction() float64 {
+	var boundary, total int64
+	for _, st := range q.Stages {
+		for _, op := range st.Ops {
+			total += op.TimeNanos
+			if strings.HasPrefix(op.Name, "Adapter") || strings.HasPrefix(op.Name, "Transition") {
+				boundary += op.TimeNanos
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(boundary) / float64(total)
+}
+
+// RowsByName sums RowsOut per operator name across all stages — the
+// cross-parallelism invariant checked by the merge-correctness tests (scan,
+// filter, project, and join outputs are partition-independent).
+func (q *QueryProfile) RowsByName() map[string]int64 {
+	out := map[string]int64{}
+	for _, st := range q.Stages {
+		for _, op := range st.Ops {
+			out[op.Name] += op.RowsOut
+		}
+	}
+	return out
+}
+
+// singleProfile wraps one task's operator tree as a one-stage profile so
+// single-task runs and distributed runs share the EXPLAIN ANALYZE surface.
+func singleProfile(root any, wall time.Duration) *QueryProfile {
+	ops := mergeSnapshots(nil, exec.SnapshotStats(root))
+	return &QueryProfile{Root: 0, Stages: []StageProfile{{
+		ID: 0, Label: "single-task", Out: "gather",
+		TasksPlanned: 1, TasksRun: 1,
+		WallNanos: int64(wall), Ops: ops,
+	}}}
+}

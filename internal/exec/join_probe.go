@@ -31,7 +31,11 @@ func (op *HashJoinOp) Next() (*vector.Batch, error) {
 		return nil, err
 	}
 	if out != nil {
-		op.stats.RowsOut.Add(int64(out.NumRows))
+		// NumActive, not NumRows: filter-mode output passes the probe batch
+		// through with a shrunk position list, and counting carried (dead)
+		// rows would make RowsOut depend on batch boundaries — breaking the
+		// cross-parallelism invariant the merged profiles rely on.
+		op.stats.RowsOut.Add(int64(out.NumActive()))
 		op.stats.BatchesOut.Add(1)
 	}
 	return out, nil

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -39,7 +40,23 @@ type Operator interface {
 // operator boundaries, so each operator maintains its own counters —
 // the paper's primary debugging interface for customer workloads.
 type OpStats struct {
-	Name        string
+	Name string
+
+	// ID is the operator's stable pre-order position within its stage
+	// fragment's plan, assigned before execution (AssignStatsIDs). Every
+	// task of a stage builds an identical plan shape from the fragment cut
+	// at PlanStages time, so (fragment ID, operator ID) names "the same
+	// operator" across parallel tasks — the merge key of distributed
+	// EXPLAIN ANALYZE.
+	ID int
+
+	// upstream records 1 + the producing fragment's ID on exchange-read
+	// leaves (ShuffleRead/BroadcastRead). The per-task stats walk ends at
+	// stage inputs; this field is where the merged query profile stitches
+	// the consumer's tree onto the producer fragment's ShuffleWrite.
+	// 0 means "not an exchange read".
+	upstream int
+
 	RowsIn      atomic.Int64
 	RowsOut     atomic.Int64
 	BatchesOut  atomic.Int64
@@ -49,6 +66,14 @@ type OpStats struct {
 	PeakMemory  atomic.Int64
 	Compactions atomic.Int64
 }
+
+// SetUpstream records the producing fragment of an exchange-read leaf.
+// Called at plan-build time, before the operator runs.
+func (s *OpStats) SetUpstream(frag int) { s.upstream = frag + 1 }
+
+// UpstreamFrag returns the producing fragment of an exchange-read leaf
+// (ok = false for every other operator).
+func (s *OpStats) UpstreamFrag() (int, bool) { return s.upstream - 1, s.upstream > 0 }
 
 // observePeak records a memory high-water mark.
 func (s *OpStats) observePeak(n int64) {
@@ -60,11 +85,27 @@ func (s *OpStats) observePeak(n int64) {
 	}
 }
 
-// String renders a one-line metrics summary.
+// String renders a one-line metrics summary with aligned columns. Rows,
+// batches, and time always print; spill, peak-memory, and compaction fields
+// appear only when nonzero, so the common case stays one clean line.
 func (s *OpStats) String() string {
-	return fmt.Sprintf("%s: in=%d out=%d batches=%d time=%s spills=%d peakMem=%d",
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-28s in=%-10d out=%-10d batches=%-7d time=%-12v",
 		s.Name, s.RowsIn.Load(), s.RowsOut.Load(), s.BatchesOut.Load(),
-		time.Duration(s.TimeNanos.Load()), s.SpillCount.Load(), s.PeakMemory.Load())
+		time.Duration(s.TimeNanos.Load()).Round(time.Microsecond))
+	if n := s.SpillCount.Load(); n > 0 {
+		fmt.Fprintf(&sb, " spills=%d spillBytes=%d", n, s.SpillBytes.Load())
+	}
+	if n := s.PeakMemory.Load(); n > 0 {
+		fmt.Fprintf(&sb, " peakMem=%d", n)
+	}
+	if n := s.Compactions.Load(); n > 0 {
+		fmt.Fprintf(&sb, " compactions=%d", n)
+	}
+	if f, ok := s.UpstreamFrag(); ok {
+		fmt.Fprintf(&sb, " <- stage %d", f)
+	}
+	return strings.TrimRight(sb.String(), " ")
 }
 
 // TaskCtx is the per-task execution context: Photon runs as part of a

@@ -40,8 +40,13 @@ func (t *TransitionOp) children() []any { return []any{t.child} }
 // Leaves report no children explicitly so the walk terminates cleanly.
 func (s *SourceOp) children() []any { return nil }
 
-// Exchange operators participate like any other node; the read sides are
-// stage-input leaves.
+// Exchange operators participate like any other node. The read sides are
+// stage-input leaves *within a task* — their actual input is another
+// fragment's ShuffleWrite in a different set of tasks — so each read op
+// records its producing fragment (OpStats.SetUpstream) and RenderStats
+// prints the "<- stage N" stitch point instead of silently truncating the
+// tree at stage inputs. Distributed EXPLAIN ANALYZE follows the same
+// marker to splice the producer fragment's merged profile underneath.
 func (s *ShuffleWriteOp) children() []any  { return []any{s.child} }
 func (e *ShuffleReadOp) children() []any   { return nil }
 func (e *BroadcastReadOp) children() []any { return nil }
@@ -74,4 +79,64 @@ func RenderStats(op Operator) string {
 		fmt.Fprintf(&sb, "%s%s\n", strings.Repeat("  ", depth), s.String())
 	})
 	return sb.String()
+}
+
+// AssignStatsIDs numbers every metrics-carrying node reachable from root in
+// pre-order. Called once per task before execution; because every task of a
+// stage builds the identical operator tree from its fragment's plan, the
+// assigned IDs are stable across tasks and serve as the per-fragment merge
+// key for distributed EXPLAIN ANALYZE.
+func AssignStatsIDs(root any) {
+	id := 0
+	WalkStats(root, func(s *OpStats, depth int) {
+		s.ID = id
+		id++
+	})
+}
+
+// StatsSnapshot is a point-in-time copy of one operator's metrics, safe to
+// ship across goroutines after the owning task completes.
+type StatsSnapshot struct {
+	ID    int
+	Depth int
+	Name  string
+	// Upstream is the producing fragment for exchange-read leaves
+	// (-1 for every other operator).
+	Upstream int
+
+	RowsIn, RowsOut, BatchesOut, TimeNanos          int64
+	SpillCount, SpillBytes, PeakMemory, Compactions int64
+}
+
+// Snapshot copies the operator's counters at the given plan depth.
+func (s *OpStats) Snapshot(depth int) StatsSnapshot {
+	up := -1
+	if f, ok := s.UpstreamFrag(); ok {
+		up = f
+	}
+	return StatsSnapshot{
+		ID:          s.ID,
+		Depth:       depth,
+		Name:        s.Name,
+		Upstream:    up,
+		RowsIn:      s.RowsIn.Load(),
+		RowsOut:     s.RowsOut.Load(),
+		BatchesOut:  s.BatchesOut.Load(),
+		TimeNanos:   s.TimeNanos.Load(),
+		SpillCount:  s.SpillCount.Load(),
+		SpillBytes:  s.SpillBytes.Load(),
+		PeakMemory:  s.PeakMemory.Load(),
+		Compactions: s.Compactions.Load(),
+	}
+}
+
+// SnapshotStats walks the plan reachable from root and snapshots every
+// metrics-carrying node in pre-order (the task-side half of distributed
+// EXPLAIN ANALYZE; the driver merges snapshots across a stage's tasks).
+func SnapshotStats(root any) []StatsSnapshot {
+	var out []StatsSnapshot
+	WalkStats(root, func(s *OpStats, depth int) {
+		out = append(out, s.Snapshot(depth))
+	})
+	return out
 }

@@ -37,6 +37,10 @@ type Manager struct {
 	// Metrics.
 	SpillCount   int64
 	SpilledBytes int64
+
+	// metrics, when set via Instrument (root managers only), mirrors
+	// reservation/spill/OOM activity into the obs registry.
+	metrics *Metrics
 }
 
 // OOMError is returned when a reservation cannot be satisfied even after
@@ -90,12 +94,19 @@ func (m *Manager) Reserve(c Consumer, n int64) error {
 		return m.reserveChild(c, n)
 	}
 	m.mu.Lock()
+	met := m.metrics
+	if met != nil {
+		met.ReserveCalls.Inc()
+	}
 	for m.total+n > m.limit {
 		need := m.total + n - m.limit
 		victim := m.pickVictimLocked(c, need)
 		if victim == nil {
 			avail := m.limit - m.total
 			m.mu.Unlock()
+			if met != nil {
+				met.OOMs.Inc()
+			}
 			return &OOMError{Requested: n, Available: avail}
 		}
 		// Release the lock during the spill: the victim will call Release
@@ -108,12 +119,19 @@ func (m *Manager) Reserve(c Consumer, n int64) error {
 		m.mu.Lock()
 		m.SpillCount++
 		m.SpilledBytes += freed
+		if met != nil {
+			met.Spills.Inc()
+			met.SpilledBytes.Add(freed)
+		}
 		if freed <= 0 {
 			// The victim could not free anything; exclude it by treating
 			// this as terminal if no progress is possible.
 			if m.total+n > m.limit {
 				avail := m.limit - m.total
 				m.mu.Unlock()
+				if met != nil {
+					met.OOMs.Inc()
+				}
 				return &OOMError{Requested: n, Available: avail}
 			}
 		}

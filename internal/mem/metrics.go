@@ -1,0 +1,76 @@
+package mem
+
+import "photon/internal/obs"
+
+// Metrics is the unified memory manager's observability bundle (§5.3):
+// reservation traffic, spill activity, OOM rejections, and the distribution
+// of per-query memory peaks. Attach with Instrument on the *root* manager;
+// child (per-query) scopes report through their parent, so one bundle covers
+// the whole process.
+type Metrics struct {
+	ReserveCalls *obs.Counter
+	Spills       *obs.Counter
+	SpilledBytes *obs.Counter
+	OOMs         *obs.Counter
+	// QueryPeakBytes observes each query scope's reservation high-water
+	// mark when the scope closes.
+	QueryPeakBytes *obs.Histogram
+}
+
+// NewMetrics resolves the memory metric handles on r (get-or-create).
+// A nil registry returns nil; all uses are nil-guarded.
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		ReserveCalls: r.Counter("photon_mem_reserve_calls_total",
+			"Reservation requests against the unified memory manager"),
+		Spills: r.Counter("photon_mem_spills_total",
+			"Spill victim invocations under memory pressure"),
+		SpilledBytes: r.Counter("photon_mem_spilled_bytes_total",
+			"Bytes freed by spilling consumers to disk"),
+		OOMs: r.Counter("photon_mem_oom_total",
+			"Reservations failed after spilling every eligible consumer"),
+		QueryPeakBytes: r.Histogram("photon_mem_query_peak_bytes",
+			"Per-query reservation high-water marks at query close"),
+	}
+}
+
+// Instrument attaches a metrics bundle resolved on r to the root manager and
+// registers occupancy gauges sampled at scrape time. Call once, before
+// concurrent use; child scopes created later report through this bundle.
+func (m *Manager) Instrument(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	if m.parent != nil {
+		panic("mem: Instrument must be called on the root manager")
+	}
+	met := NewMetrics(r)
+	r.GaugeFunc("photon_mem_limit_bytes",
+		"Configured unified memory limit",
+		func() int64 { return m.Limit() })
+	r.GaugeFunc("photon_mem_reserved_bytes",
+		"Bytes currently reserved across all consumers",
+		func() int64 { return m.Used() })
+	r.GaugeFunc("photon_mem_peak_bytes",
+		"Process-wide reservation high-water mark",
+		func() int64 { return m.PeakBytes() })
+	m.mu.Lock()
+	m.metrics = met
+	m.mu.Unlock()
+	return met
+}
+
+// rootMetrics resolves the metrics bundle at the root of the scope chain
+// (nil when uninstrumented). Callers must not hold m.mu.
+func (m *Manager) rootMetrics() *Metrics {
+	root := m
+	if m.parent != nil {
+		root = m.parent
+	}
+	root.mu.Lock()
+	defer root.mu.Unlock()
+	return root.metrics
+}

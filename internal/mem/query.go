@@ -45,7 +45,8 @@ func (m *Manager) Child(name string) *Manager {
 }
 
 // Close releases the query's entire remaining reservation back to the
-// parent in one step (a query's death frees its whole quota atomically).
+// parent in one step (a query's death frees its whole quota atomically) and
+// reports the query's memory peak to the root metrics bundle.
 // No-op on root managers.
 func (m *Manager) Close() {
 	if m.parent == nil {
@@ -53,11 +54,15 @@ func (m *Manager) Close() {
 	}
 	m.mu.Lock()
 	total := m.total
+	peak := m.peak
 	m.total = 0
 	m.reserved = make(map[Consumer]int64)
 	m.mu.Unlock()
 	if total > 0 {
 		m.parent.Release(m.self, total)
+	}
+	if met := m.rootMetrics(); met != nil {
+		met.QueryPeakBytes.Observe(peak)
 	}
 }
 
@@ -122,6 +127,12 @@ func (m *Manager) spillOwn(need int64) (int64, error) {
 		m.SpillCount++
 		m.SpilledBytes += f
 		m.mu.Unlock()
+		// Root-path spills are mirrored inside Reserve; child-scope spills
+		// happen here, so mirror them to the root bundle explicitly.
+		if met := m.rootMetrics(); met != nil {
+			met.Spills.Inc()
+			met.SpilledBytes.Add(f)
+		}
 	}
 	return freed, nil
 }

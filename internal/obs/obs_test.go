@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0},
+		{2, 1}, {4, 1},
+		{5, 2}, {16, 2},
+		{17, 3}, {64, 3},
+		{bucketBound(numBuckets - 1), numBuckets - 1},
+		{bucketBound(numBuckets-1) + 1, numBuckets}, // +Inf
+	}
+	for _, c := range cases {
+		v := c.v
+		if v < 0 {
+			v = 0 // Observe clamps; bucketIndex contract is v >= 0
+		}
+		if got := bucketIndex(v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every bound must land in its own bucket (le is inclusive).
+	for i := 0; i < numBuckets; i++ {
+		if got := bucketIndex(bucketBound(i)); got != i {
+			t.Errorf("bucketIndex(bound(%d)=%d) = %d, want %d", i, bucketBound(i), got, i)
+		}
+	}
+}
+
+func TestHistogramSnapshotMonotone(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []int64{-3, 0, 1, 2, 4, 5, 1000, 1 << 40, 1 << 62} {
+		h.Observe(v)
+	}
+	cum, inf, sum, count := h.snapshot()
+	if count != 9 {
+		t.Fatalf("count = %d, want 9", count)
+	}
+	if sum != 1+2+4+5+1000+(1<<40)+(1<<62) {
+		t.Fatalf("sum = %d (negative not clamped?)", sum)
+	}
+	prev := int64(0)
+	for i, c := range cum {
+		if c < prev {
+			t.Fatalf("bucket %d not monotone: %d < %d", i, c, prev)
+		}
+		prev = c
+	}
+	if inf != count {
+		t.Fatalf("+Inf bucket = %d, want total %d", inf, count)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("m_total", "help")
+	b := r.Counter("m_total", "other help ignored")
+	if a != b {
+		t.Fatal("Counter not idempotent")
+	}
+	if r.Histogram("h_micros", "") == nil || r.Gauge("g_now", "") == nil {
+		t.Fatal("nil handle from live registry")
+	}
+	names := r.Names()
+	want := []string{"g_now", "h_micros", "m_total"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x", "")
+	r.GaugeFunc("x", "", func() int64 { return 1 })
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.SetMax(9)
+	h.Observe(7)
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 {
+		t.Fatal("nil handles must no-op")
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr *Trace
+	tr.Span("s", "c", tr.NextTID(), time.Now(), time.Second, nil)
+	tr.Instant("i", "c", 0, time.Now(), nil)
+	tr.NameThread(0, "t")
+	if tr.Len() != 0 {
+		t.Fatal("nil trace must no-op")
+	}
+	if js, err := tr.ChromeJSON(); err != nil || !bytes.Contains(js, []byte("traceEvents")) {
+		t.Fatalf("nil trace ChromeJSON: %v %s", err, js)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("photon_blocks_total", "Blocks by encoding.") // unlabeled base first
+	r.Counter(`photon_blocks_total{encoding="dict"}`, "").Add(3)
+	r.Gauge("photon_depth", "Queue depth.").Set(7)
+	r.GaugeFunc("photon_live", "Live value.", func() int64 { return 42 })
+	h := r.Histogram("photon_wait_micros", "Wait time.")
+	h.Observe(0)
+	h.Observe(10)
+	h.Observe(1 << 62)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP photon_blocks_total Blocks by encoding.",
+		"# TYPE photon_blocks_total counter",
+		`photon_blocks_total{encoding="dict"} 3`,
+		"photon_depth 7",
+		"photon_live 42",
+		`photon_wait_micros_bucket{le="+Inf"} 3`,
+		"photon_wait_micros_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE photon_blocks_total"); n != 1 {
+		t.Errorf("labeled family should share one TYPE header, got %d", n)
+	}
+	// Bucket lines must be cumulative (monotone top to bottom).
+	prev := int64(-1)
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "photon_wait_micros_bucket") {
+			continue
+		}
+		v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("buckets not cumulative: %q after %d", line, prev)
+		}
+		prev = v
+	}
+}
+
+func TestWriteJSONAndHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(2)
+	r.Histogram("h_bytes", "").Observe(100)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("WriteJSON not valid JSON: %v", err)
+	}
+	if m["c_total"].(float64) != 2 {
+		t.Fatalf("c_total = %v", m["c_total"])
+	}
+
+	// Handler content negotiation.
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("default Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "c_total 2") {
+		t.Fatalf("text body: %s", rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("json Content-Type = %q", ct)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatalf("handler JSON invalid: %v", err)
+	}
+}
+
+func TestTraceChromeJSON(t *testing.T) {
+	tr := NewTrace()
+	tid := tr.NextTID()
+	tr.NameThread(tid, "task-0")
+	start := time.Now()
+	tr.Span("scan", "operator", tid, start, 5*time.Millisecond,
+		map[string]any{"rows": 100})
+	tr.Span("zero", "operator", tid, start, 0, nil) // clamps to 1µs
+	tr.Instant("skip", "task", tid, start, nil)
+
+	js, err := tr.ChromeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(js, &doc); err != nil {
+		t.Fatalf("ChromeJSON invalid: %v", err)
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("events = %d, want 4", len(doc.TraceEvents))
+	}
+	byName := map[string]TraceEvent{}
+	for _, e := range doc.TraceEvents {
+		byName[e.Name] = e
+	}
+	if byName["scan"].Ph != "X" || byName["scan"].Dur != 5000 {
+		t.Fatalf("scan span: %+v", byName["scan"])
+	}
+	if byName["zero"].Dur != 1 {
+		t.Fatalf("zero-length span not clamped: %+v", byName["zero"])
+	}
+	if byName["skip"].Ph != "i" || byName["thread_name"].Ph != "M" {
+		t.Fatalf("instant/metadata phases wrong: %+v %+v", byName["skip"], byName["thread_name"])
+	}
+}
+
+// TestConcurrentRegistry exercises observation concurrent with exposition;
+// meaningful under -race.
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	h := r.Histogram("h_v", "")
+	r.GaugeFunc("g_live", "", func() int64 { return c.Load() })
+	tr := NewTrace()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			tid := tr.NextTID()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(int64(j))
+				if j%100 == 0 {
+					tr.Span("work", "t", tid, time.Now(), time.Microsecond, nil)
+				}
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			if err := r.WritePrometheus(&buf); err != nil {
+				t.Error(err)
+			}
+			if _, err := tr.ChromeJSON(); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	wg.Wait()
+	if c.Load() != 8000 || h.Count() != 8000 {
+		t.Fatalf("lost updates: c=%d h=%d", c.Load(), h.Count())
+	}
+}

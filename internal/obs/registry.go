@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a named collection of metrics. Lookup is get-or-create, so
+// instrumented layers can fetch handles idempotently; the returned handles
+// are plain atomics, never touched by the registry lock again.
+//
+// Metric names follow Prometheus conventions (snake_case with a unit
+// suffix) and may carry inline labels: `photon_shuffle_blocks_total` or
+// `photon_shuffle_blocks_total{encoding="dict"}`. Labeled variants of one
+// base name share a single HELP/TYPE header in the text exposition.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() int64
+	hists      map[string]*Histogram
+	help       map[string]string // keyed by base name (labels stripped)
+	order      []string          // full names in registration order
+	kinds      map[string]string // full name -> "counter"|"gauge"|"histogram"
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		gaugeFuncs: map[string]func() int64{},
+		hists:      map[string]*Histogram{},
+		help:       map[string]string{},
+		kinds:      map[string]string{},
+	}
+}
+
+var (
+	defaultRegistryOnce sync.Once
+	defaultRegistry     *Registry
+)
+
+// Default returns the process-wide registry, created on first use.
+// Components not wired to a session-scoped registry report here.
+func Default() *Registry {
+	defaultRegistryOnce.Do(func() { defaultRegistry = NewRegistry() })
+	return defaultRegistry
+}
+
+// baseName strips an inline label set from a metric name.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// register records name/help/kind bookkeeping (r.mu held).
+func (r *Registry) register(name, help, kind string) {
+	if _, seen := r.kinds[name]; !seen {
+		r.order = append(r.order, name)
+		r.kinds[name] = kind
+	}
+	base := baseName(name)
+	if _, seen := r.help[base]; !seen && help != "" {
+		r.help[base] = help
+	}
+}
+
+// Counter returns the counter registered under name, creating it if needed.
+// Nil-safe: a nil registry returns a nil (no-op) handle.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	r.register(name, help, "counter")
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+// Nil-safe.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	r.register(name, help, "gauge")
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is sampled from fn at exposition
+// time (queue depths, free slots — state already guarded by its own lock).
+// Re-registering the same name replaces fn. Nil-safe.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = fn
+	r.register(name, help, "gauge")
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// needed. Nil-safe.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := &Histogram{}
+	r.hists[name] = h
+	r.register(name, help, "histogram")
+	return h
+}
+
+// exportRow is one metric's snapshot for exposition.
+type exportRow struct {
+	name, kind string
+	value      int64
+	hist       *Histogram
+}
+
+// snapshotLocked copies the export plan under the lock; atomic loads and
+// gauge funcs run after it is released.
+func (r *Registry) snapshot() []exportRow {
+	r.mu.Lock()
+	rows := make([]exportRow, 0, len(r.order))
+	for _, name := range r.order {
+		row := exportRow{name: name, kind: r.kinds[name]}
+		switch row.kind {
+		case "counter":
+			row.value = r.counters[name].Load()
+		case "gauge":
+			if fn, ok := r.gaugeFuncs[name]; ok {
+				r.mu.Unlock()
+				row.value = fn() // fn may take its own locks; never hold ours
+				r.mu.Lock()
+			} else {
+				row.value = r.gauges[name].Load()
+			}
+		case "histogram":
+			row.hist = r.hists[name]
+		}
+		rows = append(rows, row)
+	}
+	r.mu.Unlock()
+	return rows
+}
+
+// labelInsert splices extra label text into a possibly-labeled name:
+// labelInsert(`m{a="b"}`, `le="4"`) = `m{a="b",le="4"}`.
+func labelInsert(name, label string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:len(name)-1] + "," + label + "}"
+	}
+	return name + "{" + label + "}"
+}
+
+// WritePrometheus writes the registry in Prometheus text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	rows := r.snapshot()
+	r.mu.Lock()
+	helps := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		helps[k] = v
+	}
+	r.mu.Unlock()
+
+	headered := map[string]bool{}
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	for _, row := range rows {
+		base := baseName(row.name)
+		if !headered[base] {
+			headered[base] = true
+			if h := helps[base]; h != "" {
+				pf("# HELP %s %s\n", base, h)
+			}
+			pf("# TYPE %s %s\n", base, row.kind)
+		}
+		switch row.kind {
+		case "histogram":
+			cum, inf, sum, count := row.hist.snapshot()
+			for i := 0; i < numBuckets; i++ {
+				// Skip interior buckets that add nothing; cumulative counts
+				// stay monotone and +Inf is always present.
+				if i > 0 && cum[i] == cum[i-1] {
+					continue
+				}
+				pf("%s %d\n", labelInsert(base+"_bucket", fmt.Sprintf("le=%q", fmt.Sprint(bucketBound(i)))), cum[i])
+			}
+			pf("%s %d\n", labelInsert(base+"_bucket", `le="+Inf"`), inf)
+			pf("%s_sum %d\n", row.name, sum)
+			pf("%s_count %d\n", row.name, count)
+		default:
+			pf("%s %d\n", row.name, row.value)
+		}
+	}
+	return err
+}
+
+// histJSON is a histogram's JSON exposition.
+type histJSON struct {
+	Count   int64            `json:"count"`
+	Sum     int64            `json:"sum"`
+	Buckets map[string]int64 `json:"buckets"` // upper bound -> cumulative
+}
+
+// WriteJSON writes all metrics as one JSON object keyed by metric name.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}")
+		return err
+	}
+	out := map[string]any{}
+	for _, row := range r.snapshot() {
+		switch row.kind {
+		case "histogram":
+			cum, inf, sum, count := row.hist.snapshot()
+			buckets := map[string]int64{}
+			for i := 0; i < numBuckets; i++ {
+				if i > 0 && cum[i] == cum[i-1] {
+					continue
+				}
+				buckets[fmt.Sprint(bucketBound(i))] = cum[i]
+			}
+			buckets["+Inf"] = inf
+			out[row.name] = histJSON{Count: count, Sum: sum, Buckets: buckets}
+		default:
+			out[row.name] = row.value
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Handler serves the registry over HTTP: Prometheus text by default,
+// JSON when the request path ends in ".json" or Accept contains
+// "application/json".
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.HasSuffix(req.URL.Path, ".json") ||
+			strings.Contains(req.Header.Get("Accept"), "application/json") {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Names returns the registered metric names sorted (test helper).
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]string(nil), r.order...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Query tracing: a concurrency-safe collector of spans forming the
+// query → stage → task → operator tree, exported as Chrome trace-event
+// JSON so one run loads directly in chrome://tracing or Perfetto
+// (https://ui.perfetto.dev). Spans are recorded with explicit wall-clock
+// intervals; per-operator time is attributed inside its task's span (the
+// engine's operator timers mix self and inclusive time, so operator slices
+// share the task's start and nest by duration).
+
+// TraceEvent is one Chrome trace-event object ("X" = complete span,
+// "i" = instant, "M" = metadata).
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"` // microseconds since trace start
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Trace collects the events of one query run.
+type Trace struct {
+	start time.Time
+
+	mu     sync.Mutex
+	events []TraceEvent
+
+	tidSeq atomic.Int64
+}
+
+// NewTrace starts an empty trace; timestamps are relative to now.
+func NewTrace() *Trace {
+	return &Trace{start: time.Now()}
+}
+
+// NextTID allocates a fresh trace row (thread id) for a task. Nil-safe.
+func (t *Trace) NextTID() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.tidSeq.Add(1)
+}
+
+// ts converts an absolute time to trace-relative microseconds.
+func (t *Trace) ts(at time.Time) int64 { return at.Sub(t.start).Microseconds() }
+
+// add appends one event.
+func (t *Trace) add(ev TraceEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Span records a complete span [start, start+d) on row tid. Nil-safe.
+func (t *Trace) Span(name, cat string, tid int64, start time.Time, d time.Duration, args map[string]any) {
+	if t == nil {
+		return
+	}
+	dur := d.Microseconds()
+	if dur < 1 {
+		dur = 1 // zero-length spans are invisible in viewers
+	}
+	t.add(TraceEvent{Name: name, Cat: cat, Ph: "X", TS: t.ts(start), Dur: dur, PID: 1, TID: tid, Args: args})
+}
+
+// Instant records a point event on row tid. Nil-safe.
+func (t *Trace) Instant(name, cat string, tid int64, at time.Time, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.add(TraceEvent{Name: name, Cat: cat, Ph: "i", TS: t.ts(at), PID: 1, TID: tid, Args: args})
+}
+
+// NameThread attaches a human-readable label to a trace row. Nil-safe.
+func (t *Trace) NameThread(tid int64, name string) {
+	if t == nil {
+		return
+	}
+	t.add(TraceEvent{Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+		Args: map[string]any{"name": name}})
+}
+
+// Len reports the number of recorded events. Nil-safe.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the recorded events. Nil-safe.
+func (t *Trace) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}
+
+// chromeTrace is the JSON object format of the trace-event spec.
+type chromeTrace struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// ChromeJSON renders the trace in Chrome trace-event JSON (object form).
+// Nil-safe: a nil trace renders an empty event list.
+func (t *Trace) ChromeJSON() ([]byte, error) {
+	events := t.Events()
+	if events == nil {
+		events = []TraceEvent{}
+	}
+	return json.MarshalIndent(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"}, "", " ")
+}

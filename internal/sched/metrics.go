@@ -1,0 +1,88 @@
+package sched
+
+import "photon/internal/obs"
+
+// Metrics is the scheduler's observability bundle. Slot waits make queueing
+// visible (the paper's executor task threads are a fixed resource, §2.2, so
+// time-to-slot is the first thing to look at when concurrent queries slow
+// down); task counters and durations feed capacity planning and retry
+// monitoring. All handles are nil-safe, so instrumented code paths need no
+// guards beyond a nil *Metrics check.
+type Metrics struct {
+	// SlotWaitMicros observes microseconds each task waited for an
+	// executor slot (fair FIFO-with-job-interleaving queue).
+	SlotWaitMicros *obs.Histogram
+	// TaskMicros observes per-task wall time (all attempts of the task).
+	TaskMicros   *obs.Histogram
+	TasksStarted *obs.Counter
+	TaskRetries  *obs.Counter
+	TaskFailures *obs.Counter
+	TasksSkipped *obs.Counter
+	StagesRun    *obs.Counter
+	JobsRun      *obs.Counter
+}
+
+// NewMetrics resolves the scheduler metric handles on r (get-or-create).
+// A nil registry returns nil; all uses are nil-guarded.
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		SlotWaitMicros: r.Histogram("photon_sched_slot_wait_micros",
+			"Microseconds tasks waited for an executor slot"),
+		TaskMicros: r.Histogram("photon_sched_task_micros",
+			"Per-task wall time in microseconds (all attempts)"),
+		TasksStarted: r.Counter("photon_sched_tasks_started_total",
+			"Tasks that acquired a slot and began running"),
+		TaskRetries: r.Counter("photon_sched_task_retries_total",
+			"Extra task attempts after a retryable failure"),
+		TaskFailures: r.Counter("photon_sched_task_failures_total",
+			"Task attempts that returned an error"),
+		TasksSkipped: r.Counter("photon_sched_tasks_skipped_total",
+			"Tasks skipped by fail-fast or cancellation"),
+		StagesRun: r.Counter("photon_sched_stages_total",
+			"Stages completed successfully"),
+		JobsRun: r.Counter("photon_sched_jobs_total",
+			"Jobs submitted to the driver"),
+	}
+}
+
+// Instrument attaches a metrics bundle resolved on r to the pool and
+// registers pool-occupancy gauges sampled at scrape time (slot total, slots
+// in use, queue depth). Safe to call repeatedly — the registry get-or-creates
+// and the gauge functions re-bind to this pool.
+func (p *Pool) Instrument(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	m := NewMetrics(r)
+	r.GaugeFunc("photon_sched_slots_total",
+		"Executor slots in the process-wide pool",
+		func() int64 { return int64(p.slots) })
+	r.GaugeFunc("photon_sched_slots_in_use",
+		"Executor slots currently held by running tasks",
+		func() int64 {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			return int64(p.slots - p.free)
+		})
+	r.GaugeFunc("photon_sched_queue_depth",
+		"Tasks queued waiting for an executor slot",
+		func() int64 {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			return int64(len(p.waiters))
+		})
+	p.mu.Lock()
+	p.metrics = m
+	p.mu.Unlock()
+	return m
+}
+
+// Metrics returns the pool's metrics bundle (nil when uninstrumented).
+func (p *Pool) Metrics() *Metrics {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.metrics
+}

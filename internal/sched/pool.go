@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Pool is a process-wide executor slot pool shared by concurrent jobs —
@@ -23,6 +24,9 @@ type Pool struct {
 	mu      sync.Mutex
 	free    int
 	waiters []*waiter // arrival (FIFO) order
+	// metrics, when set via Instrument, observes slot waits and feeds the
+	// pool-occupancy gauges.
+	metrics *Metrics
 }
 
 // waiter is one task waiting for a slot.
@@ -82,18 +86,26 @@ func (p *Pool) Acquire(ctx context.Context, tok *JobToken) error {
 		return err
 	}
 	p.mu.Lock()
+	m := p.metrics
 	if p.free > 0 && len(p.waiters) == 0 {
 		p.free--
 		tok.grantLocked()
 		p.mu.Unlock()
+		if m != nil {
+			m.SlotWaitMicros.Observe(0) // uncontended grant
+		}
 		return nil
 	}
 	w := &waiter{tok: tok, ready: make(chan struct{})}
 	p.waiters = append(p.waiters, w)
 	p.mu.Unlock()
+	start := time.Now()
 
 	select {
 	case <-w.ready:
+		if m != nil {
+			m.SlotWaitMicros.Observe(time.Since(start).Microseconds())
+		}
 		return nil
 	case <-ctx.Done():
 		p.mu.Lock()

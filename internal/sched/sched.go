@@ -155,6 +155,9 @@ func (d *Driver) RunJobStats(ctx context.Context, finals ...*Stage) (JobStats, e
 		pool = NewPool(d.Parallelism)
 	}
 	tok := pool.NewJob()
+	if m := pool.Metrics(); m != nil {
+		m.JobsRun.Inc()
+	}
 
 	order, err := topoSort(finals)
 	if err != nil {
@@ -227,6 +230,7 @@ func (d *Driver) runStage(jobCtx context.Context, cancel context.CancelCauseFunc
 	if st.done {
 		return nil
 	}
+	m := pool.Metrics()
 	start := time.Now()
 	st.stats.TaskTime = make([]time.Duration, st.NumTasks)
 
@@ -251,23 +255,38 @@ func (d *Driver) runStage(jobCtx context.Context, cancel context.CancelCauseFunc
 			// Queued: wait for an executor slot (fair across jobs).
 			if err := pool.Acquire(jobCtx, tok); err != nil {
 				st.stats.Skipped.Add(1)
+				if m != nil {
+					m.TasksSkipped.Inc()
+				}
 				return
 			}
 			defer pool.Release(tok)
 			if jobCtx.Err() != nil {
 				// Cancelled between grant and start.
 				st.stats.Skipped.Add(1)
+				if m != nil {
+					m.TasksSkipped.Inc()
+				}
 				return
 			}
+			if m != nil {
+				m.TasksStarted.Inc()
+			}
 			tStart := time.Now()
-			err := d.runTaskWithRetry(jobCtx, st, taskID)
+			err := d.runTaskWithRetry(jobCtx, st, taskID, m)
 			st.stats.TaskTime[taskID] = time.Since(tStart)
+			if m != nil {
+				m.TaskMicros.Observe(st.stats.TaskTime[taskID].Microseconds())
+			}
 			if err != nil {
 				if jobCause(jobCtx) != nil &&
 					(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 					// Abandoned because a sibling already failed or the
 					// caller cancelled: skipped, not failed.
 					st.stats.Skipped.Add(1)
+					if m != nil {
+						m.TasksSkipped.Inc()
+					}
 					return
 				}
 				fail(fmt.Errorf("task %d: %w", taskID, err))
@@ -285,13 +304,16 @@ func (d *Driver) runStage(jobCtx context.Context, cancel context.CancelCauseFunc
 		return jobCause(jobCtx)
 	}
 	st.done = true
+	if m != nil {
+		m.StagesRun.Inc()
+	}
 	return nil
 }
 
 // runTaskWithRetry runs one task, retrying transient failures with
 // exponential backoff. Permanent errors (the default classification)
 // return immediately.
-func (d *Driver) runTaskWithRetry(ctx context.Context, st *Stage, taskID int) error {
+func (d *Driver) runTaskWithRetry(ctx context.Context, st *Stage, taskID int, m *Metrics) error {
 	maxAttempts := max(d.MaxAttempts, 1)
 	var err error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
@@ -299,11 +321,17 @@ func (d *Driver) runTaskWithRetry(ctx context.Context, st *Stage, taskID int) er
 			return cerr
 		}
 		st.stats.Attempts.Add(1)
+		if attempt > 0 && m != nil {
+			m.TaskRetries.Inc()
+		}
 		err = st.Run(ctx, taskID)
 		if err == nil {
 			return nil
 		}
 		st.stats.Failures.Add(1)
+		if m != nil {
+			m.TaskFailures.Inc()
+		}
 		if !IsRetryable(err) {
 			return err
 		}

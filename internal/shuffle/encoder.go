@@ -37,24 +37,30 @@ type EncoderOptions struct {
 }
 
 // encodeBlock serializes a batch's active rows into a self-contained block.
-func encodeBlock(dst []byte, b *vector.Batch, opts EncoderOptions) []byte {
+// counts, when non-nil, tallies the per-column encoding decisions (indexed
+// by ColEncoding) — the §4.6 adaptivity statistic surfaced in profiles.
+func encodeBlock(dst []byte, b *vector.Batch, opts EncoderOptions, counts *[3]int64) []byte {
 	n := b.NumActive()
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(n))
 	dst = append(dst, hdr[:]...)
 	for _, v := range b.Vecs {
-		dst = encodeColumn(dst, v, b.Sel, b.NumRows, n, opts)
+		var enc ColEncoding
+		dst, enc = encodeColumn(dst, v, b.Sel, b.NumRows, n, opts)
+		if counts != nil {
+			counts[enc]++
+		}
 	}
 	return dst
 }
 
-func encodeColumn(dst []byte, v *vector.Vector, sel []int32, numRows, n int, opts EncoderOptions) []byte {
+func encodeColumn(dst []byte, v *vector.Vector, sel []int32, numRows, n int, opts EncoderOptions) ([]byte, ColEncoding) {
 	enc := EncPlain
 	if opts.Adaptive && v.Type.ID == types.String && n > 0 {
 		if allUUIDs(v, sel, numRows) {
 			enc = EncUUID
 		} else if d := tryDict(v, sel, numRows, n); d != nil {
-			return encodeDictCol(dst, v, sel, numRows, n, d)
+			return encodeDictCol(dst, v, sel, numRows, n, d), EncDict
 		}
 	}
 	dst = append(dst, byte(enc))
@@ -79,7 +85,7 @@ func encodeColumn(dst []byte, v *vector.Vector, sel []int32, numRows, n int, opt
 			types.ParseUUID(v.Str[i], &u)
 			dst = append(dst, u[:]...)
 		})
-		return dst
+		return dst, enc
 	}
 	// PLAIN.
 	switch v.Type.ID {
@@ -121,7 +127,7 @@ func encodeColumn(dst []byte, v *vector.Vector, sel []int32, numRows, n int, opt
 			dst = append(dst, v.Str[i]...)
 		})
 	}
-	return dst
+	return dst, enc
 }
 
 // forActive iterates active rows.

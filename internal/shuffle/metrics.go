@@ -1,0 +1,47 @@
+package shuffle
+
+import "photon/internal/obs"
+
+// Metrics is the shuffle layer's observability bundle: write/read volume
+// (Table 1's "Data Size" live, not just in experiments) and the adaptive
+// encoding decisions of §4.6 — how many column blocks the encoder emitted
+// as plain, UUID-packed, or dictionary-compressed.
+type Metrics struct {
+	BytesWritten    *obs.Counter
+	RawBytesWritten *obs.Counter
+	RowsWritten     *obs.Counter
+	BlocksWritten   *obs.Counter
+	BytesRead       *obs.Counter
+	// Encodings counts encoded column blocks, indexed by ColEncoding.
+	Encodings [3]*obs.Counter
+}
+
+// EncodingNames label the ColEncoding values in profiles and metrics.
+var EncodingNames = [3]string{"plain", "uuid", "dict"}
+
+// NewMetrics resolves the shuffle metric handles on r (get-or-create, so
+// every writer/reader of a process shares the same counters). A nil
+// registry returns nil, and all Metrics uses are nil-guarded.
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	m := &Metrics{
+		BytesWritten: r.Counter("photon_shuffle_write_bytes_total",
+			"Compressed bytes written to shuffle/broadcast files"),
+		RawBytesWritten: r.Counter("photon_shuffle_write_raw_bytes_total",
+			"Encoded bytes before LZ4 framing"),
+		RowsWritten: r.Counter("photon_shuffle_write_rows_total",
+			"Rows written across exchange boundaries"),
+		BlocksWritten: r.Counter("photon_shuffle_write_blocks_total",
+			"Encoded blocks written to shuffle/broadcast files"),
+		BytesRead: r.Counter("photon_shuffle_read_bytes_total",
+			"Bytes read back from shuffle/broadcast files"),
+	}
+	for i, name := range EncodingNames {
+		m.Encodings[i] = r.Counter(
+			`photon_shuffle_columns_total{encoding="`+name+`"}`,
+			"Column blocks by adaptive encoding decision (§4.6)")
+	}
+	return m
+}

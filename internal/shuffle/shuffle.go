@@ -124,6 +124,13 @@ type Writer struct {
 	// runtime statistic AQE-style partition coalescing reads at the stage
 	// boundary (§5.5).
 	PartBytes []int64
+	// EncCounts tallies encoded column blocks by ColEncoding — the §4.6
+	// adaptive-encoding decisions, surfaced per stage in query profiles.
+	EncCounts [3]int64
+	// Obs, when set, mirrors volume and encoding counters into the
+	// process/session metrics registry.
+	Obs     *Metrics
+	flushed bool
 }
 
 // NewWriter opens P partition files under dir.
@@ -150,18 +157,31 @@ func (w *Writer) WritePartition(part int, b *vector.Batch) error {
 	if b.NumActive() == 0 {
 		return nil
 	}
-	w.scratch = encodeBlock(w.scratch[:0], b, w.opts)
+	w.scratch = encodeBlock(w.scratch[:0], b, w.opts, &w.EncCounts)
 	w.RawBytes += int64(len(w.scratch))
 	w.Rows += int64(b.NumActive())
 	framed := lz4.AppendFrame(nil, w.scratch)
 	w.Bytes += int64(len(framed))
 	w.PartBytes[part] += int64(len(framed))
+	if w.Obs != nil {
+		w.Obs.RawBytesWritten.Add(int64(len(w.scratch)))
+		w.Obs.BytesWritten.Add(int64(len(framed)))
+		w.Obs.RowsWritten.Add(int64(b.NumActive()))
+		w.Obs.BlocksWritten.Inc()
+	}
 	_, err := w.files[part].Write(framed)
 	return err
 }
 
-// Close flushes and closes all partition files.
+// Close flushes and closes all partition files, mirroring the per-writer
+// encoding tallies into the metrics registry once.
 func (w *Writer) Close() error {
+	if w.Obs != nil && !w.flushed {
+		w.flushed = true
+		for i, n := range w.EncCounts {
+			w.Obs.Encodings[i].Add(n)
+		}
+	}
 	var first error
 	for _, f := range w.files {
 		if f == nil {
@@ -180,6 +200,8 @@ type Reader struct {
 	paths   []string
 	pending []byte
 	file    int
+	// Obs, when set, counts bytes read from shuffle files.
+	Obs *Metrics
 }
 
 // NewReader opens partition `part` written by mapTasks map tasks.
@@ -215,6 +237,9 @@ func (r *Reader) Next(dst *vector.Batch) (bool, error) {
 				continue // map task produced nothing for this partition
 			}
 			return false, err
+		}
+		if r.Obs != nil {
+			r.Obs.BytesRead.Add(int64(len(data)))
 		}
 		r.pending = data
 	}

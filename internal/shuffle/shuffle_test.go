@@ -240,7 +240,7 @@ func TestDecodeCorruptBlocks(t *testing.T) {
 		rows = append(rows, []any{int64(i), fmt.Sprintf("s%d", i)})
 	}
 	b := mkBatch(schema, rows)
-	good := encodeBlock(nil, b, EncoderOptions{Adaptive: true})
+	good := encodeBlock(nil, b, EncoderOptions{Adaptive: true}, nil)
 	dst := vector.NewBatch(schema, 256)
 	defer func() {
 		if r := recover(); r != nil {

@@ -41,6 +41,10 @@ func (k ExchangeKind) String() string {
 type Fragment struct {
 	ID   int
 	Root sql.LogicalPlan
+	// Label is a short human-readable stage name ("FinalAgg->gather",
+	// "PartialAgg->hash") derived from the root plan node and output
+	// exchange at cut time, used by query profiles and traces.
+	Label string
 	// Out is how the fragment's output is exchanged.
 	Out ExchangeKind
 	// HashCols are the output-ordinal partition keys for ExchangeHash.

@@ -2,6 +2,7 @@ package catalyst
 
 import (
 	"fmt"
+	"strings"
 
 	"photon/internal/expr"
 	"photon/internal/sql"
@@ -99,6 +100,7 @@ func (p *stagePlanner) cut(root sql.LogicalPlan, out ExchangeKind, hashCols []in
 	f := &Fragment{
 		ID:              p.nextID,
 		Root:            root,
+		Label:           fragLabel(root, out),
 		Out:             out,
 		HashCols:        hashCols,
 		Inputs:          fc.inputs,
@@ -108,6 +110,16 @@ func (p *stagePlanner) cut(root sql.LogicalPlan, out ExchangeKind, hashCols []in
 	}
 	p.nextID++
 	return f
+}
+
+// fragLabel names a stage after its root plan node and output exchange,
+// e.g. "PartialAgg->hash" or "FinalAgg->gather".
+func fragLabel(root sql.LogicalPlan, out ExchangeKind) string {
+	name := root.String()
+	if i := strings.IndexAny(name, "(["); i > 0 {
+		name = name[:i]
+	}
+	return name + "->" + out.String()
 }
 
 // assemble builds node's fragment-local plan, cutting child fragments at

@@ -1,0 +1,255 @@
+package photon
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"photon/internal/tpch"
+)
+
+// invariantOp reports operator names whose merged RowsOut must be identical
+// at any parallelism: scans, filters, projections, join outputs, and full
+// sorts process every row exactly once regardless of how rows are split
+// across tasks. Excluded by construction: partial/final aggregation halves
+// (different operators than the single-task HashAgg), per-task TopK/Limit
+// (each task keeps its own top N), and exchange reads (broadcast replicates
+// rows into every consumer task).
+func invariantOp(name string) bool {
+	for _, p := range []string{"MemScan", "Filter", "Project", "HashJoin", "Sort"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDistributedProfileMergeCorrectness is the acceptance gate for the
+// distributed EXPLAIN ANALYZE: across all 22 TPC-H queries, the par=4
+// merged profile must report the same per-operator row counts as the par=1
+// run for every partition-invariant operator, and the same result size.
+func TestDistributedProfileMergeCorrectness(t *testing.T) {
+	single := tpchSession(0.005, Config{Parallelism: 1})
+	par := tpchSession(0.005, Config{Parallelism: 4})
+
+	compared := 0
+	for _, q := range tpch.QueryNumbers() {
+		query := tpch.Queries[q]
+		p1, err := single.SQLWithProfile(query)
+		if err != nil {
+			t.Fatalf("Q%02d par=1: %v", q, err)
+		}
+		p4, err := par.SQLWithProfile(query)
+		if err != nil {
+			t.Fatalf("Q%02d par=4: %v", q, err)
+		}
+		if len(p1.Result.Rows) != len(p4.Result.Rows) {
+			t.Errorf("Q%02d result rows: par=1 %d vs par=4 %d",
+				q, len(p1.Result.Rows), len(p4.Result.Rows))
+		}
+		if p1.Plan == nil || p4.Plan == nil {
+			t.Fatalf("Q%02d missing structured profile", q)
+		}
+		r1, r4 := p1.Plan.RowsByName(), p4.Plan.RowsByName()
+		for name, n1 := range r1 {
+			if !invariantOp(name) {
+				continue
+			}
+			if n4, ok := r4[name]; !ok || n4 != n1 {
+				t.Errorf("Q%02d operator %q rows: par=1 %d vs par=4 %d (present=%v)\npar=4 profile:\n%s",
+					q, name, n1, r4[name], ok, p4.Operators)
+			} else {
+				compared++
+			}
+		}
+	}
+	if compared < 22 {
+		t.Fatalf("only %d invariant operators compared across 22 queries — predicate too narrow?", compared)
+	}
+}
+
+// TestDistributedProfileShape checks the stitched profile of one staged
+// query: multiple stages, task merge counts, shuffle volume and encoding
+// decisions, and the rendered tree's exchange markers.
+func TestDistributedProfileShape(t *testing.T) {
+	sess := tpchSession(0.005, Config{Parallelism: 4})
+	p, err := sess.SQLWithProfile(tpch.Queries[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := p.Plan
+	if plan == nil || len(plan.Stages) < 2 {
+		t.Fatalf("expected >= 2 stages, got %+v", plan)
+	}
+	var sawMergedTask, sawShuffle bool
+	for _, st := range plan.Stages {
+		if st.Label == "" {
+			t.Errorf("stage %d missing label", st.ID)
+		}
+		for _, op := range st.Ops {
+			if op.Tasks > 1 {
+				sawMergedTask = true
+			}
+		}
+		if st.ShuffleRows > 0 {
+			sawShuffle = true
+			if st.ShuffleBytes <= 0 || st.ShuffleRawBytes <= 0 {
+				t.Errorf("stage %d shuffle rows without bytes: %+v", st.ID, st)
+			}
+			var encs int64
+			for _, n := range st.EncCounts {
+				encs += n
+			}
+			if encs == 0 {
+				t.Errorf("stage %d shuffled blocks but recorded no encoding decisions", st.ID)
+			}
+		}
+	}
+	if !sawMergedTask {
+		t.Error("no operator merged across > 1 task at par=4")
+	}
+	if !sawShuffle {
+		t.Error("no stage recorded shuffle output")
+	}
+	for _, frag := range []string{"tasks=", "wall=", "<- stage", "shuffle[", "ShuffleRead", "ShuffleWrite"} {
+		if !strings.Contains(p.Operators, frag) {
+			t.Errorf("rendered profile missing %q:\n%s", frag, p.Operators)
+		}
+	}
+	if bf := p.BoundaryFraction(); bf < 0 || bf > 1 {
+		t.Errorf("BoundaryFraction = %v", bf)
+	}
+}
+
+// TestProfileTraceJSON validates the Chrome trace export: parseable JSON in
+// trace-event object form, with stage/task spans and thread metadata.
+func TestProfileTraceJSON(t *testing.T) {
+	sess := tpchSession(0.005, Config{Parallelism: 4})
+	p, err := sess.SQLWithProfile(tpch.Queries[6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := p.TraceJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			TS   int64  `json:"ts"`
+			Dur  int64  `json:"dur"`
+			TID  int64  `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(js, &doc); err != nil {
+		t.Fatalf("trace JSON invalid: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var taskSpans, metaRows int
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "X" && strings.Contains(e.Name, "/task-"):
+			taskSpans++
+			if e.Dur < 1 {
+				t.Errorf("task span %q has dur %d", e.Name, e.Dur)
+			}
+		case e.Ph == "M":
+			metaRows++
+		}
+	}
+	if taskSpans == 0 {
+		t.Errorf("no task spans in trace:\n%s", js)
+	}
+	if metaRows == 0 {
+		t.Error("no thread-name metadata in trace")
+	}
+}
+
+// TestSessionMetricsCoverage runs a staged query and checks that the
+// session registry exposes every advertised metric family — scheduler
+// slots, admission, memory, shuffle, and query lifecycle — through the
+// HTTP handler in both exposition formats.
+func TestSessionMetricsCoverage(t *testing.T) {
+	sess := tpchSession(0.005, Config{Parallelism: 4, MaxConcurrentQueries: 2})
+	if _, err := sess.SQL(tpch.Queries[3]); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	sess.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	text := rec.Body.String()
+	for _, name := range []string{
+		"photon_sched_slots_total", "photon_sched_slots_in_use", "photon_sched_queue_depth",
+		"photon_sched_tasks_started_total", "photon_sched_slot_wait_micros",
+		"photon_queries_running", "photon_admission_queued",
+		"photon_queries_total 1", "photon_queries_succeeded_total 1",
+		"photon_mem_limit_bytes", "photon_mem_reserved_bytes", "photon_mem_query_peak_bytes",
+		"photon_shuffle_write_bytes_total", "photon_shuffle_columns_total{encoding=",
+		"photon_query_run_micros_count 1",
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("exposition missing %q", name)
+		}
+	}
+	if !strings.Contains(text, "# TYPE photon_sched_task_micros histogram") {
+		t.Error("missing histogram TYPE header")
+	}
+
+	rec = httptest.NewRecorder()
+	sess.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.json", nil))
+	var m map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatalf("JSON exposition invalid: %v", err)
+	}
+	if v, ok := m["photon_sched_tasks_started_total"].(float64); !ok || v <= 0 {
+		t.Errorf("photon_sched_tasks_started_total = %v", m["photon_sched_tasks_started_total"])
+	}
+}
+
+// TestMetricsConcurrentScrape hammers one session with parallel queries
+// while scraping the registry and rendering traces — the -race CI run is
+// the real assertion here.
+func TestMetricsConcurrentScrape(t *testing.T) {
+	sess := peopleSession(t, Config{Parallelism: 2})
+	stop := make(chan struct{})
+	scraperDone := make(chan struct{})
+	go func() {
+		defer close(scraperDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rec := httptest.NewRecorder()
+			sess.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				if _, err := sess.SQLWithProfile("SELECT team, count(*) FROM people WHERE score > 10 GROUP BY team"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-scraperDone
+
+	if got := sess.Metrics().Counter("photon_queries_total", "").Load(); got != 32 {
+		t.Errorf("photon_queries_total = %d, want 32", got)
+	}
+}

@@ -17,13 +17,16 @@ package photon
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"strings"
 	"sync"
 	"time"
 
 	"photon/internal/catalog"
+	"photon/internal/driver"
 	"photon/internal/exec"
 	"photon/internal/mem"
+	"photon/internal/obs"
 	"photon/internal/sched"
 	"photon/internal/sql"
 	"photon/internal/sql/catalyst"
@@ -131,6 +134,11 @@ type Session struct {
 	cat *catalog.Catalog
 	mm  *mem.Manager
 
+	// reg is the session's observability registry: memory, scheduler,
+	// admission, shuffle, and query-lifecycle metrics all resolve on it.
+	reg *obs.Registry
+	svc *serviceMetrics
+
 	// Concurrent query service state.
 	gate     *admission
 	pool     *sched.Pool
@@ -144,8 +152,27 @@ func NewSession(cfg ...Config) *Session {
 		c = cfg[0]
 	}
 	mm := mem.NewManager(c.MemoryLimit)
-	return &Session{cfg: c, cat: catalog.New(), mm: mm, gate: newAdmission(c, mm)}
+	reg := obs.NewRegistry()
+	mm.Instrument(reg)
+	gate := newAdmission(c, mm)
+	s := &Session{cfg: c, cat: catalog.New(), mm: mm, reg: reg, gate: gate}
+	s.svc = newServiceMetrics(reg, gate)
+	return s
 }
+
+// Metrics returns the session's observability registry (always non-nil):
+// live counters, gauges, and histograms covering scheduler slots, the
+// admission queue, the unified memory manager, shuffle volume/encodings,
+// and query lifecycle.
+func (s *Session) Metrics() *obs.Registry { return s.reg }
+
+// MetricsHandler returns an http.Handler serving the session's metrics:
+// Prometheus text exposition by default, JSON when the request path ends in
+// ".json" or the Accept header prefers application/json. Mount it wherever
+// the application serves HTTP:
+//
+//	http.Handle("/metrics", sess.MetricsHandler())
+func (s *Session) MetricsHandler() http.Handler { return s.reg.Handler() }
 
 // Result is a fully materialized query result.
 type Result struct {
@@ -370,22 +397,45 @@ func FormatDecimal(d types.Decimal128, scale int) string {
 // vectorized model's observability story (§3.3): operator boundaries
 // survive execution, so each operator reports its own rows, batches, time,
 // spills, and peak memory, like the live metrics Photon feeds the Spark UI.
+// Parallel queries report the distributed form: per-task metrics merged
+// across each stage's tasks and stitched back into the query's shape at
+// exchange boundaries (distributed EXPLAIN ANALYZE).
 type Profile struct {
 	Result *Result
-	// Operators renders one line per operator, indented by plan depth.
+	// Operators renders one line per operator, indented by plan depth; for
+	// staged runs every line is the merge of that operator across the
+	// stage's parallel tasks.
 	Operators string
+	// Plan is the structured profile behind Operators: per-stage merged
+	// operator rows, shuffle volume, and §4.6 encoding decisions.
+	Plan *driver.QueryProfile
 	// Transitions counts engine-boundary nodes in the plan (§6.3).
 	Transitions int
 	// Lifecycle reports the query's service-level statistics: admission
 	// wait, planning and running durations, slots held, and the peak of
 	// its memory reservation scope.
 	Lifecycle *QueryStats
+	// Trace is the query's span tree (query → stage → task → operator).
+	Trace *obs.Trace
 }
 
-// SQLWithProfile executes a query single-task and returns the result along
-// with per-operator metrics. (Parallel execution reports per-stage metrics
-// through the scheduler instead.) It is SQLWithProfileContext with a
-// background context.
+// TraceJSON renders the query trace in Chrome trace-event JSON, loadable
+// directly in chrome://tracing or https://ui.perfetto.dev.
+func (p *Profile) TraceJSON() ([]byte, error) { return p.Trace.ChromeJSON() }
+
+// BoundaryFraction reports the fraction of operator time spent crossing
+// the row<->column engine boundary (Adapter/Transition nodes, §6.3).
+func (p *Profile) BoundaryFraction() float64 {
+	if p.Plan == nil {
+		return 0
+	}
+	return p.Plan.BoundaryFraction()
+}
+
+// SQLWithProfile executes a query and returns the result along with
+// per-operator metrics — single-task or distributed (stage-merged) per the
+// session's Parallelism. It is SQLWithProfileContext with a background
+// context.
 func (s *Session) SQLWithProfile(query string) (*Profile, error) {
 	return s.SQLWithProfileContext(context.Background(), query)
 }

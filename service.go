@@ -9,11 +9,10 @@ import (
 	"time"
 
 	"photon/internal/driver"
-	"photon/internal/exec"
 	"photon/internal/mem"
+	"photon/internal/obs"
 	"photon/internal/sched"
 	"photon/internal/sql"
-	"photon/internal/sql/catalyst"
 )
 
 // This file is the session's concurrent-query service: Photon runs inside a
@@ -171,11 +170,65 @@ func (a *admission) Running() int {
 	return a.running
 }
 
+// Queued reports the number of queries waiting in the admission queue.
+func (a *admission) Queued() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.waiters)
+}
+
+// serviceMetrics is the session's query-lifecycle metric bundle: the
+// admission gate and the lifecycle state machine report into it, and two
+// gauge functions sample the gate live at scrape time.
+type serviceMetrics struct {
+	AdmitWaitMicros *obs.Histogram
+	PlanMicros      *obs.Histogram
+	RunMicros       *obs.Histogram
+
+	Queries   *obs.Counter
+	Admitted  *obs.Counter
+	Rejected  *obs.Counter
+	Succeeded *obs.Counter
+	Failed    *obs.Counter
+}
+
+// newServiceMetrics registers the photon_query_* / photon_admission_*
+// metric family on r and binds the gate's live gauges.
+func newServiceMetrics(r *obs.Registry, gate *admission) *serviceMetrics {
+	m := &serviceMetrics{
+		AdmitWaitMicros: r.Histogram("photon_query_admit_wait_micros",
+			"Time queries spent waiting in the admission gate (microseconds)."),
+		PlanMicros: r.Histogram("photon_query_plan_micros",
+			"Parse+analyze+optimize duration per query (microseconds)."),
+		RunMicros: r.Histogram("photon_query_run_micros",
+			"Execution duration per query (microseconds)."),
+		Queries: r.Counter("photon_queries_total",
+			"Queries submitted to the session."),
+		Admitted: r.Counter("photon_queries_admitted_total",
+			"Queries admitted past the gate."),
+		Rejected: r.Counter("photon_queries_rejected_total",
+			"Queries rejected by admission control."),
+		Succeeded: r.Counter("photon_queries_succeeded_total",
+			"Queries that completed successfully."),
+		Failed: r.Counter("photon_queries_failed_total",
+			"Queries that failed, were cancelled, or timed out (post-admission)."),
+	}
+	r.GaugeFunc("photon_queries_running",
+		"Admitted, unfinished queries right now.",
+		func() int64 { return int64(gate.Running()) })
+	r.GaugeFunc("photon_admission_queued",
+		"Queries currently waiting in the admission queue.",
+		func() int64 { return int64(gate.Queued()) })
+	return m
+}
+
 // slotPool lazily creates the session's shared executor slot pool (all
-// concurrent queries of the session draw tasks from it).
+// concurrent queries of the session draw tasks from it), instrumented on
+// the session registry.
 func (s *Session) slotPool() *sched.Pool {
 	s.poolOnce.Do(func() {
 		s.pool = sched.NewPool(s.cfg.Parallelism)
+		s.pool.Instrument(s.reg)
 	})
 	return s.pool
 }
@@ -208,6 +261,7 @@ func (s *Session) SQLContextStats(ctx context.Context, query string) (*Result, *
 			BroadcastRows:     s.cfg.BroadcastRows,
 			Pool:              s.slotPool(),
 			Stats:             &rs,
+			Metrics:           s.reg,
 			SharedVectors:     true,
 			DisableCompaction: s.cfg.DisableCompaction,
 			DisableAdaptivity: s.cfg.DisableAdaptivity,
@@ -227,32 +281,45 @@ func (s *Session) SQLContextStats(ctx context.Context, query string) (*Result, *
 }
 
 // SQLWithProfileContext executes a query through the full service
-// lifecycle (admission, timeout, per-query memory) single-task and returns
-// per-operator metrics plus the lifecycle stats.
+// lifecycle (admission, timeout, per-query memory) and returns per-operator
+// metrics plus the lifecycle stats and span trace. With Parallelism > 1 the
+// profile is the distributed EXPLAIN ANALYZE: each operator row is the
+// merge of that operator across its stage's tasks, and producer stages are
+// stitched back in under the exchange reads that consume them.
 func (s *Session) SQLWithProfileContext(ctx context.Context, query string) (*Profile, error) {
 	stats := &QueryStats{}
+	trace := obs.NewTrace()
 	var p *Profile
 	err := s.runQuery(ctx, stats, query, func(qctx context.Context, qm *mem.Manager, plan sql.LogicalPlan) error {
-		tc := exec.NewTaskCtx(qm, s.cfg.BatchSize)
-		tc.Ctx = qctx
-		tc.SpillDir = s.cfg.SpillDir
-		tc.EnableCompaction = !s.cfg.DisableCompaction
-		tc.Expr.Adaptive = !s.cfg.DisableAdaptivity
-		tc.Expr.SharedVectors = true // concurrent queries share table vectors
-		ex, err := catalyst.Build(plan, s.plannerConfig(), tc)
+		var rs driver.RunStats
+		rows, schema, err := driver.Run(qctx, plan, driver.Options{
+			Parallelism:       s.cfg.Parallelism,
+			ShuffleDir:        s.cfg.SpillDir,
+			Mem:               qm,
+			BatchSize:         s.cfg.BatchSize,
+			Config:            s.plannerConfig(),
+			BroadcastRows:     s.cfg.BroadcastRows,
+			Pool:              s.slotPool(),
+			Stats:             &rs,
+			Metrics:           s.reg,
+			Trace:             trace,
+			SharedVectors:     true,
+			DisableCompaction: s.cfg.DisableCompaction,
+			DisableAdaptivity: s.cfg.DisableAdaptivity,
+		})
 		if err != nil {
 			return err
 		}
-		rows, err := ex.Run(tc)
-		if err != nil {
-			return err
-		}
+		stats.SlotsHeldPeak = rs.SlotsHeldPeak
+		stats.Stages = rs.Stages
 		p = &Profile{
-			Result:      &Result{Schema: ex.Schema(), Rows: rows},
-			Transitions: ex.Transitions,
+			Result:      &Result{Schema: schema, Rows: rows},
+			Plan:        rs.Profile,
+			Transitions: rs.Transitions,
+			Trace:       trace,
 		}
-		if ex.Photon != nil {
-			p.Operators = exec.RenderStats(ex.Photon)
+		if rs.Profile != nil && profiledOps(rs.Profile) > 0 {
+			p.Operators = rs.Profile.Render()
 		} else {
 			p.Operators = "(plan executed on the row engine)"
 		}
@@ -263,6 +330,16 @@ func (s *Session) SQLWithProfileContext(ctx context.Context, query string) (*Pro
 	}
 	p.Lifecycle = stats
 	return p, nil
+}
+
+// profiledOps counts operator rows across a profile's stages; a hybrid plan
+// that ran entirely on the row engine records none.
+func profiledOps(q *driver.QueryProfile) int {
+	n := 0
+	for _, st := range q.Stages {
+		n += len(st.Ops)
+	}
+	return n
 }
 
 // runQuery drives the query lifecycle state machine around fn:
@@ -280,21 +357,29 @@ func (s *Session) runQuery(ctx context.Context, stats *QueryStats, query string,
 	}
 
 	// State: queued.
+	s.svc.Queries.Inc()
 	t0 := time.Now()
 	if err := s.gate.admit(ctx); err != nil {
 		stats.Queued = time.Since(t0)
+		if errors.Is(err, ErrQueryRejected) {
+			s.svc.Rejected.Inc()
+		}
 		return err
 	}
 	// Admission released only after the memory quota is returned, so the
 	// gate's memory predicate sees up-to-date availability.
 	defer s.gate.release()
 	stats.Queued = time.Since(t0)
+	s.svc.AdmitWaitMicros.Observe(stats.Queued.Microseconds())
+	s.svc.Admitted.Inc()
 
 	// State: planning.
 	t1 := time.Now()
 	plan, err := s.plan(query)
 	stats.Planning = time.Since(t1)
+	s.svc.PlanMicros.Observe(stats.Planning.Microseconds())
 	if err != nil {
+		s.svc.Failed.Inc()
 		return err
 	}
 
@@ -309,5 +394,11 @@ func (s *Session) runQuery(ctx context.Context, stats *QueryStats, query string,
 	t2 := time.Now()
 	err = fn(ctx, qm, plan)
 	stats.Running = time.Since(t2)
+	s.svc.RunMicros.Observe(stats.Running.Microseconds())
+	if err != nil {
+		s.svc.Failed.Inc()
+	} else {
+		s.svc.Succeeded.Inc()
+	}
 	return err
 }
