@@ -7,9 +7,12 @@ package photon
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"photon/internal/driver"
 	"photon/internal/exec"
@@ -448,4 +451,101 @@ func BenchmarkObservabilityOverhead(b *testing.B) {
 	}
 	b.Run("metrics-off", func(b *testing.B) { run(b, nil) })
 	b.Run("metrics-on", func(b *testing.B) { run(b, obs.NewRegistry()) })
+}
+
+// ----- Runtime filters: build-side min/max + Bloom pushed to the probe side -----
+
+// rfBenchResult is one (query, mode) measurement of BenchmarkRuntimeFilters,
+// persisted to BENCH_runtime_filters.json.
+type rfBenchResult struct {
+	Query        string  `json:"query"`
+	Mode         string  `json:"mode"` // "on" | "off"
+	WallMs       float64 `json:"wall_ms"`
+	ScanRows     int64   `json:"scan_rows"`     // rows produced by table scans
+	ShuffleRows  int64   `json:"shuffle_rows"`  // rows crossing hash/broadcast exchanges
+	ShuffleBytes int64   `json:"shuffle_bytes"` // compressed exchange bytes
+	RowsPruned   int64   `json:"rows_pruned"`   // runtime-filter drops (all levels)
+	FilesPruned  int64   `json:"files_pruned"`  // Delta files skipped (0 for mem tables)
+}
+
+// BenchmarkRuntimeFilters measures the end-to-end effect of runtime filters
+// on join-heavy TPC-H queries at parallelism 4 with broadcast joins disabled
+// (every join shuffles both sides, so pre-shuffle filtering is on the
+// critical path). Each query runs with filters on and off; wall time, scan
+// rows, shuffle volume, and pruning counts land in
+// BENCH_runtime_filters.json.
+func BenchmarkRuntimeFilters(b *testing.B) {
+	cat := tpch.NewGen(0.02).Generate()
+	results := map[string]rfBenchResult{}
+	for _, q := range []int{5, 8, 17, 21} {
+		stmt, err := sql.Parse(tpch.Queries[q])
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := sql.Analyze(cat, stmt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err = catalyst.Optimize(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []struct {
+			name string
+			off  bool
+		}{{"on", false}, {"off", true}} {
+			key := fmt.Sprintf("Q%02d/%s", q, mode.name)
+			b.Run(key, func(b *testing.B) {
+				dir := b.TempDir()
+				var last driver.RunStats
+				b.ResetTimer()
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					var rs driver.RunStats
+					if _, _, err := driver.Run(context.Background(), plan, driver.Options{
+						Parallelism: 4, ShuffleDir: dir, BroadcastRows: -1,
+						DisableRuntimeFilters: mode.off, Stats: &rs,
+					}); err != nil {
+						b.Fatal(err)
+					}
+					last = rs
+				}
+				res := rfBenchResult{
+					Query:  fmt.Sprintf("Q%02d", q),
+					Mode:   mode.name,
+					WallMs: float64(time.Since(start).Microseconds()) / 1000 / float64(b.N),
+				}
+				for _, st := range last.Profile.Stages {
+					res.ShuffleRows += st.ShuffleRows
+					res.ShuffleBytes += st.ShuffleBytes
+					res.RowsPruned += st.RFRowsPruned
+					res.FilesPruned += st.RFFilesPruned
+					for _, op := range st.Ops {
+						if strings.HasPrefix(op.Name, "MemScan") || strings.HasPrefix(op.Name, "Scan") {
+							res.ScanRows += op.RowsOut
+						}
+					}
+				}
+				b.ReportMetric(float64(res.ShuffleRows), "shuffle_rows")
+				b.ReportMetric(float64(res.ShuffleBytes), "shuffle_bytes")
+				b.ReportMetric(float64(res.RowsPruned), "rows_pruned")
+				results[key] = res
+			})
+		}
+	}
+	out := make([]rfBenchResult, 0, len(results))
+	for _, q := range []int{5, 8, 17, 21} {
+		for _, m := range []string{"on", "off"} {
+			if r, ok := results[fmt.Sprintf("Q%02d/%s", q, m)]; ok {
+				out = append(out, r)
+			}
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_runtime_filters.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
 }

@@ -36,6 +36,7 @@ var (
 	analyzeFlag = flag.Bool("analyze", false, "print the merged EXPLAIN ANALYZE profile after each query")
 	traceFlag   = flag.String("trace", "", "write a Chrome trace-event JSON file per query (load in chrome://tracing or ui.perfetto.dev)")
 	metricsFlag = flag.Bool("metrics", false, "dump the session's Prometheus metrics on exit")
+	rfFlag      = flag.Bool("runtime-filters", true, "apply hash-join runtime filters to probe-side scans and shuffles (par > 1)")
 )
 
 type deltaList []string
@@ -48,7 +49,7 @@ func main() {
 	flag.Var(&deltas, "delta", "register a Delta table as name=path (repeatable)")
 	flag.Parse()
 
-	cfg := photon.Config{Parallelism: *parFlag}
+	cfg := photon.Config{Parallelism: *parFlag, DisableRuntimeFilters: !*rfFlag}
 	switch *engineFlag {
 	case "photon":
 		cfg.Engine = photon.EnginePhoton

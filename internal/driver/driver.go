@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"photon/internal/exec"
 	"photon/internal/mem"
 	"photon/internal/obs"
+	"photon/internal/rf"
 	"photon/internal/sched"
 	"photon/internal/shuffle"
 	"photon/internal/sql"
@@ -59,6 +61,11 @@ type Options struct {
 	// Adaptivity switches (ablation/experiments).
 	DisableCompaction bool
 	DisableAdaptivity bool
+	// DisableRuntimeFilters turns off build-side runtime filter production
+	// and probe-side consumption (file/row-group pruning, pre-shuffle and
+	// pre-probe row filtering). Filters are on by default and strictly
+	// semantics-free: disabling them never changes results, only speed.
+	DisableRuntimeFilters bool
 }
 
 // RunStats reports one query run's scheduling footprint and profile.
@@ -126,8 +133,9 @@ func Run(ctx context.Context, plan sql.LogicalPlan, opts Options) ([][]any, *typ
 		return runSingle(ctx, plan, opts)
 	}
 	frag, err := catalyst.PlanStages(plan, catalyst.StageConfig{
-		Parallelism:   opts.Parallelism,
-		BroadcastRows: opts.BroadcastRows,
+		Parallelism:    opts.Parallelism,
+		BroadcastRows:  opts.BroadcastRows,
+		RuntimeFilters: !opts.DisableRuntimeFilters,
 	})
 	if err != nil {
 		// Unstageable shape (interior sort, cross join, ...): one task.
@@ -181,6 +189,7 @@ func runSingle(ctx context.Context, plan sql.LogicalPlan, opts Options) ([][]any
 		return nil, nil, err
 	}
 	wall := time.Since(start)
+	notePoolMetrics(opts.Metrics, tc)
 	if opts.Stats != nil {
 		opts.Stats.Profile = singleProfile(root, wall)
 		opts.Stats.Transitions = ex.Transitions
@@ -192,6 +201,40 @@ func runSingle(ctx context.Context, plan sql.LogicalPlan, opts Options) ([][]any
 		emitTaskTrace(opts.Trace, tid, "task", start, wall, snaps)
 	}
 	return rows, ex.Schema(), nil
+}
+
+// notePoolMetrics folds a finished task's batch-pool hit/miss counts into
+// the registry (the pool itself is task-local and lock-free).
+func notePoolMetrics(reg *obs.Registry, tc *exec.TaskCtx) {
+	if tc.Pool == nil {
+		return
+	}
+	reg.Counter("photon_mem_pool_hits_total",
+		"Batch pool hits: Get served by a recycled batch.").Add(tc.Pool.Hits)
+	reg.Counter("photon_mem_pool_misses_total",
+		"Batch pool misses: Get allocated a fresh batch.").Add(tc.Pool.Misses)
+}
+
+// rfCounters are the runtime-filter observability handles (no-ops when the
+// run is uninstrumented — a nil registry returns nil-safe handles).
+type rfCounters struct {
+	built, applied                        *obs.Counter
+	filesPruned, groupsPruned, rowsPruned *obs.Counter
+}
+
+func newRFCounters(reg *obs.Registry) rfCounters {
+	return rfCounters{
+		built: reg.Counter("photon_runtime_filter_built_total",
+			"Runtime filters built and published by join build stages."),
+		applied: reg.Counter("photon_runtime_filter_applied_total",
+			"Runtime filter applications by consuming probe-side tasks."),
+		filesPruned: reg.Counter("photon_runtime_filter_files_pruned_total",
+			"Delta files skipped by runtime-filter key ranges."),
+		groupsPruned: reg.Counter("photon_runtime_filter_row_groups_pruned_total",
+			"Parquet row groups skipped by runtime-filter key ranges."),
+		rowsPruned: reg.Counter("photon_runtime_filter_rows_pruned_total",
+			"Probe-side rows dropped by runtime filters (scan, shuffle, and probe levels)."),
+	}
 }
 
 // emitTaskTrace records one task's span plus per-operator sub-slices. The
@@ -239,6 +282,19 @@ type stageInfo struct {
 	outRaw, outBytes    int64
 	outRows             int64
 	encCounts           [3]int64
+
+	// Runtime-filter scan pruning observed by this (consumer) stage: Delta
+	// files and Parquet row groups skipped, and the rows they contained.
+	rfFiles, rfGroups, rfScanRows int64
+}
+
+// notePrune accumulates scan-level runtime-filter pruning.
+func (si *stageInfo) notePrune(files, groups, rows int64) {
+	si.profMu.Lock()
+	si.rfFiles += files
+	si.rfGroups += groups
+	si.rfScanRows += rows
+	si.profMu.Unlock()
 }
 
 // noteTask folds one completed task's snapshots and timing into the stage.
@@ -279,6 +335,12 @@ type stagedJob struct {
 	// (nil when the run is uninstrumented).
 	sm *shuffle.Metrics
 
+	// rfReg collects runtime filters published by build stages; probe-side
+	// tasks resolve filters from it at plan-build time (their stages are
+	// scheduled after every producer, so lookups see complete filters).
+	rfReg *rf.Registry
+	rfc   rfCounters
+
 	// Root gather output.
 	results [][]*vector.Batch
 }
@@ -294,6 +356,8 @@ func runStaged(ctx context.Context, root *catalyst.Fragment, opts Options) ([][]
 		par:    opts.Parallelism,
 		stages: map[*catalyst.Fragment]*stageInfo{},
 		sm:     shuffle.NewMetrics(opts.Metrics),
+		rfReg:  rf.NewRegistry(),
+		rfc:    newRFCounters(opts.Metrics),
 	}
 	rootInfo := j.stageFor(root)
 	j.results = make([][]*vector.Batch, rootInfo.stage.NumTasks)
@@ -371,13 +435,25 @@ func (j *stagedJob) stageFor(f *catalyst.Fragment) *stageInfo {
 	}
 	j.stages[f] = si
 
+	// Dependencies: exchange inputs plus runtime-filter producers (the
+	// latter are usually already exchange inputs; deduplicate). The driver
+	// runs stages in dependency order, so every filter a task consults is
+	// complete before the task plans.
 	var deps []*sched.Stage
-	for _, in := range f.Inputs {
+	depSeen := map[*catalyst.Fragment]bool{}
+	for _, in := range append(append([]*catalyst.Fragment(nil), f.Inputs...), f.RFInputs...) {
+		if depSeen[in] {
+			continue
+		}
+		depSeen[in] = true
 		deps = append(deps, j.stageFor(in).stage)
 	}
 	numTasks := 1
 	if f.PartitionedScan || f.ReadsHash {
 		numTasks = j.par
+	}
+	if f.RFKeys != nil {
+		j.rfReg.Expect(f.ID, numTasks)
 	}
 	si.stage = &sched.Stage{
 		Name:     fmt.Sprintf("stage-%d-%s", f.ID, f.Out),
@@ -439,6 +515,11 @@ func (j *stagedJob) runTask(ctx context.Context, si *stageInfo, taskID int) erro
 		asg := j.assignmentsFor(si)
 		if taskID >= len(asg) {
 			// Coalescing produced fewer groups than the static task count.
+			// A coalesced-away producer task still counts toward its runtime
+			// filter's completeness (it contributes no rows).
+			if f.RFKeys != nil {
+				j.rfReg.Publish(f.ID, taskID, nil)
+			}
 			if tr := j.opts.Trace; tr != nil {
 				tr.Instant(fmt.Sprintf("stage-%d/task-%d coalesced away", f.ID, taskID),
 					"task", 0, time.Now(), nil)
@@ -452,6 +533,38 @@ func (j *stagedJob) runTask(ctx context.Context, si *stageInfo, taskID int) erro
 	if f.PartitionedScan && si.stage.NumTasks > 1 {
 		cfg.ScanPartitions = si.stage.NumTasks
 		cfg.ScanPartition = taskID
+	}
+
+	// Runtime-filter consumer wiring: resolve published filters for this
+	// fragment's RuntimeFilterPlan nodes and project their columns onto the
+	// scan for file/row-group pruning. Producer stages completed before this
+	// task was scheduled, so lookups are final; a nil resolution (dropped
+	// filter) degrades to a pass-through.
+	if len(f.RFInputs) > 0 || len(f.ScanRF) > 0 {
+		cfg.RuntimeFilterSource = func(id int) *rf.Filter {
+			flt := j.rfReg.Filter(id)
+			if flt.Usable() {
+				j.rfc.applied.Inc()
+			}
+			return flt
+		}
+		var scf []catalyst.ScanColFilter
+		for _, s := range f.ScanRF {
+			flt := j.rfReg.Filter(s.Producer.ID)
+			if flt == nil || s.KeyIdx >= len(flt.Cols) {
+				continue
+			}
+			if c := flt.Cols[s.KeyIdx]; c != nil {
+				scf = append(scf, catalyst.ScanColFilter{Col: s.ScanCol, F: c})
+			}
+		}
+		cfg.ScanRuntimeFilters = scf
+		cfg.OnScanPrune = func(files, groups, rows int64) {
+			si.notePrune(files, groups, rows)
+			j.rfc.filesPruned.Add(files)
+			j.rfc.groupsPruned.Add(groups)
+			j.rfc.rowsPruned.Add(rows)
+		}
 	}
 	tc := j.opts.newTaskCtx(ctx)
 	tc.SpillDir = j.dir
@@ -494,6 +607,20 @@ func (j *stagedJob) runTask(ctx context.Context, si *stageInfo, taskID int) erro
 	op, err := catalyst.BuildOperator(f.Root, cfg, tc)
 	if err != nil {
 		return err
+	}
+
+	// Runtime-filter producer wiring: tap the build stage's output into a
+	// per-task partial filter, published once the task drains successfully.
+	// Every task sizes from the same RFExpectRows estimate so the partial
+	// Blooms union word-for-word.
+	var rfBuild *exec.RuntimeFilterBuildOp
+	if f.RFKeys != nil {
+		keyTypes := make([]types.DataType, len(f.RFKeys))
+		for i, c := range f.RFKeys {
+			keyTypes[i] = si.schema.Field(c).Type
+		}
+		rfBuild = exec.NewRuntimeFilterBuild(op, f.RFKeys, rf.NewFilter(keyTypes, f.RFExpectRows))
+		op = rfBuild
 	}
 
 	// Wrap the output exchange (if any) so the whole per-task tree —
@@ -547,7 +674,22 @@ func (j *stagedJob) runTask(ctx context.Context, si *stageInfo, taskID int) erro
 		}
 		si.noteShuffleOut(w)
 	}
+	// Publish the task's partial runtime filter only on the success path: a
+	// failed (and possibly retried) attempt never contributes, so the merged
+	// filter reflects exactly one complete pass over the build input.
+	if rfBuild != nil {
+		j.rfReg.Publish(f.ID, taskID, rfBuild.Filter())
+		if taskID == 0 {
+			j.rfc.built.Inc()
+		}
+	}
 	snaps := exec.SnapshotStats(root)
+	for _, s := range snaps {
+		if strings.HasPrefix(s.Name, "RuntimeFilter(") {
+			j.rfc.rowsPruned.Add(s.RowsIn - s.RowsOut)
+		}
+	}
+	notePoolMetrics(j.opts.Metrics, tc)
 	si.noteTask(snaps, start, end)
 	if tr := j.opts.Trace; tr != nil {
 		tid := tr.NextTID()
@@ -571,6 +713,15 @@ func (j *stagedJob) buildProfile(root *catalyst.Fragment) *QueryProfile {
 			Ops:             append([]OpProfile(nil), si.ops...),
 			ShuffleRawBytes: si.outRaw, ShuffleBytes: si.outBytes,
 			ShuffleRows: si.outRows, EncCounts: si.encCounts,
+			RFFilesPruned: si.rfFiles, RFGroupsPruned: si.rfGroups,
+			RFRowsPruned: si.rfScanRows,
+		}
+		// Row-level runtime-filter drops (pre-shuffle / pre-probe) fold into
+		// the same pruning total as scan-level skips.
+		for _, o := range sp.Ops {
+			if strings.HasPrefix(o.Name, "RuntimeFilter(") {
+				sp.RFRowsPruned += o.RowsIn - o.RowsOut
+			}
 		}
 		si.profMu.Unlock()
 		q.Stages = append(q.Stages, sp)

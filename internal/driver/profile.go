@@ -70,6 +70,11 @@ type StageProfile struct {
 	// encoding decisions by column block.
 	ShuffleRawBytes, ShuffleBytes, ShuffleRows int64
 	EncCounts                                  [3]int64
+
+	// Runtime-filter pruning observed by this (probe-side) stage: Delta
+	// files and Parquet row groups skipped entirely, and rows eliminated
+	// (scan-level skips plus row-level RuntimeFilter drops).
+	RFFilesPruned, RFGroupsPruned, RFRowsPruned int64
 }
 
 // QueryProfile is the stitched whole-query profile.
@@ -155,6 +160,10 @@ func (q *QueryProfile) Render() string {
 			fmt.Fprintf(&sb, " shuffle[rows=%d bytes=%d raw=%d enc=%s]",
 				st.ShuffleRows, st.ShuffleBytes, st.ShuffleRawBytes,
 				encString(st.EncCounts))
+		}
+		if st.RFFilesPruned > 0 || st.RFGroupsPruned > 0 || st.RFRowsPruned > 0 {
+			fmt.Fprintf(&sb, " rf[files=%d groups=%d rows=%d]",
+				st.RFFilesPruned, st.RFGroupsPruned, st.RFRowsPruned)
 		}
 		sb.WriteByte('\n')
 		for i := range st.Ops {

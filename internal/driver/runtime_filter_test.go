@@ -1,0 +1,193 @@
+package driver
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"photon/internal/catalog"
+	"photon/internal/sql"
+	"photon/internal/sql/catalyst"
+	"photon/internal/storage/delta"
+	"photon/internal/tpch"
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// TestRuntimeFilterEquivalence is the correctness gate of the runtime-filter
+// framework: filters are strictly best-effort, so enabling them must never
+// change any result. Every TPC-H query runs at parallelism 1 (reference) and
+// parallelism 4 — default planning and forced-shuffle joins — with filters
+// on and off, and all five result sets must agree.
+func TestRuntimeFilterEquivalence(t *testing.T) {
+	cat := tpch.NewGen(0.002).Generate()
+	for _, q := range tpch.QueryNumbers() {
+		q := q
+		t.Run(fmt.Sprintf("Q%02d", q), func(t *testing.T) {
+			ref := render(runTPCH(t, cat, q, Options{Parallelism: 1, ShuffleDir: t.TempDir()}))
+			sort.Strings(ref)
+			variants := []struct {
+				name string
+				opts Options
+			}{
+				{"par4-on", Options{Parallelism: 4, ShuffleDir: t.TempDir()}},
+				{"par4-off", Options{Parallelism: 4, ShuffleDir: t.TempDir(), DisableRuntimeFilters: true}},
+				{"par4-shuffle-on", Options{Parallelism: 4, ShuffleDir: t.TempDir(), BroadcastRows: -1}},
+				{"par4-shuffle-off", Options{Parallelism: 4, ShuffleDir: t.TempDir(), BroadcastRows: -1, DisableRuntimeFilters: true}},
+			}
+			for _, v := range variants {
+				got := render(runTPCH(t, cat, q, v.opts))
+				sort.Strings(got)
+				if !reflect.DeepEqual(ref, got) {
+					t.Fatalf("Q%d %s: %d rows != reference %d rows", q, v.name, len(got), len(ref))
+				}
+			}
+		})
+	}
+}
+
+// rfFixture builds a Delta fact table of 4 files with disjoint sorted key
+// ranges ([0,1000), [1000,2000), ...) and an in-memory dim table whose keys
+// all fall inside the second file, then returns the catalog.
+func rfFixture(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	schema := &types.Schema{Fields: []types.Field{
+		{Name: "k", Type: types.Int64Type},
+		{Name: "v", Type: types.Int64Type},
+	}}
+	dtbl, err := delta.Create(filepath.Join(t.TempDir(), "fact"), schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 4; f++ {
+		b := vector.NewBatch(schema, 1000)
+		for i := 0; i < 1000; i++ {
+			b.Vecs[0].I64[i] = int64(f*1000 + i)
+			b.Vecs[1].I64[i] = int64(i)
+		}
+		b.NumRows = 1000
+		if err := dtbl.Append([]*vector.Batch{b}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := dtbl.Snapshot(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := catalog.New()
+	cat.Register(&catalog.DeltaTable{TableName: "fact", Tbl: dtbl, Snap: snap})
+
+	dimSchema := &types.Schema{Fields: []types.Field{{Name: "dk", Type: types.Int64Type}}}
+	db := vector.NewBatch(dimSchema, 10)
+	for i := 0; i < 10; i++ {
+		db.Vecs[0].I64[i] = int64(1500 + i)
+	}
+	db.NumRows = 10
+	cat.Register(&catalog.MemTable{TableName: "dim", Sch: dimSchema, Batches: []*vector.Batch{db}})
+	return cat
+}
+
+// runRF plans and runs one query over the fixture catalog.
+func runRF(t *testing.T, cat *catalog.Catalog, query string, opts Options) ([][]any, RunStats) {
+	t.Helper()
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sql.Analyze(cat, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err = catalyst.Optimize(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rs RunStats
+	opts.Stats = &rs
+	rows, _, err := Run(context.Background(), plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows, rs
+}
+
+// TestRuntimeFilterDeltaFilePruning is the level-1 integration test: a
+// build side covering a narrow key range must skip whole Delta files of the
+// probe scan via the published min/max envelope, the pruning must show up
+// in the EXPLAIN ANALYZE profile, and the result must match the unfiltered
+// run exactly.
+func TestRuntimeFilterDeltaFilePruning(t *testing.T) {
+	cat := rfFixture(t)
+	const q = "SELECT count(*) FROM fact JOIN dim ON k = dk"
+
+	rows, rs := runRF(t, cat, q, Options{Parallelism: 4, ShuffleDir: t.TempDir()})
+	if len(rows) != 1 || rows[0][0] != int64(10) {
+		t.Fatalf("filtered result = %v, want [[10]]", rows)
+	}
+	rowsOff, _ := runRF(t, cat, q, Options{
+		Parallelism: 4, ShuffleDir: t.TempDir(), DisableRuntimeFilters: true,
+	})
+	if !reflect.DeepEqual(rows, rowsOff) {
+		t.Fatalf("filters changed the result: on=%v off=%v", rows, rowsOff)
+	}
+
+	if rs.Profile == nil {
+		t.Fatal("no profile")
+	}
+	var files, pruned int64
+	for _, st := range rs.Profile.Stages {
+		files += st.RFFilesPruned
+		pruned += st.RFRowsPruned
+	}
+	// Dim keys [1500,1509] touch only the second file: the other three
+	// (3000 rows) must be skipped without being decoded.
+	if files != 3 {
+		t.Errorf("RFFilesPruned = %d, want 3\n%s", files, rs.Profile.Render())
+	}
+	if pruned < 3000 {
+		t.Errorf("RFRowsPruned = %d, want >= 3000\n%s", pruned, rs.Profile.Render())
+	}
+	if !strings.Contains(rs.Profile.Render(), " rf[") {
+		t.Errorf("profile render missing rf[...] segment:\n%s", rs.Profile.Render())
+	}
+}
+
+// TestRuntimeFilterShuffleJoinPruning forces the shuffle-join path
+// (BroadcastRows < 0): the probe side must be filtered before it is
+// partitioned, shrinking both the shuffle volume and the probe input.
+func TestRuntimeFilterShuffleJoinPruning(t *testing.T) {
+	cat := rfFixture(t)
+	const q = "SELECT count(*) FROM fact JOIN dim ON k = dk"
+
+	rows, rs := runRF(t, cat, q, Options{
+		Parallelism: 4, ShuffleDir: t.TempDir(), BroadcastRows: -1,
+	})
+	if len(rows) != 1 || rows[0][0] != int64(10) {
+		t.Fatalf("result = %v, want [[10]]", rows)
+	}
+	rowsOff, rsOff := runRF(t, cat, q, Options{
+		Parallelism: 4, ShuffleDir: t.TempDir(), BroadcastRows: -1, DisableRuntimeFilters: true,
+	})
+	if !reflect.DeepEqual(rows, rowsOff) {
+		t.Fatalf("filters changed the result: on=%v off=%v", rows, rowsOff)
+	}
+
+	var prunedRows, shufOn, shufOff int64
+	for _, st := range rs.Profile.Stages {
+		prunedRows += st.RFRowsPruned
+		shufOn += st.ShuffleRows
+	}
+	for _, st := range rsOff.Profile.Stages {
+		shufOff += st.ShuffleRows
+	}
+	if prunedRows == 0 {
+		t.Errorf("shuffle join pruned no rows\n%s", rs.Profile.Render())
+	}
+	if shufOn >= shufOff {
+		t.Errorf("shuffled rows did not shrink: on=%d off=%d", shufOn, shufOff)
+	}
+}

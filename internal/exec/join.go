@@ -100,6 +100,7 @@ type HashJoinOp struct {
 	compacted       *vector.Batch // private gather target for adaptive compaction
 	lanes           laneScratch
 	insertedScratch []bool
+	winSel          []int32 // synthetic selection for chunked giant-batch builds
 
 	out *vector.Batch
 }
@@ -253,7 +254,14 @@ func (op *HashJoinOp) build() error {
 	return nil
 }
 
+// cancelCheckRows bounds how many rows a long-running build loop processes
+// between TaskCtx cancellation checks, so even a single giant batch cancels
+// promptly (ROADMAP: cancellation inside long-running loops).
+const cancelCheckRows = 64 << 10
+
 // insertBuildBatch inserts one batch into tbl (keys + payload columns).
+// Batches larger than cancelCheckRows are inserted in windows with a
+// cancellation check between windows.
 func (op *HashJoinOp) insertBuildBatch(b *vector.Batch, tbl *ht.Table) error {
 	n := b.NumRows
 	op.ensureCap(n)
@@ -268,6 +276,42 @@ func (op *HashJoinOp) insertBuildBatch(b *vector.Batch, tbl *ht.Table) error {
 	if cap(op.insertedScratch) < n {
 		op.insertedScratch = make([]bool, n)
 	}
+	active := n
+	if sel != nil {
+		active = len(sel)
+	}
+	if active <= cancelCheckRows {
+		op.insertBuildRows(b, tbl, sel, n)
+		return nil
+	}
+	for lo := 0; lo < active; lo += cancelCheckRows {
+		if err := op.tc.Cancelled(); err != nil {
+			return err
+		}
+		hi := min(lo+cancelCheckRows, active)
+		op.insertBuildRows(b, tbl, op.windowSel(sel, lo, hi), n)
+	}
+	return nil
+}
+
+// windowSel returns a selection covering active rows [lo, hi): a reslice of
+// sel when one exists, else a synthetic run of physical row indexes.
+func (op *HashJoinOp) windowSel(sel []int32, lo, hi int) []int32 {
+	if sel != nil {
+		return sel[lo:hi]
+	}
+	if cap(op.winSel) < hi-lo {
+		op.winSel = make([]int32, hi-lo)
+	}
+	w := op.winSel[:hi-lo]
+	for i := range w {
+		w[i] = int32(lo + i)
+	}
+	return w
+}
+
+// insertBuildRows inserts the sel window of an already-hashed batch.
+func (op *HashJoinOp) insertBuildRows(b *vector.Batch, tbl *ht.Table, sel []int32, n int) {
 	inserted := op.insertedScratch[:n]
 	tbl.InsertDup(op.keyVecs, op.hashes, sel, n, op.rowIDs, inserted)
 	// Encode payload (full build row) for each inserted entry.
@@ -286,7 +330,6 @@ func (op *HashJoinOp) insertBuildBatch(b *vector.Batch, tbl *ht.Table) error {
 			encode(i)
 		}
 	}
-	return nil
 }
 
 // nonNullKeySel returns the subset of b's active rows whose key vectors are

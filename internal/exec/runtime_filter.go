@@ -1,0 +1,198 @@
+package exec
+
+import (
+	"fmt"
+
+	"photon/internal/rf"
+	"photon/internal/vector"
+)
+
+// RuntimeFilterOp drops probe-side rows that cannot match any build-side
+// join key, using a runtime filter published by the join's build stage
+// (ISSUE: level-2 pre-shuffle and level-3 pre-probe filtering). Like
+// FilterOp it only shrinks each batch's position list — data vectors are
+// untouched, and Bloom false positives merely pass extra rows, so the
+// operator is semantics-free by construction.
+type RuntimeFilterOp struct {
+	base
+	child  Operator
+	keys   []int      // child-schema ordinals of the join key columns
+	filter *rf.Filter // nil or unusable = pass-through
+	hs     rf.HashScratch
+	selA   []int32
+	selB   []int32
+}
+
+// NewRuntimeFilter builds a runtime-filter operator over child. producer is
+// the fragment ID of the build stage that published the filter (display
+// only). filter may be nil: the operator then forwards batches unchanged.
+func NewRuntimeFilter(child Operator, keys []int, filter *rf.Filter, producer int) *RuntimeFilterOp {
+	op := &RuntimeFilterOp{child: child, keys: keys, filter: filter}
+	op.schema = child.Schema()
+	op.stats.Name = fmt.Sprintf("RuntimeFilter(stage=%d)", producer)
+	return op
+}
+
+// Open implements Operator.
+func (op *RuntimeFilterOp) Open(tc *TaskCtx) error {
+	op.tc = tc
+	return op.child.Open(tc)
+}
+
+// Next implements Operator.
+func (op *RuntimeFilterOp) Next() (*vector.Batch, error) {
+	for {
+		if err := op.tc.Cancelled(); err != nil {
+			return nil, err
+		}
+		b, err := op.child.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		op.stats.RowsIn.Add(int64(b.NumActive()))
+		if !op.filter.Usable() {
+			op.stats.RowsOut.Add(int64(b.NumActive()))
+			op.stats.BatchesOut.Add(1)
+			return b, nil
+		}
+		var out *vector.Batch
+		err = op.timed(func() error {
+			sel, filtered, useA := b.Sel, false, true
+			for k, col := range op.keys {
+				c := op.filter.Cols[k]
+				if c == nil {
+					continue // unsupported key type: this column passes all
+				}
+				if filtered && len(sel) == 0 {
+					break
+				}
+				// Alternate output buffers: ProbeVec resets its out slice, so
+				// it must never be handed the slice it is reading sel from.
+				buf := op.selB
+				if useA {
+					buf = op.selA
+				}
+				res := c.ProbeVec(b.Vecs[col], sel, b.NumRows, &op.hs, buf)
+				if useA {
+					op.selA = res
+				} else {
+					op.selB = res
+				}
+				sel, useA, filtered = res, !useA, true
+			}
+			if !filtered {
+				out = b // no usable column filter: pass through
+				return nil
+			}
+			if len(sel) == 0 {
+				return nil // whole batch pruned; pull the next one
+			}
+			b.SetSel(sel)
+			out = b
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if out != nil {
+			op.stats.RowsOut.Add(int64(out.NumActive()))
+			op.stats.BatchesOut.Add(1)
+			return out, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (op *RuntimeFilterOp) Close() error { return op.child.Close() }
+
+// RuntimeFilterBuildOp is a pass-through tap on a join build stage's output:
+// every batch flowing to the shuffle/broadcast writer is also folded into a
+// runtime filter, which the driver publishes when the stage's tasks finish.
+// Rows are folded in windows of cancelCheckRows with a cancellation check
+// between windows, so a giant single-batch build cancels promptly.
+type RuntimeFilterBuildOp struct {
+	base
+	child  Operator
+	keys   []int // child-schema ordinals of the join key columns
+	filter *rf.Filter
+	hs     rf.HashScratch
+	winSel []int32
+}
+
+// NewRuntimeFilterBuild taps child's batches into filter over the given key
+// columns.
+func NewRuntimeFilterBuild(child Operator, keys []int, filter *rf.Filter) *RuntimeFilterBuildOp {
+	op := &RuntimeFilterBuildOp{child: child, keys: keys, filter: filter}
+	op.schema = child.Schema()
+	op.stats.Name = "RuntimeFilterBuild"
+	return op
+}
+
+// Filter returns the filter being built (complete once the stage drains).
+func (op *RuntimeFilterBuildOp) Filter() *rf.Filter { return op.filter }
+
+// Open implements Operator.
+func (op *RuntimeFilterBuildOp) Open(tc *TaskCtx) error {
+	op.tc = tc
+	return op.child.Open(tc)
+}
+
+// Next implements Operator.
+func (op *RuntimeFilterBuildOp) Next() (*vector.Batch, error) {
+	b, err := op.child.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	err = op.timed(func() error {
+		n := int64(b.NumActive())
+		op.stats.RowsIn.Add(n)
+		if err := op.fold(b); err != nil {
+			return err
+		}
+		op.stats.RowsOut.Add(n)
+		op.stats.BatchesOut.Add(1)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// fold adds b's active rows to the filter in cancellation-checked windows.
+func (op *RuntimeFilterBuildOp) fold(b *vector.Batch) error {
+	active := b.NumActive()
+	if active <= cancelCheckRows {
+		if err := op.tc.Cancelled(); err != nil {
+			return err
+		}
+		op.filter.Add(b, op.keys, b.Sel, b.NumRows, &op.hs)
+		return nil
+	}
+	for lo := 0; lo < active; lo += cancelCheckRows {
+		if err := op.tc.Cancelled(); err != nil {
+			return err
+		}
+		hi := min(lo+cancelCheckRows, active)
+		op.filter.Add(b, op.keys, op.window(b.Sel, lo, hi), b.NumRows, &op.hs)
+	}
+	return nil
+}
+
+// window returns a selection for active rows [lo, hi).
+func (op *RuntimeFilterBuildOp) window(sel []int32, lo, hi int) []int32 {
+	if sel != nil {
+		return sel[lo:hi]
+	}
+	if cap(op.winSel) < hi-lo {
+		op.winSel = make([]int32, hi-lo)
+	}
+	w := op.winSel[:hi-lo]
+	for i := range w {
+		w[i] = int32(lo + i)
+	}
+	return w
+}
+
+// Close implements Operator.
+func (op *RuntimeFilterBuildOp) Close() error { return op.child.Close() }

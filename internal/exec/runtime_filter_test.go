@@ -1,0 +1,145 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"photon/internal/expr"
+	"photon/internal/rf"
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// cancelOnNextSource emits one giant batch and cancels the query context as
+// it hands the batch over — modelling a user cancelling mid-build. A prompt
+// consumer must abandon the batch at the next intra-batch checkpoint rather
+// than processing all of it.
+type cancelOnNextSource struct {
+	base
+	batch  *vector.Batch
+	cancel context.CancelFunc
+	done   bool
+}
+
+func (s *cancelOnNextSource) Open(tc *TaskCtx) error { s.tc = tc; return nil }
+func (s *cancelOnNextSource) Close() error           { return nil }
+func (s *cancelOnNextSource) Next() (*vector.Batch, error) {
+	if s.done {
+		return nil, nil
+	}
+	s.done = true
+	s.cancel()
+	return s.batch, nil
+}
+
+// giantBatch builds one batch of n sequential int64 keys.
+func giantBatch(schema *types.Schema, n int) *vector.Batch {
+	b := vector.NewBatch(schema, n)
+	for i := 0; i < n; i++ {
+		b.Vecs[0].I64[i] = int64(i)
+	}
+	b.NumRows = n
+	return b
+}
+
+// TestJoinBuildCancelsWithinGiantBatch: the hash-join build loop must
+// observe cancellation inside a single batch much larger than the
+// cancellation window, not only at batch boundaries.
+func TestJoinBuildCancelsWithinGiantBatch(t *testing.T) {
+	const n = 1 << 20 // 16 cancellation windows
+	schema := intSchema("rid")
+	ctx, cancel := context.WithCancel(context.Background())
+	src := &cancelOnNextSource{batch: giantBatch(schema, n), cancel: cancel}
+	src.schema = schema
+
+	left := NewMemScan(intSchema("lid"), BuildBatches(intSchema("lid"), [][]any{{int64(1)}}, 4))
+	j, err := NewHashJoin(left, src,
+		[]expr.Expr{expr.Col(0, "lid", types.Int64Type)},
+		[]expr.Expr{expr.Col(0, "rid", types.Int64Type)}, InnerJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := newTC(t)
+	tc.Ctx = ctx
+	_, err = CollectRows(j, tc)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// Promptness: at most one cancellation window of rows may have been
+	// inserted before the build noticed.
+	if got := j.tbl.NumRows(); got > cancelCheckRows {
+		t.Fatalf("build inserted %d rows after cancellation (window=%d)", got, cancelCheckRows)
+	}
+}
+
+// TestRuntimeFilterBuildCancelsWithinGiantBatch: the filter-build tap checks
+// cancellation between windows of one giant batch too.
+func TestRuntimeFilterBuildCancelsWithinGiantBatch(t *testing.T) {
+	const n = 1 << 20
+	schema := intSchema("k")
+	ctx, cancel := context.WithCancel(context.Background())
+	src := &cancelOnNextSource{batch: giantBatch(schema, n), cancel: cancel}
+	src.schema = schema
+
+	f := rf.NewFilter([]types.DataType{types.Int64Type}, n)
+	op := NewRuntimeFilterBuild(src, []int{0}, f)
+	tc := newTC(t)
+	tc.Ctx = ctx
+	err := Drain(op, tc)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if got := f.Cols[0].N; got > cancelCheckRows {
+		t.Fatalf("filter folded %d rows after cancellation (window=%d)", got, cancelCheckRows)
+	}
+}
+
+// TestRuntimeFilterOpSelections: the probe-side operator must compose with
+// an existing selection vector and with multi-column keys, and never drop a
+// row whose keys all appear on the build side.
+func TestRuntimeFilterOpSelections(t *testing.T) {
+	schema := intSchema("a", "b")
+	rows := [][]any{
+		{int64(1), int64(10)},  // build match on both cols
+		{int64(2), int64(99)},  // b misses
+		{int64(3), int64(30)},  // build match on both cols
+		{int64(99), int64(10)}, // a misses
+		{nil, int64(10)},       // NULL key: droppable
+	}
+	src := NewMemScan(schema, BuildBatches(schema, rows, 64))
+
+	f := rf.NewFilter([]types.DataType{types.Int64Type, types.Int64Type}, 4)
+	build := vector.NewBatch(schema, 4)
+	for i, kv := range [][2]int64{{1, 10}, {3, 30}, {5, 50}, {7, 70}} {
+		build.Vecs[0].I64[i] = kv[0]
+		build.Vecs[1].I64[i] = kv[1]
+	}
+	build.NumRows = 4
+	var hs rf.HashScratch
+	f.Add(build, []int{0, 1}, nil, 4, &hs)
+
+	op := NewRuntimeFilter(src, []int{0, 1}, f, 0)
+	got, err := CollectRows(op, newTC(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("filtered rows = %d (%v), want 2", len(got), got)
+	}
+	for _, r := range got {
+		if !(r[0] == int64(1) || r[0] == int64(3)) {
+			t.Fatalf("unexpected surviving row %v", r)
+		}
+	}
+	// A nil / unusable filter is a pure pass-through.
+	src2 := NewMemScan(schema, BuildBatches(schema, rows, 64))
+	pass := NewRuntimeFilter(src2, []int{0, 1}, nil, 0)
+	got2, err := CollectRows(pass, newTC(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2) != len(rows) {
+		t.Fatalf("nil filter dropped rows: %d of %d", len(got2), len(rows))
+	}
+}

@@ -51,6 +51,10 @@ func (s *ShuffleWriteOp) children() []any  { return []any{s.child} }
 func (e *ShuffleReadOp) children() []any   { return nil }
 func (e *BroadcastReadOp) children() []any { return nil }
 
+// Runtime-filter operators (build-side tap and probe-side prune).
+func (op *RuntimeFilterOp) children() []any      { return []any{op.child} }
+func (op *RuntimeFilterBuildOp) children() []any { return []any{op.child} }
+
 // WalkStats visits every metrics-carrying node reachable from root with
 // its depth. Root is usually an Operator but may be any plan node; nodes
 // without metrics (pure row-engine operators) are traversed silently when

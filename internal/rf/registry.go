@@ -1,0 +1,98 @@
+package rf
+
+import "sync"
+
+// Registry collects runtime filters across stage boundaries. Producer tasks
+// (hash-join build stages) publish their partial filters as they finish;
+// consumer tasks (probe-side stages) look a filter up once every producer
+// task has reported. Keys are producer fragment IDs, which are unique within
+// one query, so one registry serves a whole staged job.
+//
+// The registry is strictly best-effort from the consumer's point of view: a
+// missing or incomplete filter reads as nil and the consumer runs
+// unfiltered. Correctness never depends on a publish racing ahead of a
+// lookup — the driver orders probe stages after their producers, so in
+// practice the filter is always complete by the time it is consulted.
+type Registry struct {
+	mu sync.Mutex
+	m  map[int]*entry
+}
+
+type entry struct {
+	need int          // number of producer tasks expected to publish
+	got  map[int]bool // task IDs that have published (idempotent)
+	f    *Filter      // merged filter (nil until a non-nil publish)
+	dead bool         // a producer task could not build; filter dropped
+}
+
+// NewRegistry creates an empty filter registry.
+func NewRegistry() *Registry {
+	return &Registry{m: map[int]*entry{}}
+}
+
+// Expect declares that producer fragment id will publish from numTasks
+// tasks. Idempotent; must be called before the producer stage runs.
+func (r *Registry) Expect(id, numTasks int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.m[id]; !ok {
+		r.m[id] = &entry{need: numTasks, got: map[int]bool{}}
+	}
+}
+
+// Publish folds one producer task's partial filter in. A nil f means the
+// task contributed nothing but still completed (e.g. it was coalesced away
+// by adaptive partition merging) — it counts toward completeness without
+// widening the filter. Duplicate publishes from one task are ignored.
+func (r *Registry) Publish(id, taskID int, f *Filter) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.m[id]
+	if !ok || e.got[taskID] {
+		return
+	}
+	e.got[taskID] = true
+	if e.dead || f == nil {
+		return
+	}
+	if e.f == nil {
+		e.f = f
+		return
+	}
+	e.f.Merge(f)
+}
+
+// Drop marks producer id's filter unusable (a task failed to build one).
+// Consumers then read nil and run unfiltered — speed lost, never rows.
+func (r *Registry) Drop(id int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.m[id]; ok {
+		e.dead = true
+		e.f = nil
+	}
+}
+
+// Filter returns producer id's merged filter, or nil while any producer
+// task is still outstanding (or the filter was dropped / never expected).
+func (r *Registry) Filter(id int) *Filter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.m[id]
+	if !ok || e.dead || len(e.got) < e.need {
+		return nil
+	}
+	return e.f
+}

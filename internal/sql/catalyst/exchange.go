@@ -65,6 +65,33 @@ type Fragment struct {
 	// outputs; TailLimit (-1 = none) truncates the gathered result.
 	MergeKeys []sql.SortKeyPlan
 	TailLimit int64
+
+	// Runtime-filter producer role: RFKeys lists the output ordinals of the
+	// join-key columns this (build-side) fragment publishes a runtime filter
+	// over; nil means the fragment produces no filter. RFExpectRows is the
+	// build-side row estimate every task sizes its Bloom filter from, so the
+	// per-task partial filters union word-for-word.
+	RFKeys       []int
+	RFExpectRows int64
+
+	// Runtime-filter consumer role: RFInputs are producer fragments whose
+	// filters this fragment consults (scheduler dependencies in addition to
+	// Inputs — the driver runs stages sequentially in dependency order, so
+	// every filter is complete before a consuming task plans). ScanRF maps
+	// producer filter columns onto this fragment's scan for file/row-group
+	// pruning.
+	RFInputs []*Fragment
+	ScanRF   []ScanRFSpec
+}
+
+// ScanRFSpec projects one runtime-filter key column onto a consuming
+// fragment's table scan: the filter built by Producer over its key column
+// KeyIdx applies to the scan's output column ScanCol (traced through
+// schema-preserving nodes and column-forwarding projections).
+type ScanRFSpec struct {
+	Producer *Fragment
+	KeyIdx   int
+	ScanCol  int
 }
 
 // NumFragments counts the fragments reachable from f (including f).
@@ -134,6 +161,28 @@ func (e *ExchangeRead) String() string {
 		return fmt.Sprintf("BroadcastRead(stage=%d)", e.Frag.ID)
 	}
 	return fmt.Sprintf("ShuffleRead(stage=%d)", e.Frag.ID)
+}
+
+// RuntimeFilterPlan applies the runtime filter published by Producer (a
+// join build stage) to its child's rows before they are shuffled or probed.
+// Keys are child-schema ordinals aligned with Producer.RFKeys. The physical
+// planner lowers it to exec.RuntimeFilterOp, resolving the filter through
+// Config.RuntimeFilterSource; an unresolvable filter degrades to a
+// pass-through (best-effort semantics).
+type RuntimeFilterPlan struct {
+	Child    sql.LogicalPlan
+	Producer *Fragment
+	Keys     []int
+}
+
+// Schema implements sql.LogicalPlan: filtering is schema-preserving.
+func (r *RuntimeFilterPlan) Schema() *types.Schema { return r.Child.Schema() }
+
+// Children implements sql.LogicalPlan.
+func (r *RuntimeFilterPlan) Children() []sql.LogicalPlan { return []sql.LogicalPlan{r.Child} }
+
+func (r *RuntimeFilterPlan) String() string {
+	return fmt.Sprintf("RuntimeFilter(stage=%d cols=%v)", r.Producer.ID, r.Keys)
 }
 
 // PartialAggPlan is the pre-shuffle half of a split aggregation: it

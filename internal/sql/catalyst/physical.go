@@ -6,9 +6,11 @@ import (
 	"photon/internal/catalog"
 	"photon/internal/exec"
 	"photon/internal/expr"
+	"photon/internal/rf"
 	"photon/internal/rowengine"
 	"photon/internal/sql"
 	"photon/internal/storage/delta"
+	"photon/internal/storage/parquet"
 	"photon/internal/types"
 	"photon/internal/vector"
 )
@@ -53,6 +55,26 @@ type Config struct {
 	// broadcast read operator. Set by the distributed driver; nil outside
 	// staged execution (ExchangeRead nodes then fail to plan).
 	ExchangeSource func(*ExchangeRead) (exec.Operator, error)
+	// RuntimeFilterSource resolves the runtime filter published by producer
+	// fragment id, or nil when unavailable — a RuntimeFilterPlan then lowers
+	// to a pass-through (best-effort semantics). Set by the distributed
+	// driver.
+	RuntimeFilterSource func(producerID int) *rf.Filter
+	// ScanRuntimeFilters are per-column runtime filters applied to the
+	// fragment's Delta scan: their range envelopes prune whole files
+	// (against Delta file stats) and row groups (against Parquet chunk
+	// stats) before any byte is decoded.
+	ScanRuntimeFilters []ScanColFilter
+	// OnScanPrune reports scan-level runtime-filter pruning: files and row
+	// groups skipped, and the rows they contained. May be called from the
+	// task goroutine during both planning and execution.
+	OnScanPrune func(files, groups, rows int64)
+}
+
+// ScanColFilter applies one runtime-filter column to scan-output column Col.
+type ScanColFilter struct {
+	Col int
+	F   *rf.ColFilter
 }
 
 func (c Config) rowMode() rowengine.Mode {
@@ -138,6 +160,8 @@ func nodeKind(plan sql.LogicalPlan) string {
 		return "exchange"
 	case *PartialAggPlan, *FinalAggPlan:
 		return "aggregate"
+	case *RuntimeFilterPlan:
+		return "runtimefilter"
 	}
 	return "unknown"
 }
@@ -299,6 +323,21 @@ func (b *builder) buildHybrid(plan sql.LogicalPlan) (exec.Operator, rowengine.Op
 		agg, err := exec.NewHashAgg(ph, exec.AggFinal, finalKeys, n.Agg.KeyNames, n.Agg.Aggs)
 		return agg, nil, err
 
+	case *RuntimeFilterPlan:
+		// Probe-side runtime filter (distributed fragments are pure Photon).
+		ph, _, err := b.buildHybrid(n.Child)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ph == nil {
+			return nil, nil, fmt.Errorf("catalyst: runtime filter requires a Photon input")
+		}
+		var f *rf.Filter
+		if b.cfg.RuntimeFilterSource != nil {
+			f = b.cfg.RuntimeFilterSource(n.Producer.ID)
+		}
+		return exec.NewRuntimeFilter(ph, n.Keys, f, n.Producer.ID), nil, nil
+
 	case *sql.LJoin:
 		lph, lrow, err := b.buildHybrid(n.Left)
 		if err != nil {
@@ -388,7 +427,8 @@ func (b *builder) buildPhotonScan(n *sql.LScan) (exec.Operator, error) {
 		}
 		op = scan
 	case *catalog.DeltaTable:
-		src, err := deltaSource(t, n, b.partitionSpec(partitionThis))
+		src, err := deltaSource(t, n, b.partitionSpec(partitionThis),
+			b.cfg.ScanRuntimeFilters, b.cfg.OnScanPrune)
 		if err != nil {
 			return nil, err
 		}
@@ -418,7 +458,8 @@ func (b *builder) buildRowScan(n *sql.LScan) (rowengine.Operator, error) {
 		}
 		op = rowengine.NewScan(n.Schema(), batches)
 	case *catalog.DeltaTable:
-		src, err := deltaSource(t, n, b.partitionSpec(partitionThis))
+		src, err := deltaSource(t, n, b.partitionSpec(partitionThis),
+			b.cfg.ScanRuntimeFilters, b.cfg.OnScanPrune)
 		if err != nil {
 			return nil, err
 		}
@@ -474,9 +515,14 @@ func pickBatches(batches []*vector.Batch, k, p int) []*vector.Batch {
 }
 
 // deltaSource streams pruned Delta files with column projection. The
-// returned factory yields a fresh stream per Open.
-func deltaSource(t *catalog.DeltaTable, n *sql.LScan, part [2]int) (func() (exec.SourceFunc, error), error) {
+// returned factory yields a fresh stream per Open. Runtime filters (rfs)
+// prune at two levels before any byte is decoded: their range envelopes
+// join the static predicate for file-level stats skipping, and a row-group
+// predicate checks Parquet chunk min/max inside each surviving file.
+func deltaSource(t *catalog.DeltaTable, n *sql.LScan, part [2]int,
+	rfs []ScanColFilter, onPrune func(files, groups, rows int64)) (func() (exec.SourceFunc, error), error) {
 	files := t.Snap.PruneFiles(n.Filter)
+	files, groupFilter := runtimePrune(t, n, files, rfs, part, onPrune)
 	if part[1] > 1 {
 		var mine []delta.AddFile
 		for i := part[0]; i < len(files); i += part[1] {
@@ -521,10 +567,99 @@ func deltaSource(t *catalog.DeltaTable, n *sql.LScan, part [2]int) (func() (exec
 						return nil, err
 					}
 				}
+				if groupFilter != nil {
+					r.SetGroupFilter(groupFilter)
+				}
 				cur = r
 			}
 		}, nil
 	}, nil
+}
+
+// runtimePrune applies runtime-filter envelopes at the file level and
+// returns the Parquet row-group predicate for the chunk level. Pruning is
+// strictly conservative: a skipped file or group provably contains no row
+// whose key columns all fall inside the build side's value ranges (or, for
+// an empty build side, no joinable row at all).
+func runtimePrune(t *catalog.DeltaTable, n *sql.LScan, files []delta.AddFile,
+	rfs []ScanColFilter, part [2]int, onPrune func(files, groups, rows int64)) ([]delta.AddFile, func(*parquet.RowGroupMeta) bool) {
+	if len(rfs) == 0 {
+		return files, nil
+	}
+	// Every task prunes the identical full file list before taking its
+	// round-robin slice, so file-level counts report from partition 0 only.
+	countFiles := part[0] == 0 && onPrune != nil
+
+	type colRF struct {
+		tableCol int
+		t        types.DataType
+		f        *rf.ColFilter
+	}
+	var cols []colRF
+	var preds []expr.Filter
+	empty := false
+	for _, s := range rfs {
+		if s.F == nil {
+			continue
+		}
+		tc := s.Col
+		if n.Projection != nil {
+			tc = n.Projection[s.Col]
+		}
+		ft := t.Snap.Schema.Field(tc)
+		cols = append(cols, colRF{tableCol: tc, t: ft.Type, f: s.F})
+		if s.F.N == 0 {
+			empty = true // build side has no joinable rows: nothing matches
+		}
+		if p := s.F.RangeFilter(expr.Col(tc, ft.Name, ft.Type)); p != nil {
+			preds = append(preds, p)
+		}
+	}
+	if len(cols) == 0 {
+		return files, nil
+	}
+
+	kept := files
+	switch {
+	case empty:
+		kept = nil
+	case len(preds) > 0:
+		// Re-prune with static predicate AND the runtime ranges: exactly the
+		// static skipping machinery, fed a dynamically derived predicate.
+		all := preds
+		if n.Filter != nil {
+			all = append([]expr.Filter{n.Filter}, preds...)
+		}
+		kept = t.Snap.PruneFiles(&expr.And{Filters: all})
+	}
+	if countFiles && len(kept) < len(files) {
+		sum := func(fs []delta.AddFile) (r int64) {
+			for i := range fs {
+				r += fs[i].NumRecords
+			}
+			return r
+		}
+		onPrune(int64(len(files)-len(kept)), 0, sum(files)-sum(kept))
+	}
+
+	gf := func(rg *parquet.RowGroupMeta) bool {
+		for _, c := range cols {
+			if c.tableCol >= len(rg.Columns) {
+				continue
+			}
+			ch := &rg.Columns[c.tableCol]
+			lo := parquet.DecodeStatValue(ch.Min, c.t)
+			hi := parquet.DecodeStatValue(ch.Max, c.t)
+			if !c.f.OverlapsBoxed(lo, hi) {
+				if onPrune != nil {
+					onPrune(0, 1, rg.NumRows)
+				}
+				return false
+			}
+		}
+		return true
+	}
+	return kept, gf
 }
 
 // buildRow plans the whole query on the row engine (the DBR baseline).

@@ -31,6 +31,11 @@ type StageConfig struct {
 	// for keyed joins (both sides shuffle), which is mainly useful for
 	// testing the shuffle-join path.
 	BroadcastRows int64
+	// RuntimeFilters enables build-side runtime filter production and
+	// probe-side consumption for eligible joins (inner and left-semi with
+	// plain-column keys). Filters are strictly best-effort: disabling them
+	// never changes results, only speed.
+	RuntimeFilters bool
 }
 
 func (c StageConfig) broadcastRows() int64 {
@@ -88,6 +93,8 @@ type fragCtx struct {
 	inputs    []*Fragment
 	partScan  bool // contains a task-partitioned scan
 	readsHash bool // consumes a hash exchange
+	rfInputs  []*Fragment
+	scanRF    []ScanRFSpec
 }
 
 type stagePlanner struct {
@@ -107,6 +114,8 @@ func (p *stagePlanner) cut(root sql.LogicalPlan, out ExchangeKind, hashCols []in
 		PartitionedScan: fc.partScan,
 		ReadsHash:       fc.readsHash,
 		TailLimit:       -1,
+		RFInputs:        fc.rfInputs,
+		ScanRF:          fc.scanRF,
 	}
 	p.nextID++
 	return f
@@ -181,9 +190,17 @@ func (p *stagePlanner) assemble(node sql.LogicalPlan, fc *fragCtx) (sql.LogicalP
 
 // assembleJoin picks the join's exchange strategy: broadcast the build
 // side when it is small (or when the keys are not plain columns), else
-// hash-partition both sides on the join keys.
+// hash-partition both sides on the join keys. For eligible joins the build
+// fragment additionally publishes a runtime filter over its key columns,
+// and the probe side is wrapped in a RuntimeFilterPlan consuming it.
 func (p *stagePlanner) assembleJoin(n *sql.LJoin, fc *fragCtx) (sql.LogicalPlan, error) {
 	leftCols, rightCols, keyed := joinKeyCols(n)
+	// Runtime filters require plain-column keys and a join kind whose probe
+	// output is a subset of probe rows that match some build key: inner and
+	// left-semi. Outer/anti joins must keep non-matching probe rows, so
+	// pre-filtering them would change results.
+	rfEligible := p.cfg.RuntimeFilters && keyed &&
+		(n.Kind == sql.JoinInner || n.Kind == sql.JoinLeftSemi)
 	bcast := p.cfg.broadcastRows()
 	if !keyed || (bcast >= 0 && estimateRows(n.Right) <= bcast) {
 		// Broadcast join: the probe side stays in this fragment (parallel
@@ -200,8 +217,15 @@ func (p *stagePlanner) assembleJoin(n *sql.LJoin, fc *fragCtx) (sql.LogicalPlan,
 		}
 		bf := p.cut(right, ExchangeBroadcast, nil, rfc)
 		fc.inputs = append(fc.inputs, bf)
+		probe := left
+		if rfEligible {
+			// Pre-probe filtering (level 3): the build stage completes before
+			// this fragment runs (it is a scheduler dependency already), so
+			// the filter is total by the time probe batches flow.
+			probe = p.attachRuntimeFilter(left, bf, leftCols, rightCols, n.Right, fc)
+		}
 		return &sql.LJoin{
-			Left:     left,
+			Left:     probe,
 			Right:    &ExchangeRead{Frag: bf, Broadcast: true},
 			Kind:     n.Kind,
 			LeftKeys: n.LeftKeys, RightKeys: n.RightKeys,
@@ -216,22 +240,86 @@ func (p *stagePlanner) assembleJoin(n *sql.LJoin, fc *fragCtx) (sql.LogicalPlan,
 	if err != nil {
 		return nil, err
 	}
-	lf := p.cut(left, ExchangeHash, leftCols, lfc)
 	rfc := &fragCtx{}
 	right, err := p.assemble(n.Right, rfc)
 	if err != nil {
 		return nil, err
 	}
-	rf := p.cut(right, ExchangeHash, rightCols, rfc)
-	fc.inputs = append(fc.inputs, lf, rf)
+	var lf, bf *Fragment
+	if rfEligible {
+		// Pre-shuffle filtering (level 2): cut the build fragment first so
+		// the probe fragment can both depend on it and filter its rows
+		// before they are hash-partitioned — shrinking shuffle bytes, not
+		// just probe work.
+		bf = p.cut(right, ExchangeHash, rightCols, rfc)
+		probe := p.attachRuntimeFilter(left, bf, leftCols, rightCols, n.Right, lfc)
+		lf = p.cut(probe, ExchangeHash, leftCols, lfc)
+	} else {
+		lf = p.cut(left, ExchangeHash, leftCols, lfc)
+		bf = p.cut(right, ExchangeHash, rightCols, rfc)
+	}
+	fc.inputs = append(fc.inputs, lf, bf)
 	fc.readsHash = true
 	return &sql.LJoin{
 		Left:     &ExchangeRead{Frag: lf},
-		Right:    &ExchangeRead{Frag: rf},
+		Right:    &ExchangeRead{Frag: bf},
 		Kind:     n.Kind,
 		LeftKeys: n.LeftKeys, RightKeys: n.RightKeys,
 		Residual: n.Residual,
 	}, nil
+}
+
+// attachRuntimeFilter marks build fragment bf as a runtime-filter producer
+// over rightCols, wraps the probe-side plan in a consuming
+// RuntimeFilterPlan, and — when a probe key traces down to the fragment's
+// scan — records a ScanRF spec so the scan can prune files and row groups
+// with the filter's range envelope (level 1). fc is the fragment under
+// construction that contains probe.
+func (p *stagePlanner) attachRuntimeFilter(probe sql.LogicalPlan, bf *Fragment,
+	leftCols, rightCols []int, buildPlan sql.LogicalPlan, fc *fragCtx) sql.LogicalPlan {
+	bf.RFKeys = rightCols
+	bf.RFExpectRows = estimateRows(buildPlan)
+	fc.rfInputs = append(fc.rfInputs, bf)
+	for ki, lc := range leftCols {
+		if sc, ok := traceToScan(probe, lc); ok {
+			fc.scanRF = append(fc.scanRF, ScanRFSpec{Producer: bf, KeyIdx: ki, ScanCol: sc})
+		}
+	}
+	return &RuntimeFilterPlan{Child: probe, Producer: bf, Keys: leftCols}
+}
+
+// traceToScan follows output column col of plan down to the fragment's
+// table scan, returning the scan-output ordinal it originates from.
+// The trace crosses schema-preserving nodes (filters, runtime filters),
+// column-forwarding projections, and a join's probe (left) columns; it
+// stops at exchanges, aggregations, and computed projections.
+func traceToScan(plan sql.LogicalPlan, col int) (int, bool) {
+	switch n := plan.(type) {
+	case *sql.LScan:
+		return col, true
+	case *sql.LFilter:
+		return traceToScan(n.Child, col)
+	case *RuntimeFilterPlan:
+		return traceToScan(n.Child, col)
+	case *sql.LProject:
+		if col >= len(n.Exprs) {
+			return 0, false
+		}
+		cr, ok := n.Exprs[col].(*expr.ColRef)
+		if !ok {
+			return 0, false
+		}
+		return traceToScan(n.Child, cr.Idx)
+	case *sql.LJoin:
+		// Left (probe) columns lead the join's output schema for every join
+		// kind the stage planner emits; right columns come from an exchange
+		// and cannot reach this fragment's scan.
+		if col < len(n.Left.Schema().Fields) {
+			return traceToScan(n.Left, col)
+		}
+		return 0, false
+	}
+	return 0, false
 }
 
 // joinKeyCols extracts plain-column join keys; a shuffle join needs raw

@@ -22,6 +22,11 @@ type Reader struct {
 	group   int
 	decoded []*chunkCursor
 	left    int // rows left in the current group
+
+	// groupFilter, when set, is consulted before a row group is decoded;
+	// returning false skips the whole group (stats-based row-group pruning,
+	// e.g. runtime-filter key ranges against chunk min/max).
+	groupFilter func(*RowGroupMeta) bool
 }
 
 // OpenFile memory-maps (reads) a file and parses its footer.
@@ -214,6 +219,12 @@ func countValid(nulls []byte) int {
 // vecOffsetView returns v itself (plain decode writes at [0, k)).
 func vecOffsetView(v *vector.Vector) *vector.Vector { return v }
 
+// SetGroupFilter installs a row-group predicate: groups for which f returns
+// false are skipped without decoding any chunk. Skipping must be
+// conservative — f sees the group's column-chunk statistics and should
+// return true whenever a match cannot be ruled out.
+func (r *Reader) SetGroupFilter(f func(*RowGroupMeta) bool) { r.groupFilter = f }
+
 // NextBatch decodes up to capacity rows into a fresh batch; returns nil at
 // end of file.
 func (r *Reader) NextBatch(batchSize int) (*vector.Batch, error) {
@@ -226,6 +237,10 @@ func (r *Reader) NextBatch(batchSize int) (*vector.Batch, error) {
 				return nil, nil
 			}
 			rg := &r.meta.RowGroups[r.group]
+			if r.groupFilter != nil && !r.groupFilter(rg) {
+				r.group++
+				continue
+			}
 			r.decoded = make([]*chunkCursor, len(r.proj))
 			for oi, fi := range r.proj {
 				cc, err := r.openChunk(&rg.Columns[fi], r.schema.Field(oi).Type)

@@ -101,6 +101,11 @@ type Config struct {
 	// DisableAdaptivity turns off batch-level adaptivity (ASCII fast
 	// paths etc.); for ablation.
 	DisableAdaptivity bool
+	// DisableRuntimeFilters turns off hash-join runtime filters (build-side
+	// min/max + Bloom filters applied to the probe side as file/row-group
+	// pruning, pre-shuffle and pre-probe row filtering). On by default;
+	// strictly semantics-free — disabling never changes results, only speed.
+	DisableRuntimeFilters bool
 	// PhotonUnsupported forces row-engine fallback for the listed logical
 	// node kinds ("filter", "project", "aggregate", "join", "sort",
 	// "limit"), demonstrating partial rollout (§3.5).

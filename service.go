@@ -265,6 +265,8 @@ func (s *Session) SQLContextStats(ctx context.Context, query string) (*Result, *
 			SharedVectors:     true,
 			DisableCompaction: s.cfg.DisableCompaction,
 			DisableAdaptivity: s.cfg.DisableAdaptivity,
+
+			DisableRuntimeFilters: s.cfg.DisableRuntimeFilters,
 		})
 		if err != nil {
 			return err
@@ -306,6 +308,8 @@ func (s *Session) SQLWithProfileContext(ctx context.Context, query string) (*Pro
 			SharedVectors:     true,
 			DisableCompaction: s.cfg.DisableCompaction,
 			DisableAdaptivity: s.cfg.DisableAdaptivity,
+
+			DisableRuntimeFilters: s.cfg.DisableRuntimeFilters,
 		})
 		if err != nil {
 			return err
