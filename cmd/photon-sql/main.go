@@ -12,6 +12,7 @@
 //	photon-sql -par 4 -analyze -q 'SELECT..'  # merged EXPLAIN ANALYZE
 //	photon-sql -trace q.json -q 'SELECT ...'  # Chrome/Perfetto trace
 //	photon-sql -metrics -q 'SELECT ...'       # Prometheus dump on exit
+//	photon-sql -par 4 -chaos-seed 42 -q '..'  # seeded chaos run (fault injection)
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 
 	"photon"
 	"photon/internal/catalog"
+	"photon/internal/fault"
 	"photon/internal/tpch"
 )
 
@@ -37,6 +39,7 @@ var (
 	traceFlag   = flag.String("trace", "", "write a Chrome trace-event JSON file per query (load in chrome://tracing or ui.perfetto.dev)")
 	metricsFlag = flag.Bool("metrics", false, "dump the session's Prometheus metrics on exit")
 	rfFlag      = flag.Bool("runtime-filters", true, "apply hash-join runtime filters to probe-side scans and shuffles (par > 1)")
+	chaosFlag   = flag.Int64("chaos-seed", 0, "arm deterministic fault injection on the distributed execution sites with this seed; pair with -par > 1 (0 = off)")
 )
 
 type deltaList []string
@@ -50,6 +53,12 @@ func main() {
 	flag.Parse()
 
 	cfg := photon.Config{Parallelism: *parFlag, DisableRuntimeFilters: !*rfFlag}
+	if *chaosFlag != 0 {
+		// Extra retry headroom: chaos policies inject transient failures
+		// into shuffle, broadcast, and task-start paths; the scheduler
+		// must absorb them without surfacing errors.
+		cfg.TaskMaxAttempts = 8
+	}
 	switch *engineFlag {
 	case "photon":
 		cfg.Engine = photon.EnginePhoton
@@ -62,6 +71,21 @@ func main() {
 		os.Exit(2)
 	}
 	sess := photon.NewSession(cfg)
+
+	if *chaosFlag != 0 {
+		r := fault.NewRegistry(*chaosFlag)
+		r.Arm(fault.ShuffleWrite, fault.Policy{Prob: 0.003})
+		r.Arm(fault.ShuffleRead, fault.Policy{Prob: 0.003})
+		r.Arm(fault.BroadcastFetch, fault.Policy{Prob: 0.003})
+		r.Arm(fault.TaskStart, fault.Policy{
+			Prob:        0.01,
+			Latency:     3 * time.Millisecond,
+			LatencyProb: 0.02,
+		})
+		r.Instrument(sess.Metrics())
+		fault.Activate(r)
+		fmt.Fprintf(os.Stderr, "chaos: fault injection armed, seed=%d (see photon_failpoint_fires_total with -metrics)\n", *chaosFlag)
+	}
 
 	if !*noTPCH {
 		fmt.Fprintf(os.Stderr, "loading TPC-H sample catalog (SF=%g)...\n", *sfFlag)

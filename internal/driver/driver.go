@@ -9,6 +9,7 @@ package driver
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -66,6 +67,12 @@ type Options struct {
 	// pre-probe row filtering). Filters are on by default and strictly
 	// semantics-free: disabling them never changes results, only speed.
 	DisableRuntimeFilters bool
+
+	// testTaskStart, when non-nil, runs at the start of every non-recovery
+	// task attempt with the fragment, task ID, and the query's private
+	// shuffle directory. Test-only seam for corruption-injection fixtures
+	// (e.g. flip bits in a committed shuffle file once a consumer starts).
+	testTaskStart func(f *catalyst.Fragment, taskID int, dir string)
 }
 
 // RunStats reports one query run's scheduling footprint and profile.
@@ -286,6 +293,24 @@ type stageInfo struct {
 	// Runtime-filter scan pruning observed by this (consumer) stage: Delta
 	// files and Parquet row groups skipped, and the rows they contained.
 	rfFiles, rfGroups, rfScanRows int64
+
+	// Commit-once guard: with speculative duplicates, exactly one attempt
+	// of each task may publish its output (atomic shuffle rename, gather
+	// results, profile accumulation). commitMu serializes the publish
+	// critical section per task; done marks the task committed.
+	commitMu []sync.Mutex
+	done     []bool
+
+	// Lineage recovery: recMu serializes producer re-runs per map task so
+	// concurrent consumers repairing the same output do the work once;
+	// recAttempts bounds repeated repairs; recGen counts completed repairs
+	// per map task (consumers that failed before a repair landed skip the
+	// redundant re-run); recovered counts successful re-runs of this stage's
+	// map tasks (EXPLAIN ANALYZE).
+	recMu       []sync.Mutex
+	recAttempts []int
+	recGen      []atomic.Int64 // written under recMu, read lock-free
+	recovered   atomic.Int64
 }
 
 // notePrune accumulates scan-level runtime-filter pruning.
@@ -330,6 +355,9 @@ type stagedJob struct {
 	par  int
 
 	stages map[*catalyst.Fragment]*stageInfo
+	// byExID addresses producer stages by their shuffle/broadcast exchange
+	// ID — the lineage lookup for corrupt-block recovery.
+	byExID map[string]*stageInfo
 
 	// sm mirrors shuffle reader/writer volume into the metrics registry
 	// (nil when the run is uninstrumented).
@@ -355,6 +383,7 @@ func runStaged(ctx context.Context, root *catalyst.Fragment, opts Options) ([][]
 		dir:    opts.ShuffleDir,
 		par:    opts.Parallelism,
 		stages: map[*catalyst.Fragment]*stageInfo{},
+		byExID: map[string]*stageInfo{},
 		sm:     shuffle.NewMetrics(opts.Metrics),
 		rfReg:  rf.NewRegistry(),
 		rfc:    newRFCounters(opts.Metrics),
@@ -397,7 +426,7 @@ func runStaged(ctx context.Context, root *catalyst.Fragment, opts Options) ([][]
 	}
 	schema := root.Root.Schema()
 	if len(root.MergeKeys) > 0 {
-		rows, err := exec.MergeSortedRuns(j.results, execSortKeys(root.MergeKeys), root.TailLimit)
+		rows, err := exec.MergeSortedRuns(ctx, j.results, execSortKeys(root.MergeKeys), root.TailLimit)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -455,13 +484,119 @@ func (j *stagedJob) stageFor(f *catalyst.Fragment) *stageInfo {
 	if f.RFKeys != nil {
 		j.rfReg.Expect(f.ID, numTasks)
 	}
+	si.commitMu = make([]sync.Mutex, numTasks)
+	si.done = make([]bool, numTasks)
+	si.recMu = make([]sync.Mutex, numTasks)
+	si.recAttempts = make([]int, numTasks)
+	si.recGen = make([]atomic.Int64, numTasks)
+	j.byExID[si.exID] = si
 	si.stage = &sched.Stage{
 		Name:     fmt.Sprintf("stage-%d-%s", f.ID, f.Out),
 		NumTasks: numTasks,
 		Deps:     deps,
-		Run:      func(ctx context.Context, taskID int) error { return j.runTask(ctx, si, taskID) },
+		Run:      func(ctx context.Context, taskID int) error { return j.runTaskRecover(ctx, si, taskID) },
 	}
 	return si
+}
+
+// runTaskRecover runs one task attempt and, when the attempt fails because a
+// consumed shuffle/broadcast block is corrupt or missing, performs lineage
+// recovery: re-run the *producing* map task to republish the lost output,
+// then surface a retryable error so the scheduler re-runs this consumer with
+// a fresh operator tree (§2.2 task retry on top of lineage, the classic
+// "recompute the lost partition" path).
+func (j *stagedJob) runTaskRecover(ctx context.Context, si *stageInfo, taskID int) error {
+	snap := j.snapshotRecovery()
+	err := j.runTask(ctx, si, taskID, false)
+	var cbe *shuffle.CorruptBlockError
+	if err == nil || !errors.As(err, &cbe) {
+		return err
+	}
+	if rerr := j.recoverProducer(ctx, cbe, snap, 0); rerr != nil {
+		return fmt.Errorf("driver: unrecoverable shuffle corruption: %w (recovery: %v)", err, rerr)
+	}
+	// Producer output republished; retry this consumer from scratch.
+	return sched.Retryable(err)
+}
+
+// recSnapshot records each producer stage's per-map-task repair generation at
+// the moment a consumer attempt starts. If the consumer later reports a
+// corrupt block whose map task was repaired *after* the snapshot, the corrupt
+// read raced an in-flight repair and the re-run is skipped — the retry will
+// read the already-republished files. Without this, N consumers of one lost
+// output would burn N of its bounded repair attempts on identical re-runs.
+type recSnapshot map[*stageInfo][]int64
+
+func (j *stagedJob) snapshotRecovery() recSnapshot {
+	snap := make(recSnapshot, len(j.byExID))
+	for _, pi := range j.byExID {
+		gens := make([]int64, len(pi.recGen))
+		for m := range pi.recGen {
+			gens[m] = pi.recGen[m].Load()
+		}
+		snap[pi] = gens
+	}
+	return snap
+}
+
+// Lineage-recovery bounds: how deep a corrupt-block chain may recurse (a
+// producer re-run can itself hit a corrupt input from *its* producer) and how
+// often one map task's output may be repaired before we give up.
+const (
+	maxRecoveryDepth    = 4
+	maxRecoveryAttempts = 3
+)
+
+// recoverProducer re-runs the map task that produced a corrupt/missing
+// shuffle block, addressed by (exchange ID, map task) lineage. Re-runs are
+// serialized per map task so concurrent consumers of the same lost output
+// repair it once; recovery-mode runs republish shuffle files but skip every
+// stats/profile/filter side effect (the original attempt already counted).
+func (j *stagedJob) recoverProducer(ctx context.Context, cbe *shuffle.CorruptBlockError, snap recSnapshot, depth int) error {
+	pi, ok := j.byExID[cbe.ShuffleID]
+	if !ok {
+		return fmt.Errorf("driver: no producer stage for shuffle %s", cbe.ShuffleID)
+	}
+	if cbe.MapTask < 0 || cbe.MapTask >= len(pi.recMu) {
+		return fmt.Errorf("driver: map task %d out of range for shuffle %s", cbe.MapTask, cbe.ShuffleID)
+	}
+	pi.recMu[cbe.MapTask].Lock()
+	defer pi.recMu[cbe.MapTask].Unlock()
+	if gens, ok := snap[pi]; ok && cbe.MapTask < len(gens) && pi.recGen[cbe.MapTask].Load() > gens[cbe.MapTask] {
+		// Another consumer already repaired this map task after our attempt
+		// began: the corrupt read raced the repair. Skip the redundant re-run
+		// and let the caller retry against the republished files.
+		return nil
+	}
+	for {
+		if pi.recAttempts[cbe.MapTask] >= maxRecoveryAttempts {
+			return fmt.Errorf("driver: map task %d of shuffle %s failed recovery %d times",
+				cbe.MapTask, cbe.ShuffleID, maxRecoveryAttempts)
+		}
+		pi.recAttempts[cbe.MapTask]++
+		err := j.runTask(ctx, pi, cbe.MapTask, true)
+		if err == nil {
+			pi.recGen[cbe.MapTask].Add(1)
+			pi.recovered.Add(1)
+			if j.sm != nil {
+				j.sm.BlocksRecovered.Inc()
+			}
+			return nil
+		}
+		// The producer's own inputs may be corrupt too: recurse up the
+		// lineage, then retry this level.
+		var nested *shuffle.CorruptBlockError
+		if errors.As(err, &nested) && depth < maxRecoveryDepth {
+			if rerr := j.recoverProducer(ctx, nested, snap, depth+1); rerr != nil {
+				return rerr
+			}
+			continue
+		}
+		if sched.IsRetryable(err) && ctx.Err() == nil {
+			continue
+		}
+		return err
+	}
 }
 
 // warmSchemas forces schema resolution over a whole plan tree. Several
@@ -504,11 +639,25 @@ func (j *stagedJob) assignmentsFor(si *stageInfo) [][]int {
 // runTask executes one task of a stage: build the fragment's operator tree
 // (exchange leaves resolve to this task's shuffle/broadcast readers), then
 // dispose of the output per the fragment's exchange kind. ctx is the job's
-// context: operators observe it at batch boundaries, so a cancelled query
-// stops within one batch. After a successful run the task snapshots its
-// operator metrics into the stage's merged profile and emits its trace row.
-func (j *stagedJob) runTask(ctx context.Context, si *stageInfo, taskID int) error {
+// (or this attempt's) context: operators observe it at batch boundaries, so
+// a cancelled query or losing speculative twin stops within one batch. After
+// a successful run the task snapshots its operator metrics into the stage's
+// merged profile and emits its trace row.
+//
+// With speculative duplicates, two attempts of the same task can race to
+// this function's tail; the per-task commit guard admits exactly one
+// publisher (shuffle rename, gather results, profile/filter side effects) —
+// the loser aborts its staged files and returns success without counting.
+//
+// recovery marks a lineage-recovery re-run: it republishes the task's
+// shuffle output unconditionally (overwriting the corrupt files) and skips
+// every stats, trace, filter, and result side effect, because the original
+// committed attempt already produced them.
+func (j *stagedJob) runTask(ctx context.Context, si *stageInfo, taskID int, recovery bool) error {
 	f := si.frag
+	if h := j.opts.testTaskStart; h != nil && !recovery {
+		h(f, taskID, j.dir)
+	}
 
 	var parts []int // hash partitions this task consumes
 	if f.ReadsHash {
@@ -517,10 +666,18 @@ func (j *stagedJob) runTask(ctx context.Context, si *stageInfo, taskID int) erro
 			// Coalescing produced fewer groups than the static task count.
 			// A coalesced-away producer task still counts toward its runtime
 			// filter's completeness (it contributes no rows).
-			if f.RFKeys != nil {
+			if f.RFKeys != nil && !recovery {
 				j.rfReg.Publish(f.ID, taskID, nil)
 			}
-			if tr := j.opts.Trace; tr != nil {
+			// Committed map outputs are the reader's integrity invariant —
+			// a missing partition file means lost data. So even a no-op task
+			// publishes (empty) shuffle files for its exchange output.
+			if f.Out == catalyst.ExchangeHash || f.Out == catalyst.ExchangeBroadcast {
+				if err := j.publishEmpty(si, taskID, recovery); err != nil {
+					return err
+				}
+			}
+			if tr := j.opts.Trace; tr != nil && !recovery {
 				tr.Instant(fmt.Sprintf("stage-%d/task-%d coalesced away", f.ID, taskID),
 					"task", 0, time.Now(), nil)
 			}
@@ -570,6 +727,11 @@ func (j *stagedJob) runTask(ctx context.Context, si *stageInfo, taskID int) erro
 	tc.SpillDir = j.dir
 	// Tasks of one stage share in-memory table batches read-only.
 	tc.Expr.SharedVectors = true
+	// Feed batch-boundary progress to the scheduler's straggler detector
+	// (the attempt context carries the per-task progress sink).
+	if p := sched.ProgressFromContext(ctx); p != nil {
+		tc.Progress = p.Report
+	}
 
 	cfg.ExchangeSource = func(er *catalyst.ExchangeRead) (exec.Operator, error) {
 		in := er.Frag
@@ -584,6 +746,7 @@ func (j *stagedJob) runTask(ctx context.Context, si *stageInfo, taskID int) erro
 			op := exec.NewBroadcastRead(name, schema, func() ([]exec.ShuffleSource, error) {
 				r := shuffle.NewBroadcastReader(j.dir, pi.exID, mapTasks, schema)
 				r.Obs = j.sm
+				r.Ctx = ctx
 				return []exec.ShuffleSource{r}, nil
 			})
 			op.Stats().SetUpstream(in.ID)
@@ -596,6 +759,7 @@ func (j *stagedJob) runTask(ctx context.Context, si *stageInfo, taskID int) erro
 			for _, p := range myParts {
 				r := shuffle.NewReader(j.dir, pi.exID, mapTasks, p, schema)
 				r.Obs = j.sm
+				r.Ctx = ctx
 				srcs = append(srcs, r)
 			}
 			return srcs, nil
@@ -625,8 +789,18 @@ func (j *stagedJob) runTask(ctx context.Context, si *stageInfo, taskID int) erro
 
 	// Wrap the output exchange (if any) so the whole per-task tree —
 	// including the ShuffleWrite sink — is profiled and traced uniformly.
+	// Writers stage into attempt-private temp files; only a committing
+	// attempt publishes them (atomic rename), and every other exit path —
+	// error, cancellation, losing a speculative race — aborts the staged
+	// files so duplicate attempts never clobber a committed twin.
 	var root exec.Operator = op
 	var w *shuffle.Writer
+	committed := false
+	defer func() {
+		if w != nil && !committed {
+			w.Abort()
+		}
+	}()
 	switch f.Out {
 	case catalyst.ExchangeHash:
 		w, err = shuffle.NewWriter(j.dir, si.exID, taskID, j.par, shuffle.EncoderOptions{Adaptive: true})
@@ -634,6 +808,7 @@ func (j *stagedJob) runTask(ctx context.Context, si *stageInfo, taskID int) erro
 			return err
 		}
 		w.Obs = j.sm
+		w.Ctx = ctx
 		var split exec.PartitionFunc
 		if len(f.HashCols) > 0 {
 			split = shuffle.NewPartitioner(j.par, f.HashCols).Split
@@ -646,6 +821,7 @@ func (j *stagedJob) runTask(ctx context.Context, si *stageInfo, taskID int) erro
 			return err
 		}
 		w.Obs = j.sm
+		w.Ctx = ctx
 		root = exec.NewShuffleWrite(op, w, nil)
 	}
 
@@ -653,16 +829,51 @@ func (j *stagedJob) runTask(ctx context.Context, si *stageInfo, taskID int) erro
 	// tree, so IDs are the cross-task merge key.
 	exec.AssignStatsIDs(root)
 	start := time.Now()
+	var batches []*vector.Batch
 	if f.Out == catalyst.ExchangeGather {
-		batches, err := exec.CollectAll(root, tc)
+		batches, err = exec.CollectAll(root, tc)
 		if err != nil {
 			return err
 		}
-		j.results[taskID] = batches
 	} else if err := exec.Drain(root, tc); err != nil {
 		return err
 	}
 	end := time.Now()
+
+	if recovery {
+		// Lineage re-run: republish the shuffle output over the corrupt
+		// files and nothing else — the original committed attempt already
+		// produced the stats, filters, and results.
+		if w != nil {
+			if err := w.Commit(); err != nil {
+				return err
+			}
+			committed = true
+		}
+		return nil
+	}
+
+	// Commit-once: exactly one attempt (original or speculative duplicate)
+	// publishes. The loser blocks here until the winner's publish completes,
+	// then returns success without side effects; its deferred Abort removes
+	// the staged temp files.
+	si.commitMu[taskID].Lock()
+	if si.done[taskID] {
+		si.commitMu[taskID].Unlock()
+		return nil
+	}
+	if w != nil {
+		if err := w.Commit(); err != nil {
+			si.commitMu[taskID].Unlock()
+			return err
+		}
+		committed = true
+	}
+	if f.Out == catalyst.ExchangeGather {
+		j.results[taskID] = batches
+	}
+	si.done[taskID] = true
+	si.commitMu[taskID].Unlock()
 
 	if w != nil {
 		if f.Out == catalyst.ExchangeHash {
@@ -674,9 +885,9 @@ func (j *stagedJob) runTask(ctx context.Context, si *stageInfo, taskID int) erro
 		}
 		si.noteShuffleOut(w)
 	}
-	// Publish the task's partial runtime filter only on the success path: a
-	// failed (and possibly retried) attempt never contributes, so the merged
-	// filter reflects exactly one complete pass over the build input.
+	// Publish the task's partial runtime filter only on the committing path:
+	// a failed (and possibly retried) attempt never contributes, so the
+	// merged filter reflects exactly one complete pass over the build input.
 	if rfBuild != nil {
 		j.rfReg.Publish(f.ID, taskID, rfBuild.Filter())
 		if taskID == 0 {
@@ -700,6 +911,35 @@ func (j *stagedJob) runTask(ctx context.Context, si *stageInfo, taskID int) erro
 	return nil
 }
 
+// publishEmpty commits an empty shuffle/broadcast output for a map task that
+// produced no rows (coalesced away), preserving the invariant that every
+// committed map task's partition files exist.
+func (j *stagedJob) publishEmpty(si *stageInfo, taskID int, recovery bool) error {
+	if !recovery {
+		si.commitMu[taskID].Lock()
+		defer si.commitMu[taskID].Unlock()
+		if si.done[taskID] {
+			return nil
+		}
+	}
+	parts := 1
+	if si.frag.Out == catalyst.ExchangeHash {
+		parts = j.par
+	}
+	w, err := shuffle.NewWriter(j.dir, si.exID, taskID, parts, shuffle.EncoderOptions{})
+	if err != nil {
+		return err
+	}
+	if err := w.Commit(); err != nil {
+		w.Abort()
+		return err
+	}
+	if !recovery {
+		si.done[taskID] = true
+	}
+	return nil
+}
+
 // buildProfile assembles the stages' merged operator rows into the query's
 // stitched EXPLAIN ANALYZE profile, ordered by stage ID.
 func (j *stagedJob) buildProfile(root *catalyst.Fragment) *QueryProfile {
@@ -715,6 +955,12 @@ func (j *stagedJob) buildProfile(root *catalyst.Fragment) *QueryProfile {
 			ShuffleRows: si.outRows, EncCounts: si.encCounts,
 			RFFilesPruned: si.rfFiles, RFGroupsPruned: si.rfGroups,
 			RFRowsPruned: si.rfScanRows,
+			Recovered:    si.recovered.Load(),
+		}
+		{
+			st := si.stage.Stats()
+			sp.Speculated = st.Speculated.Load()
+			sp.SpecWins = st.SpecWins.Load()
 		}
 		// Row-level runtime-filter drops (pre-shuffle / pre-probe) fold into
 		// the same pruning total as scan-level skips.

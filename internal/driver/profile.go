@@ -75,6 +75,12 @@ type StageProfile struct {
 	// files and Parquet row groups skipped entirely, and rows eliminated
 	// (scan-level skips plus row-level RuntimeFilter drops).
 	RFFilesPruned, RFGroupsPruned, RFRowsPruned int64
+
+	// Fault-tolerance activity: Recovered counts lineage re-runs of this
+	// stage's map tasks after corrupt/missing shuffle blocks; Speculated and
+	// SpecWins count straggler duplicates launched and duplicates that
+	// committed first.
+	Recovered, Speculated, SpecWins int64
 }
 
 // QueryProfile is the stitched whole-query profile.
@@ -164,6 +170,12 @@ func (q *QueryProfile) Render() string {
 		if st.RFFilesPruned > 0 || st.RFGroupsPruned > 0 || st.RFRowsPruned > 0 {
 			fmt.Fprintf(&sb, " rf[files=%d groups=%d rows=%d]",
 				st.RFFilesPruned, st.RFGroupsPruned, st.RFRowsPruned)
+		}
+		if st.Recovered > 0 {
+			fmt.Fprintf(&sb, " recovery[recovered=%d]", st.Recovered)
+		}
+		if st.Speculated > 0 {
+			fmt.Fprintf(&sb, " spec[launched=%d won=%d]", st.Speculated, st.SpecWins)
 		}
 		sb.WriteByte('\n')
 		for i := range st.Ops {

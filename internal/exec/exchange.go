@@ -2,11 +2,16 @@ package exec
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"photon/internal/types"
 	"photon/internal/vector"
 )
+
+// mergeCheckRows is how often (in merged rows) the driver-side k-way merge
+// polls its context for cancellation.
+const mergeCheckRows = 1024
 
 // Exchange operators are the physical form of stage boundaries (§2.2):
 // a ShuffleWriteOp terminates a map stage, hash-partitioning its input
@@ -87,6 +92,8 @@ func (s *ShuffleWriteOp) Next() (*vector.Batch, error) {
 			}
 			n := int64(b.NumActive())
 			s.stats.RowsIn.Add(n)
+			// Straggler detection input: report work at batch granularity.
+			s.tc.ReportProgress(n, 0)
 			if n == 0 {
 				continue
 			}
@@ -165,8 +172,11 @@ func (e *exchangeRead) Next() (*vector.Batch, error) {
 				return err
 			}
 			if ok {
-				e.stats.RowsOut.Add(int64(e.buf.NumActive()))
+				n := int64(e.buf.NumActive())
+				e.stats.RowsOut.Add(n)
 				e.stats.BatchesOut.Add(1)
+				// Straggler detection input: exchange-read progress.
+				e.tc.ReportProgress(n, 0)
 				out = e.buf
 				return nil
 			}
@@ -283,8 +293,11 @@ func (h *runHeap) Pop() any {
 // MergeSortedRuns k-way merges per-task sorted outputs into globally
 // ordered rows — the driver-side second phase of a two-phase parallel sort.
 // Each run must already be ordered under keys; limit >= 0 truncates the
-// merged output.
-func MergeSortedRuns(runs [][]*vector.Batch, keys []SortKey, limit int64) ([][]any, error) {
+// merged output. ctx is observed every mergeCheckRows merged rows, so a
+// cancelled query aborts the driver-side merge promptly even when the merge
+// itself is the long pole (giant pre-sorted inputs). A nil ctx disables the
+// check.
+func MergeSortedRuns(ctx context.Context, runs [][]*vector.Batch, keys []SortKey, limit int64) ([][]any, error) {
 	if len(keys) == 0 {
 		return nil, fmt.Errorf("exec: merge requires sort keys")
 	}
@@ -308,6 +321,11 @@ func MergeSortedRuns(runs [][]*vector.Batch, keys []SortKey, limit int64) ([][]a
 	for h.Len() > 0 {
 		if limit >= 0 && int64(len(out)) >= limit {
 			break
+		}
+		if ctx != nil && len(out)%mergeCheckRows == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("exec: merge cancelled: %w", err)
+			}
 		}
 		c := h.cur[0]
 		b, i := c.current()

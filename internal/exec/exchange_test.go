@@ -160,7 +160,7 @@ func TestMergeSortedRuns(t *testing.T) {
 	}
 	keys := []SortKey{{Col: 0}}
 
-	rows, err := MergeSortedRuns([][]*vector.Batch{
+	rows, err := MergeSortedRuns(nil, [][]*vector.Batch{
 		run(1, 4, 9), run(2, 3, 10), run(), run(5),
 	}, keys, -1)
 	if err != nil {
@@ -176,7 +176,7 @@ func TestMergeSortedRuns(t *testing.T) {
 	}
 
 	// Limit truncates the merged stream.
-	rows, err = MergeSortedRuns([][]*vector.Batch{run(1, 3), run(2)}, keys, 2)
+	rows, err = MergeSortedRuns(nil, [][]*vector.Batch{run(1, 3), run(2)}, keys, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestMergeSortedRuns(t *testing.T) {
 
 	// Descending keys merge descending runs.
 	desc := []SortKey{{Col: 0, Desc: true}}
-	rows, err = MergeSortedRuns([][]*vector.Batch{run(9, 4), run(10, 3)}, desc, -1)
+	rows, err = MergeSortedRuns(nil, [][]*vector.Batch{run(9, 4), run(10, 3)}, desc, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestMergeSortedRuns(t *testing.T) {
 	}
 
 	// No keys is an error (merging unordered runs is meaningless).
-	if _, err := MergeSortedRuns(nil, nil, -1); err == nil {
+	if _, err := MergeSortedRuns(nil, nil, nil, -1); err == nil {
 		t.Fatal("merge without keys succeeded")
 	}
 }

@@ -1,0 +1,162 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"photon/internal/expr"
+	"photon/internal/fault"
+	"photon/internal/mem"
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// spillingAgg builds a grouped aggregation over enough rows, under a tight
+// enough memory limit, that it must spill partitions and read them back.
+func spillingAgg(t *testing.T) (*HashAggOp, *TaskCtx) {
+	t.Helper()
+	schema := intSchema("g", "v")
+	var rows [][]any
+	for i := 0; i < 5000; i++ {
+		rows = append(rows, []any{int64(i % 997), int64(i)})
+	}
+	scan := NewMemScan(schema, BuildBatches(schema, rows, 64))
+	agg, err := NewHashAgg(scan, AggComplete,
+		[]expr.Expr{expr.Col(0, "g", types.Int64Type)}, []string{"g"},
+		[]expr.AggSpec{
+			{Kind: expr.AggCount, Name: "c"},
+			{Kind: expr.AggSum, Arg: expr.Col(1, "v", types.Int64Type), Name: "s"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := NewTaskCtx(mem.NewManager(32<<10), 64)
+	tc.SpillDir = t.TempDir()
+	return agg, tc
+}
+
+// TestSpillFailpointsRetryable arms the spill-write and spill-read sites with
+// a fail-once policy and re-runs a spilling aggregation until it succeeds:
+// every injected failure must surface as a *transient* fault error (the
+// scheduler's retry classification), both sites must fire, and the final
+// clean run must match an unconstrained execution. Part of the CI failpoint-
+// coverage check alongside the driver's distributed-site test.
+func TestSpillFailpointsRetryable(t *testing.T) {
+	// Unconstrained baseline.
+	agg, _ := spillingAgg(t)
+	want, err := CollectRows(agg, newTC(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := fault.NewRegistry(5)
+	r.Arm(fault.SpillWrite, fault.Policy{FailN: 1})
+	r.Arm(fault.SpillRead, fault.Policy{FailN: 1})
+	defer fault.Activate(r)()
+
+	var got [][]any
+	failures := 0
+	for attempt := 0; attempt < 6; attempt++ {
+		agg, tc := spillingAgg(t)
+		got, err = CollectRows(agg, tc)
+		if err == nil {
+			break
+		}
+		failures++
+		var fe *fault.Error
+		if !errors.As(err, &fe) || !fe.Transient {
+			t.Fatalf("attempt %d: err = %v, want transient *fault.Error", attempt, err)
+		}
+	}
+	if err != nil {
+		t.Fatalf("no clean run within retry budget: %v", err)
+	}
+	if failures == 0 {
+		t.Fatal("no injected failure observed; spill sites unreachable?")
+	}
+	if r.Fires(fault.SpillWrite) == 0 {
+		t.Error("spill-write site never fired")
+	}
+	if r.Fires(fault.SpillRead) == 0 {
+		t.Error("spill-read site never fired")
+	}
+
+	sortRows(want)
+	sortRows(got)
+	if len(got) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i][0] != want[i][0] || got[i][1] != want[i][1] || got[i][2] != want[i][2] {
+			t.Fatalf("row %d differs after fault retries: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSortCancelsPromptlyMidEmit: a giant fully in-memory (single-run) sort
+// must observe cancellation between emitted batches, not only at input
+// boundaries — a cancelled consumer stops the emit loop within one batch.
+func TestSortCancelsPromptlyMidEmit(t *testing.T) {
+	schema := intSchema("v")
+	const n = 1 << 16
+	rows := make([][]any, n)
+	for i := range rows {
+		rows[i] = []any{int64(n - i)}
+	}
+	scan := NewMemScan(schema, BuildBatches(schema, rows, 1024))
+	s := NewSort(scan, []SortKey{{Col: 0}})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	tc := NewTaskCtx(nil, 1024)
+	tc.Ctx = ctx
+	if err := s.Open(tc); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// First batch: the whole input is consumed and sorted, one batch out.
+	b, err := s.Next()
+	if err != nil || b == nil {
+		t.Fatalf("first batch: %v %v", b, err)
+	}
+	cancel()
+	// The very next emit must abandon the remaining ~63 batches.
+	if _, err := s.Next(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestMergeSortedRunsCancelled: the driver-side k-way merge loop checks the
+// query context between output windows, so a cancelled query cannot burn the
+// driver on a giant merge.
+func TestMergeSortedRunsCancelled(t *testing.T) {
+	schema := intSchema("v")
+	mk := func(start int) [][]any {
+		rows := make([][]any, 20000)
+		for i := range rows {
+			rows[i] = []any{int64(start + i*2)}
+		}
+		return rows
+	}
+	runA := BuildBatches(schema, mk(0), 1024)
+	runB := BuildBatches(schema, mk(1), 1024)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := MergeSortedRuns(ctx, [][]*vector.Batch{runA, runB},
+		[]SortKey{{Col: 0}}, -1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// Sanity: the same merge with a live context completes.
+	rows, err := MergeSortedRuns(context.Background(), [][]*vector.Batch{runA, runB},
+		[]SortKey{{Col: 0}}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 40000 {
+		t.Fatalf("merged %d rows, want 40000", len(rows))
+	}
+}

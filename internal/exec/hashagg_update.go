@@ -9,6 +9,7 @@ import (
 	"os"
 
 	"photon/internal/expr"
+	"photon/internal/fault"
 	"photon/internal/ht"
 	"photon/internal/kernels"
 	"photon/internal/serde"
@@ -31,6 +32,7 @@ func (op *HashAggOp) consumeInput() error {
 			return nil
 		}
 		op.stats.RowsIn.Add(int64(b.NumActive()))
+		op.tc.ReportProgress(int64(b.NumActive()), 0)
 		op.tc.Expr.ResetPerBatch()
 		if op.mode == AggFinal {
 			err = op.mergeBatch(b, op.tbl, &op.lists, true)
@@ -707,7 +709,10 @@ func (op *HashAggOp) emitNext() (*vector.Batch, error) {
 	}
 }
 
-// mergePartition rebuilds a fresh table from one spill partition.
+// mergePartition rebuilds a fresh table from one spill partition. The merge
+// loop checks cancellation per batch (a giant spilled partition must not pin
+// a cancelled query), probes the spill-read failpoint, and classifies
+// transient OS read errors as retryable.
 func (op *HashAggOp) mergePartition(f *os.File) error {
 	op.merging = true
 	defer func() { op.merging = false }()
@@ -718,12 +723,18 @@ func (op *HashAggOp) mergePartition(f *os.File) error {
 	op.emitPos = 0
 	buf := vector.NewBatch(ps, op.tc.Pool.BatchSize())
 	for {
+		if err := op.tc.Cancelled(); err != nil {
+			return err
+		}
+		if err := fault.Hit(op.tc.Ctx, fault.SpillRead); err != nil {
+			return err
+		}
 		err := rd.ReadBatch(buf)
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
-			return err
+			return fault.ClassifyIO(fault.SpillRead, err)
 		}
 		if err := op.mergeBatch(buf, op.partTbl, &op.partLists, false); err != nil {
 			return err

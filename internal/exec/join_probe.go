@@ -4,6 +4,7 @@ import (
 	"io"
 	"os"
 
+	"photon/internal/fault"
 	"photon/internal/ht"
 	"photon/internal/serde"
 	"photon/internal/types"
@@ -383,12 +384,15 @@ func (op *HashJoinOp) nextProbeBatch() (*vector.Batch, error) {
 			if op.partProbeB == nil {
 				op.partProbeB = vector.NewBatch(op.left.Schema(), op.tc.Pool.BatchSize())
 			}
+			if err := fault.Hit(op.tc.Ctx, fault.SpillRead); err != nil {
+				return nil, err
+			}
 			err := op.partProbeRd.ReadBatch(op.partProbeB)
 			if err == nil {
 				return op.partProbeB, nil
 			}
 			if err != io.EOF {
-				return nil, err
+				return nil, fault.ClassifyIO(fault.SpillRead, err)
 			}
 			op.partProbeRd = nil
 		}
@@ -451,12 +455,17 @@ func (op *HashJoinOp) loadPartition(p int) error {
 	rd := newSerdeReader(bf, op.right.Schema())
 	buf := vector.NewBatch(op.right.Schema(), op.tc.Pool.BatchSize())
 	for {
+		// Per-batch cancellation + transient-I/O classification while
+		// rebuilding a grace partition's table from spill.
+		if err := op.tc.Cancelled(); err != nil {
+			return err
+		}
 		err := rd.ReadBatch(buf)
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return err
+			return fault.ClassifyIO(fault.SpillRead, err)
 		}
 		if err := op.insertBuildBatch(buf, op.tbl); err != nil {
 			return err

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"photon/internal/expr"
+	"photon/internal/fault"
 	"photon/internal/mem"
 	"photon/internal/types"
 	"photon/internal/vector"
@@ -132,7 +133,22 @@ type TaskCtx struct {
 	EnableCompaction    bool
 	CompactionThreshold float64
 
+	// Progress, when non-nil, receives cumulative work deltas at batch
+	// boundaries (rows and bytes moved through exchange edges). The
+	// scheduler's straggler detector reads the accumulated totals to rank
+	// speculative re-execution candidates by least progress.
+	Progress func(rows, bytes int64)
+
 	spillSeq atomic.Int64
+}
+
+// ReportProgress forwards a work delta to the task's progress sink, if any.
+// Safe on a nil receiver and with no sink configured.
+func (tc *TaskCtx) ReportProgress(rows, bytes int64) {
+	if tc == nil || tc.Progress == nil {
+		return
+	}
+	tc.Progress(rows, bytes)
 }
 
 // NewTaskCtx builds a context with the given memory manager (nil = new
@@ -170,13 +186,23 @@ func (tc *TaskCtx) Cancelled() error {
 	return nil
 }
 
-// NewSpillFile creates a uniquely named spill file.
+// NewSpillFile creates a uniquely named spill file. Its failpoint site is
+// spill-write; transient OS errors (interrupted syscalls, closed files
+// during cancellation) classify as retryable so the scheduler re-runs the
+// task instead of failing the query.
 func (tc *TaskCtx) NewSpillFile(prefix string) (*os.File, error) {
 	if tc.SpillDir == "" {
 		return nil, fmt.Errorf("exec: spilling disabled (no spill directory configured)")
 	}
+	if err := fault.Hit(tc.Ctx, fault.SpillWrite); err != nil {
+		return nil, err
+	}
 	name := fmt.Sprintf("%s-%d.spill", prefix, tc.spillSeq.Add(1))
-	return os.Create(filepath.Join(tc.SpillDir, name))
+	f, err := os.Create(filepath.Join(tc.SpillDir, name))
+	if err != nil {
+		return nil, fault.ClassifyIO(fault.SpillWrite, err)
+	}
+	return f, nil
 }
 
 // base provides common Operator plumbing.
@@ -205,6 +231,10 @@ func CollectAll(op Operator, tc *TaskCtx) ([]*vector.Batch, error) {
 	defer op.Close()
 	var out []*vector.Batch
 	for {
+		// Batch-boundary cancellation check (gather collection).
+		if err := tc.Cancelled(); err != nil {
+			return nil, err
+		}
 		b, err := op.Next()
 		if err != nil {
 			return nil, err
@@ -214,6 +244,7 @@ func CollectAll(op Operator, tc *TaskCtx) ([]*vector.Batch, error) {
 		}
 		if b.NumActive() > 0 {
 			out = append(out, b.Clone())
+			tc.ReportProgress(int64(b.NumActive()), 0)
 		}
 	}
 }

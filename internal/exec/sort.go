@@ -3,11 +3,13 @@ package exec
 import (
 	"bytes"
 	"container/heap"
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 
+	"photon/internal/fault"
 	"photon/internal/mem"
 	"photon/internal/serde"
 	"photon/internal/types"
@@ -179,18 +181,18 @@ func (s *SortOp) spill(need int64) (int64, error) {
 		out.NumRows++
 		if out.NumRows == out.Capacity() {
 			if err := w.WriteBatch(out); err != nil {
-				return 0, err
+				return 0, fault.ClassifyIO(fault.SpillWrite, err)
 			}
 			out.Reset()
 		}
 	}
 	if out.NumRows > 0 {
 		if err := w.WriteBatch(out); err != nil {
-			return 0, err
+			return 0, fault.ClassifyIO(fault.SpillWrite, err)
 		}
 	}
 	if err := w.Close(); err != nil {
-		return 0, err
+		return 0, fault.ClassifyIO(fault.SpillWrite, err)
 	}
 	s.runs = append(s.runs, f)
 	freed := s.bufBytes
@@ -217,6 +219,7 @@ func (s *SortOp) consume() error {
 			return nil
 		}
 		s.stats.RowsIn.Add(int64(b.NumActive()))
+		s.tc.ReportProgress(int64(b.NumActive()), 0)
 		if b.NumActive() == 0 {
 			continue
 		}
@@ -278,6 +281,7 @@ type runCursor struct {
 	batch *vector.Batch
 	pos   int
 	done  bool
+	tc    *TaskCtx
 }
 
 func (rc *runCursor) advance() error {
@@ -285,13 +289,22 @@ func (rc *runCursor) advance() error {
 	if rc.pos < rc.batch.NumRows {
 		return nil
 	}
+	// spill-read failpoint + transient-I/O classification: a flaky read of a
+	// spilled sort run retries the task rather than failing the query.
+	var ctx context.Context
+	if rc.tc != nil {
+		ctx = rc.tc.Ctx
+	}
+	if err := fault.Hit(ctx, fault.SpillRead); err != nil {
+		return err
+	}
 	err := rc.rd.ReadBatch(rc.batch)
 	if err == io.EOF {
 		rc.done = true
 		return nil
 	}
 	if err != nil {
-		return err
+		return fault.ClassifyIO(fault.SpillRead, err)
 	}
 	rc.pos = 0
 	return nil
@@ -344,7 +357,7 @@ func (s *SortOp) initMerge() error {
 		if _, err := f.Seek(0, io.SeekStart); err != nil {
 			return err
 		}
-		rc := &runCursor{rd: serde.NewReader(f, s.schema), batch: vector.NewBatch(s.schema, s.tc.Pool.BatchSize()), pos: -1}
+		rc := &runCursor{rd: serde.NewReader(f, s.schema), batch: vector.NewBatch(s.schema, s.tc.Pool.BatchSize()), pos: -1, tc: s.tc}
 		if err := rc.advance(); err != nil {
 			return err
 		}
@@ -359,8 +372,13 @@ func (s *SortOp) initMerge() error {
 	return nil
 }
 
-// emit produces the next sorted output batch from the merge heap.
+// emit produces the next sorted output batch from the merge heap. The merge
+// loop checks cancellation per emitted batch, so a cancelled query aborts a
+// giant merge promptly even when the consumer isn't polling the context.
 func (s *SortOp) emit() (*vector.Batch, error) {
+	if err := s.tc.Cancelled(); err != nil {
+		return nil, err
+	}
 	if s.out == nil {
 		s.out = vector.NewBatch(s.schema, s.tc.Pool.BatchSize())
 	}

@@ -346,7 +346,7 @@ func Table1(rows int, dir string) ([]Measurement, error) {
 				}
 				b.Sel = saved
 			}
-			if err := w.Close(); err != nil {
+			if err := w.Commit(); err != nil {
 				return err
 			}
 			// Read everything back (the paired Photon shuffle read, §5.2).

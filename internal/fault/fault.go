@@ -1,0 +1,315 @@
+// Package fault implements deterministic fault injection for Photon's
+// distributed execution layer.
+//
+// The engine registers a small catalog of named failpoints ("sites") at the
+// I/O and lifecycle boundaries where real systems fail: shuffle block
+// write/read, broadcast fetch, spill write/read, task start, and memory
+// reservation. A test (or the photon-sql -chaos-seed flag) arms a Registry
+// with per-site policies — fail once, fail the first N hits, fail with
+// probability p, injected latency to simulate stragglers — all driven by a
+// seeded per-site RNG so a chaos run is exactly reproducible from its seed.
+//
+// When no registry is armed the cost of a failpoint is a single atomic
+// pointer load (see BenchmarkDisarmedHit: a couple of nanoseconds, zero
+// allocations), so the hooks stay compiled into production code paths.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"photon/internal/obs"
+)
+
+// Site names one failpoint location in the engine. Sites are a closed
+// catalog: tests iterate Sites() to assert coverage.
+type Site string
+
+// The failpoint catalog. Each constant is referenced from exactly the layer
+// it names; CI asserts every site fires in at least one test.
+const (
+	// ShuffleWrite fires in shuffle.Writer before a partition block is
+	// appended to its (temporary) partition file.
+	ShuffleWrite Site = "shuffle-write"
+	// ShuffleRead fires in shuffle.Reader before a partition file is read.
+	ShuffleRead Site = "shuffle-read"
+	// BroadcastFetch fires in shuffle broadcast readers before the
+	// broadcast blob is fetched.
+	BroadcastFetch Site = "broadcast-fetch"
+	// SpillWrite fires when an operator opens a spill file for writing.
+	SpillWrite Site = "spill-write"
+	// SpillRead fires when a spilled run/partition is read back.
+	SpillRead Site = "spill-read"
+	// TaskStart fires in the scheduler immediately before a task attempt
+	// runs.
+	TaskStart Site = "task-start"
+	// MemReserve fires in the root memory manager's Reserve path.
+	MemReserve Site = "mem-reserve"
+)
+
+// Sites returns the full failpoint catalog.
+func Sites() []Site {
+	return []Site{ShuffleWrite, ShuffleRead, BroadcastFetch, SpillWrite, SpillRead, TaskStart, MemReserve}
+}
+
+// Error is the error injected by an armed failpoint (or wrapped around a
+// transient OS error by ClassifyIO). Transient errors are classified as
+// retryable by sched.IsRetryable; permanent ones fail the query.
+type Error struct {
+	Site      Site
+	Transient bool
+	Err       error
+}
+
+func (e *Error) Error() string {
+	kind := "permanent"
+	if e.Transient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("fault: injected %s failure at %s: %v", kind, e.Site, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// ErrInjected is the default underlying error for injected failures.
+var ErrInjected = errors.New("injected fault")
+
+// Policy describes when and how one site misbehaves. The zero value never
+// fires. Failure triggers (FailN / Prob) and latency triggers (LatencyN /
+// LatencyProb) are evaluated independently, so one policy can both delay and
+// occasionally fail a site.
+type Policy struct {
+	// FailN > 0: the first FailN hits fail deterministically.
+	FailN int
+	// Prob in (0,1]: after the FailN window, each hit fails with this
+	// probability (per-site seeded RNG).
+	Prob float64
+	// Permanent marks injected failures non-retryable. Default false:
+	// injected failures are transient, mirroring the paper's "service
+	// retries failed tasks" model.
+	Permanent bool
+	// Err overrides the injected error cause (defaults to ErrInjected).
+	Err error
+	// Latency is injected (honoring ctx cancellation) before the failure
+	// decision. LatencyN > 0 limits latency to the first LatencyN hits;
+	// LatencyProb in (0,1] applies it probabilistically. If both are zero
+	// and Latency > 0, every hit is delayed.
+	Latency     time.Duration
+	LatencyN    int
+	LatencyProb float64
+}
+
+type siteState struct {
+	mu     sync.Mutex
+	policy Policy
+	rng    *rand.Rand
+	hits   int // total Hit evaluations at this site
+	fires  atomic.Int64
+}
+
+// Registry is an armed set of failpoint policies with deterministic,
+// seed-derived randomness. A Registry is inert until passed to Activate.
+type Registry struct {
+	seed  int64
+	sites map[Site]*siteState
+	// counters mirrors fires into obs, when instrumented.
+	counters map[Site]*obs.Counter
+}
+
+// NewRegistry returns a registry whose per-site RNG streams derive from
+// seed, so two registries with the same seed and policies inject the same
+// fault sequence.
+func NewRegistry(seed int64) *Registry {
+	r := &Registry{seed: seed, sites: make(map[Site]*siteState)}
+	for _, s := range Sites() {
+		r.sites[s] = &siteState{rng: rand.New(rand.NewSource(seed ^ int64(siteHash(s))))}
+	}
+	return r
+}
+
+func siteHash(s Site) uint64 {
+	// FNV-1a; stable across runs, only used to decorrelate per-site streams.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Arm installs (replaces) the policy for one site.
+func (r *Registry) Arm(site Site, p Policy) {
+	st := r.sites[site]
+	if st == nil {
+		panic(fmt.Sprintf("fault: unknown site %q", site))
+	}
+	st.mu.Lock()
+	st.policy = p
+	st.mu.Unlock()
+}
+
+// ArmAll installs the same policy at every site.
+func (r *Registry) ArmAll(p Policy) {
+	for _, s := range Sites() {
+		r.Arm(s, p)
+	}
+}
+
+// Instrument mirrors per-site fire counts into the obs registry as
+// photon_failpoint_fires_total{site="..."}.
+func (r *Registry) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	r.counters = make(map[Site]*obs.Counter)
+	for _, s := range Sites() {
+		r.counters[s] = reg.Counter(
+			fmt.Sprintf("photon_failpoint_fires_total{site=%q}", string(s)),
+			"Injected failpoint fires by site.")
+	}
+}
+
+// Fires returns how many times the site has actually injected a fault
+// (failure or latency) since the registry was created.
+func (r *Registry) Fires(site Site) int64 {
+	st := r.sites[site]
+	if st == nil {
+		return 0
+	}
+	return st.fires.Load()
+}
+
+// TotalFires sums fires across all sites.
+func (r *Registry) TotalFires() int64 {
+	var n int64
+	for _, s := range Sites() {
+		n += r.Fires(s)
+	}
+	return n
+}
+
+// Seed returns the seed the registry was created with.
+func (r *Registry) Seed() int64 { return r.seed }
+
+// hit evaluates the site's policy. It returns (delay, err) where delay > 0
+// asks the caller to sleep (ctx-aware) before returning err (possibly nil).
+func (r *Registry) hit(site Site) (time.Duration, error) {
+	st := r.sites[site]
+	if st == nil {
+		return 0, nil
+	}
+	st.mu.Lock()
+	p := st.policy
+	st.hits++
+	n := st.hits
+	var delay time.Duration
+	if p.Latency > 0 {
+		switch {
+		case p.LatencyN > 0:
+			if n <= p.LatencyN {
+				delay = p.Latency
+			}
+		case p.LatencyProb > 0:
+			if st.rng.Float64() < p.LatencyProb {
+				delay = p.Latency
+			}
+		default:
+			delay = p.Latency
+		}
+	}
+	fail := false
+	if p.FailN > 0 && n <= p.FailN {
+		fail = true
+	} else if p.Prob > 0 && st.rng.Float64() < p.Prob {
+		fail = true
+	}
+	st.mu.Unlock()
+	var err error
+	if fail {
+		cause := p.Err
+		if cause == nil {
+			cause = ErrInjected
+		}
+		err = &Error{Site: site, Transient: !p.Permanent, Err: cause}
+	}
+	if fail || delay > 0 {
+		st.fires.Add(1)
+		if c := r.counters[site]; c != nil {
+			c.Inc()
+		}
+	}
+	return delay, err
+}
+
+// active is the process-wide armed registry. nil (the common case) means
+// every failpoint is disarmed and Hit is a single atomic load.
+var active atomic.Pointer[Registry]
+
+// Activate arms r process-wide and returns a function restoring the previous
+// state. Typical test usage: defer fault.Activate(r)().
+func Activate(r *Registry) func() {
+	prev := active.Swap(r)
+	return func() { active.Store(prev) }
+}
+
+// Deactivate disarms all failpoints.
+func Deactivate() { active.Store(nil) }
+
+// Active returns the currently armed registry, or nil.
+func Active() *Registry { return active.Load() }
+
+// Hit evaluates the failpoint at site. Disarmed cost is one atomic load.
+// An armed site may inject latency (ctx-aware: cancellation cuts the sleep
+// short and returns the ctx cause) and/or return an injected *Error.
+func Hit(ctx context.Context, site Site) error {
+	r := active.Load()
+	if r == nil {
+		return nil
+	}
+	return r.slowHit(ctx, site)
+}
+
+//go:noinline
+func (r *Registry) slowHit(ctx context.Context, site Site) error {
+	delay, err := r.hit(site)
+	if delay > 0 {
+		t := time.NewTimer(delay)
+		if ctx == nil {
+			<-t.C
+		} else {
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return context.Cause(ctx)
+			}
+		}
+	}
+	return err
+}
+
+// ClassifyIO wraps transient OS-level I/O errors (interrupted syscalls,
+// EAGAIN, pipes/files closed underneath a cancelled task) in a transient
+// *Error at the given site so sched.IsRetryable treats them as retryable
+// instead of failing the query. Non-transient errors pass through unchanged.
+func ClassifyIO(site Site, err error) error {
+	if err == nil {
+		return nil
+	}
+	var fe *Error
+	if errors.As(err, &fe) {
+		return err // already classified
+	}
+	if errors.Is(err, syscall.EINTR) || errors.Is(err, syscall.EAGAIN) ||
+		errors.Is(err, syscall.EPIPE) || errors.Is(err, os.ErrClosed) {
+		return &Error{Site: site, Transient: true, Err: err}
+	}
+	return err
+}

@@ -1,0 +1,233 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"photon/internal/obs"
+)
+
+func TestDisarmedHitIsNil(t *testing.T) {
+	Deactivate()
+	for _, s := range Sites() {
+		if err := Hit(context.Background(), s); err != nil {
+			t.Fatalf("disarmed %s: %v", s, err)
+		}
+	}
+}
+
+func TestFailNThenRecovers(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(ShuffleWrite, Policy{FailN: 2})
+	defer Activate(r)()
+
+	for i := 0; i < 2; i++ {
+		err := Hit(nil, ShuffleWrite)
+		var fe *Error
+		if !errors.As(err, &fe) {
+			t.Fatalf("hit %d: err = %v, want *Error", i, err)
+		}
+		if !fe.Transient || fe.Site != ShuffleWrite {
+			t.Fatalf("hit %d: wrong classification %+v", i, fe)
+		}
+	}
+	if err := Hit(nil, ShuffleWrite); err != nil {
+		t.Fatalf("after FailN window: %v", err)
+	}
+	if got := r.Fires(ShuffleWrite); got != 2 {
+		t.Errorf("fires = %d, want 2", got)
+	}
+	// Other sites are untouched.
+	if err := Hit(nil, SpillRead); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+}
+
+func TestPermanentPolicyAndCustomErr(t *testing.T) {
+	sentinel := errors.New("disk gone")
+	r := NewRegistry(1)
+	r.Arm(SpillWrite, Policy{FailN: 1, Permanent: true, Err: sentinel})
+	defer Activate(r)()
+
+	err := Hit(nil, SpillWrite)
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Transient {
+		t.Fatalf("err = %v, want permanent *Error", err)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("cause not preserved: %v", err)
+	}
+}
+
+// TestSeededDeterminism: same seed and policy, same injected sequence.
+func TestSeededDeterminism(t *testing.T) {
+	seq := func(seed int64) []bool {
+		r := NewRegistry(seed)
+		r.ArmAll(Policy{Prob: 0.3})
+		restore := Activate(r)
+		defer restore()
+		var out []bool
+		for i := 0; i < 200; i++ {
+			for _, s := range Sites() {
+				out = append(out, Hit(nil, s) != nil)
+			}
+		}
+		return out
+	}
+	a, b := seq(42), seq(42)
+	c := seq(43)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatal("same seed produced different fault sequences")
+	}
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatal("different seeds produced identical fault sequences (suspicious)")
+	}
+}
+
+func TestInjectedLatencyHonorsCancellation(t *testing.T) {
+	r := NewRegistry(7)
+	r.Arm(TaskStart, Policy{Latency: time.Minute})
+	defer Activate(r)()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := Hit(ctx, TaskStart)
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("latency injection ignored cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if r.Fires(TaskStart) != 1 {
+		t.Errorf("fires = %d, want 1", r.Fires(TaskStart))
+	}
+}
+
+func TestLatencyNLimitsDelays(t *testing.T) {
+	r := NewRegistry(7)
+	r.Arm(ShuffleRead, Policy{Latency: 5 * time.Millisecond, LatencyN: 1})
+	defer Activate(r)()
+
+	start := time.Now()
+	if err := Hit(nil, ShuffleRead); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 4*time.Millisecond {
+		t.Error("first hit not delayed")
+	}
+	start = time.Now()
+	for i := 0; i < 10; i++ {
+		if err := Hit(nil, ShuffleRead); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if time.Since(start) > 4*time.Millisecond {
+		t.Error("later hits delayed beyond LatencyN")
+	}
+}
+
+func TestInstrumentMirrorsFires(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := NewRegistry(1)
+	r.Arm(MemReserve, Policy{FailN: 3})
+	r.Instrument(reg)
+	defer Activate(r)()
+	for i := 0; i < 5; i++ {
+		_ = Hit(nil, MemReserve)
+	}
+	c := reg.Counter(`photon_failpoint_fires_total{site="mem-reserve"}`, "")
+	if c.Load() != 3 {
+		t.Errorf("metric = %d, want 3", c.Load())
+	}
+	if r.TotalFires() != 3 {
+		t.Errorf("TotalFires = %d, want 3", r.TotalFires())
+	}
+}
+
+func TestActivateRestores(t *testing.T) {
+	Deactivate()
+	r1 := NewRegistry(1)
+	restore1 := Activate(r1)
+	if Active() != r1 {
+		t.Fatal("r1 not active")
+	}
+	r2 := NewRegistry(2)
+	restore2 := Activate(r2)
+	if Active() != r2 {
+		t.Fatal("r2 not active")
+	}
+	restore2()
+	if Active() != r1 {
+		t.Fatal("restore did not reinstate r1")
+	}
+	restore1()
+	if Active() != nil {
+		t.Fatal("restore did not disarm")
+	}
+}
+
+func TestClassifyIO(t *testing.T) {
+	for _, transient := range []error{
+		syscall.EINTR,
+		syscall.EAGAIN,
+		syscall.EPIPE,
+		os.ErrClosed,
+		&fs.PathError{Op: "read", Path: "x", Err: syscall.EINTR},
+	} {
+		err := ClassifyIO(SpillRead, transient)
+		var fe *Error
+		if !errors.As(err, &fe) || !fe.Transient || fe.Site != SpillRead {
+			t.Errorf("ClassifyIO(%v) = %v, want transient *Error", transient, err)
+		}
+	}
+	// Permanent errors pass through unchanged.
+	perm := &fs.PathError{Op: "open", Path: "x", Err: syscall.ENOENT}
+	if got := ClassifyIO(SpillRead, perm); got != perm {
+		t.Errorf("permanent error rewrapped: %v", got)
+	}
+	if ClassifyIO(SpillRead, nil) != nil {
+		t.Error("nil error classified non-nil")
+	}
+	// Already-classified errors keep their original site.
+	orig := &Error{Site: ShuffleWrite, Transient: true, Err: syscall.EINTR}
+	if got := ClassifyIO(SpillRead, orig); got != orig {
+		t.Errorf("reclassified: %v", got)
+	}
+}
+
+// BenchmarkDisarmedHit is the zero-cost guard: a disarmed failpoint must stay
+// a single atomic load (a couple of ns, zero allocations), cheap enough to
+// leave compiled into every production I/O path.
+func BenchmarkDisarmedHit(b *testing.B) {
+	Deactivate()
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Hit(ctx, ShuffleWrite); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkArmedMissHit(b *testing.B) {
+	r := NewRegistry(1)
+	r.Arm(ShuffleWrite, Policy{}) // armed registry, inert policy
+	defer Activate(r)()
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Hit(ctx, ShuffleWrite); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"photon/internal/fault"
 )
 
 // Consumer is a memory-consuming operator registered with the Manager.
@@ -92,6 +94,12 @@ func (m *Manager) Reserve(c Consumer, n int64) error {
 	}
 	if m.parent != nil {
 		return m.reserveChild(c, n)
+	}
+	// Failpoint: the root reserve path (child scopes forward here, so one
+	// logical reservation fires at most once). Injected transient failures
+	// surface as retryable task errors.
+	if err := fault.Hit(nil, fault.MemReserve); err != nil {
+		return err
 	}
 	m.mu.Lock()
 	met := m.metrics

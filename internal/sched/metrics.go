@@ -20,6 +20,11 @@ type Metrics struct {
 	TasksSkipped *obs.Counter
 	StagesRun    *obs.Counter
 	JobsRun      *obs.Counter
+	// SpecLaunched counts speculative duplicate attempts launched by the
+	// straggler detector; SpecWon counts duplicates that finished before
+	// their primary.
+	SpecLaunched *obs.Counter
+	SpecWon      *obs.Counter
 }
 
 // NewMetrics resolves the scheduler metric handles on r (get-or-create).
@@ -45,6 +50,10 @@ func NewMetrics(r *obs.Registry) *Metrics {
 			"Stages completed successfully"),
 		JobsRun: r.Counter("photon_sched_jobs_total",
 			"Jobs submitted to the driver"),
+		SpecLaunched: r.Counter("photon_speculative_launched_total",
+			"Speculative duplicate task attempts launched for stragglers"),
+		SpecWon: r.Counter("photon_speculative_won_total",
+			"Speculative duplicates that finished before their primary"),
 	}
 }
 

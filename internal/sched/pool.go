@@ -27,6 +27,71 @@ type Pool struct {
 	// metrics, when set via Instrument, observes slot waits and feeds the
 	// pool-occupancy gauges.
 	metrics *Metrics
+	// opts holds the pool-level retry/speculation configuration applied to
+	// every job scheduled on this pool (SetOptions).
+	opts PoolOptions
+}
+
+// SpeculationOptions tunes the straggler detector (§2.2 "re-launches
+// stragglers"). Zero values mean defaults.
+type SpeculationOptions struct {
+	// Disable turns speculative duplicates off entirely.
+	Disable bool
+	// Multiplier k: a task is a straggler when its wall time exceeds
+	// k × the median completed task duration (default 2).
+	Multiplier float64
+	// MinCompleteFraction of the stage's tasks must have completed before
+	// speculation starts (default 0.75).
+	MinCompleteFraction float64
+	// Interval is the detector's polling period (default 2ms).
+	Interval time.Duration
+	// MinTaskTime floors the straggler cutoff so sub-floor tasks are never
+	// duplicated regardless of the median (default 50ms).
+	MinTaskTime time.Duration
+}
+
+func (s SpeculationOptions) withDefaults() SpeculationOptions {
+	if s.Multiplier <= 0 {
+		s.Multiplier = 2
+	}
+	if s.MinCompleteFraction <= 0 {
+		s.MinCompleteFraction = 0.75
+	}
+	if s.Interval <= 0 {
+		s.Interval = 2 * time.Millisecond
+	}
+	if s.MinTaskTime <= 0 {
+		s.MinTaskTime = 50 * time.Millisecond
+	}
+	return s
+}
+
+// PoolOptions configures retry and speculation policy for every job run on
+// the pool. Zero fields defer to the driver's per-job settings (retry) or
+// the built-in defaults (speculation).
+type PoolOptions struct {
+	// MaxAttempts per task, overriding Driver.MaxAttempts when > 0.
+	MaxAttempts int
+	// RetryBackoff base delay, overriding Driver.RetryBackoff when > 0.
+	RetryBackoff time.Duration
+	// RetryBackoffCap bounds one full-jitter backoff sleep (default 100ms).
+	RetryBackoffCap time.Duration
+	// Speculation tunes straggler re-execution.
+	Speculation SpeculationOptions
+}
+
+// SetOptions installs the pool's retry/speculation configuration.
+func (p *Pool) SetOptions(o PoolOptions) {
+	p.mu.Lock()
+	p.opts = o
+	p.mu.Unlock()
+}
+
+// Options returns the pool's configuration.
+func (p *Pool) Options() PoolOptions {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.opts
 }
 
 // waiter is one task waiting for a slot.
@@ -125,6 +190,20 @@ func (p *Pool) Acquire(ctx context.Context, tok *JobToken) error {
 		p.mu.Unlock()
 		return ctx.Err()
 	}
+}
+
+// TryAcquire grants a slot only if one is free and no task is queued — the
+// straggler detector's non-stealing acquire: speculation may use idle
+// capacity but never delays first attempts.
+func (p *Pool) TryAcquire(tok *JobToken) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.free > 0 && len(p.waiters) == 0 {
+		p.free--
+		tok.grantLocked()
+		return true
+	}
+	return false
 }
 
 // Release returns the job's slot to the pool, waking the fairest waiter.

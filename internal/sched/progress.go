@@ -1,0 +1,76 @@
+package sched
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is a per-task-attempt progress report, fed by operators at batch
+// boundaries (exec.TaskCtx.ReportProgress) and read by the straggler
+// detector. All methods are atomic and nil-safe.
+type Progress struct {
+	rows  atomic.Int64
+	bytes atomic.Int64
+	last  atomic.Int64 // unix nanos of the most recent report
+}
+
+// Report accumulates rows/bytes processed since the previous report.
+func (p *Progress) Report(rows, bytes int64) {
+	if p == nil {
+		return
+	}
+	if rows != 0 {
+		p.rows.Add(rows)
+	}
+	if bytes != 0 {
+		p.bytes.Add(bytes)
+	}
+	p.last.Store(time.Now().UnixNano())
+}
+
+// Rows returns the rows reported so far.
+func (p *Progress) Rows() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.rows.Load()
+}
+
+// Bytes returns the bytes reported so far.
+func (p *Progress) Bytes() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.bytes.Load()
+}
+
+// LastReport returns the time of the most recent report (zero if none).
+func (p *Progress) LastReport() time.Time {
+	if p == nil {
+		return time.Time{}
+	}
+	n := p.last.Load()
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, n)
+}
+
+type progressKey struct{}
+
+// WithProgress attaches a progress sink to a task attempt's context.
+func WithProgress(ctx context.Context, p *Progress) context.Context {
+	return context.WithValue(ctx, progressKey{}, p)
+}
+
+// ProgressFromContext returns the attempt's progress sink, or nil. The
+// driver wires it into exec.TaskCtx so operators report without importing
+// sched.
+func ProgressFromContext(ctx context.Context) *Progress {
+	if ctx == nil {
+		return nil
+	}
+	p, _ := ctx.Value(progressKey{}).(*Progress)
+	return p
+}

@@ -1,0 +1,150 @@
+package sched
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"photon/internal/fault"
+	"photon/internal/obs"
+)
+
+// TestSpeculativeDuplicateForStraggler: one task attempt of four is stalled
+// for a full second by an injected task-start latency. Once the stage is
+// mostly complete the straggler detector must launch exactly one speculative
+// duplicate on a free slot; the duplicate finishes first, commits the task's
+// only execution, and the stalled primary is cancelled through its
+// per-attempt context — the stage completes well before the stall would end.
+func TestSpeculativeDuplicateForStraggler(t *testing.T) {
+	r := fault.NewRegistry(1)
+	r.Arm(fault.TaskStart, fault.Policy{Latency: time.Second, LatencyN: 1})
+	defer fault.Activate(r)()
+
+	pool := NewPool(8)
+	pool.SetOptions(PoolOptions{Speculation: SpeculationOptions{
+		Multiplier:          2,
+		MinCompleteFraction: 0.5,
+		Interval:            time.Millisecond,
+		MinTaskTime:         15 * time.Millisecond,
+	}})
+	reg := obs.NewRegistry()
+	pool.Instrument(reg)
+	d := NewDriverOnPool(pool)
+
+	var runs [4]atomic.Int64
+	st := &Stage{Name: "spec", NumTasks: 4, Run: func(ctx context.Context, id int) error {
+		select {
+		case <-time.After(5 * time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		runs[id].Add(1)
+		return nil
+	}}
+
+	start := time.Now()
+	if err := d.RunJob(context.Background(), st); err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+	if wall >= time.Second {
+		t.Errorf("stage took %v: duplicate did not mask the 1s stall", wall)
+	}
+
+	// The task body ran exactly once per task: the stalled primary never got
+	// past its injected task-start latency, and its winner committed alone.
+	for id := range runs {
+		if got := runs[id].Load(); got != 1 {
+			t.Errorf("task %d ran %d times, want exactly 1", id, got)
+		}
+	}
+	if got := st.Stats().Speculated.Load(); got != 1 {
+		t.Errorf("Speculated = %d, want 1", got)
+	}
+	if got := st.Stats().SpecWins.Load(); got != 1 {
+		t.Errorf("SpecWins = %d, want 1", got)
+	}
+	if got := reg.Counter("photon_speculative_launched_total", "").Load(); got != 1 {
+		t.Errorf("launched metric = %d, want 1", got)
+	}
+	if got := reg.Counter("photon_speculative_won_total", "").Load(); got != 1 {
+		t.Errorf("won metric = %d, want 1", got)
+	}
+}
+
+// TestSpeculationDisabled: with the detector off, the stalled task runs to
+// completion on its primary attempt and no duplicates are launched.
+func TestSpeculationDisabled(t *testing.T) {
+	r := fault.NewRegistry(1)
+	r.Arm(fault.TaskStart, fault.Policy{Latency: 60 * time.Millisecond, LatencyN: 1})
+	defer fault.Activate(r)()
+
+	pool := NewPool(8)
+	pool.SetOptions(PoolOptions{Speculation: SpeculationOptions{
+		Disable:             true,
+		MinCompleteFraction: 0.5,
+		Interval:            time.Millisecond,
+		MinTaskTime:         5 * time.Millisecond,
+	}})
+	d := NewDriverOnPool(pool)
+	st := &Stage{Name: "nospec", NumTasks: 4, Run: func(ctx context.Context, id int) error {
+		return nil
+	}}
+	if err := d.RunJob(context.Background(), st); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats().Speculated.Load(); got != 0 {
+		t.Errorf("Speculated = %d with speculation disabled", got)
+	}
+}
+
+// TestTryAcquireNeverStealsFromWaiters: the straggler detector's
+// non-stealing acquire must refuse a slot whenever primary work is queued,
+// even if a slot is momentarily free — speculation uses idle capacity only.
+func TestTryAcquireNeverStealsFromWaiters(t *testing.T) {
+	pool := NewPool(1)
+	holder := pool.NewJob()
+	if err := pool.Acquire(context.Background(), holder); err != nil {
+		t.Fatal(err)
+	}
+
+	// A primary task queues behind the held slot.
+	waiterTok := pool.NewJob()
+	granted := make(chan error, 1)
+	go func() { granted <- pool.Acquire(context.Background(), waiterTok) }()
+	waitForQueued := func() {
+		deadline := time.Now().Add(time.Second)
+		for time.Now().Before(deadline) {
+			pool.mu.Lock()
+			n := len(pool.waiters)
+			pool.mu.Unlock()
+			if n > 0 {
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		t.Fatal("waiter never queued")
+	}
+	waitForQueued()
+
+	spec := pool.NewJob()
+	if pool.TryAcquire(spec) {
+		t.Fatal("TryAcquire granted a slot while the pool was full and a task was queued")
+	}
+	// Releasing the slot hands it to the queued primary, not speculation.
+	pool.Release(holder)
+	if err := <-granted; err != nil {
+		t.Fatal(err)
+	}
+	if pool.TryAcquire(spec) {
+		t.Fatal("TryAcquire stole the slot the queued primary now holds")
+	}
+	// Once the primary releases and nothing is queued, idle capacity is fair
+	// game for duplicates.
+	pool.Release(waiterTok)
+	if !pool.TryAcquire(spec) {
+		t.Fatal("TryAcquire refused a genuinely idle slot")
+	}
+	pool.Release(spec)
+}

@@ -1,6 +1,7 @@
 package shuffle
 
 import (
+	"photon/internal/fault"
 	"photon/internal/types"
 )
 
@@ -20,7 +21,11 @@ func NewBroadcastWriter(dir, shuffleID string, mapTask int, opts EncoderOptions)
 }
 
 // NewBroadcastReader streams the union of every map task's broadcast
-// output — the full replicated dataset.
+// output — the full replicated dataset. Its failpoint site is
+// broadcast-fetch (a corrupt broadcast blob recovers like a shuffle block:
+// re-run the producing task, retry the consumer).
 func NewBroadcastReader(dir, shuffleID string, mapTasks int, schema *types.Schema) *Reader {
-	return NewReader(dir, shuffleID, mapTasks, 0, schema)
+	r := NewReader(dir, shuffleID, mapTasks, 0, schema)
+	r.Site = fault.BroadcastFetch
+	return r
 }

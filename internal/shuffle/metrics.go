@@ -12,6 +12,11 @@ type Metrics struct {
 	RowsWritten     *obs.Counter
 	BlocksWritten   *obs.Counter
 	BytesRead       *obs.Counter
+	// BlocksCorrupt counts integrity failures detected on read (bad
+	// checksum, truncation, missing file); BlocksRecovered counts
+	// successful lineage recoveries (producer map task re-runs).
+	BlocksCorrupt   *obs.Counter
+	BlocksRecovered *obs.Counter
 	// Encodings counts encoded column blocks, indexed by ColEncoding.
 	Encodings [3]*obs.Counter
 }
@@ -37,6 +42,10 @@ func NewMetrics(r *obs.Registry) *Metrics {
 			"Encoded blocks written to shuffle/broadcast files"),
 		BytesRead: r.Counter("photon_shuffle_read_bytes_total",
 			"Bytes read back from shuffle/broadcast files"),
+		BlocksCorrupt: r.Counter("photon_shuffle_blocks_corrupt_total",
+			"Shuffle/broadcast blocks failing integrity verification on read"),
+		BlocksRecovered: r.Counter("photon_shuffle_blocks_recovered_total",
+			"Lineage recoveries: producing map tasks re-run after corruption"),
 	}
 	for i, name := range EncodingNames {
 		m.Encodings[i] = r.Counter(

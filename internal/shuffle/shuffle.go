@@ -1,18 +1,54 @@
 package shuffle
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
+	"photon/internal/fault"
 	"photon/internal/kernels"
 	"photon/internal/storage/lz4"
 	"photon/internal/types"
 	"photon/internal/vector"
 )
+
+// CorruptBlockError reports a shuffle/broadcast block that failed integrity
+// verification (bad checksum, truncation, undecodable payload) or a
+// partition file that should exist but does not. The driver recovers by
+// re-running the producing map task (lineage recovery) and then retrying
+// the consuming task.
+type CorruptBlockError struct {
+	Path      string
+	ShuffleID string
+	MapTask   int
+	Part      int
+	Reason    string
+}
+
+func (e *CorruptBlockError) Error() string {
+	return fmt.Sprintf("shuffle: corrupt block in %s (shuffle=%s map=%d part=%d): %s",
+		e.Path, e.ShuffleID, e.MapTask, e.Part, e.Reason)
+}
+
+// blockChecksum is the per-block integrity checksum written ahead of every
+// LZ4 frame: the engine's bytes hash folded to 32 bits. Cheap relative to
+// LZ4 and catches truncations, bit flips, and torn writes.
+func blockChecksum(b []byte) uint32 {
+	h := kernels.HashBytesOne(b)
+	return uint32(h) ^ uint32(h>>32)
+}
+
+// writerSeq distinguishes concurrent attempts (speculative duplicates,
+// recovery re-runs) writing the same logical shuffle output: each Writer
+// stages blocks under unique temp names and Commit atomically renames them
+// into place, so exactly one attempt's files win and readers never observe
+// partially written output.
+var writerSeq atomic.Int64
 
 // Partitioner hash-partitions batch rows across P reducers using the same
 // hashing kernels as the join/aggregation path.
@@ -108,14 +144,22 @@ func fillLanes(v *vector.Vector, sel []int32, n int, out []uint64) {
 }
 
 // Writer writes one map task's output: one file per reduce partition, each
-// a sequence of LZ4-framed encoded blocks. Metrics report raw and
-// compressed volume (Table 1's "Data Size").
+// a sequence of checksummed LZ4-framed encoded blocks. Metrics report raw
+// and compressed volume (Table 1's "Data Size").
+//
+// Output is staged under attempt-unique temp names; Commit atomically
+// renames every partition file into its final place. Concurrent attempts of
+// the same task (speculative duplicates, lineage-recovery re-runs) never
+// interleave bytes, and a reader either sees a complete committed file or
+// none.
 type Writer struct {
 	dir      string
 	shuffle  string
 	mapTask  int
 	opts     EncoderOptions
 	files    []*os.File
+	tmps     []string // temp paths (staged output)
+	finals   []string // committed paths
 	scratch  []byte
 	RawBytes int64
 	Bytes    int64
@@ -129,21 +173,32 @@ type Writer struct {
 	EncCounts [3]int64
 	// Obs, when set, mirrors volume and encoding counters into the
 	// process/session metrics registry.
-	Obs     *Metrics
-	flushed bool
+	Obs *Metrics
+	// Ctx, when set, bounds injected failpoint latency (the shuffle-write
+	// site) so a cancelled attempt stops promptly.
+	Ctx       context.Context
+	flushed   bool
+	closed    bool
+	committed bool
 }
 
-// NewWriter opens P partition files under dir.
+// NewWriter opens P partition files under dir (staged as temp files until
+// Commit).
 func NewWriter(dir, shuffleID string, mapTask, numPartitions int, opts EncoderOptions) (*Writer, error) {
 	w := &Writer{dir: dir, shuffle: shuffleID, mapTask: mapTask, opts: opts,
 		PartBytes: make([]int64, numPartitions)}
+	attempt := writerSeq.Add(1)
 	for part := 0; part < numPartitions; part++ {
-		f, err := os.Create(partPath(dir, shuffleID, mapTask, part))
+		final := partPath(dir, shuffleID, mapTask, part)
+		tmp := fmt.Sprintf("%s.tmp-%d", final, attempt)
+		f, err := os.Create(tmp)
 		if err != nil {
-			w.Close()
-			return nil, err
+			w.Abort()
+			return nil, fault.ClassifyIO(fault.ShuffleWrite, err)
 		}
 		w.files = append(w.files, f)
+		w.tmps = append(w.tmps, tmp)
+		w.finals = append(w.finals, final)
 	}
 	return w, nil
 }
@@ -152,30 +207,48 @@ func partPath(dir, shuffleID string, mapTask, part int) string {
 	return filepath.Join(dir, fmt.Sprintf("shuffle-%s-m%d-p%d.bin", shuffleID, mapTask, part))
 }
 
-// WritePartition encodes b's active rows into one partition's file.
+// WritePartition encodes b's active rows into one partition's staging file
+// as a checksummed block: [u32 checksum][LZ4 frame].
 func (w *Writer) WritePartition(part int, b *vector.Batch) error {
 	if b.NumActive() == 0 {
 		return nil
 	}
+	if err := fault.Hit(w.Ctx, fault.ShuffleWrite); err != nil {
+		return err
+	}
 	w.scratch = encodeBlock(w.scratch[:0], b, w.opts, &w.EncCounts)
-	w.RawBytes += int64(len(w.scratch))
+	raw := len(w.scratch)
+	w.RawBytes += int64(raw)
 	w.Rows += int64(b.NumActive())
-	framed := lz4.AppendFrame(nil, w.scratch)
+	var hdr [checksumLen]byte
+	framed := lz4.AppendFrame(hdr[:], w.scratch)
+	binary.LittleEndian.PutUint32(framed[:checksumLen], blockChecksum(framed[checksumLen:]))
 	w.Bytes += int64(len(framed))
 	w.PartBytes[part] += int64(len(framed))
 	if w.Obs != nil {
-		w.Obs.RawBytesWritten.Add(int64(len(w.scratch)))
+		w.Obs.RawBytesWritten.Add(int64(raw))
 		w.Obs.BytesWritten.Add(int64(len(framed)))
 		w.Obs.RowsWritten.Add(int64(b.NumActive()))
 		w.Obs.BlocksWritten.Inc()
 	}
-	_, err := w.files[part].Write(framed)
-	return err
+	if _, err := w.files[part].Write(framed); err != nil {
+		return fault.ClassifyIO(fault.ShuffleWrite, err)
+	}
+	return nil
 }
 
-// Close flushes and closes all partition files, mirroring the per-writer
-// encoding tallies into the metrics registry once.
+// checksumLen is the per-block checksum prefix size.
+const checksumLen = 4
+
+// Close flushes and closes all partition file handles, mirroring the
+// per-writer encoding tallies into the metrics registry once. Close does
+// NOT publish the output — call Commit (success) or Abort (failure).
+// Idempotent.
 func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
 	if w.Obs != nil && !w.flushed {
 		w.flushed = true
 		for i, n := range w.EncCounts {
@@ -194,49 +267,124 @@ func (w *Writer) Close() error {
 	return first
 }
 
-// Reader streams one reduce partition across all map tasks.
+// Commit closes (if needed) and atomically publishes every partition file
+// by renaming its temp to the final path. Rename is atomic per file, so a
+// concurrent reader sees either the old committed file or the new one,
+// never a torn write. Exactly one attempt of a task should Commit (the
+// scheduler/driver's commit guard); losers Abort.
+func (w *Writer) Commit() error {
+	if err := w.Close(); err != nil {
+		return fault.ClassifyIO(fault.ShuffleWrite, err)
+	}
+	if w.committed {
+		return nil
+	}
+	for i, tmp := range w.tmps {
+		if err := os.Rename(tmp, w.finals[i]); err != nil {
+			return fault.ClassifyIO(fault.ShuffleWrite, err)
+		}
+	}
+	w.committed = true
+	return nil
+}
+
+// Abort closes (if needed) and removes the attempt's staged temp files.
+// Safe on a partially constructed writer; never touches committed output.
+func (w *Writer) Abort() {
+	_ = w.Close()
+	if w.committed {
+		return
+	}
+	for _, tmp := range w.tmps {
+		_ = os.Remove(tmp)
+	}
+}
+
+// Reader streams one reduce partition across all map tasks, verifying the
+// per-block checksum written by the Writer. Any integrity failure —
+// missing partition file, truncated block, checksum mismatch, undecodable
+// payload — surfaces as *CorruptBlockError naming the producing map task,
+// which the driver uses for lineage recovery.
 type Reader struct {
 	schema  *types.Schema
+	shuffle string
+	part    int
 	paths   []string
 	pending []byte
-	file    int
-	// Obs, when set, counts bytes read from shuffle files.
+	file    int // index of the next file to open; pending is from file-1
+	// Obs, when set, counts bytes read from shuffle files and corrupt
+	// blocks detected.
 	Obs *Metrics
+	// Ctx, when set, bounds injected failpoint latency on the read site.
+	Ctx context.Context
+	// Site is the failpoint this reader hits per file open (defaults to
+	// shuffle-read; broadcast readers use broadcast-fetch).
+	Site fault.Site
 }
 
 // NewReader opens partition `part` written by mapTasks map tasks.
 func NewReader(dir, shuffleID string, mapTasks, part int, schema *types.Schema) *Reader {
-	r := &Reader{schema: schema}
+	r := &Reader{schema: schema, shuffle: shuffleID, part: part, Site: fault.ShuffleRead}
 	for m := 0; m < mapTasks; m++ {
 		r.paths = append(r.paths, partPath(dir, shuffleID, m, part))
 	}
 	return r
 }
 
+// corrupt builds the lineage-addressed corruption error for the file whose
+// data is currently pending (or just failed to open) and counts it.
+func (r *Reader) corrupt(reason string) error {
+	if r.Obs != nil {
+		r.Obs.BlocksCorrupt.Inc()
+	}
+	return &CorruptBlockError{
+		Path:      r.paths[r.file-1],
+		ShuffleID: r.shuffle,
+		MapTask:   r.file - 1,
+		Part:      r.part,
+		Reason:    reason,
+	}
+}
+
 // Next decodes the next block into dst; returns false at end of partition.
 func (r *Reader) Next(dst *vector.Batch) (bool, error) {
 	for {
 		if len(r.pending) > 0 {
-			payload, rest, err := lz4.ReadFrame(r.pending)
+			if len(r.pending) < checksumLen {
+				return false, r.corrupt(fmt.Sprintf("truncated block header: %d trailing bytes", len(r.pending)))
+			}
+			want := binary.LittleEndian.Uint32(r.pending[:checksumLen])
+			frame := r.pending[checksumLen:]
+			payload, rest, err := lz4.ReadFrame(frame)
 			if err != nil {
-				return false, err
+				return false, r.corrupt(err.Error())
+			}
+			consumed := frame[:len(frame)-len(rest)]
+			if got := blockChecksum(consumed); got != want {
+				return false, r.corrupt(fmt.Sprintf("checksum mismatch: stored %08x computed %08x", want, got))
 			}
 			r.pending = rest
 			if _, err := decodeBlock(payload, dst); err != nil {
-				return false, err
+				return false, r.corrupt(err.Error())
 			}
 			return true, nil
 		}
 		if r.file >= len(r.paths) {
 			return false, nil
 		}
+		if err := fault.Hit(r.Ctx, r.Site); err != nil {
+			return false, err
+		}
 		data, err := os.ReadFile(r.paths[r.file])
 		r.file++
 		if err != nil {
 			if os.IsNotExist(err) {
-				continue // map task produced nothing for this partition
+				// A committed map task publishes every partition file
+				// (possibly empty), so a missing file means lost output —
+				// recoverable by re-running the producer.
+				return false, r.corrupt("missing partition file")
 			}
-			return false, err
+			return false, fault.ClassifyIO(r.Site, err)
 		}
 		if r.Obs != nil {
 			r.Obs.BytesRead.Add(int64(len(data)))

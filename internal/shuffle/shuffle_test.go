@@ -1,7 +1,9 @@
 package shuffle
 
 import (
+	"errors"
 	"fmt"
+	"os"
 	"reflect"
 	"sort"
 	"testing"
@@ -71,7 +73,7 @@ func writeAndReadBack(t *testing.T, rows [][]any, adaptive bool) ([][]any, *Writ
 		}
 		b.Sel = saved
 	}
-	if err := w.Close(); err != nil {
+	if err := w.Commit(); err != nil {
 		t.Fatal(err)
 	}
 	var got [][]any
@@ -203,16 +205,26 @@ func TestManagerCounts(t *testing.T) {
 	}
 }
 
-func TestReaderMissingMapFilesSkipped(t *testing.T) {
+func TestReaderEmptyMapOutputsSkipped(t *testing.T) {
 	schema := shuffleSchema()
 	dir := t.TempDir()
-	// Only map task 0 writes; reader for 3 map tasks must not fail.
+	// Map task 0 writes one row; tasks 1 and 2 commit empty outputs (as a
+	// coalesced-away producer does). The reader must stream exactly the
+	// one row.
 	w, _ := NewWriter(dir, "sx", 0, 1, EncoderOptions{})
 	b := mkBatch(schema, [][]any{{int64(1), "a"}})
 	if err := w.WritePartition(0, b); err != nil {
 		t.Fatal(err)
 	}
-	w.Close()
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for m := 1; m < 3; m++ {
+		we, _ := NewWriter(dir, "sx", m, 1, EncoderOptions{})
+		if err := we.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
 	r := NewReader(dir, "sx", 3, 0, schema)
 	dst := vector.NewBatch(schema, 16)
 	count := 0
@@ -228,6 +240,64 @@ func TestReaderMissingMapFilesSkipped(t *testing.T) {
 	}
 	if count != 1 {
 		t.Errorf("rows = %d", count)
+	}
+}
+
+// TestReaderMissingFileIsCorruption: with atomic publish, every committed
+// map task's partition file exists, so a missing file means lost output and
+// must surface as a lineage-addressed CorruptBlockError — never be
+// silently skipped (which would drop rows).
+func TestReaderMissingFileIsCorruption(t *testing.T) {
+	schema := shuffleSchema()
+	dir := t.TempDir()
+	r := NewReader(dir, "sx", 2, 0, schema)
+	dst := vector.NewBatch(schema, 16)
+	_, err := r.Next(dst)
+	var cbe *CorruptBlockError
+	if !errors.As(err, &cbe) {
+		t.Fatalf("err = %v, want CorruptBlockError", err)
+	}
+	if cbe.MapTask != 0 || cbe.Part != 0 || cbe.ShuffleID != "sx" {
+		t.Errorf("lineage = map %d part %d shuffle %s", cbe.MapTask, cbe.Part, cbe.ShuffleID)
+	}
+}
+
+// TestAbortRemovesStagedFiles: an aborted attempt leaves nothing behind and
+// never clobbers a committed twin.
+func TestAbortRemovesStagedFiles(t *testing.T) {
+	schema := shuffleSchema()
+	dir := t.TempDir()
+	b := mkBatch(schema, [][]any{{int64(1), "a"}})
+
+	winner, _ := NewWriter(dir, "sa", 0, 1, EncoderOptions{})
+	if err := winner.WritePartition(0, b); err != nil {
+		t.Fatal(err)
+	}
+	loser, _ := NewWriter(dir, "sa", 0, 1, EncoderOptions{})
+	b2 := mkBatch(schema, [][]any{{int64(2), "b"}})
+	if err := loser.WritePartition(0, b2); err != nil {
+		t.Fatal(err)
+	}
+	if err := winner.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	loser.Abort()
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("dir has %d entries after abort, want 1 committed file", len(ents))
+	}
+	r := NewReader(dir, "sa", 1, 0, schema)
+	dst := vector.NewBatch(schema, 16)
+	ok, err := r.Next(dst)
+	if err != nil || !ok {
+		t.Fatalf("read back: ok=%v err=%v", ok, err)
+	}
+	if got := dst.Rows()[0][0].(int64); got != 1 {
+		t.Errorf("winner row = %d, want 1 (loser must not clobber)", got)
 	}
 }
 

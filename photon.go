@@ -128,6 +128,11 @@ type Config struct {
 	// QueryTimeout cancels each query after the given duration (0 = no
 	// timeout). Cancellation takes effect at operator batch boundaries.
 	QueryTimeout time.Duration
+	// TaskMaxAttempts caps executions per task (primary + retries) when a
+	// task fails transiently (classified I/O errors, injected faults).
+	// Retries use full-jitter exponential backoff. 0 uses the scheduler
+	// default (2: one retry).
+	TaskMaxAttempts int
 }
 
 // Session owns a catalog and executes queries. Sessions are safe for

@@ -228,6 +228,9 @@ func newServiceMetrics(r *obs.Registry, gate *admission) *serviceMetrics {
 func (s *Session) slotPool() *sched.Pool {
 	s.poolOnce.Do(func() {
 		s.pool = sched.NewPool(s.cfg.Parallelism)
+		if s.cfg.TaskMaxAttempts > 0 {
+			s.pool.SetOptions(sched.PoolOptions{MaxAttempts: s.cfg.TaskMaxAttempts})
+		}
 		s.pool.Instrument(s.reg)
 	})
 	return s.pool
