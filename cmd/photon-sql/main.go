@@ -39,6 +39,7 @@ var (
 	traceFlag   = flag.String("trace", "", "write a Chrome trace-event JSON file per query (load in chrome://tracing or ui.perfetto.dev)")
 	metricsFlag = flag.Bool("metrics", false, "dump the session's Prometheus metrics on exit")
 	rfFlag      = flag.Bool("runtime-filters", true, "apply hash-join runtime filters to probe-side scans and shuffles (par > 1)")
+	fusedFlag   = flag.Bool("fused-pipelines", true, "compile intra-stage Filter/Project/RuntimeFilter chains into fused selection-vector pipelines")
 	chaosFlag   = flag.Int64("chaos-seed", 0, "arm deterministic fault injection on the distributed execution sites with this seed; pair with -par > 1 (0 = off)")
 )
 
@@ -52,7 +53,11 @@ func main() {
 	flag.Var(&deltas, "delta", "register a Delta table as name=path (repeatable)")
 	flag.Parse()
 
-	cfg := photon.Config{Parallelism: *parFlag, DisableRuntimeFilters: !*rfFlag}
+	cfg := photon.Config{
+		Parallelism:           *parFlag,
+		DisableRuntimeFilters: !*rfFlag,
+		DisableFusedPipelines: !*fusedFlag,
+	}
 	if *chaosFlag != 0 {
 		// Extra retry headroom: chaos policies inject transient failures
 		// into shuffle, broadcast, and task-start paths; the scheduler

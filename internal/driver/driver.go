@@ -294,6 +294,11 @@ type stageInfo struct {
 	// files and Parquet row groups skipped, and the rows they contained.
 	rfFiles, rfGroups, rfScanRows int64
 
+	// Fused-pipeline execution: fused-operator count in one task's plan
+	// (identical across a stage's tasks) and total emitted batches/rows.
+	pipeOps               int
+	pipeBatches, pipeRows int64
+
 	// Commit-once guard: with speculative duplicates, exactly one attempt
 	// of each task may publish its output (atomic shuffle rename, gather
 	// results, profile accumulation). commitMu serializes the publish
@@ -320,6 +325,29 @@ func (si *stageInfo) notePrune(files, groups, rows int64) {
 	si.rfGroups += groups
 	si.rfScanRows += rows
 	si.profMu.Unlock()
+}
+
+// notePipelines folds one task's fused-pipeline summaries into the stage.
+// Every task builds the identical fragment plan, so the fused-op count is
+// stable across tasks (keep the max); batches and rows accumulate.
+func (si *stageInfo) notePipelines(infos []exec.PipelineInfo) {
+	if len(infos) == 0 {
+		return
+	}
+	ops := 0
+	var batches, rows int64
+	for _, pi := range infos {
+		ops += pi.Ops
+		batches += pi.Batches
+		rows += pi.Rows
+	}
+	si.profMu.Lock()
+	defer si.profMu.Unlock()
+	if ops > si.pipeOps {
+		si.pipeOps = ops
+	}
+	si.pipeBatches += batches
+	si.pipeRows += rows
 }
 
 // noteTask folds one completed task's snapshots and timing into the stage.
@@ -902,6 +930,7 @@ func (j *stagedJob) runTask(ctx context.Context, si *stageInfo, taskID int, reco
 	}
 	notePoolMetrics(j.opts.Metrics, tc)
 	si.noteTask(snaps, start, end)
+	si.notePipelines(exec.CollectPipelines(root))
 	if tr := j.opts.Trace; tr != nil {
 		tid := tr.NextTID()
 		label := fmt.Sprintf("stage-%d/task-%d", f.ID, taskID)
@@ -955,6 +984,8 @@ func (j *stagedJob) buildProfile(root *catalyst.Fragment) *QueryProfile {
 			ShuffleRows: si.outRows, EncCounts: si.encCounts,
 			RFFilesPruned: si.rfFiles, RFGroupsPruned: si.rfGroups,
 			RFRowsPruned: si.rfScanRows,
+			PipelineOps:  si.pipeOps, PipelineBatches: si.pipeBatches,
+			PipelineRows: si.pipeRows,
 			Recovered:    si.recovered.Load(),
 		}
 		{

@@ -76,6 +76,12 @@ type StageProfile struct {
 	// (scan-level skips plus row-level RuntimeFilter drops).
 	RFFilesPruned, RFGroupsPruned, RFRowsPruned int64
 
+	// Fused-pipeline execution: operators running inside fused pipelines in
+	// one task's plan, and the batches/rows the stage's pipelines emitted
+	// across all tasks. All zero when fusion is disabled or nothing fused.
+	PipelineOps                   int
+	PipelineBatches, PipelineRows int64
+
 	// Fault-tolerance activity: Recovered counts lineage re-runs of this
 	// stage's map tasks after corrupt/missing shuffle blocks; Speculated and
 	// SpecWins count straggler duplicates launched and duplicates that
@@ -171,6 +177,10 @@ func (q *QueryProfile) Render() string {
 			fmt.Fprintf(&sb, " rf[files=%d groups=%d rows=%d]",
 				st.RFFilesPruned, st.RFGroupsPruned, st.RFRowsPruned)
 		}
+		if st.PipelineOps > 0 {
+			fmt.Fprintf(&sb, " pipeline[ops=%d batches=%d rows=%d]",
+				st.PipelineOps, st.PipelineBatches, st.PipelineRows)
+		}
 		if st.Recovered > 0 {
 			fmt.Fprintf(&sb, " recovery[recovered=%d]", st.Recovered)
 		}
@@ -248,9 +258,15 @@ func (q *QueryProfile) RowsByName() map[string]int64 {
 // single-task runs and distributed runs share the EXPLAIN ANALYZE surface.
 func singleProfile(root any, wall time.Duration) *QueryProfile {
 	ops := mergeSnapshots(nil, exec.SnapshotStats(root))
-	return &QueryProfile{Root: 0, Stages: []StageProfile{{
+	sp := StageProfile{
 		ID: 0, Label: "single-task", Out: "gather",
 		TasksPlanned: 1, TasksRun: 1,
 		WallNanos: int64(wall), Ops: ops,
-	}}}
+	}
+	for _, pi := range exec.CollectPipelines(root) {
+		sp.PipelineOps += pi.Ops
+		sp.PipelineBatches += pi.Batches
+		sp.PipelineRows += pi.Rows
+	}
+	return &QueryProfile{Root: 0, Stages: []StageProfile{sp}}
 }

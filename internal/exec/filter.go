@@ -10,9 +10,10 @@ import (
 // list (§4.3). Data vectors are untouched; only the selection changes.
 type FilterOp struct {
 	base
-	child Operator
-	pred  expr.Filter
-	sel   []int32
+	child  Operator
+	pred   expr.Filter
+	sel    []int32
+	winSel []int32
 }
 
 // NewFilter builds a filter over child.
@@ -38,26 +39,9 @@ func (f *FilterOp) Next() (*vector.Batch, error) {
 		}
 		var out *vector.Batch
 		err = f.timed(func() error {
-			f.stats.RowsIn.Add(int64(b.NumActive()))
-			f.sel = f.sel[:0]
-			sel, err := f.pred.EvalSel(f.tc.Expr, b, f.sel)
-			if err != nil {
-				return err
-			}
-			f.sel = sel
-			if len(sel) == 0 {
-				return nil // batch fully filtered; pull the next one
-			}
-			if len(sel) == b.NumRows && b.Sel == nil {
-				// All rows passed: keep the dense fast path.
-				out = b
-			} else {
-				b.SetSel(sel)
-				out = b
-			}
-			f.stats.RowsOut.Add(int64(out.NumActive()))
-			f.stats.BatchesOut.Add(1)
-			return nil
+			var err error
+			out, err = f.processBatch(b)
+			return err
 		})
 		if err != nil {
 			return nil, err
@@ -68,11 +52,90 @@ func (f *FilterOp) Next() (*vector.Batch, error) {
 	}
 }
 
+// processBatch applies the predicate to one batch, shrinking its position
+// list; nil output means the batch was fully filtered. Shared by the pull
+// path and fused pipelines — all stats counting lives here, so both report
+// identically.
+func (f *FilterOp) processBatch(b *vector.Batch) (*vector.Batch, error) {
+	f.stats.RowsIn.Add(int64(b.NumActive()))
+	f.sel = f.sel[:0]
+	var sel []int32
+	var err error
+	if active := b.NumActive(); active > cancelCheckRows {
+		sel, err = f.evalSelWindowed(b, active)
+	} else {
+		sel, err = f.pred.EvalSel(f.tc.Expr, b, f.sel)
+	}
+	if err != nil {
+		return nil, err
+	}
+	f.sel = sel
+	if len(sel) == 0 {
+		return nil, nil // batch fully filtered
+	}
+	if len(sel) == b.NumRows && b.Sel == nil {
+		// All rows passed: keep the dense fast path.
+	} else {
+		b.SetSel(sel)
+	}
+	f.stats.RowsOut.Add(int64(b.NumActive()))
+	f.stats.BatchesOut.Add(1)
+	return b, nil
+}
+
+// evalSelWindowed evaluates the predicate over cancelCheckRows-sized windows
+// of active rows with a cancellation check between windows, so one giant
+// batch cannot pin a cancelled task inside the filter kernel.
+func (f *FilterOp) evalSelWindowed(b *vector.Batch, active int) ([]int32, error) {
+	savedSel := b.Sel
+	defer func() { b.Sel = savedSel }()
+	out := f.sel[:0]
+	for lo := 0; lo < active; lo += cancelCheckRows {
+		if err := f.tc.Cancelled(); err != nil {
+			return nil, err
+		}
+		hi := min(lo+cancelCheckRows, active)
+		if savedSel != nil {
+			b.Sel = savedSel[lo:hi]
+		} else {
+			b.Sel = f.windowSel(lo, hi)
+		}
+		var err error
+		out, err = f.pred.EvalSel(f.tc.Expr, b, out)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// windowSel returns a synthetic selection covering physical rows [lo, hi).
+func (f *FilterOp) windowSel(lo, hi int) []int32 {
+	if cap(f.winSel) < hi-lo {
+		f.winSel = make([]int32, hi-lo)
+	}
+	w := f.winSel[:hi-lo]
+	for i := range w {
+		w[i] = int32(lo + i)
+	}
+	return w
+}
+
+// bind attaches the task context without opening the child (fused path).
+func (f *FilterOp) bind(tc *TaskCtx) { f.tc = tc }
+
+// source returns the operator's input (fused path).
+func (f *FilterOp) source() Operator { return f.child }
+
+// closeLocal releases operator-local resources (fused path; none to free).
+func (f *FilterOp) closeLocal() error { return nil }
+
 // Close implements Operator.
 func (f *FilterOp) Close() error { return f.child.Close() }
 
-// ProjectOp evaluates expressions into a fresh output batch, forwarding the
-// input's position list.
+// ProjectOp evaluates expressions into an output batch whose header is
+// pooled and whose vectors are expression results or zero-copy column
+// references, forwarding the input's position list.
 type ProjectOp struct {
 	base
 	child    Operator
@@ -115,37 +178,9 @@ func (p *ProjectOp) Next() (*vector.Batch, error) {
 	}
 	var out *vector.Batch
 	err = p.timed(func() error {
-		p.stats.RowsIn.Add(int64(b.NumActive()))
-		p.tc.Expr.ResetPerBatch()
-		if p.out == nil {
-			p.out = vector.WrapBatch(p.schema, make([]*vector.Vector, len(p.exprs)), nil, 0)
-			p.out.SetCapacity(p.tc.Pool.BatchSize())
-		} else {
-			// Recycle previous output vectors we own.
-			for i, v := range p.out.Vecs {
-				if v != nil && p.ownedVec[i] {
-					p.tc.Expr.Put(v)
-				}
-			}
-		}
-		if p.ownedVec == nil {
-			p.ownedVec = make([]bool, len(p.exprs))
-		}
-		for i, e := range p.exprs {
-			v, err := e.Eval(p.tc.Expr, b)
-			if err != nil {
-				return err
-			}
-			_, isCol := e.(*expr.ColRef)
-			p.out.Vecs[i] = v
-			p.ownedVec[i] = !isCol
-		}
-		p.out.Sel = b.Sel
-		p.out.NumRows = b.NumRows
-		out = p.out
-		p.stats.RowsOut.Add(int64(out.NumActive()))
-		p.stats.BatchesOut.Add(1)
-		return nil
+		var err error
+		out, err = p.processBatch(b)
+		return err
 	})
 	if err != nil {
 		return nil, err
@@ -153,5 +188,66 @@ func (p *ProjectOp) Next() (*vector.Batch, error) {
 	return out, nil
 }
 
+// processBatch evaluates the projection expressions over one batch. Shared
+// by the pull path and fused pipelines — all stats counting lives here.
+func (p *ProjectOp) processBatch(b *vector.Batch) (*vector.Batch, error) {
+	p.stats.RowsIn.Add(int64(b.NumActive()))
+	p.tc.Expr.ResetPerBatch()
+	if p.out == nil {
+		// The output header comes from the task's batch pool and recycles
+		// across batches; vectors are expression-pool outputs or zero-copy
+		// column references, never per-batch batch allocations.
+		p.out = p.tc.Pool.GetView(p.schema, len(p.exprs))
+	} else {
+		// Recycle previous output vectors we own.
+		for i, v := range p.out.Vecs {
+			if v != nil && p.ownedVec[i] {
+				p.tc.Expr.Put(v)
+			}
+		}
+	}
+	if p.ownedVec == nil {
+		p.ownedVec = make([]bool, len(p.exprs))
+	}
+	for i, e := range p.exprs {
+		v, err := e.Eval(p.tc.Expr, b)
+		if err != nil {
+			return nil, err
+		}
+		_, isCol := e.(*expr.ColRef)
+		p.out.Vecs[i] = v
+		p.ownedVec[i] = !isCol
+	}
+	p.out.Sel = b.Sel
+	p.out.NumRows = b.NumRows
+	p.stats.RowsOut.Add(int64(p.out.NumActive()))
+	p.stats.BatchesOut.Add(1)
+	return p.out, nil
+}
+
+// bind attaches the task context without opening the child (fused path).
+func (p *ProjectOp) bind(tc *TaskCtx) { p.tc = tc }
+
+// source returns the operator's input (fused path).
+func (p *ProjectOp) source() Operator { return p.child }
+
+// closeLocal returns owned output vectors to the expression pool and the
+// output header to the batch pool.
+func (p *ProjectOp) closeLocal() error {
+	if p.out != nil {
+		for i, v := range p.out.Vecs {
+			if v != nil && p.ownedVec[i] {
+				p.tc.Expr.Put(v)
+			}
+		}
+		p.tc.Pool.PutView(p.out)
+		p.out = nil
+	}
+	return nil
+}
+
 // Close implements Operator.
-func (p *ProjectOp) Close() error { return p.child.Close() }
+func (p *ProjectOp) Close() error {
+	p.closeLocal()
+	return p.child.Close()
+}

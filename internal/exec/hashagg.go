@@ -260,6 +260,7 @@ func (op *HashAggOp) partialSchema() *types.Schema {
 func (op *HashAggOp) Open(tc *TaskCtx) error {
 	op.tc = tc
 	op.tbl = ht.New(op.keyTypes, op.payloadW)
+	op.tbl.Guard = tc.Cancelled
 	op.consumer = &mem.FuncConsumer{ConsumerName: op.stats.Name, SpillFunc: op.spill}
 	op.listPool = *mem.NewArena(0)
 	op.ensureScratch(tc.Pool.BatchSize())
@@ -340,6 +341,7 @@ func (op *HashAggOp) spill(need int64) (int64, error) {
 	op.tc.Mem.Release(op.consumer, op.reserved)
 	op.reserved = 0
 	op.tbl = ht.New(op.keyTypes, op.payloadW)
+	op.tbl.Guard = op.tc.Cancelled
 	op.lists = op.lists[:0]
 	op.listPool.Reset()
 	op.spilled = true

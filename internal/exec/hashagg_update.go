@@ -75,7 +75,9 @@ func (op *HashAggOp) resolveGroups(b *vector.Batch, tbl *ht.Table) error {
 	op.ensureScratch(n)
 	if len(op.keyExprs) == 0 {
 		if tbl.NumRows() == 0 {
-			op.ensureGlobalGroup(tbl)
+			if err := op.ensureGlobalGroup(tbl); err != nil {
+				return err
+			}
 		}
 		apply(b.Sel, n, func(i int32) { op.rowIDs[i] = 0 })
 		return nil
@@ -90,8 +92,7 @@ func (op *HashAggOp) resolveGroups(b *vector.Batch, tbl *ht.Table) error {
 		op.keyOwned[c] = !isCol
 	}
 	hashKeyVectorsScratch(op.keyVecs, b.Sel, n, op.hashes, &op.lanes)
-	tbl.FindOrInsert(op.keyVecs, op.hashes, b.Sel, n, op.rowIDs, op.inserted)
-	return nil
+	return tbl.FindOrInsert(op.keyVecs, op.hashes, b.Sel, n, op.rowIDs, op.inserted)
 }
 
 // releaseKeys returns pooled key vectors after an update pass.
@@ -105,10 +106,10 @@ func (op *HashAggOp) releaseKeys() {
 }
 
 // ensureGlobalGroup creates the single group row for keyless aggregation.
-func (op *HashAggOp) ensureGlobalGroup(tbl *ht.Table) {
+func (op *HashAggOp) ensureGlobalGroup(tbl *ht.Table) error {
 	ids := []int32{0}
 	ins := []bool{false}
-	tbl.FindOrInsert(nil, []uint64{0}, nil, 1, ids, ins)
+	return tbl.FindOrInsert(nil, []uint64{0}, nil, 1, ids, ins)
 }
 
 // laneScratch provides per-operator hash-lane scratch without per-batch
@@ -496,7 +497,9 @@ func (op *HashAggOp) mergeBatch(b *vector.Batch, tbl *ht.Table, lists *[]listSta
 	if len(op.keyTypes) > 0 {
 		keys := b.Vecs[:len(op.keyTypes)]
 		hashKeyVectorsScratch(keys, b.Sel, n, op.hashes, &op.lanes)
-		tbl.FindOrInsert(keys, op.hashes, b.Sel, n, op.rowIDs, op.inserted)
+		if err := tbl.FindOrInsert(keys, op.hashes, b.Sel, n, op.rowIDs, op.inserted); err != nil {
+			return err
+		}
 		apply(b.Sel, n, func(i int32) {
 			if op.inserted[i] {
 				op.initStateIn(tbl, op.rowIDs[i], lists)
@@ -504,7 +507,9 @@ func (op *HashAggOp) mergeBatch(b *vector.Batch, tbl *ht.Table, lists *[]listSta
 		})
 	} else {
 		if tbl.NumRows() == 0 {
-			op.ensureGlobalGroup(tbl)
+			if err := op.ensureGlobalGroup(tbl); err != nil {
+				return err
+			}
 			op.initStateIn(tbl, 0, lists)
 		}
 		apply(b.Sel, n, func(i int32) { op.rowIDs[i] = 0 })
@@ -719,6 +724,7 @@ func (op *HashAggOp) mergePartition(f *os.File) error {
 	ps := op.partialSchema()
 	rd := serde.NewReader(f, ps)
 	op.partTbl = ht.New(op.keyTypes, op.payloadW)
+	op.partTbl.Guard = op.tc.Cancelled
 	op.partLists = op.partLists[:0]
 	op.emitPos = 0
 	buf := vector.NewBatch(ps, op.tc.Pool.BatchSize())

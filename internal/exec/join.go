@@ -154,6 +154,7 @@ func NewHashJoin(left, right Operator, leftKeys, rightKeys []expr.Expr, jt JoinT
 func (op *HashJoinOp) Open(tc *TaskCtx) error {
 	op.tc = tc
 	op.tbl = ht.New(op.keyTypes, op.payloadW)
+	op.tbl.Guard = tc.Cancelled
 	op.consumer = &mem.FuncConsumer{ConsumerName: op.stats.Name, SpillFunc: op.spillBuild}
 	op.built = false
 	op.graced = false
@@ -281,15 +282,16 @@ func (op *HashJoinOp) insertBuildBatch(b *vector.Batch, tbl *ht.Table) error {
 		active = len(sel)
 	}
 	if active <= cancelCheckRows {
-		op.insertBuildRows(b, tbl, sel, n)
-		return nil
+		return op.insertBuildRows(b, tbl, sel, n)
 	}
 	for lo := 0; lo < active; lo += cancelCheckRows {
 		if err := op.tc.Cancelled(); err != nil {
 			return err
 		}
 		hi := min(lo+cancelCheckRows, active)
-		op.insertBuildRows(b, tbl, op.windowSel(sel, lo, hi), n)
+		if err := op.insertBuildRows(b, tbl, op.windowSel(sel, lo, hi), n); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -311,9 +313,11 @@ func (op *HashJoinOp) windowSel(sel []int32, lo, hi int) []int32 {
 }
 
 // insertBuildRows inserts the sel window of an already-hashed batch.
-func (op *HashJoinOp) insertBuildRows(b *vector.Batch, tbl *ht.Table, sel []int32, n int) {
+func (op *HashJoinOp) insertBuildRows(b *vector.Batch, tbl *ht.Table, sel []int32, n int) error {
 	inserted := op.insertedScratch[:n]
-	tbl.InsertDup(op.keyVecs, op.hashes, sel, n, op.rowIDs, inserted)
+	if err := tbl.InsertDup(op.keyVecs, op.hashes, sel, n, op.rowIDs, inserted); err != nil {
+		return err
+	}
 	// Encode payload (full build row) for each inserted entry.
 	encode := func(i int32) {
 		p := tbl.PayloadBytes(op.rowIDs[i])
@@ -330,6 +334,7 @@ func (op *HashJoinOp) insertBuildRows(b *vector.Batch, tbl *ht.Table, sel []int3
 			encode(i)
 		}
 	}
+	return nil
 }
 
 // nonNullKeySel returns the subset of b's active rows whose key vectors are
@@ -463,6 +468,7 @@ func (op *HashJoinOp) spillBuild(need int64) (int64, error) {
 	op.tc.Mem.Release(op.consumer, op.reserved)
 	op.reserved = 0
 	op.tbl = ht.New(op.keyTypes, op.payloadW)
+	op.tbl.Guard = op.tc.Cancelled
 	op.graced = true
 	op.stats.SpillCount.Add(1)
 	op.stats.SpillBytes.Add(freed)

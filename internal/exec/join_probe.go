@@ -216,7 +216,10 @@ func (op *HashJoinOp) probeFilterMode(b *vector.Batch) (*vector.Batch, error) {
 	op.nullSel = op.nullSel[:0]
 	sel := op.nonNullKeySel(b, &op.nullSel)
 	hashKeyVectorsScratch(op.keyVecs, sel, n, op.hashes, &op.lanes)
-	op.tbl.Find(op.keyVecs, op.hashes, sel, n, op.rowIDs)
+	if err := op.tbl.Find(op.keyVecs, op.hashes, sel, n, op.rowIDs); err != nil {
+		op.releaseKeys()
+		return nil, err
+	}
 	op.releaseKeys()
 
 	// Partition into matched / unmatched.
@@ -448,6 +451,7 @@ func (op *HashJoinOp) loadPartition(p int) error {
 	op.merging = true
 	defer func() { op.merging = false }()
 	op.tbl = ht.New(op.keyTypes, op.payloadW)
+	op.tbl.Guard = op.tc.Cancelled
 	bf := op.buildFiles[p]
 	if _, err := bf.Seek(0, io.SeekStart); err != nil {
 		return err
@@ -503,7 +507,10 @@ func (op *HashJoinOp) startProbe(b *vector.Batch) error {
 	op.nullSel = op.nullSel[:0]
 	sel := op.nonNullKeySel(b, &op.nullSel)
 	hashKeyVectorsScratch(op.keyVecs, sel, n, op.hashes, &op.lanes)
-	op.tbl.Find(op.keyVecs, op.hashes, sel, n, op.rowIDs)
+	if err := op.tbl.Find(op.keyVecs, op.hashes, sel, n, op.rowIDs); err != nil {
+		op.releaseKeys()
+		return err
+	}
 	op.releaseKeys()
 
 	// Initialize chain walk state.

@@ -1,0 +1,207 @@
+package exec
+
+import (
+	"fmt"
+
+	"photon/internal/vector"
+)
+
+// Fused pipeline execution (§4.3; Flare's loop fusion; Shaikhha et al.'s
+// observation that fusion, not push-vs-pull, is what wins): instead of one
+// virtual Next() dispatch, stats closure, and batch handoff per operator per
+// batch, a maximal run of fusable operators above a pipeline breaker is
+// compiled into a single PipelineOp that drives one loop per source batch.
+// The selection vector shrinks in place through the run's filters,
+// projections feed zero-copy off it, and the consuming breaker (HashAgg's
+// update side, HashJoin's probe side, a sort or shuffle write) acts as the
+// run's terminal by pulling from the pipeline directly.
+
+// batchProcessor is the contract fused operators implement: the per-batch
+// body of Next, detached from the pull loop. processBatch returns the
+// operator's output batch (usually its input with a shrunk position list or
+// replaced vectors) or nil when the batch was consumed entirely (fully
+// filtered). All stats counting happens inside processBatch, so fused and
+// unfused execution report identical RowsIn/RowsOut/BatchesOut.
+type batchProcessor interface {
+	Operator
+	processBatch(b *vector.Batch) (*vector.Batch, error)
+	// bind attaches the task context without opening the child: the
+	// pipeline opens its source exactly once.
+	bind(tc *TaskCtx)
+	// source returns the operator's input.
+	source() Operator
+	// closeLocal releases operator-local resources without closing the
+	// child.
+	closeLocal() error
+}
+
+// PipelineOp executes a fused run of operators (Filter, Project,
+// RuntimeFilter) over one source as a single loop per batch.
+//
+// The wrapped operators stay linked as children for the stats walk, and
+// PipelineOp hides its own stats node (statsHidden), so pre-order OpStats
+// IDs — and therefore distributed EXPLAIN ANALYZE merging — are identical
+// to unfused execution. Per-operator wall time is not recorded in fused
+// mode — per-batch clock reads are themselves part of the interpretive
+// overhead fusion removes; pipeline activity surfaces through the stage
+// profile's pipeline[ops= batches= rows=] line instead.
+type PipelineOp struct {
+	base
+	src   Operator
+	chain []batchProcessor // outermost (output side) first
+}
+
+// newPipeline fuses chain (outermost first) over src.
+func newPipeline(chain []batchProcessor, src Operator) *PipelineOp {
+	p := &PipelineOp{src: src, chain: chain}
+	p.schema = chain[0].Schema()
+	p.stats.Name = fmt.Sprintf("Pipeline[%d ops]", len(chain)+1)
+	return p
+}
+
+// statsHidden hides the pipeline's own stats node from the walk.
+func (p *PipelineOp) statsHidden() {}
+
+// children links the fused chain into the stats walk unchanged.
+func (p *PipelineOp) children() []any { return []any{p.chain[0]} }
+
+// Open implements Operator: the source opens once; fused operators only
+// bind the task context. The source's per-batch timing is switched off —
+// inside a pipeline, clock reads per batch are interpretive overhead, and
+// fused mode documents per-operator times as unrecorded.
+func (p *PipelineOp) Open(tc *TaskCtx) error {
+	p.tc = tc
+	for _, op := range p.chain {
+		op.bind(tc)
+	}
+	if u, ok := p.src.(interface{ disableTiming() }); ok {
+		u.disableTiming()
+	}
+	return p.src.Open(tc)
+}
+
+// Next implements Operator: one fused loop per source batch. Cancellation is
+// checked per batch here and every ~64K rows inside the stages' own windowed
+// kernels (filter evaluation, runtime-filter probes, hash-table guards), so
+// even a single giant batch cancels promptly.
+func (p *PipelineOp) Next() (*vector.Batch, error) {
+	for {
+		if err := p.tc.Cancelled(); err != nil {
+			return nil, err
+		}
+		b, err := p.src.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		// Deliberately untimed: per-batch clock reads are exactly the
+		// interpretive overhead fusion exists to remove, and the hidden
+		// stats node never surfaces a duration anyway.
+		for i := len(p.chain) - 1; i >= 0; i-- {
+			b, err = p.chain[i].processBatch(b)
+			if err != nil || b == nil {
+				break
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			continue // fully filtered: pull the next source batch
+		}
+		p.stats.RowsOut.Add(int64(b.NumActive()))
+		p.stats.BatchesOut.Add(1)
+		return b, nil
+	}
+}
+
+// Close implements Operator.
+func (p *PipelineOp) Close() error {
+	var first error
+	for _, op := range p.chain {
+		if err := op.closeLocal(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := p.src.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// FusePipelines rewrites an operator tree, compiling every maximal run of
+// fusable operators into a PipelineOp. Pipeline breakers — exchanges,
+// sorts, limits, aggregation and join builds — keep their place and have
+// their inputs fused recursively, which makes HashAgg's update side and
+// HashJoin's probe side the terminals of the pipelines feeding them.
+func FusePipelines(root Operator) Operator {
+	if root == nil {
+		return nil
+	}
+	var chain []batchProcessor
+	cur := root
+	for {
+		bp, ok := cur.(batchProcessor)
+		if !ok {
+			break
+		}
+		chain = append(chain, bp)
+		cur = bp.source()
+	}
+	if rw, ok := cur.(childRewriter); ok {
+		rw.rewriteChildren(FusePipelines)
+	}
+	if len(chain) == 0 {
+		return cur
+	}
+	return newPipeline(chain, cur)
+}
+
+// childRewriter lets the fusion pass rewrite a pipeline breaker's inputs in
+// place, preserving the node (and its stats identity) itself.
+type childRewriter interface {
+	rewriteChildren(func(Operator) Operator)
+}
+
+func (op *HashAggOp) rewriteChildren(f func(Operator) Operator) { op.child = f(op.child) }
+func (op *HashJoinOp) rewriteChildren(f func(Operator) Operator) {
+	op.left = f(op.left)
+	op.right = f(op.right)
+}
+func (s *SortOp) rewriteChildren(f func(Operator) Operator)         { s.child = f(s.child) }
+func (t *TopKOp) rewriteChildren(f func(Operator) Operator)         { t.child = f(t.child) }
+func (l *LimitOp) rewriteChildren(f func(Operator) Operator)        { l.child = f(l.child) }
+func (s *ShuffleWriteOp) rewriteChildren(f func(Operator) Operator) { s.child = f(s.child) }
+func (op *RuntimeFilterBuildOp) rewriteChildren(f func(Operator) Operator) {
+	op.child = f(op.child)
+}
+
+// PipelineInfo summarizes one fused pipeline's execution for the stage
+// profile's pipeline[...] line.
+type PipelineInfo struct {
+	Ops     int   // fused operators, including the source
+	Batches int64 // batches the pipeline emitted
+	Rows    int64 // rows the pipeline emitted
+}
+
+// CollectPipelines gathers fused-pipeline summaries reachable from root
+// (an Operator or a mixed plan node).
+func CollectPipelines(root any) []PipelineInfo {
+	var out []PipelineInfo
+	var walk func(n any)
+	walk = func(n any) {
+		if p, ok := n.(*PipelineOp); ok {
+			out = append(out, PipelineInfo{
+				Ops:     len(p.chain) + 1,
+				Batches: p.stats.BatchesOut.Load(),
+				Rows:    p.stats.RowsOut.Load(),
+			})
+		}
+		if sc, ok := n.(statsChild); ok {
+			for _, c := range sc.children() {
+				walk(c)
+			}
+		}
+	}
+	walk(root)
+	return out
+}

@@ -21,6 +21,8 @@ type RuntimeFilterOp struct {
 	hs     rf.HashScratch
 	selA   []int32
 	selB   []int32
+	selAcc []int32
+	winSel []int32
 }
 
 // NewRuntimeFilter builds a runtime-filter operator over child. producer is
@@ -49,58 +51,121 @@ func (op *RuntimeFilterOp) Next() (*vector.Batch, error) {
 		if err != nil || b == nil {
 			return nil, err
 		}
-		op.stats.RowsIn.Add(int64(b.NumActive()))
-		if !op.filter.Usable() {
-			op.stats.RowsOut.Add(int64(b.NumActive()))
-			op.stats.BatchesOut.Add(1)
-			return b, nil
-		}
 		var out *vector.Batch
 		err = op.timed(func() error {
-			sel, filtered, useA := b.Sel, false, true
-			for k, col := range op.keys {
-				c := op.filter.Cols[k]
-				if c == nil {
-					continue // unsupported key type: this column passes all
-				}
-				if filtered && len(sel) == 0 {
-					break
-				}
-				// Alternate output buffers: ProbeVec resets its out slice, so
-				// it must never be handed the slice it is reading sel from.
-				buf := op.selB
-				if useA {
-					buf = op.selA
-				}
-				res := c.ProbeVec(b.Vecs[col], sel, b.NumRows, &op.hs, buf)
-				if useA {
-					op.selA = res
-				} else {
-					op.selB = res
-				}
-				sel, useA, filtered = res, !useA, true
-			}
-			if !filtered {
-				out = b // no usable column filter: pass through
-				return nil
-			}
-			if len(sel) == 0 {
-				return nil // whole batch pruned; pull the next one
-			}
-			b.SetSel(sel)
-			out = b
-			return nil
+			var err error
+			out, err = op.processBatch(b)
+			return err
 		})
 		if err != nil {
 			return nil, err
 		}
 		if out != nil {
-			op.stats.RowsOut.Add(int64(out.NumActive()))
-			op.stats.BatchesOut.Add(1)
 			return out, nil
 		}
 	}
 }
+
+// processBatch probes one batch through the runtime filter, shrinking its
+// position list; nil output means every row was pruned. Shared by the pull
+// path and fused pipelines — all stats counting lives here.
+func (op *RuntimeFilterOp) processBatch(b *vector.Batch) (*vector.Batch, error) {
+	op.stats.RowsIn.Add(int64(b.NumActive()))
+	anyCol := false
+	if op.filter.Usable() {
+		for _, c := range op.filter.Cols {
+			if c != nil {
+				anyCol = true
+				break
+			}
+		}
+	}
+	if !anyCol {
+		// Unusable filter or no usable column filter: pass through.
+		op.stats.RowsOut.Add(int64(b.NumActive()))
+		op.stats.BatchesOut.Add(1)
+		return b, nil
+	}
+	active := b.NumActive()
+	var sel []int32
+	if active <= cancelCheckRows {
+		sel = op.probeRows(b, b.Sel)
+	} else {
+		// Giant batch: probe in windows with a cancellation check between
+		// windows, accumulating the survivors.
+		acc := op.selAcc[:0]
+		savedSel := b.Sel
+		for lo := 0; lo < active; lo += cancelCheckRows {
+			if err := op.tc.Cancelled(); err != nil {
+				return nil, err
+			}
+			hi := min(lo+cancelCheckRows, active)
+			acc = append(acc, op.probeRows(b, op.window(savedSel, lo, hi))...)
+		}
+		op.selAcc = acc
+		sel = acc
+	}
+	if len(sel) == 0 {
+		return nil, nil // whole batch pruned
+	}
+	b.SetSel(sel)
+	op.stats.RowsOut.Add(int64(b.NumActive()))
+	op.stats.BatchesOut.Add(1)
+	return b, nil
+}
+
+// probeRows runs every usable column filter over one selection window,
+// returning the surviving rows (the result aliases op.selA/op.selB).
+func (op *RuntimeFilterOp) probeRows(b *vector.Batch, sel []int32) []int32 {
+	useA, first := true, true
+	for k, col := range op.keys {
+		c := op.filter.Cols[k]
+		if c == nil {
+			continue // unsupported key type: this column passes all
+		}
+		if !first && len(sel) == 0 {
+			break
+		}
+		// Alternate output buffers: ProbeVec resets its out slice, so it
+		// must never be handed the slice it is reading sel from.
+		buf := op.selB
+		if useA {
+			buf = op.selA
+		}
+		res := c.ProbeVec(b.Vecs[col], sel, b.NumRows, &op.hs, buf)
+		if useA {
+			op.selA = res
+		} else {
+			op.selB = res
+		}
+		sel, useA, first = res, !useA, false
+	}
+	return sel
+}
+
+// window returns a selection for active rows [lo, hi).
+func (op *RuntimeFilterOp) window(sel []int32, lo, hi int) []int32 {
+	if sel != nil {
+		return sel[lo:hi]
+	}
+	if cap(op.winSel) < hi-lo {
+		op.winSel = make([]int32, hi-lo)
+	}
+	w := op.winSel[:hi-lo]
+	for i := range w {
+		w[i] = int32(lo + i)
+	}
+	return w
+}
+
+// bind attaches the task context without opening the child (fused path).
+func (op *RuntimeFilterOp) bind(tc *TaskCtx) { op.tc = tc }
+
+// source returns the operator's input (fused path).
+func (op *RuntimeFilterOp) source() Operator { return op.child }
+
+// closeLocal releases operator-local resources (fused path; none to free).
+func (op *RuntimeFilterOp) closeLocal() error { return nil }
 
 // Close implements Operator.
 func (op *RuntimeFilterOp) Close() error { return op.child.Close() }

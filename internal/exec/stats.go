@@ -22,6 +22,12 @@ type statsNode interface{ Stats() *OpStats }
 // RowIterator; TransitionOp wraps an Operator).
 type statsChild interface{ children() []any }
 
+// statsHidden marks a node whose own stats must be skipped by the walk while
+// its children are still visited. PipelineOp uses this so a fused plan
+// assigns the exact pre-order IDs of its unfused equivalent — distributed
+// EXPLAIN ANALYZE merges on those IDs across fused and unfused tasks.
+type statsHidden interface{ statsHidden() }
+
 func (f *FilterOp) children() []any   { return []any{f.child} }
 func (p *ProjectOp) children() []any  { return []any{p.child} }
 func (op *HashAggOp) children() []any { return []any{op.child} }
@@ -64,8 +70,10 @@ func WalkStats(root any, visit func(s *OpStats, depth int)) {
 	walk = func(n any, d int) {
 		next := d
 		if sn, ok := n.(statsNode); ok {
-			visit(sn.Stats(), d)
-			next = d + 1
+			if _, hidden := n.(statsHidden); !hidden {
+				visit(sn.Stats(), d)
+				next = d + 1
+			}
 		}
 		if sc, ok := n.(statsChild); ok {
 			for _, c := range sc.children() {

@@ -4,17 +4,21 @@ import (
 	"photon/internal/vector"
 )
 
-// The batched probe loop. Each phase runs over the whole batch before the
-// next begins, so the bucket-directory loads for all pending rows are issued
-// back-to-back — the hardware overlaps their cache misses. Rows whose
-// candidate entry fails the key comparison advance their bucket index by
-// quadratic probing and stay in the pending list for the next iteration.
+// The batched probe loop. The first pass runs in prefetch windows of
+// probeWindow rows: phase 1 computes bucket slots and issues the directory
+// loads for the whole window back-to-back, so the hardware overlaps their
+// cache misses (memory-level parallelism, §4.4/§5); phase 2 compares the
+// candidate entries against the lookup keys. Rows whose candidate fails the
+// key comparison advance their bucket index by quadratic probing and move to
+// a pending list that loops until empty. A Guard hook fires every guardRows
+// processed rows so cancellation is observed inside the loop, not only at
+// batch boundaries.
 
 // FindOrInsert locates or creates an entry for every active row.
 // rowIDs[i] (physical indexing) receives the entry id; inserted[i] is set
 // when this call created the entry. Used by hash aggregation: newly inserted
 // entries need their aggregation state initialized.
-func (t *Table) FindOrInsert(keys []*vector.Vector, hashes []uint64, sel []int32, n int, rowIDs []int32, inserted []bool) {
+func (t *Table) FindOrInsert(keys []*vector.Vector, hashes []uint64, sel []int32, n int, rowIDs []int32, inserted []bool) error {
 	t.maybeGrowFor(n)
 	t.ensureScratch(len(rowIDs))
 
@@ -26,25 +30,30 @@ func (t *Table) FindOrInsert(keys []*vector.Vector, hashes []uint64, sel []int32
 	} else {
 		pending = append(pending, sel...)
 	}
+	mask := t.mask
 	for _, i := range pending {
-		t.cand[i] = emptyBucket
 		t.step[i] = 0
 		inserted[i] = false
-	}
-	// slotOf tracks the current bucket slot per pending row.
-	slot := t.cand // reuse cand as the slot array; candidates load into a local
-	for _, i := range pending {
-		slot[i] = int32(hashes[i] & t.mask)
+		t.slots[i] = int32(hashes[i] & mask)
 	}
 
-	for len(pending) > 0 {
-		next := t.scratch[:0]
-		// Phase 1+2: load candidate entries for every pending row; empty
-		// buckets insert immediately (bucket directory writes are safe here
-		// because duplicate keys within the batch hit the just-written
-		// bucket on their own compare below).
-		for _, i := range pending {
-			s := slot[i]
+	// First pass in prefetch windows. Unlike Find, inserts mutate the bucket
+	// directory mid-window, so the phase-1 loads only warm the cache and
+	// phase 2 re-reads the authoritative bucket — a duplicate key later in
+	// the window must observe the entry its twin just inserted.
+	next := t.scratch[:0]
+	for lo := 0; lo < len(pending); lo += probeWindow {
+		hi := min(lo+probeWindow, len(pending))
+		if err := t.checkGuard(hi - lo); err != nil {
+			t.pending = pending[:0]
+			return err
+		}
+		win := pending[lo:hi]
+		for _, i := range win {
+			t.cand[i] = t.buckets[t.slots[i]]
+		}
+		for _, i := range win {
+			s := t.slots[i]
 			cand := t.buckets[s]
 			if cand == emptyBucket {
 				row := t.appendRow(hashes[i])
@@ -55,88 +64,145 @@ func (t *Table) FindOrInsert(keys []*vector.Vector, hashes []uint64, sel []int32
 				inserted[i] = true
 				continue
 			}
-			// Phase 3: column-by-column key comparison.
+			// Column-by-column key comparison.
 			if t.rowHash[cand] == hashes[i] && t.keyEqual(cand, keys, int(i)) {
 				rowIDs[i] = cand
 				continue
 			}
 			// Mismatch: advance by quadratic probing, stay pending.
+			t.step[i] = 1
+			t.slots[i] = int32((uint64(s) + 1) & mask)
+			next = append(next, i)
+		}
+	}
+	pending, t.scratch = next, pending
+
+	for len(pending) > 0 {
+		if err := t.checkGuard(len(pending)); err != nil {
+			t.pending = pending[:0]
+			return err
+		}
+		next := t.scratch[:0]
+		for _, i := range pending {
+			s := t.slots[i]
+			cand := t.buckets[s]
+			if cand == emptyBucket {
+				row := t.appendRow(hashes[i])
+				t.storeKey(row, keys, int(i))
+				t.buckets[s] = row
+				t.headRows = append(t.headRows, row)
+				rowIDs[i] = row
+				inserted[i] = true
+				continue
+			}
+			if t.rowHash[cand] == hashes[i] && t.keyEqual(cand, keys, int(i)) {
+				rowIDs[i] = cand
+				continue
+			}
 			t.step[i]++
-			slot[i] = int32((uint64(slot[i]) + uint64(t.step[i])) & t.mask)
+			t.slots[i] = int32((uint64(s) + uint64(t.step[i])) & mask)
 			next = append(next, i)
 		}
 		pending, t.scratch = next, pending
 	}
 	t.pending = pending[:0]
+	return nil
 }
 
 // Find locates entries for every active row without inserting; rowIDs[i]
 // receives the chain-head entry id or -1 when the key is absent. This is the
 // join probe path.
 //
-// The first iteration runs as a fused fast loop — load candidate, compare,
-// resolve — with only mismatches falling into the pending-list machinery.
-// With a healthy load factor, nearly every row resolves in that first pass,
-// whose back-to-back independent loads the hardware overlaps (§4.4).
-func (t *Table) Find(keys []*vector.Vector, hashes []uint64, sel []int32, n int, rowIDs []int32) {
+// The first pass runs in two-phase prefetch windows — compute slots and load
+// every candidate back-to-back, then compare and resolve — with only
+// mismatches falling into the pending-list machinery. With a healthy load
+// factor, nearly every row resolves in that first pass. Find never mutates
+// the directory, so the phase-1 loads are authoritative.
+func (t *Table) Find(keys []*vector.Vector, hashes []uint64, sel []int32, n int, rowIDs []int32) error {
 	t.ensureScratch(len(rowIDs))
-	slot := t.cand
+	slots, cand, step := t.slots, t.cand, t.step
 	pending := t.pending[:0]
 	buckets, rowHash, mask := t.buckets, t.rowHash, t.mask
 	if sel == nil {
-		for i := 0; i < n; i++ {
-			h := hashes[i]
-			s := int32(h & mask)
-			cand := buckets[s]
-			if cand == emptyBucket {
-				rowIDs[i] = emptyBucket
-				continue
+		for lo := 0; lo < n; lo += probeWindow {
+			hi := min(lo+probeWindow, n)
+			if err := t.checkGuard(hi - lo); err != nil {
+				t.pending = pending[:0]
+				return err
 			}
-			if rowHash[cand] == h && t.keyEqual(cand, keys, i) {
-				rowIDs[i] = cand
-				continue
+			for i := lo; i < hi; i++ {
+				s := int32(hashes[i] & mask)
+				slots[i] = s
+				cand[i] = buckets[s]
 			}
-			t.step[i] = 1
-			slot[i] = int32((uint64(s) + 1) & mask)
-			pending = append(pending, int32(i))
+			for i := lo; i < hi; i++ {
+				c := cand[i]
+				if c == emptyBucket {
+					rowIDs[i] = emptyBucket
+					continue
+				}
+				if rowHash[c] == hashes[i] && t.keyEqual(c, keys, i) {
+					rowIDs[i] = c
+					continue
+				}
+				step[i] = 1
+				slots[i] = int32((uint64(slots[i]) + 1) & mask)
+				pending = append(pending, int32(i))
+			}
 		}
 	} else {
-		for _, i := range sel {
-			h := hashes[i]
-			s := int32(h & mask)
-			cand := buckets[s]
-			if cand == emptyBucket {
-				rowIDs[i] = emptyBucket
-				continue
+		for lo := 0; lo < len(sel); lo += probeWindow {
+			hi := min(lo+probeWindow, len(sel))
+			if err := t.checkGuard(hi - lo); err != nil {
+				t.pending = pending[:0]
+				return err
 			}
-			if rowHash[cand] == h && t.keyEqual(cand, keys, int(i)) {
-				rowIDs[i] = cand
-				continue
+			win := sel[lo:hi]
+			for _, i := range win {
+				s := int32(hashes[i] & mask)
+				slots[i] = s
+				cand[i] = buckets[s]
 			}
-			t.step[i] = 1
-			slot[i] = int32((uint64(s) + 1) & mask)
-			pending = append(pending, i)
+			for _, i := range win {
+				c := cand[i]
+				if c == emptyBucket {
+					rowIDs[i] = emptyBucket
+					continue
+				}
+				if rowHash[c] == hashes[i] && t.keyEqual(c, keys, int(i)) {
+					rowIDs[i] = c
+					continue
+				}
+				step[i] = 1
+				slots[i] = int32((uint64(slots[i]) + 1) & mask)
+				pending = append(pending, i)
+			}
 		}
 	}
 	for len(pending) > 0 {
+		if err := t.checkGuard(len(pending)); err != nil {
+			t.pending = pending[:0]
+			return err
+		}
 		next := t.scratch[:0]
 		for _, i := range pending {
-			cand := t.buckets[slot[i]]
-			if cand == emptyBucket {
+			c := t.buckets[slots[i]]
+			if c == emptyBucket {
 				rowIDs[i] = emptyBucket
 				continue
 			}
-			if t.rowHash[cand] == hashes[i] && t.keyEqual(cand, keys, int(i)) {
-				rowIDs[i] = cand
+			if t.rowHash[c] == hashes[i] && t.keyEqual(c, keys, int(i)) {
+				rowIDs[i] = c
 				continue
 			}
-			t.step[i]++
-			slot[i] = int32((uint64(slot[i]) + uint64(t.step[i])) & t.mask)
+			step[i]++
+			slots[i] = int32((uint64(slots[i]) + uint64(step[i])) & t.mask)
 			next = append(next, i)
 		}
 		pending, t.scratch = next, pending
 	}
 	t.pending = pending[:0]
+	return nil
 }
 
 // FindScalar is the scalar-at-a-time probe used by the vectorized-vs-scalar
@@ -172,10 +238,12 @@ func (t *Table) FindScalar(keys []*vector.Vector, hashes []uint64, sel []int32, 
 }
 
 // InsertDup inserts every active row, chaining duplicate keys (join build
-// side). Returns nothing; use Find + Next to iterate matches.
-func (t *Table) InsertDup(keys []*vector.Vector, hashes []uint64, sel []int32, n int, rowIDs []int32, inserted []bool) {
+// side). Use Find + Next to iterate matches.
+func (t *Table) InsertDup(keys []*vector.Vector, hashes []uint64, sel []int32, n int, rowIDs []int32, inserted []bool) error {
 	// First resolve chain heads (insert when absent)...
-	t.FindOrInsert(keys, hashes, sel, n, rowIDs, inserted)
+	if err := t.FindOrInsert(keys, hashes, sel, n, rowIDs, inserted); err != nil {
+		return err
+	}
 	// ...then rows that mapped to an existing head become chain links.
 	link := func(i int32) {
 		if inserted[i] {
@@ -199,6 +267,7 @@ func (t *Table) InsertDup(keys []*vector.Vector, hashes []uint64, sel []int32, n
 			link(i)
 		}
 	}
+	return nil
 }
 
 // Next returns the next entry in row's duplicate chain, or -1.

@@ -30,10 +30,25 @@ const (
 	emptyBucket  = int32(-1)
 	loadFactor   = 0.7
 	initialSlots = 64
+
+	// probeWindow is the prefetch-window width for batched probes (§5): the
+	// bucket-directory loads for one window are issued back-to-back so the
+	// memory system overlaps their cache misses.
+	probeWindow = 256
+
+	// guardRows bounds how many rows a probe/insert loop may process between
+	// Guard invocations.
+	guardRows = 64 << 10
 )
 
 // Table is a vectorized open-addressing hash table with quadratic probing.
 type Table struct {
+	// Guard, when set, is invoked at least every guardRows processed rows
+	// inside Find/FindOrInsert/InsertDup; a non-nil return aborts the call
+	// with that error. Operators install TaskCtx.Cancelled so a single giant
+	// batch cannot pin a cancelled task inside the hash table.
+	Guard func() error
+
 	keyTypes []types.DataType
 	colOff   []int // byte offset of each key column within a row
 	keyWidth int
@@ -51,8 +66,11 @@ type Table struct {
 
 	headRows []int32 // chain-head entries, i.e. one per distinct key
 
+	guardCtr int // rows processed since the last Guard call
+
 	// Scratch for the batched probe loop, reused across calls.
-	cand    []int32
+	cand    []int32 // candidate entry loaded per row (prefetch phase)
+	slots   []int32 // current bucket slot per row
 	step    []int32
 	pending []int32
 	scratch []int32
@@ -275,8 +293,24 @@ func (t *Table) ReadKey(row int32, c int, v *vector.Vector, i int) {
 func (t *Table) ensureScratch(capacity int) {
 	if cap(t.cand) < capacity {
 		t.cand = make([]int32, capacity)
+		t.slots = make([]int32, capacity)
 		t.step = make([]int32, capacity)
 		t.pending = make([]int32, 0, capacity)
 		t.scratch = make([]int32, 0, capacity)
 	}
+}
+
+// checkGuard accumulates processed-row counts and invokes Guard once the
+// accumulator crosses guardRows, so cancellation latency inside probe loops
+// is bounded regardless of batch size.
+func (t *Table) checkGuard(n int) error {
+	if t.Guard == nil {
+		return nil
+	}
+	t.guardCtr += n
+	if t.guardCtr < guardRows {
+		return nil
+	}
+	t.guardCtr = 0
+	return t.Guard()
 }

@@ -15,6 +15,13 @@ import (
 type BatchPool struct {
 	stacks map[*types.Schema][]*vector.Batch
 
+	// views caches vector-less batch headers for operators whose output
+	// vectors are expression results or zero-copy column references
+	// (ProjectOp, fused pipelines): the header recycles, the vectors do not.
+	// Headers are schema-agnostic while pooled, so any released header
+	// satisfies any GetView.
+	views []*vector.Batch
+
 	// Stats for the buffer-pool ablation bench.
 	Hits      int64
 	Misses    int64
@@ -58,4 +65,43 @@ func (p *BatchPool) Put(b *vector.Batch) {
 		return
 	}
 	p.stacks[b.Schema] = append(p.stacks[b.Schema], b)
+}
+
+// GetView returns a batch header with ncols empty vector slots and the
+// pool's row capacity, reusing a released header when available.
+func (p *BatchPool) GetView(schema *types.Schema, ncols int) *vector.Batch {
+	if !p.Disabled && len(p.views) > 0 {
+		b := p.views[len(p.views)-1]
+		p.views = p.views[:len(p.views)-1]
+		b.Schema = schema
+		if cap(b.Vecs) < ncols {
+			b.Vecs = make([]*vector.Vector, ncols)
+		} else {
+			b.Vecs = b.Vecs[:ncols]
+			for i := range b.Vecs {
+				b.Vecs[i] = nil
+			}
+		}
+		b.SetCapacity(p.batchSize)
+		p.Hits++
+		return b
+	}
+	p.Misses++
+	b := vector.WrapBatch(schema, make([]*vector.Vector, ncols), nil, 0)
+	b.SetCapacity(p.batchSize)
+	return b
+}
+
+// PutView returns a header obtained from GetView. The caller must have
+// released or disowned the vectors; the pool retains only the header.
+func (p *BatchPool) PutView(b *vector.Batch) {
+	if p.Disabled || b == nil {
+		return
+	}
+	for i := range b.Vecs {
+		b.Vecs[i] = nil
+	}
+	b.Sel = nil
+	b.NumRows = 0
+	p.views = append(p.views, b)
 }

@@ -1,0 +1,25 @@
+package catalyst
+
+import (
+	"photon/internal/exec"
+)
+
+// The fused-pipeline planning pass. It runs after physical lowering, as the
+// last step of Build/BuildOperator — the stage planner (stages.go) has
+// already cut the plan at exchange boundaries, so each fragment handed to
+// this pass is exactly one stage's intra-stage operator chain. The pass
+// compiles every maximal Filter/Project/RuntimeFilter run above a pipeline
+// breaker into a single exec.PipelineOp; breakers (exchanges, sorts, limits,
+// aggregation and join builds) stay in place with their inputs fused
+// recursively, which makes HashAgg's update side and HashJoin's probe side
+// the fused runs' terminals.
+//
+// The pass never fires on row-engine fallbacks (ph == nil) and is skipped
+// entirely under Config.DisableFusedPipelines, the knob the equivalence
+// suite and the fusion bench flip.
+func fusePipelines(ph exec.Operator, cfg Config) exec.Operator {
+	if ph == nil || cfg.DisableFusedPipelines {
+		return ph
+	}
+	return exec.FusePipelines(ph)
+}

@@ -69,6 +69,10 @@ type Config struct {
 	// groups skipped, and the rows they contained. May be called from the
 	// task goroutine during both planning and execution.
 	OnScanPrune func(files, groups, rows int64)
+	// DisableFusedPipelines skips the fused-pipeline compilation pass, so
+	// every operator executes one-batch-per-operator pull (equivalence
+	// testing and the fusion ablation bench).
+	DisableFusedPipelines bool
 }
 
 // ScanColFilter applies one runtime-filter column to scan-output column Col.
@@ -129,6 +133,7 @@ func Build(plan sql.LogicalPlan, cfg Config, tc *exec.TaskCtx) (*Executable, err
 	if err != nil {
 		return nil, err
 	}
+	ph = fusePipelines(ph, cfg)
 	return &Executable{Photon: ph, Row: row, Transitions: b.transitions}, nil
 }
 
@@ -698,5 +703,5 @@ func BuildOperator(plan sql.LogicalPlan, cfg Config, tc *exec.TaskCtx) (exec.Ope
 	if ph == nil {
 		return nil, fmt.Errorf("catalyst: fragment fell back to the row engine")
 	}
-	return ph, nil
+	return fusePipelines(ph, cfg), nil
 }

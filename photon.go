@@ -106,6 +106,11 @@ type Config struct {
 	// pruning, pre-shuffle and pre-probe row filtering). On by default;
 	// strictly semantics-free — disabling never changes results, only speed.
 	DisableRuntimeFilters bool
+	// DisableFusedPipelines turns off fused pipeline execution (compiling
+	// intra-stage Filter/Project/RuntimeFilter chains into single
+	// selection-vector loops). On by default; semantics-free — disabling
+	// never changes results, only speed.
+	DisableFusedPipelines bool
 	// PhotonUnsupported forces row-engine fallback for the listed logical
 	// node kinds ("filter", "project", "aggregate", "join", "sort",
 	// "limit"), demonstrating partial rollout (§3.5).
@@ -332,7 +337,11 @@ func (s *Session) batchSize() int {
 
 // plannerConfig lowers session config to the physical planner's.
 func (s *Session) plannerConfig() catalyst.Config {
-	cfg := catalyst.Config{Engine: s.cfg.Engine, BatchSize: s.cfg.BatchSize}
+	cfg := catalyst.Config{
+		Engine:                s.cfg.Engine,
+		BatchSize:             s.cfg.BatchSize,
+		DisableFusedPipelines: s.cfg.DisableFusedPipelines,
+	}
 	if len(s.cfg.PhotonUnsupported) > 0 {
 		cfg.PhotonUnsupported = map[string]bool{}
 		for _, k := range s.cfg.PhotonUnsupported {
