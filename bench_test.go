@@ -764,3 +764,128 @@ func BenchmarkFusedPipelines(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// ----- Serving path: plan cache + small-query fast path -----
+
+// servingBenchResult is one (workload, mode) latency distribution of
+// BenchmarkServingPath, persisted to BENCH_plan_cache.json.
+type servingBenchResult struct {
+	Workload string  `json:"workload"`
+	Mode     string  `json:"mode"` // cold | warm | warm_nofast
+	Runs     int     `json:"runs"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	// PlanP50Ms isolates the planning phase (full compile when cold,
+	// bind-only on warm hits).
+	PlanP50Ms float64 `json:"plan_p50_ms"`
+	// SpeedupP50 is coldP50/p50 for the same workload (1.0 for cold).
+	SpeedupP50 float64 `json:"speedup_p50"`
+}
+
+// servingPercentile returns the p-th percentile of sorted durations in ms.
+func servingPercentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx].Microseconds()) / 1000
+}
+
+// BenchmarkServingPath measures the prepare/bind/execute lifecycle on
+// repeated short queries — the serving workload the plan cache and
+// small-query fast path exist for. Each workload runs cold (cache
+// disabled: full parse→optimize→classify per query), warm (default
+// session: first run compiles, the rest bind a cached plan), and warm
+// with the fast path off. Per-run latency distributions (p50/p99) land in
+// BENCH_plan_cache.json; the acceptance gate is warm p50 >= 2x better
+// than cold p50 on the point lookup.
+func BenchmarkServingPath(b *testing.B) {
+	cat := tpch.NewGen(0.01).Generate()
+	workloads := []struct {
+		name string
+		par  int
+		gen  func(i int) string
+	}{
+		{"point_lookup", 1, func(i int) string {
+			return fmt.Sprintf("SELECT o_orderdate, o_totalprice FROM orders WHERE o_orderkey = %d", 1+i*7%29999)
+		}},
+		{"nation_join_lookup", 1, func(i int) string {
+			return fmt.Sprintf("SELECT n_name, r_name FROM nation, region WHERE n_regionkey = r_regionkey AND n_nationkey = %d", i%25)
+		}},
+		{"small_agg_par4", 4, func(i int) string {
+			return fmt.Sprintf("SELECT o_orderpriority, count(*) FROM orders WHERE o_orderkey < %d GROUP BY o_orderpriority", 1000+i%50)
+		}},
+	}
+	const runs = 300
+	var out []servingBenchResult
+	for _, w := range workloads {
+		coldP50 := 0.0
+		for _, mode := range []struct {
+			name string
+			cfg  Config
+		}{
+			{"cold", Config{Parallelism: w.par, PlanCacheSize: -1}},
+			{"warm", Config{Parallelism: w.par}},
+			{"warm_nofast", Config{Parallelism: w.par, DisableFastPath: true}},
+		} {
+			sess := NewSession(mode.cfg)
+			sess.cat = cat
+			// Warmup: populate the cache (and JIT the pool) out of band.
+			if _, err := sess.SQL(w.gen(0)); err != nil {
+				b.Fatal(err)
+			}
+			lat := make([]time.Duration, 0, runs)
+			plan := make([]time.Duration, 0, runs)
+			b.Run(w.name+"/"+mode.name, func(b *testing.B) {
+				for n := 0; n < b.N; n++ {
+					lat, plan = lat[:0], plan[:0]
+					for i := 0; i < runs; i++ {
+						start := time.Now()
+						_, stats, err := sess.SQLContextStats(context.Background(), w.gen(i))
+						if err != nil {
+							b.Fatal(err)
+						}
+						lat = append(lat, time.Since(start))
+						plan = append(plan, stats.Planning)
+					}
+				}
+				sortDurations(lat)
+				sortDurations(plan)
+				b.ReportMetric(servingPercentile(lat, 0.50), "p50_ms")
+				b.ReportMetric(servingPercentile(lat, 0.99), "p99_ms")
+			})
+			res := servingBenchResult{
+				Workload:  w.name,
+				Mode:      mode.name,
+				Runs:      runs,
+				P50Ms:     servingPercentile(lat, 0.50),
+				P99Ms:     servingPercentile(lat, 0.99),
+				PlanP50Ms: servingPercentile(plan, 0.50),
+			}
+			if mode.name == "cold" {
+				coldP50 = res.P50Ms
+				res.SpeedupP50 = 1
+			} else if res.P50Ms > 0 {
+				res.SpeedupP50 = coldP50 / res.P50Ms
+			}
+			out = append(out, res)
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_plan_cache.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// sortDurations sorts in place (small n; avoids importing sort generics
+// pre-1.21 idioms elsewhere in this file).
+func sortDurations(d []time.Duration) {
+	for i := 1; i < len(d); i++ {
+		for j := i; j > 0 && d[j] < d[j-1]; j-- {
+			d[j], d[j-1] = d[j-1], d[j]
+		}
+	}
+}

@@ -41,6 +41,8 @@ var (
 	rfFlag      = flag.Bool("runtime-filters", true, "apply hash-join runtime filters to probe-side scans and shuffles (par > 1)")
 	fusedFlag   = flag.Bool("fused-pipelines", true, "compile intra-stage Filter/Project/RuntimeFilter chains into fused selection-vector pipelines")
 	chaosFlag   = flag.Int64("chaos-seed", 0, "arm deterministic fault injection on the distributed execution sites with this seed; pair with -par > 1 (0 = off)")
+	cacheFlag   = flag.Bool("plan-cache", true, "cache compiled plans per normalized query shape (prepare/bind/execute lifecycle)")
+	repeatFlag  = flag.Int("repeat", 1, "run each query N times, reporting per-run latency and cache/fast-path routing (pair with -plan-cache)")
 )
 
 type deltaList []string
@@ -57,6 +59,9 @@ func main() {
 		Parallelism:           *parFlag,
 		DisableRuntimeFilters: !*rfFlag,
 		DisableFusedPipelines: !*fusedFlag,
+	}
+	if !*cacheFlag {
+		cfg.PlanCacheSize = -1
 	}
 	if *chaosFlag != 0 {
 		// Extra retry headroom: chaos policies inject transient failures
@@ -164,12 +169,36 @@ func runOne(sess *photon.Session, q string) error {
 	if *analyzeFlag || *traceFlag != "" {
 		return runProfiled(sess, q, start)
 	}
+	if *repeatFlag > 1 {
+		return runRepeated(sess, q)
+	}
 	res, err := sess.SQL(q)
 	if err != nil {
 		return err
 	}
 	fmt.Print(res)
 	fmt.Fprintf(os.Stderr, "(%d rows in %s)\n", len(res.Rows), time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runRepeated executes q -repeat times through the full lifecycle,
+// printing the result once and a per-run latency/routing line each time —
+// the quickest way to see the plan cache warm up (run 1 compiles, run 2+
+// bind a cached plan).
+func runRepeated(sess *photon.Session, q string) error {
+	var res *photon.Result
+	for i := 1; i <= *repeatFlag; i++ {
+		start := time.Now()
+		r, stats, err := sess.SQLContextStats(nil, q)
+		if err != nil {
+			return err
+		}
+		res = r
+		fmt.Fprintf(os.Stderr, "run %d: %s (cached=%t fastpath=%t planning=%s)\n",
+			i, time.Since(start).Round(time.Microsecond), stats.Cached, stats.FastPath, stats.Planning.Round(time.Microsecond))
+	}
+	fmt.Print(res)
+	fmt.Fprintf(os.Stderr, "(%d rows, %d runs)\n", len(res.Rows), *repeatFlag)
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"photon/internal/storage/delta"
 	"photon/internal/types"
@@ -58,6 +59,12 @@ func (t *DeltaTable) Schema() *types.Schema { return t.Snap.Schema }
 type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]Table
+
+	// gen counts catalog mutations. Every table change — including Delta
+	// snapshot refreshes, which re-Register the table pinned to the new
+	// snapshot — bumps it, so plan caches can key on the generation and
+	// drop entries compiled against stale snapshots.
+	gen atomic.Int64
 }
 
 // New creates an empty catalog.
@@ -70,7 +77,12 @@ func (c *Catalog) Register(t Table) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.tables[strings.ToLower(t.Name())] = t
+	c.gen.Add(1)
 }
+
+// Generation returns the catalog mutation counter; it changes whenever
+// any table is registered or replaced (e.g. on Delta snapshot refresh).
+func (c *Catalog) Generation() int64 { return c.gen.Load() }
 
 // Lookup finds a table by (case-insensitive) name.
 func (c *Catalog) Lookup(name string) (Table, error) {

@@ -68,6 +68,13 @@ type Options struct {
 	// semantics-free: disabling them never changes results, only speed.
 	DisableRuntimeFilters bool
 
+	// FastPath requests small-query inline execution: skip stage planning,
+	// exchange setup, and (for unlimited-memory sessions) the per-query
+	// spill/shuffle directory, and run the fused pipeline as one task on a
+	// single pool slot. Callers set it only for plans the compile phase
+	// classified as single-fragment with input fitting one task.
+	FastPath bool
+
 	// testTaskStart, when non-nil, runs at the start of every non-recovery
 	// task attempt with the fragment, task ID, and the query's private
 	// shuffle directory. Test-only seam for corruption-injection fixtures
@@ -92,6 +99,9 @@ type RunStats struct {
 	// plan (§6.3; always 0 on the distributed path, whose fragments are
 	// pure Photon).
 	Transitions int
+	// FastPath reports that the query ran on the small-query fast path
+	// (single inline task, no stage planning or exchange setup).
+	FastPath bool
 }
 
 // newTaskCtx builds a task context honoring the options; ctx is the query
@@ -128,6 +138,9 @@ func Run(ctx context.Context, plan sql.LogicalPlan, opts Options) ([][]any, *typ
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if opts.FastPath {
+		return runFast(ctx, plan, opts)
+	}
 	dir, err := queryDir(opts.ShuffleDir)
 	if err != nil {
 		return nil, nil, err
@@ -149,6 +162,42 @@ func Run(ctx context.Context, plan sql.LogicalPlan, opts Options) ([][]any, *typ
 		return runSingle(ctx, plan, opts)
 	}
 	return runStaged(ctx, frag, opts)
+}
+
+// runFast is the small-query fast path: one inline task on one pool slot,
+// no stage planning, no exchange setup. Spill-directory creation — two
+// syscalls plus a deferred RemoveAll per query — is skipped when the
+// session has no real memory bound (spilling can never trigger); under a
+// real bound the task gets a private directory, because spill file names
+// are only unique per task context.
+func runFast(ctx context.Context, plan sql.LogicalPlan, opts Options) ([][]any, *types.Schema, error) {
+	if opts.Mem != nil && opts.Mem.Limited() {
+		dir, err := queryDir(opts.ShuffleDir)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer os.RemoveAll(dir)
+		opts.ShuffleDir = dir
+	} else {
+		opts.ShuffleDir = "" // NewSpillFile errors if ever reached
+	}
+	held := false
+	if opts.Pool != nil {
+		tok := opts.Pool.NewJob()
+		if err := opts.Pool.Acquire(ctx, tok); err != nil {
+			return nil, nil, err
+		}
+		defer opts.Pool.Release(tok)
+		held = true
+	}
+	rows, schema, err := runSingle(ctx, plan, opts)
+	if opts.Stats != nil {
+		opts.Stats.FastPath = true
+		if held {
+			opts.Stats.SlotsHeldPeak = 1
+		}
+	}
+	return rows, schema, err
 }
 
 // queryDir creates the query's private spill/shuffle directory under base

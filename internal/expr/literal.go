@@ -13,6 +13,12 @@ import (
 type Literal struct {
 	T   types.DataType
 	Val any // Go value matching T; nil = typed NULL
+
+	// Param tags a literal extracted as a plan-cache parameter: 0 means
+	// "not a parameter", otherwise the 1-based parameter slot. The rebind
+	// pass replaces tagged literals with per-execution values; everything
+	// else about the literal (type, kernels) is slot-independent.
+	Param int
 }
 
 // Lit constructs a literal of the given type.

@@ -68,6 +68,12 @@ func NewManager(limit int64) *Manager {
 // Limit returns the configured memory limit in bytes.
 func (m *Manager) Limit() int64 { return m.limit }
 
+// Limited reports whether the manager enforces a real memory bound (an
+// "unlimited" manager carries the 1<<62 sentinel limit). Spilling can only
+// trigger under a real bound, which lets the small-query fast path skip
+// spill-directory setup entirely for unlimited sessions.
+func (m *Manager) Limited() bool { return m.limit < 1<<62 }
+
 // Used returns the total reserved bytes.
 func (m *Manager) Used() int64 {
 	m.mu.Lock()

@@ -1,0 +1,138 @@
+package catalyst
+
+import (
+	"fmt"
+
+	"photon/internal/catalog"
+	"photon/internal/expr"
+	"photon/internal/sql"
+	"photon/internal/types"
+)
+
+// CompiledQuery is the immutable product of the compile phase of the
+// prepare/bind/execute lifecycle: a fully analyzed and optimized plan with
+// its literals extracted into parameter slots, plus the classification the
+// session needs to route an execution (staged vs single-task vs fast
+// path). The plan is never executed or staged directly — Bind produces a
+// private deep copy per execution, so one cache entry serves concurrent
+// executions with different parameter values.
+type CompiledQuery struct {
+	// Plan is the optimized parameterized logical plan. Shared; read-only.
+	Plan sql.LogicalPlan
+
+	// ParamTypes is the final type each parameter slot carries inside the
+	// optimized plan (after literal adaptation at its consumption site).
+	ParamTypes []types.DataType
+	// SelfTypes is the self-derived type of each slot's compile-time
+	// literal before adaptation. A new value binds soundly only when its
+	// own self-derived type equals this one — then the single adaptation
+	// to ParamTypes[i] reproduces exactly what a fresh compile would do.
+	SelfTypes []types.DataType
+
+	// Stageable records whether PlanStages accepted the plan; when false,
+	// execution always falls back to a single task.
+	Stageable bool
+	// SingleFragment is true when stage planning produced exactly one
+	// fragment (no exchanges), making the plan a fast-path candidate.
+	SingleFragment bool
+	// InputRows is the largest base-table row count the plan scans
+	// (1<<62 when a scanned table's size is unknown). The fast path
+	// requires the whole input to fit one task.
+	InputRows int64
+}
+
+// Compile runs the compile phase: analyze → optimize → parameter
+// collection → stage classification. raws are the literal AST nodes
+// extracted by sql.Parameterize, in slot order. An error means the
+// statement cannot be compiled in parameterized form (the caller falls
+// back to compiling the original statement without caching).
+func Compile(cat *catalog.Catalog, stmt *sql.SelectStmt, raws []sql.AstExpr, sc StageConfig) (*CompiledQuery, error) {
+	plan, err := sql.Analyze(cat, stmt)
+	if err != nil {
+		return nil, err
+	}
+	plan, err = Optimize(plan)
+	if err != nil {
+		return nil, err
+	}
+	// Memoize schemas on the shared plan so every bound clone inherits
+	// them via struct copy instead of recomputing.
+	warmPlanSchemas(plan)
+
+	clone, seen, err := sql.ClonePlan(plan, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Completeness: every extracted slot must survive to the optimized
+	// plan. A slot folded away (e.g. a select item matched to a GROUP BY
+	// expression) would make rebinding a silent no-op, so refuse to cache.
+	if len(seen) != len(raws) {
+		return nil, fmt.Errorf("catalyst: %d of %d parameters folded away during optimization", len(raws)-len(seen), len(raws))
+	}
+	cq := &CompiledQuery{
+		Plan:       plan,
+		ParamTypes: make([]types.DataType, len(raws)),
+		SelfTypes:  make([]types.DataType, len(raws)),
+		InputRows:  maxScanRows(plan),
+	}
+	for i, raw := range raws {
+		t, ok := seen[i]
+		if !ok {
+			return nil, fmt.Errorf("catalyst: parameter %d folded away during optimization", i+1)
+		}
+		cq.ParamTypes[i] = t
+		self, err := sql.SelfLiteral(raw)
+		if err != nil {
+			return nil, err
+		}
+		cq.SelfTypes[i] = self.T
+	}
+	// Classify on a throwaway clone: PlanStages restructures the tree it
+	// is given, and the cached plan must stay pristine.
+	if frag, err := PlanStages(clone, sc); err == nil {
+		cq.Stageable = true
+		cq.SingleFragment = frag.NumFragments() == 1
+	}
+	return cq, nil
+}
+
+// Bind substitutes parameter values (already adapted to ParamTypes) into
+// a private deep copy of the compiled plan. The copy is the caller's to
+// stage and execute; the compiled plan is untouched.
+func (cq *CompiledQuery) Bind(vals map[int]*expr.Literal) (sql.LogicalPlan, error) {
+	p, _, err := sql.ClonePlan(cq.Plan, vals)
+	return p, err
+}
+
+// maxScanRows returns the largest base-table row count scanned anywhere
+// in the plan, before any filtering — the fast path's "does the input fit
+// one task" measure. Unknown table kinds report 1<<62 (never eligible).
+func maxScanRows(plan sql.LogicalPlan) int64 {
+	var m int64
+	if s, ok := plan.(*sql.LScan); ok {
+		switch t := s.Table.(type) {
+		case *catalog.MemTable:
+			m = t.NumRows()
+		case *catalog.DeltaTable:
+			for _, f := range t.Snap.Files {
+				m += f.NumRecords
+			}
+		default:
+			m = 1 << 62
+		}
+	}
+	for _, c := range plan.Children() {
+		if r := maxScanRows(c); r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// warmPlanSchemas forces schema memoization over the whole tree.
+func warmPlanSchemas(plan sql.LogicalPlan) {
+	plan.Schema()
+	for _, c := range plan.Children() {
+		warmPlanSchemas(c)
+	}
+}

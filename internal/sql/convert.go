@@ -29,6 +29,20 @@ func (a *analyzer) convertScalar(e AstExpr, c exprConverter) (expr.Expr, error) 
 			return nil, err
 		}
 		return expr.DateLit(d), nil
+	case *ParamLit:
+		inner, err := a.convertScalar(n.Inner, c)
+		if err != nil {
+			return nil, err
+		}
+		lit, ok := inner.(*expr.Literal)
+		if !ok {
+			return nil, fmt.Errorf("sql: parameter %d is not a literal", n.Slot+1)
+		}
+		tagged := *lit
+		tagged.Param = n.Slot + 1
+		return &tagged, nil
+	case *Placeholder:
+		return nil, fmt.Errorf("sql: placeholder '?' requires Prepare/Execute with arguments")
 	case *UnaryExpr:
 		if n.Op == "-" {
 			if num, ok := n.Inner.(*NumberLit); ok {
@@ -302,8 +316,21 @@ func castTarget(to, from types.DataType) types.DataType {
 	return types.DataType{ID: to.ID, Precision: to.Precision, Scale: to.Scale}
 }
 
-// adaptLiteral rewrites a literal to the target type when lossless.
+// adaptLiteral rewrites a literal to the target type when lossless,
+// carrying the parameter-slot tag onto the adapted literal so plan-cache
+// rebinding finds it regardless of adaptation.
 func adaptLiteral(lit *expr.Literal, to types.DataType) (*expr.Literal, bool) {
+	out, ok := adaptLiteralValue(lit, to)
+	if !ok {
+		return nil, false
+	}
+	if out != lit && lit.Param != 0 {
+		out.Param = lit.Param
+	}
+	return out, true
+}
+
+func adaptLiteralValue(lit *expr.Literal, to types.DataType) (*expr.Literal, bool) {
 	if lit.IsNullLit() {
 		return expr.NullLit(to), true
 	}

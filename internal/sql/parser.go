@@ -8,8 +8,9 @@ import (
 
 // Parser is a recursive-descent parser over the token stream.
 type Parser struct {
-	toks []Token
-	pos  int
+	toks   []Token
+	pos    int
+	params int // number of '?' placeholders seen, in reading order
 }
 
 // Parse parses one SELECT statement.
@@ -502,6 +503,11 @@ func (p *Parser) parsePrimary() (AstExpr, error) {
 	case t.Kind == TokString:
 		p.next()
 		return &StringLit{Val: t.Text}, nil
+	case t.Kind == TokOp && t.Text == "?":
+		p.next()
+		ph := &Placeholder{Idx: p.params}
+		p.params++
+		return ph, nil
 	case t.Kind == TokKeyword:
 		switch t.Text {
 		case "TRUE":

@@ -1,0 +1,234 @@
+package sql
+
+import (
+	"fmt"
+
+	"photon/internal/expr"
+	"photon/internal/types"
+)
+
+// ClonePlan deep-copies an optimized logical plan so a cached plan can be
+// bound and staged privately per execution. Two modes:
+//
+//   - vals == nil (compile): collect the parameter slots present in the
+//     plan into the returned slot → type map. The clone itself is a
+//     throwaway the compiler can hand to PlanStages for classification.
+//   - vals != nil (bind): substitute each Param-tagged literal with the
+//     already-adapted value for its slot; the value's type must equal the
+//     compiled literal's type (the caller guarantees this via BindParam).
+//
+// Immutable leaves (ColRef, untagged literals, catalog tables, cached
+// schemas) are shared between clones; every node that the planner or
+// executor mutates — or that carries a parameter — is copied. An
+// expression or plan node kind the cloner does not know is an error, which
+// callers treat as "do not cache this plan".
+func ClonePlan(p LogicalPlan, vals map[int]*expr.Literal) (LogicalPlan, map[int]types.DataType, error) {
+	r := &rebinder{vals: vals}
+	if vals == nil {
+		r.seen = make(map[int]types.DataType)
+	}
+	out := r.plan(p)
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	return out, r.seen, nil
+}
+
+type rebinder struct {
+	vals map[int]*expr.Literal
+	seen map[int]types.DataType
+	err  error
+}
+
+func (r *rebinder) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *rebinder) plan(p LogicalPlan) LogicalPlan {
+	switch n := p.(type) {
+	case *LScan:
+		cp := *n
+		cp.Projection = append([]int(nil), n.Projection...)
+		if n.Filter != nil {
+			cp.Filter = r.filter(n.Filter)
+		}
+		return &cp
+	case *LFilter:
+		return &LFilter{Child: r.plan(n.Child), Pred: r.filter(n.Pred)}
+	case *LProject:
+		cp := *n
+		cp.Child = r.plan(n.Child)
+		cp.Exprs = r.exprs(n.Exprs)
+		cp.Names = append([]string(nil), n.Names...)
+		return &cp
+	case *LAggregate:
+		cp := *n
+		cp.Child = r.plan(n.Child)
+		cp.Keys = r.exprs(n.Keys)
+		cp.KeyNames = append([]string(nil), n.KeyNames...)
+		cp.Aggs = make([]expr.AggSpec, len(n.Aggs))
+		for i, a := range n.Aggs {
+			cp.Aggs[i] = a
+			if a.Arg != nil {
+				cp.Aggs[i].Arg = r.expr(a.Arg)
+			}
+		}
+		return &cp
+	case *LJoin:
+		cp := *n
+		cp.Left = r.plan(n.Left)
+		cp.Right = r.plan(n.Right)
+		cp.LeftKeys = r.exprs(n.LeftKeys)
+		cp.RightKeys = r.exprs(n.RightKeys)
+		if n.Residual != nil {
+			cp.Residual = r.filter(n.Residual)
+		}
+		return &cp
+	case *LCrossJoin:
+		cp := *n
+		cp.Left = r.plan(n.Left)
+		cp.Right = r.plan(n.Right)
+		return &cp
+	case *LSort:
+		return &LSort{Child: r.plan(n.Child), Keys: append([]SortKeyPlan(nil), n.Keys...)}
+	case *LLimit:
+		return &LLimit{Child: r.plan(n.Child), N: n.N}
+	default:
+		r.fail("sql: clone: unsupported plan node %T", p)
+		return p
+	}
+}
+
+func (r *rebinder) filter(f expr.Filter) expr.Filter {
+	switch n := f.(type) {
+	case *expr.And:
+		fs := make([]expr.Filter, len(n.Filters))
+		for i, c := range n.Filters {
+			fs[i] = r.filter(c)
+		}
+		return expr.NewAnd(fs...)
+	case *expr.Or:
+		return expr.NewOr(r.filter(n.Left), r.filter(n.Right))
+	case *expr.Not:
+		return expr.NewNot(r.filter(n.Inner))
+	case *expr.Cmp:
+		return &expr.Cmp{Op: n.Op, Left: r.expr(n.Left), Right: r.expr(n.Right)}
+	case *expr.Between:
+		return &expr.Between{
+			Inner:   r.expr(n.Inner),
+			Lo:      r.literal(n.Lo),
+			Hi:      r.literal(n.Hi),
+			Unfused: n.Unfused,
+		}
+	case *expr.In:
+		vals := make([]*expr.Literal, len(n.Vals))
+		for i, v := range n.Vals {
+			vals[i] = r.literal(v)
+		}
+		// NewIn rebuilds the lookup structures for the new values.
+		return expr.NewIn(r.expr(n.Inner), vals)
+	case *expr.Like:
+		return expr.NewLike(r.expr(n.Inner), n.Pattern, n.Negate)
+	case *expr.IsNull:
+		return &expr.IsNull{Inner: r.expr(n.Inner), Negate: n.Negate}
+	case *expr.BoolColFilter:
+		return &expr.BoolColFilter{Inner: r.expr(n.Inner)}
+	default:
+		r.fail("sql: clone: unsupported filter %T", f)
+		return f
+	}
+}
+
+func (r *rebinder) exprs(es []expr.Expr) []expr.Expr {
+	out := make([]expr.Expr, len(es))
+	for i, e := range es {
+		out[i] = r.expr(e)
+	}
+	return out
+}
+
+func (r *rebinder) expr(e expr.Expr) expr.Expr {
+	switch n := e.(type) {
+	case *expr.ColRef:
+		return n // immutable, shared
+	case *expr.Literal:
+		return r.literal(n)
+	case *expr.Arith:
+		a, err := expr.NewArith(n.Op, r.expr(n.Left), r.expr(n.Right))
+		if err != nil {
+			r.fail("sql: clone: %v", err)
+			return e
+		}
+		return a
+	case *expr.Unary:
+		return &expr.Unary{Op: n.Op, Inner: r.expr(n.Inner)}
+	case *expr.Cast:
+		return expr.NewCast(r.expr(n.Inner), n.To)
+	case *expr.Case:
+		branches := make([]expr.CaseBranch, len(n.Branches))
+		for i, b := range n.Branches {
+			branches[i] = expr.CaseBranch{When: r.filter(b.When), Then: r.expr(b.Then)}
+		}
+		var els expr.Expr
+		if n.Else != nil {
+			els = r.expr(n.Else)
+		}
+		return &expr.Case{Branches: branches, Else: els, T: n.T}
+	case *expr.Coalesce:
+		return &expr.Coalesce{Args: r.exprs(n.Args)}
+	case *expr.StrFunc:
+		cp := *n
+		cp.Inner = r.expr(n.Inner)
+		if n.Args != nil {
+			cp.Args = r.exprs(n.Args)
+		}
+		return &cp
+	case *expr.Extract:
+		return &expr.Extract{Field: n.Field, Inner: r.expr(n.Inner)}
+	case *expr.DateAdd:
+		return &expr.DateAdd{Inner: r.expr(n.Inner), Days: n.Days}
+	case *expr.IsNull:
+		return &expr.IsNull{Inner: r.expr(n.Inner), Negate: n.Negate}
+	case *expr.Cmp:
+		return &expr.Cmp{Op: n.Op, Left: r.expr(n.Left), Right: r.expr(n.Right)}
+	default:
+		r.fail("sql: clone: unsupported expression %T", e)
+		return e
+	}
+}
+
+// literal clones or rebinds one literal. Untagged literals are immutable
+// and shared; tagged literals are copied (collect mode) or replaced with
+// the slot's bound value (bind mode), keeping the slot tag so a bound plan
+// could itself be rebound.
+func (r *rebinder) literal(l *expr.Literal) *expr.Literal {
+	if l.Param == 0 {
+		return l
+	}
+	slot := l.Param - 1
+	if r.vals == nil {
+		if prev, ok := r.seen[slot]; ok {
+			if !prev.Equal(l.T) {
+				r.fail("sql: clone: parameter %d appears with types %v and %v", slot+1, prev, l.T)
+			}
+		} else {
+			r.seen[slot] = l.T
+		}
+		cp := *l
+		return &cp
+	}
+	v, ok := r.vals[slot]
+	if !ok {
+		r.fail("sql: clone: no value bound for parameter %d", slot+1)
+		return l
+	}
+	if !v.T.Equal(l.T) {
+		r.fail("sql: clone: parameter %d bound as %v, compiled as %v", slot+1, v.T, l.T)
+		return l
+	}
+	cp := *v
+	cp.Param = l.Param
+	return &cp
+}

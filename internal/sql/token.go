@@ -138,7 +138,7 @@ scan:
 			}
 		}
 		switch c {
-		case '(', ')', ',', '+', '-', '*', '/', '%', '<', '>', '=', ';', '.':
+		case '(', ')', ',', '+', '-', '*', '/', '%', '<', '>', '=', ';', '.', '?':
 			l.pos++
 			return Token{Kind: TokOp, Text: string(c), Pos: start}, nil
 		}

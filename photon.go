@@ -20,6 +20,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"photon/internal/catalog"
@@ -116,6 +117,23 @@ type Config struct {
 	// "limit"), demonstrating partial rollout (§3.5).
 	PhotonUnsupported []string
 
+	// ---- Prepare/bind/execute lifecycle (plan cache + fast path) ----
+
+	// PlanCacheSize bounds the session plan cache (LRU over normalized
+	// query shapes): 0 = DefaultPlanCacheSize, negative = cache disabled
+	// (every query recompiles from scratch and routes through classic
+	// staged execution — fast-path eligibility is part of the compiled
+	// classification).
+	PlanCacheSize int
+	// DisableFastPath turns off the small-query fast path (single-fragment
+	// plans over inputs that fit one task skip stage planning, exchange
+	// setup, and shuffle-dir creation, running inline on one pool slot).
+	// Semantics-free — disabling never changes results, only speed.
+	DisableFastPath bool
+	// FastPathRows is the base-table input-row ceiling for the fast path
+	// (0 = DefaultFastPathRows).
+	FastPathRows int64
+
 	// ---- Concurrent query service (admission control + lifecycle) ----
 
 	// MaxConcurrentQueries caps in-flight (admitted, unfinished) queries
@@ -158,6 +176,12 @@ type Session struct {
 	gate     *admission
 	pool     *sched.Pool
 	poolOnce sync.Once
+
+	// Prepare/bind/execute lifecycle state.
+	id    int64        // session number, for memory-scope naming
+	qseq  atomic.Int64 // per-session query counter
+	cache *planCache   // nil when PlanCacheSize < 0
+	fp    string       // planner-config fingerprint, folded into cache keys
 }
 
 // NewSession creates a session with the given (optional) config.
@@ -172,6 +196,15 @@ func NewSession(cfg ...Config) *Session {
 	gate := newAdmission(c, mm)
 	s := &Session{cfg: c, cat: catalog.New(), mm: mm, reg: reg, gate: gate}
 	s.svc = newServiceMetrics(reg, gate)
+	s.id = sessionSeq.Add(1)
+	size := c.PlanCacheSize
+	if size == 0 {
+		size = DefaultPlanCacheSize
+	}
+	if size > 0 {
+		s.cache = newPlanCache(size)
+	}
+	s.fp = s.fingerprintConfig()
 	return s
 }
 

@@ -53,12 +53,18 @@ type QueryStats struct {
 	Stages int
 	// PeakReservedBytes is the query's memory-reservation high-water mark.
 	PeakReservedBytes int64
+	// Cached reports that the compile phase was served from the session
+	// plan cache (planning was bind-only: no parse-to-optimize work).
+	Cached bool
+	// FastPath reports that execution took the small-query fast path
+	// (inline single task, no stage planning or shuffle directory).
+	FastPath bool
 }
 
 // String renders a one-line lifecycle summary (same spirit as OpStats).
 func (q *QueryStats) String() string {
-	return fmt.Sprintf("queued=%s planning=%s running=%s stages=%d slotsPeak=%d peakMem=%d",
-		q.Queued, q.Planning, q.Running, q.Stages, q.SlotsHeldPeak, q.PeakReservedBytes)
+	return fmt.Sprintf("queued=%s planning=%s running=%s stages=%d slotsPeak=%d peakMem=%d cached=%t fastpath=%t",
+		q.Queued, q.Planning, q.Running, q.Stages, q.SlotsHeldPeak, q.PeakReservedBytes, q.Cached, q.FastPath)
 }
 
 // admission is the session's query gate: FIFO queue-or-reject over two
@@ -182,14 +188,23 @@ func (a *admission) Queued() int {
 // gauge functions sample the gate live at scrape time.
 type serviceMetrics struct {
 	AdmitWaitMicros *obs.Histogram
-	PlanMicros      *obs.Histogram
-	RunMicros       *obs.Histogram
+	// Planning time is split by plan-cache outcome: a hit is bind-only
+	// (deep copy + value substitution), a miss pays the full compile.
+	PlanMicrosHit  *obs.Histogram
+	PlanMicrosMiss *obs.Histogram
+	RunMicros      *obs.Histogram
 
 	Queries   *obs.Counter
 	Admitted  *obs.Counter
 	Rejected  *obs.Counter
 	Succeeded *obs.Counter
 	Failed    *obs.Counter
+
+	CacheHits          *obs.Counter
+	CacheMisses        *obs.Counter
+	CacheEvictions     *obs.Counter
+	CacheInvalidations *obs.Counter
+	FastPathQueries    *obs.Counter
 }
 
 // newServiceMetrics registers the photon_query_* / photon_admission_*
@@ -198,8 +213,10 @@ func newServiceMetrics(r *obs.Registry, gate *admission) *serviceMetrics {
 	m := &serviceMetrics{
 		AdmitWaitMicros: r.Histogram("photon_query_admit_wait_micros",
 			"Time queries spent waiting in the admission gate (microseconds)."),
-		PlanMicros: r.Histogram("photon_query_plan_micros",
-			"Parse+analyze+optimize duration per query (microseconds)."),
+		PlanMicrosHit: r.Histogram(`photon_query_plan_micros{result="hit"}`,
+			"Planning duration per query served from the plan cache (microseconds)."),
+		PlanMicrosMiss: r.Histogram(`photon_query_plan_micros{result="miss"}`,
+			"Planning duration per query compiled from scratch (microseconds)."),
 		RunMicros: r.Histogram("photon_query_run_micros",
 			"Execution duration per query (microseconds)."),
 		Queries: r.Counter("photon_queries_total",
@@ -212,6 +229,16 @@ func newServiceMetrics(r *obs.Registry, gate *admission) *serviceMetrics {
 			"Queries that completed successfully."),
 		Failed: r.Counter("photon_queries_failed_total",
 			"Queries that failed, were cancelled, or timed out (post-admission)."),
+		CacheHits: r.Counter("photon_plan_cache_hits_total",
+			"Queries whose compile phase was served from the plan cache."),
+		CacheMisses: r.Counter("photon_plan_cache_misses_total",
+			"Queries that compiled from scratch (cold shape, stale entry, or unbindable values)."),
+		CacheEvictions: r.Counter("photon_plan_cache_evictions_total",
+			"Plan-cache entries evicted by the LRU capacity bound."),
+		CacheInvalidations: r.Counter("photon_plan_cache_invalidations_total",
+			"Plan-cache entries dropped because the catalog generation moved (snapshot refresh)."),
+		FastPathQueries: r.Counter("photon_fastpath_queries_total",
+			"Queries executed on the small-query fast path."),
 	}
 	r.GaugeFunc("photon_queries_running",
 		"Admitted, unfinished queries right now.",
@@ -236,8 +263,33 @@ func (s *Session) slotPool() *sched.Pool {
 	return s.pool
 }
 
-// querySeq names per-query memory scopes process-wide.
-var querySeq atomic.Int64
+// sessionSeq numbers sessions process-wide; combined with the session's
+// own query counter it names per-query memory scopes uniquely ("s3q17")
+// even when several sessions share a process.
+var sessionSeq atomic.Int64
+
+// runOptions builds the driver options shared by the plain and profiled
+// execution paths, so new knobs cannot silently diverge between them.
+func (s *Session) runOptions(qm *mem.Manager, rs *driver.RunStats, trace *obs.Trace, bq *boundQuery) driver.Options {
+	return driver.Options{
+		Parallelism:       s.cfg.Parallelism,
+		ShuffleDir:        s.cfg.SpillDir,
+		Mem:               qm,
+		BatchSize:         s.cfg.BatchSize,
+		Config:            s.plannerConfig(),
+		BroadcastRows:     s.cfg.BroadcastRows,
+		Pool:              s.slotPool(),
+		Stats:             rs,
+		Metrics:           s.reg,
+		Trace:             trace,
+		SharedVectors:     true,
+		DisableCompaction: s.cfg.DisableCompaction,
+		DisableAdaptivity: s.cfg.DisableAdaptivity,
+
+		DisableRuntimeFilters: s.cfg.DisableRuntimeFilters,
+		FastPath:              bq.fastPath,
+	}
+}
 
 // SQLContext executes a query under ctx with admission control, a
 // per-query timeout (Config.QueryTimeout), per-query memory scoping, and
@@ -251,26 +303,18 @@ func (s *Session) SQLContext(ctx context.Context, query string) (*Result, error)
 // statistics. Stats are valid (for the phases reached) even when the query
 // fails, is rejected, or is cancelled.
 func (s *Session) SQLContextStats(ctx context.Context, query string) (*Result, *QueryStats, error) {
+	return s.sqlStats(ctx, func() (*sql.SelectStmt, error) { return sql.Parse(query) })
+}
+
+// sqlStats is the shared execute phase behind SQLContextStats and
+// PreparedStatement.ExecuteStats: parse must return a pristine AST per
+// call (the compile phase may consume it more than once).
+func (s *Session) sqlStats(ctx context.Context, parse func() (*sql.SelectStmt, error)) (*Result, *QueryStats, error) {
 	stats := &QueryStats{}
 	var res *Result
-	err := s.runQuery(ctx, stats, query, func(qctx context.Context, qm *mem.Manager, plan sql.LogicalPlan) error {
+	err := s.runQuery(ctx, stats, parse, func(qctx context.Context, qm *mem.Manager, bq *boundQuery) error {
 		var rs driver.RunStats
-		rows, schema, err := driver.Run(qctx, plan, driver.Options{
-			Parallelism:       s.cfg.Parallelism,
-			ShuffleDir:        s.cfg.SpillDir,
-			Mem:               qm,
-			BatchSize:         s.cfg.BatchSize,
-			Config:            s.plannerConfig(),
-			BroadcastRows:     s.cfg.BroadcastRows,
-			Pool:              s.slotPool(),
-			Stats:             &rs,
-			Metrics:           s.reg,
-			SharedVectors:     true,
-			DisableCompaction: s.cfg.DisableCompaction,
-			DisableAdaptivity: s.cfg.DisableAdaptivity,
-
-			DisableRuntimeFilters: s.cfg.DisableRuntimeFilters,
-		})
+		rows, schema, err := driver.Run(qctx, bq.plan, s.runOptions(qm, &rs, nil, bq))
 		if err != nil {
 			return err
 		}
@@ -295,43 +339,32 @@ func (s *Session) SQLWithProfileContext(ctx context.Context, query string) (*Pro
 	stats := &QueryStats{}
 	trace := obs.NewTrace()
 	var p *Profile
-	err := s.runQuery(ctx, stats, query, func(qctx context.Context, qm *mem.Manager, plan sql.LogicalPlan) error {
-		var rs driver.RunStats
-		rows, schema, err := driver.Run(qctx, plan, driver.Options{
-			Parallelism:       s.cfg.Parallelism,
-			ShuffleDir:        s.cfg.SpillDir,
-			Mem:               qm,
-			BatchSize:         s.cfg.BatchSize,
-			Config:            s.plannerConfig(),
-			BroadcastRows:     s.cfg.BroadcastRows,
-			Pool:              s.slotPool(),
-			Stats:             &rs,
-			Metrics:           s.reg,
-			Trace:             trace,
-			SharedVectors:     true,
-			DisableCompaction: s.cfg.DisableCompaction,
-			DisableAdaptivity: s.cfg.DisableAdaptivity,
-
-			DisableRuntimeFilters: s.cfg.DisableRuntimeFilters,
+	err := s.runQuery(ctx, stats, func() (*sql.SelectStmt, error) { return sql.Parse(query) },
+		func(qctx context.Context, qm *mem.Manager, bq *boundQuery) error {
+			var rs driver.RunStats
+			rows, schema, err := driver.Run(qctx, bq.plan, s.runOptions(qm, &rs, trace, bq))
+			if err != nil {
+				return err
+			}
+			stats.SlotsHeldPeak = rs.SlotsHeldPeak
+			stats.Stages = rs.Stages
+			if rs.Profile != nil {
+				rs.Profile.Cached = stats.Cached
+				rs.Profile.FastPath = stats.FastPath
+			}
+			p = &Profile{
+				Result:      &Result{Schema: schema, Rows: rows},
+				Plan:        rs.Profile,
+				Transitions: rs.Transitions,
+				Trace:       trace,
+			}
+			if rs.Profile != nil && profiledOps(rs.Profile) > 0 {
+				p.Operators = rs.Profile.Render()
+			} else {
+				p.Operators = "(plan executed on the row engine)"
+			}
+			return nil
 		})
-		if err != nil {
-			return err
-		}
-		stats.SlotsHeldPeak = rs.SlotsHeldPeak
-		stats.Stages = rs.Stages
-		p = &Profile{
-			Result:      &Result{Schema: schema, Rows: rows},
-			Plan:        rs.Profile,
-			Transitions: rs.Transitions,
-			Trace:       trace,
-		}
-		if rs.Profile != nil && profiledOps(rs.Profile) > 0 {
-			p.Operators = rs.Profile.Render()
-		} else {
-			p.Operators = "(plan executed on the row engine)"
-		}
-		return nil
-	})
 	if err != nil {
 		return nil, err
 	}
@@ -350,10 +383,11 @@ func profiledOps(q *driver.QueryProfile) int {
 }
 
 // runQuery drives the query lifecycle state machine around fn:
-// admission → planning → running, with timeout, per-query memory scope
-// (released atomically), and stats recording on every exit path.
-func (s *Session) runQuery(ctx context.Context, stats *QueryStats, query string,
-	fn func(context.Context, *mem.Manager, sql.LogicalPlan) error) error {
+// admission → compile+bind (plan cache) → running, with timeout, per-query
+// memory scope (released atomically), and stats recording on every exit
+// path.
+func (s *Session) runQuery(ctx context.Context, stats *QueryStats, parse func() (*sql.SelectStmt, error),
+	fn func(context.Context, *mem.Manager, *boundQuery) error) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -380,26 +414,36 @@ func (s *Session) runQuery(ctx context.Context, stats *QueryStats, query string,
 	s.svc.AdmitWaitMicros.Observe(stats.Queued.Microseconds())
 	s.svc.Admitted.Inc()
 
-	// State: planning.
+	// State: planning — the compile phase (served bind-only on a plan-cache
+	// hit) followed by value binding.
 	t1 := time.Now()
-	plan, err := s.plan(query)
+	bq, err := s.bindQuery(parse)
 	stats.Planning = time.Since(t1)
-	s.svc.PlanMicros.Observe(stats.Planning.Microseconds())
+	if bq != nil && bq.cached {
+		s.svc.PlanMicrosHit.Observe(stats.Planning.Microseconds())
+	} else {
+		s.svc.PlanMicrosMiss.Observe(stats.Planning.Microseconds())
+	}
 	if err != nil {
 		s.svc.Failed.Inc()
 		return err
+	}
+	stats.Cached = bq.cached
+	stats.FastPath = bq.fastPath
+	if bq.fastPath {
+		s.svc.FastPathQueries.Inc()
 	}
 
 	// State: running, inside a per-query memory scope. Close releases the
 	// query's whole remaining quota atomically — including after
 	// cancellation or failure.
-	qm := s.mm.Child(fmt.Sprintf("q%d", querySeq.Add(1)))
+	qm := s.mm.Child(fmt.Sprintf("s%dq%d", s.id, s.qseq.Add(1)))
 	defer func() {
 		stats.PeakReservedBytes = qm.PeakBytes()
 		qm.Close()
 	}()
 	t2 := time.Now()
-	err = fn(ctx, qm, plan)
+	err = fn(ctx, qm, bq)
 	stats.Running = time.Since(t2)
 	s.svc.RunMicros.Observe(stats.Running.Microseconds())
 	if err != nil {
