@@ -1,0 +1,221 @@
+package photon
+
+// Serving-latency and flight-recorder benchmarks: the observability PR's
+// acceptance numbers. BenchmarkServingLatency answers the ROADMAP item
+// "p50/p99 measurement at 1k+ QPS mixed workloads" with a concurrent
+// mixed-class workload; BenchmarkQueryRecorderOverhead is the guard that
+// always-on recording stays under 1% of end-to-end wall time.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"photon/internal/catalog"
+	"photon/internal/tpch"
+)
+
+// servingLatencyResult is one latency distribution of
+// BenchmarkServingLatency, persisted to BENCH_serving_latency.json.
+// Client-side rows measure wall time at the caller; the engine_histogram
+// row cross-checks them against the session's own base-4 log-scale
+// photon_query_run_micros quantiles (the introspection surface measuring
+// itself).
+type servingLatencyResult struct {
+	Class   string  `json:"class"`
+	Source  string  `json:"source"` // client | engine_histogram
+	Clients int     `json:"clients"`
+	Ops     int     `json:"ops"`
+	P50Ms   float64 `json:"p50_ms"`
+	P95Ms   float64 `json:"p95_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+}
+
+// servingSession builds a TPC-H session that keeps the photon_* system
+// tables registered (tables installed through the public API, not by
+// swapping the catalog).
+func servingSession(cfg Config, sf float64) *Session {
+	sess := NewSession(cfg)
+	cat := tpch.NewGen(sf).Generate()
+	for _, name := range cat.Names() {
+		t, _ := cat.Lookup(name)
+		mt := t.(*catalog.MemTable)
+		sess.RegisterBatches(name, mt.Sch, mt.Batches)
+	}
+	return sess
+}
+
+// BenchmarkServingLatency drives one session with 8 concurrent clients over
+// a mixed workload — 70% prepared point lookups (plan-cache + fast-path
+// serving traffic), 20% prepared two-table join lookups, 10% ad-hoc
+// grouped aggregates — and reports per-class client-side p50/p95/p99
+// alongside the engine's own run-latency histogram quantiles. Results land
+// in BENCH_serving_latency.json.
+func BenchmarkServingLatency(b *testing.B) {
+	const clients = 8
+	const opsPerClient = 120
+
+	sess := servingSession(Config{Parallelism: 2}, 0.01)
+	point, err := sess.Prepare("SELECT o_orderdate, o_totalprice FROM orders WHERE o_orderkey = ?")
+	if err != nil {
+		b.Fatal(err)
+	}
+	join, err := sess.Prepare("SELECT n_name, r_name FROM nation, region WHERE n_regionkey = r_regionkey AND n_nationkey = ?")
+	if err != nil {
+		b.Fatal(err)
+	}
+	aggQuery := func(i int) string {
+		return fmt.Sprintf("SELECT o_orderpriority, count(*), max(o_totalprice) FROM orders WHERE o_orderkey < %d GROUP BY o_orderpriority", 2000+i%100)
+	}
+	// Warm the plan cache out of band so every measured op is serving-path.
+	if _, err := point.Execute(context.Background(), 1); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := join.Execute(context.Background(), 1); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sess.SQL(aggQuery(0)); err != nil {
+		b.Fatal(err)
+	}
+
+	classes := []string{"point_lookup", "join_lookup", "group_agg"}
+	perClass := map[string][]time.Duration{}
+	var ops int
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		lat := make([][3][]time.Duration, clients) // per-client, no shared writes
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				ctx := context.Background()
+				for i := 0; i < opsPerClient; i++ {
+					var class int
+					start := time.Now()
+					switch (c + i*3) % 10 { // deterministic 70/20/10 mix
+					case 0, 1, 2, 3, 4, 5, 6:
+						class = 0
+						if _, err := point.Execute(ctx, 1+(c*opsPerClient+i)*7%29999); err != nil {
+							b.Error(err)
+							return
+						}
+					case 7, 8:
+						class = 1
+						if _, err := join.Execute(ctx, (c+i)%25); err != nil {
+							b.Error(err)
+							return
+						}
+					default:
+						class = 2
+						if _, err := sess.SQL(aggQuery(c*opsPerClient + i)); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+					lat[c][class] = append(lat[c][class], time.Since(start))
+				}
+			}(c)
+		}
+		wg.Wait()
+		for c := range lat {
+			for cl, name := range classes {
+				perClass[name] = append(perClass[name], lat[c][cl]...)
+			}
+		}
+		ops += clients * opsPerClient
+	}
+	b.StopTimer()
+
+	out := make([]servingLatencyResult, 0, len(classes)+2)
+	var all []time.Duration
+	for _, name := range classes {
+		d := perClass[name]
+		all = append(all, d...)
+		sortDurations(d)
+		res := servingLatencyResult{
+			Class: name, Source: "client", Clients: clients, Ops: len(d),
+			P50Ms: servingPercentile(d, 0.50),
+			P95Ms: servingPercentile(d, 0.95),
+			P99Ms: servingPercentile(d, 0.99),
+		}
+		b.ReportMetric(res.P50Ms, name+"_p50_ms")
+		b.ReportMetric(res.P99Ms, name+"_p99_ms")
+		out = append(out, res)
+	}
+	sortDurations(all)
+	out = append(out, servingLatencyResult{
+		Class: "all", Source: "client", Clients: clients, Ops: len(all),
+		P50Ms: servingPercentile(all, 0.50),
+		P95Ms: servingPercentile(all, 0.95),
+		P99Ms: servingPercentile(all, 0.99),
+	})
+	// Engine-side cross-check: the session's own run-latency histogram.
+	for _, m := range sess.Metrics().Export() {
+		if m.Name == "photon_query_run_micros" {
+			round := func(micros float64) float64 { return math.Round(micros) / 1000 }
+			out = append(out, servingLatencyResult{
+				Class: "all", Source: "engine_histogram", Clients: clients,
+				Ops:   int(m.Count),
+				P50Ms: round(m.P50), P95Ms: round(m.P95), P99Ms: round(m.P99),
+			})
+		}
+	}
+	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "qps")
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_serving_latency.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkQueryRecorderOverhead is the always-on guard: all 22 TPC-H
+// queries through the full session lifecycle with the flight recorder on
+// (default ring) vs off (QueryHistorySize -1), interleaved to cancel
+// machine drift. The acceptance gate (EXPERIMENTS.md) is < 1% median
+// overhead; recorder_overhead_pct reports the measured value.
+func BenchmarkQueryRecorderOverhead(b *testing.B) {
+	cat := tpch.NewGen(0.01).Generate()
+	mk := func(history int) *Session {
+		sess := NewSession(Config{QueryHistorySize: history})
+		sess.cat = cat
+		return sess
+	}
+	pass := func(sess *Session) time.Duration {
+		start := time.Now()
+		for _, q := range tpch.QueryNumbers() {
+			if _, err := sess.SQL(tpch.Queries[q]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	on, off := mk(0), mk(-1)
+	pass(on) // warm plan caches so measured passes are steady-state
+	pass(off)
+
+	var onWalls, offWalls []time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		onWalls = append(onWalls, pass(on))
+		offWalls = append(offWalls, pass(off))
+	}
+	b.StopTimer()
+
+	sortDurations(onWalls)
+	sortDurations(offWalls)
+	onMed := onWalls[len(onWalls)/2]
+	offMed := offWalls[len(offWalls)/2]
+	overhead := (float64(onMed) - float64(offMed)) / float64(offMed) * 100
+	b.ReportMetric(float64(onMed.Microseconds())/1000, "on_median_ms")
+	b.ReportMetric(float64(offMed.Microseconds())/1000, "off_median_ms")
+	b.ReportMetric(overhead, "recorder_overhead_pct")
+}

@@ -13,12 +13,17 @@
 //	photon-sql -trace q.json -q 'SELECT ...'  # Chrome/Perfetto trace
 //	photon-sql -metrics -q 'SELECT ...'       # Prometheus dump on exit
 //	photon-sql -par 4 -chaos-seed 42 -q '..'  # seeded chaos run (fault injection)
+//	photon-sql -http :8218                    # live debug surface: /metrics,
+//	                                          # /debug/queries, /debug/pprof
+//	photon-sql -slow-query 100ms              # structured slow-query log
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -43,6 +48,9 @@ var (
 	chaosFlag   = flag.Int64("chaos-seed", 0, "arm deterministic fault injection on the distributed execution sites with this seed; pair with -par > 1 (0 = off)")
 	cacheFlag   = flag.Bool("plan-cache", true, "cache compiled plans per normalized query shape (prepare/bind/execute lifecycle)")
 	repeatFlag  = flag.Int("repeat", 1, "run each query N times, reporting per-run latency and cache/fast-path routing (pair with -plan-cache)")
+	httpFlag    = flag.String("http", "", "serve the debug surface on this address (e.g. :8218): /metrics, /debug/queries, /debug/queries/<id>/trace, /debug/pprof")
+	slowFlag    = flag.Duration("slow-query", 0, "log a structured slow-query line for queries at or above this wall time (0 = off)")
+	historyFlag = flag.Int("query-history", 0, "flight-recorder ring size (0 = default 1024, negative = off); query via SELECT * FROM photon_queries")
 )
 
 type deltaList []string
@@ -63,6 +71,8 @@ func main() {
 	if !*cacheFlag {
 		cfg.PlanCacheSize = -1
 	}
+	cfg.SlowQueryThreshold = *slowFlag
+	cfg.QueryHistorySize = *historyFlag
 	if *chaosFlag != 0 {
 		// Extra retry headroom: chaos policies inject transient failures
 		// into shuffle, broadcast, and task-start paths; the scheduler
@@ -120,6 +130,20 @@ func main() {
 
 	if *metricsFlag {
 		defer sess.Metrics().WritePrometheus(os.Stderr)
+	}
+
+	if *httpFlag != "" {
+		ln, err := net.Listen("tcp", *httpFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "debug http: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "debug http on %s (/metrics /debug/queries /debug/pprof)\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, sess.DebugHandler()); err != nil {
+				fmt.Fprintf(os.Stderr, "debug http: %v\n", err)
+			}
+		}()
 	}
 
 	if *queryFlag != "" {

@@ -1,0 +1,162 @@
+package photon
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// DebugHandler returns the session's live debug surface, mountable
+// wherever the application serves HTTP (photon-sql -http serves it
+// standalone):
+//
+//	/metrics                  Prometheus text (JSON via .json or Accept)
+//	/debug/queries            flight recorder + in-flight queries (JSON;
+//	                          minimal HTML when the client accepts it)
+//	/debug/queries/{id}/trace one recorded query as Chrome trace-event
+//	                          JSON, loadable in ui.perfetto.dev
+//	/debug/pprof/...          standard Go profiling endpoints
+func (s *Session) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", s.reg.Handler())
+	mux.Handle("/metrics.json", s.reg.Handler())
+	mux.HandleFunc("/debug/queries", s.serveQueries)
+	mux.HandleFunc("/debug/queries/{id}/trace", s.serveQueryTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// queriesPage is the /debug/queries JSON document.
+type queriesPage struct {
+	Active  []activeJSON  `json:"active"`
+	History []historyJSON `json:"history"` // newest first
+	Total   int64         `json:"total_recorded"`
+	Cap     int           `json:"history_capacity"`
+}
+
+type activeJSON struct {
+	ID            int64  `json:"id"`
+	SQL           string `json:"sql"`
+	Phase         string `json:"phase"`
+	ElapsedMicros int64  `json:"elapsed_micros"`
+	Rows          int64  `json:"rows"`
+	Bytes         int64  `json:"bytes"`
+}
+
+type historyJSON struct {
+	ID              int64  `json:"id"`
+	SQL             string `json:"sql"`
+	Status          string `json:"status"`
+	Error           string `json:"error,omitempty"`
+	Cached          bool   `json:"cached"`
+	FastPath        bool   `json:"fastpath"`
+	QueueWaitMicros int64  `json:"queue_wait_micros"`
+	PlanMicros      int64  `json:"plan_micros"`
+	RunMicros       int64  `json:"run_micros"`
+	WallMicros      int64  `json:"wall_micros"`
+	Rows            int64  `json:"rows"`
+	PeakMemBytes    int64  `json:"peak_mem_bytes"`
+	SpilledBytes    int64  `json:"spilled_bytes"`
+	ShuffleBytes    int64  `json:"shuffle_bytes"`
+	Stages          int    `json:"stages"`
+	Retries         int64  `json:"retries"`
+	Trace           string `json:"trace"`
+}
+
+// serveQueries renders the recorder: JSON by default, a minimal HTML table
+// when the client prefers text/html (a browser hitting the endpoint raw).
+func (s *Session) serveQueries(w http.ResponseWriter, r *http.Request) {
+	page := queriesPage{
+		Active:  []activeJSON{},
+		History: []historyJSON{},
+		Total:   s.rec.Total(),
+		Cap:     s.rec.Cap(),
+	}
+	now := time.Now()
+	for _, a := range s.rec.Active() {
+		page.Active = append(page.Active, activeJSON{
+			ID: a.ID, SQL: a.SQL, Phase: a.Name,
+			ElapsedMicros: now.Sub(a.Submit).Microseconds(),
+			Rows:          a.Rows, Bytes: a.Bytes,
+		})
+	}
+	records := s.rec.Records()
+	for i := len(records) - 1; i >= 0; i-- { // newest first
+		rec := &records[i]
+		page.History = append(page.History, historyJSON{
+			ID: rec.ID, SQL: rec.SQL, Status: rec.Status, Error: rec.Error,
+			Cached: rec.Cached, FastPath: rec.FastPath,
+			QueueWaitMicros: rec.QueueWait().Microseconds(),
+			PlanMicros:      rec.PlanTime().Microseconds(),
+			RunMicros:       rec.RunTime().Microseconds(),
+			WallMicros:      rec.Wall().Microseconds(),
+			Rows:            rec.Rows, PeakMemBytes: rec.PeakMemBytes,
+			SpilledBytes: rec.SpilledBytes, ShuffleBytes: rec.ShuffleBytes,
+			Stages: len(rec.Stages), Retries: rec.Retries,
+			Trace: fmt.Sprintf("/debug/queries/%d/trace", rec.ID),
+		})
+	}
+	if strings.Contains(r.Header.Get("Accept"), "text/html") {
+		writeQueriesHTML(w, &page)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(&page)
+}
+
+// writeQueriesHTML is the browser view: two plain tables, no assets.
+func writeQueriesHTML(w http.ResponseWriter, page *queriesPage) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, `<!doctype html><title>photon queries</title>
+<style>body{font:13px monospace}table{border-collapse:collapse}td,th{border:1px solid #999;padding:2px 6px;text-align:left}</style>
+<h2>Active queries (%d)</h2><table><tr><th>id</th><th>phase</th><th>elapsed</th><th>rows</th><th>sql</th></tr>`,
+		len(page.Active))
+	for _, a := range page.Active {
+		fmt.Fprintf(w, "<tr><td>%d</td><td>%s</td><td>%s</td><td>%d</td><td>%s</td></tr>",
+			a.ID, a.Phase, time.Duration(a.ElapsedMicros)*time.Microsecond, a.Rows,
+			html.EscapeString(a.SQL))
+	}
+	fmt.Fprintf(w, `</table><h2>History (%d of %d recorded, cap %d)</h2>
+<table><tr><th>id</th><th>status</th><th>cached</th><th>fast</th><th>wall</th><th>rows</th><th>peak mem</th><th>trace</th><th>sql</th></tr>`,
+		len(page.History), page.Total, page.Cap)
+	for _, h := range page.History {
+		fmt.Fprintf(w, `<tr><td>%d</td><td>%s</td><td>%t</td><td>%t</td><td>%s</td><td>%d</td><td>%d</td><td><a href="%s">trace</a></td><td>%s</td></tr>`,
+			h.ID, h.Status, h.Cached, h.FastPath,
+			time.Duration(h.WallMicros)*time.Microsecond, h.Rows, h.PeakMemBytes,
+			h.Trace, html.EscapeString(h.SQL))
+	}
+	fmt.Fprint(w, "</table>")
+}
+
+// serveQueryTrace renders one recorded query as Perfetto-loadable Chrome
+// trace-event JSON.
+func (s *Session) serveQueryTrace(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad query id", http.StatusBadRequest)
+		return
+	}
+	rec, ok := s.rec.Record(id)
+	if !ok {
+		http.Error(w, "query not in the flight recorder", http.StatusNotFound)
+		return
+	}
+	out, err := rec.ChromeTrace()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(out)
+}

@@ -42,6 +42,30 @@ func (t *MemTable) NumRows() int64 {
 	return n
 }
 
+// VirtualTable is a table whose contents are produced on demand — the
+// mechanism behind SQL-queryable system tables (photon_queries and
+// friends). Batches materializes a point-in-time snapshot of the source;
+// the session pins that snapshot at bind time (replacing the VirtualTable
+// with a MemTable in the bound plan) so every task of one query scans the
+// same data even while the source keeps mutating.
+type VirtualTable struct {
+	TableName string
+	Sch       *types.Schema
+	Batches   func() []*vector.Batch
+	EstRows   func() int64 // optional planner cardinality hint
+}
+
+// Name implements Table.
+func (t *VirtualTable) Name() string { return t.TableName }
+
+// Schema implements Table.
+func (t *VirtualTable) Schema() *types.Schema { return t.Sch }
+
+// Snapshot materializes the current contents as a MemTable.
+func (t *VirtualTable) Snapshot() *MemTable {
+	return &MemTable{TableName: t.TableName, Sch: t.Sch, Batches: t.Batches()}
+}
+
 // DeltaTable is a Delta-backed table pinned to a snapshot.
 type DeltaTable struct {
 	TableName string

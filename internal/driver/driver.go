@@ -68,6 +68,12 @@ type Options struct {
 	// semantics-free: disabling them never changes results, only speed.
 	DisableRuntimeFilters bool
 
+	// Progress, when non-nil, receives batch-boundary (rows, bytes) deltas
+	// from every running task — the live feed behind the session's in-flight
+	// query registry. It must be cheap and concurrency-safe (atomic adds);
+	// it is called from task goroutines.
+	Progress func(rows, bytes int64)
+
 	// FastPath requests small-query inline execution: skip stage planning,
 	// exchange setup, and (for unlimited-memory sessions) the per-query
 	// spill/shuffle directory, and run the fused pipeline as one task on a
@@ -230,6 +236,7 @@ func runSingle(ctx context.Context, plan sql.LogicalPlan, opts Options) ([][]any
 		*opts.Stats = RunStats{Stages: 1}
 	}
 	tc := opts.newTaskCtx(ctx)
+	tc.Progress = opts.Progress
 	ex, err := catalyst.Build(plan, opts.Config, tc)
 	if err != nil {
 		return nil, nil, err
@@ -805,9 +812,20 @@ func (j *stagedJob) runTask(ctx context.Context, si *stageInfo, taskID int, reco
 	// Tasks of one stage share in-memory table batches read-only.
 	tc.Expr.SharedVectors = true
 	// Feed batch-boundary progress to the scheduler's straggler detector
-	// (the attempt context carries the per-task progress sink).
+	// (the attempt context carries the per-task progress sink) and, when
+	// set, the caller's live-query registry.
 	if p := sched.ProgressFromContext(ctx); p != nil {
-		tc.Progress = p.Report
+		if ext := j.opts.Progress; ext != nil {
+			report := p.Report
+			tc.Progress = func(rows, bytes int64) {
+				report(rows, bytes)
+				ext(rows, bytes)
+			}
+		} else {
+			tc.Progress = p.Report
+		}
+	} else {
+		tc.Progress = j.opts.Progress
 	}
 
 	cfg.ExchangeSource = func(er *catalyst.ExchangeRead) (exec.Operator, error) {
@@ -1041,6 +1059,7 @@ func (j *stagedJob) buildProfile(root *catalyst.Fragment) *QueryProfile {
 			st := si.stage.Stats()
 			sp.Speculated = st.Speculated.Load()
 			sp.SpecWins = st.SpecWins.Load()
+			sp.Retries = st.Retries.Load()
 		}
 		// Row-level runtime-filter drops (pre-shuffle / pre-probe) fold into
 		// the same pruning total as scan-level skips.

@@ -85,8 +85,9 @@ type StageProfile struct {
 	// Fault-tolerance activity: Recovered counts lineage re-runs of this
 	// stage's map tasks after corrupt/missing shuffle blocks; Speculated and
 	// SpecWins count straggler duplicates launched and duplicates that
-	// committed first.
-	Recovered, Speculated, SpecWins int64
+	// committed first; Retries counts extra attempts after transient task
+	// failures.
+	Recovered, Speculated, SpecWins, Retries int64
 }
 
 // QueryProfile is the stitched whole-query profile.
@@ -202,6 +203,9 @@ func (q *QueryProfile) Render() string {
 		}
 		if st.Speculated > 0 {
 			fmt.Fprintf(&sb, " spec[launched=%d won=%d]", st.Speculated, st.SpecWins)
+		}
+		if st.Retries > 0 {
+			fmt.Fprintf(&sb, " retries[%d]", st.Retries)
 		}
 		sb.WriteByte('\n')
 		for i := range st.Ops {

@@ -1,0 +1,115 @@
+package obs
+
+// Quantile estimation over the base-4 log-scale histograms, serving the
+// p50/p95/p99 readouts on /metrics-adjacent surfaces (photon_metrics
+// system table, serving-latency benchmarks). The estimator finds the
+// bucket containing the target rank in the cumulative snapshot and
+// linearly interpolates within it — exact at bucket bounds, and within
+// the bucket's width (4x) in the worst case, which log-scale bucketing
+// bounds to a constant relative error.
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) of the observed
+// distribution. Returns 0 when the histogram is empty or nil. Values in
+// the +Inf bucket pin the estimate to the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	cum, inf, _, _ := h.snapshot()
+	return quantileFromSnapshot(cum, inf, q)
+}
+
+// Quantiles estimates several quantiles from one snapshot, so p50/p95/p99
+// reads are consistent with each other even under concurrent Observe.
+func (h *Histogram) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if h == nil {
+		return out
+	}
+	cum, inf, _, _ := h.snapshot()
+	for i, q := range qs {
+		out[i] = quantileFromSnapshot(cum, inf, q)
+	}
+	return out
+}
+
+// quantileFromSnapshot runs the rank search over a cumulative snapshot.
+// cum[i] counts observations <= bucketBound(i); inf is the total count
+// including the +Inf bucket.
+func quantileFromSnapshot(cum [numBuckets]int64, inf int64, q float64) float64 {
+	total := inf
+	if total <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the target observation in sorted order
+	// (nearest-rank, then interpolated within the bucket).
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	for i := 0; i < numBuckets; i++ {
+		if float64(cum[i]) >= rank {
+			// Bucket i covers (lo, hi] with lo = bound(i-1), except bucket 0
+			// which covers [0, 1].
+			lo, hi := float64(0), float64(bucketBound(i))
+			var below int64
+			if i > 0 {
+				lo = float64(bucketBound(i - 1))
+				below = cum[i-1]
+			}
+			in := cum[i] - below
+			if in <= 0 {
+				return hi
+			}
+			frac := (rank - float64(below)) / float64(in)
+			return lo + frac*(hi-lo)
+		}
+	}
+	// Target rank lives in the +Inf bucket: report the largest finite bound
+	// rather than inventing a value.
+	return float64(bucketBound(numBuckets - 1))
+}
+
+// MetricSnapshot is one metric's point-in-time export for programmatic
+// consumers (the photon_metrics system table). Histograms carry count,
+// sum, and estimated quantiles; counters and gauges carry Value.
+type MetricSnapshot struct {
+	Name  string
+	Kind  string // "counter" | "gauge" | "histogram"
+	Value int64  // counters/gauges
+	Count int64  // histograms
+	Sum   int64  // histograms
+	P50   float64
+	P95   float64
+	P99   float64
+}
+
+// Export snapshots every registered metric in registration order.
+// Nil-safe (nil).
+func (r *Registry) Export() []MetricSnapshot {
+	if r == nil {
+		return nil
+	}
+	rows := r.snapshot()
+	out := make([]MetricSnapshot, 0, len(rows))
+	for _, row := range rows {
+		m := MetricSnapshot{Name: row.name, Kind: row.kind}
+		if row.kind == "histogram" {
+			cum, inf, sum, count := row.hist.snapshot()
+			m.Count, m.Sum = count, sum
+			m.P50 = quantileFromSnapshot(cum, inf, 0.50)
+			m.P95 = quantileFromSnapshot(cum, inf, 0.95)
+			m.P99 = quantileFromSnapshot(cum, inf, 0.99)
+		} else {
+			m.Value = row.value
+		}
+		out = append(out, m)
+	}
+	return out
+}

@@ -180,6 +180,15 @@ func labelInsert(name, label string) string {
 	return name + "{" + label + "}"
 }
 
+// suffixed inserts a Prometheus suffix before the label set:
+// suffixed(`m{a="b"}`, "_sum") = `m_sum{a="b"}`.
+func suffixed(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
 // WritePrometheus writes the registry in Prometheus text exposition format.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
@@ -218,11 +227,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				if i > 0 && cum[i] == cum[i-1] {
 					continue
 				}
-				pf("%s %d\n", labelInsert(base+"_bucket", fmt.Sprintf("le=%q", fmt.Sprint(bucketBound(i)))), cum[i])
+				pf("%s %d\n", labelInsert(suffixed(row.name, "_bucket"), fmt.Sprintf("le=%q", fmt.Sprint(bucketBound(i)))), cum[i])
 			}
-			pf("%s %d\n", labelInsert(base+"_bucket", `le="+Inf"`), inf)
-			pf("%s_sum %d\n", row.name, sum)
-			pf("%s_count %d\n", row.name, count)
+			pf("%s %d\n", labelInsert(suffixed(row.name, "_bucket"), `le="+Inf"`), inf)
+			pf("%s %d\n", suffixed(row.name, "_sum"), sum)
+			pf("%s %d\n", suffixed(row.name, "_count"), count)
 		default:
 			pf("%s %d\n", row.name, row.value)
 		}

@@ -109,7 +109,10 @@ type StageStats struct {
 	// launched; SpecWins counts tasks whose duplicate finished first.
 	Speculated atomic.Int64
 	SpecWins   atomic.Int64
-	WallTime   time.Duration
+	// Retries counts extra attempts after transient task failures (the
+	// per-stage view of Metrics.TaskRetries).
+	Retries  atomic.Int64
+	WallTime time.Duration
 }
 
 // Stats returns the stage's statistics (valid after the stage completes).
@@ -581,8 +584,11 @@ func (d *Driver) runTaskWithRetry(ctx context.Context, st *Stage, taskID int, m 
 			return cerr
 		}
 		st.stats.Attempts.Add(1)
-		if attempt > 0 && m != nil {
-			m.TaskRetries.Inc()
+		if attempt > 0 {
+			st.stats.Retries.Add(1)
+			if m != nil {
+				m.TaskRetries.Inc()
+			}
 		}
 		err = fault.Hit(ctx, fault.TaskStart)
 		if err == nil {

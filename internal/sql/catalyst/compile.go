@@ -117,6 +117,12 @@ func maxScanRows(plan sql.LogicalPlan) int64 {
 			for _, f := range t.Snap.Files {
 				m += f.NumRecords
 			}
+		case *catalog.VirtualTable:
+			if t.EstRows != nil {
+				m = t.EstRows()
+			} else {
+				m = 1 << 62
+			}
 		default:
 			m = 1 << 62
 		}

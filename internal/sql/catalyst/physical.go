@@ -438,6 +438,20 @@ func (b *builder) buildPhotonScan(n *sql.LScan) (exec.Operator, error) {
 			return nil, err
 		}
 		op = exec.NewSource("DeltaScan("+t.TableName+")", n.Schema(), src)
+	case *catalog.VirtualTable:
+		// Normally pinned to a MemTable snapshot at bind time; this
+		// fallback materializes per scan build, which is only safe
+		// unpartitioned (partitioned tasks would each snapshot a moving
+		// source and disagree on its contents).
+		batches := t.Batches()
+		if partitionThis {
+			batches = pickBatches(batches, b.cfg.ScanPartitions, b.cfg.ScanPartition)
+		}
+		scan := exec.NewMemScan(t.Sch, batches)
+		if n.Projection != nil {
+			scan = scan.WithProjection(n.Projection)
+		}
+		op = scan
 	default:
 		return nil, fmt.Errorf("catalyst: unsupported table type %T", n.Table)
 	}
@@ -475,6 +489,15 @@ func (b *builder) buildRowScan(n *sql.LScan) (rowengine.Operator, error) {
 			}
 			return f, nil
 		})
+	case *catalog.VirtualTable:
+		batches := t.Batches()
+		if partitionThis {
+			batches = pickBatches(batches, b.cfg.ScanPartitions, b.cfg.ScanPartition)
+		}
+		if n.Projection != nil {
+			batches = projectBatches(batches, n.Projection, n.Schema())
+		}
+		op = rowengine.NewScan(n.Schema(), batches)
 	default:
 		return nil, fmt.Errorf("catalyst: unsupported table type %T", n.Table)
 	}

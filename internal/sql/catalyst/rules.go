@@ -460,6 +460,14 @@ func estimateRows(plan sql.LogicalPlan) int64 {
 				return rows / 3
 			}
 			return rows
+		case *catalog.VirtualTable:
+			if t.EstRows != nil {
+				base := t.EstRows()
+				if n.Filter != nil {
+					return base / 3
+				}
+				return base
+			}
 		}
 		return 1 << 30
 	case *sql.LFilter:

@@ -1,0 +1,482 @@
+package photon
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSystemTablesKnownQueries is the acceptance gate for the flight
+// recorder: run a known sequence of queries, then read the recorder back
+// through the normal engine path (SQL over photon_queries) and assert
+// per-query status, cache/fast-path routing, and row counts.
+func TestSystemTablesKnownQueries(t *testing.T) {
+	sess := peopleSession(t, Config{Parallelism: 1})
+
+	// 1+2: the same shape twice — second run must bind the cached plan.
+	for i := 0; i < 2; i++ {
+		res, err := sess.SQL("SELECT name FROM people WHERE score > 80")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 3 {
+			t.Fatalf("base query rows = %d, want 3", len(res.Rows))
+		}
+	}
+	// 3: a query that fails at planning.
+	if _, err := sess.SQL("SELECT nope FROM people"); err == nil {
+		t.Fatal("expected plan failure")
+	}
+	// 4: an aggregate.
+	if _, err := sess.SQL("SELECT team, count(*) FROM people GROUP BY team"); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := sess.SQL(
+		"SELECT id, sql, status, cached, fastpath, rows FROM photon_queries ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("photon_queries rows = %d, want 4:\n%v", len(res.Rows), res)
+	}
+	type want struct {
+		sqlFrag string
+		status  string
+		cached  bool
+		rows    int64
+	}
+	wants := []want{
+		{"WHERE (score > ?)", "ok", false, 3},
+		{"WHERE (score > ?)", "ok", true, 3},
+		{"SELECT nope FROM people", "failed", false, 0},
+		{"GROUP BY team", "ok", false, 2},
+	}
+	for i, w := range wants {
+		row := res.Rows[i]
+		if id := row[0].(int64); id != int64(i+1) {
+			t.Errorf("row %d: id = %d, want %d", i, id, i+1)
+		}
+		if got := row[1].(string); !strings.Contains(got, w.sqlFrag) {
+			t.Errorf("row %d: sql = %q, want fragment %q (normalized)", i, got, w.sqlFrag)
+		}
+		if got := row[2].(string); got != w.status {
+			t.Errorf("row %d: status = %q, want %q", i, got, w.status)
+		}
+		if got := row[3].(bool); got != w.cached {
+			t.Errorf("row %d: cached = %t, want %t", i, got, w.cached)
+		}
+		if got := row[5].(int64); got != w.rows {
+			t.Errorf("row %d: rows = %d, want %d", i, got, w.rows)
+		}
+	}
+
+	// Aggregation over the recorder through the engine itself.
+	res, err = sess.SQL("SELECT count(*) FROM photon_queries WHERE status = 'ok'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 ok from the known sequence + the ORDER BY introspection query above.
+	if got := res.Rows[0][0].(int64); got != 4 {
+		t.Errorf("count(ok) = %d, want 4", got)
+	}
+
+	// The Go-level accessor sees the same history.
+	hist := sess.QueryHistory()
+	if len(hist) < 4 {
+		t.Fatalf("QueryHistory len = %d, want >= 4", len(hist))
+	}
+	if hist[2].Status != "failed" || hist[2].Error == "" {
+		t.Errorf("failed query record = %+v, want failed status with error text", hist[2])
+	}
+	for _, r := range hist {
+		if r.Status != "ok" {
+			continue
+		}
+		if r.Done.Before(r.Submit) || r.Wall() <= 0 {
+			t.Errorf("record %d has bad lifecycle timestamps: %+v", r.ID, r)
+		}
+	}
+}
+
+// TestActiveQueriesSelfObservation: a query over photon_active_queries pins
+// its snapshot during its own planning phase, so it observes at least
+// itself in flight.
+func TestActiveQueriesSelfObservation(t *testing.T) {
+	sess := peopleSession(t)
+	res, err := sess.SQL("SELECT id, sql, phase FROM photon_active_queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 1 {
+		t.Fatal("photon_active_queries empty — the observing query should see itself")
+	}
+	found := false
+	for _, row := range res.Rows {
+		if strings.Contains(row[1].(string), "photon_active_queries") {
+			found = true
+			if ph := row[2].(string); ph != "planning" {
+				t.Errorf("self-observed phase = %q, want planning (snapshot pinned at bind)", ph)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("observing query not in active set: %v", res.Rows)
+	}
+	if n := len(sess.ActiveQueries()); n != 0 {
+		t.Errorf("ActiveQueries after completion = %d, want 0", n)
+	}
+}
+
+// TestMetricsSystemTable reads the registry through SQL, including
+// histogram quantiles.
+func TestMetricsSystemTable(t *testing.T) {
+	sess := peopleSession(t)
+	for i := 0; i < 3; i++ {
+		if _, err := sess.SQL("SELECT count(*) FROM people"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := sess.SQL(
+		"SELECT name, kind, value, count, p50, p99 FROM photon_metrics WHERE name = 'photon_queries_total'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("photon_queries_total rows = %d, want 1", len(res.Rows))
+	}
+	row := res.Rows[0]
+	// 3 warmups + the observing query itself: the counter increments at
+	// submission, before the planning-phase snapshot pin.
+	if row[1].(string) != "counter" || row[2].(int64) != 4 {
+		t.Errorf("photon_queries_total = %v", row)
+	}
+	if row[3] != nil || row[4] != nil {
+		t.Errorf("counter row must have NULL histogram columns: %v", row)
+	}
+
+	res, err = sess.SQL(
+		"SELECT count, p50, p99 FROM photon_metrics WHERE name = 'photon_query_run_micros' AND kind = 'histogram'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("run_micros histogram rows = %d, want 1", len(res.Rows))
+	}
+	row = res.Rows[0]
+	// 3 warmups + the first photon_metrics query; the run histogram is
+	// observed at completion, so the in-flight observer is excluded.
+	if row[0].(int64) != 4 {
+		t.Errorf("histogram count = %v, want 4", row[0])
+	}
+	p50, p99 := row[1].(float64), row[2].(float64)
+	if !(p50 > 0 && p50 <= p99) {
+		t.Errorf("quantiles p50=%v p99=%v", p50, p99)
+	}
+
+	// Serving gauges are sampled at scan time.
+	res, err = sess.SQL(
+		"SELECT name, value FROM photon_metrics WHERE name IN ('photon_plan_cache_entries', 'photon_query_history_size', 'photon_active_queries') ORDER BY name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("gauge rows = %d, want 3: %v", len(res.Rows), res.Rows)
+	}
+	byName := map[string]int64{}
+	for _, row := range res.Rows {
+		byName[row[0].(string)] = row[1].(int64)
+	}
+	if byName["photon_plan_cache_entries"] < 1 {
+		t.Errorf("photon_plan_cache_entries = %d, want >= 1", byName["photon_plan_cache_entries"])
+	}
+	if byName["photon_query_history_size"] < 3 {
+		t.Errorf("photon_query_history_size = %d, want >= 3", byName["photon_query_history_size"])
+	}
+	// Snapshot pinned during planning: the observing query itself is active.
+	if byName["photon_active_queries"] != 1 {
+		t.Errorf("photon_active_queries = %d, want 1 (the observer)", byName["photon_active_queries"])
+	}
+}
+
+// TestQueryHistoryBound: Config.QueryHistorySize bounds the ring; the
+// oldest records evict, total keeps counting, and -1 disables recording.
+func TestQueryHistoryBound(t *testing.T) {
+	sess := peopleSession(t, Config{QueryHistorySize: 3})
+	for i := 0; i < 7; i++ {
+		if _, err := sess.SQL(fmt.Sprintf("SELECT count(*) FROM people WHERE score > %d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hist := sess.QueryHistory()
+	if len(hist) != 3 {
+		t.Fatalf("history len = %d, want 3", len(hist))
+	}
+	if hist[0].ID != 5 || hist[2].ID != 7 {
+		t.Errorf("history IDs = [%d..%d], want [5..7] oldest-first", hist[0].ID, hist[2].ID)
+	}
+
+	off := peopleSession(t, Config{QueryHistorySize: -1})
+	if _, err := off.SQL("SELECT count(*) FROM people"); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(off.QueryHistory()); n != 0 {
+		t.Errorf("disabled recorder history len = %d, want 0", n)
+	}
+	// The system table still exists; it just scans empty.
+	res, err := off.SQL("SELECT count(*) FROM photon_queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].(int64); got != 0 {
+		t.Errorf("disabled recorder photon_queries count = %d, want 0", got)
+	}
+}
+
+// TestMetricsContentType locks the exposition Content-Types: Prometheus
+// text format with its version parameter, and JSON for the .json path and
+// Accept-header negotiation.
+func TestMetricsContentType(t *testing.T) {
+	sess := peopleSession(t)
+	h := sess.MetricsHandler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if got := rec.Header().Get("Content-Type"); got != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("text exposition Content-Type = %q", got)
+	}
+	if !strings.Contains(rec.Body.String(), "# TYPE") {
+		t.Error("text exposition missing TYPE comments")
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.json", nil))
+	if got := rec.Header().Get("Content-Type"); got != "application/json" {
+		t.Errorf(".json exposition Content-Type = %q", got)
+	}
+	if !json.Valid(rec.Body.Bytes()) {
+		t.Error(".json exposition is not valid JSON")
+	}
+
+	rec = httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/json")
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get("Content-Type"); got != "application/json" {
+		t.Errorf("Accept-negotiated Content-Type = %q", got)
+	}
+}
+
+// TestDebugEndpoints drives the full debug surface over httptest: query
+// listing in JSON and HTML, per-query Perfetto traces with 400/404 paths,
+// and pprof.
+func TestDebugEndpoints(t *testing.T) {
+	sess := peopleSession(t)
+	if _, err := sess.SQL("SELECT team, count(*) FROM people GROUP BY team"); err != nil {
+		t.Fatal(err)
+	}
+	h := sess.DebugHandler()
+
+	// JSON listing.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/queries", nil))
+	if got := rec.Header().Get("Content-Type"); got != "application/json" {
+		t.Fatalf("/debug/queries Content-Type = %q", got)
+	}
+	var page struct {
+		Active  []map[string]any `json:"active"`
+		History []map[string]any `json:"history"`
+		Total   int64            `json:"total_recorded"`
+		Cap     int              `json:"history_capacity"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatalf("/debug/queries JSON: %v", err)
+	}
+	if page.Total != 1 || len(page.History) != 1 || page.Cap != 1024 {
+		t.Fatalf("page = total %d, history %d, cap %d; want 1, 1, 1024",
+			page.Total, len(page.History), page.Cap)
+	}
+	first := page.History[0]
+	if first["status"] != "ok" || first["rows"].(float64) != 2 {
+		t.Errorf("history[0] = %v", first)
+	}
+	tracePath, _ := first["trace"].(string)
+	if tracePath == "" {
+		t.Fatal("history entry missing trace link")
+	}
+
+	// HTML when the client accepts it.
+	rec = httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/debug/queries", nil)
+	req.Header.Set("Accept", "text/html,application/xhtml+xml")
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get("Content-Type"); !strings.HasPrefix(got, "text/html") {
+		t.Errorf("HTML view Content-Type = %q", got)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "<table>") ||
+		!strings.Contains(body, "GROUP BY team") {
+		t.Errorf("HTML view missing table or query text:\n%s", body)
+	}
+
+	// Trace endpoint: valid Chrome trace for a recorded id.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", tracePath, nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET %s = %d", tracePath, rec.Code)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace has no events")
+	}
+
+	// Error paths.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/queries/999/trace", nil))
+	if rec.Code != 404 {
+		t.Errorf("unknown id trace = %d, want 404", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/queries/abc/trace", nil))
+	if rec.Code != 400 {
+		t.Errorf("bad id trace = %d, want 400", rec.Code)
+	}
+
+	// Metrics ride on the same mux; pprof index answers.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "photon_queries_total") {
+		t.Errorf("/metrics via DebugHandler = %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 {
+		t.Errorf("/debug/pprof/ = %d", rec.Code)
+	}
+}
+
+// TestSlowQueryLog: queries at or above the threshold emit one structured
+// slog line with the advertised attributes; a generous threshold stays
+// silent.
+func TestSlowQueryLog(t *testing.T) {
+	var buf bytes.Buffer
+	lg := slog.New(slog.NewJSONHandler(&buf, nil))
+	sess := peopleSession(t, Config{
+		SlowQueryThreshold: time.Nanosecond, // everything is slow
+		SlowQueryLog:       lg,
+	})
+	if _, err := sess.SQL("SELECT count(*) FROM people"); err != nil {
+		t.Fatal(err)
+	}
+	var entry map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &entry); err != nil {
+		t.Fatalf("slow-query log is not one JSON line: %v\n%s", err, buf.String())
+	}
+	for _, key := range []string{"query_id", "sql", "wall", "queue_wait", "peak_mem_bytes", "spilled_bytes", "status"} {
+		if _, ok := entry[key]; !ok {
+			t.Errorf("slow-query line missing %q: %v", key, entry)
+		}
+	}
+	if entry["status"] != "ok" || !strings.Contains(entry["sql"].(string), "COUNT(*)") {
+		t.Errorf("slow-query line = %v", entry)
+	}
+
+	buf.Reset()
+	quiet := peopleSession(t, Config{
+		SlowQueryThreshold: time.Hour,
+		SlowQueryLog:       lg,
+	})
+	if _, err := quiet.SQL("SELECT count(*) FROM people"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("fast query logged as slow: %s", buf.String())
+	}
+}
+
+// TestFlightRecorderStress is the -race gate: 16 goroutines mixing normal
+// queries, SQL scans over the recorder's own system tables, and HTTP
+// scrapes of the debug surface, all against one session.
+func TestFlightRecorderStress(t *testing.T) {
+	sess := peopleSession(t, Config{Parallelism: 2, QueryHistorySize: 32})
+	h := sess.DebugHandler()
+
+	const goroutines = 16
+	const iters = 12
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch g % 4 {
+				case 0: // normal queries, cached after warmup
+					if _, err := sess.SQL("SELECT team, count(*) FROM people WHERE score > 10 GROUP BY team"); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1: // scan the recorder through the engine
+					if _, err := sess.SQL("SELECT status, count(*) FROM photon_queries GROUP BY status"); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2: // watch in-flight queries + metrics table
+					if _, err := sess.SQL("SELECT count(*) FROM photon_active_queries"); err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := sess.SQL("SELECT max(p99) FROM photon_metrics WHERE kind = 'histogram'"); err != nil {
+						t.Error(err)
+						return
+					}
+				case 3: // HTTP scrapes
+					rec := httptest.NewRecorder()
+					h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+					if rec.Code != 200 {
+						t.Errorf("/metrics = %d", rec.Code)
+						return
+					}
+					rec = httptest.NewRecorder()
+					h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/queries", nil))
+					if rec.Code != 200 {
+						t.Errorf("/debug/queries = %d", rec.Code)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if n := len(sess.ActiveQueries()); n != 0 {
+		t.Errorf("active queries after stress = %d, want 0", n)
+	}
+	hist := sess.QueryHistory()
+	if len(hist) != 32 {
+		t.Errorf("history len = %d, want full ring of 32", len(hist))
+	}
+	// The ring orders by completion, not submission — concurrent queries
+	// finish out of ID order. IDs must still be unique.
+	seen := map[int64]bool{}
+	for _, r := range hist {
+		if seen[r.ID] {
+			t.Fatalf("duplicate query id %d in history", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	for _, r := range hist {
+		if r.Status != "ok" {
+			t.Errorf("query %d status = %s (%s)", r.ID, r.Status, r.Error)
+		}
+	}
+}

@@ -17,6 +17,7 @@ package photon
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -156,6 +157,21 @@ type Config struct {
 	// Retries use full-jitter exponential backoff. 0 uses the scheduler
 	// default (2: one retry).
 	TaskMaxAttempts int
+
+	// ---- Introspection (query flight recorder + system tables) ----
+
+	// QueryHistorySize bounds the query flight recorder's ring buffer:
+	// 0 = obs.DefaultHistorySize (1024) recent queries, negative = recorder
+	// disabled (the system tables stay registered but empty). Each record
+	// is a few hundred bytes, so the default bound is ~<1 MB per session.
+	QueryHistorySize int
+	// SlowQueryThreshold, when > 0, logs one structured slog line (query
+	// id, normalized SQL, wall time, queue wait, peak memory, spilled
+	// bytes, status) for every query whose wall time reaches it. Off by
+	// default.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives slow-query records (nil = slog.Default()).
+	SlowQueryLog *slog.Logger
 }
 
 // Session owns a catalog and executes queries. Sessions are safe for
@@ -182,6 +198,10 @@ type Session struct {
 	qseq  atomic.Int64 // per-session query counter
 	cache *planCache   // nil when PlanCacheSize < 0
 	fp    string       // planner-config fingerprint, folded into cache keys
+
+	// rec is the query flight recorder (nil when QueryHistorySize < 0);
+	// all its methods are nil-safe.
+	rec *obs.Recorder
 }
 
 // NewSession creates a session with the given (optional) config.
@@ -205,8 +225,36 @@ func NewSession(cfg ...Config) *Session {
 		s.cache = newPlanCache(size)
 	}
 	s.fp = s.fingerprintConfig()
+	if c.QueryHistorySize >= 0 {
+		s.rec = obs.NewRecorder(c.QueryHistorySize)
+	}
+	s.registerSystemTables()
+	s.registerServingGauges()
 	return s
 }
+
+// registerServingGauges binds the serving-surface gauges sampled at scrape
+// time, so Prometheus and the photon_metrics system table agree with the
+// plan cache and flight recorder.
+func (s *Session) registerServingGauges() {
+	s.reg.GaugeFunc("photon_plan_cache_entries",
+		"Plan-cache entries (normalized query shapes) currently cached.",
+		func() int64 { return int64(s.PlanCacheLen()) })
+	s.reg.GaugeFunc("photon_query_history_size",
+		"Completed queries retained in the flight recorder's ring buffer.",
+		func() int64 { return int64(s.rec.Len()) })
+	s.reg.GaugeFunc("photon_active_queries",
+		"In-flight (submitted, unfinished) queries in the flight recorder.",
+		func() int64 { return int64(s.rec.ActiveCount()) })
+}
+
+// QueryHistory returns the flight recorder's retained records, oldest
+// first (empty when the recorder is disabled).
+func (s *Session) QueryHistory() []obs.QueryRecord { return s.rec.Records() }
+
+// ActiveQueries snapshots the in-flight queries (id, SQL, phase, live
+// rows/bytes progress), ordered by arrival.
+func (s *Session) ActiveQueries() []obs.ActiveInfo { return s.rec.Active() }
 
 // Metrics returns the session's observability registry (always non-nil):
 // live counters, gauges, and histograms covering scheduler slots, the

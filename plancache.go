@@ -36,8 +36,9 @@ const DefaultFastPathRows = 1 << 20
 // plan ready for driver.Run, plus the routing the compile phase decided.
 type boundQuery struct {
 	plan     sql.LogicalPlan
-	cached   bool // compile phase was served from the plan cache
-	fastPath bool // single-fragment small input: run inline on one slot
+	cached   bool   // compile phase was served from the plan cache
+	fastPath bool   // single-fragment small input: run inline on one slot
+	norm     string // normalized SQL ("" when the shape didn't normalize)
 }
 
 // planCacheEntry is one cached shape. cq == nil is a negative entry: the
@@ -217,6 +218,7 @@ func (s *Session) bindQuery(parse func() (*sql.SelectStmt, error)) (*boundQuery,
 			if bq, ok := s.bindCompiled(e.cq, raws); ok {
 				s.svc.CacheHits.Inc()
 				bq.cached = true
+				bq.norm = norm
 				return bq, nil
 			}
 			// The new values don't fit the compiled shape (a literal
@@ -229,7 +231,7 @@ func (s *Session) bindQuery(parse func() (*sql.SelectStmt, error)) (*boundQuery,
 		if perr != nil {
 			return nil, perr
 		}
-		return &boundQuery{plan: plan}, nil
+		return &boundQuery{plan: plan, norm: norm}, nil
 	} else if invalidated {
 		s.svc.CacheInvalidations.Inc()
 	}
@@ -247,10 +249,11 @@ func (s *Session) bindQuery(parse func() (*sql.SelectStmt, error)) (*boundQuery,
 			return nil, perr
 		}
 		s.noteEvictions(s.cache.insert(key, nil, gen))
-		return &boundQuery{plan: plan}, nil
+		return &boundQuery{plan: plan, norm: norm}, nil
 	}
 	s.noteEvictions(s.cache.insert(key, cq, gen))
 	if bq, ok := s.bindCompiled(cq, raws); ok {
+		bq.norm = norm
 		return bq, nil // a miss: this execution paid full compilation
 	}
 	// Binding the compile-time values back must succeed; degrade safely.
@@ -258,7 +261,7 @@ func (s *Session) bindQuery(parse func() (*sql.SelectStmt, error)) (*boundQuery,
 	if perr != nil {
 		return nil, perr
 	}
-	return &boundQuery{plan: plan}, nil
+	return &boundQuery{plan: plan, norm: norm}, nil
 }
 
 func (s *Session) noteEvictions(n int) {
@@ -336,7 +339,7 @@ func (ps *PreparedStatement) ExecuteStats(ctx context.Context, args ...any) (*Re
 	if len(args) != ps.nArgs {
 		return nil, nil, fmt.Errorf("photon: prepared statement has %d placeholders, got %d arguments", ps.nArgs, len(args))
 	}
-	return ps.sess.sqlStats(ctx, func() (*sql.SelectStmt, error) {
+	return ps.sess.sqlStats(ctx, ps.text, func() (*sql.SelectStmt, error) {
 		stmt, err := sql.Parse(ps.text)
 		if err != nil {
 			return nil, err

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,6 +61,9 @@ type QueryStats struct {
 	// FastPath reports that execution took the small-query fast path
 	// (inline single task, no stage planning or shuffle directory).
 	FastPath bool
+	// Rows is the result row count (0 when the query failed before
+	// producing a result).
+	Rows int64
 }
 
 // String renders a one-line lifecycle summary (same spirit as OpStats).
@@ -270,8 +275,13 @@ var sessionSeq atomic.Int64
 
 // runOptions builds the driver options shared by the plain and profiled
 // execution paths, so new knobs cannot silently diverge between them.
-func (s *Session) runOptions(qm *mem.Manager, rs *driver.RunStats, trace *obs.Trace, bq *boundQuery) driver.Options {
+func (s *Session) runOptions(qm *mem.Manager, rs *driver.RunStats, trace *obs.Trace, bq *boundQuery, aq *obs.ActiveQuery) driver.Options {
+	var progress func(rows, bytes int64)
+	if aq != nil {
+		progress = aq.Progress
+	}
 	return driver.Options{
+		Progress:          progress,
 		Parallelism:       s.cfg.Parallelism,
 		ShuffleDir:        s.cfg.SpillDir,
 		Mem:               qm,
@@ -303,25 +313,26 @@ func (s *Session) SQLContext(ctx context.Context, query string) (*Result, error)
 // statistics. Stats are valid (for the phases reached) even when the query
 // fails, is rejected, or is cancelled.
 func (s *Session) SQLContextStats(ctx context.Context, query string) (*Result, *QueryStats, error) {
-	return s.sqlStats(ctx, func() (*sql.SelectStmt, error) { return sql.Parse(query) })
+	return s.sqlStats(ctx, query, func() (*sql.SelectStmt, error) { return sql.Parse(query) })
 }
 
 // sqlStats is the shared execute phase behind SQLContextStats and
 // PreparedStatement.ExecuteStats: parse must return a pristine AST per
 // call (the compile phase may consume it more than once).
-func (s *Session) sqlStats(ctx context.Context, parse func() (*sql.SelectStmt, error)) (*Result, *QueryStats, error) {
+func (s *Session) sqlStats(ctx context.Context, text string, parse func() (*sql.SelectStmt, error)) (*Result, *QueryStats, error) {
 	stats := &QueryStats{}
 	var res *Result
-	err := s.runQuery(ctx, stats, parse, func(qctx context.Context, qm *mem.Manager, bq *boundQuery) error {
+	err := s.runQuery(ctx, text, stats, parse, func(qctx context.Context, qm *mem.Manager, bq *boundQuery, aq *obs.ActiveQuery) (*driver.RunStats, error) {
 		var rs driver.RunStats
-		rows, schema, err := driver.Run(qctx, bq.plan, s.runOptions(qm, &rs, nil, bq))
+		rows, schema, err := driver.Run(qctx, bq.plan, s.runOptions(qm, &rs, nil, bq, aq))
 		if err != nil {
-			return err
+			return &rs, err
 		}
 		stats.SlotsHeldPeak = rs.SlotsHeldPeak
 		stats.Stages = rs.Stages
+		stats.Rows = int64(len(rows))
 		res = &Result{Schema: schema, Rows: rows}
-		return nil
+		return &rs, nil
 	})
 	if err != nil {
 		return nil, stats, err
@@ -339,15 +350,16 @@ func (s *Session) SQLWithProfileContext(ctx context.Context, query string) (*Pro
 	stats := &QueryStats{}
 	trace := obs.NewTrace()
 	var p *Profile
-	err := s.runQuery(ctx, stats, func() (*sql.SelectStmt, error) { return sql.Parse(query) },
-		func(qctx context.Context, qm *mem.Manager, bq *boundQuery) error {
+	err := s.runQuery(ctx, query, stats, func() (*sql.SelectStmt, error) { return sql.Parse(query) },
+		func(qctx context.Context, qm *mem.Manager, bq *boundQuery, aq *obs.ActiveQuery) (*driver.RunStats, error) {
 			var rs driver.RunStats
-			rows, schema, err := driver.Run(qctx, bq.plan, s.runOptions(qm, &rs, trace, bq))
+			rows, schema, err := driver.Run(qctx, bq.plan, s.runOptions(qm, &rs, trace, bq, aq))
 			if err != nil {
-				return err
+				return &rs, err
 			}
 			stats.SlotsHeldPeak = rs.SlotsHeldPeak
 			stats.Stages = rs.Stages
+			stats.Rows = int64(len(rows))
 			if rs.Profile != nil {
 				rs.Profile.Cached = stats.Cached
 				rs.Profile.FastPath = stats.FastPath
@@ -363,7 +375,7 @@ func (s *Session) SQLWithProfileContext(ctx context.Context, query string) (*Pro
 			} else {
 				p.Operators = "(plan executed on the row engine)"
 			}
-			return nil
+			return &rs, nil
 		})
 	if err != nil {
 		return nil, err
@@ -384,10 +396,10 @@ func profiledOps(q *driver.QueryProfile) int {
 
 // runQuery drives the query lifecycle state machine around fn:
 // admission → compile+bind (plan cache) → running, with timeout, per-query
-// memory scope (released atomically), and stats recording on every exit
-// path.
-func (s *Session) runQuery(ctx context.Context, stats *QueryStats, parse func() (*sql.SelectStmt, error),
-	fn func(context.Context, *mem.Manager, *boundQuery) error) error {
+// memory scope (released atomically), and stats + flight-recorder
+// recording on every exit path.
+func (s *Session) runQuery(ctx context.Context, text string, stats *QueryStats, parse func() (*sql.SelectStmt, error),
+	fn func(context.Context, *mem.Manager, *boundQuery, *obs.ActiveQuery) (*driver.RunStats, error)) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -397,7 +409,9 @@ func (s *Session) runQuery(ctx context.Context, stats *QueryStats, parse func() 
 		defer cancel()
 	}
 
-	// State: queued.
+	// State: queued. The flight recorder tracks the query from submission;
+	// aq is nil (and every use no-ops) when the recorder is disabled.
+	aq := s.rec.Begin(text)
 	s.svc.Queries.Inc()
 	t0 := time.Now()
 	if err := s.gate.admit(ctx); err != nil {
@@ -405,20 +419,23 @@ func (s *Session) runQuery(ctx context.Context, stats *QueryStats, parse func() 
 		if errors.Is(err, ErrQueryRejected) {
 			s.svc.Rejected.Inc()
 		}
+		s.finishQuery(aq, nil, stats, nil, nil, time.Time{}, time.Time{}, err)
 		return err
 	}
 	// Admission released only after the memory quota is returned, so the
 	// gate's memory predicate sees up-to-date availability.
 	defer s.gate.release()
-	stats.Queued = time.Since(t0)
+	admitted := time.Now()
+	stats.Queued = admitted.Sub(t0)
 	s.svc.AdmitWaitMicros.Observe(stats.Queued.Microseconds())
 	s.svc.Admitted.Inc()
 
 	// State: planning — the compile phase (served bind-only on a plan-cache
 	// hit) followed by value binding.
-	t1 := time.Now()
+	aq.SetPhase(obs.PhasePlanning)
 	bq, err := s.bindQuery(parse)
-	stats.Planning = time.Since(t1)
+	planned := time.Now()
+	stats.Planning = planned.Sub(admitted)
 	if bq != nil && bq.cached {
 		s.svc.PlanMicrosHit.Observe(stats.Planning.Microseconds())
 	} else {
@@ -426,6 +443,7 @@ func (s *Session) runQuery(ctx context.Context, stats *QueryStats, parse func() 
 	}
 	if err != nil {
 		s.svc.Failed.Inc()
+		s.finishQuery(aq, bq, stats, nil, nil, admitted, planned, err)
 		return err
 	}
 	stats.Cached = bq.cached
@@ -433,23 +451,131 @@ func (s *Session) runQuery(ctx context.Context, stats *QueryStats, parse func() 
 	if bq.fastPath {
 		s.svc.FastPathQueries.Inc()
 	}
+	// Pin virtual-table scans (system tables) to a point-in-time snapshot:
+	// the bound plan is private, so leaf mutation cannot leak into the plan
+	// cache, and every task of this query sees identical data.
+	pinVirtualScans(bq.plan)
 
 	// State: running, inside a per-query memory scope. Close releases the
 	// query's whole remaining quota atomically — including after
 	// cancellation or failure.
+	aq.SetPhase(obs.PhaseRunning)
 	qm := s.mm.Child(fmt.Sprintf("s%dq%d", s.id, s.qseq.Add(1)))
 	defer func() {
 		stats.PeakReservedBytes = qm.PeakBytes()
 		qm.Close()
 	}()
-	t2 := time.Now()
-	err = fn(ctx, qm, bq)
-	stats.Running = time.Since(t2)
+	rs, err := fn(ctx, qm, bq, aq)
+	stats.Running = time.Since(planned)
 	s.svc.RunMicros.Observe(stats.Running.Microseconds())
 	if err != nil {
 		s.svc.Failed.Inc()
 	} else {
 		s.svc.Succeeded.Inc()
 	}
+	s.finishQuery(aq, bq, stats, rs, qm, admitted, planned, err)
 	return err
+}
+
+// queryStatus classifies a lifecycle exit for the flight record and the
+// labeled latency series.
+func queryStatus(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrQueryRejected):
+		return "rejected"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "cancelled"
+	default:
+		return "failed"
+	}
+}
+
+// finishQuery closes out one query on every lifecycle exit path: it files
+// the flight record (recorder write happens only here — never on the
+// per-batch hot path), feeds the {cached,fastpath,status}-labeled run-
+// latency histogram, and emits the slow-query log line when configured.
+// qm and rs are nil for queries that never reached execution.
+func (s *Session) finishQuery(aq *obs.ActiveQuery, bq *boundQuery, stats *QueryStats,
+	rs *driver.RunStats, qm *mem.Manager, admitted, planned time.Time, err error) {
+	status := queryStatus(err)
+	done := time.Now()
+
+	if status != "rejected" {
+		name := `photon_query_run_micros{cached="` + strconv.FormatBool(stats.Cached) +
+			`",fastpath="` + strconv.FormatBool(stats.FastPath) +
+			`",status="` + status + `"}`
+		s.reg.Histogram(name,
+			"Execution duration per query by plan-cache outcome, fast-path routing, and completion status (microseconds).").
+			Observe(stats.Running.Microseconds())
+	}
+
+	rec := obs.QueryRecord{
+		Admitted: admitted,
+		Planned:  planned,
+		Done:     done,
+		Status:   status,
+		Cached:   stats.Cached,
+		FastPath: stats.FastPath,
+		Rows:     stats.Rows,
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	if bq != nil && bq.norm != "" {
+		rec.SQL = bq.norm
+	}
+	if qm != nil {
+		rec.PeakMemBytes = qm.PeakBytes()
+		rec.SpilledBytes = qm.SpilledBytes
+	}
+	if rs != nil {
+		rec.SlotsHeldPeak = rs.SlotsHeldPeak
+		if p := rs.Profile; p != nil {
+			rec.Stages = make([]obs.StageSummary, 0, len(p.Stages))
+			for i := range p.Stages {
+				st := &p.Stages[i]
+				rec.ShuffleBytes += st.ShuffleBytes
+				rec.ShuffleRows += st.ShuffleRows
+				rec.Retries += st.Retries
+				rec.Speculated += st.Speculated
+				rec.Recovered += st.Recovered
+				var rows int64
+				if len(st.Ops) > 0 {
+					rows = st.Ops[0].RowsOut
+				}
+				rec.Stages = append(rec.Stages, obs.StageSummary{
+					ID: st.ID, Label: st.Label, Tasks: st.TasksRun,
+					WallMicros: st.WallNanos / 1000, Rows: rows,
+					ShuffleRows: st.ShuffleRows,
+				})
+			}
+		}
+	}
+	s.rec.End(aq, rec)
+
+	if thr := s.cfg.SlowQueryThreshold; thr > 0 && status != "rejected" {
+		wall := stats.Queued + stats.Planning + stats.Running
+		if wall >= thr {
+			lg := s.cfg.SlowQueryLog
+			if lg == nil {
+				lg = slog.Default()
+			}
+			sqlText := rec.SQL
+			if sqlText == "" {
+				sqlText = aq.SQL()
+			}
+			lg.Warn("photon slow query",
+				"query_id", aq.ID(),
+				"sql", sqlText,
+				"wall", wall,
+				"queue_wait", stats.Queued,
+				"peak_mem_bytes", rec.PeakMemBytes,
+				"spilled_bytes", rec.SpilledBytes,
+				"status", status)
+		}
+	}
 }
