@@ -1,0 +1,122 @@
+package driver
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"photon/internal/fault"
+	"photon/internal/tpch"
+)
+
+// TestDecimal64Equivalence is the correctness gate of the narrow-decimal
+// fast path: it is a pure execution-strategy choice, so every TPC-H query
+// must produce byte-identical results with the path forced on and off, at
+// parallelism 1 and 4 (exercising the narrow hash lanes and the int64 sum
+// accumulators through partial/final aggregation and shuffles).
+func TestDecimal64Equivalence(t *testing.T) {
+	cat := tpch.NewGen(0.002).Generate()
+	for _, q := range tpch.QueryNumbers() {
+		q := q
+		t.Run(fmt.Sprintf("Q%02d", q), func(t *testing.T) {
+			ref := render(runTPCH(t, cat, q, Options{
+				Parallelism: 1, ShuffleDir: t.TempDir(), DisableDecimal64: true,
+			}))
+			sort.Strings(ref)
+			variants := []struct {
+				name string
+				opts Options
+			}{
+				{"par1-dec64", Options{Parallelism: 1, ShuffleDir: t.TempDir()}},
+				{"par4-dec64", Options{Parallelism: 4, ShuffleDir: t.TempDir()}},
+				{"par4-dec128", Options{Parallelism: 4, ShuffleDir: t.TempDir(), DisableDecimal64: true}},
+				{"par4-shuffle-dec64", Options{Parallelism: 4, ShuffleDir: t.TempDir(), BroadcastRows: -1}},
+			}
+			for _, v := range variants {
+				got := render(runTPCH(t, cat, q, v.opts))
+				sort.Strings(got)
+				if !reflect.DeepEqual(ref, got) {
+					t.Fatalf("Q%d %s: %d rows != reference %d rows", q, v.name, len(got), len(ref))
+				}
+			}
+		})
+	}
+}
+
+// TestDecimal64EquivalenceUnderChaos re-checks the narrow path with
+// deterministic fault injection armed on the retry-covered distributed
+// sites: task re-runs restart int64 accumulators mid-query, and results
+// must still match the clean 128-bit reference.
+func TestDecimal64EquivalenceUnderChaos(t *testing.T) {
+	cat := tpch.NewGen(0.002).Generate()
+	refs := map[int][]string{}
+	for _, q := range []int{1, 3, 17} { // decimal-aggregation-heavy queries
+		ref := render(runTPCH(t, cat, q, Options{
+			Parallelism: 1, ShuffleDir: t.TempDir(), DisableDecimal64: true,
+		}))
+		sort.Strings(ref)
+		refs[q] = ref
+	}
+
+	r := fault.NewRegistry(29)
+	for _, s := range []fault.Site{fault.ShuffleWrite, fault.ShuffleRead, fault.BroadcastFetch, fault.TaskStart} {
+		r.Arm(s, fault.Policy{FailN: 1})
+	}
+	defer fault.Activate(r)()
+
+	for q, ref := range refs {
+		got := render(runTPCH(t, cat, q, Options{
+			Parallelism: 4,
+			ShuffleDir:  t.TempDir(),
+			Pool:        faultTolerantPool(4, 8),
+		}))
+		sort.Strings(got)
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("Q%d dec64 under chaos: %d rows != reference %d rows", q, len(got), len(ref))
+		}
+	}
+	if r.TotalFires() == 0 {
+		t.Error("chaos variant injected zero faults")
+	}
+}
+
+// TestDecimal64Profile: Q1 at sample scale stays entirely on the narrow
+// path, and the merged EXPLAIN ANALYZE stage lines say so.
+func TestDecimal64Profile(t *testing.T) {
+	cat := tpch.NewGen(0.002).Generate()
+	var rs RunStats
+	runTPCH(t, cat, 1, Options{
+		Parallelism: 4, ShuffleDir: t.TempDir(), Stats: &rs,
+	})
+	if rs.Profile == nil {
+		t.Fatal("missing profile")
+	}
+	var batches, escapes int64
+	for _, st := range rs.Profile.Stages {
+		batches += st.Dec64Batches
+		escapes += st.Dec64Escapes
+	}
+	if batches == 0 {
+		t.Errorf("Q1 reported no narrow-decimal batches\n%s", rs.Profile.Render())
+	}
+	if escapes != 0 {
+		t.Errorf("Q1 at sample scale escaped %d batches\n%s", escapes, rs.Profile.Render())
+	}
+	if !strings.Contains(rs.Profile.Render(), "dec64[batches=") {
+		t.Errorf("profile missing dec64[...] stage line:\n%s", rs.Profile.Render())
+	}
+
+	// With the knob off, the counters (and the profile line) must vanish.
+	var off RunStats
+	runTPCH(t, cat, 1, Options{
+		Parallelism: 4, ShuffleDir: t.TempDir(), Stats: &off, DisableDecimal64: true,
+	})
+	if off.Profile == nil {
+		t.Fatal("missing disabled-path profile")
+	}
+	if strings.Contains(off.Profile.Render(), "dec64[batches=") {
+		t.Errorf("disabled path still reports dec64 batches:\n%s", off.Profile.Render())
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"photon/internal/exec"
+	"photon/internal/expr"
 	"photon/internal/mem"
 	"photon/internal/obs"
 	"photon/internal/rf"
@@ -67,6 +68,11 @@ type Options struct {
 	// pre-probe row filtering). Filters are on by default and strictly
 	// semantics-free: disabling them never changes results, only speed.
 	DisableRuntimeFilters bool
+	// DisableDecimal64 turns off the adaptive narrow-decimal fast path
+	// (int64 decimal kernels with checked escape to 128-bit). On by
+	// default and strictly semantics-free: results are byte-identical
+	// either way, only speed changes.
+	DisableDecimal64 bool
 
 	// Progress, when non-nil, receives batch-boundary (rows, bytes) deltas
 	// from every running task — the live feed behind the session's in-flight
@@ -119,6 +125,7 @@ func (o *Options) newTaskCtx(ctx context.Context) *exec.TaskCtx {
 	tc.EnableCompaction = !o.DisableCompaction
 	tc.Expr.Adaptive = !o.DisableAdaptivity
 	tc.Expr.SharedVectors = o.SharedVectors
+	tc.Expr.Dec64 = !o.DisableDecimal64
 	return tc
 }
 
@@ -253,8 +260,9 @@ func runSingle(ctx context.Context, plan sql.LogicalPlan, opts Options) ([][]any
 	}
 	wall := time.Since(start)
 	notePoolMetrics(opts.Metrics, tc)
+	noteDec64Metrics(opts.Metrics, tc.Expr)
 	if opts.Stats != nil {
-		opts.Stats.Profile = singleProfile(root, wall)
+		opts.Stats.Profile = singleProfile(root, wall, tc.Expr)
 		opts.Stats.Transitions = ex.Transitions
 	}
 	if opts.Trace != nil {
@@ -276,6 +284,21 @@ func notePoolMetrics(reg *obs.Registry, tc *exec.TaskCtx) {
 		"Batch pool hits: Get served by a recycled batch.").Add(tc.Pool.Hits)
 	reg.Counter("photon_mem_pool_misses_total",
 		"Batch pool misses: Get allocated a fresh batch.").Add(tc.Pool.Misses)
+}
+
+// noteDec64Metrics folds a finished task's narrow-decimal dispatch counts
+// into the registry, split by the path each decimal batch took.
+func noteDec64Metrics(reg *obs.Registry, e *expr.Ctx) {
+	const help = "Decimal batches by execution path: int64 fast path (dec64), 128-bit kernels (dec128), or mid-batch overflow escape."
+	if e.Dec64Batches > 0 {
+		reg.Counter(`photon_decimal_fastpath_batches_total{path="dec64"}`, help).Add(e.Dec64Batches)
+	}
+	if e.Dec128Batches > 0 {
+		reg.Counter(`photon_decimal_fastpath_batches_total{path="dec128"}`, help).Add(e.Dec128Batches)
+	}
+	if e.Dec64Escapes > 0 {
+		reg.Counter(`photon_decimal_fastpath_batches_total{path="escape"}`, help).Add(e.Dec64Escapes)
+	}
 }
 
 // rfCounters are the runtime-filter observability handles (no-ops when the
@@ -355,6 +378,10 @@ type stageInfo struct {
 	pipeOps               int
 	pipeBatches, pipeRows int64
 
+	// Narrow-decimal dispatch across the stage's tasks: batches on the
+	// int64 fast path and mid-batch overflow escapes.
+	dec64Batches, dec64Escapes int64
+
 	// Commit-once guard: with speculative duplicates, exactly one attempt
 	// of each task may publish its output (atomic shuffle rename, gather
 	// results, profile accumulation). commitMu serializes the publish
@@ -404,6 +431,17 @@ func (si *stageInfo) notePipelines(infos []exec.PipelineInfo) {
 	}
 	si.pipeBatches += batches
 	si.pipeRows += rows
+}
+
+// noteDec64 folds one task's narrow-decimal dispatch tallies into the stage.
+func (si *stageInfo) noteDec64(e *expr.Ctx) {
+	if e.Dec64Batches == 0 && e.Dec64Escapes == 0 {
+		return
+	}
+	si.profMu.Lock()
+	si.dec64Batches += e.Dec64Batches
+	si.dec64Escapes += e.Dec64Escapes
+	si.profMu.Unlock()
 }
 
 // noteTask folds one completed task's snapshots and timing into the stage.
@@ -996,8 +1034,10 @@ func (j *stagedJob) runTask(ctx context.Context, si *stageInfo, taskID int, reco
 		}
 	}
 	notePoolMetrics(j.opts.Metrics, tc)
+	noteDec64Metrics(j.opts.Metrics, tc.Expr)
 	si.noteTask(snaps, start, end)
 	si.notePipelines(exec.CollectPipelines(root))
+	si.noteDec64(tc.Expr)
 	if tr := j.opts.Trace; tr != nil {
 		tid := tr.NextTID()
 		label := fmt.Sprintf("stage-%d/task-%d", f.ID, taskID)
@@ -1053,7 +1093,8 @@ func (j *stagedJob) buildProfile(root *catalyst.Fragment) *QueryProfile {
 			RFRowsPruned: si.rfScanRows,
 			PipelineOps:  si.pipeOps, PipelineBatches: si.pipeBatches,
 			PipelineRows: si.pipeRows,
-			Recovered:    si.recovered.Load(),
+			Dec64Batches: si.dec64Batches, Dec64Escapes: si.dec64Escapes,
+			Recovered: si.recovered.Load(),
 		}
 		{
 			st := si.stage.Stats()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"photon/internal/exec"
+	"photon/internal/expr"
 	"photon/internal/shuffle"
 )
 
@@ -81,6 +82,11 @@ type StageProfile struct {
 	// across all tasks. All zero when fusion is disabled or nothing fused.
 	PipelineOps                   int
 	PipelineBatches, PipelineRows int64
+
+	// Narrow-decimal execution: decimal batches dispatched to the int64
+	// fast path, and mid-batch overflow escapes back to the 128-bit
+	// kernels. Zero when the fast path is disabled or no decimal work ran.
+	Dec64Batches, Dec64Escapes int64
 
 	// Fault-tolerance activity: Recovered counts lineage re-runs of this
 	// stage's map tasks after corrupt/missing shuffle blocks; Speculated and
@@ -198,6 +204,10 @@ func (q *QueryProfile) Render() string {
 			fmt.Fprintf(&sb, " pipeline[ops=%d batches=%d rows=%d]",
 				st.PipelineOps, st.PipelineBatches, st.PipelineRows)
 		}
+		if st.Dec64Batches > 0 || st.Dec64Escapes > 0 {
+			fmt.Fprintf(&sb, " dec64[batches=%d escapes=%d]",
+				st.Dec64Batches, st.Dec64Escapes)
+		}
 		if st.Recovered > 0 {
 			fmt.Fprintf(&sb, " recovery[recovered=%d]", st.Recovered)
 		}
@@ -276,12 +286,13 @@ func (q *QueryProfile) RowsByName() map[string]int64 {
 
 // singleProfile wraps one task's operator tree as a one-stage profile so
 // single-task runs and distributed runs share the EXPLAIN ANALYZE surface.
-func singleProfile(root any, wall time.Duration) *QueryProfile {
+func singleProfile(root any, wall time.Duration, e *expr.Ctx) *QueryProfile {
 	ops := mergeSnapshots(nil, exec.SnapshotStats(root))
 	sp := StageProfile{
 		ID: 0, Label: "single-task", Out: "gather",
 		TasksPlanned: 1, TasksRun: 1,
 		WallNanos: int64(wall), Ops: ops,
+		Dec64Batches: e.Dec64Batches, Dec64Escapes: e.Dec64Escapes,
 	}
 	for _, pi := range exec.CollectPipelines(root) {
 		sp.PipelineOps += pi.Ops

@@ -54,6 +54,29 @@ type HashAggOp struct {
 	lists    []listState
 	listPool mem.Arena
 
+	// Narrow-decimal sum fast path: sumWide[k] is set once aggregate k's
+	// int64 accumulator has been abandoned for the table in sumWideT
+	// (overflow promotion, or a non-narrow input batch). The flags state
+	// an invariant over the table's current sums ("every decimal sum
+	// still fits int64"), so they reset whenever the target table changes
+	// — a fresh table (spill epoch, partition merge) holds zero states.
+	sumWide  []bool
+	sumWideT *ht.Table
+	// Fused-pass scratch: the count of decimal sum/avg aggregates, the
+	// per-aggregate handled mask, and the argument descriptors reused
+	// across batches by updateDecimalSums.
+	numDecSums int
+	aggHandled []bool
+	decSums    []decSumAgg
+	// Batch-local pre-aggregation scratch (dense per-group int64 sums and
+	// row counts, plus the list of groups touched this batch). Invariant:
+	// all-zero between batches — the flush resets only touched entries.
+	decAcc     []int64
+	decCnt     []int64
+	decTouched []int32
+	decSrcOf   []int // scratch column per pre-aggregated argument
+	decSrcAgg  []int // representative argument per distinct input source
+
 	// Scratch.
 	lanes    laneScratch
 	hashes   []uint64
@@ -266,6 +289,16 @@ func (op *HashAggOp) Open(tc *TaskCtx) error {
 	op.ensureScratch(tc.Pool.BatchSize())
 	op.keyVecs = make([]*vector.Vector, len(op.keyExprs))
 	op.keyOwned = make([]bool, len(op.keyExprs))
+	op.sumWide = make([]bool, len(op.infos))
+	op.sumWideT = nil
+	op.numDecSums = 0
+	for _, info := range op.infos {
+		if !info.spec.Distinct &&
+			(info.spec.Kind == expr.AggSum || info.spec.Kind == expr.AggAvg) &&
+			op.infoSumType(info).ID == types.Decimal {
+			op.numDecSums++
+		}
+	}
 	op.inputDone = false
 	op.globalInit = false
 	op.spilled = false

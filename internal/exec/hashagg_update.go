@@ -159,7 +159,14 @@ func u64Lanes(v *vector.Vector, sel []int32, n int, ls *laneScratch) []uint64 {
 	case types.Float64:
 		apply(sel, n, func(i int32) { out[i] = math.Float64bits(v.F64[i]) })
 	case types.Decimal:
-		apply(sel, n, func(i int32) { out[i] = v.Dec[i].Lo ^ uint64(v.Dec[i].Hi)*0x9e3779b97f4a7c15 })
+		// Narrow-marked vectors skip the 128-bit mix; the kernel produces
+		// bit-identical lanes for values that fit int64, so hash layouts
+		// (and spill partitioning) are unchanged either way.
+		if v.Dec64 == vector.Dec64All && sel == nil {
+			kernels.Dec64HashLanes(v.Dec, out, n)
+		} else {
+			apply(sel, n, func(i int32) { out[i] = v.Dec[i].Lo ^ uint64(v.Dec[i].Hi)*0x9e3779b97f4a7c15 })
+		}
 	}
 	return out
 }
@@ -194,13 +201,430 @@ func (op *HashAggOp) updateBatch(b *vector.Batch) error {
 		op.initState(op.tbl, 0)
 		op.globalInit = true
 	}
+	// Fused narrow-decimal sum pass: all decimal sum/avg aggregates update
+	// in one flat loop when the fast path is on (see updateDecimalSums).
+	handled, err := op.updateDecimalSums(b)
+	if err != nil {
+		return err
+	}
 	// Per-aggregate vectorized update loops.
-	for _, info := range op.infos {
-		if err := op.updateAgg(b, info, op.tbl, &op.lists); err != nil {
+	for k, info := range op.infos {
+		if handled != nil && handled[k] {
+			continue
+		}
+		if err := op.updateAgg(b, k, info, op.tbl, &op.lists); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// decSumAgg is one decimal sum/avg aggregate inside the fused update pass.
+// Narrow arguments arrive either as raw int64 lanes (lane != nil, produced
+// by expr.EvalDec64Lanes without the widen pass) or as canonical Decimal128
+// (dec, whose Lo limb IS the value while the aggregate stays narrow).
+type decSumAgg struct {
+	k        int
+	off      int
+	cntOff   int
+	dec      []types.Decimal128
+	lane     []int64
+	nulls    []byte
+	ovf      uint64
+	hn       bool
+	wide     bool
+	narrowIn bool
+	escaped  bool
+	av       *vector.Vector
+	owned    bool
+	lanesV   *vector.Vector
+}
+
+// preAggMaxGroups caps the dense pre-aggregation scratch: above this many
+// table rows the per-batch slab would outgrow the cache (and the memory),
+// so updates fall back to the direct per-row loop.
+const preAggMaxGroups = 1 << 16
+
+// updateDecimalSums runs every decimal sum/avg aggregate over the batch in
+// one fused pass. Narrow NULL-free aggregates against small tables take the
+// batch-local pre-aggregation route: per row, each argument lane is added
+// (overflow-tracked branch-free) into a dense per-group int64 scratch slab —
+// all of a group's partial sums share one cache line — and the hash-table
+// states are touched once per live group at flush time instead of once per
+// input row. This is where the narrow-decimal fast path pays off on
+// aggregation-heavy shapes (Q1: seven decimal accumulators per row): the
+// per-row closure dispatch, payload lookups, count read-modify-writes, and
+// canonical high-limb stores of the generic loops collapse into a handful of
+// adds per row. Overflow anywhere escapes to the 128-bit path with identical
+// results. Returns the per-aggregate handled mask, or nil when the pass does
+// not apply (fast path disabled, or no decimal sums).
+func (op *HashAggOp) updateDecimalSums(b *vector.Batch) ([]bool, error) {
+	ctx := op.tc.Expr
+	if !ctx.Dec64 || op.numDecSums == 0 {
+		return nil, nil
+	}
+	if op.aggHandled == nil {
+		op.aggHandled = make([]bool, len(op.infos))
+		op.decSums = make([]decSumAgg, 0, op.numDecSums)
+	}
+	clear(op.aggHandled)
+	op.decSums = op.decSums[:0]
+	wide := op.sumWideFor(op.tbl)
+	release := ctx.Dec64CacheScope(b.Sel, b.NumRows)
+	defer release()
+	for k, info := range op.infos {
+		if info.spec.Distinct ||
+			(info.spec.Kind != expr.AggSum && info.spec.Kind != expr.AggAvg) ||
+			op.infoSumType(info).ID != types.Decimal {
+			continue
+		}
+		ag := decSumAgg{k: k, off: info.off, cntOff: info.off + info.width - 8}
+		if !wide[k] {
+			lv, ok, err := ctx.EvalDec64Lanes(info.spec.Arg, b)
+			if err != nil {
+				op.putDecSumArgs(ctx)
+				return nil, err
+			}
+			if ok {
+				ag.lane, ag.nulls, ag.hn = lv.I64, lv.Nulls, lv.HasNulls()
+				ag.lanesV, ag.narrowIn = lv, true
+				op.decSums = append(op.decSums, ag)
+				op.aggHandled[k] = true
+				continue
+			}
+		}
+		av, owned, err := evalChildExpr(ctx, info.spec.Arg, b)
+		if err != nil {
+			op.putDecSumArgs(ctx)
+			return nil, err
+		}
+		if !wide[k] && !ctx.Dec64Qualified(av, b.Sel, b.NumRows) {
+			wide[k] = true
+			ctx.Dec128Batches++
+		}
+		ag.dec, ag.nulls, ag.hn = av.Dec, av.Nulls, av.HasNulls()
+		ag.av, ag.owned = av, owned
+		ag.wide, ag.narrowIn = wide[k], !wide[k]
+		op.decSums = append(op.decSums, ag)
+		op.aggHandled[k] = true
+	}
+
+	// Partition: narrow NULL-free aggregates pre-aggregate per group; the
+	// rest (wide, or NULL-bearing input) update states per row. The dense
+	// route only pays when batches concentrate many rows onto few groups
+	// (Q1: four groups): near one row per group per batch (Q17's per-part
+	// averages), the flush+reset pass would double the work, so high
+	// group counts fall back to the direct loop.
+	args := op.decSums
+	nPre := 0
+	if g := op.tbl.NumRows(); g <= preAggMaxGroups && g*4 <= b.NumActive() {
+		for a := range args {
+			if !args[a].wide && !args[a].hn {
+				args[nPre], args[a] = args[a], args[nPre]
+				nPre++
+			}
+		}
+	}
+	slab, keyOff, stride := op.tbl.PayloadSlab()
+	if nPre > 0 {
+		op.preAggDecimalSums(args[:nPre], b, slab, keyOff, stride)
+	}
+	if direct := args[nPre:]; len(direct) > 0 {
+		rowIDs := op.rowIDs
+		if b.Sel == nil {
+			for i := 0; i < b.NumRows; i++ {
+				base := int(rowIDs[i])*stride + keyOff
+				fusedSumRow(direct, slab, base, i)
+			}
+		} else {
+			for _, i := range b.Sel {
+				base := int(rowIDs[i])*stride + keyOff
+				fusedSumRow(direct, slab, base, int(i))
+			}
+		}
+	}
+
+	for a := range args {
+		ag := &args[a]
+		wide[ag.k] = ag.wide
+		if ag.narrowIn {
+			if ag.escaped {
+				ctx.Dec64Escapes++
+			} else {
+				ctx.Dec64Batches++
+			}
+		}
+		if ag.owned {
+			ctx.Put(ag.av)
+		}
+		if ag.lanesV != nil {
+			ctx.Put(ag.lanesV)
+		}
+		ag.av, ag.lanesV, ag.dec, ag.lane, ag.nulls = nil, nil, nil, nil, nil
+	}
+	return op.aggHandled, nil
+}
+
+// putDecSumArgs releases argument vectors collected so far (error unwind).
+func (op *HashAggOp) putDecSumArgs(ctx *expr.Ctx) {
+	for i := range op.decSums {
+		if op.decSums[i].owned {
+			ctx.Put(op.decSums[i].av)
+		}
+		if op.decSums[i].lanesV != nil {
+			ctx.Put(op.decSums[i].lanesV)
+		}
+	}
+}
+
+// preAggDecimalSums is the batch-local pre-aggregation route for narrow
+// NULL-free decimal sums: accumulate each aggregate into a dense per-group
+// scratch column (groups × aggregates, one cache line per group), then fold
+// the scratch into the hash-table states once per touched group. Overflow of
+// a scratch accumulator replays that aggregate's batch through the 128-bit
+// per-row adds; overflow folding a group total into its state promotes the
+// aggregate for the rest of the table epoch. Either way results are
+// identical — only the representation path changes.
+func (op *HashAggOp) preAggDecimalSums(pre []decSumAgg, b *vector.Batch, slab []byte, keyOff, stride int) {
+	// Distinct input sources: aggregates reading the same input (Q1's
+	// sum+avg pairs over one column) share a scratch column, accumulated
+	// once and folded into each member's state.
+	srcOf := op.decSrcOf[:0]
+	srcAgg := op.decSrcAgg[:0]
+	for a := range pre {
+		s := -1
+		for j, c := range srcAgg {
+			if sameDecSrc(&pre[a], &pre[c]) {
+				s = j
+				break
+			}
+		}
+		if s < 0 {
+			s = len(srcAgg)
+			srcAgg = append(srcAgg, a)
+		}
+		srcOf = append(srcOf, s)
+	}
+	op.decSrcOf, op.decSrcAgg = srcOf, srcAgg
+	nS := len(srcAgg)
+
+	rows := op.tbl.NumRows()
+	if need := rows * nS; cap(op.decAcc) < need {
+		op.decAcc = make([]int64, need)
+	}
+	if cap(op.decCnt) < rows {
+		op.decCnt = make([]int64, rows)
+	}
+	acc := op.decAcc[:rows*nS]
+	cnt := op.decCnt[:rows]
+	touched := op.decTouched[:0]
+	rowIDs := op.rowIDs
+
+	// Pass 1: per-group batch row counts and the touched-group list.
+	if b.Sel == nil {
+		for i := 0; i < b.NumRows; i++ {
+			rid := rowIDs[i]
+			if cnt[rid] == 0 {
+				touched = append(touched, rid)
+			}
+			cnt[rid]++
+		}
+	} else {
+		for _, i := range b.Sel {
+			rid := rowIDs[i]
+			if cnt[rid] == 0 {
+				touched = append(touched, rid)
+			}
+			cnt[rid]++
+		}
+	}
+	op.decTouched = touched
+
+	// Pass 2: one tight accumulation loop per distinct source, overflow
+	// tracked in a register rather than a per-row store to the descriptor.
+	for s, ca := range srcAgg {
+		ag := &pre[ca]
+		var ovf uint64
+		if lane := ag.lane; lane != nil {
+			if b.Sel == nil {
+				for i, x := range lane[:b.NumRows] {
+					idx := int(rowIDs[i])*nS + s
+					v := acc[idx]
+					r := v + x
+					ovf |= uint64((v ^ r) & (x ^ r))
+					acc[idx] = r
+				}
+			} else {
+				for _, i := range b.Sel {
+					idx := int(rowIDs[i])*nS + s
+					v := acc[idx]
+					x := lane[i]
+					r := v + x
+					ovf |= uint64((v ^ r) & (x ^ r))
+					acc[idx] = r
+				}
+			}
+		} else {
+			dec := ag.dec
+			if b.Sel == nil {
+				for i := 0; i < b.NumRows; i++ {
+					idx := int(rowIDs[i])*nS + s
+					v := acc[idx]
+					x := int64(dec[i].Lo)
+					r := v + x
+					ovf |= uint64((v ^ r) & (x ^ r))
+					acc[idx] = r
+				}
+			} else {
+				for _, i := range b.Sel {
+					idx := int(rowIDs[i])*nS + s
+					v := acc[idx]
+					x := int64(dec[i].Lo)
+					r := v + x
+					ovf |= uint64((v ^ r) & (x ^ r))
+					acc[idx] = r
+				}
+			}
+		}
+		ag.ovf = ovf
+	}
+	for a := range pre {
+		pre[a].ovf = pre[srcAgg[srcOf[a]]].ovf
+	}
+
+	for a := range pre {
+		ag := &pre[a]
+		if ag.ovf>>63 != 0 {
+			// Scratch accumulator wrapped: the batch-local totals are
+			// unusable for this aggregate, so replay its rows in 128-bit.
+			ag.ovf = 0
+			ag.wide, ag.escaped = true, true
+			op.replayWideSum(ag, b, slab, keyOff, stride)
+			continue
+		}
+		col := srcOf[a]
+		for _, rid := range touched {
+			v := acc[int(rid)*nS+col]
+			c := cnt[rid]
+			base := int(rid)*stride + keyOff
+			st := slab[base+ag.off:]
+			if !ag.wide {
+				s := int64(binary.LittleEndian.Uint64(st))
+				r := s + v
+				if (s^r)&(v^r) >= 0 {
+					binary.LittleEndian.PutUint64(st, uint64(r))
+					binary.LittleEndian.PutUint64(st[8:], uint64(r>>63))
+					cs := slab[base+ag.cntOff:]
+					binary.LittleEndian.PutUint64(cs, binary.LittleEndian.Uint64(cs)+uint64(c))
+					continue
+				}
+				// State overflow: the epoch's sums no longer fit int64.
+				ag.wide, ag.escaped = true, true
+			}
+			cur := types.Decimal128{
+				Lo: binary.LittleEndian.Uint64(st),
+				Hi: int64(binary.LittleEndian.Uint64(st[8:])),
+			}
+			cur = cur.Add(types.SignExtend64(v))
+			binary.LittleEndian.PutUint64(st, cur.Lo)
+			binary.LittleEndian.PutUint64(st[8:], uint64(cur.Hi))
+			cs := slab[base+ag.cntOff:]
+			binary.LittleEndian.PutUint64(cs, binary.LittleEndian.Uint64(cs)+uint64(c))
+		}
+	}
+
+	// Restore the all-zero scratch invariant for the next batch.
+	for _, rid := range touched {
+		cnt[rid] = 0
+		base := int(rid) * nS
+		for s := 0; s < nS; s++ {
+			acc[base+s] = 0
+		}
+	}
+}
+
+// sameDecSrc reports whether two pre-aggregated arguments read the same
+// input — pointer-identical lane or decimal storage — so they can share one
+// scratch column.
+func sameDecSrc(x, y *decSumAgg) bool {
+	if x.lane != nil || y.lane != nil {
+		return x.lane != nil && y.lane != nil && &x.lane[0] == &y.lane[0]
+	}
+	return &x.dec[0] == &y.dec[0]
+}
+
+// replayWideSum folds one aggregate's whole batch into its states through
+// the 128-bit adds (pre-aggregation escape path; inputs are NULL-free).
+func (op *HashAggOp) replayWideSum(ag *decSumAgg, b *vector.Batch, slab []byte, keyOff, stride int) {
+	rowIDs := op.rowIDs
+	apply(b.Sel, b.NumRows, func(i int32) {
+		base := int(rowIDs[i])*stride + keyOff
+		st := slab[base+ag.off:]
+		var x types.Decimal128
+		if ag.lane != nil {
+			x = types.SignExtend64(ag.lane[i])
+		} else {
+			x = ag.dec[i]
+		}
+		cur := types.Decimal128{
+			Lo: binary.LittleEndian.Uint64(st),
+			Hi: int64(binary.LittleEndian.Uint64(st[8:])),
+		}
+		cur = cur.Add(x)
+		binary.LittleEndian.PutUint64(st, cur.Lo)
+		binary.LittleEndian.PutUint64(st[8:], uint64(cur.Hi))
+		cs := slab[base+ag.cntOff:]
+		binary.LittleEndian.PutUint64(cs, binary.LittleEndian.Uint64(cs)+1)
+	})
+}
+
+// fusedSumRow folds input row i into every decimal sum state of its group's
+// payload row (starting at slab[base]). States stay canonical Decimal128 —
+// the narrow store writes the sign-extended high limb too, so spill, emit,
+// and merge readers never see a second format.
+func fusedSumRow(args []decSumAgg, slab []byte, base, i int) {
+	for a := range args {
+		ag := &args[a]
+		if ag.hn && ag.nulls[i] != 0 {
+			continue
+		}
+		st := slab[base+ag.off:]
+		if !ag.wide {
+			s := int64(binary.LittleEndian.Uint64(st))
+			var x int64
+			if ag.lane != nil {
+				x = ag.lane[i]
+			} else {
+				x = int64(ag.dec[i].Lo)
+			}
+			r := s + x
+			if (s^r)&(x^r) >= 0 {
+				binary.LittleEndian.PutUint64(st, uint64(r))
+				binary.LittleEndian.PutUint64(st[8:], uint64(r>>63))
+				cnt := slab[base+ag.cntOff:]
+				binary.LittleEndian.PutUint64(cnt, binary.LittleEndian.Uint64(cnt)+1)
+				continue
+			}
+			// Overflow: promote this aggregate to 128-bit mid-row.
+			ag.wide = true
+			ag.escaped = true
+		}
+		var x types.Decimal128
+		if ag.lane != nil {
+			x = types.SignExtend64(ag.lane[i])
+		} else {
+			x = ag.dec[i]
+		}
+		cur := types.Decimal128{
+			Lo: binary.LittleEndian.Uint64(st),
+			Hi: int64(binary.LittleEndian.Uint64(st[8:])),
+		}
+		cur = cur.Add(x)
+		binary.LittleEndian.PutUint64(st, cur.Lo)
+		binary.LittleEndian.PutUint64(st[8:], uint64(cur.Hi))
+		cnt := slab[base+ag.cntOff:]
+		binary.LittleEndian.PutUint64(cnt, binary.LittleEndian.Uint64(cnt)+1)
+	}
 }
 
 // initState zeroes a new group's payload and allocates list states.
@@ -235,8 +659,9 @@ func (op *HashAggOp) listsFor(tbl *ht.Table) []listState {
 	return op.partLists
 }
 
-// updateAgg runs one aggregate's update loop over the batch.
-func (op *HashAggOp) updateAgg(b *vector.Batch, info aggInfo, tbl *ht.Table, lists *[]listState) error {
+// updateAgg runs one aggregate's update loop over the batch. k is the
+// aggregate's position in op.infos (indexes the narrow-sum flags).
+func (op *HashAggOp) updateAgg(b *vector.Batch, k int, info aggInfo, tbl *ht.Table, lists *[]listState) error {
 	var av *vector.Vector
 	var owned bool
 	if info.spec.Arg != nil {
@@ -272,7 +697,7 @@ func (op *HashAggOp) updateAgg(b *vector.Batch, info aggInfo, tbl *ht.Table, lis
 			binary.LittleEndian.PutUint64(st, binary.LittleEndian.Uint64(st)+1)
 		})
 	case info.spec.Kind == expr.AggSum || info.spec.Kind == expr.AggAvg:
-		op.updateSum(b, info, av, hn, tbl, 1)
+		op.updateSum(b, k, info, av, hn, tbl, 1)
 	case info.spec.Kind == expr.AggMin:
 		op.updateMinMax(b, info, av, hn, tbl, true)
 	case info.spec.Kind == expr.AggMax:
@@ -293,19 +718,61 @@ func (op *HashAggOp) updateAgg(b *vector.Batch, info aggInfo, tbl *ht.Table, lis
 	return nil
 }
 
+// sumWideFor returns the per-aggregate wide flags valid for tbl, resetting
+// them when the target table changes (a fresh table — new spill epoch or
+// partition merge — holds all-zero sums, so the narrow path is safe again).
+// Flags start wide when the fast path is disabled.
+func (op *HashAggOp) sumWideFor(tbl *ht.Table) []bool {
+	if op.sumWideT != tbl {
+		op.sumWideT = tbl
+		wide := !op.tc.Expr.Dec64
+		for k := range op.sumWide {
+			op.sumWide[k] = wide
+		}
+	}
+	return op.sumWide
+}
+
 // updateSum accumulates sums (weight = per-row count contribution, which is
 // 1 for raw input and the partial count when merging).
-func (op *HashAggOp) updateSum(b *vector.Batch, info aggInfo, av *vector.Vector, hn bool, tbl *ht.Table, weight int64) {
+func (op *HashAggOp) updateSum(b *vector.Batch, k int, info aggInfo, av *vector.Vector, hn bool, tbl *ht.Table, weight int64) {
 	sumT := op.infoSumType(info)
 	cntOff := info.off + info.width - 8
 	switch sumT.ID {
 	case types.Decimal:
+		ctx := op.tc.Expr
+		wide := op.sumWideFor(tbl)
+		if !wide[k] && !ctx.Dec64Qualified(av, b.Sel, b.NumRows) {
+			// Input not provably narrow: values may push sums past int64
+			// undetected, so promote this aggregate's accumulator for good.
+			wide[k] = true
+			ctx.Dec128Batches++
+		}
+		narrowIn := !wide[k]
+		escaped := false
 		apply(b.Sel, b.NumRows, func(i int32) {
 			if hn && av.Nulls[i] != 0 {
 				return
 			}
 			p := tbl.PayloadBytes(op.rowIDs[i])
 			st := p[info.off:]
+			if !wide[k] {
+				// int64 accumulator. The state stays canonical Decimal128
+				// (lo plus sign-extended hi, one extra store) so the
+				// spill/emit/merge readers never see a second format.
+				s := int64(binary.LittleEndian.Uint64(st))
+				x := int64(av.Dec[i].Lo)
+				r := s + x
+				if (s^r)&(x^r) >= 0 {
+					binary.LittleEndian.PutUint64(st, uint64(r))
+					binary.LittleEndian.PutUint64(st[8:], uint64(r>>63))
+					binary.LittleEndian.PutUint64(p[cntOff:], binary.LittleEndian.Uint64(p[cntOff:])+uint64(weight))
+					return
+				}
+				// Overflow: finish the batch (and table epoch) in 128-bit.
+				wide[k] = true
+				escaped = true
+			}
 			cur := types.Decimal128{
 				Lo: binary.LittleEndian.Uint64(st),
 				Hi: int64(binary.LittleEndian.Uint64(st[8:])),
@@ -315,6 +782,13 @@ func (op *HashAggOp) updateSum(b *vector.Batch, info aggInfo, av *vector.Vector,
 			binary.LittleEndian.PutUint64(st[8:], uint64(cur.Hi))
 			binary.LittleEndian.PutUint64(p[cntOff:], binary.LittleEndian.Uint64(p[cntOff:])+uint64(weight))
 		})
+		if narrowIn {
+			if escaped {
+				ctx.Dec64Escapes++
+			} else {
+				ctx.Dec64Batches++
+			}
+		}
 	case types.Float64:
 		apply(b.Sel, b.NumRows, func(i int32) {
 			if hn && av.Nulls[i] != 0 {
@@ -516,7 +990,7 @@ func (op *HashAggOp) mergeBatch(b *vector.Batch, tbl *ht.Table, lists *[]listSta
 	}
 
 	col := len(op.keyTypes)
-	for _, info := range op.infos {
+	for k, info := range op.infos {
 		switch {
 		case info.spec.Distinct:
 			blob := b.Vecs[col]
@@ -554,29 +1028,24 @@ func (op *HashAggOp) mergeBatch(b *vector.Batch, tbl *ht.Table, lists *[]listSta
 			sumV, cntV := b.Vecs[col], b.Vecs[col+1]
 			cntOff := info.off + info.width - 8
 			sumT := op.infoSumType(info)
-			apply(b.Sel, n, func(i int32) {
-				if sumV.Nulls[i] != 0 {
-					return
-				}
-				p := tbl.PayloadBytes(op.rowIDs[i])
-				st := p[info.off:]
-				switch sumT.ID {
-				case types.Decimal:
-					cur := types.Decimal128{
-						Lo: binary.LittleEndian.Uint64(st),
-						Hi: int64(binary.LittleEndian.Uint64(st[8:])),
+			if sumT.ID == types.Decimal {
+				op.mergeDecimalSum(b, k, info, sumV, cntV, cntOff, tbl)
+			} else {
+				apply(b.Sel, n, func(i int32) {
+					if sumV.Nulls[i] != 0 {
+						return
 					}
-					cur = cur.Add(sumV.Dec[i])
-					binary.LittleEndian.PutUint64(st, cur.Lo)
-					binary.LittleEndian.PutUint64(st[8:], uint64(cur.Hi))
-				case types.Float64:
-					cur := math.Float64frombits(binary.LittleEndian.Uint64(st))
-					binary.LittleEndian.PutUint64(st, math.Float64bits(cur+sumV.F64[i]))
-				default:
-					binary.LittleEndian.PutUint64(st, binary.LittleEndian.Uint64(st)+uint64(sumV.I64[i]))
-				}
-				binary.LittleEndian.PutUint64(p[cntOff:], binary.LittleEndian.Uint64(p[cntOff:])+uint64(cntV.I64[i]))
-			})
+					p := tbl.PayloadBytes(op.rowIDs[i])
+					st := p[info.off:]
+					if sumT.ID == types.Float64 {
+						cur := math.Float64frombits(binary.LittleEndian.Uint64(st))
+						binary.LittleEndian.PutUint64(st, math.Float64bits(cur+sumV.F64[i]))
+					} else {
+						binary.LittleEndian.PutUint64(st, binary.LittleEndian.Uint64(st)+uint64(sumV.I64[i]))
+					}
+					binary.LittleEndian.PutUint64(p[cntOff:], binary.LittleEndian.Uint64(p[cntOff:])+uint64(cntV.I64[i]))
+				})
+			}
 			col += 2
 		default: // min/max merge
 			val := b.Vecs[col]
@@ -602,6 +1071,56 @@ func (op *HashAggOp) mergeBatch(b *vector.Batch, tbl *ht.Table, lists *[]listSta
 		return op.reserveDelta()
 	}
 	return nil
+}
+
+// mergeDecimalSum folds partial decimal sums into tbl, using the int64
+// accumulator while every state and input still fits. Partial batches come
+// out of serde readers and shuffles whose buffers are reused, so the input
+// is checked directly each batch instead of through the metadata cache.
+func (op *HashAggOp) mergeDecimalSum(b *vector.Batch, k int, info aggInfo, sumV, cntV *vector.Vector, cntOff int, tbl *ht.Table) {
+	ctx := op.tc.Expr
+	wide := op.sumWideFor(tbl)
+	if !wide[k] && !kernels.Dec64CheckV(sumV.Dec, sumV.Nulls, sumV.HasNulls(), b.Sel, b.NumRows) {
+		wide[k] = true
+		ctx.Dec128Batches++
+	}
+	narrowIn := !wide[k]
+	escaped := false
+	apply(b.Sel, b.NumRows, func(i int32) {
+		if sumV.Nulls[i] != 0 {
+			return
+		}
+		p := tbl.PayloadBytes(op.rowIDs[i])
+		st := p[info.off:]
+		if !wide[k] {
+			s := int64(binary.LittleEndian.Uint64(st))
+			x := int64(sumV.Dec[i].Lo)
+			r := s + x
+			if (s^r)&(x^r) >= 0 {
+				binary.LittleEndian.PutUint64(st, uint64(r))
+				binary.LittleEndian.PutUint64(st[8:], uint64(r>>63))
+				binary.LittleEndian.PutUint64(p[cntOff:], binary.LittleEndian.Uint64(p[cntOff:])+uint64(cntV.I64[i]))
+				return
+			}
+			wide[k] = true
+			escaped = true
+		}
+		cur := types.Decimal128{
+			Lo: binary.LittleEndian.Uint64(st),
+			Hi: int64(binary.LittleEndian.Uint64(st[8:])),
+		}
+		cur = cur.Add(sumV.Dec[i])
+		binary.LittleEndian.PutUint64(st, cur.Lo)
+		binary.LittleEndian.PutUint64(st[8:], uint64(cur.Hi))
+		binary.LittleEndian.PutUint64(p[cntOff:], binary.LittleEndian.Uint64(p[cntOff:])+uint64(cntV.I64[i]))
+	})
+	if narrowIn {
+		if escaped {
+			ctx.Dec64Escapes++
+		} else {
+			ctx.Dec64Batches++
+		}
+	}
 }
 
 // initStateIn initializes a group's payload in the given table/lists pair.

@@ -246,8 +246,26 @@ func modVV[T kernels.Numeric](a, b, outVals []T, out *vector.Vector, sel []int32
 	return nil
 }
 
-// evalDecimal handles decimal arithmetic with scale alignment.
+// evalDecimal handles decimal arithmetic with scale alignment. The narrow
+// (int64) attempt runs first; on a miss or overflow escape the 128-bit
+// kernels below produce the identical result.
 func (a *Arith) evalDecimal(ctx *Ctx, b *vector.Batch) (*vector.Vector, error) {
+	if ctx.Dec64 {
+		out, st, err := a.evalDec64(ctx, b)
+		if err != nil {
+			return nil, err
+		}
+		switch st {
+		case dec64Hit:
+			ctx.Dec64Batches++
+			return out, nil
+		case dec64Escape:
+			ctx.Dec64Escapes++
+		default:
+			ctx.Dec128Batches++
+		}
+	}
+
 	lt, rt := a.Left.Type(), a.Right.Type()
 	out := ctx.Get(a.out)
 	n := b.NumRows
@@ -322,26 +340,9 @@ func (a *Arith) evalDecimal(ctx *Ctx, b *vector.Batch) (*vector.Vector, error) {
 		kernels.DecMulVV(lv.Dec, rv.Dec, out.Dec, sel, n)
 	case OpDiv:
 		// result = a * 10^(outScale - s1 + s2) / b, truncating division.
-		shift := a.out.Scale - lt.Scale + rt.Scale
-		mul := types.Pow10(shift)
-		body := func(i int32) {
-			if out.Nulls[i] != 0 {
-				return
-			}
-			if rv.Dec[i].IsZero() {
-				out.SetNull(int(i))
-				return
-			}
-			out.Dec[i] = lv.Dec[i].Mul(mul).Div(rv.Dec[i])
-		}
-		if sel == nil {
-			for i := 0; i < n; i++ {
-				body(int32(i))
-			}
-		} else {
-			for _, i := range sel {
-				body(i)
-			}
+		mul := types.Pow10(a.out.Scale - lt.Scale + rt.Scale)
+		if kernels.DecDivVV(lv.Dec, rv.Dec, mul, out.Dec, out.Nulls, sel, n) {
+			out.SetHasNulls(true)
 		}
 	default:
 		ctx.Put(out)

@@ -140,7 +140,23 @@ func (c *Cast) Eval(ctx *Ctx, b *vector.Batch) (*vector.Vector, error) {
 	case types.Decimal:
 		switch c.To.ID {
 		case types.Decimal:
-			kernels.DecRescaleV(iv.Dec, out.Dec, from.Scale, c.To.Scale, sel, n)
+			rescaled := false
+			if ctx.Dec64 {
+				if ctx.dec64Qualified(iv, sel, n) {
+					if kernels.Dec64RescaleDecV(iv.Dec, out.Dec, from.Scale, c.To.Scale, iv.Nulls, hn, sel, n) {
+						out.Dec64 = vector.Dec64All
+						ctx.Dec64Batches++
+						rescaled = true
+					} else {
+						ctx.Dec64Escapes++
+					}
+				} else {
+					ctx.Dec128Batches++
+				}
+			}
+			if !rescaled {
+				kernels.DecRescaleV(iv.Dec, out.Dec, from.Scale, c.To.Scale, sel, n)
+			}
 		case types.Float64:
 			div := types.Pow10(from.Scale).ToFloat64()
 			apply(sel, n, func(i int32) { out.F64[i] = iv.Dec[i].ToFloat64() / div })

@@ -97,7 +97,14 @@ func (c *Cmp) EvalSel(ctx *Ctx, b *vector.Batch, out []int32) ([]int32, error) {
 		case types.String:
 			return kernels.SelCmpBytesVS(op, lv.Str, lit.Bytes(), lv.Nulls, hn, sel, n, out), nil
 		case types.Decimal:
-			return kernels.SelCmpDecVS(op, lv.Dec, lit.Dec(lv.Type.Scale), lv.Nulls, hn, sel, n, out), nil
+			// Narrow fast path: compare int64 lanes directly when the
+			// vector and the constant both fit (no escape needed — NULL
+			// rows never match and active rows are narrow by contract).
+			c := lit.Dec(lv.Type.Scale)
+			if ctx.Dec64 && types.Fits64(c) && ctx.dec64Qualified(lv, sel, n) {
+				return kernels.SelCmpDec64VS(op, lv.Dec, c.ToInt64(), lv.Nulls, hn, sel, n, out), nil
+			}
+			return kernels.SelCmpDecVS(op, lv.Dec, c, lv.Nulls, hn, sel, n, out), nil
 		case types.Bool:
 			want := byte(0)
 			if lit.Val.(bool) {
@@ -147,6 +154,11 @@ func (c *Cmp) EvalSel(ctx *Ctx, b *vector.Batch, out []int32) ([]int32, error) {
 	case types.String:
 		return kernels.SelCmpBytesVV(vop, a.Str, bb.Str, a.Nulls, bb.Nulls, hn, sel, n, out), nil
 	case types.Decimal:
+		// Narrow fast path when scales already agree and both sides fit.
+		if ctx.Dec64 && a.Type.Scale == bb.Type.Scale &&
+			ctx.dec64Qualified(a, sel, n) && ctx.dec64Qualified(bb, sel, n) {
+			return kernels.SelCmpDec64VV(vop, a.Dec, bb.Dec, a.Nulls, bb.Nulls, hn, sel, n, out), nil
+		}
 		// Align scales before comparing.
 		if a.Type.Scale != bb.Type.Scale {
 			s := max(a.Type.Scale, bb.Type.Scale)

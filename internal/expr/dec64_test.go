@@ -1,0 +1,134 @@
+package expr
+
+import (
+	"reflect"
+	"testing"
+
+	"photon/internal/types"
+	"photon/internal/vector"
+)
+
+// evalDec64Both evaluates build(schema) over the same rows with the narrow
+// decimal path on and off, asserts the active rows are identical, and
+// returns the narrow-path context for counter assertions.
+func evalDec64Both(t *testing.T, schema *types.Schema, rows [][]any, sel []int32, build func(s *types.Schema) Expr) *Ctx {
+	t.Helper()
+	var narrowCtx *Ctx
+	var got [2][]any
+	for pass, dec64 := range []bool{true, false} {
+		ctx := NewCtx(64)
+		ctx.Dec64 = dec64
+		if dec64 {
+			narrowCtx = ctx
+		}
+		b := vector.NewBatch(schema, 64)
+		for _, r := range rows {
+			b.AppendRow(r...)
+		}
+		if sel != nil {
+			b.SetSel(sel)
+		}
+		out, err := build(schema).Eval(ctx, b)
+		if err != nil {
+			t.Fatalf("Eval(dec64=%v): %v", dec64, err)
+		}
+		collect := func(i int) { got[pass] = append(got[pass], out.Get(i)) }
+		if sel == nil {
+			for i := range rows {
+				collect(i)
+			}
+		} else {
+			for _, i := range sel {
+				collect(int(i))
+			}
+		}
+	}
+	if !reflect.DeepEqual(got[0], got[1]) {
+		t.Fatalf("narrow/wide divergence:\n dec64: %v\ndec128: %v", got[0], got[1])
+	}
+	return narrowCtx
+}
+
+// bigDec returns a decimal whose lanes sit near the int64 boundary, so
+// multiplying two of them overflows the narrow path mid-batch.
+func bigDec(v int64) types.Decimal128 { return types.SignExtend64(v) }
+
+func TestDec64MidBatchEscape(t *testing.T) {
+	// Precision 12 qualifies statically, but the stored lanes are raw and
+	// can still overflow a multiply: the kernel must detect it per-row and
+	// the evaluator must redo the batch on the 128-bit path, byte-identical.
+	dt := types.DecimalType(12, 2)
+	schema := s2("a", dt, "b", dt)
+	mul := func(s *types.Schema) Expr { return MustArith(OpMul, colRef(s, 0), colRef(s, 1)) }
+
+	rows := [][]any{
+		{mustDec(t, "100.00", 2), mustDec(t, "2.00", 2)},
+		{bigDec(1 << 40), bigDec(1 << 40)}, // product needs ~80 bits
+		{nil, mustDec(t, "3.00", 2)},
+		{mustDec(t, "-5.25", 2), mustDec(t, "4.00", 2)},
+	}
+	ctx := evalDec64Both(t, schema, rows, nil, mul)
+	if ctx.Dec64Escapes == 0 {
+		t.Fatalf("expected a mid-batch escape, counters: hit=%d miss=%d escape=%d",
+			ctx.Dec64Batches, ctx.Dec128Batches, ctx.Dec64Escapes)
+	}
+
+	// With the overflowing row deselected, the same batch stays narrow.
+	ctx = evalDec64Both(t, schema, rows, []int32{0, 2, 3}, mul)
+	if ctx.Dec64Batches == 0 || ctx.Dec64Escapes != 0 {
+		t.Fatalf("selective batch should stay narrow, counters: hit=%d miss=%d escape=%d",
+			ctx.Dec64Batches, ctx.Dec128Batches, ctx.Dec64Escapes)
+	}
+}
+
+func TestDec64NarrowHitAndWideMiss(t *testing.T) {
+	dt := types.DecimalType(12, 2)
+	schema := s2("a", dt, "b", dt)
+	expr := func(s *types.Schema) Expr {
+		oneMinus := MustArith(OpSub, DecimalLit("1.00", 12, 2), colRef(s, 1))
+		return MustArith(OpMul, colRef(s, 0), oneMinus)
+	}
+	rows := [][]any{
+		{mustDec(t, "100.00", 2), mustDec(t, "0.05", 2)},
+		{nil, mustDec(t, "0.10", 2)},
+		{mustDec(t, "50.00", 2), nil},
+	}
+	ctx := evalDec64Both(t, schema, rows, nil, expr)
+	if ctx.Dec64Batches == 0 || ctx.Dec64Escapes != 0 {
+		t.Fatalf("small values should take the narrow path, counters: hit=%d miss=%d escape=%d",
+			ctx.Dec64Batches, ctx.Dec128Batches, ctx.Dec64Escapes)
+	}
+
+	// Wide precision with genuinely wide values: disqualified up front.
+	wt := types.DecimalType(38, 2)
+	wschema := s2("a", wt, "b", wt)
+	wide := types.Decimal128{Hi: 1 << 20, Lo: 12345}
+	wrows := [][]any{
+		{wide, mustDec(t, "2.00", 2)},
+		{wide, mustDec(t, "3.00", 2)},
+	}
+	ctx = evalDec64Both(t, wschema, wrows, nil, func(s *types.Schema) Expr {
+		return MustArith(OpAdd, colRef(s, 0), colRef(s, 1))
+	})
+	if ctx.Dec128Batches == 0 || ctx.Dec64Batches != 0 {
+		t.Fatalf("wide values should miss, counters: hit=%d miss=%d escape=%d",
+			ctx.Dec64Batches, ctx.Dec128Batches, ctx.Dec64Escapes)
+	}
+}
+
+func TestDec64DivEquivalence(t *testing.T) {
+	dt := types.DecimalType(12, 2)
+	schema := s2("a", dt, "b", dt)
+	div := func(s *types.Schema) Expr { return MustArith(OpDiv, colRef(s, 0), colRef(s, 1)) }
+	rows := [][]any{
+		{mustDec(t, "100.00", 2), mustDec(t, "3.00", 2)},
+		{mustDec(t, "-7.50", 2), mustDec(t, "0.25", 2)},
+		{mustDec(t, "1.00", 2), mustDec(t, "0.00", 2)}, // divide by zero -> NULL
+		{nil, mustDec(t, "2.00", 2)},
+	}
+	ctx := evalDec64Both(t, schema, rows, nil, div)
+	if ctx.Dec64Batches == 0 {
+		t.Fatalf("div should take the narrow path, counters: hit=%d miss=%d escape=%d",
+			ctx.Dec64Batches, ctx.Dec128Batches, ctx.Dec64Escapes)
+	}
+}

@@ -50,9 +50,31 @@ type Ctx struct {
 	Adaptive bool
 
 	// SharedVectors marks input vectors as shared across concurrent tasks:
-	// per-vector metadata caches (ASCII-ness) are then computed per call
-	// instead of written back.
+	// per-vector metadata caches (ASCII-ness, decimal narrowness) are then
+	// computed per call instead of written back.
 	SharedVectors bool
+
+	// Dec64 enables the adaptive narrow-decimal fast path: decimal
+	// arithmetic, comparison, and casts on int64 lanes with a checked
+	// escape back to the 128-bit kernels. Semantics-free (results are
+	// identical either way); disabled via Config.DisableDecimal64.
+	Dec64 bool
+
+	// Narrow-decimal dispatch tallies, folded per task by the driver into
+	// photon_decimal_fastpath_batches_total and the EXPLAIN ANALYZE
+	// dec64[batches= escapes=] stage line.
+	Dec64Batches  int64
+	Dec128Batches int64
+	Dec64Escapes  int64
+
+	// Leaf-lane cache for the narrow-decimal evaluator, armed per batch via
+	// Dec64CacheScope: parallel src→lanes slices (a linear scan beats a map
+	// at the handful of decimal leaves a query shares).
+	dec64CacheOn    bool
+	dec64CacheSel   []int32
+	dec64CacheN     int
+	dec64CacheSrc   []*vector.Vector
+	dec64CacheLanes []*vector.Vector
 
 	free    map[types.DataType][]*vector.Vector
 	selPool [][]int32
@@ -67,6 +89,7 @@ func NewCtx(batchSize int) *Ctx {
 		Arena:     mem.NewArena(0),
 		BatchSize: batchSize,
 		Adaptive:  true,
+		Dec64:     true,
 		free:      make(map[types.DataType][]*vector.Vector),
 	}
 }

@@ -131,6 +131,14 @@ func (t *Table) PayloadBytes(row int32) []byte {
 	return t.fixed[base : base+t.rowWidth-t.keyWidth]
 }
 
+// PayloadSlab exposes the flat row storage for batched in-place payload
+// updates: row r's payload starts at slab[r*stride+keyOff]. The slab is
+// only valid until the next insert (growth reallocates it), so callers must
+// resolve groups for the whole batch before touching it.
+func (t *Table) PayloadSlab() (slab []byte, keyOff, stride int) {
+	return t.fixed, t.keyWidth, t.rowWidth
+}
+
 // HeapBytes resolves a (offset, length) reference into the var-len heap.
 func (t *Table) HeapBytes(off, ln uint32) []byte {
 	return t.heap[off : off+ln]

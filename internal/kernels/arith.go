@@ -295,6 +295,36 @@ func DecSubSV(s types.Decimal128, a, out []types.Decimal128, sel []int32, n int)
 	}
 }
 
+// DecDivVV computes out[i] = (a[i] * mul) / b[i] over the active rows,
+// marking rows with a zero divisor NULL (SQL semantics). mul is the hoisted
+// scale multiplier 10^(outScale - aScale + bScale) so the quotient lands on
+// the result scale directly. Division truncates toward zero, matching
+// Decimal128.Div. Returns whether any NULL was produced.
+func DecDivVV(a, b []types.Decimal128, mul types.Decimal128, out []types.Decimal128, outNulls []byte, sel []int32, n int) bool {
+	produced := false
+	body := func(i int32) {
+		if outNulls[i] != 0 {
+			return
+		}
+		if b[i].IsZero() {
+			outNulls[i] = 1
+			produced = true
+			return
+		}
+		out[i] = a[i].Mul(mul).Div(b[i])
+	}
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			body(int32(i))
+		}
+	} else {
+		for _, i := range sel {
+			body(i)
+		}
+	}
+	return produced
+}
+
 // DecRescaleV rescales each active value from one scale to another.
 func DecRescaleV(a, out []types.Decimal128, from, to int, sel []int32, n int) {
 	if sel == nil {

@@ -1,0 +1,428 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"photon/internal/types"
+)
+
+// Property harness for the narrow-decimal kernel family: every Dec64 kernel
+// must agree byte-for-byte with the 128-bit reference whenever it reports
+// ok, and must report !ok exactly when some active row's true result does
+// not fit int64 (the mid-batch overflow escape contract). Values are drawn
+// weighted toward the ±2^63 boundaries where the two families can diverge.
+
+// boundary64 draws int64 values clustered near the overflow boundaries.
+func boundary64(rng *rand.Rand) int64 {
+	switch rng.Intn(4) {
+	case 0:
+		return math.MaxInt64 - rng.Int63n(1_000)
+	case 1:
+		return math.MinInt64 + rng.Int63n(1_000)
+	case 2:
+		return int64(rng.Uint64()) // full range
+	default:
+		return rng.Int63n(2_000_001) - 1_000_000
+	}
+}
+
+// someSel builds a strided selection vector over [0, n).
+func someSel(rng *rand.Rand, n int) []int32 {
+	var sel []int32
+	for i := 0; i < n; i += 1 + rng.Intn(3) {
+		sel = append(sel, int32(i))
+	}
+	return sel
+}
+
+// forActive visits the active rows of (sel, n).
+func forActive(sel []int32, n int, f func(i int)) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	for _, i := range sel {
+		f(int(i))
+	}
+}
+
+const dec64Canary = int64(-0x5ca1ab1e)
+
+func checkInactive(t *testing.T, name string, out []int64, sel []int32, n int) {
+	t.Helper()
+	if sel == nil {
+		return
+	}
+	active := make([]bool, n)
+	for _, i := range sel {
+		active[i] = true
+	}
+	for i := 0; i < n; i++ {
+		if !active[i] && out[i] != dec64Canary {
+			t.Fatalf("%s: inactive row %d written", name, i)
+		}
+	}
+}
+
+func TestDec64ArithAgainstWide(t *testing.T) {
+	type spec struct {
+		name string
+		run  func(a, b, out []int64, sel []int32, n int) bool
+		ref  func(x, y types.Decimal128) types.Decimal128
+	}
+	specs := []spec{
+		{"addVV", Dec64AddVV, types.Decimal128.Add},
+		{"subVV", Dec64SubVV, types.Decimal128.Sub},
+		{"mulVV", Dec64MulVV, types.Decimal128.Mul},
+		{"addVS", func(a, b, out []int64, sel []int32, n int) bool {
+			return Dec64AddVS(a, b[0], out, sel, n)
+		}, types.Decimal128.Add},
+		{"subSV", func(a, b, out []int64, sel []int32, n int) bool {
+			return Dec64SubSV(b[0], a, out, sel, n)
+		}, func(x, y types.Decimal128) types.Decimal128 { return y.Sub(x) }},
+		{"mulVS", func(a, b, out []int64, sel []int32, n int) bool {
+			return Dec64MulVS(a, b[0], out, sel, n)
+		}, types.Decimal128.Mul},
+	}
+	rng := rand.New(rand.NewSource(64))
+	const n = 193
+	for _, sp := range specs {
+		t.Run(sp.name, func(t *testing.T) {
+			for trial := 0; trial < 400; trial++ {
+				a, b := make([]int64, n), make([]int64, n)
+				for i := range a {
+					a[i] = boundary64(rng)
+					b[i] = boundary64(rng)
+				}
+				if trial%3 == 0 {
+					// Narrow-sum regimes so ok=true paths get coverage too.
+					for i := range a {
+						a[i] = rng.Int63n(1 << 40)
+						b[i] = rng.Int63n(1 << 20)
+					}
+				}
+				var sel []int32
+				if trial%2 == 1 {
+					sel = someSel(rng, n)
+				}
+				out := make([]int64, n)
+				for i := range out {
+					out[i] = dec64Canary
+				}
+				ok := sp.run(a, b, out, sel, n)
+				wantOK := true
+				forActive(sel, n, func(i int) {
+					x, y := a[i], b[i]
+					if sp.name == "addVS" || sp.name == "subSV" || sp.name == "mulVS" {
+						y = b[0]
+					}
+					w := sp.ref(types.SignExtend64(x), types.SignExtend64(y))
+					if !types.Fits64(w) {
+						wantOK = false
+						return
+					}
+					if ok && types.SignExtend64(out[i]) != w {
+						t.Fatalf("%s trial %d row %d: got %d want %v", sp.name, trial, i, out[i], w)
+					}
+				})
+				if ok != wantOK {
+					t.Fatalf("%s trial %d: ok=%v want %v", sp.name, trial, ok, wantOK)
+				}
+				if !ok {
+					checkInactive(t, sp.name, out, sel, n)
+				} else {
+					checkInactive(t, sp.name, out, sel, n)
+				}
+			}
+		})
+	}
+}
+
+func TestDec64RescaleAgainstWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	const n = 127
+	for trial := 0; trial < 400; trial++ {
+		from, to := rng.Intn(7), rng.Intn(7)
+		a := make([]int64, n)
+		for i := range a {
+			a[i] = boundary64(rng)
+		}
+		var sel []int32
+		if trial%2 == 1 {
+			sel = someSel(rng, n)
+		}
+		out := make([]int64, n)
+		for i := range out {
+			out[i] = dec64Canary
+		}
+		ok := Dec64RescaleV(a, out, from, to, sel, n)
+		wantOK := true
+		forActive(sel, n, func(i int) {
+			w := types.SignExtend64(a[i]).Rescale(from, to)
+			if !types.Fits64(w) {
+				wantOK = false
+				return
+			}
+			if ok && types.SignExtend64(out[i]) != w {
+				t.Fatalf("rescale(%d->%d) row %d: got %d want %v", from, to, i, out[i], w)
+			}
+		})
+		if ok != wantOK {
+			t.Fatalf("rescale(%d->%d) trial %d: ok=%v want %v", from, to, trial, ok, wantOK)
+		}
+		checkInactive(t, "rescale", out, sel, n)
+	}
+	// Shifts beyond the int64 power-of-ten range must refuse outright.
+	if Dec64RescaleV(make([]int64, 4), make([]int64, 4), 0, 19, nil, 4) {
+		t.Fatal("rescale shift 19 should report !ok")
+	}
+}
+
+func TestDec64DivAgainstWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	const n = 127
+	for trial := 0; trial < 400; trial++ {
+		shift := rng.Intn(5)
+		mul := types.Pow10(shift)
+		a, b := make([]int64, n), make([]int64, n)
+		for i := range a {
+			a[i] = boundary64(rng)
+			b[i] = boundary64(rng)
+			if rng.Intn(8) == 0 {
+				b[i] = 0 // divide-by-zero -> NULL rows
+			}
+		}
+		var sel []int32
+		if trial%2 == 1 {
+			sel = someSel(rng, n)
+		}
+		out := make([]int64, n)
+		for i := range out {
+			out[i] = dec64Canary
+		}
+		nulls := make([]byte, n)
+		for i := range nulls {
+			if rng.Intn(10) == 0 {
+				nulls[i] = 1 // propagated input NULLs are skipped entirely
+			}
+		}
+		nullsBefore := append([]byte(nil), nulls...)
+		ok, produced := Dec64DivVV(a, b, shift, out, nulls, sel, n)
+
+		// The kernel may stop at the first overflowing row, so validate
+		// prefix agreement: every row it produced must match the wide
+		// reference, and ok must be false iff some active row overflows.
+		wantOK := true
+		forActive(sel, n, func(i int) {
+			if nullsBefore[i] != 0 || b[i] == 0 {
+				return
+			}
+			num := types.SignExtend64(a[i]).Mul(mul)
+			if !types.Fits64(num) || (num.ToInt64() == math.MinInt64 && b[i] == -1) {
+				wantOK = false
+			}
+		})
+		if ok != wantOK {
+			t.Fatalf("div trial %d: ok=%v want %v", trial, ok, wantOK)
+		}
+		if !ok {
+			continue
+		}
+		wantProduced := false
+		forActive(sel, n, func(i int) {
+			if nullsBefore[i] != 0 {
+				if out[i] != dec64Canary {
+					t.Fatalf("div row %d: NULL-in row written", i)
+				}
+				return
+			}
+			if b[i] == 0 {
+				wantProduced = true
+				if nulls[i] == 0 {
+					t.Fatalf("div row %d: zero divisor not marked NULL", i)
+				}
+				return
+			}
+			w := types.SignExtend64(a[i]).Mul(mul).Div(types.SignExtend64(b[i]))
+			if types.SignExtend64(out[i]) != w {
+				t.Fatalf("div row %d: got %d want %v", i, out[i], w)
+			}
+		})
+		if produced != wantProduced {
+			t.Fatalf("div trial %d: produced=%v want %v", trial, produced, wantProduced)
+		}
+		checkInactive(t, "div", out, sel, n)
+	}
+}
+
+// randDec draws a canonical Decimal128, biased narrow with occasional wide.
+func randDec(rng *rand.Rand, wideEvery int) types.Decimal128 {
+	if wideEvery > 0 && rng.Intn(wideEvery) == 0 {
+		return types.Decimal128{Hi: rng.Int63() | 1, Lo: rng.Uint64()}
+	}
+	return types.SignExtend64(boundary64(rng))
+}
+
+func TestDec64CheckNarrowWidenRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	const n = 111
+	for trial := 0; trial < 200; trial++ {
+		a := make([]types.Decimal128, n)
+		nulls := make([]byte, n)
+		hasNulls := trial%3 != 0
+		allNarrow := true
+		for i := range a {
+			a[i] = randDec(rng, 20)
+			if hasNulls && rng.Intn(6) == 0 {
+				nulls[i] = 1
+				// A wide value under a NULL must not affect the verdict.
+				a[i] = types.Decimal128{Hi: 42, Lo: 7}
+			} else if !types.Fits64(a[i]) {
+				allNarrow = false
+			}
+		}
+		var sel []int32
+		if trial%2 == 1 {
+			sel = someSel(rng, n)
+			allNarrow = true
+			forActive(sel, n, func(i int) {
+				if nulls[i] == 0 && !types.Fits64(a[i]) {
+					allNarrow = false
+				}
+			})
+		}
+		if got := Dec64CheckV(a, nulls, hasNulls, sel, n); got != allNarrow {
+			t.Fatalf("check trial %d: got %v want %v", trial, got, allNarrow)
+		}
+		if !allNarrow {
+			continue
+		}
+		lanes := make([]int64, n)
+		Dec64NarrowV(a, lanes, nulls, hasNulls, sel, n)
+		back := make([]types.Decimal128, n)
+		Dec64WidenV(lanes, back, sel, n)
+		forActive(sel, n, func(i int) {
+			if hasNulls && nulls[i] != 0 {
+				if lanes[i] != 0 {
+					t.Fatalf("narrow trial %d row %d: NULL slot lane = %d, want 0", trial, i, lanes[i])
+				}
+				return
+			}
+			if back[i] != a[i] {
+				t.Fatalf("round-trip trial %d row %d: %v != %v", trial, i, back[i], a[i])
+			}
+		})
+	}
+}
+
+func TestDec64RescaleDecAgainstWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(68))
+	const n = 97
+	for trial := 0; trial < 300; trial++ {
+		from, to := rng.Intn(7), rng.Intn(7)
+		a := make([]types.Decimal128, n)
+		nulls := make([]byte, n)
+		hasNulls := trial%2 == 0
+		for i := range a {
+			a[i] = types.SignExtend64(boundary64(rng))
+			if hasNulls && rng.Intn(6) == 0 {
+				nulls[i] = 1
+			}
+		}
+		var sel []int32
+		if trial%3 == 0 {
+			sel = someSel(rng, n)
+		}
+		out := make([]types.Decimal128, n)
+		ok := Dec64RescaleDecV(a, out, from, to, nulls, hasNulls, sel, n)
+		wantOK := true
+		forActive(sel, n, func(i int) {
+			if hasNulls && nulls[i] != 0 {
+				return
+			}
+			if !types.Fits64(a[i].Rescale(from, to)) {
+				wantOK = false
+			}
+		})
+		if ok != wantOK {
+			t.Fatalf("rescaleDec(%d->%d) trial %d: ok=%v want %v", from, to, trial, ok, wantOK)
+		}
+		if !ok {
+			continue
+		}
+		forActive(sel, n, func(i int) {
+			if hasNulls && nulls[i] != 0 {
+				return
+			}
+			if w := a[i].Rescale(from, to); out[i] != w {
+				t.Fatalf("rescaleDec(%d->%d) row %d: got %v want %v", from, to, i, out[i], w)
+			}
+		})
+	}
+}
+
+func TestDec64SelCmpAgainstWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(69))
+	const n = 131
+	ops := []CmpOp{CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe}
+	for trial := 0; trial < 200; trial++ {
+		a, b := make([]types.Decimal128, n), make([]types.Decimal128, n)
+		nulls1, nulls2 := make([]byte, n), make([]byte, n)
+		hasNulls := trial%2 == 0
+		for i := range a {
+			// Narrow by contract (the dispatcher qualifies first).
+			a[i] = types.SignExtend64(boundary64(rng))
+			b[i] = types.SignExtend64(boundary64(rng))
+			if rng.Intn(4) == 0 {
+				b[i] = a[i] // exercise equality edges
+			}
+			if hasNulls {
+				if rng.Intn(8) == 0 {
+					nulls1[i] = 1
+				}
+				if rng.Intn(8) == 0 {
+					nulls2[i] = 1
+				}
+			}
+		}
+		var sel []int32
+		if trial%3 == 0 {
+			sel = someSel(rng, n)
+		}
+		s := types.SignExtend64(boundary64(rng))
+		for _, op := range ops {
+			gotVS := SelCmpDec64VS(op, a, s.ToInt64(), nulls1, hasNulls, sel, n, nil)
+			wantVS := SelCmpDecVS(op, a, s, nulls1, hasNulls, sel, n, nil)
+			if !reflect.DeepEqual(gotVS, wantVS) {
+				t.Fatalf("selCmpVS op=%v trial %d: %v != %v", op, trial, gotVS, wantVS)
+			}
+			gotVV := SelCmpDec64VV(op, a, b, nulls1, nulls2, hasNulls, sel, n, nil)
+			wantVV := SelCmpDecVV(op, a, b, nulls1, nulls2, hasNulls, sel, n, nil)
+			if !reflect.DeepEqual(gotVV, wantVV) {
+				t.Fatalf("selCmpVV op=%v trial %d: %v != %v", op, trial, gotVV, wantVV)
+			}
+		}
+	}
+}
+
+func TestDec64HashLanesMatchWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	const n = 211
+	a := make([]types.Decimal128, n)
+	for i := range a {
+		a[i] = types.SignExtend64(boundary64(rng))
+	}
+	got := make([]uint64, n)
+	Dec64HashLanes(a, got, n)
+	for i := range a {
+		want := a[i].Lo ^ uint64(a[i].Hi)*0x9e3779b97f4a7c15
+		if got[i] != want {
+			t.Fatalf("hash lane %d: got %#x want %#x (value %v)", i, got[i], want, a[i])
+		}
+	}
+}

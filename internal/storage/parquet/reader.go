@@ -91,6 +91,11 @@ type chunkCursor struct {
 	// validSeen counts valid values consumed so far (the dictionary index
 	// stream covers only valid rows).
 	validSeen int
+
+	// narrow marks a decimal chunk whose min/max stats both fit int64:
+	// every value in between does too, so scan batches carry Dec64All
+	// metadata for free (adaptive tier of the narrow-decimal fast path).
+	narrow bool
 }
 
 // openChunk decompresses and prepares one column chunk.
@@ -116,6 +121,11 @@ func (r *Reader) openChunk(cm *ColumnChunkMeta, t types.DataType) (*chunkCursor,
 	hasNulls := payload[4] == 1
 	body := payload[5:]
 	cc := &chunkCursor{t: t, n: n}
+	if t.ID == types.Decimal && len(cm.Min) == 16 && len(cm.Max) == 16 {
+		lo, okLo := DecodeStatValue(cm.Min, t).(types.Decimal128)
+		hi, okHi := DecodeStatValue(cm.Max, t).(types.Decimal128)
+		cc.narrow = okLo && okHi && types.Fits64(lo) && types.Fits64(hi)
+	}
 	if hasNulls {
 		cc.nulls = make([]byte, n)
 		var err error
@@ -261,6 +271,11 @@ func (r *Reader) NextBatch(batchSize int) (*vector.Batch, error) {
 		for oi := range r.decoded {
 			if err := r.decoded[oi].readInto(out.Vecs[oi], k); err != nil {
 				return nil, err
+			}
+			// Fresh batches have zeroed NULL slots, so the chunk-level
+			// narrowness verdict transfers directly to the vector.
+			if r.decoded[oi].narrow {
+				out.Vecs[oi].Dec64 = vector.Dec64All
 			}
 		}
 		out.NumRows = k

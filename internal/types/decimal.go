@@ -144,6 +144,15 @@ func fits64(d Decimal128) bool {
 	return (d.Hi == 0 && d.Lo <= math.MaxInt64) || (d.Hi == -1 && d.Lo >= 1<<63)
 }
 
+// Fits64 reports whether d is representable as an int64, i.e. the high limb
+// is exactly the sign extension of the low limb. This is the admission test
+// for the narrow-decimal (int64) kernel family.
+func Fits64(d Decimal128) bool { return d.Hi == int64(d.Lo)>>63 }
+
+// SignExtend64 widens an int64 unscaled value back to the canonical
+// Decimal128 representation (inverse of ToInt64 for values that fit).
+func SignExtend64(v int64) Decimal128 { return Decimal128{Hi: v >> 63, Lo: uint64(v)} }
+
 // ToInt64 truncates to the low 64 bits as a signed integer.
 func (d Decimal128) ToInt64() int64 { return int64(d.Lo) }
 

@@ -33,6 +33,22 @@ const (
 	AsciiMixed
 )
 
+// Dec64Info is batch-level metadata about a decimal vector's narrowness:
+// whether every active unscaled value fits in an int64. Like AsciiInfo it is
+// discovered at runtime — for free from Parquet chunk min-max statistics at
+// scan time, or by the Dec64CheckV kernel elsewhere — and it stays valid as
+// the selection vector shrinks (§4.6 batch-level adaptivity).
+type Dec64Info uint8
+
+const (
+	// Dec64Unknown means the vector has not been checked yet.
+	Dec64Unknown Dec64Info = iota
+	// Dec64All means every active unscaled value fits in an int64.
+	Dec64All
+	// Dec64Wide means at least one active value needs all 128 bits.
+	Dec64Wide
+)
+
 // Vector is a single column holding one batch worth of values. Exactly one
 // of the typed slices is in use, selected by Type.ID. Nulls holds one byte
 // per row (1 = NULL). hasNulls is batch-level metadata maintained by writers
@@ -51,6 +67,7 @@ type Vector struct {
 
 	hasNulls bool
 	Ascii    AsciiInfo
+	Dec64    Dec64Info
 }
 
 // New allocates a vector of the given type with capacity rows, all slots
@@ -136,6 +153,7 @@ func (v *Vector) Reset() {
 	clear(v.Nulls)
 	v.hasNulls = false
 	v.Ascii = AsciiUnknown
+	v.Dec64 = Dec64Unknown
 	if v.Str != nil {
 		// Drop payload pointers so arena memory can be recycled safely.
 		clear(v.Str)

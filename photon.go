@@ -113,6 +113,11 @@ type Config struct {
 	// selection-vector loops). On by default; semantics-free — disabling
 	// never changes results, only speed.
 	DisableFusedPipelines bool
+	// DisableDecimal64 turns off the adaptive narrow-decimal fast path
+	// (decimal arithmetic, comparison, hashing, and aggregation on int64
+	// lanes with a checked escape to the 128-bit kernels). On by default;
+	// semantics-free — results are byte-identical either way, only speed.
+	DisableDecimal64 bool
 	// PhotonUnsupported forces row-engine fallback for the listed logical
 	// node kinds ("filter", "project", "aggregate", "join", "sort",
 	// "limit"), demonstrating partial rollout (§3.5).
@@ -472,6 +477,7 @@ func (s *Session) TaskContext() *exec.TaskCtx {
 	tc.SpillDir = s.cfg.SpillDir
 	tc.EnableCompaction = !s.cfg.DisableCompaction
 	tc.Expr.Adaptive = !s.cfg.DisableAdaptivity
+	tc.Expr.Dec64 = !s.cfg.DisableDecimal64
 	return tc
 }
 

@@ -122,11 +122,11 @@ func (c *planCache) Len() int {
 // defense in depth against entries outliving a config change.
 func (s *Session) fingerprintConfig() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "engine=%v;bs=%d;par=%d;bcast=%d;norf=%t;nofuse=%t;nocomp=%t;noadapt=%t;nofast=%t;fprows=%d",
+	fmt.Fprintf(&sb, "engine=%v;bs=%d;par=%d;bcast=%d;norf=%t;nofuse=%t;nocomp=%t;noadapt=%t;nodec64=%t;nofast=%t;fprows=%d",
 		s.cfg.Engine, s.cfg.BatchSize, s.cfg.Parallelism, s.cfg.BroadcastRows,
 		s.cfg.DisableRuntimeFilters, s.cfg.DisableFusedPipelines,
 		s.cfg.DisableCompaction, s.cfg.DisableAdaptivity,
-		s.cfg.DisableFastPath, s.fastPathRows())
+		s.cfg.DisableDecimal64, s.cfg.DisableFastPath, s.fastPathRows())
 	if len(s.cfg.PhotonUnsupported) > 0 {
 		ks := append([]string(nil), s.cfg.PhotonUnsupported...)
 		sort.Strings(ks)

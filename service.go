@@ -297,6 +297,7 @@ func (s *Session) runOptions(qm *mem.Manager, rs *driver.RunStats, trace *obs.Tr
 		DisableAdaptivity: s.cfg.DisableAdaptivity,
 
 		DisableRuntimeFilters: s.cfg.DisableRuntimeFilters,
+		DisableDecimal64:      s.cfg.DisableDecimal64,
 		FastPath:              bq.fastPath,
 	}
 }
