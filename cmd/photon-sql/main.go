@@ -52,6 +52,8 @@ var (
 	httpFlag    = flag.String("http", "", "serve the debug surface on this address (e.g. :8218): /metrics, /debug/queries, /debug/queries/<id>/trace, /debug/pprof")
 	slowFlag    = flag.Duration("slow-query", 0, "log a structured slow-query line for queries at or above this wall time (0 = off)")
 	historyFlag = flag.Int("query-history", 0, "flight-recorder ring size (0 = default 1024, negative = off); query via SELECT * FROM photon_queries")
+	tenantFlag  = flag.String("tenant", "", "run queries as this tenant (weighted-fair scheduling; see photon_tenants)")
+	weightsFlag = flag.String("tenant-weights", "", "per-tenant fair-share weights as name=w,name=w (e.g. gold=3,bronze=1)")
 )
 
 type deltaList []string
@@ -75,6 +77,23 @@ func main() {
 	}
 	cfg.SlowQueryThreshold = *slowFlag
 	cfg.QueryHistorySize = *historyFlag
+	cfg.Tenant = *tenantFlag
+	if *weightsFlag != "" {
+		cfg.Tenants = map[string]photon.TenantConfig{}
+		for _, spec := range strings.Split(*weightsFlag, ",") {
+			name, ws, ok := strings.Cut(strings.TrimSpace(spec), "=")
+			var w int
+			if ok {
+				_, err := fmt.Sscanf(ws, "%d", &w)
+				ok = err == nil && w > 0 && name != ""
+			}
+			if !ok {
+				fmt.Fprintf(os.Stderr, "bad -tenant-weights entry %q (want name=weight)\n", spec)
+				os.Exit(2)
+			}
+			cfg.Tenants[name] = photon.TenantConfig{Weight: w}
+		}
+	}
 	if *chaosFlag != 0 {
 		// Extra retry headroom: chaos policies inject transient failures
 		// into shuffle, broadcast, and task-start paths; the scheduler

@@ -273,14 +273,15 @@ func TestAdmissionQueueAndReject(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			// Manually hold the gate to simulate a long-running query.
-			if err := sess.gate.admit(context.Background()); err != nil {
+			tg, err := sess.gate.admit(context.Background(), "")
+			if err != nil {
 				firstErr = err
 				close(started)
 				return
 			}
 			close(started)
 			<-release
-			sess.gate.release()
+			sess.gate.release(tg, 0)
 		}()
 		<-started
 		if firstErr != nil {
@@ -328,7 +329,7 @@ func TestAdmissionQueueAndReject(t *testing.T) {
 
 	t.Run("min-memory-predicate", func(t *testing.T) {
 		mm := mem.NewManager(1000)
-		gate := newAdmission(Config{MinQueryMemory: 600}, mm)
+		gate := newAdmission(Config{MinQueryMemory: 600}, mm, nil)
 		hog := &mem.FuncConsumer{ConsumerName: "hog"}
 		if err := mm.Reserve(hog, 700); err != nil {
 			t.Fatal(err)
@@ -336,14 +337,15 @@ func TestAdmissionQueueAndReject(t *testing.T) {
 		// 300 available < 600 required: admit must not succeed now.
 		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 		defer cancel()
-		if err := gate.admit(ctx); err == nil {
+		if _, err := gate.admit(ctx, ""); err == nil {
 			t.Fatal("admitted despite insufficient reservable memory")
 		}
 		mm.ReleaseAll(hog)
-		if err := gate.admit(context.Background()); err != nil {
+		tg, err := gate.admit(context.Background(), "")
+		if err != nil {
 			t.Fatalf("admit after memory freed: %v", err)
 		}
-		gate.release()
+		gate.release(tg, 0)
 	})
 }
 
@@ -395,5 +397,244 @@ func TestLifecycleStats(t *testing.T) {
 	}
 	if p.Lifecycle.String() == "" {
 		t.Error("empty lifecycle string")
+	}
+}
+
+// TestFastFailAdmission: a context that is already cancelled or past its
+// deadline fails before entering the admission queue, and is classified as
+// cancelled/timeout — never as rejected.
+func TestFastFailAdmission(t *testing.T) {
+	sess := tpchSession(0.005, Config{Parallelism: 2, MaxConcurrentQueries: 1})
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := sess.SQLContext(cancelled, tpch.Queries[6])
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if errors.Is(err, ErrQueryRejected) {
+		t.Error("pre-cancelled ctx classified as rejected")
+	}
+
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	_, err = sess.SQLContext(expired, tpch.Queries[6])
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired ctx: err = %v, want context.DeadlineExceeded", err)
+	}
+	if errors.Is(err, ErrQueryRejected) {
+		t.Error("expired ctx classified as rejected")
+	}
+	// Neither attempt may consume admission state: a normal query admits.
+	if _, err := sess.SQLContext(context.Background(), tpch.Queries[6]); err != nil {
+		t.Fatalf("post fast-fail query: %v", err)
+	}
+	if got := sess.gate.Running(); got != 0 {
+		t.Errorf("running = %d after fast-fails, want 0", got)
+	}
+}
+
+// TestTenantQuotaQueueReject covers the per-tenant gate: an over-quota
+// tenant queues behind itself (bounded by its MaxQueued) without blocking
+// other tenants, and tenant-scoped rejections carry ErrQueryRejected.
+func TestTenantQuotaQueueReject(t *testing.T) {
+	mm := mem.NewManager(0)
+	gate := newAdmission(Config{
+		MaxConcurrentQueries: 8,
+		Tenants: map[string]TenantConfig{
+			"bronze": {MaxConcurrent: 1, MaxQueued: 1},
+		},
+	}, mm, nil)
+
+	// bronze fills its one slot.
+	bt, err := gate.admit(context.Background(), "bronze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second bronze query queues (MaxQueued 1); it must not be rejected.
+	queuedErr := make(chan error, 1)
+	entered := make(chan struct{})
+	go func() {
+		// Poll until the waiter is registered, then signal.
+		go func() {
+			for gate.Queued() == 0 {
+				time.Sleep(100 * time.Microsecond)
+			}
+			close(entered)
+		}()
+		tg, err := gate.admit(context.Background(), "bronze")
+		if err == nil {
+			gate.release(tg, 0)
+		}
+		queuedErr <- err
+	}()
+	<-entered
+
+	// Third bronze query overflows the tenant queue: rejected with the
+	// sentinel and the tenant named.
+	_, err = gate.admit(context.Background(), "bronze")
+	if !errors.Is(err, ErrQueryRejected) {
+		t.Fatalf("over-quota bronze: err = %v, want ErrQueryRejected", err)
+	}
+
+	// A different tenant is unaffected by bronze's full queue.
+	gt, err := gate.admit(context.Background(), "gold")
+	if err != nil {
+		t.Fatalf("gold blocked by bronze quota: %v", err)
+	}
+	gate.release(gt, 0)
+
+	// Releasing bronze's slot admits its queued waiter.
+	gate.release(bt, 0)
+	if err := <-queuedErr; err != nil {
+		t.Fatalf("queued bronze query: %v", err)
+	}
+	snap := gate.tenantSnapshot()
+	for _, ta := range snap {
+		if ta.Name == "bronze" {
+			if ta.Admitted != 2 || ta.Rejected != 1 {
+				t.Errorf("bronze counters = %+v, want admitted 2 rejected 1", ta)
+			}
+		}
+	}
+}
+
+// TestDeadlineShed: once the gate has service-time history, a query whose
+// deadline cannot outlast the estimated queue wait is shed at admission —
+// classified as timeout, never rejected — while a query with a generous
+// deadline still queues.
+func TestDeadlineShed(t *testing.T) {
+	mm := mem.NewManager(0)
+	gate := newAdmission(Config{MaxConcurrentQueries: 1}, mm, nil)
+	// Install history: average service time ~1s.
+	gate.noteServiceTime(time.Second)
+
+	tg, err := gate.admit(context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5ms deadline behind a ~1s estimated wait: shed immediately.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = gate.admit(ctx, "")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded via shed", err)
+	}
+	if errors.Is(err, ErrQueryRejected) {
+		t.Error("shed classified as rejected")
+	}
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Errorf("shed took %s, want immediate (no queue park)", d)
+	}
+	if got := queryStatus(err); got != "timeout" {
+		t.Errorf("queryStatus(shed) = %q, want timeout", got)
+	}
+
+	// A generous deadline queues instead of shedding and is admitted once
+	// the slot frees.
+	ok := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		tg2, err := gate.admit(ctx, "")
+		if err == nil {
+			gate.release(tg2, 0)
+		}
+		ok <- err
+	}()
+	for gate.Queued() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	gate.release(tg, 0)
+	if err := <-ok; err != nil {
+		t.Fatalf("generous-deadline query: %v", err)
+	}
+	if snap := gate.tenantSnapshot(); len(snap) != 1 || snap[0].Shed != 1 {
+		t.Errorf("tenant snapshot = %+v, want one tenant with Shed 1", snap)
+	}
+}
+
+// TestQueueMemoryBound: the global admission queue is bounded by the
+// estimated memory footprint of queued queries — once AdmissionQueueMemory
+// is reached further arrivals are rejected, and draining the queue frees
+// the accounted bytes.
+func TestQueueMemoryBound(t *testing.T) {
+	mm := mem.NewManager(0)
+	gate := newAdmission(Config{
+		MaxConcurrentQueries: 1,
+		MinQueryMemory:       1 << 20,
+		AdmissionQueueMemory: 2 << 20, // room for exactly two queued estimates
+	}, mm, nil)
+
+	held, err := gate.admit(context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			tg, err := gate.admit(context.Background(), "")
+			if err == nil {
+				gate.release(tg, 0)
+			}
+			drained <- err
+		}()
+	}
+	for gate.Queued() != 2 {
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	// Third waiter would exceed the 2 MiB queue-memory bound: rejected.
+	_, err = gate.admit(context.Background(), "")
+	if !errors.Is(err, ErrQueryRejected) {
+		t.Fatalf("over-bound queue: err = %v, want ErrQueryRejected", err)
+	}
+
+	gate.release(held, 0)
+	for i := 0; i < 2; i++ {
+		if err := <-drained; err != nil {
+			t.Fatalf("queued query after drain: %v", err)
+		}
+	}
+	gate.mu.Lock()
+	leftover := gate.queuedMem
+	gate.mu.Unlock()
+	if leftover != 0 {
+		t.Errorf("queuedMem = %d after drain, want 0", leftover)
+	}
+}
+
+// TestMemoryPressureDegradation: under memory pressure (hog holding > 3/4
+// of the session limit) an admitted query gets a shrunken soft grant and
+// spills toward it instead of failing; with DisableDegradation the knob
+// stays off.
+func TestMemoryPressureDegradation(t *testing.T) {
+	run := func(disable bool) *QueryStats {
+		t.Helper()
+		sess := tpchSession(0.005, Config{
+			Parallelism:        2,
+			MemoryLimit:        64 << 20,
+			MinQueryMemory:     1 << 20,
+			SpillDir:           t.TempDir(),
+			DisableDegradation: disable,
+		})
+		hog := &mem.FuncConsumer{ConsumerName: "hog",
+			SpillFunc: func(n int64) (int64, error) { return 0, nil }}
+		if err := sess.mm.Reserve(hog, 52<<20); err != nil { // > 3/4 of limit
+			t.Fatal(err)
+		}
+		defer sess.mm.ReleaseAll(hog)
+		_, stats, err := sess.SQLContextStats(context.Background(), tpch.Queries[6])
+		if err != nil {
+			t.Fatalf("degraded query failed: %v (degradation must not fail queries)", err)
+		}
+		return stats
+	}
+	if stats := run(false); !stats.Degraded {
+		t.Error("query under memory pressure not marked Degraded")
+	}
+	if stats := run(true); stats.Degraded {
+		t.Error("DisableDegradation did not disable degradation")
 	}
 }

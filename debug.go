@@ -46,6 +46,7 @@ type queriesPage struct {
 type activeJSON struct {
 	ID            int64  `json:"id"`
 	SQL           string `json:"sql"`
+	Tenant        string `json:"tenant,omitempty"`
 	Phase         string `json:"phase"`
 	ElapsedMicros int64  `json:"elapsed_micros"`
 	Rows          int64  `json:"rows"`
@@ -55,6 +56,7 @@ type activeJSON struct {
 type historyJSON struct {
 	ID              int64  `json:"id"`
 	SQL             string `json:"sql"`
+	Tenant          string `json:"tenant,omitempty"`
 	Status          string `json:"status"`
 	Error           string `json:"error,omitempty"`
 	Cached          bool   `json:"cached"`
@@ -84,7 +86,7 @@ func (s *Session) serveQueries(w http.ResponseWriter, r *http.Request) {
 	now := time.Now()
 	for _, a := range s.rec.Active() {
 		page.Active = append(page.Active, activeJSON{
-			ID: a.ID, SQL: a.SQL, Phase: a.Name,
+			ID: a.ID, SQL: a.SQL, Tenant: a.Tenant, Phase: a.Name,
 			ElapsedMicros: now.Sub(a.Submit).Microseconds(),
 			Rows:          a.Rows, Bytes: a.Bytes,
 		})
@@ -93,7 +95,7 @@ func (s *Session) serveQueries(w http.ResponseWriter, r *http.Request) {
 	for i := len(records) - 1; i >= 0; i-- { // newest first
 		rec := &records[i]
 		page.History = append(page.History, historyJSON{
-			ID: rec.ID, SQL: rec.SQL, Status: rec.Status, Error: rec.Error,
+			ID: rec.ID, SQL: rec.SQL, Tenant: rec.Tenant, Status: rec.Status, Error: rec.Error,
 			Cached: rec.Cached, FastPath: rec.FastPath,
 			QueueWaitMicros: rec.QueueWait().Microseconds(),
 			PlanMicros:      rec.PlanTime().Microseconds(),
@@ -120,19 +122,20 @@ func writeQueriesHTML(w http.ResponseWriter, page *queriesPage) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	fmt.Fprintf(w, `<!doctype html><title>photon queries</title>
 <style>body{font:13px monospace}table{border-collapse:collapse}td,th{border:1px solid #999;padding:2px 6px;text-align:left}</style>
-<h2>Active queries (%d)</h2><table><tr><th>id</th><th>phase</th><th>elapsed</th><th>rows</th><th>sql</th></tr>`,
+<h2>Active queries (%d)</h2><table><tr><th>id</th><th>tenant</th><th>phase</th><th>elapsed</th><th>rows</th><th>sql</th></tr>`,
 		len(page.Active))
 	for _, a := range page.Active {
-		fmt.Fprintf(w, "<tr><td>%d</td><td>%s</td><td>%s</td><td>%d</td><td>%s</td></tr>",
-			a.ID, a.Phase, time.Duration(a.ElapsedMicros)*time.Microsecond, a.Rows,
+		fmt.Fprintf(w, "<tr><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%s</td></tr>",
+			a.ID, html.EscapeString(a.Tenant), a.Phase,
+			time.Duration(a.ElapsedMicros)*time.Microsecond, a.Rows,
 			html.EscapeString(a.SQL))
 	}
 	fmt.Fprintf(w, `</table><h2>History (%d of %d recorded, cap %d)</h2>
-<table><tr><th>id</th><th>status</th><th>cached</th><th>fast</th><th>wall</th><th>rows</th><th>peak mem</th><th>trace</th><th>sql</th></tr>`,
+<table><tr><th>id</th><th>tenant</th><th>status</th><th>cached</th><th>fast</th><th>wall</th><th>rows</th><th>peak mem</th><th>trace</th><th>sql</th></tr>`,
 		len(page.History), page.Total, page.Cap)
 	for _, h := range page.History {
-		fmt.Fprintf(w, `<tr><td>%d</td><td>%s</td><td>%t</td><td>%t</td><td>%s</td><td>%d</td><td>%d</td><td><a href="%s">trace</a></td><td>%s</td></tr>`,
-			h.ID, h.Status, h.Cached, h.FastPath,
+		fmt.Fprintf(w, `<tr><td>%d</td><td>%s</td><td>%s</td><td>%t</td><td>%t</td><td>%s</td><td>%d</td><td>%d</td><td><a href="%s">trace</a></td><td>%s</td></tr>`,
+			h.ID, html.EscapeString(h.Tenant), h.Status, h.Cached, h.FastPath,
 			time.Duration(h.WallMicros)*time.Microsecond, h.Rows, h.PeakMemBytes,
 			h.Trace, html.EscapeString(h.SQL))
 	}

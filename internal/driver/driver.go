@@ -44,6 +44,11 @@ type Options struct {
 	// Pool is the executor slot pool shared by concurrent queries; nil
 	// uses a private pool of Parallelism slots (single-query behavior).
 	Pool *sched.Pool
+	// Tenant labels this run's slot usage for the pool's weighted-fair
+	// dispatch ("" = sched.DefaultTenant); TenantWeight is the tenant's
+	// fair-share weight (<= 0 = 1).
+	Tenant       string
+	TenantWeight int
 	// Stats, when non-nil, receives the query's run statistics, including
 	// the merged distributed EXPLAIN ANALYZE profile.
 	Stats *RunStats
@@ -196,7 +201,7 @@ func runFast(ctx context.Context, plan sql.LogicalPlan, opts Options) ([][]any, 
 	}
 	held := false
 	if opts.Pool != nil {
-		tok := opts.Pool.NewJob()
+		tok := opts.Pool.NewJobFor(opts.Tenant, opts.TenantWeight)
 		if err := opts.Pool.Acquire(ctx, tok); err != nil {
 			return nil, nil, err
 		}
@@ -519,6 +524,7 @@ func runStaged(ctx context.Context, root *catalyst.Fragment, opts Options) ([][]
 	} else {
 		drv = sched.NewDriver(j.par)
 	}
+	drv.Tenant, drv.TenantWeight = opts.Tenant, opts.TenantWeight
 	jobStart := time.Now()
 	jobStats, err := drv.RunJobStats(ctx, rootInfo.stage)
 	if opts.Stats != nil {

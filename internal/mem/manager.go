@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"photon/internal/fault"
 )
@@ -35,6 +36,11 @@ type Manager struct {
 	// reservations to parent under the self identity.
 	parent *Manager
 	self   *childConsumer
+	// soft, when > 0 on a child scope, is the query's degraded grant:
+	// reservations pushing the scope past it spill the scope's own
+	// consumers first instead of growing (see SetSoftLimit). Advisory —
+	// it shrinks footprint under pressure but never fails a reservation.
+	soft atomic.Int64
 
 	// Metrics.
 	SpillCount   int64

@@ -85,9 +85,36 @@ func (m *Manager) Available() int64 {
 	return m.limit - m.total
 }
 
-// reserveChild is the child-manager Reserve path: acquire from the parent
-// under the query's identity, then record locally.
+// SetSoftLimit installs a degraded memory grant on a query scope: once the
+// scope's reservation would exceed n bytes, further reservations first ask
+// the scope's own consumers to spill the overage (spill-first execution)
+// before growing. The limit is advisory — if the scope's consumers cannot
+// free enough, the reservation still proceeds against the shared limit —
+// so degradation shrinks a query's footprint without ever failing it.
+// n <= 0 clears the limit. No-op on root managers.
+func (m *Manager) SetSoftLimit(n int64) {
+	if m.parent != nil {
+		m.soft.Store(n)
+	}
+}
+
+// SoftLimit reports the scope's degraded grant (0 = none).
+func (m *Manager) SoftLimit() int64 { return m.soft.Load() }
+
+// reserveChild is the child-manager Reserve path: spill own consumers
+// down toward the soft limit when one is set (graceful degradation), then
+// acquire from the parent under the query's identity and record locally.
 func (m *Manager) reserveChild(c Consumer, n int64) error {
+	if soft := m.soft.Load(); soft > 0 {
+		m.mu.Lock()
+		over := m.total + n - soft
+		m.mu.Unlock()
+		if over > 0 {
+			// Best effort: a failed or short spill never fails the
+			// reservation; the shared limit below remains the backstop.
+			_, _ = m.spillOwn(over)
+		}
+	}
 	if err := m.parent.Reserve(m.self, n); err != nil {
 		return fmt.Errorf("mem: query %s: %w", m.self.Name(), err)
 	}

@@ -67,6 +67,9 @@ type StageSummary struct {
 type QueryRecord struct {
 	ID  int64  `json:"id"`
 	SQL string `json:"sql"` // normalized when available, raw text otherwise
+	// Tenant is the tenant the query was admitted under ("default" when
+	// the session runs single-tenant).
+	Tenant string `json:"tenant,omitempty"`
 
 	// Lifecycle timestamps: Submit (arrival), Admitted (past the gate),
 	// Planned (compile+bind finished / execution started), Done.
@@ -196,6 +199,7 @@ func itoa(n int) string {
 type ActiveQuery struct {
 	id     int64
 	sql    string
+	tenant string
 	submit time.Time
 
 	phase atomic.Int32
@@ -217,6 +221,14 @@ func (a *ActiveQuery) SQL() string {
 		return ""
 	}
 	return a.sql
+}
+
+// Tenant returns the tenant the query was registered under. Nil-safe.
+func (a *ActiveQuery) Tenant() string {
+	if a == nil {
+		return ""
+	}
+	return a.tenant
 }
 
 // SetPhase advances the query's lifecycle phase. Nil-safe.
@@ -244,6 +256,7 @@ func (a *ActiveQuery) Progress(rows, bytes int64) {
 type ActiveInfo struct {
 	ID     int64      `json:"id"`
 	SQL    string     `json:"sql"`
+	Tenant string     `json:"tenant,omitempty"`
 	Phase  QueryPhase `json:"-"`
 	Name   string     `json:"phase"`
 	Submit time.Time  `json:"submit"`
@@ -275,13 +288,14 @@ func NewRecorder(size int) *Recorder {
 	return &Recorder{ring: make([]QueryRecord, size), active: map[int64]*ActiveQuery{}}
 }
 
-// Begin registers an in-flight query and returns its handle. Nil-safe: a
-// nil recorder returns a nil handle whose methods all no-op.
-func (r *Recorder) Begin(sqlText string) *ActiveQuery {
+// Begin registers an in-flight query under a tenant and returns its
+// handle. Nil-safe: a nil recorder returns a nil handle whose methods all
+// no-op.
+func (r *Recorder) Begin(sqlText, tenant string) *ActiveQuery {
 	if r == nil {
 		return nil
 	}
-	a := &ActiveQuery{id: r.seq.Add(1), sql: sqlText, submit: time.Now()}
+	a := &ActiveQuery{id: r.seq.Add(1), sql: sqlText, tenant: tenant, submit: time.Now()}
 	r.mu.Lock()
 	r.active[a.id] = a
 	r.mu.Unlock()
@@ -298,6 +312,9 @@ func (r *Recorder) End(a *ActiveQuery, rec QueryRecord) {
 	rec.ID = a.id
 	if rec.SQL == "" {
 		rec.SQL = a.sql
+	}
+	if rec.Tenant == "" {
+		rec.Tenant = a.tenant
 	}
 	if rec.Submit.IsZero() {
 		rec.Submit = a.submit
@@ -360,7 +377,7 @@ func (r *Recorder) Active() []ActiveInfo {
 	for _, a := range r.active {
 		p := QueryPhase(a.phase.Load())
 		out = append(out, ActiveInfo{
-			ID: a.id, SQL: a.sql, Phase: p, Name: p.String(),
+			ID: a.id, SQL: a.sql, Tenant: a.tenant, Phase: p, Name: p.String(),
 			Submit: a.submit, Rows: a.rows.Load(), Bytes: a.bytes.Load(),
 		})
 	}

@@ -14,7 +14,7 @@ import (
 func TestRecorderRingWraparound(t *testing.T) {
 	r := NewRecorder(4)
 	for i := 0; i < 10; i++ {
-		a := r.Begin("q")
+		a := r.Begin("q", "t1")
 		r.End(a, QueryRecord{Status: "ok", Rows: int64(i)})
 	}
 	if got := r.Len(); got != 4 {
@@ -49,8 +49,8 @@ func TestRecorderRingWraparound(t *testing.T) {
 
 func TestRecorderActiveRegistry(t *testing.T) {
 	r := NewRecorder(8)
-	a1 := r.Begin("one")
-	a2 := r.Begin("two")
+	a1 := r.Begin("one", "t1")
+	a2 := r.Begin("two", "t2")
 	a2.SetPhase(PhaseRunning)
 	a2.Progress(100, 4000)
 	a2.Progress(50, 2000)
@@ -82,7 +82,7 @@ func TestRecorderActiveRegistry(t *testing.T) {
 
 func TestRecorderNilSafe(t *testing.T) {
 	var r *Recorder
-	a := r.Begin("q")
+	a := r.Begin("q", "t1")
 	a.SetPhase(PhaseRunning)
 	a.Progress(1, 2)
 	r.End(a, QueryRecord{})
@@ -102,7 +102,7 @@ func TestRecorderConcurrent(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
-				a := r.Begin("q")
+				a := r.Begin("q", "t1")
 				a.SetPhase(PhaseRunning)
 				a.Progress(1, 10)
 				r.End(a, QueryRecord{Status: "ok"})

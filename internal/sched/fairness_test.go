@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// runTenantLoad drives `workers` goroutines for one tenant, each looping
+// acquire → hold → release until stop closes. Every worker has its own
+// JobToken (one job), all under the same tenant/weight.
+func runTenantLoad(t *testing.T, p *Pool, tenant string, weight, workers int, hold time.Duration, stop <-chan struct{}, wg *sync.WaitGroup) {
+	t.Helper()
+	for i := 0; i < workers; i++ {
+		tok := p.NewJobFor(tenant, weight)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := p.Acquire(context.Background(), tok); err != nil {
+					t.Error(err)
+					return
+				}
+				time.Sleep(hold)
+				p.Release(tok)
+			}
+		}()
+	}
+}
+
+// TestPoolWeightedFairness is the fairness property test: two tenants with
+// weights 3:1 saturate a 4-slot pool with short tasks; after a sustained
+// contention window their slot-second integrals must sit within ±15% of
+// the 3:1 weight ratio.
+func TestPoolWeightedFairness(t *testing.T) {
+	p := NewPool(4)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// 6 workers each: both tenants always have more runnable tasks than
+	// their fair share, so the pool is under continuous contention.
+	runTenantLoad(t, p, "gold", 3, 6, 500*time.Microsecond, stop, &wg)
+	runTenantLoad(t, p, "bronze", 1, 6, 500*time.Microsecond, stop, &wg)
+
+	time.Sleep(400 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	var gold, bronze float64
+	for _, u := range p.TenantUsages() {
+		switch u.Name {
+		case "gold":
+			gold = u.SlotSeconds
+		case "bronze":
+			bronze = u.SlotSeconds
+		}
+	}
+	if gold <= 0 || bronze <= 0 {
+		t.Fatalf("missing slot-seconds: gold=%v bronze=%v", gold, bronze)
+	}
+	ratio := gold / bronze
+	if ratio < 3*0.85 || ratio > 3*1.15 {
+		t.Errorf("slot-second ratio gold:bronze = %.2f, want 3.0 ± 15%%", ratio)
+	}
+}
+
+// TestPoolWorkConserving: weights bound shares only under contention — a
+// lone weight-1 tenant must be able to hold every slot while higher-weight
+// tenants are idle (free slots always go to whoever is waiting).
+func TestPoolWorkConserving(t *testing.T) {
+	p := NewPool(4)
+	p.NewJobFor("gold", 3) // registered but idle
+	tok := p.NewJobFor("bronze", 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	for i := 0; i < 4; i++ {
+		if err := p.Acquire(ctx, tok); err != nil {
+			t.Fatalf("acquire %d blocked despite idle pool: %v", i, err)
+		}
+	}
+	if got := tok.SlotsHeldPeak(); got != 4 {
+		t.Errorf("lone tenant peak = %d slots, want all 4", got)
+	}
+	for i := 0; i < 4; i++ {
+		p.Release(tok)
+	}
+}
+
+// TestPoolSingleTenantUnchanged: when every job belongs to one tenant the
+// weighted tier is inert and dispatch falls back to fewest-slots-first
+// (a narrow job is granted before a wide job holding more slots).
+func TestPoolSingleTenantUnchanged(t *testing.T) {
+	p := NewPool(2)
+	wide := p.NewJob()
+	narrow := p.NewJob()
+	helper := p.NewJob()
+	// wide holds one slot throughout; helper holds the other.
+	for _, tok := range []*JobToken{wide, helper} {
+		if err := p.Acquire(context.Background(), tok); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	order := make(chan string, 2)
+	var wg sync.WaitGroup
+	spawn := func(name string, tok *JobToken) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Acquire(context.Background(), tok); err != nil {
+				t.Error(err)
+				return
+			}
+			order <- name
+			p.Release(tok)
+		}()
+	}
+	// wide (holding 1) wants a second slot; narrow (holding 0) wants its
+	// first. When helper's slot frees, narrow must win regardless of
+	// arrival order.
+	spawn("wide", wide)
+	spawn("narrow", narrow)
+	for {
+		p.mu.Lock()
+		n := len(p.waiters)
+		p.mu.Unlock()
+		if n == 2 {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	p.Release(helper)
+	wg.Wait()
+	p.Release(wide)
+	close(order)
+	if first := <-order; first != "narrow" {
+		t.Errorf("first grant went to %q, want narrow (fewest-slots-first within a tenant)", first)
+	}
+}

@@ -3,6 +3,7 @@ package sched
 import (
 	"context"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 )
@@ -13,23 +14,104 @@ import (
 // before running, so total execution parallelism is bounded regardless of
 // how many queries are in flight.
 //
-// Dispatch is fair FIFO-with-job-interleaving: when a slot frees, it goes
-// to the waiting job currently holding the *fewest* slots (FIFO order
-// breaks ties). A wide 200-task stage therefore cannot starve a small
-// 2-task query that arrived later; concurrent jobs interleave instead of
-// running strictly back-to-back.
+// Dispatch is weighted-fair with two tiers. Jobs carry a tenant label and
+// weight (NewJobFor); tenants are scheduled by start-time fair queueing:
+// each tenant carries a virtual-time tag that advances by
+// slot-nanoseconds / weight while it holds slots, and a freed slot goes to
+// the waiting tenant with the smallest tag. Under sustained contention a
+// weight-3 tenant therefore converges to ~3× the slot-seconds of a
+// weight-1 tenant — at any slot count, even with more backlogged tenants
+// than slots — while an idle tenant costs nothing: the policy is
+// work-conserving (free slots always go to whoever is waiting), and a
+// tenant going active is lifted to the pool's current virtual time, so
+// idleness accumulates no credit and returns owe no debt. Within a
+// tenant, the waiting job holding the fewest slots wins (the pre-existing
+// FIFO-with-job-interleaving fairness), so a wide 200-task stage cannot
+// starve a small 2-task query of the same tenant; arrival order breaks the
+// remaining ties.
 type Pool struct {
 	slots int
 
 	mu      sync.Mutex
 	free    int
 	waiters []*waiter // arrival (FIFO) order
+	// vtime is the pool's virtual clock: the tag of the tenant most
+	// recently granted a slot (the SFQ(D) rule — the scheduler dispatches
+	// the minimum tag, so this tracks the tag "in service"). Newly active
+	// tenants start here: idleness earns no credit, but a tenant
+	// returning from a brief idle gap re-enters at parity with the tenant
+	// in service instead of behind the whole backlog's worst tag.
+	vtime int64
+	// tenants aggregates per-tenant slot usage: current held count (the
+	// dispatch key) and the slot-seconds integral (the fairness proof).
+	tenants map[string]*tenantState
 	// metrics, when set via Instrument, observes slot waits and feeds the
 	// pool-occupancy gauges.
 	metrics *Metrics
 	// opts holds the pool-level retry/speculation configuration applied to
 	// every job scheduled on this pool (SetOptions).
 	opts PoolOptions
+}
+
+// tenantState is one tenant's aggregate slot usage (guarded by pool.mu).
+// slotNanos integrates held × elapsed time, updated whenever held changes,
+// so slot-seconds are exact regardless of sampling; vtag is the fair-
+// queueing virtual-time tag (slot-nanos / weight, lifted to pool.vtime on
+// activation).
+type tenantState struct {
+	name       string
+	weight     int
+	held       int
+	waiting    int // waiters of this tenant currently queued
+	slotNanos  int64
+	vtag       int64
+	lastUpdate time.Time
+}
+
+// tickLocked advances the tenant's slot-seconds integral and virtual tag
+// to now. Idempotent for a given now, so callers may tick liberally.
+func (ts *tenantState) tickLocked(now time.Time) {
+	if ts.held > 0 && !ts.lastUpdate.IsZero() {
+		d := int64(ts.held) * now.Sub(ts.lastUpdate).Nanoseconds()
+		ts.slotNanos += d
+		ts.vtag += d / int64(ts.weight)
+	}
+	ts.lastUpdate = now
+}
+
+// activateLocked lifts an idle tenant (no slots held, no waiters queued)
+// to the pool's virtual time before it competes: idle time earns no
+// scheduling credit.
+func (ts *tenantState) activateLocked(p *Pool) {
+	if ts.held == 0 && ts.waiting == 0 && ts.vtag < p.vtime {
+		ts.vtag = p.vtime
+	}
+}
+
+// TenantUsage is a point-in-time snapshot of one tenant's pool usage.
+type TenantUsage struct {
+	Name        string
+	Weight      int
+	Held        int
+	SlotSeconds float64
+}
+
+// TenantUsages snapshots every tenant that ever ran a job on the pool,
+// sorted by name, with slot-second integrals advanced to now.
+func (p *Pool) TenantUsages() []TenantUsage {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	out := make([]TenantUsage, 0, len(p.tenants))
+	for _, ts := range p.tenants {
+		ts.tickLocked(now)
+		out = append(out, TenantUsage{
+			Name: ts.name, Weight: ts.weight, Held: ts.held,
+			SlotSeconds: float64(ts.slotNanos) / 1e9,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // SpeculationOptions tunes the straggler detector (§2.2 "re-launches
@@ -102,10 +184,12 @@ type waiter struct {
 }
 
 // JobToken identifies one job to the pool, carrying its fairness state
-// (slots currently held) and slot statistics. Create one per job with
-// Pool.NewJob and use it for every Acquire/Release of that job.
+// (slots currently held, tenant membership) and slot statistics. Create
+// one per job with Pool.NewJob/NewJobFor and use it for every
+// Acquire/Release of that job.
 type JobToken struct {
 	pool *Pool
+	ten  *tenantState
 	// Guarded by pool.mu.
 	held int
 	peak int
@@ -116,7 +200,7 @@ func NewPool(slots int) *Pool {
 	if slots <= 0 {
 		slots = runtime.NumCPU()
 	}
-	return &Pool{slots: slots, free: slots}
+	return &Pool{slots: slots, free: slots, tenants: map[string]*tenantState{}}
 }
 
 var (
@@ -134,8 +218,33 @@ func DefaultPool() *Pool {
 // Slots returns the pool's slot count.
 func (p *Pool) Slots() int { return p.slots }
 
-// NewJob registers a job with the pool.
-func (p *Pool) NewJob() *JobToken { return &JobToken{pool: p} }
+// DefaultTenant is the tenant label for jobs that do not name one.
+const DefaultTenant = "default"
+
+// NewJob registers a job with the pool under the default tenant.
+func (p *Pool) NewJob() *JobToken { return p.NewJobFor("", 0) }
+
+// NewJobFor registers a job under a tenant with a fair-share weight.
+// Empty tenant means DefaultTenant; weight <= 0 means 1 (a positive weight
+// updates the tenant's weight — latest wins, weights are per-tenant, not
+// per-job). Under contention a tenant's long-run slot share is
+// weight / Σ(active weights).
+func (p *Pool) NewJobFor(tenant string, weight int) *JobToken {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ts := p.tenants[tenant]
+	if ts == nil {
+		ts = &tenantState{name: tenant, weight: 1}
+		p.tenants[tenant] = ts
+	}
+	if weight > 0 {
+		ts.weight = weight
+	}
+	return &JobToken{pool: p, ten: ts}
+}
 
 // SlotsHeldPeak reports the maximum number of slots the job held at once
 // (stable after the job completes).
@@ -153,8 +262,7 @@ func (p *Pool) Acquire(ctx context.Context, tok *JobToken) error {
 	p.mu.Lock()
 	m := p.metrics
 	if p.free > 0 && len(p.waiters) == 0 {
-		p.free--
-		tok.grantLocked()
+		p.grantNowLocked(tok)
 		p.mu.Unlock()
 		if m != nil {
 			m.SlotWaitMicros.Observe(0) // uncontended grant
@@ -162,6 +270,10 @@ func (p *Pool) Acquire(ctx context.Context, tok *JobToken) error {
 		return nil
 	}
 	w := &waiter{tok: tok, ready: make(chan struct{})}
+	if tok.ten != nil {
+		tok.ten.activateLocked(p)
+		tok.ten.waiting++
+	}
 	p.waiters = append(p.waiters, w)
 	p.mu.Unlock()
 	start := time.Now()
@@ -187,8 +299,25 @@ func (p *Pool) Acquire(ctx context.Context, tok *JobToken) error {
 				break
 			}
 		}
+		if tok.ten != nil {
+			tok.ten.waiting--
+		}
 		p.mu.Unlock()
 		return ctx.Err()
+	}
+}
+
+// grantNowLocked grants an uncontended slot to tok (pool.mu held): the
+// tenant is lifted to the virtual clock if newly active, and the clock
+// advances to its tag.
+func (p *Pool) grantNowLocked(tok *JobToken) {
+	p.free--
+	if ts := tok.ten; ts != nil {
+		ts.activateLocked(p)
+	}
+	tok.grantLocked()
+	if ts := tok.ten; ts != nil {
+		p.vtime = ts.vtag
 	}
 }
 
@@ -199,8 +328,7 @@ func (p *Pool) TryAcquire(tok *JobToken) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.free > 0 && len(p.waiters) == 0 {
-		p.free--
-		tok.grantLocked()
+		p.grantNowLocked(tok)
 		return true
 	}
 	return false
@@ -214,32 +342,69 @@ func (p *Pool) Release(tok *JobToken) {
 }
 
 func (p *Pool) releaseLocked(tok *JobToken) {
+	if tok.ten != nil {
+		tok.ten.tickLocked(time.Now())
+		tok.ten.held--
+	}
 	tok.held--
 	p.free++
 	p.grantLocked()
 }
 
-// grantLocked hands free slots to waiters: among all waiting tasks, the one
-// whose job holds the fewest slots wins; arrival order breaks ties.
+// grantLocked hands free slots to waiters under the two-tier weighted-fair
+// policy: every candidate tenant's virtual tag is advanced to now, then
+// the waiter whose tenant has the smallest tag wins (start-time fair
+// queueing — a tenant's tag grows by slot-time / weight, so slot-seconds
+// converge to the weight ratio under sustained contention); within a
+// tenant the job holding the fewest slots wins; arrival order breaks the
+// remaining ties. Every grant advances tags, so the loop re-evaluates
+// slot by slot.
 func (p *Pool) grantLocked() {
 	for p.free > 0 && len(p.waiters) > 0 {
+		now := time.Now()
+		for _, w := range p.waiters {
+			if w.tok.ten != nil {
+				w.tok.ten.tickLocked(now)
+			}
+		}
 		best := 0
-		for i, w := range p.waiters {
-			if w.tok.held < p.waiters[best].tok.held {
-				best = i
+		for i, w := range p.waiters[1:] {
+			if dispatchBefore(w, p.waiters[best]) {
+				best = i + 1
 			}
 		}
 		w := p.waiters[best]
 		p.waiters = append(p.waiters[:best], p.waiters[best+1:]...)
 		p.free--
+		if ts := w.tok.ten; ts != nil {
+			ts.waiting--
+			p.vtime = ts.vtag
+		}
 		w.tok.grantLocked()
 		w.granted = true
 		close(w.ready)
 	}
 }
 
-// grantLocked records a slot grant on the token (pool.mu held).
+// dispatchBefore reports whether waiter a strictly precedes waiter b in
+// dispatch order (pool.mu held, tags ticked to now by the caller): the
+// tenant with the smaller virtual tag first, then the job holding the
+// fewest slots, then arrival order.
+func dispatchBefore(a, b *waiter) bool {
+	at, bt := a.tok.ten, b.tok.ten
+	if at != nil && bt != nil && at != bt && at.vtag != bt.vtag {
+		return at.vtag < bt.vtag
+	}
+	return a.tok.held < b.tok.held
+}
+
+// grantLocked records a slot grant on the token and its tenant (pool.mu
+// held).
 func (t *JobToken) grantLocked() {
+	if t.ten != nil {
+		t.ten.tickLocked(time.Now())
+		t.ten.held++
+	}
 	t.held++
 	if t.held > t.peak {
 		t.peak = t.held

@@ -138,6 +138,11 @@ type Driver struct {
 	RetryBackoff time.Duration
 	// RetryBackoffCap bounds a single backoff sleep (0 = 100ms default).
 	RetryBackoffCap time.Duration
+	// Tenant labels this driver's jobs for the pool's weighted-fair
+	// dispatch ("" = DefaultTenant); TenantWeight is the tenant's
+	// fair-share weight (<= 0 = 1).
+	Tenant       string
+	TenantWeight int
 
 	mu   sync.Mutex
 	jobs int64
@@ -220,7 +225,7 @@ func (d *Driver) RunJobStats(ctx context.Context, finals ...*Stage) (JobStats, e
 	if pool == nil {
 		pool = NewPool(d.Parallelism)
 	}
-	tok := pool.NewJob()
+	tok := pool.NewJobFor(d.Tenant, d.TenantWeight)
 	if m := pool.Metrics(); m != nil {
 		m.JobsRun.Inc()
 	}

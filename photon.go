@@ -150,10 +150,39 @@ type Config struct {
 	// n > 0 = at most n queued queries (further arrivals get
 	// ErrQueryRejected), negative = reject immediately at capacity.
 	AdmissionQueue int
+	// AdmissionQueueMemory bounds the estimated memory footprint of the
+	// whole admission queue: every queued query accounts for
+	// max(MinQueryMemory, 1 MiB), and arrivals that would push the sum
+	// past the bound are rejected (ErrQueryRejected) instead of queued.
+	// 0 disables the bound. A defense against unbounded queue growth
+	// under overload — a queue of ten thousand heavy queries is a promise
+	// the session cannot keep.
+	AdmissionQueueMemory int64
 	// MinQueryMemory is the minimum reservable memory (bytes) required to
 	// admit a query: admission waits until at least this much of
-	// MemoryLimit is unreserved. 0 disables the memory predicate.
+	// MemoryLimit is unreserved. 0 disables the memory predicate. It is
+	// also the floor degraded queries' memory grants shrink toward under
+	// pressure (see DisableDegradation).
 	MinQueryMemory int64
+
+	// ---- Multi-tenant isolation (weighted fairness + quotas) ----
+
+	// Tenant names the session's default tenant for fair slot dispatch,
+	// per-tenant quotas, and observability labels ("" = "default"). Every
+	// query can override it per call with photon.WithTenant(ctx, name).
+	Tenant string
+	// Tenants configures per-tenant weights and admission quotas, keyed
+	// by tenant name. Tenants absent from the map run with defaults
+	// (weight 1, no per-tenant quota). The map is read at NewSession and
+	// must not be mutated afterwards.
+	Tenants map[string]TenantConfig
+	// DisableDegradation turns off graceful degradation under memory
+	// pressure (on by default when MemoryLimit is set): with less than a
+	// quarter of MemoryLimit unreserved at admission, new queries get a
+	// shrunk memory grant — their fair share of what remains, floored at
+	// MinQueryMemory — and spill their own operators first when they
+	// outgrow it, instead of pressuring the whole pool toward OOM.
+	DisableDegradation bool
 	// QueryTimeout cancels each query after the given duration (0 = no
 	// timeout). Cancellation takes effect at operator batch boundaries.
 	QueryTimeout time.Duration
@@ -177,6 +206,45 @@ type Config struct {
 	SlowQueryThreshold time.Duration
 	// SlowQueryLog receives slow-query records (nil = slog.Default()).
 	SlowQueryLog *slog.Logger
+}
+
+// TenantConfig is one tenant's fair-share weight and admission quota.
+type TenantConfig struct {
+	// Weight is the tenant's fair share of executor slots under
+	// contention: a weight-3 tenant receives ~3× the slot-seconds of a
+	// weight-1 tenant when both have queued work (0 = 1). Idle tenants
+	// cost nothing — dispatch is work-conserving.
+	Weight int
+	// MaxConcurrent caps the tenant's admitted, unfinished queries
+	// (0 = bounded only by the session's MaxConcurrentQueries). An
+	// over-quota query queues behind its own tenant without blocking
+	// other tenants' admissions.
+	MaxConcurrent int
+	// MaxQueued bounds the tenant's admission queue: 0 = unbounded,
+	// n > 0 = at most n queued queries (further arrivals get a
+	// tenant-scoped ErrQueryRejected), negative = reject immediately at
+	// the tenant's capacity.
+	MaxQueued int
+}
+
+// tenantCtxKey keys the per-call tenant override in a context.
+type tenantCtxKey struct{}
+
+// WithTenant returns a context that attributes queries run under it to
+// the named tenant, overriding Config.Tenant. It applies to every entry
+// point taking a context: SQLContext, SQLContextStats,
+// SQLWithProfileContext, and PreparedStatement.Execute.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return context.WithValue(ctx, tenantCtxKey{}, tenant)
+}
+
+// TenantFromContext reports the tenant override installed by WithTenant.
+func TenantFromContext(ctx context.Context) (string, bool) {
+	if ctx == nil {
+		return "", false
+	}
+	t, ok := ctx.Value(tenantCtxKey{}).(string)
+	return t, ok && t != ""
 }
 
 // Session owns a catalog and executes queries. Sessions are safe for
@@ -218,7 +286,7 @@ func NewSession(cfg ...Config) *Session {
 	mm := mem.NewManager(c.MemoryLimit)
 	reg := obs.NewRegistry()
 	mm.Instrument(reg)
-	gate := newAdmission(c, mm)
+	gate := newAdmission(c, mm, reg)
 	s := &Session{cfg: c, cat: catalog.New(), mm: mm, reg: reg, gate: gate}
 	s.svc = newServiceMetrics(reg, gate)
 	s.id = sessionSeq.Add(1)

@@ -39,6 +39,12 @@ type boundQuery struct {
 	cached   bool   // compile phase was served from the plan cache
 	fastPath bool   // single-fragment small input: run inline on one slot
 	norm     string // normalized SQL ("" when the shape didn't normalize)
+
+	// Execution identity, stamped by runQuery after admission (a bound
+	// query is per-execution, never shared): the tenant the query runs as
+	// and its scheduler weight, threaded into driver.Options.
+	tenant       string
+	tenantWeight int
 }
 
 // planCacheEntry is one cached shape. cq == nil is a negative entry: the

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -64,44 +65,137 @@ type QueryStats struct {
 	// Rows is the result row count (0 when the query failed before
 	// producing a result).
 	Rows int64
+	// Tenant is the tenant the query ran as (Config.Tenant or the
+	// WithTenant context override; "default" when neither is set).
+	Tenant string
+	// Degraded reports that the query was admitted under memory pressure
+	// with a shrunken grant (spill-first execution toward MinQueryMemory).
+	Degraded bool
 }
 
 // String renders a one-line lifecycle summary (same spirit as OpStats).
 func (q *QueryStats) String() string {
-	return fmt.Sprintf("queued=%s planning=%s running=%s stages=%d slotsPeak=%d peakMem=%d cached=%t fastpath=%t",
-		q.Queued, q.Planning, q.Running, q.Stages, q.SlotsHeldPeak, q.PeakReservedBytes, q.Cached, q.FastPath)
+	return fmt.Sprintf("tenant=%s queued=%s planning=%s running=%s stages=%d slotsPeak=%d peakMem=%d cached=%t fastpath=%t degraded=%t",
+		q.Tenant, q.Queued, q.Planning, q.Running, q.Stages, q.SlotsHeldPeak, q.PeakReservedBytes, q.Cached, q.FastPath, q.Degraded)
 }
 
-// admission is the session's query gate: FIFO queue-or-reject over two
-// predicates — running-query count and minimum reservable memory.
+// queueMemFloor is the per-queued-query memory estimate when
+// MinQueryMemory is unset, for the AdmissionQueueMemory bound.
+const queueMemFloor = 1 << 20
+
+// serviceTimeAlpha is the EWMA decay for the gate's service-time estimate
+// (new = old*(1-1/8) + sample/8), the input to deadline-aware shedding.
+const serviceTimeAlpha = 8
+
+// tenantGate is one tenant's admission state: quota, live queue/running
+// counts, and lifetime counters (all guarded by admission.mu; the obs
+// counters are themselves atomic and resolved once per tenant).
+type tenantGate struct {
+	name          string
+	weight        int
+	maxConcurrent int // 0 = bounded only by the global cap
+	maxQueued     int // 0 = unbounded, < 0 = reject at tenant capacity
+
+	running int
+	queued  int
+
+	// Lifetime counters for photon_tenants and /debug.
+	admitted, rejected, shed, degraded int64
+
+	// Obs mirrors (nil-safe when the gate has no registry).
+	queuedC, rejectedC, shedC *obs.Counter
+}
+
+// admission is the session's query gate: per-tenant FIFO queue-or-reject
+// over global predicates (running-query count, minimum reservable memory,
+// queue-memory bound) and per-tenant quotas (max concurrent, max queued).
+// An over-quota tenant queues behind itself — its waiters never block
+// another tenant's admission — and a query whose deadline cannot outlast
+// the estimated queue wait is shed at admission instead of queued.
 type admission struct {
 	maxConcurrent int   // 0 = unlimited
 	queueLimit    int   // 0 = unbounded queue, < 0 = reject at capacity
+	queueMem      int64 // 0 = no queue-memory bound
 	minMemory     int64 // 0 = no memory predicate
 	mm            *mem.Manager
+	reg           *obs.Registry
+	tenantCfg     map[string]TenantConfig
 
-	mu      sync.Mutex
-	running int
-	waiters []*admitWaiter
+	mu        sync.Mutex
+	running   int
+	queuedMem int64
+	waiters   []*admitWaiter // global arrival (FIFO) order, tenant-tagged
+	tenants   map[string]*tenantGate
+	// avgServiceNanos is an EWMA of gate-hold durations (admit → release),
+	// the per-query service-time estimate behind deadline shedding.
+	avgServiceNanos int64
 }
 
 type admitWaiter struct {
 	ready   chan struct{}
 	granted bool
+	tg      *tenantGate
+	memEst  int64
 }
 
-func newAdmission(cfg Config, mm *mem.Manager) *admission {
-	return &admission{
+func newAdmission(cfg Config, mm *mem.Manager, reg *obs.Registry) *admission {
+	a := &admission{
 		maxConcurrent: cfg.MaxConcurrentQueries,
 		queueLimit:    cfg.AdmissionQueue,
+		queueMem:      cfg.AdmissionQueueMemory,
 		minMemory:     cfg.MinQueryMemory,
 		mm:            mm,
+		reg:           reg,
+		tenantCfg:     cfg.Tenants,
+		tenants:       map[string]*tenantGate{},
 	}
+	// Pre-create configured tenants so photon_tenants shows them (with
+	// their weights and quotas) before any traffic arrives.
+	for name := range cfg.Tenants {
+		a.mu.Lock()
+		a.tenantLocked(name)
+		a.mu.Unlock()
+	}
+	return a
 }
 
-// canAdmitLocked evaluates the gate's predicates.
-func (a *admission) canAdmitLocked() bool {
+// tenantLocked returns the tenant's gate, creating it from config (or
+// defaults) on first sight.
+func (a *admission) tenantLocked(name string) *tenantGate {
+	if name == "" {
+		name = sched.DefaultTenant
+	}
+	tg := a.tenants[name]
+	if tg != nil {
+		return tg
+	}
+	tc := a.tenantCfg[name]
+	if tc.Weight <= 0 {
+		tc.Weight = 1
+	}
+	tg = &tenantGate{
+		name: name, weight: tc.Weight,
+		maxConcurrent: tc.MaxConcurrent, maxQueued: tc.MaxQueued,
+	}
+	if a.reg != nil {
+		label := `{tenant="` + name + `"}`
+		tg.queuedC = a.reg.Counter("photon_tenant_queued_total"+label,
+			"Queries that waited in the admission queue, by tenant.")
+		tg.rejectedC = a.reg.Counter("photon_tenant_rejected_total"+label,
+			"Queries rejected by admission control, by tenant.")
+		tg.shedC = a.reg.Counter("photon_tenant_shed_total"+label,
+			"Queries shed at admission because their deadline could not outlast the estimated queue wait, by tenant.")
+	}
+	a.tenants[name] = tg
+	return tg
+}
+
+// canAdmitLocked evaluates the global predicates plus tg's quota.
+func (a *admission) canAdmitLocked(tg *tenantGate) bool {
 	if a.maxConcurrent > 0 && a.running >= a.maxConcurrent {
+		return false
+	}
+	if tg.maxConcurrent > 0 && tg.running >= tg.maxConcurrent {
 		return false
 	}
 	if a.minMemory > 0 && a.mm.Available() < a.minMemory {
@@ -110,38 +204,123 @@ func (a *admission) canAdmitLocked() bool {
 	return true
 }
 
-// admit blocks until the query is admitted, the queue rejects it, or ctx
-// is done. FIFO: later arrivals never overtake earlier waiters.
-func (a *admission) admit(ctx context.Context) error {
-	a.mu.Lock()
-	if len(a.waiters) == 0 && a.canAdmitLocked() {
-		a.running++
-		a.mu.Unlock()
-		return nil
+// estWaitLocked estimates how long a newly queued query of tg would wait:
+// the EWMA service time × the number of admission "waves" ahead of it
+// under whichever cap (global or tenant) binds tighter. Deliberately
+// coarse — it only needs to be right enough that a query with a 10 ms
+// deadline behind a minute of queue is shed instead of parked.
+func (a *admission) estWaitLocked(tg *tenantGate) time.Duration {
+	avg := time.Duration(atomic.LoadInt64(&a.avgServiceNanos))
+	if avg <= 0 {
+		return 0 // no history yet: never shed on a cold gate
 	}
-	if a.queueLimit < 0 || (a.queueLimit > 0 && len(a.waiters) >= a.queueLimit) {
-		a.mu.Unlock()
-		if a.queueLimit < 0 {
-			return fmt.Errorf("%w: at capacity (%d running), queueing disabled",
-				ErrQueryRejected, a.maxConcurrent)
+	slots, ahead := 0, 0
+	if a.maxConcurrent > 0 {
+		slots, ahead = a.maxConcurrent, len(a.waiters)
+	}
+	if tg.maxConcurrent > 0 && (slots == 0 || tg.maxConcurrent < slots) {
+		slots, ahead = tg.maxConcurrent, tg.queued
+	}
+	if slots <= 0 {
+		return 0
+	}
+	return avg * time.Duration(ahead/slots+1)
+}
+
+// noteServiceTime folds one gate-hold duration into the EWMA.
+func (a *admission) noteServiceTime(d time.Duration) {
+	for {
+		old := atomic.LoadInt64(&a.avgServiceNanos)
+		var next int64
+		if old == 0 {
+			next = d.Nanoseconds()
+		} else {
+			next = old - old/serviceTimeAlpha + d.Nanoseconds()/serviceTimeAlpha
 		}
-		return fmt.Errorf("%w: at capacity (%d running), queue full (%d waiting)",
-			ErrQueryRejected, a.maxConcurrent, a.queueLimit)
+		if atomic.CompareAndSwapInt64(&a.avgServiceNanos, old, next) {
+			return
+		}
 	}
-	w := &admitWaiter{ready: make(chan struct{})}
+}
+
+// admit blocks until the query is admitted, admission sheds or rejects
+// it, or ctx is done. Per-tenant FIFO: later arrivals of one tenant never
+// overtake its earlier waiters, but an eligible tenant is never blocked
+// by another tenant's over-quota queue.
+func (a *admission) admit(ctx context.Context, tenant string) (*tenantGate, error) {
+	// Fast-fail: a context already cancelled or past its deadline never
+	// enters the queue — no waiter allocation, no wakeup, classified as
+	// cancelled/timeout (never rejected).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	tg := a.tenantLocked(tenant)
+	if tg.queued == 0 && a.canAdmitLocked(tg) {
+		a.running++
+		tg.running++
+		tg.admitted++
+		a.mu.Unlock()
+		return tg, nil
+	}
+
+	// Cannot run now. Shed before queueing when the deadline cannot
+	// outlast the estimated wait: a cheap fast-fail that burns no slot.
+	if dl, ok := ctx.Deadline(); ok {
+		if est := a.estWaitLocked(tg); est > 0 && time.Now().Add(est).After(dl) {
+			tg.shed++
+			tg.shedC.Inc()
+			a.mu.Unlock()
+			return nil, fmt.Errorf("photon: tenant %q query shed at admission: estimated queue wait %s exceeds the deadline: %w",
+				tg.name, est.Round(time.Millisecond), context.DeadlineExceeded)
+		}
+	}
+
+	// Queue-or-reject: the global queue bounds (count and memory), then
+	// the tenant's own queue bound.
+	reject := func(format string, args ...any) (*tenantGate, error) {
+		tg.rejected++
+		tg.rejectedC.Inc()
+		a.mu.Unlock()
+		return nil, fmt.Errorf("%w: "+format, append([]any{ErrQueryRejected}, args...)...)
+	}
+	if a.queueLimit < 0 {
+		return reject("at capacity (%d running), queueing disabled", a.maxConcurrent)
+	}
+	if a.queueLimit > 0 && len(a.waiters) >= a.queueLimit {
+		return reject("at capacity (%d running), queue full (%d waiting)", a.maxConcurrent, a.queueLimit)
+	}
+	memEst := a.minMemory
+	if memEst <= 0 {
+		memEst = queueMemFloor
+	}
+	if a.queueMem > 0 && a.queuedMem+memEst > a.queueMem {
+		return reject("admission queue memory bound reached (%d of %d bytes queued)", a.queuedMem, a.queueMem)
+	}
+	if tg.maxQueued < 0 {
+		return reject("tenant %q at capacity (%d running), queueing disabled for tenant", tg.name, tg.running)
+	}
+	if tg.maxQueued > 0 && tg.queued >= tg.maxQueued {
+		return reject("tenant %q at capacity (%d running), tenant queue full (%d waiting)", tg.name, tg.running, tg.queued)
+	}
+
+	w := &admitWaiter{ready: make(chan struct{}), tg: tg, memEst: memEst}
 	a.waiters = append(a.waiters, w)
+	tg.queued++
+	a.queuedMem += memEst
+	tg.queuedC.Inc()
 	a.mu.Unlock()
 
 	select {
 	case <-w.ready:
-		return nil
+		return tg, nil
 	case <-ctx.Done():
 		a.mu.Lock()
 		if w.granted {
 			// Admission raced with cancellation: give the grant back.
-			a.releaseLocked()
+			a.releaseLocked(tg)
 			a.mu.Unlock()
-			return ctx.Err()
+			return nil, ctx.Err()
 		}
 		for i, q := range a.waiters {
 			if q == w {
@@ -149,26 +328,48 @@ func (a *admission) admit(ctx context.Context) error {
 				break
 			}
 		}
+		tg.queued--
+		a.queuedMem -= w.memEst
 		a.mu.Unlock()
-		return ctx.Err()
+		return nil, ctx.Err()
 	}
 }
 
-// release frees one admission and wakes eligible FIFO waiters. Called
+// release frees one admission of tg and wakes eligible waiters. Called
 // after the query's memory quota is released, so the memory predicate is
-// re-evaluated against up-to-date availability.
-func (a *admission) release() {
+// re-evaluated against up-to-date availability. held is the gate-hold
+// duration, folded into the shedding estimator (pass 0 to skip).
+func (a *admission) release(tg *tenantGate, held time.Duration) {
+	if held > 0 {
+		a.noteServiceTime(held)
+	}
 	a.mu.Lock()
-	a.releaseLocked()
+	a.releaseLocked(tg)
 	a.mu.Unlock()
 }
 
-func (a *admission) releaseLocked() {
+func (a *admission) releaseLocked(tg *tenantGate) {
 	a.running--
-	for len(a.waiters) > 0 && a.canAdmitLocked() {
-		w := a.waiters[0]
-		a.waiters = a.waiters[1:]
+	tg.running--
+	a.wakeLocked()
+}
+
+// wakeLocked grants every currently eligible waiter in global FIFO order.
+// A waiter whose tenant is at quota is skipped without blocking later
+// waiters of other tenants (per-tenant head-of-line only).
+func (a *admission) wakeLocked() {
+	for i := 0; i < len(a.waiters); {
+		w := a.waiters[i]
+		if !a.canAdmitLocked(w.tg) {
+			i++
+			continue
+		}
+		a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
 		a.running++
+		w.tg.running++
+		w.tg.admitted++
+		w.tg.queued--
+		a.queuedMem -= w.memEst
 		w.granted = true
 		close(w.ready)
 	}
@@ -188,6 +389,49 @@ func (a *admission) Queued() int {
 	return len(a.waiters)
 }
 
+// TenantAdmission is a point-in-time snapshot of one tenant's gate state,
+// the admission half of the photon_tenants system table.
+type TenantAdmission struct {
+	Name          string
+	Weight        int
+	MaxConcurrent int
+	MaxQueued     int
+	Running       int
+	Queued        int
+	Admitted      int64
+	Rejected      int64
+	Shed          int64
+	Degraded      int64
+}
+
+// tenantSnapshot lists every tenant the gate has seen, sorted by name.
+func (a *admission) tenantSnapshot() []TenantAdmission {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]TenantAdmission, 0, len(a.tenants))
+	for _, tg := range a.tenants {
+		out = append(out, TenantAdmission{
+			Name: tg.name, Weight: tg.weight,
+			MaxConcurrent: tg.maxConcurrent, MaxQueued: tg.maxQueued,
+			Running: tg.running, Queued: tg.queued,
+			Admitted: tg.admitted, Rejected: tg.rejected,
+			Shed: tg.shed, Degraded: tg.degraded,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// noteDegraded counts one degraded admission for tg (nil-safe).
+func (a *admission) noteDegraded(tg *tenantGate) {
+	if tg == nil {
+		return
+	}
+	a.mu.Lock()
+	tg.degraded++
+	a.mu.Unlock()
+}
+
 // serviceMetrics is the session's query-lifecycle metric bundle: the
 // admission gate and the lifecycle state machine report into it, and two
 // gauge functions sample the gate live at scrape time.
@@ -204,6 +448,7 @@ type serviceMetrics struct {
 	Rejected  *obs.Counter
 	Succeeded *obs.Counter
 	Failed    *obs.Counter
+	Degraded  *obs.Counter
 
 	CacheHits          *obs.Counter
 	CacheMisses        *obs.Counter
@@ -234,6 +479,8 @@ func newServiceMetrics(r *obs.Registry, gate *admission) *serviceMetrics {
 			"Queries that completed successfully."),
 		Failed: r.Counter("photon_queries_failed_total",
 			"Queries that failed, were cancelled, or timed out (post-admission)."),
+		Degraded: r.Counter("photon_queries_degraded_total",
+			"Queries admitted under memory pressure with a shrunken (spill-first) grant."),
 		CacheHits: r.Counter("photon_plan_cache_hits_total",
 			"Queries whose compile phase was served from the plan cache."),
 		CacheMisses: r.Counter("photon_plan_cache_misses_total",
@@ -299,7 +546,21 @@ func (s *Session) runOptions(qm *mem.Manager, rs *driver.RunStats, trace *obs.Tr
 		DisableRuntimeFilters: s.cfg.DisableRuntimeFilters,
 		DisableDecimal64:      s.cfg.DisableDecimal64,
 		FastPath:              bq.fastPath,
+		Tenant:                bq.tenant,
+		TenantWeight:          bq.tenantWeight,
 	}
+}
+
+// resolveTenant picks the query's tenant identity: the WithTenant context
+// override wins, then Config.Tenant, then the shared default.
+func (s *Session) resolveTenant(ctx context.Context) string {
+	if t, ok := TenantFromContext(ctx); ok {
+		return t
+	}
+	if s.cfg.Tenant != "" {
+		return s.cfg.Tenant
+	}
+	return sched.DefaultTenant
 }
 
 // SQLContext executes a query under ctx with admission control, a
@@ -412,10 +673,13 @@ func (s *Session) runQuery(ctx context.Context, text string, stats *QueryStats, 
 
 	// State: queued. The flight recorder tracks the query from submission;
 	// aq is nil (and every use no-ops) when the recorder is disabled.
-	aq := s.rec.Begin(text)
+	tenant := s.resolveTenant(ctx)
+	stats.Tenant = tenant
+	aq := s.rec.Begin(text, tenant)
 	s.svc.Queries.Inc()
 	t0 := time.Now()
-	if err := s.gate.admit(ctx); err != nil {
+	tg, err := s.gate.admit(ctx, tenant)
+	if err != nil {
 		stats.Queued = time.Since(t0)
 		if errors.Is(err, ErrQueryRejected) {
 			s.svc.Rejected.Inc()
@@ -423,10 +687,11 @@ func (s *Session) runQuery(ctx context.Context, text string, stats *QueryStats, 
 		s.finishQuery(aq, nil, stats, nil, nil, time.Time{}, time.Time{}, err)
 		return err
 	}
-	// Admission released only after the memory quota is returned, so the
-	// gate's memory predicate sees up-to-date availability.
-	defer s.gate.release()
 	admitted := time.Now()
+	// Admission released only after the memory quota is returned, so the
+	// gate's memory predicate sees up-to-date availability; the hold
+	// duration feeds the deadline-shedding service-time estimate.
+	defer func() { s.gate.release(tg, time.Since(admitted)) }()
 	stats.Queued = admitted.Sub(t0)
 	s.svc.AdmitWaitMicros.Observe(stats.Queued.Microseconds())
 	s.svc.Admitted.Inc()
@@ -449,6 +714,8 @@ func (s *Session) runQuery(ctx context.Context, text string, stats *QueryStats, 
 	}
 	stats.Cached = bq.cached
 	stats.FastPath = bq.fastPath
+	bq.tenant = tenant
+	bq.tenantWeight = tg.weight
 	if bq.fastPath {
 		s.svc.FastPathQueries.Inc()
 	}
@@ -466,6 +733,29 @@ func (s *Session) runQuery(ctx context.Context, text string, stats *QueryStats, 
 		stats.PeakReservedBytes = qm.PeakBytes()
 		qm.Close()
 	}()
+	// Graceful degradation: under memory pressure (less than a quarter of
+	// the session limit unreserved), shrink this query's grant to its fair
+	// share — floored at MinQueryMemory — so it spills toward the floor
+	// instead of failing or forcing siblings out. Advisory: the soft limit
+	// never fails a reservation.
+	if !s.cfg.DisableDegradation && s.mm.Limited() {
+		if avail := s.mm.Available(); avail < s.mm.Limit()/4 {
+			running := int64(s.gate.Running())
+			if running < 1 {
+				running = 1
+			}
+			grant := avail / running
+			if grant < s.cfg.MinQueryMemory {
+				grant = s.cfg.MinQueryMemory
+			}
+			if grant > 0 {
+				qm.SetSoftLimit(grant)
+				stats.Degraded = true
+				s.svc.Degraded.Inc()
+				s.gate.noteDegraded(tg)
+			}
+		}
+	}
 	rs, err := fn(ctx, qm, bq, aq)
 	stats.Running = time.Since(planned)
 	s.svc.RunMicros.Observe(stats.Running.Microseconds())
@@ -512,9 +802,17 @@ func (s *Session) finishQuery(aq *obs.ActiveQuery, bq *boundQuery, stats *QueryS
 		s.reg.Histogram(name,
 			"Execution duration per query by plan-cache outcome, fast-path routing, and completion status (microseconds).").
 			Observe(stats.Running.Microseconds())
+		if stats.Tenant != "" {
+			// Separate per-tenant family (tenant label only) so tenant
+			// cardinality doesn't multiply the cached/fastpath/status series.
+			s.reg.Histogram(`photon_tenant_run_micros{tenant="`+stats.Tenant+`"}`,
+				"Execution duration per query by tenant (microseconds).").
+				Observe(stats.Running.Microseconds())
+		}
 	}
 
 	rec := obs.QueryRecord{
+		Tenant:   stats.Tenant,
 		Admitted: admitted,
 		Planned:  planned,
 		Done:     done,
@@ -571,6 +869,7 @@ func (s *Session) finishQuery(aq *obs.ActiveQuery, bq *boundQuery, stats *QueryS
 			}
 			lg.Warn("photon slow query",
 				"query_id", aq.ID(),
+				"tenant", stats.Tenant,
 				"sql", sqlText,
 				"wall", wall,
 				"queue_wait", stats.Queued,

@@ -10,12 +10,14 @@ import (
 	"photon/internal/types"
 )
 
-// SQL-queryable system tables: the session registers three virtual tables
-// backed by the flight recorder and the metrics registry, so diagnostics
-// run through the engine's own scan/filter/aggregate path —
+// SQL-queryable system tables: the session registers four virtual tables
+// backed by the flight recorder, the admission gate, the slot pool, and
+// the metrics registry, so diagnostics run through the engine's own
+// scan/filter/aggregate path —
 //
 //	SELECT status, count(*), max(wall_micros) FROM photon_queries GROUP BY status
 //	SELECT * FROM photon_active_queries
+//	SELECT tenant, running, queued, slot_seconds FROM photon_tenants
 //	SELECT name, p99 FROM photon_metrics WHERE kind = 'histogram'
 //
 // Each virtual table materializes a point-in-time snapshot; the bind phase
@@ -25,6 +27,7 @@ import (
 var queriesSchema = types.NewSchema(
 	types.Field{Name: "id", Type: types.Int64Type},
 	types.Field{Name: "sql", Type: types.StringType},
+	types.Field{Name: "tenant", Type: types.StringType},
 	types.Field{Name: "status", Type: types.StringType},
 	types.Field{Name: "error", Type: types.StringType, Nullable: true},
 	types.Field{Name: "cached", Type: types.BoolType},
@@ -48,11 +51,26 @@ var queriesSchema = types.NewSchema(
 var activeSchema = types.NewSchema(
 	types.Field{Name: "id", Type: types.Int64Type},
 	types.Field{Name: "sql", Type: types.StringType},
+	types.Field{Name: "tenant", Type: types.StringType},
 	types.Field{Name: "phase", Type: types.StringType},
 	types.Field{Name: "submit", Type: types.TimestampType},
 	types.Field{Name: "elapsed_micros", Type: types.Int64Type},
 	types.Field{Name: "rows", Type: types.Int64Type},
 	types.Field{Name: "bytes", Type: types.Int64Type},
+)
+
+var tenantsSchema = types.NewSchema(
+	types.Field{Name: "tenant", Type: types.StringType},
+	types.Field{Name: "weight", Type: types.Int64Type},
+	types.Field{Name: "max_concurrent", Type: types.Int64Type},
+	types.Field{Name: "max_queued", Type: types.Int64Type},
+	types.Field{Name: "running", Type: types.Int64Type},
+	types.Field{Name: "queued", Type: types.Int64Type},
+	types.Field{Name: "admitted", Type: types.Int64Type},
+	types.Field{Name: "rejected", Type: types.Int64Type},
+	types.Field{Name: "shed", Type: types.Int64Type},
+	types.Field{Name: "degraded", Type: types.Int64Type},
+	types.Field{Name: "slot_seconds", Type: types.Float64Type},
 )
 
 var metricsSchema = types.NewSchema(
@@ -93,13 +111,38 @@ func (s *Session) registerSystemTables() {
 			rows := make([][]any, 0, len(active))
 			for _, a := range active {
 				rows = append(rows, []any{
-					a.ID, a.SQL, a.Name, a.Submit.UnixMicro(),
+					a.ID, a.SQL, a.Tenant, a.Name, a.Submit.UnixMicro(),
 					now.Sub(a.Submit).Microseconds(), a.Rows, a.Bytes,
 				})
 			}
 			return rows
 		}, s.batchSize()),
 		EstRows: func() int64 { return int64(rec.ActiveCount()) },
+	})
+	s.cat.Register(&catalog.VirtualTable{
+		TableName: "photon_tenants",
+		Sch:       tenantsSchema,
+		Batches: exec.VirtualSource(tenantsSchema, func() [][]any {
+			// Admission-side state (quotas, queue, lifetime counters) joined
+			// with the slot pool's slot-second integrals by tenant name.
+			slotSecs := map[string]float64{}
+			for _, u := range s.slotPool().TenantUsages() {
+				slotSecs[u.Name] = u.SlotSeconds
+			}
+			snap := s.gate.tenantSnapshot()
+			rows := make([][]any, 0, len(snap))
+			for _, t := range snap {
+				rows = append(rows, []any{
+					t.Name, int64(t.Weight),
+					int64(t.MaxConcurrent), int64(t.MaxQueued),
+					int64(t.Running), int64(t.Queued),
+					t.Admitted, t.Rejected, t.Shed, t.Degraded,
+					slotSecs[t.Name],
+				})
+			}
+			return rows
+		}, s.batchSize()),
+		EstRows: func() int64 { return 4 },
 	})
 	s.cat.Register(&catalog.VirtualTable{
 		TableName: "photon_metrics",
@@ -131,7 +174,7 @@ func queryRow(r *obs.QueryRecord) []any {
 		errv = r.Error
 	}
 	return []any{
-		r.ID, r.SQL, r.Status, errv, r.Cached, r.FastPath,
+		r.ID, r.SQL, r.Tenant, r.Status, errv, r.Cached, r.FastPath,
 		r.Submit.UnixMicro(),
 		r.QueueWait().Microseconds(), r.PlanTime().Microseconds(),
 		r.RunTime().Microseconds(), r.Wall().Microseconds(),
